@@ -1,0 +1,41 @@
+//! Criterion benches exercising every table/figure generator at bench
+//! scale (reduced frame count and a fast search so wall time stays
+//! reasonable). Run `cargo run --release --bin repro -- all` for the
+//! paper-scale reproduction; these benches track the *cost* of each
+//! experiment generator and keep them exercised by `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use m4ps_bench::{run_experiment, Options, ALL_EXPERIMENTS};
+use m4ps_codec::SearchStrategy;
+use std::time::Duration;
+
+fn bench_opts() -> Options {
+    Options {
+        frames: 1,
+        search_range: 4,
+        search: SearchStrategy::Diamond,
+        seed: 7,
+    }
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let opts = bench_opts();
+    for e in ALL_EXPERIMENTS {
+        group.bench_function(e.name, |b| {
+            b.iter(|| {
+                let out = run_experiment(e.name, &opts).expect("known experiment");
+                assert!(!out.is_empty());
+                out.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

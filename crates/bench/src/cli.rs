@@ -1,0 +1,113 @@
+//! Minimal hand-rolled CLI option parsing for the experiment binary
+//! (no external dependencies).
+
+use m4ps_codec::SearchStrategy;
+
+/// Runtime options shared by all experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Options {
+    /// Frames per run (paper: 30).
+    pub frames: usize,
+    /// Integer-pel search range (paper-reproduction default: ±8).
+    pub search_range: i16,
+    /// Motion-search strategy.
+    pub search: SearchStrategy,
+    /// Content seed.
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            frames: 30,
+            search_range: 8,
+            search: SearchStrategy::FullSearch,
+            seed: 0x4d50_4547,
+        }
+    }
+}
+
+impl Options {
+    /// Parses `--frames N`, `--search-range N`, `--search full|diamond|
+    /// three-step`, `--seed N` from an argument list; returns the
+    /// options and the remaining positional arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown flags or malformed values.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<(Options, Vec<String>), String> {
+        let mut opts = Options::default();
+        let mut rest = Vec::new();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--frames" => {
+                    let v = it.next().ok_or("--frames needs a value")?;
+                    opts.frames = v.parse().map_err(|_| format!("bad --frames value {v}"))?;
+                    if opts.frames == 0 {
+                        return Err("--frames must be positive".into());
+                    }
+                }
+                "--search-range" => {
+                    let v = it.next().ok_or("--search-range needs a value")?;
+                    opts.search_range = v
+                        .parse()
+                        .map_err(|_| format!("bad --search-range value {v}"))?;
+                    if !(1..=15).contains(&opts.search_range) {
+                        return Err("--search-range must be 1..=15".into());
+                    }
+                }
+                "--search" => {
+                    let v = it.next().ok_or("--search needs a value")?;
+                    opts.search = match v.as_str() {
+                        "full" => SearchStrategy::FullSearch,
+                        "diamond" => SearchStrategy::Diamond,
+                        "three-step" => SearchStrategy::ThreeStep,
+                        other => return Err(format!("unknown search strategy {other}")),
+                    };
+                }
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    opts.seed = v.parse().map_err(|_| format!("bad --seed value {v}"))?;
+                }
+                _ => rest.push(arg),
+            }
+        }
+        Ok((opts, rest))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<(Options, Vec<String>), String> {
+        Options::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let (o, rest) = parse(&["table2"]).unwrap();
+        assert_eq!(o.frames, 30);
+        assert_eq!(o.search_range, 8);
+        assert_eq!(o.search, SearchStrategy::FullSearch);
+        assert_eq!(rest, vec!["table2"]);
+    }
+
+    #[test]
+    fn flags_are_parsed_anywhere() {
+        let (o, rest) = parse(&["--frames", "6", "fig2", "--search", "diamond"]).unwrap();
+        assert_eq!(o.frames, 6);
+        assert_eq!(o.search, SearchStrategy::Diamond);
+        assert_eq!(rest, vec!["fig2"]);
+    }
+
+    #[test]
+    fn bad_values_are_rejected() {
+        assert!(parse(&["--frames", "zero"]).is_err());
+        assert!(parse(&["--frames", "0"]).is_err());
+        assert!(parse(&["--search-range", "16"]).is_err());
+        assert!(parse(&["--search", "hexagon"]).is_err());
+        assert!(parse(&["--frames"]).is_err());
+    }
+}

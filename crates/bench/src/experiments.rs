@@ -1,0 +1,754 @@
+//! One generator per table and figure of the paper.
+
+use crate::cli::Options;
+use m4ps_core::baseline::{run_resident, run_streaming, StreamingKernel};
+use m4ps_core::burst::burstiness;
+use m4ps_core::fallacy;
+use m4ps_core::report::{render_table, METRIC_ROWS};
+use m4ps_core::study::{decode_study, encode_study, prepare_streams, RunResult, StudyConfig, Workload};
+use m4ps_memsim::{MachineSpec, MemoryMetrics};
+use m4ps_vidgen::Resolution;
+
+/// A named, runnable experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct Experiment {
+    /// CLI name (`table2`, `fig3`, …).
+    pub name: &'static str,
+    /// What it reproduces.
+    pub description: &'static str,
+    /// Generator returning the rendered report.
+    pub run: fn(&Options) -> String,
+}
+
+/// Every experiment, in paper order.
+pub const ALL_EXPERIMENTS: &[Experiment] = &[
+    Experiment {
+        name: "table1",
+        description: "Table 1: common platform highlights",
+        run: table1,
+    },
+    Experiment {
+        name: "table2",
+        description: "Table 2: video encoding, one VO, one layer",
+        run: table2,
+    },
+    Experiment {
+        name: "table3",
+        description: "Table 3: video decoding, one VO, one layer",
+        run: table3,
+    },
+    Experiment {
+        name: "table4",
+        description: "Table 4: video encoding, three VOs, one layer each",
+        run: table4,
+    },
+    Experiment {
+        name: "table5",
+        description: "Table 5: video decoding, three VOs, one layer each",
+        run: table5,
+    },
+    Experiment {
+        name: "table6",
+        description: "Table 6: video encoding, three VOs, two layers each",
+        run: table6,
+    },
+    Experiment {
+        name: "table7",
+        description: "Table 7: video decoding, three VOs, two layers each",
+        run: table7,
+    },
+    Experiment {
+        name: "table8",
+        description: "Table 8: burstiness of VopEncode/VopDecode (R12K 8MB)",
+        run: table8,
+    },
+    Experiment {
+        name: "fig2",
+        description: "Figure 2: memory statistics vs growing image size (decode, 1MB L2)",
+        run: fig2,
+    },
+    Experiment {
+        name: "fig3",
+        description: "Figure 3: L1C miss rates vs number of objects/layers (R10K 2MB)",
+        run: fig3,
+    },
+    Experiment {
+        name: "fig4",
+        description: "Figure 4: L2C miss rates vs number of objects/layers (R10K 2MB)",
+        run: fig4,
+    },
+    Experiment {
+        name: "fallacies",
+        description: "Section 3.2: the five fallacy verdicts",
+        run: fallacies,
+    },
+    Experiment {
+        name: "contrast",
+        description: "Streaming-kernel baseline vs the codec (why 'MPEG-4 does not stream')",
+        run: contrast,
+    },
+    Experiment {
+        name: "ablation-blocking",
+        description: "Ablation: search discipline vs locality (full / three-step / diamond)",
+        run: ablation_blocking,
+    },
+    Experiment {
+        name: "ablation-l2",
+        description: "Ablation: L2 capacity sweep beyond the three SGI presets",
+        run: ablation_l2,
+    },
+    Experiment {
+        name: "ablation-prefetch",
+        description: "Ablation: software prefetch on/off for the encoder",
+        run: ablation_prefetch,
+    },
+    Experiment {
+        name: "ablation-4mv",
+        description: "Ablation: advanced prediction (four 8x8 vectors per MB) on/off",
+        run: ablation_4mv,
+    },
+    Experiment {
+        name: "ablation-resync",
+        description: "Ablation: error-resilience resync markers on/off (bit cost vs memory behaviour)",
+        run: ablation_resync,
+    },
+    Experiment {
+        name: "misses-by-structure",
+        description: "Beyond the paper: demand misses attributed to codec data structures",
+        run: misses_by_structure,
+    },
+    Experiment {
+        name: "memwall",
+        description: "Future work (§4): processor-to-memory ratio at which MPEG-4 becomes memory limited",
+        run: memwall,
+    },
+    Experiment {
+        name: "simd",
+        description: "Future work (§4): fetch-rate vs L1-bandwidth limits under SIMD/vector ISAs",
+        run: simd_projection,
+    },
+];
+
+/// Runs the experiment named `name`, if it exists.
+pub fn run_experiment(name: &str, opts: &Options) -> Option<String> {
+    ALL_EXPERIMENTS
+        .iter()
+        .find(|e| e.name == name)
+        .map(|e| (e.run)(opts))
+}
+
+fn config(opts: &Options) -> StudyConfig {
+    StudyConfig::paper().with_search(opts.search, opts.search_range)
+}
+
+fn machines() -> Vec<MachineSpec> {
+    MachineSpec::study_machines()
+}
+
+fn workload(opts: &Options, resolution: Resolution, objects: usize, layers: usize) -> Workload {
+    Workload {
+        resolution,
+        frames: opts.frames,
+        objects,
+        layers,
+        seed: opts.seed,
+    }
+}
+
+fn run_note(opts: &Options) -> String {
+    format!(
+        "(frames={}, search={:?} ±{}, seed={:#x})\n",
+        opts.frames, opts.search, opts.search_range, opts.seed
+    )
+}
+
+/// Encoding table over both paper resolutions and all three machines.
+fn encode_table(title: &str, opts: &Options, objects: usize, layers: usize) -> String {
+    let cfg = config(opts);
+    let mut out = run_note(opts);
+    for res in [Resolution::PAL, Resolution::XGA] {
+        let w = workload(opts, res, objects, layers);
+        let runs: Vec<RunResult> = machines()
+            .iter()
+            .map(|m| encode_study(m, &w, &cfg).expect("encode run"))
+            .collect();
+        let cols: Vec<(String, &MemoryMetrics)> = runs
+            .iter()
+            .map(|r| (r.machine.column_label(), &r.metrics))
+            .collect();
+        let cols_ref: Vec<(&str, &MemoryMetrics)> =
+            cols.iter().map(|(n, m)| (n.as_str(), *m)).collect();
+        out.push_str(&render_table(
+            &format!("{title} — {}x{} pixels", res.width, res.height),
+            &cols_ref,
+        ));
+        out.push_str(&format!(
+            "resident memory: {} MB; bitstream: {} bytes; candidates: {}\n\n",
+            runs[0].resident_bytes / 1_000_000,
+            runs[0].session.bytes,
+            runs[0].session.totals.candidates
+        ));
+    }
+    out
+}
+
+/// Decoding table over both paper resolutions and all three machines.
+fn decode_table(title: &str, opts: &Options, objects: usize, layers: usize) -> String {
+    let cfg = config(opts);
+    let mut out = run_note(opts);
+    for res in [Resolution::PAL, Resolution::XGA] {
+        let w = workload(opts, res, objects, layers);
+        let streams = prepare_streams(&w, &cfg).expect("stream prep");
+        let runs: Vec<RunResult> = machines()
+            .iter()
+            .map(|m| decode_study(m, &w, &streams).expect("decode run"))
+            .collect();
+        let cols: Vec<(String, &MemoryMetrics)> = runs
+            .iter()
+            .map(|r| (r.machine.column_label(), &r.metrics))
+            .collect();
+        let cols_ref: Vec<(&str, &MemoryMetrics)> =
+            cols.iter().map(|(n, m)| (n.as_str(), *m)).collect();
+        out.push_str(&render_table(
+            &format!("{title} — {}x{} pixels", res.width, res.height),
+            &cols_ref,
+        ));
+        out.push_str(&format!(
+            "resident memory: {} MB; bitstream: {} bytes\n\n",
+            runs[0].resident_bytes / 1_000_000,
+            runs[0].session.bytes
+        ));
+    }
+    out
+}
+
+fn table1(_opts: &Options) -> String {
+    let mut out = String::from("## Table 1: Common Platform Highlights\n\n");
+    for m in machines() {
+        out.push_str(&format!(
+            "{:28} {} @ {} MHz, L1D {} KB {}-way/{} B lines, L2 {} MB {}-way/{} B lines\n",
+            m.name,
+            m.cpu.short_name(),
+            m.clock_mhz,
+            m.l1.size_bytes / 1024,
+            m.l1.assoc,
+            m.l1.line_bytes,
+            m.l2.size_bytes / (1024 * 1024),
+            m.l2.assoc,
+            m.l2.line_bytes,
+        ));
+    }
+    let d = machines()[0].dram;
+    out.push_str(&format!(
+        "system bus: {} bits, {} MHz, split transaction; {}-way interleaved SDRAM\n",
+        d.bus_bits, d.bus_mhz, d.interleave
+    ));
+    out.push_str(&format!(
+        "bandwidth: {:.0} MB/s sustained, {:.0} MB/s peak\n",
+        d.sustained_mb_s,
+        d.peak_mb_s()
+    ));
+    out
+}
+
+fn table2(opts: &Options) -> String {
+    encode_table("Table 2: Video Encoding, One Visual Object, One Layer", opts, 0, 1)
+}
+
+fn table3(opts: &Options) -> String {
+    decode_table("Table 3: Video Decoding, One Visual Object, One Layer", opts, 0, 1)
+}
+
+fn table4(opts: &Options) -> String {
+    encode_table(
+        "Table 4: Video Encoding, Three Visual Objects, One Layer Each",
+        opts,
+        3,
+        1,
+    )
+}
+
+fn table5(opts: &Options) -> String {
+    decode_table(
+        "Table 5: Video Decoding, Three Visual Objects, One Layer Each",
+        opts,
+        3,
+        1,
+    )
+}
+
+fn table6(opts: &Options) -> String {
+    encode_table(
+        "Table 6: Video Encoding, Three Visual Objects, Two Layers Each",
+        opts,
+        3,
+        2,
+    )
+}
+
+fn table7(opts: &Options) -> String {
+    decode_table(
+        "Table 7: Video Decoding, Three Visual Objects, Two Layers Each",
+        opts,
+        3,
+        2,
+    )
+}
+
+fn table8(opts: &Options) -> String {
+    let cfg = config(opts);
+    let machine = MachineSpec::onyx2();
+    let mut out = run_note(opts);
+    out.push_str("## Table 8: VopEncode/VopDecode vs whole program (R12K, 8MB L2)\n\n");
+    for res in [Resolution::PAL, Resolution::XGA] {
+        let w = workload(opts, res, 0, 1);
+        let (enc, dec) = burstiness(&machine, &w, &cfg).expect("burstiness run");
+        out.push_str(&format!("### {}x{} pixels\n", res.width, res.height));
+        for rep in [&enc, &dec] {
+            out.push_str(&format!(
+                "{}: {:.0}% of memory refs inside the window\n",
+                rep.function,
+                rep.window_ref_share * 100.0
+            ));
+            for (row, label) in [(0usize, "L1C miss rate"), (3, "L2C miss rate"), (6, "L1-L2 b/w"), (7, "L2-DRAM b/w")] {
+                out.push_str(&format!(
+                    "  {label:18} window {:>10}   [whole program {:>10}]\n",
+                    m4ps_core::report::format_cell(&rep.window, row),
+                    m4ps_core::report::format_cell(&rep.whole, row),
+                ));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn fig2(opts: &Options) -> String {
+    let cfg = config(opts);
+    let machine = MachineSpec::o2(); // the 1 MB L2 platform
+    let mut out = run_note(opts);
+    out.push_str("## Figure 2: Memory Statistics for Growing Image Size (Decoding, 1MB L2C)\n\n");
+    out.push_str(&format!(
+        "{:>12} {:>14} {:>14} {:>14} {:>14}\n",
+        "size", "L1C miss rate", "L2C miss rate", "L2-DRAM MB/s", "DRAM time"
+    ));
+    for res in [Resolution::CIF, Resolution::PAL, Resolution::XGA, Resolution::HUGE] {
+        let w = workload(opts, res, 0, 1);
+        let streams = prepare_streams(&w, &cfg).expect("stream prep");
+        let run = decode_study(&machine, &w, &streams).expect("decode run");
+        out.push_str(&format!(
+            "{:>12} {:>14} {:>14} {:>14} {:>14}\n",
+            format!("{}x{}", res.width, res.height),
+            format!("{:.3}%", run.metrics.l1_miss_rate * 100.0),
+            format!("{:.2}%", run.metrics.l2_miss_rate * 100.0),
+            format!("{:.1}", run.metrics.l2_dram_mb_s),
+            format!("{:.1}%", run.metrics.dram_time * 100.0),
+        ));
+    }
+    out
+}
+
+/// Shared driver for Figures 3 and 4: miss rates for the three
+/// object/layer configurations, encode and decode, both sizes, on the
+/// R10K/2MB machine.
+fn fig34(opts: &Options, l2: bool) -> String {
+    let cfg = config(opts);
+    let machine = MachineSpec::onyx_vtx();
+    let mut out = run_note(opts);
+    let level = if l2 { "L2C" } else { "L1C" };
+    out.push_str(&format!(
+        "## Figure {}: {level} Miss Rates for Varying Numbers of Objects and Layers (R10K 2MB)\n\n",
+        if l2 { 4 } else { 3 }
+    ));
+    for res in [Resolution::PAL, Resolution::XGA] {
+        for mode in ["encoding", "decoding"] {
+            out.push_str(&format!("{}x{} {mode}: ", res.width, res.height));
+            let mut cells = Vec::new();
+            for (objects, layers) in [(0usize, 1usize), (3, 1), (3, 2)] {
+                let w = workload(opts, res, objects, layers);
+                let run = if mode == "encoding" {
+                    encode_study(&machine, &w, &cfg).expect("encode run")
+                } else {
+                    let streams = prepare_streams(&w, &cfg).expect("stream prep");
+                    decode_study(&machine, &w, &streams).expect("decode run")
+                };
+                let rate = if l2 {
+                    run.metrics.l2_miss_rate
+                } else {
+                    run.metrics.l1_miss_rate
+                };
+                cells.push(format!("{}={:.3}%", w.label(), rate * 100.0));
+            }
+            out.push_str(&cells.join("  "));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn fig3(opts: &Options) -> String {
+    fig34(opts, false)
+}
+
+fn fig4(opts: &Options) -> String {
+    fig34(opts, true)
+}
+
+fn fallacies(opts: &Options) -> String {
+    let cfg = config(opts);
+    let machine = MachineSpec::o2();
+    let mut out = run_note(opts);
+    out.push_str("## Section 3.2: Fallacies and Paradoxes\n\n");
+
+    // Base runs: encode + decode on the 1 MB machine at both sizes.
+    let mut base_runs = Vec::new();
+    for res in [Resolution::PAL, Resolution::XGA] {
+        let w = workload(opts, res, 0, 1);
+        base_runs.push(encode_study(&machine, &w, &cfg).expect("encode run"));
+        let streams = prepare_streams(&w, &cfg).expect("stream prep");
+        base_runs.push(decode_study(&machine, &w, &streams).expect("decode run"));
+    }
+
+    // Image-size series (decode, 1 MB).
+    let mut size_runs = Vec::new();
+    for res in [Resolution::CIF, Resolution::PAL, Resolution::XGA, Resolution::HUGE] {
+        let w = workload(opts, res, 0, 1);
+        let streams = prepare_streams(&w, &cfg).expect("stream prep");
+        size_runs.push(decode_study(&machine, &w, &streams).expect("decode run"));
+    }
+
+    // Objects/layers series (decode, 2 MB, XGA — the paper's Figure 3/4 context).
+    let vtx = MachineSpec::onyx_vtx();
+    let mut obj_runs = Vec::new();
+    for (objects, layers) in [(0usize, 1usize), (3, 1), (3, 2)] {
+        let w = workload(opts, Resolution::XGA, objects, layers);
+        let streams = prepare_streams(&w, &cfg).expect("stream prep");
+        obj_runs.push(decode_study(&vtx, &w, &streams).expect("decode run"));
+    }
+
+    for verdict in [
+        fallacy::streaming(&base_runs, &machine),
+        fallacy::latency(&base_runs),
+        fallacy::bandwidth(&base_runs, &machine),
+        fallacy::image_size(&size_runs),
+        fallacy::objects_layers(&obj_runs),
+    ] {
+        out.push_str(&format!(
+            "[{}] {}\n    evidence: {}\n",
+            if verdict.refuted { "REFUTED" } else { "NOT REFUTED" },
+            verdict.assumption,
+            verdict.evidence
+        ));
+    }
+    out
+}
+
+fn contrast(opts: &Options) -> String {
+    let cfg = config(opts);
+    let machine = MachineSpec::o2();
+    let mut out = run_note(opts);
+    out.push_str("## Contrast: the codec vs a true streaming kernel (same hierarchy)\n\n");
+    let w = workload(opts, Resolution::PAL, 0, 1);
+    let codec = encode_study(&machine, &w, &cfg).expect("encode run");
+    let stream = run_streaming(&machine, &StreamingKernel::default());
+    let resident = run_resident(&machine, 16 * 1024, 2000);
+    let cols = [
+        ("MPEG-4 encode", &codec.metrics),
+        ("streaming", &stream),
+        ("L1-resident", &resident),
+    ];
+    out.push_str(&render_table("codec vs streaming vs resident", &cols));
+    out.push_str(&format!(
+        "\nbus utilization: codec {:.2}%, streaming {:.1}%, resident {:.3}%\n",
+        codec.metrics.bus_utilization(&machine) * 100.0,
+        stream.bus_utilization(&machine) * 100.0,
+        resident.bus_utilization(&machine) * 100.0
+    ));
+    out
+}
+
+fn ablation_blocking(opts: &Options) -> String {
+    use m4ps_codec::SearchStrategy;
+    let machine = MachineSpec::o2();
+    let mut out = run_note(opts);
+    out.push_str("## Ablation: search discipline vs locality (encode, PAL, 1MB L2)\n\n");
+    let w = workload(opts, Resolution::PAL, 0, 1);
+    let mut cols = Vec::new();
+    for (label, strat, range) in [
+        ("full ±8", SearchStrategy::FullSearch, 8),
+        ("full ±15", SearchStrategy::FullSearch, 15),
+        ("three-step", SearchStrategy::ThreeStep, 8),
+        ("diamond", SearchStrategy::Diamond, 8),
+    ] {
+        let cfg = StudyConfig::paper().with_search(strat, range);
+        let run = encode_study(&machine, &w, &cfg).expect("encode run");
+        cols.push((label, run.metrics.clone(), run.session.totals.candidates));
+    }
+    let table_cols: Vec<(&str, &MemoryMetrics)> =
+        cols.iter().map(|(l, m, _)| (*l, m)).collect();
+    out.push_str(&render_table("search strategies", &table_cols));
+    out.push('\n');
+    for (l, _, cand) in &cols {
+        out.push_str(&format!("{l}: {cand} candidates\n"));
+    }
+    out.push_str(
+        "\nThe exhaustive overlapping-window walk is what generates the paper's\n\
+         locality; fast searches evaluate far fewer candidates, trading line\n\
+         reuse for less total work.\n",
+    );
+    out
+}
+
+fn ablation_l2(opts: &Options) -> String {
+    let cfg = config(opts);
+    let mut out = run_note(opts);
+    out.push_str("## Ablation: L2 capacity sweep (decode, PAL)\n\n");
+    let w = workload(opts, Resolution::PAL, 0, 1);
+    let streams = prepare_streams(&w, &cfg).expect("stream prep");
+    out.push_str(&format!(
+        "{:>8} {:>14} {:>14} {:>12}\n",
+        "L2", "L2C miss rate", "L2-DRAM MB/s", "DRAM time"
+    ));
+    for mb in [1u64, 2, 4, 8, 16] {
+        let machine = MachineSpec::o2().with_l2_mb(mb);
+        let run = decode_study(&machine, &w, &streams).expect("decode run");
+        out.push_str(&format!(
+            "{:>8} {:>14} {:>14} {:>12}\n",
+            format!("{mb}MB"),
+            format!("{:.2}%", run.metrics.l2_miss_rate * 100.0),
+            format!("{:.1}", run.metrics.l2_dram_mb_s),
+            format!("{:.1}%", run.metrics.dram_time * 100.0),
+        ));
+    }
+    out
+}
+
+fn ablation_prefetch(opts: &Options) -> String {
+    let machine = MachineSpec::o2();
+    let mut out = run_note(opts);
+    out.push_str("## Ablation: software prefetch on/off (encode, PAL, R12K 1MB)\n\n");
+    let w = workload(opts, Resolution::PAL, 0, 1);
+    for (label, prefetch) in [("prefetch ON", true), ("prefetch OFF", false)] {
+        let mut cfg = config(opts);
+        cfg.encoder.software_prefetch = prefetch;
+        let run = encode_study(&machine, &w, &cfg).expect("encode run");
+        let c = &run.metrics.counters;
+        out.push_str(&format!(
+            "{label}: prefetches {} ({:.4}% of loads), of which {:.1}% hit L1 (wasted); L1 miss rate {:.3}%\n",
+            c.prefetches,
+            if c.loads > 0 {
+                c.prefetches as f64 / c.loads as f64 * 100.0
+            } else {
+                0.0
+            },
+            if c.prefetches > 0 {
+                c.prefetch_l1_hits as f64 / c.prefetches as f64 * 100.0
+            } else {
+                0.0
+            },
+            run.metrics.l1_miss_rate * 100.0,
+        ));
+    }
+    out.push_str(
+        "\nAs in the paper: the conservative streaming-loop prefetches are so few\n\
+         and hit L1 so often that they cannot move MPEG-4 performance.\n",
+    );
+    out
+}
+
+fn ablation_4mv(opts: &Options) -> String {
+    let machine = MachineSpec::o2();
+    let mut out = run_note(opts);
+    out.push_str("## Ablation: advanced prediction (4MV) on/off (encode, PAL, 1MB L2)\n\n");
+    let w = workload(opts, Resolution::PAL, 0, 1);
+    let mut cols = Vec::new();
+    for (label, four_mv) in [("1 MV per MB", false), ("4 MVs per MB", true)] {
+        let mut cfg = config(opts);
+        cfg.encoder.four_mv = four_mv;
+        let run = encode_study(&machine, &w, &cfg).expect("encode run");
+        cols.push((label, run.metrics.clone(), run.session.bytes, run.session.totals.candidates));
+    }
+    let table_cols: Vec<(&str, &MemoryMetrics)> = cols.iter().map(|(l, m, _, _)| (*l, m)).collect();
+    out.push_str(&render_table("advanced prediction", &table_cols));
+    out.push('\n');
+    for (l, _, bytes, cand) in &cols {
+        out.push_str(&format!("{l}: {bytes} stream bytes, {cand} search candidates\n"));
+    }
+    out.push_str(
+        "\nThe extra quadrant refinements add search work and references but the\n\
+         access pattern stays window-local: the cache picture is unchanged.\n",
+    );
+    out
+}
+
+fn ablation_resync(opts: &Options) -> String {
+    let machine = MachineSpec::o2();
+    let mut out = run_note(opts);
+    out.push_str("## Ablation: resynchronization markers (encode, PAL, 1MB L2)\n\n");
+    let w = workload(opts, Resolution::PAL, 0, 1);
+    let mut cols = Vec::new();
+    for (label, interval) in [("no markers", None), ("marker per MB row", Some(45usize))] {
+        let mut cfg = config(opts);
+        cfg.encoder.resync_mb_interval = interval;
+        let run = encode_study(&machine, &w, &cfg).expect("encode run");
+        cols.push((label, run.metrics.clone(), run.session.bytes));
+    }
+    let table_cols: Vec<(&str, &MemoryMetrics)> = cols.iter().map(|(l, m, _)| (*l, m)).collect();
+    out.push_str(&render_table("resync markers", &table_cols));
+    out.push('\n');
+    let (b0, b1) = (cols[0].2, cols[1].2);
+    out.push_str(&format!(
+        "bitstream: {b0} -> {b1} bytes (+{:.1}%); cache metrics unchanged —\n\
+         resilience costs bits, not memory behaviour.\n",
+        (b1 as f64 / b0 as f64 - 1.0) * 100.0
+    ));
+    out
+}
+
+fn misses_by_structure(opts: &Options) -> String {
+    let machine = MachineSpec::o2();
+    let cfg = config(opts);
+    let mut out = run_note(opts);
+    out.push_str("## Beyond the paper: which data structures miss? (PAL, R12K 1MB)\n\n");
+    out.push_str(
+        "The SGI counters could only report totals; the simulator can attribute\n\
+         every demand miss to the buffer it lands in.\n\n",
+    );
+    let w = workload(opts, Resolution::PAL, 0, 1);
+    let enc = encode_study(&machine, &w, &cfg).expect("encode run");
+    let streams = prepare_streams(&w, &cfg).expect("stream prep");
+    let dec = decode_study(&machine, &w, &streams).expect("decode run");
+    for (label, run) in [("encoding", &enc), ("decoding", &dec)] {
+        let total: u64 = run.metrics.counters.l1_misses.max(1);
+        out.push_str(&format!("{label}:\n"));
+        for r in &run.region_misses {
+            if r.l1_misses == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {:24} L1 misses {:>10} ({:5.1}%)   L2 misses {:>9}\n",
+                r.tag,
+                r.l1_misses,
+                r.l1_misses as f64 / total as f64 * 100.0,
+                r.l2_misses
+            ));
+        }
+        out.push('\n');
+    }
+    out.push_str(
+        "Reference and input frame stores absorb nearly all misses; the texture\n\
+         pipeline's scratch state is L1-resident, which is the mechanism behind\n\
+         the paper's pipeline-reuse observation.\n",
+    );
+    out
+}
+
+fn memwall(opts: &Options) -> String {
+    use m4ps_core::memwall::{crossover, sweep};
+    let machine = MachineSpec::o2();
+    let cfg = config(opts);
+    let mut out = run_note(opts);
+    out.push_str("## Future work: when does MPEG-4 become memory limited?\n\n");
+    let w = workload(opts, Resolution::PAL, 0, 1);
+    for (label, counters) in [
+        ("encode", encode_study(&machine, &w, &cfg).expect("encode run").metrics.counters),
+        (
+            "decode",
+            {
+                let streams = prepare_streams(&w, &cfg).expect("stream prep");
+                decode_study(&machine, &w, &streams).expect("decode run").metrics.counters
+            },
+        ),
+    ] {
+        let ratios = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+        let pts = sweep(&counters, &machine, &ratios);
+        out.push_str(&format!("{label}: memory-stall share vs processor/memory ratio\n"));
+        for p in &pts {
+            out.push_str(&format!(
+                "  x{:<6.0} DRAM {:5.1}%  L1-miss {:5.1}%  total {:5.1}%\n",
+                p.ratio,
+                p.dram_time * 100.0,
+                p.l1_miss_time * 100.0,
+                p.memory_stall * 100.0
+            ));
+        }
+        match crossover(&pts) {
+            Some(x) => out.push_str(&format!(
+                "  -> memory limited (>=50% stall) from ~{:.0}x today's ratio\n\n",
+                x.ratio
+            )),
+            None => out.push_str("  -> never memory limited in the swept range\n\n"),
+        }
+    }
+    out
+}
+
+fn simd_projection(opts: &Options) -> String {
+    use m4ps_core::simd::project_all;
+    let machine = MachineSpec::o2();
+    let cfg = config(opts);
+    let mut out = run_note(opts);
+    out.push_str("## Future work: fetch rate vs L1 bandwidth under SIMD/vector ISAs (encode, PAL)\n\n");
+    let w = workload(opts, Resolution::PAL, 0, 1);
+    let run = encode_study(&machine, &w, &cfg).expect("encode run");
+    for p in project_all(&run.metrics.counters, &machine) {
+        out.push_str(&format!(
+            "{:32} issue {:>12.0} cycles | L1-bw {:>12.0} cycles | mem stalls {:>11.0} -> limited by {:?}\n",
+            p.scenario.name, p.issue_cycles, p.l1_bandwidth_cycles, p.memory_stall_cycles, p.limiter
+        ));
+    }
+    out.push_str(
+        "\nAs the paper concludes: scalar and subword-SIMD MPEG-4 are fetch/issue\n\
+         bound; only long-vector execution pushes the limit into L1 bandwidth.\n",
+    );
+    out
+}
+
+// Keep the unused METRIC_ROWS import meaningful for future rows.
+#[allow(unused)]
+fn _rows() -> usize {
+    METRIC_ROWS.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Options {
+        Options {
+            frames: 2,
+            search_range: 4,
+            search: m4ps_codec::SearchStrategy::Diamond,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn all_experiments_have_unique_names() {
+        let mut names: Vec<_> = ALL_EXPERIMENTS.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL_EXPERIMENTS.len());
+    }
+
+    #[test]
+    fn unknown_experiment_is_none() {
+        assert!(run_experiment("table99", &tiny()).is_none());
+    }
+
+    #[test]
+    fn table1_prints_all_machines() {
+        let out = run_experiment("table1", &tiny()).unwrap();
+        assert!(out.contains("SGI O2"));
+        assert!(out.contains("SGI Onyx VTX"));
+        assert!(out.contains("SGI Onyx2 InfiniteReality"));
+        assert!(out.contains("680 MB/s sustained"));
+    }
+
+    #[test]
+    fn contrast_runs_at_tiny_scale() {
+        let out = run_experiment("contrast", &tiny()).unwrap();
+        assert!(out.contains("streaming"));
+        assert!(out.contains("bus utilization"));
+    }
+}

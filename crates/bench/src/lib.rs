@@ -1,0 +1,8 @@
+//! Experiment-harness library: shared driver code for the `repro`
+//! binary and the criterion benches.
+
+pub mod cli;
+pub mod experiments;
+
+pub use cli::Options;
+pub use experiments::{run_experiment, Experiment, ALL_EXPERIMENTS};

@@ -1,0 +1,61 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by bitstream reading operations.
+///
+/// Writing never fails (the writer grows its buffer); reading fails when
+/// the stream ends early, a field width is out of range, or an expected
+/// startcode is absent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BitstreamError {
+    /// The reader ran out of bits while `n` more were requested.
+    UnexpectedEnd {
+        /// Number of bits that were requested.
+        requested: u32,
+        /// Number of bits that remained in the stream.
+        remaining: u64,
+    },
+    /// A field width outside `1..=32` was requested.
+    InvalidFieldWidth(u32),
+    /// The next byte-aligned bits did not form the expected startcode.
+    StartCodeMismatch {
+        /// The startcode value that was expected.
+        expected: u32,
+        /// The value actually present in the stream.
+        found: u32,
+    },
+    /// No startcode was found before the end of the stream.
+    StartCodeNotFound,
+    /// A variable-length code did not match any table entry.
+    InvalidVlc {
+        /// Human-readable name of the VLC table being decoded.
+        table: &'static str,
+    },
+}
+
+impl fmt::Display for BitstreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BitstreamError::UnexpectedEnd {
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "unexpected end of bitstream: requested {requested} bits, {remaining} remain"
+            ),
+            BitstreamError::InvalidFieldWidth(n) => {
+                write!(f, "invalid bit-field width {n} (must be 1..=32)")
+            }
+            BitstreamError::StartCodeMismatch { expected, found } => write!(
+                f,
+                "startcode mismatch: expected {expected:#010x}, found {found:#010x}"
+            ),
+            BitstreamError::StartCodeNotFound => write!(f, "no startcode before end of stream"),
+            BitstreamError::InvalidVlc { table } => {
+                write!(f, "invalid variable-length code in table {table}")
+            }
+        }
+    }
+}
+
+impl Error for BitstreamError {}

@@ -1,0 +1,38 @@
+//! Bit-level I/O primitives for the MPEG-4 visual bitstream.
+//!
+//! MPEG-4 (ISO/IEC 14496-2) serializes everything — headers, motion
+//! vectors, DCT coefficients, shape data — as variable-length bit fields
+//! delimited by byte-aligned *startcodes*. This crate provides the
+//! [`BitWriter`] / [`BitReader`] pair used by the codec, plus startcode
+//! emission and scanning.
+//!
+//! # Examples
+//!
+//! ```
+//! use m4ps_bitstream::{BitReader, BitWriter};
+//!
+//! # fn main() -> Result<(), m4ps_bitstream::BitstreamError> {
+//! let mut w = BitWriter::new();
+//! w.put_bits(0b101, 3);
+//! w.put_bits(0xfeed, 16);
+//! let bytes = w.into_bytes();
+//!
+//! let mut r = BitReader::new(&bytes);
+//! assert_eq!(r.get_bits(3)?, 0b101);
+//! assert_eq!(r.get_bits(16)?, 0xfeed);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod reader;
+mod startcode;
+mod writer;
+
+pub use error::BitstreamError;
+pub use reader::BitReader;
+pub use startcode::StartCode;
+pub use writer::BitWriter;
+
+/// Maximum number of bits readable or writable in a single call.
+pub const MAX_FIELD_BITS: u32 = 32;

@@ -1,0 +1,89 @@
+/// Byte-aligned startcodes used by the MPEG-4 visual bitstream
+/// (ISO/IEC 14496-2 §6.2.1, abbreviated to the codes this codec emits).
+///
+/// All startcodes share the 24-bit prefix `0x000001`; the final byte
+/// selects the syntax element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StartCode {
+    /// `video_object_start_code` base (0x00..0x1f select the VO id; we use
+    /// the base and carry the id in the header).
+    VideoObject,
+    /// `video_object_layer_start_code` base (0x20..0x2f).
+    VideoObjectLayer,
+    /// `visual_object_sequence_start_code` (0xb0).
+    VisualObjectSequence,
+    /// `visual_object_sequence_end_code` (0xb1).
+    VisualObjectSequenceEnd,
+    /// `group_of_vop_start_code` (0xb3).
+    GroupOfVop,
+    /// `visual_object_start_code` (0xb5).
+    VisualObject,
+    /// `vop_start_code` (0xb6).
+    VideoObjectPlane,
+}
+
+impl StartCode {
+    /// The full 32-bit startcode value (prefix `0x000001` plus code byte).
+    pub fn value(self) -> u32 {
+        0x0000_0100
+            | u32::from(match self {
+                StartCode::VideoObject => 0x00u8,
+                StartCode::VideoObjectLayer => 0x20,
+                StartCode::VisualObjectSequence => 0xb0,
+                StartCode::VisualObjectSequenceEnd => 0xb1,
+                StartCode::GroupOfVop => 0xb3,
+                StartCode::VisualObject => 0xb5,
+                StartCode::VideoObjectPlane => 0xb6,
+            })
+    }
+
+    /// Maps a full 32-bit value back to a known startcode, if any.
+    pub fn from_value(value: u32) -> Option<StartCode> {
+        if value & 0xffff_ff00 != 0x0000_0100 {
+            return None;
+        }
+        match (value & 0xff) as u8 {
+            0x00 => Some(StartCode::VideoObject),
+            0x20 => Some(StartCode::VideoObjectLayer),
+            0xb0 => Some(StartCode::VisualObjectSequence),
+            0xb1 => Some(StartCode::VisualObjectSequenceEnd),
+            0xb3 => Some(StartCode::GroupOfVop),
+            0xb5 => Some(StartCode::VisualObject),
+            0xb6 => Some(StartCode::VideoObjectPlane),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_have_mpeg_prefix() {
+        for code in [
+            StartCode::VideoObject,
+            StartCode::VideoObjectLayer,
+            StartCode::VisualObjectSequence,
+            StartCode::VisualObjectSequenceEnd,
+            StartCode::GroupOfVop,
+            StartCode::VisualObject,
+            StartCode::VideoObjectPlane,
+        ] {
+            assert_eq!(code.value() & 0xffff_ff00, 0x0000_0100);
+            assert_eq!(StartCode::from_value(code.value()), Some(code));
+        }
+    }
+
+    #[test]
+    fn vop_code_matches_standard() {
+        assert_eq!(StartCode::VideoObjectPlane.value(), 0x0000_01b6);
+        assert_eq!(StartCode::VisualObjectSequence.value(), 0x0000_01b0);
+    }
+
+    #[test]
+    fn unknown_values_rejected() {
+        assert_eq!(StartCode::from_value(0x0000_01b7), None);
+        assert_eq!(StartCode::from_value(0x0100_01b6), None);
+    }
+}

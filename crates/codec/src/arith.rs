@@ -1,0 +1,364 @@
+//! Adaptive binary arithmetic coding for shape (CAE).
+//!
+//! MPEG-4 codes binary alpha blocks with a context-based arithmetic
+//! encoder. This is a classic Witten–Neal–Cleary integer coder with
+//! 32-bit precision and E3 underflow handling, driven by adaptive
+//! per-context probabilities ([`ContextModel`]).
+
+const PRECISION: u32 = 32;
+const HALF: u64 = 1 << (PRECISION - 1);
+const QUARTER: u64 = 1 << (PRECISION - 2);
+const THREE_QUARTER: u64 = HALF + QUARTER;
+const TOP: u64 = (1 << PRECISION) - 1;
+/// Probability scale: p0 is a fraction of 2^16.
+const P_BITS: u32 = 16;
+
+/// Adaptive per-context bit probabilities backed by symbol counts.
+#[derive(Debug, Clone)]
+pub struct ContextModel {
+    zeros: Vec<u32>,
+    ones: Vec<u32>,
+}
+
+impl ContextModel {
+    /// Creates `contexts` independent adaptive models, each starting at
+    /// the uniform distribution.
+    pub fn new(contexts: usize) -> Self {
+        ContextModel {
+            zeros: vec![1; contexts],
+            ones: vec![1; contexts],
+        }
+    }
+
+    /// Number of contexts.
+    pub fn len(&self) -> usize {
+        self.zeros.len()
+    }
+
+    /// `true` when the model has no contexts.
+    pub fn is_empty(&self) -> bool {
+        self.zeros.is_empty()
+    }
+
+    /// Probability of a 0 bit in context `ctx`, as a fraction of 2^16,
+    /// clamped away from certainty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range.
+    pub fn p0(&self, ctx: usize) -> u16 {
+        let z = u64::from(self.zeros[ctx]);
+        let o = u64::from(self.ones[ctx]);
+        let p = (z << P_BITS) / (z + o);
+        p.clamp(1, (1 << P_BITS) - 1) as u16
+    }
+
+    /// Records an observed bit in context `ctx`, rescaling counts to keep
+    /// adaptation responsive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range.
+    pub fn update(&mut self, ctx: usize, bit: bool) {
+        if bit {
+            self.ones[ctx] += 1;
+        } else {
+            self.zeros[ctx] += 1;
+        }
+        if self.zeros[ctx] + self.ones[ctx] > 4096 {
+            self.zeros[ctx] = (self.zeros[ctx] + 1) / 2;
+            self.ones[ctx] = (self.ones[ctx] + 1) / 2;
+        }
+    }
+}
+
+/// Binary arithmetic encoder producing a packed bit vector.
+#[derive(Debug, Clone)]
+pub struct ArithEncoder {
+    low: u64,
+    high: u64,
+    pending: u64,
+    bytes: Vec<u8>,
+    bit_count: u64,
+    partial: u8,
+    partial_len: u32,
+}
+
+impl Default for ArithEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ArithEncoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        ArithEncoder {
+            low: 0,
+            high: TOP,
+            pending: 0,
+            bytes: Vec::new(),
+            bit_count: 0,
+            partial: 0,
+            partial_len: 0,
+        }
+    }
+
+    fn push_bit(&mut self, bit: bool) {
+        self.partial = (self.partial << 1) | u8::from(bit);
+        self.partial_len += 1;
+        self.bit_count += 1;
+        if self.partial_len == 8 {
+            self.bytes.push(self.partial);
+            self.partial = 0;
+            self.partial_len = 0;
+        }
+    }
+
+    fn emit(&mut self, bit: bool) {
+        self.push_bit(bit);
+        while self.pending > 0 {
+            self.push_bit(!bit);
+            self.pending -= 1;
+        }
+    }
+
+    /// Encodes one bit with probability-of-zero `p0` (fraction of 2^16).
+    pub fn encode(&mut self, bit: bool, p0: u16) {
+        debug_assert!(p0 > 0);
+        let range = self.high - self.low + 1;
+        let split = (range * u64::from(p0)) >> P_BITS;
+        let split = split.clamp(1, range - 1);
+        let mid = self.low + split - 1;
+        if bit {
+            self.low = mid + 1;
+        } else {
+            self.high = mid;
+        }
+        loop {
+            if self.high < HALF {
+                self.emit(false);
+            } else if self.low >= HALF {
+                self.emit(true);
+                self.low -= HALF;
+                self.high -= HALF;
+            } else if self.low >= QUARTER && self.high < THREE_QUARTER {
+                self.pending += 1;
+                self.low -= QUARTER;
+                self.high -= QUARTER;
+            } else {
+                break;
+            }
+            self.low <<= 1;
+            self.high = (self.high << 1) | 1;
+        }
+    }
+
+    /// Flushes the coder and returns `(packed_bytes, bit_count)`.
+    pub fn finish(mut self) -> (Vec<u8>, u64) {
+        // Disambiguate the final interval.
+        self.pending += 1;
+        if self.low < QUARTER {
+            self.emit(false);
+        } else {
+            self.emit(true);
+        }
+        if self.partial_len > 0 {
+            let pad = 8 - self.partial_len;
+            self.partial <<= pad;
+            self.bytes.push(self.partial);
+        }
+        (self.bytes, self.bit_count)
+    }
+}
+
+/// Binary arithmetic decoder over a packed bit vector.
+#[derive(Debug, Clone)]
+pub struct ArithDecoder<'a> {
+    bytes: &'a [u8],
+    bit_count: u64,
+    pos: u64,
+    low: u64,
+    high: u64,
+    value: u64,
+}
+
+impl<'a> ArithDecoder<'a> {
+    /// Creates a decoder over `bit_count` bits packed MSB-first in
+    /// `bytes`.
+    pub fn new(bytes: &'a [u8], bit_count: u64) -> Self {
+        let mut d = ArithDecoder {
+            bytes,
+            bit_count,
+            pos: 0,
+            low: 0,
+            high: TOP,
+            value: 0,
+        };
+        for _ in 0..PRECISION {
+            d.value = (d.value << 1) | u64::from(d.next_bit());
+        }
+        d
+    }
+
+    /// Next input bit; zero past the end (standard convention).
+    fn next_bit(&mut self) -> bool {
+        if self.pos >= self.bit_count {
+            self.pos += 1;
+            return false;
+        }
+        let byte = self.bytes[(self.pos / 8) as usize];
+        let bit = (byte >> (7 - (self.pos % 8))) & 1;
+        self.pos += 1;
+        bit != 0
+    }
+
+    /// Decodes one bit with probability-of-zero `p0` (must mirror the
+    /// encoder's sequence of `p0` values exactly).
+    pub fn decode(&mut self, p0: u16) -> bool {
+        let range = self.high - self.low + 1;
+        let split = (range * u64::from(p0)) >> P_BITS;
+        let split = split.clamp(1, range - 1);
+        let mid = self.low + split - 1;
+        let bit = self.value > mid;
+        if bit {
+            self.low = mid + 1;
+        } else {
+            self.high = mid;
+        }
+        loop {
+            if self.high < HALF {
+                // nothing
+            } else if self.low >= HALF {
+                self.low -= HALF;
+                self.high -= HALF;
+                self.value -= HALF;
+            } else if self.low >= QUARTER && self.high < THREE_QUARTER {
+                self.low -= QUARTER;
+                self.high -= QUARTER;
+                self.value -= QUARTER;
+            } else {
+                break;
+            }
+            self.low <<= 1;
+            self.high = (self.high << 1) | 1;
+            self.value = (self.value << 1) | u64::from(self.next_bit());
+        }
+        bit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(bits: &[bool], p0_fn: impl Fn(usize) -> u16) {
+        let mut enc = ArithEncoder::new();
+        for (i, &b) in bits.iter().enumerate() {
+            enc.encode(b, p0_fn(i));
+        }
+        let (bytes, n) = enc.finish();
+        let mut dec = ArithDecoder::new(&bytes, n);
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(dec.decode(p0_fn(i)), b, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn uniform_probability_roundtrip() {
+        let bits: Vec<bool> = (0..500).map(|i| (i * 7 + i * i) % 3 == 0).collect();
+        roundtrip(&bits, |_| 1 << 15);
+    }
+
+    #[test]
+    fn skewed_probability_roundtrip() {
+        let bits: Vec<bool> = (0..500).map(|i| i % 17 == 0).collect();
+        roundtrip(&bits, |_| 60_000); // strongly expect zeros
+    }
+
+    #[test]
+    fn varying_probability_roundtrip() {
+        let bits: Vec<bool> = (0..300).map(|i| i % 2 == 0).collect();
+        roundtrip(&bits, |i| (1 + (i * 997) % 65_400) as u16);
+    }
+
+    #[test]
+    fn extreme_probabilities_roundtrip() {
+        let bits = vec![true, true, false, true, false, false, true];
+        roundtrip(&bits, |i| if i % 2 == 0 { 1 } else { 65_535 });
+    }
+
+    #[test]
+    fn skewed_input_compresses_below_one_bit_per_symbol() {
+        // 1000 bits, ~6% ones, adaptive model: should code well under
+        // 1000 bits.
+        let bits: Vec<bool> = (0..1000).map(|i| i % 16 == 0).collect();
+        let mut model = ContextModel::new(1);
+        let mut enc = ArithEncoder::new();
+        for &b in &bits {
+            enc.encode(b, model.p0(0));
+            model.update(0, b);
+        }
+        let (_, n) = enc.finish();
+        assert!(n < 550, "coded {n} bits for 1000 skewed symbols");
+    }
+
+    #[test]
+    fn adaptive_roundtrip_with_contexts() {
+        // Context = previous bit; strong correlation.
+        let bits: Vec<bool> = (0..800).map(|i| (i / 50) % 2 == 0).collect();
+        let mut enc_model = ContextModel::new(2);
+        let mut enc = ArithEncoder::new();
+        let mut prev = false;
+        for &b in &bits {
+            let ctx = usize::from(prev);
+            enc.encode(b, enc_model.p0(ctx));
+            enc_model.update(ctx, b);
+            prev = b;
+        }
+        let (bytes, n) = enc.finish();
+
+        let mut dec_model = ContextModel::new(2);
+        let mut dec = ArithDecoder::new(&bytes, n);
+        let mut prev = false;
+        for (i, &b) in bits.iter().enumerate() {
+            let ctx = usize::from(prev);
+            let got = dec.decode(dec_model.p0(ctx));
+            dec_model.update(ctx, got);
+            assert_eq!(got, b, "bit {i}");
+            prev = got;
+        }
+    }
+
+    #[test]
+    fn empty_message() {
+        let enc = ArithEncoder::new();
+        let (bytes, n) = enc.finish();
+        assert!(n <= 16);
+        let _ = ArithDecoder::new(&bytes, n); // must not panic
+    }
+
+    #[test]
+    fn context_model_adapts() {
+        let mut m = ContextModel::new(1);
+        let start = m.p0(0);
+        for _ in 0..100 {
+            m.update(0, false);
+        }
+        assert!(m.p0(0) > start);
+        for _ in 0..500 {
+            m.update(0, true);
+        }
+        assert!(m.p0(0) < start);
+    }
+
+    #[test]
+    fn context_counts_rescale_without_breaking_bounds() {
+        let mut m = ContextModel::new(1);
+        for _ in 0..100_000 {
+            m.update(0, true);
+        }
+        let p = m.p0(0);
+        assert!(p >= 1 && p < 1 << 15);
+    }
+}

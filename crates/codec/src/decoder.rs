@@ -1,0 +1,849 @@
+//! The video-object decoder
+//! (`DecodeVopCombMotionShapeTexture` in MoMuSys terms — the function
+//! the paper instruments for its burstiness study).
+
+use crate::encoder::{fill_bbox_ring, fill_grey_mb, predict_mb_4mv, reconstruct_inter_mb, VopStats};
+use crate::error::CodecError;
+use crate::header::{VolHeader, VopHeader};
+use crate::mbops::{chroma_mv, write_block, IntraPredState, MvPredictor, StreamCharge};
+use crate::mc::{average_predictions, motion_compensate_block};
+use crate::plane::{TracedFrame, TracedPlane};
+use crate::shape::{classify_bab, decode_alpha_plane, BabClass};
+use crate::texture::TextureCoder;
+use crate::types::{MacroblockKind, MotionVector, VopKind};
+use crate::vlc::{get_se, get_ue};
+use m4ps_bitstream::{BitReader, BitstreamError, StartCode};
+use m4ps_memsim::{AddressSpace, MemModel};
+
+/// Largest legal motion-vector component in half-pels: the search range
+/// plus half-pel refinement can never leave the [`crate::PAD`]-pixel
+/// border, so anything larger marks a corrupt stream.
+const MV_LIMIT: i32 = 2 * (crate::plane::PAD as i32 - 1);
+
+/// Reconstructs a motion vector from its predictor and decoded
+/// differences, validating the result against the padded surface.
+fn checked_mv(pred: MotionVector, dx: i32, dy: i32) -> Result<MotionVector, CodecError> {
+    let x = i32::from(pred.x) + dx;
+    let y = i32::from(pred.y) + dy;
+    if x.abs() > MV_LIMIT || y.abs() > MV_LIMIT {
+        return Err(CodecError::InvalidStream("motion vector out of range"));
+    }
+    Ok(MotionVector::new(x as i16, y as i16))
+}
+
+/// One decoded VOP, in decode order.
+#[derive(Debug, Clone)]
+pub struct DecodedVop {
+    /// Coding type.
+    pub kind: VopKind,
+    /// Display (temporal) index from the VOP header.
+    pub display_index: usize,
+    /// Quantizer used.
+    pub qp: u8,
+    /// Decode statistics.
+    pub stats: VopStats,
+    /// Raw copies of the reconstruction when requested via
+    /// [`VideoObjectDecoder::set_keep_output`].
+    pub planes: Option<crate::encoder::ReconPlanes>,
+    /// Raw copy of the decoded alpha plane (binary-shape layers, when
+    /// output keeping is on).
+    pub alpha: Option<Vec<u8>>,
+}
+
+/// Decoder for one video object layer.
+#[derive(Debug)]
+pub struct VideoObjectDecoder {
+    vol: VolHeader,
+    mb_cols: usize,
+    mb_rows: usize,
+    anchors: [TracedFrame; 2],
+    latest: usize,
+    anchor_count: usize,
+    b_recon: TracedFrame,
+    alpha: Option<TracedPlane>,
+    texture: TextureCoder,
+    stream_base: u64,
+    stream_bits: u64,
+    keep_output: bool,
+    /// Bounding box of the previous shaped VOP (cleared before each new
+    /// alpha decode) and of the latest one (for the compositor).
+    prev_bbox: Option<(usize, usize, usize, usize)>,
+    /// Accumulated counter deltas over the VOP-decode windows — the
+    /// paper's `DecodeVopCombMotionShapeTexture()` instrumentation.
+    vop_window: m4ps_memsim::Counters,
+}
+
+impl VideoObjectDecoder {
+    /// Creates a decoder by reading the VOL header from the start of the
+    /// stream in `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] when no valid VOL header is present.
+    pub fn from_stream<M: MemModel>(
+        space: &mut AddressSpace,
+        mem: &mut M,
+        r: &mut BitReader<'_>,
+    ) -> Result<Self, CodecError> {
+        let vol = VolHeader::read(r)?;
+        let _ = mem;
+        Self::with_vol(space, vol)
+    }
+
+    /// Creates a decoder for a known VOL header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::InvalidStream`] for non-MB-aligned
+    /// dimensions.
+    pub fn with_vol(space: &mut AddressSpace, vol: VolHeader) -> Result<Self, CodecError> {
+        if vol.width % 16 != 0 || vol.height % 16 != 0 {
+            return Err(CodecError::InvalidStream(
+                "VOL dimensions must be multiples of 16",
+            ));
+        }
+        space.set_tag("dec.reference_frames");
+        let anchors = [
+            TracedFrame::new(space, vol.width, vol.height),
+            TracedFrame::new(space, vol.width, vol.height),
+        ];
+        space.set_tag("dec.b_recon");
+        let b_recon = TracedFrame::new(space, vol.width, vol.height);
+        space.set_tag("dec.alpha");
+        let alpha = vol
+            .binary_shape
+            .then(|| TracedPlane::new(space, vol.width, vol.height));
+        space.set_tag("dec.scratch");
+        let texture = TextureCoder::new(space);
+        space.set_tag("dec.bitstream");
+        let stream_base = space.alloc(16 * 1024 * 1024);
+        space.set_tag("untagged");
+        Ok(VideoObjectDecoder {
+            mb_cols: vol.width / 16,
+            mb_rows: vol.height / 16,
+            anchors,
+            latest: 0,
+            anchor_count: 0,
+            b_recon,
+            alpha,
+            texture,
+            stream_base,
+            stream_bits: 0,
+            keep_output: false,
+            prev_bbox: None,
+            vop_window: m4ps_memsim::Counters::new(),
+            vol,
+        })
+    }
+
+    /// The VOL header of this layer.
+    pub fn vol(&self) -> &VolHeader {
+        &self.vol
+    }
+
+    /// Keep raw plane copies in every [`DecodedVop`] (testing aid; the
+    /// composition stage consumes planes directly otherwise).
+    pub fn set_keep_output(&mut self, keep: bool) {
+        self.keep_output = keep;
+    }
+
+    /// Reconstruction of the most recently decoded VOP.
+    pub fn last_recon(&self) -> &TracedFrame {
+        if self.anchor_count > 0 {
+            &self.anchors[self.latest]
+        } else {
+            &self.b_recon
+        }
+    }
+
+    /// Reconstruction of the most recently decoded anchor.
+    pub fn last_anchor(&self) -> Option<&TracedFrame> {
+        (self.anchor_count > 0).then(|| &self.anchors[self.latest])
+    }
+
+    /// Frame the last VOP was reconstructed into (B → `b_recon`).
+    fn recon_of(&self, kind: VopKind) -> &TracedFrame {
+        if kind.is_anchor() {
+            &self.anchors[self.latest]
+        } else {
+            &self.b_recon
+        }
+    }
+
+    /// Counter deltas accumulated over every VOP-decode window so far —
+    /// the paper's `DecodeVopCombMotionShapeTexture()` instrumentation.
+    pub fn vop_window(&self) -> m4ps_memsim::Counters {
+        self.vop_window
+    }
+
+    /// Decoded alpha plane of the last VOP (binary-shape layers).
+    pub fn last_alpha(&self) -> Option<&TracedPlane> {
+        self.alpha.as_ref()
+    }
+
+    /// Bounding box of the last shaped VOP.
+    pub fn last_bbox(&self) -> Option<(usize, usize, usize, usize)> {
+        self.prev_bbox
+    }
+
+    /// Decodes the next VOP from `r`, or returns `Ok(None)` at end of
+    /// stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on corrupt or truncated input, including a
+    /// B- or P-VOP arriving before its reference anchors.
+    pub fn decode_next<M: MemModel>(
+        &mut self,
+        mem: &mut M,
+        r: &mut BitReader<'_>,
+    ) -> Result<Option<DecodedVop>, CodecError> {
+        self.decode_next_inner(mem, r, None)
+    }
+
+    /// Like [`VideoObjectDecoder::decode_next`], but predicts P-VOPs from
+    /// the external reference `ext` (temporal-scalability enhancement
+    /// layers predict from the base layer).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`VideoObjectDecoder::decode_next`].
+    pub fn decode_next_with_ref<M: MemModel>(
+        &mut self,
+        mem: &mut M,
+        r: &mut BitReader<'_>,
+        ext: &TracedFrame,
+    ) -> Result<Option<DecodedVop>, CodecError> {
+        self.decode_next_inner(mem, r, Some(ext))
+    }
+
+    fn decode_next_inner<M: MemModel>(
+        &mut self,
+        mem: &mut M,
+        r: &mut BitReader<'_>,
+        ext: Option<&TracedFrame>,
+    ) -> Result<Option<DecodedVop>, CodecError> {
+        let header = match r.next_start_code() {
+            Err(BitstreamError::StartCodeNotFound) => return Ok(None),
+            Err(e) => return Err(e.into()),
+            Ok(code) if code == StartCode::VideoObjectPlane.value() => {
+                VopHeader::parse_fields(r)?
+            }
+            Ok(code) if code == StartCode::VideoObjectLayer.value() => {
+                // Tolerate a repeated VOL header mid-stream.
+                let _ = VolHeader::parse_fields(r)?;
+                return self.decode_next_inner(mem, r, ext);
+            }
+            Ok(_) => return Err(CodecError::InvalidStream("unexpected startcode")),
+        };
+
+        let window_start = *mem.counters();
+        if header.kind == VopKind::P && self.anchor_count == 0 && ext.is_none() {
+            return Err(CodecError::InvalidStream("P-VOP before first anchor"));
+        }
+        if header.kind == VopKind::B && self.anchor_count < 2 {
+            return Err(CodecError::InvalidStream("B-VOP before two anchors"));
+        }
+
+        let bit_start = r.bit_pos();
+        let mut charge = StreamCharge::reader(self.stream_base + self.stream_bits / 8);
+
+        // Shape first (DecodeVopCombMotionShapeTexture order).
+        if self.vol.binary_shape {
+            let bbox = header.bbox.ok_or(CodecError::InvalidStream(
+                "shaped VOP without a bounding box",
+            ))?;
+            if bbox.0 + bbox.2 > self.vol.width || bbox.1 + bbox.3 > self.vol.height {
+                return Err(CodecError::InvalidStream("bounding box out of frame"));
+            }
+            let alpha = self
+                .alpha
+                .as_mut()
+                .expect("binary-shape decoder has an alpha plane");
+            if let Some((px, py, pw, ph)) = self.prev_bbox {
+                alpha.clear_region(mem, px, py, pw, ph);
+            }
+            decode_alpha_plane(mem, alpha, bbox, r)?;
+            self.prev_bbox = Some(bbox);
+        } else if header.bbox.is_some() {
+            return Err(CodecError::InvalidStream(
+                "bounding box on a rectangular layer",
+            ));
+        }
+        charge.charge_to(mem, r.bit_pos() - bit_start);
+
+        // Pick references and the reconstruction target.
+        let ext_is_ref = ext.is_some() && header.kind == VopKind::P;
+        let into_anchor = header.kind.is_anchor() && !ext_is_ref;
+        let new_idx = if self.anchor_count == 0 {
+            0
+        } else {
+            1 - self.latest
+        };
+
+        let stats = if header.kind == VopKind::B {
+            let fwd = &self.anchors[1 - self.latest];
+            let bwd = &self.anchors[self.latest];
+            decode_vop_body(
+                mem, r, &header, self.alpha.as_ref(), Some(fwd), Some(bwd),
+                &mut self.b_recon, &mut self.texture, &mut charge, bit_start,
+                self.mb_cols, self.mb_rows,
+            )?
+        } else if ext_is_ref {
+            decode_vop_body(
+                mem, r, &header, self.alpha.as_ref(), ext, None, &mut self.b_recon,
+                &mut self.texture, &mut charge, bit_start, self.mb_cols, self.mb_rows,
+            )?
+        } else {
+            // Anchor decode: target is the non-latest slot; a P-VOP
+            // references the latest slot.
+            let is_p = header.kind == VopKind::P;
+            let (left, right) = self.anchors.split_at_mut(1);
+            let (recon, fwd): (&mut TracedFrame, Option<&TracedFrame>) = if new_idx == 0 {
+                (&mut left[0], is_p.then_some(&right[0] as &TracedFrame))
+            } else {
+                (&mut right[0], is_p.then_some(&left[0] as &TracedFrame))
+            };
+            decode_vop_body(
+                mem, r, &header, self.alpha.as_ref(), fwd, None, recon,
+                &mut self.texture, &mut charge, bit_start, self.mb_cols, self.mb_rows,
+            )?
+        };
+
+        if into_anchor {
+            if !self.vol.binary_shape {
+                let recon = if new_idx == 0 {
+                    &mut self.anchors[0]
+                } else {
+                    &mut self.anchors[1]
+                };
+                recon.pad_borders(mem);
+            }
+            self.latest = new_idx;
+            self.anchor_count = (self.anchor_count + 1).min(2);
+        }
+
+        self.vop_window = self
+            .vop_window
+            .merged_with(&mem.counters().delta_since(&window_start));
+        self.stream_bits += r.bit_pos() - bit_start;
+
+        let target_kind = if ext_is_ref { VopKind::B } else { header.kind };
+        let planes = self.keep_output.then(|| {
+            let f = self.recon_of(target_kind);
+            crate::encoder::ReconPlanes {
+                y: f.y.copy_out(mem),
+                u: f.u.copy_out(mem),
+                v: f.v.copy_out(mem),
+            }
+        });
+        let alpha_copy = if self.keep_output {
+            self.alpha.as_ref().map(|a| a.copy_out(mem))
+        } else {
+            None
+        };
+
+        Ok(Some(DecodedVop {
+            kind: header.kind,
+            display_index: header.display_index as usize,
+            qp: header.qp,
+            stats,
+            planes,
+            alpha: alpha_copy,
+        }))
+    }
+}
+
+/// Decodes the macroblock layer of one VOP (after shape).
+#[allow(clippy::too_many_arguments)]
+fn decode_vop_body<M: MemModel>(
+    mem: &mut M,
+    r: &mut BitReader<'_>,
+    header: &VopHeader,
+    alpha: Option<&TracedPlane>,
+    fwd: Option<&TracedFrame>,
+    bwd: Option<&TracedFrame>,
+    recon: &mut TracedFrame,
+    texture: &mut TextureCoder,
+    charge: &mut StreamCharge,
+    bit_start: u64,
+    mb_cols: usize,
+    mb_rows: usize,
+) -> Result<VopStats, CodecError> {
+    let mut stats = VopStats::default();
+    let qp = header.qp;
+
+    let (mbx_range, mby_range) = match header.bbox {
+        Some((x0, y0, bw, bh)) => {
+            if x0 + bw > mb_cols * 16 || y0 + bh > mb_rows * 16 {
+                return Err(CodecError::InvalidStream("bounding box out of frame"));
+            }
+            (x0 / 16..(x0 + bw) / 16, y0 / 16..(y0 + bh) / 16)
+        }
+        None => (0..mb_cols, 0..mb_rows),
+    };
+
+    let mut fwd_pred = MvPredictor::new(mb_cols);
+    let mut bwd_pred = MvPredictor::new(mb_cols);
+    let total_mbs = mbx_range.len() * mby_range.len();
+    let mut mb_counter = 0usize;
+    // `Some(target)` while concealing up to (but excluding) macroblock
+    // `target`; `usize::MAX` conceals to the end of the VOP.
+    let mut conceal_until: Option<usize> = None;
+
+    for mby in mby_range.clone() {
+        fwd_pred.start_row();
+        bwd_pred.start_row();
+        let mut ips = IntraPredState::reset();
+        for mbx in mbx_range.clone() {
+            // Resynchronization-marker boundary handling.
+            if let Some(interval) = header.resync_interval {
+                if mb_counter > 0 && mb_counter % interval == 0 {
+                    match conceal_until {
+                        None => {
+                            // Clean path: consume the expected marker.
+                            let ok = (|| -> Result<bool, CodecError> {
+                                r.skip_stuffing();
+                                let m = r.get_bits(16)?;
+                                let idx = get_ue(r)? as usize;
+                                let _qp = r.get_bits(5)?;
+                                Ok(m == u32::from(crate::encoder::RESYNC_MARKER)
+                                    && idx == mb_counter)
+                            })()
+                            .unwrap_or(false);
+                            if ok {
+                                fwd_pred.reset();
+                                bwd_pred.reset();
+                                ips = IntraPredState::reset();
+                            } else {
+                                conceal_until =
+                                    Some(scan_to_marker(r, mb_counter, total_mbs, interval));
+                            }
+                        }
+                        Some(target) if mb_counter >= target => {
+                            // Resumption point: the scan already consumed
+                            // the marker header.
+                            conceal_until = None;
+                            fwd_pred.reset();
+                            bwd_pred.reset();
+                            ips = IntraPredState::reset();
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+            let counter = mb_counter;
+            mb_counter += 1;
+
+            let transparent = alpha
+                .map(|a| classify_bab(mem, a, mbx, mby) == BabClass::Transparent)
+                .unwrap_or(false);
+            if transparent {
+                stats.transparent_mbs += 1;
+                fill_grey_mb(mem, recon, mbx, mby);
+                fwd_pred.commit(mbx, MotionVector::ZERO);
+                bwd_pred.commit(mbx, MotionVector::ZERO);
+                ips = IntraPredState::reset();
+                continue;
+            }
+            texture.charge_mb_overhead(mem);
+
+            if conceal_until.is_some() {
+                conceal_mb(mem, fwd, recon, texture, mbx, mby);
+                stats.concealed_mbs += 1;
+                fwd_pred.commit(mbx, MotionVector::ZERO);
+                bwd_pred.commit(mbx, MotionVector::ZERO);
+                ips = IntraPredState::reset();
+                continue;
+            }
+
+            let result = (|| -> Result<(), CodecError> {
+                match header.kind {
+                    VopKind::I => {
+                        decode_intra_mb(mem, r, recon, texture, qp, mbx, mby, &mut ips)?;
+                        stats.intra_mbs += 1;
+                        fwd_pred.commit(mbx, MotionVector::ZERO);
+                    }
+                    VopKind::P => {
+                        let reference =
+                            fwd.ok_or(CodecError::InvalidStream("P-VOP without reference"))?;
+                        decode_p_mb(
+                            mem, r, reference, recon, texture, qp, mbx, mby, &mut ips,
+                            &mut fwd_pred, &mut stats,
+                        )?;
+                    }
+                    VopKind::B => {
+                        let f = fwd.ok_or(CodecError::InvalidStream("B-VOP without fwd ref"))?;
+                        let b = bwd.ok_or(CodecError::InvalidStream("B-VOP without bwd ref"))?;
+                        decode_b_mb(
+                            mem, r, f, b, recon, texture, qp, mbx, mby, &mut fwd_pred,
+                            &mut bwd_pred, &mut stats,
+                        )?;
+                        ips = IntraPredState::reset();
+                    }
+                }
+                Ok(())
+            })();
+            match result {
+                Ok(()) => {}
+                Err(e) => {
+                    let Some(interval) = header.resync_interval else {
+                        return Err(e);
+                    };
+                    // Error resilience: conceal this macroblock and
+                    // everything up to the next valid marker.
+                    conceal_until = Some(scan_to_marker(r, counter, total_mbs, interval));
+                    conceal_mb(mem, fwd, recon, texture, mbx, mby);
+                    stats.concealed_mbs += 1;
+                    fwd_pred.commit(mbx, MotionVector::ZERO);
+                    bwd_pred.commit(mbx, MotionVector::ZERO);
+                    ips = IntraPredState::reset();
+                }
+            }
+            charge.charge_to(mem, r.bit_pos().max(bit_start) - bit_start);
+        }
+    }
+
+    if let Some(bbox) = header.bbox {
+        fill_bbox_ring(mem, recon, bbox, mb_cols, mb_rows);
+    }
+
+    Ok(stats)
+}
+
+/// Scans forward for the next valid resynchronization marker and
+/// returns the macroblock index at which decoding may resume (leaving
+/// the reader positioned after the marker header), or `usize::MAX` when
+/// no further marker exists.
+fn scan_to_marker(
+    r: &mut BitReader<'_>,
+    after: usize,
+    total_mbs: usize,
+    interval: usize,
+) -> usize {
+    loop {
+        if !r.scan_aligned_u16(crate::encoder::RESYNC_MARKER) {
+            return usize::MAX;
+        }
+        let mut probe = r.clone();
+        let parsed = (|| -> Result<usize, CodecError> {
+            let idx = get_ue(&mut probe)? as usize;
+            let _qp = probe.get_bits(5)?;
+            Ok(idx)
+        })();
+        if let Ok(idx) = parsed {
+            if idx > after && idx < total_mbs && idx % interval == 0 {
+                *r = probe;
+                return idx;
+            }
+        }
+        // False positive inside payload: keep scanning after the match.
+    }
+}
+
+/// Conceals one macroblock: zero-motion copy from the forward reference
+/// when one exists, mid-grey otherwise.
+fn conceal_mb<M: MemModel>(
+    mem: &mut M,
+    fwd: Option<&TracedFrame>,
+    recon: &mut TracedFrame,
+    texture: &TextureCoder,
+    mbx: usize,
+    mby: usize,
+) {
+    match fwd {
+        Some(reference) => {
+            let (py, pu, pv) = predict_mb(mem, reference, texture, MotionVector::ZERO, mbx, mby);
+            store_prediction(mem, recon, texture, &py, &pu, &pv, mbx, mby);
+        }
+        None => fill_grey_mb(mem, recon, mbx, mby),
+    }
+}
+
+/// Decodes the six blocks of an intra macroblock.
+#[allow(clippy::too_many_arguments)]
+fn decode_intra_mb<M: MemModel>(
+    mem: &mut M,
+    r: &mut BitReader<'_>,
+    recon: &mut TracedFrame,
+    texture: &mut TextureCoder,
+    qp: u8,
+    mbx: usize,
+    mby: usize,
+    ips: &mut IntraPredState,
+) -> Result<(), CodecError> {
+    let px = (mbx * 16) as isize;
+    let py = (mby * 16) as isize;
+    for blk in 0..4 {
+        let bx = px + ((blk % 2) * 8) as isize;
+        let by = py + ((blk / 2) * 8) as isize;
+        let qb = texture.entropy_decode(mem, true, ips.y, r)?;
+        ips.y = qb.qdc();
+        let rec = texture.reconstruct(mem, &qb, qp);
+        write_block(mem, &mut recon.y, bx, by, &rec);
+    }
+    let cx = (mbx * 8) as isize;
+    let cy = (mby * 8) as isize;
+    for plane_idx in 0..2 {
+        let pred = if plane_idx == 0 { ips.u } else { ips.v };
+        let qb = texture.entropy_decode(mem, true, pred, r)?;
+        if plane_idx == 0 {
+            ips.u = qb.qdc();
+        } else {
+            ips.v = qb.qdc();
+        }
+        let rec = texture.reconstruct(mem, &qb, qp);
+        let dst = if plane_idx == 0 {
+            &mut recon.u
+        } else {
+            &mut recon.v
+        };
+        write_block(mem, dst, cx, cy, &rec);
+    }
+    Ok(())
+}
+
+/// Builds the three prediction buffers for an inter MB.
+fn predict_mb<M: MemModel>(
+    mem: &mut M,
+    reference: &TracedFrame,
+    texture: &TextureCoder,
+    mv: MotionVector,
+    mbx: usize,
+    mby: usize,
+) -> ([u8; 256], [u8; 64], [u8; 64]) {
+    let mut pred_y = [0u8; 256];
+    motion_compensate_block(
+        mem,
+        &reference.y,
+        mv,
+        (mbx * 16) as isize,
+        (mby * 16) as isize,
+        16,
+        16,
+        &mut pred_y,
+    );
+    let cmv = chroma_mv(mv);
+    let mut pred_u = [0u8; 64];
+    let mut pred_v = [0u8; 64];
+    motion_compensate_block(
+        mem,
+        &reference.u,
+        cmv,
+        (mbx * 8) as isize,
+        (mby * 8) as isize,
+        8,
+        8,
+        &mut pred_u,
+    );
+    motion_compensate_block(
+        mem,
+        &reference.v,
+        cmv,
+        (mbx * 8) as isize,
+        (mby * 8) as isize,
+        8,
+        8,
+        &mut pred_v,
+    );
+    texture.charge_pred_store(mem, 384);
+    (pred_y, pred_u, pred_v)
+}
+
+/// Decodes cbp flags and the flagged residual blocks, then reconstructs.
+#[allow(clippy::too_many_arguments)]
+fn decode_inter_residual_and_reconstruct<M: MemModel>(
+    mem: &mut M,
+    r: &mut BitReader<'_>,
+    recon: &mut TracedFrame,
+    texture: &mut TextureCoder,
+    qp: u8,
+    mbx: usize,
+    mby: usize,
+    pred_y: &[u8; 256],
+    pred_u: &[u8; 64],
+    pred_v: &[u8; 64],
+) -> Result<(), CodecError> {
+    let mut cbp = [false; 6];
+    for b in cbp.iter_mut() {
+        *b = r.get_bit().map_err(CodecError::from)?;
+    }
+    let empty = crate::texture::QuantizedBlock {
+        levels: m4ps_dsp::CoefBlock::default(),
+        intra: false,
+    };
+    let mut blocks = vec![empty; 6];
+    for i in 0..6 {
+        if cbp[i] {
+            blocks[i] = texture.entropy_decode(mem, false, 0, r)?;
+        }
+    }
+    reconstruct_inter_mb(
+        mem, recon, &blocks, &cbp, pred_y, pred_u, pred_v, texture, qp, mbx, mby,
+    );
+    Ok(())
+}
+
+/// Decodes one macroblock of a P-VOP.
+#[allow(clippy::too_many_arguments)]
+fn decode_p_mb<M: MemModel>(
+    mem: &mut M,
+    r: &mut BitReader<'_>,
+    reference: &TracedFrame,
+    recon: &mut TracedFrame,
+    texture: &mut TextureCoder,
+    qp: u8,
+    mbx: usize,
+    mby: usize,
+    ips: &mut IntraPredState,
+    mv_pred: &mut MvPredictor,
+    stats: &mut VopStats,
+) -> Result<(), CodecError> {
+    let skipped = r.get_bit().map_err(CodecError::from)?;
+    if skipped {
+        let (pred_y, pred_u, pred_v) = predict_mb(mem, reference, texture, MotionVector::ZERO, mbx, mby);
+        // Zero residue: reconstruction is the prediction itself.
+        store_prediction(mem, recon, texture, &pred_y, &pred_u, &pred_v, mbx, mby);
+        stats.skipped_mbs += 1;
+        mv_pred.commit(mbx, MotionVector::ZERO);
+        *ips = IntraPredState::reset();
+        return Ok(());
+    }
+    let kind = MacroblockKind::from_code(get_ue(r)?)
+        .ok_or(CodecError::InvalidStream("bad macroblock type"))?;
+    match kind {
+        MacroblockKind::Intra => {
+            decode_intra_mb(mem, r, recon, texture, qp, mbx, mby, ips)?;
+            stats.intra_mbs += 1;
+            mv_pred.commit(mbx, MotionVector::ZERO);
+        }
+        MacroblockKind::Inter => {
+            *ips = IntraPredState::reset();
+            let pred = mv_pred.predict(mbx);
+            let dx = get_se(r)?;
+            let dy = get_se(r)?;
+            let mv = checked_mv(pred, dx, dy)?;
+            let (pred_y, pred_u, pred_v) = predict_mb(mem, reference, texture, mv, mbx, mby);
+            decode_inter_residual_and_reconstruct(
+                mem, r, recon, texture, qp, mbx, mby, &pred_y, &pred_u, &pred_v,
+            )?;
+            stats.inter_mbs += 1;
+            mv_pred.commit(mbx, mv);
+        }
+        MacroblockKind::Inter4V => {
+            *ips = IntraPredState::reset();
+            let mut mvs4 = [MotionVector::ZERO; 4];
+            let mut pred = mv_pred.predict(mbx);
+            for mv in mvs4.iter_mut() {
+                let dx = get_se(r)?;
+                let dy = get_se(r)?;
+                *mv = checked_mv(pred, dx, dy)?;
+                pred = *mv;
+            }
+            let (pred_y, pred_u, pred_v) = predict_mb_4mv(mem, reference, texture, &mvs4, mbx, mby);
+            decode_inter_residual_and_reconstruct(
+                mem, r, recon, texture, qp, mbx, mby, &pred_y, &pred_u, &pred_v,
+            )?;
+            stats.inter_mbs += 1;
+            mv_pred.commit(mbx, MotionVector::median3(mvs4[0], mvs4[1], mvs4[2]));
+        }
+        _ => return Err(CodecError::InvalidStream("illegal MB type in P-VOP")),
+    }
+    Ok(())
+}
+
+/// Stores a pure prediction (no residue) into the reconstruction.
+fn store_prediction<M: MemModel>(
+    mem: &mut M,
+    recon: &mut TracedFrame,
+    texture: &TextureCoder,
+    pred_y: &[u8; 256],
+    pred_u: &[u8; 64],
+    pred_v: &[u8; 64],
+    mbx: usize,
+    mby: usize,
+) {
+    texture.charge_pred_load(mem, 384);
+    for blk in 0..4 {
+        let bx = (mbx * 16 + (blk % 2) * 8) as isize;
+        let by = (mby * 16 + (blk / 2) * 8) as isize;
+        let pred = crate::mbops::pred_subblock(pred_y, blk);
+        let mut as_i16 = [0i16; 64];
+        for i in 0..64 {
+            as_i16[i] = i16::from(pred[i]);
+        }
+        write_block(mem, &mut recon.y, bx, by, &as_i16);
+    }
+    let cx = (mbx * 8) as isize;
+    let cy = (mby * 8) as isize;
+    for (src, dst) in [(pred_u, &mut recon.u), (pred_v, &mut recon.v)] {
+        let mut as_i16 = [0i16; 64];
+        for i in 0..64 {
+            as_i16[i] = i16::from(src[i]);
+        }
+        write_block(mem, dst, cx, cy, &as_i16);
+    }
+}
+
+/// Decodes one macroblock of a B-VOP.
+#[allow(clippy::too_many_arguments)]
+fn decode_b_mb<M: MemModel>(
+    mem: &mut M,
+    r: &mut BitReader<'_>,
+    fwd: &TracedFrame,
+    bwd: &TracedFrame,
+    recon: &mut TracedFrame,
+    texture: &mut TextureCoder,
+    qp: u8,
+    mbx: usize,
+    mby: usize,
+    fwd_pred: &mut MvPredictor,
+    bwd_pred: &mut MvPredictor,
+    stats: &mut VopStats,
+) -> Result<(), CodecError> {
+    let kind = MacroblockKind::from_code(get_ue(r)?)
+        .ok_or(CodecError::InvalidStream("bad macroblock type"))?;
+    if !matches!(
+        kind,
+        MacroblockKind::Forward | MacroblockKind::Backward | MacroblockKind::Bidirectional
+    ) {
+        return Err(CodecError::InvalidStream("illegal MB type in B-VOP"));
+    }
+    let mut mvf = MotionVector::ZERO;
+    let mut mvb = MotionVector::ZERO;
+    if kind != MacroblockKind::Backward {
+        let p = fwd_pred.predict(mbx);
+        let dx = get_se(r)?;
+        let dy = get_se(r)?;
+        mvf = checked_mv(p, dx, dy)?;
+    }
+    if kind != MacroblockKind::Forward {
+        let p = bwd_pred.predict(mbx);
+        let dx = get_se(r)?;
+        let dy = get_se(r)?;
+        mvb = checked_mv(p, dx, dy)?;
+    }
+    fwd_pred.commit(mbx, mvf);
+    bwd_pred.commit(mbx, mvb);
+
+    let (pred_y, pred_u, pred_v) = match kind {
+        MacroblockKind::Forward => predict_mb(mem, fwd, texture, mvf, mbx, mby),
+        MacroblockKind::Backward => predict_mb(mem, bwd, texture, mvb, mbx, mby),
+        _ => {
+            let (fy, fu, fv) = predict_mb(mem, fwd, texture, mvf, mbx, mby);
+            let (by_, bu, bv) = predict_mb(mem, bwd, texture, mvb, mbx, mby);
+            let mut y = [0u8; 256];
+            let mut u = [0u8; 64];
+            let mut v = [0u8; 64];
+            average_predictions(&fy, &by_, &mut y);
+            average_predictions(&fu, &bu, &mut u);
+            average_predictions(&fv, &bv, &mut v);
+            (y, u, v)
+        }
+    };
+    decode_inter_residual_and_reconstruct(
+        mem, r, recon, texture, qp, mbx, mby, &pred_y, &pred_u, &pred_v,
+    )?;
+    stats.inter_mbs += 1;
+    Ok(())
+}

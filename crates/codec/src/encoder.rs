@@ -1,0 +1,1317 @@
+//! The video-object encoder: GOP management, VOP reordering, and the
+//! per-VOP coding loop (`vop_code` in MoMuSys terms — the function the
+//! paper instruments for its burstiness study).
+
+use crate::config::EncoderConfig;
+use crate::error::CodecError;
+use crate::header::{VolHeader, VopHeader};
+use crate::mbops::{
+    add_prediction, chroma_mv, pred_subblock, read_block, residual, write_block, IntraPredState,
+    MvPredictor, StreamCharge,
+};
+use crate::mc::{average_predictions, motion_compensate_block};
+use crate::me::MotionSearch;
+use crate::plane::{TracedFrame, TracedPlane};
+use crate::rate::RateController;
+use crate::shape::{classify_bab, encode_alpha_plane, BabClass};
+use crate::texture::TextureCoder;
+use crate::types::{MacroblockKind, MotionVector, VopKind};
+use crate::vlc::{put_se, put_ue};
+use m4ps_bitstream::BitWriter;
+use m4ps_memsim::{AddressSpace, MemModel};
+
+/// A borrowed view of one 4:2:0 input frame.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameView<'a> {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Luma plane (`width × height`).
+    pub y: &'a [u8],
+    /// Cb plane (`width/2 × height/2`).
+    pub u: &'a [u8],
+    /// Cr plane (`width/2 × height/2`).
+    pub v: &'a [u8],
+}
+
+impl<'a> FrameView<'a> {
+    /// Validates plane sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::DimensionMismatch`] when any plane has the
+    /// wrong length.
+    pub fn validate(&self) -> Result<(), CodecError> {
+        let lp = self.width * self.height;
+        let cp = (self.width / 2) * (self.height / 2);
+        if self.y.len() != lp || self.u.len() != cp || self.v.len() != cp {
+            return Err(CodecError::DimensionMismatch {
+                expected: (self.width, self.height),
+                found: (self.y.len() / self.height.max(1), self.height),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-VOP coding statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VopStats {
+    /// Bits produced by this VOP.
+    pub bits: u64,
+    /// Intra-coded macroblocks.
+    pub intra_mbs: u64,
+    /// Inter-coded macroblocks (including B modes).
+    pub inter_mbs: u64,
+    /// Skipped macroblocks.
+    pub skipped_mbs: u64,
+    /// Fully transparent macroblocks (shape-coded VOPs only).
+    pub transparent_mbs: u64,
+    /// Motion-search candidates evaluated.
+    pub candidates: u64,
+    /// Macroblocks concealed after a bitstream error (decoder only).
+    pub concealed_mbs: u64,
+}
+
+/// Raw copies of a reconstructed VOP (testing aid).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconPlanes {
+    /// Luma plane.
+    pub y: Vec<u8>,
+    /// Cb plane.
+    pub u: Vec<u8>,
+    /// Cr plane.
+    pub v: Vec<u8>,
+}
+
+/// One encoded video object plane, in coding (decode) order.
+#[derive(Debug, Clone)]
+pub struct EncodedVop {
+    /// Coding type.
+    pub kind: VopKind,
+    /// Display (temporal) index.
+    pub display_index: usize,
+    /// Quantizer used.
+    pub qp: u8,
+    /// Bitstream payload (startcode-prefixed, byte-aligned).
+    pub bytes: Vec<u8>,
+    /// Coding statistics.
+    pub stats: VopStats,
+    /// Reconstruction copies when the coder was asked to keep them.
+    pub recon: Option<ReconPlanes>,
+}
+
+/// Macroblock-aligned bounding box `(x0, y0, w, h)` in pixels.
+pub(crate) type Bbox = (usize, usize, usize, usize);
+
+/// Queued B-frame awaiting its backward anchor.
+#[derive(Debug)]
+struct BSlot {
+    frame: TracedFrame,
+    alpha: Option<TracedPlane>,
+    bbox: Bbox,
+    display_index: usize,
+}
+
+/// Encoder for one video object layer.
+///
+/// Frames are submitted in display order via
+/// [`VideoObjectCoder::encode_frame`]; encoded VOPs come back in coding
+/// order (anchors before the B-VOPs that reference them), reproducing
+/// the paper's Figure 1 semantics.
+#[derive(Debug)]
+pub struct VideoObjectCoder {
+    config: EncoderConfig,
+    vol: VolHeader,
+    mb_cols: usize,
+    mb_rows: usize,
+    cur: TracedFrame,
+    cur_alpha: Option<TracedPlane>,
+    cur_bbox: Bbox,
+    prev_alpha_bbox: Option<Bbox>,
+    b_slots: Vec<BSlot>,
+    queue_len: usize,
+    anchors: [TracedFrame; 2],
+    prev_anchor: usize,
+    have_anchor: bool,
+    b_recon: TracedFrame,
+    texture: TextureCoder,
+    search: MotionSearch,
+    rate: RateController,
+    next_display: usize,
+    display_scale: usize,
+    display_offset: usize,
+    stream_base: u64,
+    stream_bits: u64,
+    keep_recon: bool,
+    /// Accumulated counter deltas over the `encode_vop` windows — the
+    /// paper's `VopCode()` instrumentation (Table 8).
+    vop_window: m4ps_memsim::Counters,
+}
+
+impl VideoObjectCoder {
+    /// Creates a rectangular-VOP coder for `width × height` frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::InvalidConfig`] for bad configuration or
+    /// non-macroblock-aligned dimensions.
+    pub fn new(
+        space: &mut AddressSpace,
+        width: usize,
+        height: usize,
+        config: EncoderConfig,
+    ) -> Result<Self, CodecError> {
+        Self::with_vol(
+            space,
+            VolHeader {
+                vo_id: 0,
+                vol_id: 0,
+                width,
+                height,
+                binary_shape: false,
+                enhancement: false,
+            },
+            config,
+        )
+    }
+
+    /// Creates a coder with an explicit VOL header (arbitrary shape,
+    /// multi-object and scalability callers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::InvalidConfig`] for bad configuration or
+    /// non-macroblock-aligned dimensions.
+    pub fn with_vol(
+        space: &mut AddressSpace,
+        vol: VolHeader,
+        config: EncoderConfig,
+    ) -> Result<Self, CodecError> {
+        config.validate()?;
+        let (width, height) = (vol.width, vol.height);
+        if width % 16 != 0 || height % 16 != 0 {
+            return Err(CodecError::InvalidConfig(
+                "frame dimensions must be multiples of 16",
+            ));
+        }
+        let alpha_for = |space: &mut AddressSpace| {
+            vol.binary_shape.then(|| TracedPlane::new(space, width, height))
+        };
+        space.set_tag("enc.b_queue");
+        let b_slots = (0..config.gop.b_frames)
+            .map(|_| BSlot {
+                frame: TracedFrame::new(space, width, height),
+                alpha: alpha_for(space),
+                bbox: (0, 0, 0, 0),
+                display_index: 0,
+            })
+            .collect();
+        space.set_tag("enc.input_frame");
+        let cur = TracedFrame::new(space, width, height);
+        space.set_tag("enc.alpha");
+        let cur_alpha = alpha_for(space);
+        space.set_tag("enc.reference_frames");
+        let anchors = [
+            TracedFrame::new(space, width, height),
+            TracedFrame::new(space, width, height),
+        ];
+        space.set_tag("enc.b_recon");
+        let b_recon = TracedFrame::new(space, width, height);
+        space.set_tag("enc.scratch");
+        Ok(VideoObjectCoder {
+            vol,
+            mb_cols: width / 16,
+            mb_rows: height / 16,
+            cur,
+            cur_alpha,
+            cur_bbox: (0, 0, 0, 0),
+            prev_alpha_bbox: None,
+            b_slots,
+            queue_len: 0,
+            anchors,
+            prev_anchor: 0,
+            have_anchor: false,
+            b_recon,
+            texture: TextureCoder::new(space),
+            search: MotionSearch::new(config.search, config.search_range, config.half_pel),
+            rate: RateController::new(config.initial_qp, config.bitrate, config.frame_rate),
+            next_display: 0,
+            display_scale: 1,
+            display_offset: 0,
+            stream_base: {
+                space.set_tag("enc.bitstream");
+                let base = space.alloc(16 * 1024 * 1024);
+                space.set_tag("untagged");
+                base
+            },
+            stream_bits: 0,
+            keep_recon: false,
+            vop_window: m4ps_memsim::Counters::new(),
+            config,
+        })
+    }
+
+    /// The VOL header describing this layer.
+    pub fn vol(&self) -> &VolHeader {
+        &self.vol
+    }
+
+    /// Serialized VOL header (place once at the start of the stream).
+    pub fn header_bytes(&self) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        self.vol.write(&mut w);
+        w.into_bytes()
+    }
+
+    /// Keep raw reconstruction copies in every [`EncodedVop`] (testing).
+    pub fn set_keep_recon(&mut self, keep: bool) {
+        self.keep_recon = keep;
+    }
+
+    /// Maps internal frame numbering to stream display indices as
+    /// `offset + scale * n`. Temporal-scalability sessions use this so
+    /// the base layer labels frames 0, 2, 4, … and the enhancement
+    /// layer 1, 3, 5, … while each coder still sees a dense sequence.
+    pub fn set_display_mapping(&mut self, scale: usize, offset: usize) {
+        assert!(scale >= 1);
+        self.display_scale = scale;
+        self.display_offset = offset;
+    }
+
+    /// Counter deltas accumulated over every `encode_vop` window so far
+    /// — the paper's `VopCode()` burstiness instrumentation.
+    pub fn vop_window(&self) -> m4ps_memsim::Counters {
+        self.vop_window
+    }
+
+    /// Reconstruction of the most recent anchor (reference for temporal
+    /// enhancement layers).
+    pub fn last_anchor(&self) -> Option<&TracedFrame> {
+        self.have_anchor.then(|| &self.anchors[self.prev_anchor])
+    }
+
+    /// Coding type of display index `idx` under the configured GOP.
+    fn kind_for(&self, idx: usize) -> VopKind {
+        if idx % self.config.gop.intra_period == 0 {
+            VopKind::I
+        } else if idx % (self.config.gop.b_frames + 1) == 0 {
+            VopKind::P
+        } else {
+            VopKind::B
+        }
+    }
+
+    /// Submits the next display-order frame. Returns the VOPs that became
+    /// encodable (possibly none while B-frames queue up).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::DimensionMismatch`] for wrong plane sizes
+    /// and [`CodecError::InvalidConfig`] when a shape layer is not given
+    /// an alpha mask (or vice versa).
+    pub fn encode_frame<M: MemModel>(
+        &mut self,
+        mem: &mut M,
+        frame: &FrameView<'_>,
+        alpha: Option<&[u8]>,
+    ) -> Result<Vec<EncodedVop>, CodecError> {
+        frame.validate()?;
+        if (frame.width, frame.height) != (self.vol.width, self.vol.height) {
+            return Err(CodecError::DimensionMismatch {
+                expected: (self.vol.width, self.vol.height),
+                found: (frame.width, frame.height),
+            });
+        }
+        if self.vol.binary_shape != alpha.is_some() {
+            return Err(CodecError::InvalidConfig(
+                "alpha mask must be supplied exactly for binary-shape layers",
+            ));
+        }
+        let idx = self.next_display;
+        self.next_display += 1;
+        let kind = self.kind_for(idx);
+        let idx = self.display_offset + self.display_scale * idx;
+
+        if kind == VopKind::B && self.have_anchor && self.queue_len < self.b_slots.len() {
+            let slot = &mut self.b_slots[self.queue_len];
+            if let Some(mask) = alpha {
+                let bbox = mask_bbox(mask, self.vol.width, self.vol.height);
+                slot.frame
+                    .copy_region_from_yuv(mem, frame.y, frame.u, frame.v, bbox);
+            } else {
+                slot.frame
+                    .copy_from_yuv(mem, frame.y, frame.u, frame.v, self.config.software_prefetch);
+            }
+            if let (Some(plane), Some(mask)) = (slot.alpha.as_mut(), alpha) {
+                let bbox = mask_bbox(mask, plane.width(), plane.height());
+                // Clear the slot's previous object region, then load the
+                // new VOP-sized alpha region (as the reference codec
+                // loads per-VOP segmentation buffers).
+                let (px, py, pw, ph) = slot.bbox;
+                if pw > 0 {
+                    plane.clear_region(mem, px, py, pw, ph);
+                }
+                plane.copy_region_from(mem, mask, bbox);
+                slot.bbox = bbox;
+            }
+            slot.display_index = idx;
+            self.queue_len += 1;
+            return Ok(Vec::new());
+        }
+
+        // Anchor path (also handles a B that could not queue: encode as P).
+        let kind = if kind == VopKind::B { VopKind::P } else { kind };
+        if let Some(mask) = alpha {
+            // Shaped objects load only their VOP-sized region.
+            let bbox = mask_bbox(mask, self.vol.width, self.vol.height);
+            self.cur
+                .copy_region_from_yuv(mem, frame.y, frame.u, frame.v, bbox);
+        } else {
+            self.cur
+                .copy_from_yuv(mem, frame.y, frame.u, frame.v, self.config.software_prefetch);
+        }
+        if let (Some(plane), Some(mask)) = (self.cur_alpha.as_mut(), alpha) {
+            let bbox = mask_bbox(mask, plane.width(), plane.height());
+            if let Some((px, py, pw, ph)) = self.prev_alpha_bbox {
+                plane.clear_region(mem, px, py, pw, ph);
+            }
+            plane.copy_region_from(mem, mask, bbox);
+            self.prev_alpha_bbox = Some(bbox);
+            self.cur_bbox = bbox;
+        }
+        let mut out = Vec::new();
+        out.push(self.encode_anchor_from_cur(mem, kind, idx));
+        out.extend(self.drain_b_queue(mem));
+        Ok(out)
+    }
+
+    /// Encodes the frame currently in `self.cur` as an anchor.
+    fn encode_anchor_from_cur<M: MemModel>(
+        &mut self,
+        mem: &mut M,
+        kind: VopKind,
+        display_index: usize,
+    ) -> EncodedVop {
+        let kind = if self.have_anchor { kind } else { VopKind::I };
+        let qp = self.rate.qp_for(kind);
+        let new_idx = if self.have_anchor {
+            1 - self.prev_anchor
+        } else {
+            0
+        };
+        let header = VopHeader {
+            kind,
+            display_index: display_index as u32,
+            qp,
+            bbox: None, // filled inside encode_vop for shape layers
+            resync_interval: self.config.resync_mb_interval,
+        };
+        let window_start = *mem.counters();
+        let (left, right) = self.anchors.split_at_mut(1);
+        let (fwd, recon): (Option<&TracedFrame>, &mut TracedFrame) = if new_idx == 0 {
+            (
+                (kind != VopKind::I && self.have_anchor).then_some(&right[0]),
+                &mut left[0],
+            )
+        } else {
+            (
+                (kind != VopKind::I && self.have_anchor).then_some(&left[0]),
+                &mut right[0],
+            )
+        };
+        let (bytes, stats) = encode_vop(
+            mem,
+            header,
+            &self.cur,
+            self.cur_alpha.as_ref().map(|a| (a, self.cur_bbox)),
+            fwd,
+            None,
+            recon,
+            &mut self.texture,
+            &self.search,
+            self.stream_base + self.stream_bits / 8,
+            self.mb_cols,
+            self.mb_rows,
+            self.config.four_mv,
+        );
+        if !self.vol.binary_shape {
+            // Rectangular VOPs pad the whole reference frame; shaped
+            // VOPs are padded VOP-locally (the grey ring around the
+            // bounding box), as the reference codec pads VOP buffers.
+            recon.pad_borders(mem);
+        }
+        self.vop_window = self
+            .vop_window
+            .merged_with(&mem.counters().delta_since(&window_start));
+        let recon_copy = self.keep_recon.then(|| ReconPlanes {
+            y: recon.y.copy_out(mem),
+            u: recon.u.copy_out(mem),
+            v: recon.v.copy_out(mem),
+        });
+        self.stream_bits += stats.bits;
+        self.rate.update(kind, stats.bits);
+        self.prev_anchor = new_idx;
+        self.have_anchor = true;
+        EncodedVop {
+            kind,
+            display_index,
+            qp,
+            bytes,
+            stats,
+            recon: recon_copy,
+        }
+    }
+
+    /// Encodes every queued B-frame against the two live anchors.
+    fn drain_b_queue<M: MemModel>(&mut self, mem: &mut M) -> Vec<EncodedVop> {
+        let mut out = Vec::new();
+        for q in 0..self.queue_len {
+            let qp = self.rate.qp_for(VopKind::B);
+            let slot = &self.b_slots[q];
+            let header = VopHeader {
+                kind: VopKind::B,
+                display_index: slot.display_index as u32,
+                qp,
+                bbox: None,
+                resync_interval: self.config.resync_mb_interval,
+            };
+            let window_start = *mem.counters();
+            // Forward ref is the *older* anchor, backward the newer.
+            let older = 1 - self.prev_anchor;
+            let (left, right) = self.anchors.split_at_mut(1);
+            let (fwd, bwd) = if older == 0 {
+                (&left[0], &right[0])
+            } else {
+                (&right[0], &left[0])
+            };
+            let (bytes, stats) = encode_vop(
+                mem,
+                header,
+                &slot.frame,
+                slot.alpha.as_ref().map(|a| (a, slot.bbox)),
+                Some(fwd),
+                Some(bwd),
+                &mut self.b_recon,
+                &mut self.texture,
+                &self.search,
+                self.stream_base + self.stream_bits / 8,
+                self.mb_cols,
+                self.mb_rows,
+                self.config.four_mv,
+            );
+            self.vop_window = self
+                .vop_window
+                .merged_with(&mem.counters().delta_since(&window_start));
+            let recon_copy = self.keep_recon.then(|| ReconPlanes {
+                y: self.b_recon.y.copy_out(mem),
+                u: self.b_recon.u.copy_out(mem),
+                v: self.b_recon.v.copy_out(mem),
+            });
+            self.stream_bits += stats.bits;
+            self.rate.update(VopKind::B, stats.bits);
+            out.push(EncodedVop {
+                kind: VopKind::B,
+                display_index: slot.display_index,
+                qp,
+                bytes,
+                stats,
+                recon: recon_copy,
+            });
+        }
+        self.queue_len = 0;
+        out
+    }
+
+    /// Encodes any still-queued B-frames as trailing P-VOPs and ends the
+    /// stream. Call once after the last [`VideoObjectCoder::encode_frame`].
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; the `Result` reserves room for bitstream
+    /// finalization errors.
+    pub fn flush<M: MemModel>(&mut self, mem: &mut M) -> Result<Vec<EncodedVop>, CodecError> {
+        let mut out = Vec::new();
+        for q in 0..self.queue_len {
+            // Move the queued frame into `cur` by swapping buffers.
+            std::mem::swap(&mut self.cur, &mut self.b_slots[q].frame);
+            if self.vol.binary_shape {
+                std::mem::swap(&mut self.cur_alpha, &mut self.b_slots[q].alpha);
+                self.cur_bbox = self.b_slots[q].bbox;
+            }
+            let idx = self.b_slots[q].display_index;
+            out.push(self.encode_anchor_from_cur(mem, VopKind::P, idx));
+        }
+        self.queue_len = 0;
+        Ok(out)
+    }
+
+    /// Encodes one frame as a P-VOP predicted from an external reference
+    /// (the temporal-scalability enhancement path: `ext` is the base
+    /// layer's latest anchor reconstruction).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`VideoObjectCoder::encode_frame`].
+    pub fn encode_p_with_ref<M: MemModel>(
+        &mut self,
+        mem: &mut M,
+        frame: &FrameView<'_>,
+        alpha: Option<&[u8]>,
+        ext: &TracedFrame,
+    ) -> Result<EncodedVop, CodecError> {
+        frame.validate()?;
+        if self.vol.binary_shape != alpha.is_some() {
+            return Err(CodecError::InvalidConfig(
+                "alpha mask must be supplied exactly for binary-shape layers",
+            ));
+        }
+        let idx = self.next_display;
+        self.next_display += 1;
+        let idx = self.display_offset + self.display_scale * idx;
+        if let Some(mask) = alpha {
+            let bbox = mask_bbox(mask, self.vol.width, self.vol.height);
+            self.cur
+                .copy_region_from_yuv(mem, frame.y, frame.u, frame.v, bbox);
+        } else {
+            self.cur
+                .copy_from_yuv(mem, frame.y, frame.u, frame.v, self.config.software_prefetch);
+        }
+        if let (Some(plane), Some(mask)) = (self.cur_alpha.as_mut(), alpha) {
+            let bbox = mask_bbox(mask, plane.width(), plane.height());
+            if let Some((px, py, pw, ph)) = self.prev_alpha_bbox {
+                plane.clear_region(mem, px, py, pw, ph);
+            }
+            plane.copy_region_from(mem, mask, bbox);
+            self.prev_alpha_bbox = Some(bbox);
+            self.cur_bbox = bbox;
+        }
+        let qp = self.rate.qp_for(VopKind::P);
+        let header = VopHeader {
+            kind: VopKind::P,
+            display_index: idx as u32,
+            qp,
+            bbox: None,
+            resync_interval: self.config.resync_mb_interval,
+        };
+        let window_start = *mem.counters();
+        let (bytes, stats) = encode_vop(
+            mem,
+            header,
+            &self.cur,
+            self.cur_alpha.as_ref().map(|a| (a, self.cur_bbox)),
+            Some(ext),
+            None,
+            &mut self.b_recon,
+            &mut self.texture,
+            &self.search,
+            self.stream_base + self.stream_bits / 8,
+            self.mb_cols,
+            self.mb_rows,
+            self.config.four_mv,
+        );
+        self.vop_window = self
+            .vop_window
+            .merged_with(&mem.counters().delta_since(&window_start));
+        let recon_copy = self.keep_recon.then(|| ReconPlanes {
+            y: self.b_recon.y.copy_out(mem),
+            u: self.b_recon.u.copy_out(mem),
+            v: self.b_recon.v.copy_out(mem),
+        });
+        self.stream_bits += stats.bits;
+        self.rate.update(VopKind::P, stats.bits);
+        Ok(EncodedVop {
+            kind: VopKind::P,
+            display_index: idx,
+            qp,
+            bytes,
+            stats,
+            recon: recon_copy,
+        })
+    }
+}
+
+/// Intra/inter decision bias (H.263 Annex: intra when block deviation is
+/// clearly below the best SAD).
+const INTRA_BIAS: u32 = 512;
+
+/// Byte-aligned resynchronization-marker word.
+pub(crate) const RESYNC_MARKER: u16 = 0x5a3c;
+
+/// Macroblock-aligned bounding box of a raw segmentation mask. This is
+/// *untraced*: the reference codec reads each VOP's geometry from its
+/// pre-segmented input file header, so the box is workload metadata, not
+/// codec memory traffic.
+pub(crate) fn mask_bbox(mask: &[u8], width: usize, height: usize) -> Bbox {
+    let (mut x0, mut y0, mut x1, mut y1) = (width, height, 0usize, 0usize);
+    for y in 0..height {
+        for x in 0..width {
+            if mask[y * width + x] != 0 {
+                x0 = x0.min(x);
+                y0 = y0.min(y);
+                x1 = x1.max(x + 1);
+                y1 = y1.max(y + 1);
+            }
+        }
+    }
+    if x0 >= x1 {
+        return (0, 0, 16, 16); // empty mask: one transparent BAB
+    }
+    let ax0 = x0 / 16 * 16;
+    let ay0 = y0 / 16 * 16;
+    let ax1 = (x1 + 15) / 16 * 16;
+    let ay1 = (y1 + 15) / 16 * 16;
+    (ax0, ay0, ax1.min(width) - ax0, ay1.min(height) - ay0)
+}
+
+/// Fills one macroblock of `recon` with mid-grey (deterministic extended
+/// padding — keeps encoder and decoder references bit-identical around
+/// and inside transparent regions).
+pub(crate) fn fill_grey_mb<M: MemModel>(mem: &mut M, recon: &mut TracedFrame, mbx: usize, mby: usize) {
+    let grey16 = [128u8; 16];
+    for r in 0..16 {
+        recon
+            .y
+            .store_row(mem, (mbx * 16) as isize, (mby * 16 + r) as isize, &grey16);
+    }
+    let grey8 = [128u8; 8];
+    for r in 0..8 {
+        recon
+            .u
+            .store_row(mem, (mbx * 8) as isize, (mby * 8 + r) as isize, &grey8);
+        recon
+            .v
+            .store_row(mem, (mbx * 8) as isize, (mby * 8 + r) as isize, &grey8);
+    }
+}
+
+/// Extends grey fill to a ring of macroblocks around the bounding box so
+/// motion search windows that spill past the box read deterministic data.
+pub(crate) fn fill_bbox_ring<M: MemModel>(
+    mem: &mut M,
+    recon: &mut TracedFrame,
+    bbox: (usize, usize, usize, usize),
+    mb_cols: usize,
+    mb_rows: usize,
+) {
+    const RING_MBS: usize = 2;
+    let (bx0, by0, bw, bh) = bbox;
+    let mbx0 = (bx0 / 16).saturating_sub(RING_MBS);
+    let mby0 = (by0 / 16).saturating_sub(RING_MBS);
+    let mbx1 = ((bx0 + bw) / 16 + RING_MBS).min(mb_cols);
+    let mby1 = ((by0 + bh) / 16 + RING_MBS).min(mb_rows);
+    for mby in mby0..mby1 {
+        for mbx in mbx0..mbx1 {
+            let inside = mbx * 16 >= bx0
+                && mbx * 16 < bx0 + bw
+                && mby * 16 >= by0
+                && mby * 16 < by0 + bh;
+            if !inside {
+                fill_grey_mb(mem, recon, mbx, mby);
+            }
+        }
+    }
+}
+
+/// Encodes one VOP. Returns the byte payload and statistics.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn encode_vop<M: MemModel>(
+    mem: &mut M,
+    mut header: VopHeader,
+    cur: &TracedFrame,
+    alpha: Option<(&TracedPlane, Bbox)>,
+    fwd: Option<&TracedFrame>,
+    bwd: Option<&TracedFrame>,
+    recon: &mut TracedFrame,
+    texture: &mut TextureCoder,
+    search: &MotionSearch,
+    stream_base: u64,
+    mb_cols: usize,
+    mb_rows: usize,
+    four_mv: bool,
+) -> (Vec<u8>, VopStats) {
+    let mut stats = VopStats::default();
+    let mut w = BitWriter::new();
+    let mut charge = StreamCharge::writer(stream_base);
+    let qp = header.qp;
+
+    let bbox = alpha.map(|(_, b)| b);
+    header.bbox = bbox;
+    header.write(&mut w);
+    if let Some((a, b)) = alpha {
+        encode_alpha_plane(mem, a, b, &mut w);
+    }
+    charge.charge_to(mem, w.bit_len());
+
+    let (mbx_range, mby_range) = match bbox {
+        Some((x0, y0, bw, bh)) => (x0 / 16..(x0 + bw) / 16, y0 / 16..(y0 + bh) / 16),
+        None => (0..mb_cols, 0..mb_rows),
+    };
+
+    let mut fwd_pred = MvPredictor::new(mb_cols);
+    let mut bwd_pred = MvPredictor::new(mb_cols);
+    let mut mb_counter = 0usize;
+
+    for mby in mby_range.clone() {
+        fwd_pred.start_row();
+        bwd_pred.start_row();
+        let mut ips = IntraPredState::reset();
+        for mbx in mbx_range.clone() {
+            if let Some(interval) = header.resync_interval {
+                if mb_counter > 0 && mb_counter % interval == 0 {
+                    // Resynchronization point: byte-aligned marker, the
+                    // macroblock index, the quantizer, and a full
+                    // prediction reset (no prediction crosses a marker).
+                    w.stuff_to_alignment();
+                    w.put_bits(u32::from(RESYNC_MARKER), 16);
+                    put_ue(&mut w, mb_counter as u32);
+                    w.put_bits(u32::from(qp), 5);
+                    fwd_pred.reset();
+                    bwd_pred.reset();
+                    ips = IntraPredState::reset();
+                }
+            }
+            mb_counter += 1;
+            let transparent = alpha
+                .map(|(a, _)| classify_bab(mem, a, mbx, mby) == BabClass::Transparent)
+                .unwrap_or(false);
+            if transparent {
+                stats.transparent_mbs += 1;
+                fill_grey_mb(mem, recon, mbx, mby);
+                fwd_pred.commit(mbx, MotionVector::ZERO);
+                bwd_pred.commit(mbx, MotionVector::ZERO);
+                ips = IntraPredState::reset();
+                continue;
+            }
+            texture.charge_mb_overhead(mem);
+            match header.kind {
+                VopKind::I => {
+                    encode_intra_mb(mem, cur, recon, texture, qp, mbx, mby, &mut ips, &mut w);
+                    stats.intra_mbs += 1;
+                    fwd_pred.commit(mbx, MotionVector::ZERO);
+                }
+                VopKind::P => {
+                    let reference = fwd.expect("P-VOP requires a forward reference");
+                    encode_p_mb(
+                        mem, cur, reference, recon, texture, search, qp, mbx, mby, &mut ips,
+                        &mut fwd_pred, &mut w, &mut stats, four_mv,
+                    );
+                }
+                VopKind::B => {
+                    let f = fwd.expect("B-VOP requires a forward reference");
+                    let b = bwd.expect("B-VOP requires a backward reference");
+                    encode_b_mb(
+                        mem, cur, f, b, recon, texture, search, qp, mbx, mby, &mut fwd_pred,
+                        &mut bwd_pred, &mut w, &mut stats,
+                    );
+                    ips = IntraPredState::reset();
+                }
+            }
+            charge.charge_to(mem, w.bit_len());
+        }
+    }
+
+    if let Some(bbox) = bbox {
+        fill_bbox_ring(mem, recon, bbox, mb_cols, mb_rows);
+    }
+
+    w.stuff_to_alignment();
+    charge.charge_to(mem, w.bit_len());
+    stats.bits = w.bit_len();
+    (w.into_bytes(), stats)
+}
+
+/// Encodes the six blocks of an intra macroblock.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn encode_intra_mb<M: MemModel>(
+    mem: &mut M,
+    cur: &TracedFrame,
+    recon: &mut TracedFrame,
+    texture: &mut TextureCoder,
+    qp: u8,
+    mbx: usize,
+    mby: usize,
+    ips: &mut IntraPredState,
+    w: &mut BitWriter,
+) {
+    let px = (mbx * 16) as isize;
+    let py = (mby * 16) as isize;
+    for blk in 0..4 {
+        let bx = px + ((blk % 2) * 8) as isize;
+        let by = py + ((blk / 2) * 8) as isize;
+        let samples = read_block(mem, &cur.y, bx, by);
+        let qb = texture.transform_quant(mem, &samples, true, qp);
+        texture.entropy_encode(mem, &qb, ips.y, w);
+        ips.y = qb.qdc();
+        let rec = texture.reconstruct(mem, &qb, qp);
+        write_block(mem, &mut recon.y, bx, by, &rec);
+    }
+    let cx = (mbx * 8) as isize;
+    let cy = (mby * 8) as isize;
+    for (plane_idx, (src, dst)) in [(&cur.u, &mut recon.u), (&cur.v, &mut recon.v)]
+        .into_iter()
+        .enumerate()
+    {
+        let samples = read_block(mem, src, cx, cy);
+        let qb = texture.transform_quant(mem, &samples, true, qp);
+        let pred = if plane_idx == 0 { ips.u } else { ips.v };
+        texture.entropy_encode(mem, &qb, pred, w);
+        if plane_idx == 0 {
+            ips.u = qb.qdc();
+        } else {
+            ips.v = qb.qdc();
+        }
+        let rec = texture.reconstruct(mem, &qb, qp);
+        write_block(mem, dst, cx, cy, &rec);
+    }
+}
+
+/// Motion-compensates the full macroblock (luma 16×16 + both chroma 8×8)
+/// from `reference` and returns the three prediction buffers.
+fn predict_mb<M: MemModel>(
+    mem: &mut M,
+    reference: &TracedFrame,
+    texture: &TextureCoder,
+    mv: MotionVector,
+    mbx: usize,
+    mby: usize,
+) -> ([u8; 256], [u8; 64], [u8; 64]) {
+    let mut pred_y = [0u8; 256];
+    motion_compensate_block(
+        mem,
+        &reference.y,
+        mv,
+        (mbx * 16) as isize,
+        (mby * 16) as isize,
+        16,
+        16,
+        &mut pred_y,
+    );
+    let cmv = chroma_mv(mv);
+    let mut pred_u = [0u8; 64];
+    let mut pred_v = [0u8; 64];
+    motion_compensate_block(
+        mem,
+        &reference.u,
+        cmv,
+        (mbx * 8) as isize,
+        (mby * 8) as isize,
+        8,
+        8,
+        &mut pred_u,
+    );
+    motion_compensate_block(
+        mem,
+        &reference.v,
+        cmv,
+        (mbx * 8) as isize,
+        (mby * 8) as isize,
+        8,
+        8,
+        &mut pred_v,
+    );
+    texture.charge_pred_store(mem, 384);
+    (pred_y, pred_u, pred_v)
+}
+
+/// Builds the prediction buffers for a four-vector (advanced
+/// prediction) macroblock: each luma quadrant is compensated with its
+/// own vector; chroma uses the truncated average of the four.
+pub(crate) fn predict_mb_4mv<M: MemModel>(
+    mem: &mut M,
+    reference: &TracedFrame,
+    texture: &TextureCoder,
+    mvs: &[MotionVector; 4],
+    mbx: usize,
+    mby: usize,
+) -> ([u8; 256], [u8; 64], [u8; 64]) {
+    let mut pred_y = [0u8; 256];
+    for (blk, mv) in mvs.iter().enumerate() {
+        let bx = (mbx * 16 + (blk % 2) * 8) as isize;
+        let by = (mby * 16 + (blk / 2) * 8) as isize;
+        let mut quad = [0u8; 64];
+        motion_compensate_block(mem, &reference.y, *mv, bx, by, 8, 8, &mut quad);
+        let (qx, qy) = ((blk % 2) * 8, (blk / 2) * 8);
+        for r in 0..8 {
+            for c in 0..8 {
+                pred_y[(qy + r) * 16 + qx + c] = quad[r * 8 + c];
+            }
+        }
+    }
+    let sum_x: i32 = mvs.iter().map(|v| i32::from(v.x)).sum();
+    let sum_y: i32 = mvs.iter().map(|v| i32::from(v.y)).sum();
+    let avg = MotionVector::new((sum_x / 4) as i16, (sum_y / 4) as i16);
+    let cmv = chroma_mv(avg);
+    let mut pred_u = [0u8; 64];
+    let mut pred_v = [0u8; 64];
+    motion_compensate_block(
+        mem,
+        &reference.u,
+        cmv,
+        (mbx * 8) as isize,
+        (mby * 8) as isize,
+        8,
+        8,
+        &mut pred_u,
+    );
+    motion_compensate_block(
+        mem,
+        &reference.v,
+        cmv,
+        (mbx * 8) as isize,
+        (mby * 8) as isize,
+        8,
+        8,
+        &mut pred_v,
+    );
+    texture.charge_pred_store(mem, 384);
+    (pred_y, pred_u, pred_v)
+}
+
+/// Quantizes the six residual blocks of an inter MB against the given
+/// prediction; returns the per-block levels and the cbp mask.
+#[allow(clippy::too_many_arguments)]
+fn quantize_inter_mb<M: MemModel>(
+    mem: &mut M,
+    cur: &TracedFrame,
+    pred_y: &[u8; 256],
+    pred_u: &[u8; 64],
+    pred_v: &[u8; 64],
+    texture: &mut TextureCoder,
+    qp: u8,
+    mbx: usize,
+    mby: usize,
+) -> (Vec<crate::texture::QuantizedBlock>, [bool; 6]) {
+    texture.charge_pred_load(mem, 384);
+    let mut blocks = Vec::with_capacity(6);
+    let mut cbp = [false; 6];
+    for blk in 0..4 {
+        let bx = (mbx * 16 + (blk % 2) * 8) as isize;
+        let by = (mby * 16 + (blk / 2) * 8) as isize;
+        let samples = read_block(mem, &cur.y, bx, by);
+        let res = residual(&samples, &pred_subblock(pred_y, blk));
+        let qb = texture.transform_quant(mem, &res, false, qp);
+        cbp[blk] = !qb.is_empty_inter();
+        blocks.push(qb);
+    }
+    let cx = (mbx * 8) as isize;
+    let cy = (mby * 8) as isize;
+    for (i, (src, pred)) in [(&cur.u, pred_u), (&cur.v, pred_v)].into_iter().enumerate() {
+        let samples = read_block(mem, src, cx, cy);
+        let res = residual(&samples, pred);
+        let qb = texture.transform_quant(mem, &res, false, qp);
+        cbp[4 + i] = !qb.is_empty_inter();
+        blocks.push(qb);
+    }
+    (blocks, cbp)
+}
+
+/// Reconstructs an inter MB from levels + prediction and stores it.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn reconstruct_inter_mb<M: MemModel>(
+    mem: &mut M,
+    recon: &mut TracedFrame,
+    blocks: &[crate::texture::QuantizedBlock],
+    cbp: &[bool; 6],
+    pred_y: &[u8; 256],
+    pred_u: &[u8; 64],
+    pred_v: &[u8; 64],
+    texture: &mut TextureCoder,
+    qp: u8,
+    mbx: usize,
+    mby: usize,
+) {
+    texture.charge_pred_load(mem, 384);
+    for blk in 0..4 {
+        let bx = (mbx * 16 + (blk % 2) * 8) as isize;
+        let by = (mby * 16 + (blk / 2) * 8) as isize;
+        let pred = pred_subblock(pred_y, blk);
+        let rec = if cbp[blk] {
+            let res = texture.reconstruct(mem, &blocks[blk], qp);
+            add_prediction(&res, &pred)
+        } else {
+            let mut out = [0i16; 64];
+            for i in 0..64 {
+                out[i] = i16::from(pred[i]);
+            }
+            out
+        };
+        write_block(mem, &mut recon.y, bx, by, &rec);
+    }
+    let cx = (mbx * 8) as isize;
+    let cy = (mby * 8) as isize;
+    for (i, (dst, pred)) in [(&mut recon.u, pred_u), (&mut recon.v, pred_v)]
+        .into_iter()
+        .enumerate()
+    {
+        let rec = if cbp[4 + i] {
+            let res = texture.reconstruct(mem, &blocks[4 + i], qp);
+            add_prediction(&res, pred)
+        } else {
+            let mut out = [0i16; 64];
+            for j in 0..64 {
+                out[j] = i16::from(pred[j]);
+            }
+            out
+        };
+        write_block(mem, dst, cx, cy, &rec);
+    }
+}
+
+/// Sum of absolute deviations from the block mean (the H.263 intra/inter
+/// decision statistic), with one traced pass over the macroblock.
+fn mb_deviation<M: MemModel>(mem: &mut M, plane: &TracedPlane, px: isize, py: isize) -> u32 {
+    let mut sum = 0u32;
+    let mut rows = [[0u8; 16]; 16];
+    for r in 0..16 {
+        let src = plane.load_row(mem, px, py + r as isize, 16);
+        rows[r].copy_from_slice(src);
+        sum += src.iter().map(|&v| u32::from(v)).sum::<u32>();
+    }
+    mem.add_ops(2 * 256);
+    let mean = (sum / 256) as i32;
+    let mut dev = 0u32;
+    for r in rows.iter() {
+        for &v in r.iter() {
+            dev += (i32::from(v) - mean).unsigned_abs();
+        }
+    }
+    dev
+}
+
+/// Bit-cost bias an Inter4V macroblock must overcome (three extra
+/// vector differences).
+const FOUR_MV_BIAS: u32 = 300;
+
+/// Encodes one macroblock of a P-VOP.
+#[allow(clippy::too_many_arguments)]
+fn encode_p_mb<M: MemModel>(
+    mem: &mut M,
+    cur: &TracedFrame,
+    reference: &TracedFrame,
+    recon: &mut TracedFrame,
+    texture: &mut TextureCoder,
+    search: &MotionSearch,
+    qp: u8,
+    mbx: usize,
+    mby: usize,
+    ips: &mut IntraPredState,
+    mv_pred: &mut MvPredictor,
+    w: &mut BitWriter,
+    stats: &mut VopStats,
+    four_mv: bool,
+) {
+    let outcome = search.search(mem, &cur.y, &reference.y, mbx, mby);
+    stats.candidates += u64::from(outcome.candidates);
+
+    // Advanced prediction: refine each 8x8 quadrant around the MB winner.
+    let mut mvs4 = [outcome.mv; 4];
+    let mut sad4 = u32::MAX;
+    if four_mv {
+        let mut total = 0u32;
+        for blk in 0..4 {
+            let bx = (mbx * 16 + (blk % 2) * 8) as isize;
+            let by = (mby * 16 + (blk / 2) * 8) as isize;
+            let o = search.refine_block8(mem, &cur.y, &reference.y, bx, by, outcome.mv);
+            stats.candidates += u64::from(o.candidates);
+            mvs4[blk] = o.mv;
+            total = total.saturating_add(o.sad);
+        }
+        sad4 = total;
+    }
+    let use_4mv = four_mv && sad4.saturating_add(FOUR_MV_BIAS) < outcome.sad;
+    let best_sad = if use_4mv { sad4 } else { outcome.sad };
+
+    let deviation = mb_deviation(mem, &cur.y, (mbx * 16) as isize, (mby * 16) as isize);
+
+    if deviation + INTRA_BIAS < best_sad {
+        // Intra wins.
+        w.put_bit(false); // coded
+        put_ue(w, MacroblockKind::Intra.code());
+        encode_intra_mb(mem, cur, recon, texture, qp, mbx, mby, ips, w);
+        stats.intra_mbs += 1;
+        mv_pred.commit(mbx, MotionVector::ZERO);
+        return;
+    }
+    *ips = IntraPredState::reset();
+
+    if use_4mv {
+        let (pred_y, pred_u, pred_v) = predict_mb_4mv(mem, reference, texture, &mvs4, mbx, mby);
+        let (blocks, cbp) = quantize_inter_mb(
+            mem, cur, &pred_y, &pred_u, &pred_v, texture, qp, mbx, mby,
+        );
+        w.put_bit(false); // coded
+        put_ue(w, MacroblockKind::Inter4V.code());
+        // Block 0 predicted from the neighbour median, blocks 1-3 chained
+        // from the previous block of the same macroblock.
+        let mut pred = mv_pred.predict(mbx);
+        for mv in &mvs4 {
+            put_se(w, i32::from(mv.x) - i32::from(pred.x));
+            put_se(w, i32::from(mv.y) - i32::from(pred.y));
+            pred = *mv;
+        }
+        for &b in &cbp {
+            w.put_bit(b);
+        }
+        for (i, qb) in blocks.iter().enumerate() {
+            if cbp[i] {
+                texture.entropy_encode(mem, qb, 0, w);
+            }
+        }
+        reconstruct_inter_mb(
+            mem, recon, &blocks, &cbp, &pred_y, &pred_u, &pred_v, texture, qp, mbx, mby,
+        );
+        stats.inter_mbs += 1;
+        mv_pred.commit(mbx, MotionVector::median3(mvs4[0], mvs4[1], mvs4[2]));
+        return;
+    }
+
+    let (pred_y, pred_u, pred_v) = predict_mb(mem, reference, texture, outcome.mv, mbx, mby);
+    let (blocks, cbp) = quantize_inter_mb(
+        mem, cur, &pred_y, &pred_u, &pred_v, texture, qp, mbx, mby,
+    );
+
+    if outcome.mv == MotionVector::ZERO && cbp.iter().all(|&b| !b) {
+        w.put_bit(true); // skipped
+        reconstruct_inter_mb(
+            mem, recon, &blocks, &cbp, &pred_y, &pred_u, &pred_v, texture, qp, mbx, mby,
+        );
+        stats.skipped_mbs += 1;
+        mv_pred.commit(mbx, MotionVector::ZERO);
+        return;
+    }
+
+    w.put_bit(false); // coded
+    put_ue(w, MacroblockKind::Inter.code());
+    let pred = mv_pred.predict(mbx);
+    put_se(w, i32::from(outcome.mv.x) - i32::from(pred.x));
+    put_se(w, i32::from(outcome.mv.y) - i32::from(pred.y));
+    for &b in &cbp {
+        w.put_bit(b);
+    }
+    for (i, qb) in blocks.iter().enumerate() {
+        if cbp[i] {
+            texture.entropy_encode(mem, qb, 0, w);
+        }
+    }
+    reconstruct_inter_mb(
+        mem, recon, &blocks, &cbp, &pred_y, &pred_u, &pred_v, texture, qp, mbx, mby,
+    );
+    stats.inter_mbs += 1;
+    mv_pred.commit(mbx, outcome.mv);
+}
+
+/// SAD of the current MB against an arbitrary prediction buffer (used to
+/// evaluate the bidirectional mode), with traced current reads.
+fn sad_against_pred<M: MemModel>(
+    mem: &mut M,
+    cur: &TracedPlane,
+    pred: &[u8; 256],
+    mbx: usize,
+    mby: usize,
+) -> u32 {
+    let mut acc = 0u32;
+    for r in 0..16 {
+        let c = cur.load_row(mem, (mbx * 16) as isize, (mby * 16 + r) as isize, 16);
+        for i in 0..16 {
+            acc += u32::from(c[i].abs_diff(pred[r * 16 + i]));
+        }
+    }
+    mem.add_ops(16 * 48);
+    acc
+}
+
+/// Encodes one macroblock of a B-VOP.
+#[allow(clippy::too_many_arguments)]
+fn encode_b_mb<M: MemModel>(
+    mem: &mut M,
+    cur: &TracedFrame,
+    fwd: &TracedFrame,
+    bwd: &TracedFrame,
+    recon: &mut TracedFrame,
+    texture: &mut TextureCoder,
+    search: &MotionSearch,
+    qp: u8,
+    mbx: usize,
+    mby: usize,
+    fwd_pred: &mut MvPredictor,
+    bwd_pred: &mut MvPredictor,
+    w: &mut BitWriter,
+    stats: &mut VopStats,
+) {
+    let of = search.search(mem, &cur.y, &fwd.y, mbx, mby);
+    let ob = search.search(mem, &cur.y, &bwd.y, mbx, mby);
+    stats.candidates += u64::from(of.candidates + ob.candidates);
+
+    // Evaluate the interpolated mode with the two winners.
+    let (fy, fu, fv) = predict_mb(mem, fwd, texture, of.mv, mbx, mby);
+    let (by_, bu, bv) = predict_mb(mem, bwd, texture, ob.mv, mbx, mby);
+    let mut bi_y = [0u8; 256];
+    average_predictions(&fy, &by_, &mut bi_y);
+    let sad_bi = sad_against_pred(mem, &cur.y, &bi_y, mbx, mby);
+
+    let kind = if sad_bi <= of.sad.min(ob.sad) {
+        MacroblockKind::Bidirectional
+    } else if of.sad <= ob.sad {
+        MacroblockKind::Forward
+    } else {
+        MacroblockKind::Backward
+    };
+
+    let (pred_y, pred_u, pred_v) = match kind {
+        MacroblockKind::Forward => (fy, fu, fv),
+        MacroblockKind::Backward => (by_, bu, bv),
+        _ => {
+            let mut u = [0u8; 64];
+            let mut v = [0u8; 64];
+            average_predictions(&fu, &bu, &mut u);
+            average_predictions(&fv, &bv, &mut v);
+            (bi_y, u, v)
+        }
+    };
+
+    put_ue(w, kind.code());
+    if kind != MacroblockKind::Backward {
+        let p = fwd_pred.predict(mbx);
+        put_se(w, i32::from(of.mv.x) - i32::from(p.x));
+        put_se(w, i32::from(of.mv.y) - i32::from(p.y));
+    }
+    if kind != MacroblockKind::Forward {
+        let p = bwd_pred.predict(mbx);
+        put_se(w, i32::from(ob.mv.x) - i32::from(p.x));
+        put_se(w, i32::from(ob.mv.y) - i32::from(p.y));
+    }
+    fwd_pred.commit(
+        mbx,
+        if kind != MacroblockKind::Backward {
+            of.mv
+        } else {
+            MotionVector::ZERO
+        },
+    );
+    bwd_pred.commit(
+        mbx,
+        if kind != MacroblockKind::Forward {
+            ob.mv
+        } else {
+            MotionVector::ZERO
+        },
+    );
+
+    let (blocks, cbp) = quantize_inter_mb(
+        mem, cur, &pred_y, &pred_u, &pred_v, texture, qp, mbx, mby,
+    );
+    for &b in &cbp {
+        w.put_bit(b);
+    }
+    for (i, qb) in blocks.iter().enumerate() {
+        if cbp[i] {
+            texture.entropy_encode(mem, qb, 0, w);
+        }
+    }
+    reconstruct_inter_mb(
+        mem, recon, &blocks, &cbp, &pred_y, &pred_u, &pred_v, texture, qp, mbx, mby,
+    );
+    stats.inter_mbs += 1;
+}

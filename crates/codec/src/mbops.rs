@@ -1,0 +1,299 @@
+//! Shared macroblock-level helpers used identically by the encoder's
+//! local-decode loop and the decoder, guaranteeing bit-exact
+//! reconstruction agreement.
+
+use crate::plane::TracedPlane;
+use crate::types::MotionVector;
+use m4ps_memsim::{AccessKind, MemModel};
+
+/// Reads an 8×8 pixel block at `(x, y)` as `i16` samples with traced row
+/// loads.
+pub(crate) fn read_block<M: MemModel>(
+    mem: &mut M,
+    plane: &TracedPlane,
+    x: isize,
+    y: isize,
+) -> [i16; 64] {
+    let mut out = [0i16; 64];
+    for row in 0..8 {
+        let src = plane.load_row(mem, x, y + row as isize, 8);
+        for col in 0..8 {
+            out[row * 8 + col] = i16::from(src[col]);
+        }
+    }
+    out
+}
+
+/// Writes an 8×8 block of `i16` samples, clamped to `0..=255`, with
+/// traced row stores.
+pub(crate) fn write_block<M: MemModel>(
+    mem: &mut M,
+    plane: &mut TracedPlane,
+    x: isize,
+    y: isize,
+    samples: &[i16; 64],
+) {
+    for row in 0..8 {
+        let mut line = [0u8; 8];
+        for col in 0..8 {
+            line[col] = samples[row * 8 + col].clamp(0, 255) as u8;
+        }
+        plane.store_row(mem, x, y + row as isize, &line);
+    }
+}
+
+/// Extracts an 8×8 sub-block of a 16×16 prediction buffer
+/// (`block_index`: 0 = top-left, 1 = top-right, 2 = bottom-left,
+/// 3 = bottom-right).
+pub(crate) fn pred_subblock(pred16: &[u8], block_index: usize) -> [u8; 64] {
+    let bx = (block_index % 2) * 8;
+    let by = (block_index / 2) * 8;
+    let mut out = [0u8; 64];
+    for row in 0..8 {
+        for col in 0..8 {
+            out[row * 8 + col] = pred16[(by + row) * 16 + bx + col];
+        }
+    }
+    out
+}
+
+/// `residue[i] = cur[i] − pred[i]`.
+pub(crate) fn residual(cur: &[i16; 64], pred: &[u8; 64]) -> [i16; 64] {
+    let mut out = [0i16; 64];
+    for i in 0..64 {
+        out[i] = cur[i] - i16::from(pred[i]);
+    }
+    out
+}
+
+/// `sum[i] = clamp(residue[i] + pred[i])` as i16 in pixel range.
+pub(crate) fn add_prediction(residue: &[i16; 64], pred: &[u8; 64]) -> [i16; 64] {
+    let mut out = [0i16; 64];
+    for i in 0..64 {
+        out[i] = (residue[i] + i16::from(pred[i])).clamp(0, 255);
+    }
+    out
+}
+
+/// Chroma motion vector derived from the luma vector (luma half-pel →
+/// chroma half-pel by halving, truncating toward zero — consistent on
+/// both sides, drift-free).
+pub(crate) fn chroma_mv(mv: MotionVector) -> MotionVector {
+    MotionVector::new(mv.x / 2, mv.y / 2)
+}
+
+/// Neutral DC predictor for 8-bit video: the quantized DC of a flat
+/// mid-grey block (128·8 / dc_scaler 8).
+pub(crate) const DC_PRED_RESET: i16 = 128;
+
+/// Running intra-DC predictors for the three planes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct IntraPredState {
+    pub y: i16,
+    pub u: i16,
+    pub v: i16,
+}
+
+impl IntraPredState {
+    pub(crate) fn reset() -> Self {
+        IntraPredState {
+            y: DC_PRED_RESET,
+            u: DC_PRED_RESET,
+            v: DC_PRED_RESET,
+        }
+    }
+}
+
+/// Median motion-vector predictor over the left / top / top-right
+/// neighbours, maintained per macroblock row.
+#[derive(Debug, Clone)]
+pub(crate) struct MvPredictor {
+    /// Vectors of the previous MB row (indexed by mbx).
+    row: Vec<MotionVector>,
+    /// Vectors of the current row committed so far.
+    cur_row: Vec<MotionVector>,
+    left: MotionVector,
+}
+
+impl MvPredictor {
+    pub(crate) fn new(mb_cols: usize) -> Self {
+        MvPredictor {
+            row: vec![MotionVector::ZERO; mb_cols],
+            cur_row: vec![MotionVector::ZERO; mb_cols],
+            left: MotionVector::ZERO,
+        }
+    }
+
+    /// Starts a new macroblock row.
+    pub(crate) fn start_row(&mut self) {
+        std::mem::swap(&mut self.row, &mut self.cur_row);
+        for v in &mut self.cur_row {
+            *v = MotionVector::ZERO;
+        }
+        self.left = MotionVector::ZERO;
+    }
+
+    /// Predictor for the MB at column `mbx`.
+    pub(crate) fn predict(&self, mbx: usize) -> MotionVector {
+        let top = self.row[mbx];
+        let top_right = if mbx + 1 < self.row.len() {
+            self.row[mbx + 1]
+        } else {
+            top
+        };
+        MotionVector::median3(self.left, top, top_right)
+    }
+
+    /// Clears all prediction state (resynchronization-marker semantics:
+    /// no prediction crosses a marker).
+    pub(crate) fn reset(&mut self) {
+        for v in &mut self.row {
+            *v = MotionVector::ZERO;
+        }
+        for v in &mut self.cur_row {
+            *v = MotionVector::ZERO;
+        }
+        self.left = MotionVector::ZERO;
+    }
+
+    /// Commits the decoded/encoded vector of column `mbx` (use
+    /// [`MotionVector::ZERO`] for intra and skipped MBs).
+    pub(crate) fn commit(&mut self, mbx: usize, mv: MotionVector) {
+        self.cur_row[mbx] = mv;
+        self.left = mv;
+    }
+}
+
+/// Charges simulated store traffic for bytes appended to the output
+/// bitstream (or load traffic for bytes consumed from an input one).
+#[derive(Debug, Clone)]
+pub(crate) struct StreamCharge {
+    base: u64,
+    charged_bits: u64,
+    kind: AccessKind,
+}
+
+impl StreamCharge {
+    pub(crate) fn writer(base: u64) -> Self {
+        StreamCharge {
+            base,
+            charged_bits: 0,
+            kind: AccessKind::Store,
+        }
+    }
+
+    pub(crate) fn reader(base: u64) -> Self {
+        StreamCharge {
+            base,
+            charged_bits: 0,
+            kind: AccessKind::Load,
+        }
+    }
+
+    /// Charges any whole new bytes reached by `bit_pos`.
+    pub(crate) fn charge_to<M: MemModel>(&mut self, mem: &mut M, bit_pos: u64) {
+        let done_bytes = self.charged_bits / 8;
+        let new_bytes = bit_pos / 8;
+        if new_bytes > done_bytes {
+            mem.access_range(
+                self.base + done_bytes,
+                new_bytes - done_bytes,
+                self.kind,
+                new_bytes - done_bytes,
+            );
+        }
+        self.charged_bits = self.charged_bits.max(bit_pos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m4ps_memsim::{AddressSpace, NullModel};
+
+    #[test]
+    fn block_read_write_roundtrip() {
+        let mut space = AddressSpace::new();
+        let mut mem = NullModel::new();
+        let mut p = TracedPlane::new(&mut space, 32, 32);
+        let mut samples = [0i16; 64];
+        for (i, v) in samples.iter_mut().enumerate() {
+            *v = (i as i16 * 5) % 256;
+        }
+        write_block(&mut mem, &mut p, 8, 8, &samples);
+        assert_eq!(read_block(&mut mem, &p, 8, 8), samples);
+    }
+
+    #[test]
+    fn write_block_clamps() {
+        let mut space = AddressSpace::new();
+        let mut mem = NullModel::new();
+        let mut p = TracedPlane::new(&mut space, 16, 16);
+        let mut samples = [0i16; 64];
+        samples[0] = -50;
+        samples[1] = 300;
+        write_block(&mut mem, &mut p, 0, 0, &samples);
+        let got = read_block(&mut mem, &p, 0, 0);
+        assert_eq!(got[0], 0);
+        assert_eq!(got[1], 255);
+    }
+
+    #[test]
+    fn pred_subblock_extracts_quadrants() {
+        let mut pred = [0u8; 256];
+        for (i, v) in pred.iter_mut().enumerate() {
+            *v = i as u8;
+        }
+        let tl = pred_subblock(&pred, 0);
+        assert_eq!(tl[0], 0);
+        assert_eq!(tl[63], (7 * 16 + 7) as u8);
+        let br = pred_subblock(&pred, 3);
+        assert_eq!(br[0], (8 * 16 + 8) as u8);
+    }
+
+    #[test]
+    fn residual_and_add_are_inverse_within_range() {
+        let mut cur = [0i16; 64];
+        let mut pred = [0u8; 64];
+        for i in 0..64 {
+            cur[i] = ((i * 3) % 256) as i16;
+            pred[i] = ((i * 7) % 256) as u8;
+        }
+        let r = residual(&cur, &pred);
+        assert_eq!(add_prediction(&r, &pred), cur);
+    }
+
+    #[test]
+    fn chroma_mv_halves_toward_zero() {
+        assert_eq!(chroma_mv(MotionVector::new(5, -5)), MotionVector::new(2, -2));
+        assert_eq!(chroma_mv(MotionVector::new(-1, 1)), MotionVector::new(0, 0));
+        assert_eq!(chroma_mv(MotionVector::new(8, -6)), MotionVector::new(4, -3));
+    }
+
+    #[test]
+    fn mv_predictor_median_rules() {
+        let mut p = MvPredictor::new(4);
+        p.start_row();
+        // First row: everything zero.
+        assert_eq!(p.predict(0), MotionVector::ZERO);
+        p.commit(0, MotionVector::new(4, 2));
+        // Left neighbour now (4,2); top row zero → median(4,0,0)=0, (2,0,0)=0.
+        assert_eq!(p.predict(1), MotionVector::ZERO);
+        p.commit(1, MotionVector::new(6, 6));
+        p.start_row();
+        // Top = (4,2), top-right = (6,6), left = 0 → median = (4,2).
+        assert_eq!(p.predict(0), MotionVector::new(4, 2));
+    }
+
+    #[test]
+    fn stream_charge_counts_each_byte_once() {
+        use m4ps_memsim::{Hierarchy, MachineSpec, MemModel};
+        let mut mem = Hierarchy::new(MachineSpec::o2());
+        let mut sc = StreamCharge::writer(0x10_0000);
+        sc.charge_to(&mut mem, 12); // 1 full byte
+        sc.charge_to(&mut mem, 20); // 2 full bytes total
+        sc.charge_to(&mut mem, 20);
+        sc.charge_to(&mut mem, 160); // 20 bytes total
+        assert_eq!(mem.counters().stores, 20);
+    }
+}

@@ -1,0 +1,211 @@
+//! Motion compensation: forming the prediction block from a reference
+//! plane at half-pel precision.
+
+use crate::plane::TracedPlane;
+use crate::types::MotionVector;
+use m4ps_dsp::{HalfPel, INTERP_OPS_PER_PIXEL};
+use m4ps_memsim::MemModel;
+
+/// Fills `out` (row-major, `w × h`) with the motion-compensated
+/// prediction for the block whose top-left is `(x, y)` in the current
+/// frame, displaced by `mv` (half-pel units) into `reference`.
+///
+/// Reads the necessary reference rows through the memory model; the
+/// reference plane's [`crate::PAD`]-pixel border must already be padded.
+///
+/// # Panics
+///
+/// Panics if the displaced block leaves the padded reference surface.
+#[allow(clippy::too_many_arguments)]
+pub fn motion_compensate_block<M: MemModel>(
+    mem: &mut M,
+    reference: &TracedPlane,
+    mv: MotionVector,
+    x: isize,
+    y: isize,
+    w: usize,
+    h: usize,
+    out: &mut [u8],
+) {
+    assert!(out.len() >= w * h);
+    let (fx, fy) = mv.full_pel();
+    let phase = HalfPel::from_mv(mv.x, mv.y);
+    let sx = x + fx as isize;
+    let sy = y + fy as isize;
+    let need_right = matches!(phase, HalfPel::Horizontal | HalfPel::Diagonal);
+    let need_below = matches!(phase, HalfPel::Vertical | HalfPel::Diagonal);
+    let cols = w + usize::from(need_right);
+    let rows = h + usize::from(need_below);
+
+    // The compiler prefetches ahead of the interpolation loop.
+    mem.prefetch_pair(reference.addr_of(sx, sy));
+
+    // Gather the source window with traced row reads.
+    let mut window = vec![0u8; cols * rows];
+    for r in 0..rows {
+        let src = reference.load_row(mem, sx, sy + r as isize, cols);
+        window[r * cols..][..cols].copy_from_slice(src);
+    }
+    mem.add_ops((w * h) as u64 * INTERP_OPS_PER_PIXEL);
+
+    match phase {
+        HalfPel::Full => {
+            for r in 0..h {
+                out[r * w..][..w].copy_from_slice(&window[r * cols..][..w]);
+            }
+        }
+        HalfPel::Horizontal => {
+            for r in 0..h {
+                for c in 0..w {
+                    let a = u16::from(window[r * cols + c]);
+                    let b = u16::from(window[r * cols + c + 1]);
+                    out[r * w + c] = ((a + b + 1) >> 1) as u8;
+                }
+            }
+        }
+        HalfPel::Vertical => {
+            for r in 0..h {
+                for c in 0..w {
+                    let a = u16::from(window[r * cols + c]);
+                    let b = u16::from(window[(r + 1) * cols + c]);
+                    out[r * w + c] = ((a + b + 1) >> 1) as u8;
+                }
+            }
+        }
+        HalfPel::Diagonal => {
+            for r in 0..h {
+                for c in 0..w {
+                    let s = u16::from(window[r * cols + c])
+                        + u16::from(window[r * cols + c + 1])
+                        + u16::from(window[(r + 1) * cols + c])
+                        + u16::from(window[(r + 1) * cols + c + 1]);
+                    out[r * w + c] = ((s + 2) >> 2) as u8;
+                }
+            }
+        }
+    }
+}
+
+/// Averages two prediction blocks (bidirectional interpolation) with
+/// MPEG rounding.
+pub fn average_predictions(fwd: &[u8], bwd: &[u8], out: &mut [u8]) {
+    assert_eq!(fwd.len(), bwd.len());
+    assert!(out.len() >= fwd.len());
+    for i in 0..fwd.len() {
+        out[i] = ((u16::from(fwd[i]) + u16::from(bwd[i]) + 1) >> 1) as u8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m4ps_memsim::{AddressSpace, NullModel};
+
+    fn plane_with(
+        space: &mut AddressSpace,
+        mem: &mut NullModel,
+        w: usize,
+        h: usize,
+        f: impl Fn(usize, usize) -> u8,
+    ) -> TracedPlane {
+        let mut p = TracedPlane::new(space, w, h);
+        let mut data = vec![0u8; w * h];
+        for y in 0..h {
+            for x in 0..w {
+                data[y * w + x] = f(x, y);
+            }
+        }
+        p.copy_from(mem, &data, false);
+        p.pad_borders(mem);
+        p
+    }
+
+    #[test]
+    fn zero_mv_full_pel_copies_source() {
+        let mut space = AddressSpace::new();
+        let mut mem = NullModel::new();
+        let p = plane_with(&mut space, &mut mem, 48, 48, |x, y| (x * 3 + y) as u8);
+        let mut out = vec![0u8; 256];
+        motion_compensate_block(&mut mem, &p, MotionVector::ZERO, 16, 16, 16, 16, &mut out);
+        for r in 0..16 {
+            assert_eq!(&out[r * 16..][..16], p.raw_row(16, 16 + r as isize, 16));
+        }
+    }
+
+    #[test]
+    fn integer_mv_shifts_window() {
+        let mut space = AddressSpace::new();
+        let mut mem = NullModel::new();
+        let p = plane_with(&mut space, &mut mem, 48, 48, |x, y| (x + 2 * y) as u8);
+        let mut out = vec![0u8; 64];
+        motion_compensate_block(
+            &mut mem,
+            &p,
+            MotionVector::from_full_pel(3, -2),
+            16,
+            16,
+            8,
+            8,
+            &mut out,
+        );
+        for r in 0..8 {
+            assert_eq!(&out[r * 8..][..8], p.raw_row(19, 14 + r as isize, 8));
+        }
+    }
+
+    #[test]
+    fn half_pel_horizontal_averages() {
+        let mut space = AddressSpace::new();
+        let mut mem = NullModel::new();
+        let p = plane_with(&mut space, &mut mem, 32, 32, |x, _| (x * 10) as u8);
+        let mut out = vec![0u8; 16];
+        motion_compensate_block(&mut mem, &p, MotionVector::new(1, 0), 4, 4, 4, 4, &mut out);
+        // halfway between x*10 and (x+1)*10 = x*10+5
+        assert_eq!(out[0], 45);
+        assert_eq!(out[1], 55);
+    }
+
+    #[test]
+    fn negative_mv_reads_padding_safely() {
+        let mut space = AddressSpace::new();
+        let mut mem = NullModel::new();
+        let p = plane_with(&mut space, &mut mem, 32, 32, |x, y| (x + y) as u8);
+        let mut out = vec![0u8; 256];
+        // MB at the top-left corner, MV pointing fully into the pad.
+        motion_compensate_block(
+            &mut mem,
+            &p,
+            MotionVector::from_full_pel(-8, -8),
+            0,
+            0,
+            16,
+            16,
+            &mut out,
+        );
+        // Top-left of the pad replicates pixel (0,0) = 0.
+        assert_eq!(out[0], 0);
+    }
+
+    #[test]
+    fn bidirectional_average_rounds_up() {
+        let fwd = [10u8, 20, 255];
+        let bwd = [11u8, 20, 0];
+        let mut out = [0u8; 3];
+        average_predictions(&fwd, &bwd, &mut out);
+        assert_eq!(out, [11, 20, 128]);
+    }
+
+    #[test]
+    fn mc_issues_traced_reads() {
+        use m4ps_memsim::{Hierarchy, MachineSpec, MemModel};
+        let mut space = AddressSpace::new();
+        let mut null = NullModel::new();
+        let p = plane_with(&mut space, &mut null, 64, 64, |x, _| x as u8);
+        let mut mem = Hierarchy::new(MachineSpec::o2());
+        let mut out = vec![0u8; 256];
+        motion_compensate_block(&mut mem, &p, MotionVector::new(1, 1), 16, 16, 16, 16, &mut out);
+        let c = mem.counters();
+        assert_eq!(c.loads, 17 * 17); // diagonal phase window
+        assert!(c.compute_ops >= 256 * INTERP_OPS_PER_PIXEL);
+    }
+}

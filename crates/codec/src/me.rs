@@ -1,0 +1,582 @@
+//! Motion estimation.
+//!
+//! The paper singles this stage out: "Motion estimation detects movement
+//! of objects along different video frames, searching for an image block
+//! best matching a reference block… MPEG-4 performs this search
+//! sequentially over restricted windows inside the image, with an offset
+//! between searches of just one pixel. The overlap among streams for
+//! searching an image subset yields high locality." The default here is
+//! that exhaustive full search with SAD early termination; three-step
+//! and diamond searches exist for the ablation benches.
+
+use crate::config::SearchStrategy;
+use crate::plane::TracedPlane;
+use crate::types::MotionVector;
+use m4ps_memsim::MemModel;
+
+/// Per-pixel-row SAD compute cost (16 abs-diff-accumulate triples).
+const SAD_ROW_OPS: u64 = 48;
+
+/// Result of a block search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchOutcome {
+    /// Winning motion vector in half-pel units.
+    pub mv: MotionVector,
+    /// SAD of the winning candidate.
+    pub sad: u32,
+    /// Number of candidates evaluated (including half-pel refinement).
+    pub candidates: u32,
+}
+
+/// A configured motion-search engine.
+#[derive(Debug, Clone, Copy)]
+pub struct MotionSearch {
+    strategy: SearchStrategy,
+    range: i16,
+    half_pel: bool,
+}
+
+impl MotionSearch {
+    /// Creates a search engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is outside `1..=15` (must stay within the
+    /// [`crate::PAD`]-pixel reference border).
+    pub fn new(strategy: SearchStrategy, range: i16, half_pel: bool) -> Self {
+        assert!((1..=15).contains(&range), "range {range} out of 1..=15");
+        MotionSearch {
+            strategy,
+            range,
+            half_pel,
+        }
+    }
+
+    /// The integer-pel search range.
+    pub fn range(&self) -> i16 {
+        self.range
+    }
+
+    /// SAD between the `size`×`size` current block at `(bx, by)` and the
+    /// reference block displaced by integer `(dx, dy)`, with early
+    /// termination once the sum exceeds `cutoff`. Charges traced reads
+    /// for exactly the rows visited.
+    #[allow(clippy::too_many_arguments)]
+    fn sad_candidate_sized<M: MemModel>(
+        mem: &mut M,
+        cur: &TracedPlane,
+        reference: &TracedPlane,
+        bx: isize,
+        by: isize,
+        dx: isize,
+        dy: isize,
+        cutoff: u32,
+        size: usize,
+    ) -> u32 {
+        let mut acc = 0u32;
+        for row in 0..size as isize {
+            let c = cur.load_row(mem, bx, by + row, size);
+            let r = reference.load_row(mem, bx + dx, by + dy + row, size);
+            mem.add_ops(SAD_ROW_OPS * size as u64 / 16);
+            for i in 0..size {
+                acc += u32::from(c[i].abs_diff(r[i]));
+            }
+            if acc > cutoff {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// 16×16 candidate SAD (the macroblock search criterion).
+    #[allow(clippy::too_many_arguments)]
+    fn sad_candidate<M: MemModel>(
+        mem: &mut M,
+        cur: &TracedPlane,
+        reference: &TracedPlane,
+        bx: isize,
+        by: isize,
+        dx: isize,
+        dy: isize,
+        cutoff: u32,
+    ) -> u32 {
+        Self::sad_candidate_sized(mem, cur, reference, bx, by, dx, dy, cutoff, 16)
+    }
+
+    /// SAD against the half-pel interpolated reference at `(dx, dy)` in
+    /// half-pel units, for a `size`×`size` block.
+    #[allow(clippy::too_many_arguments)]
+    fn sad_half_pel_sized<M: MemModel>(
+        mem: &mut M,
+        cur: &TracedPlane,
+        reference: &TracedPlane,
+        bx: isize,
+        by: isize,
+        mv: MotionVector,
+        cutoff: u32,
+        size: usize,
+    ) -> u32 {
+        let (fx, fy) = mv.full_pel();
+        let frac_x = mv.x & 1 != 0;
+        let frac_y = mv.y & 1 != 0;
+        let cols = size + usize::from(frac_x);
+        let sx = bx + fx as isize;
+        let sy = by + fy as isize;
+        let mut acc = 0u32;
+        let mut prev_row: Option<Vec<u8>> = None;
+        for row in 0..size as isize {
+            let c: Vec<u8> = cur.load_row(mem, bx, by + row, size).to_vec();
+            let r0: Vec<u8> = if let Some(p) = prev_row.take() {
+                p
+            } else {
+                reference.load_row(mem, sx, sy + row, cols).to_vec()
+            };
+            let r1: Option<Vec<u8>> = if frac_y {
+                let v = reference.load_row(mem, sx, sy + row + 1, cols).to_vec();
+                Some(v)
+            } else {
+                None
+            };
+            mem.add_ops(SAD_ROW_OPS * 2 * size as u64 / 16);
+            for i in 0..size {
+                let pred = match (frac_x, &r1) {
+                    (false, None) => u16::from(r0[i]),
+                    (true, None) => (u16::from(r0[i]) + u16::from(r0[i + 1]) + 1) >> 1,
+                    (false, Some(r1)) => (u16::from(r0[i]) + u16::from(r1[i]) + 1) >> 1,
+                    (true, Some(r1)) => {
+                        (u16::from(r0[i])
+                            + u16::from(r0[i + 1])
+                            + u16::from(r1[i])
+                            + u16::from(r1[i + 1])
+                            + 2)
+                            >> 2
+                    }
+                };
+                acc += u32::from(i32::from(c[i]).abs_diff(i32::from(pred)));
+            }
+            if let Some(r1) = r1 {
+                prev_row = Some(r1);
+            }
+            if acc > cutoff {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// 16×16 half-pel SAD.
+    #[allow(clippy::too_many_arguments)]
+    fn sad_half_pel<M: MemModel>(
+        mem: &mut M,
+        cur: &TracedPlane,
+        reference: &TracedPlane,
+        bx: isize,
+        by: isize,
+        mv: MotionVector,
+        cutoff: u32,
+    ) -> u32 {
+        Self::sad_half_pel_sized(mem, cur, reference, bx, by, mv, cutoff, 16)
+    }
+
+    /// Refines one 8×8 block (advanced-prediction / 4MV mode) around the
+    /// macroblock-level winner `center`: a ±2 integer-pel search followed
+    /// by optional half-pel refinement. `(bx, by)` are the block's pixel
+    /// coordinates.
+    pub fn refine_block8<M: MemModel>(
+        &self,
+        mem: &mut M,
+        cur: &TracedPlane,
+        reference: &TracedPlane,
+        bx: isize,
+        by: isize,
+        center: MotionVector,
+    ) -> SearchOutcome {
+        // Keep every candidate inside the padded reference surface.
+        let clamp_full = |v: i32| v.clamp(-14, 14) as isize;
+        let (cx, cy) = center.full_pel();
+        let (cx, cy) = (clamp_full(i32::from(cx)), clamp_full(i32::from(cy)));
+        let mut best = (cx, cy);
+        let mut best_sad = u32::MAX;
+        let mut candidates = 0u32;
+        for dy in -2isize..=2 {
+            for dx in -2isize..=2 {
+                let (tx, ty) = (clamp_full((cx + dx) as i32), clamp_full((cy + dy) as i32));
+                candidates += 1;
+                let sad = Self::sad_candidate_sized(
+                    mem, cur, reference, bx, by, tx, ty, best_sad, 8,
+                );
+                if sad < best_sad {
+                    best_sad = sad;
+                    best = (tx, ty);
+                }
+            }
+        }
+        let mut best_mv = MotionVector::from_full_pel(best.0 as i16, best.1 as i16);
+        if self.half_pel {
+            for dy in -1i16..=1 {
+                for dx in -1i16..=1 {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    let cand = MotionVector::new(best_mv.x + dx, best_mv.y + dy);
+                    if cand.x.abs() > 29 || cand.y.abs() > 29 {
+                        continue;
+                    }
+                    candidates += 1;
+                    let sad = Self::sad_half_pel_sized(
+                        mem, cur, reference, bx, by, cand, best_sad, 8,
+                    );
+                    if sad < best_sad {
+                        best_sad = sad;
+                        best_mv = cand;
+                    }
+                }
+            }
+        }
+        SearchOutcome {
+            mv: best_mv,
+            sad: best_sad,
+            candidates,
+        }
+    }
+
+    /// Searches the 16×16 block whose top-left is `(mbx·16, mby·16)`,
+    /// returning the winning vector in half-pel units.
+    pub fn search<M: MemModel>(
+        &self,
+        mem: &mut M,
+        cur: &TracedPlane,
+        reference: &TracedPlane,
+        mbx: usize,
+        mby: usize,
+    ) -> SearchOutcome {
+        let bx = (mbx * 16) as isize;
+        let by = (mby * 16) as isize;
+        let mut candidates = 0u32;
+
+        // Seed with the zero vector (the skip candidate).
+        let mut best_sad =
+            Self::sad_candidate(mem, cur, reference, bx, by, 0, 0, u32::MAX);
+        let mut best = (0isize, 0isize);
+        candidates += 1;
+
+        let try_candidate =
+            |mem: &mut M, dx: isize, dy: isize, best: &mut (isize, isize), best_sad: &mut u32, candidates: &mut u32| {
+                if dx == 0 && dy == 0 {
+                    return;
+                }
+                let r = self.range as isize;
+                if dx < -r || dx > r || dy < -r || dy > r {
+                    return;
+                }
+                *candidates += 1;
+                let sad =
+                    Self::sad_candidate(mem, cur, reference, bx, by, dx, dy, *best_sad);
+                if sad < *best_sad {
+                    *best_sad = sad;
+                    *best = (dx, dy);
+                }
+            };
+
+        match self.strategy {
+            SearchStrategy::FullSearch => {
+                let r = self.range as isize;
+                // Sequential row-major walk of the restricted window,
+                // offset one pixel between candidates (paper §3.2).
+                for dy in -r..=r {
+                    for dx in -r..=r {
+                        try_candidate(mem, dx, dy, &mut best, &mut best_sad, &mut candidates);
+                    }
+                }
+            }
+            SearchStrategy::ThreeStep => {
+                let mut step = 1isize;
+                while step * 2 <= self.range as isize {
+                    step *= 2;
+                }
+                let (mut cx, mut cy) = (0isize, 0isize);
+                while step >= 1 {
+                    for dy in [-step, 0, step] {
+                        for dx in [-step, 0, step] {
+                            try_candidate(
+                                mem,
+                                cx + dx,
+                                cy + dy,
+                                &mut best,
+                                &mut best_sad,
+                                &mut candidates,
+                            );
+                        }
+                    }
+                    (cx, cy) = best;
+                    step /= 2;
+                }
+            }
+            SearchStrategy::Diamond => {
+                const LDSP: [(isize, isize); 8] = [
+                    (0, -2),
+                    (-1, -1),
+                    (1, -1),
+                    (-2, 0),
+                    (2, 0),
+                    (-1, 1),
+                    (1, 1),
+                    (0, 2),
+                ];
+                const SDSP: [(isize, isize); 4] = [(0, -1), (-1, 0), (1, 0), (0, 1)];
+                loop {
+                    let (cx, cy) = best;
+                    for (dx, dy) in LDSP {
+                        try_candidate(
+                            mem,
+                            cx + dx,
+                            cy + dy,
+                            &mut best,
+                            &mut best_sad,
+                            &mut candidates,
+                        );
+                    }
+                    if best == (cx, cy) {
+                        break;
+                    }
+                }
+                let (cx, cy) = best;
+                for (dx, dy) in SDSP {
+                    try_candidate(
+                        mem,
+                        cx + dx,
+                        cy + dy,
+                        &mut best,
+                        &mut best_sad,
+                        &mut candidates,
+                    );
+                }
+            }
+        }
+
+        let mut best_mv = MotionVector::from_full_pel(best.0 as i16, best.1 as i16);
+
+        if self.half_pel {
+            // Refine over the 8 half-pel neighbours of the integer winner.
+            let base = best_mv;
+            for dy in -1i16..=1 {
+                for dx in -1i16..=1 {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    let cand = MotionVector::new(base.x + dx, base.y + dy);
+                    // Stay inside the padded surface.
+                    if cand.x.abs() >= 2 * self.range || cand.y.abs() >= 2 * self.range {
+                        continue;
+                    }
+                    candidates += 1;
+                    let sad = Self::sad_half_pel(mem, cur, reference, bx, by, cand, best_sad);
+                    if sad < best_sad {
+                        best_sad = sad;
+                        best_mv = cand;
+                    }
+                }
+            }
+        }
+
+        SearchOutcome {
+            mv: best_mv,
+            sad: best_sad,
+            candidates,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m4ps_memsim::{AddressSpace, NullModel};
+
+    /// Builds (current, reference) planes where the current frame equals
+    /// the reference shifted by (sx, sy).
+    fn shifted_pair(
+        space: &mut AddressSpace,
+        mem: &mut NullModel,
+        w: usize,
+        h: usize,
+        sx: isize,
+        sy: isize,
+    ) -> (TracedPlane, TracedPlane) {
+        let tex = |x: isize, y: isize| -> u8 {
+            let v = (x * 31 + y * 17 + (x * y) / 7) & 0xff;
+            v as u8
+        };
+        let mut reference = TracedPlane::new(space, w, h);
+        let mut cur = TracedPlane::new(space, w, h);
+        let mut rdata = vec![0u8; w * h];
+        let mut cdata = vec![0u8; w * h];
+        for y in 0..h as isize {
+            for x in 0..w as isize {
+                rdata[(y * w as isize + x) as usize] = tex(x, y);
+                // current(x) = reference(x - sx): object moved by +s.
+                cdata[(y * w as isize + x) as usize] = tex(x - sx, y - sy);
+            }
+        }
+        reference.copy_from(mem, &rdata, false);
+        cur.copy_from(mem, &cdata, false);
+        reference.pad_borders(mem);
+        cur.pad_borders(mem);
+        (cur, reference)
+    }
+
+    #[test]
+    fn full_search_finds_known_shift() {
+        let mut space = AddressSpace::new();
+        let mut mem = NullModel::new();
+        for (sx, sy) in [(0, 0), (3, 0), (0, -2), (-4, 5), (7, 7)] {
+            let (cur, reference) = shifted_pair(&mut space, &mut mem, 64, 64, sx, sy);
+            let ms = MotionSearch::new(SearchStrategy::FullSearch, 8, false);
+            let out = ms.search(&mut mem, &cur, &reference, 1, 1);
+            assert_eq!(
+                out.mv,
+                MotionVector::from_full_pel(-sx as i16, -sy as i16),
+                "shift ({sx},{sy})"
+            );
+            assert_eq!(out.sad, 0);
+        }
+    }
+
+    #[test]
+    fn full_search_evaluates_whole_window() {
+        let mut space = AddressSpace::new();
+        let mut mem = NullModel::new();
+        let (cur, reference) = shifted_pair(&mut space, &mut mem, 64, 64, 0, 0);
+        let ms = MotionSearch::new(SearchStrategy::FullSearch, 4, false);
+        let out = ms.search(&mut mem, &cur, &reference, 1, 1);
+        assert_eq!(out.candidates, 81); // (2·4+1)²
+    }
+
+    /// Builds a smooth (sinusoidal) shifted pair so that the SAD error
+    /// surface is unimodal — the regime fast searches are designed for.
+    fn smooth_shifted_pair(
+        space: &mut AddressSpace,
+        mem: &mut NullModel,
+        w: usize,
+        h: usize,
+        sx: isize,
+        sy: isize,
+    ) -> (TracedPlane, TracedPlane) {
+        let tex = |x: isize, y: isize| -> u8 {
+            let v = 128.0 + 60.0 * ((x as f64) * 0.35).sin() + 40.0 * ((y as f64) * 0.3).cos();
+            v.clamp(0.0, 255.0) as u8
+        };
+        let mut reference = TracedPlane::new(space, w, h);
+        let mut cur = TracedPlane::new(space, w, h);
+        let mut rdata = vec![0u8; w * h];
+        let mut cdata = vec![0u8; w * h];
+        for y in 0..h as isize {
+            for x in 0..w as isize {
+                rdata[(y * w as isize + x) as usize] = tex(x, y);
+                cdata[(y * w as isize + x) as usize] = tex(x - sx, y - sy);
+            }
+        }
+        reference.copy_from(mem, &rdata, false);
+        cur.copy_from(mem, &cdata, false);
+        reference.pad_borders(mem);
+        cur.pad_borders(mem);
+        (cur, reference)
+    }
+
+    #[test]
+    fn fast_searches_find_shift_on_smooth_motion() {
+        let mut space = AddressSpace::new();
+        let mut mem = NullModel::new();
+        let (cur, reference) = smooth_shifted_pair(&mut space, &mut mem, 64, 64, 2, 1);
+        for strat in [SearchStrategy::ThreeStep, SearchStrategy::Diamond] {
+            let ms = MotionSearch::new(strat, 8, false);
+            let out = ms.search(&mut mem, &cur, &reference, 1, 1);
+            assert_eq!(out.mv, MotionVector::from_full_pel(-2, -1), "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn fast_searches_use_fewer_candidates() {
+        let mut space = AddressSpace::new();
+        let mut mem = NullModel::new();
+        let (cur, reference) = shifted_pair(&mut space, &mut mem, 64, 64, 1, 1);
+        let full = MotionSearch::new(SearchStrategy::FullSearch, 8, false)
+            .search(&mut mem, &cur, &reference, 1, 1);
+        let diamond = MotionSearch::new(SearchStrategy::Diamond, 8, false)
+            .search(&mut mem, &cur, &reference, 1, 1);
+        assert!(diamond.candidates * 4 < full.candidates);
+    }
+
+    #[test]
+    fn half_pel_refinement_improves_fractional_motion() {
+        // Construct current = horizontal average of reference neighbours,
+        // i.e. a genuine half-pel displacement.
+        let mut space = AddressSpace::new();
+        let mut mem = NullModel::new();
+        let w = 64;
+        // Smooth, non-aliasing texture: the only near-perfect match is
+        // the true half-pel displacement.
+        let tex = |x: isize, y: isize| -> u8 {
+            (128.0 + 70.0 * ((x as f64) * 0.4).sin() + 30.0 * ((y as f64) * 0.23).cos())
+                .clamp(0.0, 255.0) as u8
+        };
+        let mut reference = TracedPlane::new(&mut space, w, w);
+        let mut cur = TracedPlane::new(&mut space, w, w);
+        let mut rdata = vec![0u8; w * w];
+        let mut cdata = vec![0u8; w * w];
+        for y in 0..w as isize {
+            for x in 0..w as isize {
+                rdata[(y * w as isize + x) as usize] = tex(x, y);
+                let a = u16::from(tex(x, y)) + u16::from(tex(x + 1, y));
+                cdata[(y * w as isize + x) as usize] = ((a + 1) >> 1) as u8;
+            }
+        }
+        reference.copy_from(&mut mem, &rdata, false);
+        cur.copy_from(&mut mem, &cdata, false);
+        reference.pad_borders(&mut mem);
+        cur.pad_borders(&mut mem);
+
+        let no_half = MotionSearch::new(SearchStrategy::FullSearch, 4, false)
+            .search(&mut mem, &cur, &reference, 1, 1);
+        let with_half = MotionSearch::new(SearchStrategy::FullSearch, 4, true)
+            .search(&mut mem, &cur, &reference, 1, 1);
+        assert!(with_half.sad < no_half.sad);
+        assert!(!with_half.mv.is_full_pel());
+    }
+
+    #[test]
+    fn search_charges_traced_reads() {
+        use m4ps_memsim::{Hierarchy, MachineSpec, MemModel};
+        let mut space = AddressSpace::new();
+        let mut null = NullModel::new();
+        let (cur, reference) = shifted_pair(&mut space, &mut null, 64, 64, 1, 0);
+        let mut mem = Hierarchy::new(MachineSpec::o2());
+        let ms = MotionSearch::new(SearchStrategy::FullSearch, 4, false);
+        let out = ms.search(&mut mem, &cur, &reference, 1, 1);
+        let c = mem.counters();
+        // At minimum: each candidate touches one 16-pixel current row and
+        // one reference row.
+        assert!(c.loads >= u64::from(out.candidates) * 32);
+        assert!(c.compute_ops > 0);
+        // And the window overlap must make most of those hits: the whole
+        // search window is under 2 KB.
+        assert!(c.l1_misses < c.loads / 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 1..=15")]
+    fn oversized_range_rejected() {
+        MotionSearch::new(SearchStrategy::FullSearch, 16, false);
+    }
+
+    #[test]
+    fn edge_macroblock_search_stays_in_padded_surface() {
+        let mut space = AddressSpace::new();
+        let mut mem = NullModel::new();
+        let (cur, reference) = shifted_pair(&mut space, &mut mem, 48, 48, 2, 2);
+        let ms = MotionSearch::new(SearchStrategy::FullSearch, 15, true);
+        // All four corner MBs.
+        for (mbx, mby) in [(0, 0), (2, 0), (0, 2), (2, 2)] {
+            let _ = ms.search(&mut mem, &cur, &reference, mbx, mby);
+        }
+    }
+}

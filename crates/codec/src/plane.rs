@@ -1,0 +1,379 @@
+//! Traced pixel planes with motion-search padding.
+//!
+//! Reference planes are stored with a [`PAD`]-pixel border on every side
+//! (edge-replicated, as MoMuSys pads reconstructed VOPs) so that motion
+//! search and compensation may address candidates that spill over the
+//! frame edge without bounds branches in the inner loops.
+
+use m4ps_memsim::{AddressSpace, MemModel, SimBuf};
+
+/// Border width in pixels around every plane.
+pub const PAD: usize = 16;
+
+/// One traced 8-bit pixel plane.
+#[derive(Debug, Clone)]
+pub struct TracedPlane {
+    width: usize,
+    height: usize,
+    stride: usize,
+    buf: SimBuf<u8>,
+}
+
+impl TracedPlane {
+    /// Allocates a zeroed plane of `width × height` visible pixels in
+    /// `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(space: &mut AddressSpace, width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0);
+        let stride = width + 2 * PAD;
+        let rows = height + 2 * PAD;
+        TracedPlane {
+            width,
+            height,
+            stride,
+            buf: SimBuf::zeroed(space, stride * rows),
+        }
+    }
+
+    /// Visible width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Visible height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Linear index of signed coordinates (may address the pad border).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate falls outside the padded surface.
+    fn index(&self, x: isize, y: isize) -> usize {
+        let px = x + PAD as isize;
+        let py = y + PAD as isize;
+        assert!(
+            px >= 0 && (px as usize) < self.stride,
+            "x {x} out of padded range"
+        );
+        assert!(
+            py >= 0 && (py as usize) < self.height + 2 * PAD,
+            "y {y} out of padded range"
+        );
+        py as usize * self.stride + px as usize
+    }
+
+    /// Traced read of `len` pixels of row `y` starting at `x`
+    /// (coordinates may be negative into the pad).
+    pub fn load_row<M: MemModel>(&self, mem: &mut M, x: isize, y: isize, len: usize) -> &[u8] {
+        let i = self.index(x, y);
+        self.buf.load_run(mem, i, len)
+    }
+
+    /// Traced write of a row of pixels at `(x, y)`.
+    pub fn store_row<M: MemModel>(&mut self, mem: &mut M, x: isize, y: isize, src: &[u8]) {
+        let i = self.index(x, y);
+        self.buf.store_run(mem, i, src)
+    }
+
+    /// Traced single-pixel read.
+    pub fn load_pixel<M: MemModel>(&self, mem: &mut M, x: isize, y: isize) -> u8 {
+        let i = self.index(x, y);
+        self.buf.load(mem, i)
+    }
+
+    /// Traced single-pixel write.
+    pub fn store_pixel<M: MemModel>(&mut self, mem: &mut M, x: isize, y: isize, v: u8) {
+        let i = self.index(x, y);
+        self.buf.store(mem, i, v)
+    }
+
+    /// Untraced single-pixel write, for making partial state visible to
+    /// causal context computations whose traffic is charged at row
+    /// granularity elsewhere.
+    pub fn poke_untraced(&mut self, x: isize, y: isize, v: u8) {
+        let i = self.index(x, y);
+        self.buf.raw_mut()[i] = v;
+    }
+
+    /// Untraced row view (for assertions and boundary I/O only).
+    pub fn raw_row(&self, x: isize, y: isize, len: usize) -> &[u8] {
+        let i = self.index(x, y);
+        &self.buf.raw()[i..i + len]
+    }
+
+    /// Simulated address of the pixel at `(x, y)` — used to aim software
+    /// prefetches.
+    pub fn addr_of(&self, x: isize, y: isize) -> u64 {
+        self.buf.addr_of(self.index(x, y))
+    }
+
+    /// Copies an untraced source plane (e.g. generator output) into the
+    /// visible area, issuing traced stores row by row — this is the
+    /// "frame input" stage of the application pipeline. When
+    /// `prefetch` is true a software prefetch is issued one line ahead,
+    /// mimicking the compiler's conservative streaming-loop insertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is not exactly `width × height` samples.
+    pub fn copy_from<M: MemModel>(&mut self, mem: &mut M, src: &[u8], prefetch: bool) {
+        assert_eq!(src.len(), self.width * self.height, "source size mismatch");
+        for y in 0..self.height {
+            if prefetch && y + 1 < self.height {
+                // One prefetch pair per row (streaming-loop insertion).
+                mem.prefetch_pair(self.addr_of(0, (y + 1) as isize));
+            }
+            let row = &src[y * self.width..][..self.width];
+            self.store_row(mem, 0, y as isize, row);
+        }
+    }
+
+    /// Traced clear (zero-fill) of a pixel region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region exceeds the visible area.
+    pub fn clear_region<M: MemModel>(
+        &mut self,
+        mem: &mut M,
+        x0: usize,
+        y0: usize,
+        w: usize,
+        h: usize,
+    ) {
+        assert!(x0 + w <= self.width && y0 + h <= self.height);
+        let zeros = vec![0u8; w];
+        for y in y0..y0 + h {
+            self.store_row(mem, x0 as isize, y as isize, &zeros);
+        }
+    }
+
+    /// Copies the `bbox = (x0, y0, w, h)` region of a full-frame source
+    /// slice into the same region of this plane, with traced stores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is not a full `width × height` plane or the
+    /// region exceeds it.
+    pub fn copy_region_from<M: MemModel>(
+        &mut self,
+        mem: &mut M,
+        src: &[u8],
+        bbox: (usize, usize, usize, usize),
+    ) {
+        let (x0, y0, w, h) = bbox;
+        assert_eq!(src.len(), self.width * self.height);
+        assert!(x0 + w <= self.width && y0 + h <= self.height);
+        for y in y0..y0 + h {
+            let row = &src[y * self.width + x0..][..w];
+            self.store_row(mem, x0 as isize, y as isize, row);
+        }
+    }
+
+    /// Reads the visible area back into a `Vec` with traced loads
+    /// (the "frame output" stage).
+    pub fn copy_out<M: MemModel>(&self, mem: &mut M) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.width * self.height);
+        for y in 0..self.height {
+            out.extend_from_slice(self.load_row(mem, 0, y as isize, self.width));
+        }
+        out
+    }
+
+    /// Edge-replicates the visible area into the pad border (traced):
+    /// MoMuSys pads every reconstructed VOP before it becomes a
+    /// reference.
+    pub fn pad_borders<M: MemModel>(&mut self, mem: &mut M) {
+        let w = self.width;
+        let h = self.height;
+        // Left/right columns.
+        for y in 0..h as isize {
+            let left = self.load_pixel(mem, 0, y);
+            let right = self.load_pixel(mem, w as isize - 1, y);
+            self.store_row(mem, -(PAD as isize), y, &[left; PAD]);
+            self.store_row(mem, w as isize, y, &[right; PAD]);
+        }
+        // Top/bottom rows (including corners, now that side pads exist).
+        let full = self.stride;
+        let top: Vec<u8> = self.raw_row(-(PAD as isize), 0, full).to_vec();
+        let bottom: Vec<u8> = self.raw_row(-(PAD as isize), h as isize - 1, full).to_vec();
+        self.buf
+            .touch_read(mem, self.index(-(PAD as isize), 0), full);
+        self.buf
+            .touch_read(mem, self.index(-(PAD as isize), h as isize - 1), full);
+        for p in 1..=PAD as isize {
+            self.store_row(mem, -(PAD as isize), -p, &top);
+            self.store_row(mem, -(PAD as isize), h as isize - 1 + p, &bottom);
+        }
+    }
+}
+
+/// A traced 4:2:0 frame (full-size Y, half-size U and V).
+#[derive(Debug, Clone)]
+pub struct TracedFrame {
+    /// Luminance plane.
+    pub y: TracedPlane,
+    /// Cb plane.
+    pub u: TracedPlane,
+    /// Cr plane.
+    pub v: TracedPlane,
+}
+
+impl TracedFrame {
+    /// Allocates all three planes for a `width × height` frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is odd or zero.
+    pub fn new(space: &mut AddressSpace, width: usize, height: usize) -> Self {
+        assert!(width % 2 == 0 && height % 2 == 0);
+        TracedFrame {
+            y: TracedPlane::new(space, width, height),
+            u: TracedPlane::new(space, width / 2, height / 2),
+            v: TracedPlane::new(space, width / 2, height / 2),
+        }
+    }
+
+    /// Loads a YUV 4:2:0 triple of raw planes (e.g. a generator frame).
+    pub fn copy_from_yuv<M: MemModel>(
+        &mut self,
+        mem: &mut M,
+        y: &[u8],
+        u: &[u8],
+        v: &[u8],
+        prefetch: bool,
+    ) {
+        self.y.copy_from(mem, y, prefetch);
+        self.u.copy_from(mem, u, prefetch);
+        self.v.copy_from(mem, v, prefetch);
+    }
+
+    /// Loads only the macroblock-aligned `bbox` region of a 4:2:0 frame
+    /// (the reference codec reads VOP-sized buffers for shaped objects).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the box is unaligned or out of range.
+    pub fn copy_region_from_yuv<M: MemModel>(
+        &mut self,
+        mem: &mut M,
+        y: &[u8],
+        u: &[u8],
+        v: &[u8],
+        bbox: (usize, usize, usize, usize),
+    ) {
+        let (x0, y0, w, h) = bbox;
+        assert!(x0 % 2 == 0 && y0 % 2 == 0 && w % 2 == 0 && h % 2 == 0);
+        self.y.copy_region_from(mem, y, bbox);
+        self.u.copy_region_from(mem, u, (x0 / 2, y0 / 2, w / 2, h / 2));
+        self.v.copy_region_from(mem, v, (x0 / 2, y0 / 2, w / 2, h / 2));
+    }
+
+    /// Pads all three planes.
+    pub fn pad_borders<M: MemModel>(&mut self, mem: &mut M) {
+        self.y.pad_borders(mem);
+        self.u.pad_borders(mem);
+        self.v.pad_borders(mem);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m4ps_memsim::NullModel;
+
+    fn setup() -> (AddressSpace, NullModel) {
+        (AddressSpace::new(), NullModel::new())
+    }
+
+    #[test]
+    fn rows_roundtrip() {
+        let (mut space, mut mem) = setup();
+        let mut p = TracedPlane::new(&mut space, 32, 16);
+        p.store_row(&mut mem, 0, 3, &[7; 32]);
+        assert_eq!(p.load_row(&mut mem, 0, 3, 32), &[7; 32]);
+        assert_eq!(p.load_pixel(&mut mem, 31, 3), 7);
+        assert_eq!(p.load_pixel(&mut mem, 0, 2), 0);
+    }
+
+    #[test]
+    fn negative_coordinates_address_pad() {
+        let (mut space, mut mem) = setup();
+        let mut p = TracedPlane::new(&mut space, 32, 16);
+        p.store_pixel(&mut mem, -1, -1, 99);
+        assert_eq!(p.load_pixel(&mut mem, -1, -1), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of padded range")]
+    fn beyond_pad_panics() {
+        let (mut space, mut mem) = setup();
+        let p = TracedPlane::new(&mut space, 32, 16);
+        p.load_pixel(&mut mem, -(PAD as isize) - 1, 0);
+    }
+
+    #[test]
+    fn copy_in_then_out_preserves_data() {
+        let (mut space, mut mem) = setup();
+        let mut p = TracedPlane::new(&mut space, 8, 4);
+        let src: Vec<u8> = (0..32).collect();
+        p.copy_from(&mut mem, &src, false);
+        assert_eq!(p.copy_out(&mut mem), src);
+    }
+
+    #[test]
+    fn padding_replicates_edges() {
+        let (mut space, mut mem) = setup();
+        let mut p = TracedPlane::new(&mut space, 8, 4);
+        let mut src = vec![50u8; 32];
+        src[0] = 10; // top-left pixel
+        src[7] = 20; // top-right
+        src[24] = 30; // bottom-left
+        src[31] = 40; // bottom-right
+        p.copy_from(&mut mem, &src, false);
+        p.pad_borders(&mut mem);
+        assert_eq!(p.load_pixel(&mut mem, -1, 0), 10);
+        assert_eq!(p.load_pixel(&mut mem, -5, -7), 10);
+        assert_eq!(p.load_pixel(&mut mem, 8, 0), 20);
+        assert_eq!(p.load_pixel(&mut mem, 12, -3), 20);
+        assert_eq!(p.load_pixel(&mut mem, -2, 5), 30);
+        assert_eq!(p.load_pixel(&mut mem, 9, 3), 40);
+        assert_eq!(p.load_pixel(&mut mem, 10, 10), 40);
+    }
+
+    #[test]
+    fn copy_from_issues_prefetches_when_asked() {
+        use m4ps_memsim::{Hierarchy, MachineSpec};
+        let mut space = AddressSpace::new();
+        let mut mem = Hierarchy::new(MachineSpec::o2());
+        let mut p = TracedPlane::new(&mut space, 64, 8);
+        p.copy_from(&mut mem, &vec![1u8; 64 * 8], true);
+        assert_eq!(mem.counters().prefetches, 14); // 7 rows x 1 pair
+        let mut mem2 = Hierarchy::new(MachineSpec::o2());
+        let mut p2 = TracedPlane::new(&mut space, 64, 8);
+        p2.copy_from(&mut mem2, &vec![1u8; 64 * 8], false);
+        assert_eq!(mem2.counters().prefetches, 0);
+    }
+
+    #[test]
+    fn frame_chroma_planes_are_half_size() {
+        let (mut space, _) = setup();
+        let f = TracedFrame::new(&mut space, 32, 16);
+        assert_eq!(f.y.width(), 32);
+        assert_eq!(f.u.width(), 16);
+        assert_eq!(f.v.height(), 8);
+    }
+
+    #[test]
+    fn distinct_planes_have_distinct_addresses() {
+        let (mut space, _) = setup();
+        let f = TracedFrame::new(&mut space, 32, 16);
+        assert_ne!(f.y.addr_of(0, 0), f.u.addr_of(0, 0));
+        assert_ne!(f.u.addr_of(0, 0), f.v.addr_of(0, 0));
+    }
+}

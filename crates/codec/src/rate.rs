@@ -1,0 +1,151 @@
+//! Rate control: a simple reactive quantizer adaptation toward the
+//! configured target bitrate (the paper encodes at 38400 bit/s).
+
+use crate::types::VopKind;
+
+/// Reactive per-VOP rate controller.
+///
+/// After each coded VOP the controller compares the running bit
+/// expenditure against the target bit budget and nudges the quantizer
+/// parameter, with the usual I-VOP budget weighting.
+#[derive(Debug, Clone)]
+pub struct RateController {
+    qp: u8,
+    target_bits_per_frame: Option<f64>,
+    spent_bits: f64,
+    budgeted_bits: f64,
+}
+
+/// Budget weight of an I-VOP relative to a P-VOP.
+const I_WEIGHT: f64 = 3.0;
+/// Budget weight of a B-VOP relative to a P-VOP.
+const B_WEIGHT: f64 = 0.5;
+
+impl RateController {
+    /// Creates a controller starting at `initial_qp`; `bitrate` of
+    /// `None` means constant-QP operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_qp` is outside `1..=31` or `frame_rate` is not
+    /// positive.
+    pub fn new(initial_qp: u8, bitrate: Option<u32>, frame_rate: f64) -> Self {
+        assert!((1..=31).contains(&initial_qp));
+        assert!(frame_rate > 0.0);
+        RateController {
+            qp: initial_qp,
+            target_bits_per_frame: bitrate.map(|b| f64::from(b) / frame_rate),
+            spent_bits: 0.0,
+            budgeted_bits: 0.0,
+        }
+    }
+
+    /// Quantizer to use for the next VOP of the given kind.
+    pub fn qp_for(&self, kind: VopKind) -> u8 {
+        // I-VOPs get a slightly finer quantizer, B-VOPs a coarser one
+        // (standard practice, and what keeps B budgets small).
+        let q = match kind {
+            VopKind::I => i16::from(self.qp) - 1,
+            VopKind::P => i16::from(self.qp),
+            VopKind::B => i16::from(self.qp) + 2,
+        };
+        q.clamp(1, 31) as u8
+    }
+
+    /// Reports that a VOP of `kind` consumed `bits` bits; adapts the
+    /// quantizer for subsequent VOPs.
+    pub fn update(&mut self, kind: VopKind, bits: u64) {
+        let Some(per_frame) = self.target_bits_per_frame else {
+            return;
+        };
+        let weight = match kind {
+            VopKind::I => I_WEIGHT,
+            VopKind::P => 1.0,
+            VopKind::B => B_WEIGHT,
+        };
+        // Normalized budget share of this frame kind (so a mix of kinds
+        // still averages to the per-frame target).
+        self.budgeted_bits += per_frame * weight / mean_weight();
+        self.spent_bits += bits as f64;
+        let ratio = self.spent_bits / self.budgeted_bits.max(1.0);
+        if ratio > 1.15 {
+            self.qp = (self.qp + 1).min(31);
+        } else if ratio < 0.85 {
+            self.qp = (self.qp - 1).max(1);
+        }
+    }
+
+    /// Current base quantizer.
+    pub fn current_qp(&self) -> u8 {
+        self.qp
+    }
+
+    /// Total bits reported so far.
+    pub fn spent_bits(&self) -> u64 {
+        self.spent_bits as u64
+    }
+}
+
+/// Average kind weight of an IBBP stream (rough normalization constant).
+fn mean_weight() -> f64 {
+    (I_WEIGHT + 3.0 * 1.0 + 8.0 * B_WEIGHT) / 12.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_qp_never_moves() {
+        let mut rc = RateController::new(10, None, 30.0);
+        for _ in 0..100 {
+            rc.update(VopKind::P, 1_000_000);
+        }
+        assert_eq!(rc.current_qp(), 10);
+    }
+
+    #[test]
+    fn overspending_raises_qp() {
+        let mut rc = RateController::new(10, Some(38_400), 30.0);
+        for _ in 0..20 {
+            rc.update(VopKind::P, 100_000); // way over 1280 bits/frame
+        }
+        assert!(rc.current_qp() > 10);
+    }
+
+    #[test]
+    fn underspending_lowers_qp() {
+        let mut rc = RateController::new(10, Some(38_400), 30.0);
+        for _ in 0..20 {
+            rc.update(VopKind::P, 10);
+        }
+        assert!(rc.current_qp() < 10);
+    }
+
+    #[test]
+    fn qp_stays_in_legal_range() {
+        let mut rc = RateController::new(31, Some(1_000), 30.0);
+        for _ in 0..100 {
+            rc.update(VopKind::I, 10_000_000);
+        }
+        assert_eq!(rc.current_qp(), 31);
+        let mut rc = RateController::new(1, Some(100_000_000), 30.0);
+        for _ in 0..100 {
+            rc.update(VopKind::P, 1);
+        }
+        assert_eq!(rc.current_qp(), 1);
+    }
+
+    #[test]
+    fn kind_offsets_order_qps() {
+        let rc = RateController::new(10, Some(38_400), 30.0);
+        assert!(rc.qp_for(VopKind::I) < rc.qp_for(VopKind::P));
+        assert!(rc.qp_for(VopKind::P) < rc.qp_for(VopKind::B));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_qp_rejected() {
+        RateController::new(0, None, 30.0);
+    }
+}

@@ -1,0 +1,378 @@
+//! Texture coding pipeline: DCT → quantization → zigzag → run-level
+//! entropy coding, plus the shared reconstruction path.
+//!
+//! The pipeline stages communicate through small traced scratch buffers,
+//! mirroring the MoMuSys structure the paper credits for locality:
+//! "different stages of the application's pipeline process the same data
+//! resident in L1 cache".
+
+use crate::error::CodecError;
+use crate::vlc::{get_se, get_ue, put_se, put_ue};
+use m4ps_bitstream::{BitReader, BitWriter};
+use m4ps_dsp::{
+    dequantize_inter, dequantize_intra, forward_dct, inverse_dct, quantize_inter, quantize_intra,
+    scan_zigzag, unscan_zigzag, Block, CoefBlock, DCT_OPS, QUANT_OPS,
+};
+use m4ps_memsim::{AddressSpace, MemModel, SimBuf};
+
+/// Quantized levels of one 8×8 block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantizedBlock {
+    /// Quantized coefficient levels in row-major order.
+    pub levels: CoefBlock,
+    /// `true` when quantized as intra.
+    pub intra: bool,
+}
+
+impl QuantizedBlock {
+    /// Quantized DC level (meaningful for intra blocks).
+    pub fn qdc(&self) -> i16 {
+        self.levels.data[0]
+    }
+
+    /// `true` when an inter block has no level to transmit.
+    pub fn is_empty_inter(&self) -> bool {
+        !self.intra && self.levels.is_zero()
+    }
+
+    /// `true` when an intra block has no AC level to transmit.
+    pub fn has_ac(&self) -> bool {
+        self.levels.data[1..].iter().any(|&v| v != 0)
+    }
+}
+
+/// Per-coefficient entropy-coding compute cost.
+const VLC_OPS_PER_COEF: u64 = 3;
+
+/// Texture pipeline state: the traced scratch buffers the stages share.
+#[derive(Debug, Clone)]
+pub struct TextureCoder {
+    block_scratch: SimBuf<i16>,
+    coef_scratch: SimBuf<i16>,
+    qcoef_scratch: SimBuf<i16>,
+    /// Motion-compensated prediction buffer (luma 256 + two chroma 64),
+    /// written by MC and read back by the residual/reconstruction
+    /// stages, as in the reference decoder's `GetPred`/`AddBlock` pair.
+    pred_scratch: SimBuf<u8>,
+    /// VLC code tables touched per coefficient event.
+    vlc_tables: SimBuf<u8>,
+    /// Hot working-stack region modelling the reference implementation's
+    /// per-macroblock bookkeeping (function frames, MB struct arrays,
+    /// spilled locals). The MoMuSys codec spends thousands of
+    /// instructions per macroblock on such overhead; it is L1-resident
+    /// and is precisely the kind of traffic that makes the measured
+    /// codec look *less* memory-bound, as the paper observes.
+    stack_scratch: SimBuf<u8>,
+}
+
+impl TextureCoder {
+    /// Allocates the scratch buffers in `space`.
+    pub fn new(space: &mut AddressSpace) -> Self {
+        TextureCoder {
+            block_scratch: SimBuf::zeroed(space, 64),
+            coef_scratch: SimBuf::zeroed(space, 64),
+            qcoef_scratch: SimBuf::zeroed(space, 64),
+            pred_scratch: SimBuf::zeroed(space, 384),
+            vlc_tables: SimBuf::zeroed(space, 2048),
+            stack_scratch: SimBuf::zeroed(space, 4096),
+        }
+    }
+
+    /// Charges one macroblock's worth of reference-implementation
+    /// bookkeeping: ~4k hot stack/struct references and ~8k control
+    /// instructions. Calibration: MoMuSys decodes ~30M instructions per
+    /// PAL frame (~18k per macroblock) with a ~40% memory-operation
+    /// share; the algorithmic work our codec performs accounts for only
+    /// part of that, and this charge models the remainder (function
+    /// frames, struct chasing, spilled locals) as L1-resident traffic.
+    pub fn charge_mb_overhead<M: MemModel>(&self, mem: &mut M) {
+        self.stack_scratch.touch_read(mem, 0, 2048);
+        self.stack_scratch.touch_write(mem, 0, 2048);
+        mem.add_ops(8000);
+    }
+
+    /// Charges the stores that fill `n` bytes of the prediction buffer.
+    pub fn charge_pred_store<M: MemModel>(&self, mem: &mut M, n: usize) {
+        self.pred_scratch.touch_write(mem, 0, n.min(384));
+    }
+
+    /// Charges the loads that consume `n` bytes of the prediction buffer.
+    pub fn charge_pred_load<M: MemModel>(&self, mem: &mut M, n: usize) {
+        self.pred_scratch.touch_read(mem, 0, n.min(384));
+    }
+
+    /// Charges the VLC table lookups for one coded block (two table
+    /// touches per coefficient, as the reference table-driven decoder
+    /// performs).
+    fn charge_vlc_tables<M: MemModel>(&self, mem: &mut M) {
+        self.vlc_tables.touch_read(mem, 0, 128);
+    }
+
+    /// Forward path: samples (pixels for intra, residues for inter) →
+    /// quantized levels.
+    pub fn transform_quant<M: MemModel>(
+        &mut self,
+        mem: &mut M,
+        samples: &[i16; 64],
+        intra: bool,
+        qp: u8,
+    ) -> QuantizedBlock {
+        // Stage 1: block buffer fill.
+        self.block_scratch.store_run(mem, 0, samples);
+        // Stage 2: forward DCT.
+        self.block_scratch.touch_read(mem, 0, 64);
+        mem.add_ops(DCT_OPS);
+        let coefs = forward_dct(&Block::from_samples(*samples));
+        self.coef_scratch.store_run(mem, 0, &coefs.data);
+        // Stage 3: quantization.
+        self.coef_scratch.touch_read(mem, 0, 64);
+        mem.add_ops(QUANT_OPS);
+        let levels = if intra {
+            quantize_intra(&coefs, qp)
+        } else {
+            quantize_inter(&coefs, qp)
+        };
+        self.qcoef_scratch.store_run(mem, 0, &levels.data);
+        QuantizedBlock { levels, intra }
+    }
+
+    /// Entropy-encodes a quantized block. For intra blocks the DC level
+    /// is coded predictively against `dc_pred`; AC (and all inter)
+    /// levels are coded as zigzag run-level events.
+    pub fn entropy_encode<M: MemModel>(
+        &self,
+        mem: &mut M,
+        qb: &QuantizedBlock,
+        dc_pred: i16,
+        w: &mut BitWriter,
+    ) {
+        self.qcoef_scratch.touch_read(mem, 0, 64);
+        self.charge_vlc_tables(mem);
+        mem.add_ops(64 * VLC_OPS_PER_COEF);
+        let scanned = scan_zigzag(&qb.levels);
+        let start = if qb.intra {
+            put_se(w, i32::from(qb.qdc()) - i32::from(dc_pred));
+            1
+        } else {
+            0
+        };
+        let mut run = 0u32;
+        for &level in &scanned[start..] {
+            if level == 0 {
+                run += 1;
+            } else {
+                w.put_bit(true); // another event follows
+                put_ue(w, run);
+                put_se(w, i32::from(level));
+                run = 0;
+            }
+        }
+        w.put_bit(false); // end of block
+    }
+
+    /// Entropy-decodes a quantized block (inverse of
+    /// [`TextureCoder::entropy_encode`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated or corrupt input.
+    pub fn entropy_decode<M: MemModel>(
+        &mut self,
+        mem: &mut M,
+        intra: bool,
+        dc_pred: i16,
+        r: &mut BitReader<'_>,
+    ) -> Result<QuantizedBlock, CodecError> {
+        let mut scanned = [0i16; 64];
+        let start = if intra {
+            let diff = get_se(r)?;
+            scanned[0] = (i32::from(dc_pred) + diff)
+                .clamp(i32::from(i16::MIN), i32::from(i16::MAX)) as i16;
+            1
+        } else {
+            0
+        };
+        let mut pos = start;
+        while r.get_bit().map_err(CodecError::from)? {
+            let run = get_ue(r)? as usize;
+            let level = get_se(r)?;
+            if level == 0 {
+                return Err(CodecError::InvalidStream("zero level in run-level event"));
+            }
+            pos += run;
+            if pos >= 64 {
+                return Err(CodecError::InvalidStream("coefficient index overflow"));
+            }
+            scanned[pos] = level.clamp(-2048, 2047) as i16;
+            pos += 1;
+        }
+        let levels = unscan_zigzag(&scanned);
+        self.charge_vlc_tables(mem);
+        mem.add_ops(64 * VLC_OPS_PER_COEF);
+        self.qcoef_scratch.store_run(mem, 0, &levels.data);
+        Ok(QuantizedBlock { levels, intra })
+    }
+
+    /// Shared reconstruction: levels → spatial samples (pixels for
+    /// intra, residues for inter). Used identically by the encoder's
+    /// local decode loop and the decoder, guaranteeing drift-free
+    /// prediction.
+    pub fn reconstruct<M: MemModel>(
+        &mut self,
+        mem: &mut M,
+        qb: &QuantizedBlock,
+        qp: u8,
+    ) -> [i16; 64] {
+        // Dequantization.
+        self.qcoef_scratch.touch_read(mem, 0, 64);
+        mem.add_ops(QUANT_OPS);
+        let coefs = if qb.intra {
+            dequantize_intra(&qb.levels, qp)
+        } else {
+            dequantize_inter(&qb.levels, qp)
+        };
+        self.coef_scratch.store_run(mem, 0, &coefs.data);
+        // Inverse DCT.
+        self.coef_scratch.touch_read(mem, 0, 64);
+        mem.add_ops(DCT_OPS);
+        let block = inverse_dct(&coefs);
+        self.block_scratch.store_run(mem, 0, &block.data);
+        block.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m4ps_memsim::NullModel;
+
+    fn setup() -> (TextureCoder, NullModel) {
+        let mut space = AddressSpace::new();
+        (TextureCoder::new(&mut space), NullModel::new())
+    }
+
+    fn gradient_pixels() -> [i16; 64] {
+        let mut s = [0i16; 64];
+        for (i, v) in s.iter_mut().enumerate() {
+            *v = (((i % 8) * 20 + (i / 8) * 10) % 256) as i16;
+        }
+        s
+    }
+
+    #[test]
+    fn intra_block_roundtrips_through_bitstream() {
+        let (mut tc, mut mem) = setup();
+        let samples = gradient_pixels();
+        let qb = tc.transform_quant(&mut mem, &samples, true, 4);
+        let mut w = BitWriter::new();
+        tc.entropy_encode(&mut mem, &qb, 128, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let decoded = tc.entropy_decode(&mut mem, true, 128, &mut r).unwrap();
+        assert_eq!(decoded, qb);
+    }
+
+    #[test]
+    fn inter_block_roundtrips_through_bitstream() {
+        let (mut tc, mut mem) = setup();
+        let mut residues = [0i16; 64];
+        for (i, v) in residues.iter_mut().enumerate() {
+            *v = ((i as i16 * 7) % 61) - 30;
+        }
+        let qb = tc.transform_quant(&mut mem, &residues, false, 6);
+        let mut w = BitWriter::new();
+        tc.entropy_encode(&mut mem, &qb, 0, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let decoded = tc.entropy_decode(&mut mem, false, 0, &mut r).unwrap();
+        assert_eq!(decoded, qb);
+    }
+
+    #[test]
+    fn reconstruction_error_is_bounded_by_quantizer() {
+        let (mut tc, mut mem) = setup();
+        let samples = gradient_pixels();
+        for qp in [2u8, 8, 16, 31] {
+            let qb = tc.transform_quant(&mut mem, &samples, true, qp);
+            let rec = tc.reconstruct(&mut mem, &qb, qp);
+            for i in 0..64 {
+                let err = (i32::from(rec[i]) - i32::from(samples[i])).abs();
+                // DCT error bound: quant error per coefficient ≤ 2qp+4,
+                // spread over 64 samples; a loose but meaningful bound.
+                assert!(err <= 3 * i32::from(qp) + 4, "qp {qp} idx {i} err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn encoder_and_decoder_reconstructions_agree_exactly() {
+        let (mut tc, mut mem) = setup();
+        let samples = gradient_pixels();
+        let qb = tc.transform_quant(&mut mem, &samples, true, 9);
+        let enc_rec = tc.reconstruct(&mut mem, &qb, 9);
+        let mut w = BitWriter::new();
+        tc.entropy_encode(&mut mem, &qb, 0, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let decoded = tc.entropy_decode(&mut mem, true, 0, &mut r).unwrap();
+        let dec_rec = tc.reconstruct(&mut mem, &decoded, 9);
+        assert_eq!(enc_rec, dec_rec);
+    }
+
+    #[test]
+    fn zero_residue_inter_block_is_empty() {
+        let (mut tc, mut mem) = setup();
+        let qb = tc.transform_quant(&mut mem, &[0i16; 64], false, 8);
+        assert!(qb.is_empty_inter());
+        assert!(!qb.has_ac());
+        let textured = tc.transform_quant(&mut mem, &gradient_pixels(), true, 2);
+        assert!(textured.has_ac());
+        // And codes to a single terminator bit.
+        let mut w = BitWriter::new();
+        tc.entropy_encode(&mut mem, &qb, 0, &mut w);
+        assert_eq!(w.bit_len(), 1);
+    }
+
+    #[test]
+    fn dc_prediction_shrinks_intra_code() {
+        let (mut tc, mut mem) = setup();
+        let samples = [200i16; 64];
+        let qb = tc.transform_quant(&mut mem, &samples, true, 4);
+        let mut w_good = BitWriter::new();
+        tc.entropy_encode(&mut mem, &qb, qb.qdc(), &mut w_good);
+        let mut w_bad = BitWriter::new();
+        tc.entropy_encode(&mut mem, &qb, 0, &mut w_bad);
+        assert!(w_good.bit_len() < w_bad.bit_len());
+    }
+
+    #[test]
+    fn corrupt_run_overflow_is_an_error() {
+        let (mut tc, mut mem) = setup();
+        let mut w = BitWriter::new();
+        // intra dc diff = 0, then an event with run = 70 (overflow).
+        put_se(&mut w, 0);
+        w.put_bit(true);
+        put_ue(&mut w, 70);
+        put_se(&mut w, 1);
+        w.put_bit(false);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert!(tc.entropy_decode(&mut mem, true, 0, &mut r).is_err());
+    }
+
+    #[test]
+    fn scratch_traffic_is_charged() {
+        use m4ps_memsim::{Hierarchy, MachineSpec};
+        let mut space = AddressSpace::new();
+        let mut tc = TextureCoder::new(&mut space);
+        let mut mem = Hierarchy::new(MachineSpec::o2());
+        let qb = tc.transform_quant(&mut mem, &gradient_pixels(), true, 8);
+        let _ = tc.reconstruct(&mut mem, &qb, 8);
+        let c = mem.counters();
+        assert!(c.loads > 0 && c.stores > 0);
+        assert!(c.compute_ops >= 2 * DCT_OPS + 2 * QUANT_OPS);
+        // Scratch buffers are tiny and hot: after the first touches,
+        // misses must be far below references.
+        assert!(c.l1_misses * 20 < c.memory_refs());
+    }
+}

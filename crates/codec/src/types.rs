@@ -1,0 +1,194 @@
+//! Core value types of the VOP coding model.
+
+/// Coding type of a video object plane (paper Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VopKind {
+    /// Intra: a complete image compressed for spatial redundancy only.
+    I,
+    /// Forward predicted from the nearest previously coded anchor.
+    P,
+    /// Bidirectionally interpolated from surrounding I/P anchors.
+    B,
+}
+
+impl VopKind {
+    /// Two-bit code used in the VOP header (matches 14496-2
+    /// `vop_coding_type`).
+    pub fn code(self) -> u32 {
+        match self {
+            VopKind::I => 0,
+            VopKind::P => 1,
+            VopKind::B => 2,
+        }
+    }
+
+    /// Decodes the two-bit header code.
+    pub fn from_code(code: u32) -> Option<VopKind> {
+        match code {
+            0 => Some(VopKind::I),
+            1 => Some(VopKind::P),
+            2 => Some(VopKind::B),
+            _ => None,
+        }
+    }
+
+    /// `true` for anchor types (I and P) that later VOPs may reference.
+    pub fn is_anchor(self) -> bool {
+        !matches!(self, VopKind::B)
+    }
+}
+
+/// A motion vector in half-pel units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MotionVector {
+    /// Horizontal displacement in half-pels (positive = right).
+    pub x: i16,
+    /// Vertical displacement in half-pels (positive = down).
+    pub y: i16,
+}
+
+impl MotionVector {
+    /// The zero vector.
+    pub const ZERO: MotionVector = MotionVector { x: 0, y: 0 };
+
+    /// Creates a vector from half-pel components.
+    pub fn new(x: i16, y: i16) -> Self {
+        MotionVector { x, y }
+    }
+
+    /// Creates a vector from integer-pel components.
+    pub fn from_full_pel(x: i16, y: i16) -> Self {
+        MotionVector { x: x * 2, y: y * 2 }
+    }
+
+    /// Integer-pel part (floor division toward negative infinity).
+    pub fn full_pel(self) -> (i16, i16) {
+        (self.x >> 1, self.y >> 1)
+    }
+
+    /// `true` when both components are on integer-pel positions.
+    pub fn is_full_pel(self) -> bool {
+        self.x & 1 == 0 && self.y & 1 == 0
+    }
+
+    /// Component-wise median of three vectors — the H.263/MPEG-4 motion
+    /// vector predictor.
+    pub fn median3(a: MotionVector, b: MotionVector, c: MotionVector) -> MotionVector {
+        fn med(a: i16, b: i16, c: i16) -> i16 {
+            a.max(b).min(a.min(b).max(c))
+        }
+        MotionVector {
+            x: med(a.x, b.x, c.x),
+            y: med(a.y, b.y, c.y),
+        }
+    }
+}
+
+/// How a macroblock was coded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MacroblockKind {
+    /// Intra coded (texture only).
+    Intra,
+    /// Inter coded with one forward vector.
+    Inter,
+    /// Skipped: zero vector, no residue (P-VOPs only).
+    Skipped,
+    /// B-VOP: forward prediction only.
+    Forward,
+    /// B-VOP: backward prediction only.
+    Backward,
+    /// B-VOP: averaged bidirectional prediction.
+    Bidirectional,
+    /// Inter coded with four 8×8 vectors (MPEG-4 advanced prediction).
+    Inter4V,
+}
+
+impl MacroblockKind {
+    /// Header code for the macroblock type.
+    pub fn code(self) -> u32 {
+        match self {
+            MacroblockKind::Intra => 0,
+            MacroblockKind::Inter => 1,
+            MacroblockKind::Skipped => 2,
+            MacroblockKind::Forward => 3,
+            MacroblockKind::Backward => 4,
+            MacroblockKind::Bidirectional => 5,
+            MacroblockKind::Inter4V => 6,
+        }
+    }
+
+    /// Decodes a macroblock-type code.
+    pub fn from_code(code: u32) -> Option<MacroblockKind> {
+        match code {
+            0 => Some(MacroblockKind::Intra),
+            1 => Some(MacroblockKind::Inter),
+            2 => Some(MacroblockKind::Skipped),
+            3 => Some(MacroblockKind::Forward),
+            4 => Some(MacroblockKind::Backward),
+            5 => Some(MacroblockKind::Bidirectional),
+            6 => Some(MacroblockKind::Inter4V),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vop_kind_codes_roundtrip() {
+        for k in [VopKind::I, VopKind::P, VopKind::B] {
+            assert_eq!(VopKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(VopKind::from_code(3), None);
+        assert!(VopKind::I.is_anchor());
+        assert!(VopKind::P.is_anchor());
+        assert!(!VopKind::B.is_anchor());
+    }
+
+    #[test]
+    fn mv_pel_conversions() {
+        let v = MotionVector::from_full_pel(3, -2);
+        assert_eq!(v, MotionVector::new(6, -4));
+        assert!(v.is_full_pel());
+        assert_eq!(v.full_pel(), (3, -2));
+        let h = MotionVector::new(7, -3);
+        assert!(!h.is_full_pel());
+        assert_eq!(h.full_pel(), (3, -2)); // floor toward -inf
+    }
+
+    #[test]
+    fn median_is_order_free_and_componentwise() {
+        let a = MotionVector::new(1, 10);
+        let b = MotionVector::new(5, -2);
+        let c = MotionVector::new(3, 4);
+        let m = MotionVector::median3(a, b, c);
+        assert_eq!(m, MotionVector::new(3, 4));
+        assert_eq!(MotionVector::median3(c, a, b), m);
+        assert_eq!(MotionVector::median3(b, c, a), m);
+    }
+
+    #[test]
+    fn median_with_duplicates() {
+        let a = MotionVector::new(2, 2);
+        let m = MotionVector::median3(a, a, MotionVector::new(9, -9));
+        assert_eq!(m, a);
+    }
+
+    #[test]
+    fn mb_kind_codes_roundtrip() {
+        for k in [
+            MacroblockKind::Intra,
+            MacroblockKind::Inter,
+            MacroblockKind::Skipped,
+            MacroblockKind::Forward,
+            MacroblockKind::Backward,
+            MacroblockKind::Bidirectional,
+            MacroblockKind::Inter4V,
+        ] {
+            assert_eq!(MacroblockKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(MacroblockKind::from_code(7), None);
+    }
+}

@@ -1,0 +1,133 @@
+//! Variable-length code primitives.
+//!
+//! The reference codec uses per-syntax Huffman tables; we use
+//! exp-Golomb codes, which have the same structure (short codes for
+//! common small values, unbounded range, no escape mechanism needed) and
+//! identical memory behaviour (sequential bit I/O).
+
+use crate::error::CodecError;
+use m4ps_bitstream::{BitReader, BitWriter};
+
+/// Writes `value` as an unsigned exp-Golomb code.
+pub fn put_ue(w: &mut BitWriter, value: u32) {
+    let v = value as u64 + 1;
+    let bits = 64 - v.leading_zeros(); // position of the MSB
+    for _ in 0..bits - 1 {
+        w.put_bit(false);
+    }
+    for shift in (0..bits).rev() {
+        w.put_bit((v >> shift) & 1 != 0);
+    }
+}
+
+/// Reads an unsigned exp-Golomb code.
+///
+/// # Errors
+///
+/// Returns a bitstream error on truncated input or a code longer than
+/// 32 leading zeros (corrupt stream).
+pub fn get_ue(r: &mut BitReader<'_>) -> Result<u32, CodecError> {
+    let mut zeros = 0u32;
+    while !r.get_bit()? {
+        zeros += 1;
+        if zeros > 32 {
+            return Err(CodecError::InvalidStream("exp-Golomb prefix too long"));
+        }
+    }
+    let mut v: u64 = 1;
+    for _ in 0..zeros {
+        v = (v << 1) | u64::from(r.get_bit()?);
+    }
+    Ok((v - 1) as u32)
+}
+
+/// Writes `value` as a signed exp-Golomb code (0, 1, −1, 2, −2, …).
+pub fn put_se(w: &mut BitWriter, value: i32) {
+    let mapped = if value > 0 {
+        (value as u32) * 2 - 1
+    } else {
+        (-value as u32) * 2
+    };
+    put_ue(w, mapped);
+}
+
+/// Reads a signed exp-Golomb code.
+///
+/// # Errors
+///
+/// Propagates [`get_ue`] errors.
+pub fn get_se(r: &mut BitReader<'_>) -> Result<i32, CodecError> {
+    let v = get_ue(r)?;
+    if v % 2 == 1 {
+        Ok(((v + 1) / 2) as i32)
+    } else {
+        Ok(-((v / 2) as i32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ue_small_values_are_short() {
+        let mut w = BitWriter::new();
+        put_ue(&mut w, 0);
+        assert_eq!(w.bit_len(), 1);
+        let mut w = BitWriter::new();
+        put_ue(&mut w, 1);
+        assert_eq!(w.bit_len(), 3);
+        let mut w = BitWriter::new();
+        put_ue(&mut w, 6);
+        assert_eq!(w.bit_len(), 5);
+    }
+
+    #[test]
+    fn ue_roundtrip() {
+        let values = [0u32, 1, 2, 3, 7, 8, 100, 65_535, 1_000_000, u32::MAX - 1];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            put_ue(&mut w, v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(get_ue(&mut r).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn se_roundtrip() {
+        let values = [0i32, 1, -1, 2, -2, 17, -100, 40_000, -40_000];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            put_se(&mut w, v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(get_se(&mut r).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn se_mapping_prefers_small_magnitudes() {
+        let len = |v: i32| {
+            let mut w = BitWriter::new();
+            put_se(&mut w, v);
+            w.bit_len()
+        };
+        assert_eq!(len(0), 1);
+        assert!(len(1) <= len(2));
+        assert!(len(-1) <= len(3));
+        assert!(len(5) < len(50));
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        // A long run of zeros with no terminator.
+        let bytes = [0u8; 2];
+        let mut r = BitReader::new(&bytes);
+        assert!(get_ue(&mut r).is_err());
+    }
+}

@@ -1,0 +1,87 @@
+//! Robustness: the decoder must reject arbitrary garbage with an error,
+//! never panic, and never loop forever.
+
+use m4ps_bitstream::{BitReader, BitWriter};
+use m4ps_codec::{VideoObjectDecoder, VolHeader};
+use m4ps_memsim::{AddressSpace, NullModel};
+use proptest::prelude::*;
+
+fn vol_bytes(binary_shape: bool) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    VolHeader {
+        vo_id: 0,
+        vol_id: 0,
+        width: 64,
+        height: 48,
+        binary_shape,
+        enhancement: false,
+    }
+    .write(&mut w);
+    w.into_bytes()
+}
+
+fn try_decode(stream: &[u8]) {
+    let mut space = AddressSpace::new();
+    let mut mem = NullModel::new();
+    let mut r = BitReader::new(stream);
+    let Ok(mut dec) = VideoObjectDecoder::from_stream(&mut space, &mut mem, &mut r) else {
+        return;
+    };
+    // Bounded number of VOP attempts: garbage may contain several
+    // accidental startcodes.
+    for _ in 0..8 {
+        match dec.decode_next(&mut mem, &mut r) {
+            Ok(Some(_)) => continue,
+            Ok(None) | Err(_) => return,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_bytes_after_vol_header_never_panic(
+        body in prop::collection::vec(any::<u8>(), 0..512),
+        shaped in any::<bool>(),
+    ) {
+        let mut stream = vol_bytes(shaped);
+        stream.extend_from_slice(&body);
+        try_decode(&stream);
+    }
+
+    #[test]
+    fn random_bytes_with_vop_startcode_never_panic(
+        body in prop::collection::vec(any::<u8>(), 0..512),
+        shaped in any::<bool>(),
+    ) {
+        let mut stream = vol_bytes(shaped);
+        stream.extend_from_slice(&[0x00, 0x00, 0x01, 0xb6]);
+        stream.extend_from_slice(&body);
+        try_decode(&stream);
+    }
+
+    #[test]
+    fn pure_garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        try_decode(&bytes);
+    }
+
+    #[test]
+    fn truncations_of_a_valid_stream_never_panic(cut in 0usize..400) {
+        use m4ps_codec::{EncoderConfig, FrameView, VideoObjectCoder};
+        let mut space = AddressSpace::new();
+        let mut mem = NullModel::new();
+        let mut coder =
+            VideoObjectCoder::new(&mut space, 64, 48, EncoderConfig::fast_test()).unwrap();
+        let y = vec![100u8; 64 * 48];
+        let u = vec![128u8; 32 * 24];
+        let v = vec![128u8; 32 * 24];
+        let view = FrameView { width: 64, height: 48, y: &y, u: &u, v: &v };
+        let mut stream = coder.header_bytes();
+        for vop in coder.encode_frame(&mut mem, &view, None).unwrap() {
+            stream.extend_from_slice(&vop.bytes);
+        }
+        stream.truncate(cut.min(stream.len()));
+        try_decode(&stream);
+    }
+}

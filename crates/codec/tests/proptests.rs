@@ -1,0 +1,166 @@
+//! Property-based tests of codec components: headers, shape coding,
+//! motion-vector machinery and texture entropy coding under arbitrary
+//! inputs.
+
+use m4ps_bitstream::{BitReader, BitWriter};
+use m4ps_codec::{
+    decode_alpha_plane, encode_alpha_plane, MotionVector, TracedPlane, VolHeader, VopHeader,
+    VopKind,
+};
+use m4ps_memsim::{AddressSpace, NullModel};
+use proptest::prelude::*;
+
+fn vop_kind_strategy() -> impl Strategy<Value = VopKind> {
+    prop_oneof![Just(VopKind::I), Just(VopKind::P), Just(VopKind::B)]
+}
+
+proptest! {
+    #[test]
+    fn vol_header_roundtrips_any_legal_fields(
+        vo_id in 0u32..1000,
+        vol_id in 0u32..16,
+        w_mb in 1usize..64,
+        h_mb in 1usize..64,
+        shape in any::<bool>(),
+        enh in any::<bool>(),
+    ) {
+        let h = VolHeader {
+            vo_id,
+            vol_id,
+            width: w_mb * 16,
+            height: h_mb * 16,
+            binary_shape: shape,
+            enhancement: enh,
+        };
+        let mut w = BitWriter::new();
+        h.write(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        prop_assert_eq!(VolHeader::read(&mut r).unwrap(), h);
+    }
+
+    #[test]
+    fn vop_header_roundtrips_any_legal_fields(
+        kind in vop_kind_strategy(),
+        display in 0u32..100_000,
+        qp in 1u8..=31,
+        bbox_mb in proptest::option::of((0usize..8, 0usize..8, 1usize..8, 1usize..8)),
+        resync in proptest::option::of(1usize..500),
+    ) {
+        let h = VopHeader {
+            kind,
+            display_index: display,
+            qp,
+            bbox: bbox_mb.map(|(x, y, w, hh)| (x * 16, y * 16, w * 16, hh * 16)),
+            resync_interval: resync,
+        };
+        let mut w = BitWriter::new();
+        h.write(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        prop_assert_eq!(VopHeader::read(&mut r).unwrap(), h);
+    }
+
+    #[test]
+    fn mv_median_is_bounded_by_inputs(
+        ax in -30i16..30, ay in -30i16..30,
+        bx in -30i16..30, by in -30i16..30,
+        cx in -30i16..30, cy in -30i16..30,
+    ) {
+        let m = MotionVector::median3(
+            MotionVector::new(ax, ay),
+            MotionVector::new(bx, by),
+            MotionVector::new(cx, cy),
+        );
+        // The median is always one of the inputs, component-wise.
+        prop_assert!([ax, bx, cx].contains(&m.x));
+        prop_assert!([ay, by, cy].contains(&m.y));
+        prop_assert!(m.x >= ax.min(bx).min(cx) && m.x <= ax.max(bx).max(cx));
+        prop_assert!(m.y >= ay.min(by).min(cy) && m.y <= ay.max(by).max(cy));
+    }
+
+    #[test]
+    fn mv_median_is_permutation_invariant(
+        ax in -30i16..30, ay in -30i16..30,
+        bx in -30i16..30, by in -30i16..30,
+        cx in -30i16..30, cy in -30i16..30,
+    ) {
+        let a = MotionVector::new(ax, ay);
+        let b = MotionVector::new(bx, by);
+        let c = MotionVector::new(cx, cy);
+        let m = MotionVector::median3(a, b, c);
+        prop_assert_eq!(m, MotionVector::median3(b, c, a));
+        prop_assert_eq!(m, MotionVector::median3(c, b, a));
+        prop_assert_eq!(m, MotionVector::median3(a, c, b));
+    }
+
+    #[test]
+    fn full_pel_floor_division_is_consistent(x in -64i16..64, y in -64i16..64) {
+        let v = MotionVector::new(x, y);
+        let (fx, fy) = v.full_pel();
+        // fx is floor(x/2): 2*fx <= x < 2*fx + 2.
+        prop_assert!(i32::from(fx) * 2 <= i32::from(x));
+        prop_assert!(i32::from(x) < i32::from(fx) * 2 + 2);
+        prop_assert!(i32::from(fy) * 2 <= i32::from(y));
+        prop_assert!(i32::from(y) < i32::from(fy) * 2 + 2);
+    }
+
+    #[test]
+    fn arbitrary_masks_roundtrip_losslessly(
+        seed_bits in prop::collection::vec(any::<bool>(), 12),
+        density in 0u8..=255,
+    ) {
+        // A 48x32 mask (6 BABs) built from a hash of the seed bits, with
+        // varying densities to cover transparent/opaque/border mixes.
+        let (w, h) = (48usize, 32usize);
+        let mut data = vec![0u8; w * h];
+        let mut state: u64 = seed_bits
+            .iter()
+            .fold(0x9e3779b97f4a7c15, |acc, &b| acc.rotate_left(7) ^ u64::from(b));
+        for px in data.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *px = if ((state >> 33) & 0xff) as u8 <= density { 255 } else { 0 };
+        }
+        let mut space = AddressSpace::new();
+        let mut mem = NullModel::new();
+        let mut plane = TracedPlane::new(&mut space, w, h);
+        plane.copy_from(&mut mem, &data, false);
+
+        let mut bits = BitWriter::new();
+        encode_alpha_plane(&mut mem, &plane, (0, 0, w, h), &mut bits);
+        let bytes = bits.into_bytes();
+        let mut out = TracedPlane::new(&mut space, w, h);
+        let mut r = BitReader::new(&bytes);
+        decode_alpha_plane(&mut mem, &mut out, (0, 0, w, h), &mut r).unwrap();
+        for y in 0..h {
+            prop_assert_eq!(
+                plane.raw_row(0, y as isize, w),
+                out.raw_row(0, y as isize, w),
+                "row {}", y
+            );
+        }
+    }
+
+    #[test]
+    fn structured_masks_compress_below_raw_size(radius in 5.0f64..20.0) {
+        let (w, h) = (64usize, 64usize);
+        let mut data = vec![0u8; w * h];
+        for y in 0..h {
+            for x in 0..w {
+                let dx = x as f64 - 32.0;
+                let dy = y as f64 - 32.0;
+                if (dx * dx + dy * dy).sqrt() <= radius {
+                    data[y * w + x] = 255;
+                }
+            }
+        }
+        let mut space = AddressSpace::new();
+        let mut mem = NullModel::new();
+        let mut plane = TracedPlane::new(&mut space, w, h);
+        plane.copy_from(&mut mem, &data, false);
+        let mut bits = BitWriter::new();
+        encode_alpha_plane(&mut mem, &plane, (0, 0, w, h), &mut bits);
+        // Raw binary plane is 4096 bits.
+        prop_assert!(bits.bit_len() < 2048, "coded {} bits", bits.bit_len());
+    }
+}

@@ -1,0 +1,177 @@
+//! Error-resilience tests: resynchronization markers and concealment.
+
+use m4ps_bitstream::BitReader;
+use m4ps_codec::{EncoderConfig, FrameView, VideoObjectCoder, VideoObjectDecoder};
+use m4ps_memsim::{AddressSpace, NullModel};
+use m4ps_vidgen::{Resolution, Scene, SceneSpec, YuvFrame};
+
+fn view(f: &YuvFrame) -> FrameView<'_> {
+    FrameView {
+        width: f.resolution.width,
+        height: f.resolution.height,
+        y: &f.y,
+        u: &f.u,
+        v: &f.v,
+    }
+}
+
+fn encode_clip(
+    config: EncoderConfig,
+    frames: usize,
+) -> (Vec<u8>, Vec<m4ps_codec::EncodedVop>, Scene) {
+    let res = Resolution::QCIF;
+    let scene = Scene::new(SceneSpec {
+        resolution: res,
+        objects: 1,
+        seed: 77,
+    });
+    let mut space = AddressSpace::new();
+    let mut mem = NullModel::new();
+    let mut coder = VideoObjectCoder::new(&mut space, res.width, res.height, config).unwrap();
+    coder.set_keep_recon(true);
+    let mut stream = coder.header_bytes();
+    let mut vops = Vec::new();
+    for t in 0..frames {
+        let f = scene.frame(t);
+        for vop in coder.encode_frame(&mut mem, &view(&f), None).unwrap() {
+            stream.extend_from_slice(&vop.bytes);
+            vops.push(vop);
+        }
+    }
+    for vop in coder.flush(&mut mem).unwrap() {
+        stream.extend_from_slice(&vop.bytes);
+        vops.push(vop);
+    }
+    (stream, vops, scene)
+}
+
+fn decode_clip(stream: &[u8]) -> Vec<m4ps_codec::DecodedVop> {
+    let mut mem = NullModel::new();
+    let mut space = AddressSpace::new();
+    let mut r = BitReader::new(stream);
+    let mut dec = VideoObjectDecoder::from_stream(&mut space, &mut mem, &mut r).unwrap();
+    dec.set_keep_output(true);
+    let mut out = Vec::new();
+    while let Ok(Some(v)) = dec.decode_next(&mut mem, &mut r) {
+        out.push(v);
+    }
+    out
+}
+
+fn resync_config() -> EncoderConfig {
+    let mut c = EncoderConfig::fast_test();
+    c.resync_mb_interval = Some(23); // deliberately not a row multiple
+    c
+}
+
+#[test]
+fn clean_resync_stream_is_drift_free() {
+    let (stream, encoded, _) = encode_clip(resync_config(), 5);
+    let decoded = decode_clip(&stream);
+    assert_eq!(decoded.len(), encoded.len());
+    for (e, d) in encoded.iter().zip(&decoded) {
+        assert_eq!(d.stats.concealed_mbs, 0);
+        let er = e.recon.as_ref().unwrap();
+        let dr = d.planes.as_ref().unwrap();
+        assert_eq!(er.y, dr.y, "drift at display {}", e.display_index);
+    }
+}
+
+#[test]
+fn resync_markers_cost_bits_but_little() {
+    let (plain, _, _) = encode_clip(EncoderConfig::fast_test(), 5);
+    let (resync, _, _) = encode_clip(resync_config(), 5);
+    assert!(resync.len() > plain.len(), "markers must cost something");
+    assert!(
+        (resync.len() as f64) < plain.len() as f64 * 1.35,
+        "marker overhead too large: {} vs {}",
+        resync.len(),
+        plain.len()
+    );
+}
+
+#[test]
+fn corruption_with_resync_is_concealed_not_fatal() {
+    let (mut stream, encoded, _) = encode_clip(resync_config(), 4);
+    // Flip bytes inside the *second* VOP's payload (well past its header).
+    let second_vop_start = stream.len() - encoded.last().unwrap().bytes.len()
+        - encoded[encoded.len() - 2].bytes.len();
+    let target = second_vop_start + 60;
+    for i in 0..4 {
+        stream[target + i] ^= 0xa5;
+    }
+    let decoded = decode_clip(&stream);
+    // All VOPs still come out.
+    assert_eq!(decoded.len(), encoded.len());
+    let concealed: u64 = decoded.iter().map(|d| d.stats.concealed_mbs).sum();
+    assert!(concealed > 0, "corruption went unnoticed");
+    // Concealment is partial: far fewer than all MBs were lost.
+    let total_mbs = (176 / 16) * (144 / 16) * decoded.len() as u64;
+    assert!(concealed < total_mbs / 2, "concealed {concealed} of {total_mbs}");
+}
+
+#[test]
+fn corruption_without_resync_kills_the_vop() {
+    let (mut stream, encoded, _) = encode_clip(EncoderConfig::fast_test(), 4);
+    let second_vop_start = stream.len() - encoded.last().unwrap().bytes.len()
+        - encoded[encoded.len() - 2].bytes.len();
+    let target = second_vop_start + 60;
+    for i in 0..4 {
+        stream[target + i] ^= 0xa5;
+    }
+    let mut mem = NullModel::new();
+    let mut space = AddressSpace::new();
+    let mut r = BitReader::new(&stream);
+    let mut dec = VideoObjectDecoder::from_stream(&mut space, &mut mem, &mut r).unwrap();
+    let mut ok = 0;
+    let mut failed = false;
+    loop {
+        match dec.decode_next(&mut mem, &mut r) {
+            Ok(Some(_)) => ok += 1,
+            Ok(None) => break,
+            Err(_) => {
+                failed = true;
+                break;
+            }
+        }
+    }
+    // Without markers the corrupted VOP either errors out or decodes to
+    // garbage; it must not conceal (the counter stays zero), and most
+    // likely the decode fails before the end of the stream.
+    assert!(failed || ok < encoded.len(), "corruption had no effect (ok={ok})");
+}
+
+#[test]
+fn later_segments_recover_quality_after_concealment() {
+    // Corrupt early in a resync VOP: the final resync segment of that
+    // VOP should still decode exactly (identical to the clean decode).
+    let (clean_stream, _, _) = encode_clip(resync_config(), 3);
+    let clean = decode_clip(&clean_stream);
+    let mut corrupted_stream = clean_stream.clone();
+    // Find the last VOP's start and damage shortly after its header.
+    let pos = corrupted_stream.len() * 2 / 3;
+    corrupted_stream[pos] ^= 0xff;
+    let damaged = decode_clip(&corrupted_stream);
+    assert_eq!(damaged.len(), clean.len());
+    // At least one VOP was damaged; compare final rows (decoded last,
+    // after the final resync) between clean and damaged runs of the same
+    // display index: they should agree for a large share of pixels.
+    let concealed: u64 = damaged.iter().map(|d| d.stats.concealed_mbs).sum();
+    if concealed == 0 {
+        // The flipped byte may have hit stuffing; nothing to assert.
+        return;
+    }
+    let last_clean = clean.last().unwrap().planes.as_ref().unwrap();
+    let last_damaged = damaged.last().unwrap().planes.as_ref().unwrap();
+    let same = last_clean
+        .y
+        .iter()
+        .zip(&last_damaged.y)
+        .filter(|(a, b)| a == b)
+        .count();
+    assert!(
+        same * 2 > last_clean.y.len(),
+        "recovery failed: only {same} of {} pixels match",
+        last_clean.y.len()
+    );
+}

@@ -1,0 +1,519 @@
+//! End-to-end encoder/decoder agreement tests.
+//!
+//! The fundamental MPEG invariant: the decoder's reconstruction is
+//! bit-identical to the encoder's local reconstruction (otherwise P/B
+//! prediction drifts). These tests exercise it across GOP structures,
+//! shapes, layers and content.
+
+use m4ps_bitstream::BitReader;
+use m4ps_codec::{
+    EncoderConfig, FrameView, GopStructure, SceneDecoder, SceneEncoder, SearchStrategy,
+    VideoObjectCoder, VideoObjectDecoder, VopKind,
+};
+use m4ps_memsim::{AddressSpace, NullModel};
+use m4ps_vidgen::{Resolution, Scene, SceneSpec, YuvFrame};
+
+fn view(f: &YuvFrame) -> FrameView<'_> {
+    FrameView {
+        width: f.resolution.width,
+        height: f.resolution.height,
+        y: &f.y,
+        u: &f.u,
+        v: &f.v,
+    }
+}
+
+fn psnr(a: &[u8], b: &[u8]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let mse: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum::<f64>()
+        / a.len() as f64;
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0 * 255.0 / mse).log10()
+    }
+}
+
+/// Encodes `frames` frames of a scene and checks decoder reconstructions
+/// match the encoder's bit-exactly, returning (source, decoded) luma
+/// pairs in display order.
+fn roundtrip_rect(config: EncoderConfig, frames: usize, seed: u64) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let res = Resolution::QCIF;
+    let scene = Scene::new(SceneSpec {
+        resolution: res,
+        objects: 1,
+        seed,
+    });
+    let mut space = AddressSpace::new();
+    let mut mem = NullModel::new();
+    let mut coder = VideoObjectCoder::new(&mut space, res.width, res.height, config).unwrap();
+    coder.set_keep_recon(true);
+
+    let mut stream = coder.header_bytes();
+    let mut encoded = Vec::new();
+    let mut sources = Vec::new();
+    for t in 0..frames {
+        let f = scene.frame(t);
+        sources.push(f.y.clone());
+        for vop in coder.encode_frame(&mut mem, &view(&f), None).unwrap() {
+            stream.extend_from_slice(&vop.bytes);
+            encoded.push(vop);
+        }
+    }
+    for vop in coder.flush(&mut mem).unwrap() {
+        stream.extend_from_slice(&vop.bytes);
+        encoded.push(vop);
+    }
+    assert_eq!(encoded.len(), frames);
+
+    let mut r = BitReader::new(&stream);
+    let mut dspace = AddressSpace::new();
+    let mut decoder = VideoObjectDecoder::from_stream(&mut dspace, &mut mem, &mut r).unwrap();
+    decoder.set_keep_output(true);
+    let mut decoded = Vec::new();
+    while let Some(vop) = decoder.decode_next(&mut mem, &mut r).unwrap() {
+        decoded.push(vop);
+    }
+    assert_eq!(decoded.len(), encoded.len());
+
+    // Coding order must match, and reconstructions must agree exactly.
+    for (e, d) in encoded.iter().zip(decoded.iter()) {
+        assert_eq!(e.display_index, d.display_index);
+        assert_eq!(e.kind, d.kind);
+        assert_eq!(e.qp, d.qp);
+        let er = e.recon.as_ref().unwrap();
+        let dr = d.planes.as_ref().unwrap();
+        assert_eq!(er.y, dr.y, "luma drift at display {}", e.display_index);
+        assert_eq!(er.u, dr.u, "cb drift at display {}", e.display_index);
+        assert_eq!(er.v, dr.v, "cr drift at display {}", e.display_index);
+    }
+
+    let mut by_display: Vec<(usize, Vec<u8>)> = decoded
+        .into_iter()
+        .map(|d| (d.display_index, d.planes.unwrap().y))
+        .collect();
+    by_display.sort_by_key(|(i, _)| *i);
+    sources
+        .into_iter()
+        .zip(by_display.into_iter().map(|(_, y)| y))
+        .collect()
+}
+
+#[test]
+fn ipp_roundtrip_is_drift_free_and_faithful() {
+    let pairs = roundtrip_rect(EncoderConfig::fast_test(), 6, 11);
+    for (i, (src, dec)) in pairs.iter().enumerate() {
+        let p = psnr(src, dec);
+        assert!(p > 30.0, "frame {i}: luma PSNR {p:.1} dB too low");
+    }
+}
+
+#[test]
+fn ibbp_roundtrip_is_drift_free() {
+    let mut config = EncoderConfig::fast_test();
+    config.gop = GopStructure {
+        intra_period: 6,
+        b_frames: 2,
+    };
+    config.half_pel = true;
+    let pairs = roundtrip_rect(config, 8, 23);
+    for (i, (src, dec)) in pairs.iter().enumerate() {
+        let p = psnr(src, dec);
+        assert!(p > 28.0, "frame {i}: luma PSNR {p:.1} dB too low");
+    }
+}
+
+#[test]
+fn full_search_half_pel_roundtrip() {
+    let mut config = EncoderConfig::fast_test();
+    config.search = SearchStrategy::FullSearch;
+    config.search_range = 6;
+    config.half_pel = true;
+    let pairs = roundtrip_rect(config, 4, 7);
+    assert!(psnr(&pairs[3].0, &pairs[3].1) > 30.0);
+}
+
+#[test]
+fn vop_kinds_follow_gop_structure() {
+    let res = Resolution::QCIF;
+    let scene = Scene::new(SceneSpec {
+        resolution: res,
+        objects: 0,
+        seed: 3,
+    });
+    let mut config = EncoderConfig::fast_test();
+    config.gop = GopStructure {
+        intra_period: 6,
+        b_frames: 2,
+    };
+    let mut space = AddressSpace::new();
+    let mut mem = NullModel::new();
+    let mut coder = VideoObjectCoder::new(&mut space, res.width, res.height, config).unwrap();
+    let mut encoded = Vec::new();
+    for t in 0..7 {
+        let f = scene.frame(t);
+        encoded.extend(coder.encode_frame(&mut mem, &view(&f), None).unwrap());
+    }
+    encoded.extend(coder.flush(&mut mem).unwrap());
+    // Display kinds: 0:I 1:B 2:B 3:P 4:B 5:B 6:I → coding order
+    // 0(I), 3(P), 1(B), 2(B), 6(I), 4(B), 5(B)... flush turns trailing
+    // queued Bs (4, 5) into P-VOPs *after* 6 arrives? No: 6 is an anchor,
+    // so 4 and 5 are drained as B right after it.
+    let order: Vec<(usize, VopKind)> = encoded
+        .iter()
+        .map(|e| (e.display_index, e.kind))
+        .collect();
+    assert_eq!(
+        order,
+        vec![
+            (0, VopKind::I),
+            (3, VopKind::P),
+            (1, VopKind::B),
+            (2, VopKind::B),
+            (6, VopKind::I),
+            (4, VopKind::B),
+            (5, VopKind::B),
+        ]
+    );
+}
+
+#[test]
+fn flush_encodes_trailing_bs_as_p() {
+    let res = Resolution::QCIF;
+    let scene = Scene::new(SceneSpec {
+        resolution: res,
+        objects: 0,
+        seed: 3,
+    });
+    let mut config = EncoderConfig::fast_test();
+    config.gop = GopStructure {
+        intra_period: 9,
+        b_frames: 2,
+    };
+    let mut space = AddressSpace::new();
+    let mut mem = NullModel::new();
+    let mut coder = VideoObjectCoder::new(&mut space, res.width, res.height, config).unwrap();
+    let mut encoded = Vec::new();
+    for t in 0..5 {
+        let f = scene.frame(t);
+        encoded.extend(coder.encode_frame(&mut mem, &view(&f), None).unwrap());
+    }
+    // Frames 4 is queued as B (anchors at 0, 3).
+    assert_eq!(encoded.len(), 4);
+    let tail = coder.flush(&mut mem).unwrap();
+    assert_eq!(tail.len(), 1);
+    assert_eq!(tail[0].kind, VopKind::P);
+    assert_eq!(tail[0].display_index, 4);
+}
+
+#[test]
+fn shaped_single_vo_roundtrip() {
+    let res = Resolution::QCIF;
+    let scene = Scene::new(SceneSpec {
+        resolution: res,
+        objects: 1,
+        seed: 5,
+    });
+    let mut space = AddressSpace::new();
+    let mut mem = NullModel::new();
+    let mut enc = SceneEncoder::new(
+        &mut space,
+        res.width,
+        res.height,
+        1,
+        1,
+        EncoderConfig::fast_test(),
+    )
+    .unwrap();
+    let mut masks_per_frame = Vec::new();
+    for t in 0..4 {
+        let f = scene.frame(t);
+        let m = scene.alpha(t, 0);
+        enc.encode_frame(&mut mem, &view(&f), &[&m.data]).unwrap();
+        masks_per_frame.push(m.data);
+    }
+    let streams = enc.finish(&mut mem).unwrap();
+    assert_eq!(streams.len(), 1);
+
+    let mut dspace = AddressSpace::new();
+    let mut dec = SceneDecoder::new(&mut dspace, &mut mem, &streams, 1).unwrap();
+    dec.set_keep_output(true);
+    let vops = dec.decode_all(&mut mem, &streams).unwrap();
+    assert_eq!(vops.len(), 4);
+
+    // Shape coding is lossless: decoded alpha equals the source mask.
+    let mut by_display: Vec<_> = vops.iter().collect();
+    by_display.sort_by_key(|v| v.display_index);
+    for (t, vop) in by_display.iter().enumerate() {
+        let alpha = vop.alpha.as_ref().expect("shaped layer carries alpha");
+        assert_eq!(alpha, &masks_per_frame[t], "alpha mismatch at frame {t}");
+    }
+
+    // Inside the mask, the decoded texture must be faithful.
+    for (t, vop) in by_display.iter().enumerate() {
+        let src = scene.frame(t);
+        let dec_y = &vop.planes.as_ref().unwrap().y;
+        let mask = &masks_per_frame[t];
+        let inside: Vec<(u8, u8)> = src
+            .y
+            .iter()
+            .zip(dec_y.iter())
+            .zip(mask.iter())
+            .filter(|(_, &m)| m != 0)
+            .map(|((&a, &b), _)| (a, b))
+            .collect();
+        assert!(!inside.is_empty());
+        let mse: f64 = inside
+            .iter()
+            .map(|&(a, b)| {
+                let d = f64::from(a) - f64::from(b);
+                d * d
+            })
+            .sum::<f64>()
+            / inside.len() as f64;
+        let p = 10.0 * (255.0 * 255.0 / mse.max(1e-9)).log10();
+        assert!(p > 28.0, "frame {t}: object PSNR {p:.1} dB");
+    }
+}
+
+#[test]
+fn three_vo_scene_composes_faithfully() {
+    let res = Resolution::QCIF;
+    let scene = Scene::new(SceneSpec {
+        resolution: res,
+        objects: 3,
+        seed: 9,
+    });
+    let mut space = AddressSpace::new();
+    let mut mem = NullModel::new();
+    let mut enc = SceneEncoder::new(
+        &mut space,
+        res.width,
+        res.height,
+        3,
+        1,
+        EncoderConfig::fast_test(),
+    )
+    .unwrap();
+    for t in 0..3 {
+        let f = scene.frame(t);
+        let m0 = scene.alpha(t, 0);
+        let m1 = scene.alpha(t, 1);
+        let m2 = scene.alpha(t, 2);
+        enc.encode_frame(&mut mem, &view(&f), &[&m0.data, &m1.data, &m2.data])
+            .unwrap();
+    }
+    let stats = enc.stats();
+    assert_eq!(stats.frames, 3);
+    assert_eq!(stats.vops, 9);
+    let streams = enc.finish(&mut mem).unwrap();
+    assert_eq!(streams.len(), 3);
+
+    let mut dspace = AddressSpace::new();
+    let mut dec = SceneDecoder::new(&mut dspace, &mut mem, &streams, 1).unwrap();
+    let vops = dec.decode_all(&mut mem, &streams).unwrap();
+    assert_eq!(vops.len(), 9);
+
+    // The composite's last-painted state covers the union of the final
+    // frame's objects; check object-2 pixels of the last frame (painted
+    // last) match the source there.
+    let composite = dec.composite_luma();
+    let src = scene.frame(2);
+    let m2 = scene.alpha(2, 2);
+    let mut err = 0.0f64;
+    let mut n = 0usize;
+    for i in 0..composite.len() {
+        if m2.data[i] != 0 {
+            let d = f64::from(composite[i]) - f64::from(src.y[i]);
+            err += d * d;
+            n += 1;
+        }
+    }
+    assert!(n > 0);
+    let p = 10.0 * (255.0 * 255.0 / (err / n as f64).max(1e-9)).log10();
+    assert!(p > 28.0, "composite object PSNR {p:.1} dB");
+}
+
+#[test]
+fn two_layer_scalability_roundtrip() {
+    let res = Resolution::QCIF;
+    let scene = Scene::new(SceneSpec {
+        resolution: res,
+        objects: 1,
+        seed: 13,
+    });
+    let mut space = AddressSpace::new();
+    let mut mem = NullModel::new();
+    let mut enc = SceneEncoder::new(
+        &mut space,
+        res.width,
+        res.height,
+        1,
+        2,
+        EncoderConfig::fast_test(),
+    )
+    .unwrap();
+    for t in 0..6 {
+        let f = scene.frame(t);
+        let m = scene.alpha(t, 0);
+        enc.encode_frame(&mut mem, &view(&f), &[&m.data]).unwrap();
+    }
+    let streams = enc.finish(&mut mem).unwrap();
+    assert_eq!(streams.len(), 2);
+    assert!(!streams[1].is_empty());
+
+    let mut dspace = AddressSpace::new();
+    let mut dec = SceneDecoder::new(&mut dspace, &mut mem, &streams, 2).unwrap();
+    dec.set_keep_output(true);
+    let vops = dec.decode_all(&mut mem, &streams).unwrap();
+    assert_eq!(vops.len(), 6);
+
+    // All six display indices present (0,2,4 base; 1,3,5 enhancement).
+    let mut indices: Vec<usize> = vops.iter().map(|v| v.display_index).collect();
+    indices.sort_unstable();
+    assert_eq!(indices, vec![0, 1, 2, 3, 4, 5]);
+
+    // Enhancement frames must be faithful to their sources too.
+    for vop in &vops {
+        let t = vop.display_index;
+        let src = scene.frame(t);
+        let mask = scene.alpha(t, 0);
+        let dec_y = &vop.planes.as_ref().unwrap().y;
+        let mut err = 0.0f64;
+        let mut n = 0usize;
+        for i in 0..dec_y.len() {
+            if mask.data[i] != 0 {
+                let d = f64::from(dec_y[i]) - f64::from(src.y[i]);
+                err += d * d;
+                n += 1;
+            }
+        }
+        let p = 10.0 * (255.0 * 255.0 / (err / n as f64).max(1e-9)).log10();
+        assert!(p > 26.0, "frame {t}: PSNR {p:.1} dB");
+    }
+}
+
+#[test]
+fn rate_control_tracks_target() {
+    let res = Resolution::QCIF;
+    let scene = Scene::new(SceneSpec {
+        resolution: res,
+        objects: 2,
+        seed: 21,
+    });
+    let mut config = EncoderConfig::fast_test();
+    // A generous budget the coder should stay within a factor ~2 of.
+    config.bitrate = Some(400_000);
+    config.initial_qp = 20;
+    let mut space = AddressSpace::new();
+    let mut mem = NullModel::new();
+    let mut coder = VideoObjectCoder::new(&mut space, res.width, res.height, config).unwrap();
+    let mut bits = 0u64;
+    let frames = 12;
+    for t in 0..frames {
+        let f = scene.frame(t);
+        for vop in coder.encode_frame(&mut mem, &view(&f), None).unwrap() {
+            bits += vop.stats.bits;
+        }
+    }
+    for vop in coder.flush(&mut mem).unwrap() {
+        bits += vop.stats.bits;
+    }
+    let target = 400_000.0 / 30.0 * frames as f64;
+    let ratio = bits as f64 / target;
+    assert!(
+        (0.3..3.0).contains(&ratio),
+        "spent {bits} bits vs target {target:.0} (ratio {ratio:.2})"
+    );
+}
+
+#[test]
+fn corrupt_stream_is_rejected_not_panicking() {
+    let res = Resolution::QCIF;
+    let scene = Scene::new(SceneSpec {
+        resolution: res,
+        objects: 0,
+        seed: 2,
+    });
+    let mut space = AddressSpace::new();
+    let mut mem = NullModel::new();
+    let mut coder =
+        VideoObjectCoder::new(&mut space, res.width, res.height, EncoderConfig::fast_test())
+            .unwrap();
+    let mut stream = coder.header_bytes();
+    let f = scene.frame(0);
+    for vop in coder.encode_frame(&mut mem, &view(&f), None).unwrap() {
+        stream.extend_from_slice(&vop.bytes);
+    }
+    // Truncate mid-VOP.
+    stream.truncate(stream.len() / 2);
+    let mut r = BitReader::new(&stream);
+    let mut dspace = AddressSpace::new();
+    let mut decoder = VideoObjectDecoder::from_stream(&mut dspace, &mut mem, &mut r).unwrap();
+    match decoder.decode_next(&mut mem, &mut r) {
+        Ok(None) | Err(_) => {} // either rejection or clean EOF is fine
+        Ok(Some(_)) => panic!("decoded a VOP from a truncated stream"),
+    }
+}
+
+#[test]
+fn four_mv_roundtrip_is_drift_free() {
+    let mut config = EncoderConfig::fast_test();
+    config.four_mv = true;
+    config.half_pel = true;
+    config.search = SearchStrategy::FullSearch;
+    config.search_range = 6;
+    let pairs = roundtrip_rect(config, 6, 41);
+    for (i, (src, dec)) in pairs.iter().enumerate() {
+        let p = psnr(src, dec);
+        assert!(p > 28.0, "frame {i}: luma PSNR {p:.1} dB too low");
+    }
+}
+
+#[test]
+fn four_mv_actually_selects_the_mode_on_divergent_motion() {
+    // Two objects moving in different directions force quadrant-level
+    // motion divergence inside macroblocks on their boundary.
+    let res = Resolution::QCIF;
+    let scene = Scene::new(SceneSpec {
+        resolution: res,
+        objects: 3,
+        seed: 17,
+    });
+    let run = |four_mv: bool| -> (u64, u32) {
+        let mut config = EncoderConfig::fast_test();
+        config.four_mv = four_mv;
+        config.search = SearchStrategy::FullSearch;
+        config.search_range = 6;
+        let mut space = AddressSpace::new();
+        let mut mem = NullModel::new();
+        let mut coder =
+            VideoObjectCoder::new(&mut space, res.width, res.height, config).unwrap();
+        let mut bits = 0u64;
+        let mut sad_sum = 0u32;
+        for t in 0..4 {
+            let f = scene.frame(t);
+            for vop in coder.encode_frame(&mut mem, &view(&f), None).unwrap() {
+                bits += vop.stats.bits;
+                sad_sum += 1;
+            }
+        }
+        (bits, sad_sum)
+    };
+    let (bits_1mv, n1) = run(false);
+    let (bits_4mv, n4) = run(true);
+    assert_eq!(n1, n4);
+    // 4MV must not explode the bitstream (it only fires when it wins),
+    // and both must decode; the drift-free test above covers decoding.
+    assert!(
+        (bits_4mv as f64) < bits_1mv as f64 * 1.15,
+        "4MV grew the stream: {bits_4mv} vs {bits_1mv}"
+    );
+}

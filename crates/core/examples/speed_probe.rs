@@ -1,0 +1,39 @@
+//! Quick wall-clock probe of paper-scale simulation cost.
+use m4ps_core::study::{encode_study, decode_study, prepare_streams, StudyConfig, Workload};
+use m4ps_memsim::MachineSpec;
+use m4ps_vidgen::Resolution;
+use std::time::Instant;
+
+fn main() {
+    let frames = 9;
+    let w = Workload::single(Resolution::PAL, frames);
+    let cfg = StudyConfig::paper();
+    let t0 = Instant::now();
+    let run = encode_study(&MachineSpec::o2(), &w, &cfg).unwrap();
+    let enc_t = t0.elapsed();
+    println!(
+        "encode PAL x{frames}: {:.2}s wall, {:.3e} loads, l1mr {:.4}%, reuse {:.0}, l2mr {:.2}%, dram {:.2}%, bw {:.1}/{:.1} MB/s",
+        enc_t.as_secs_f64(),
+        run.metrics.counters.loads as f64,
+        run.metrics.l1_miss_rate * 100.0,
+        run.metrics.l1_line_reuse,
+        run.metrics.l2_miss_rate * 100.0,
+        run.metrics.dram_time * 100.0,
+        run.metrics.l1_l2_mb_s,
+        run.metrics.l2_dram_mb_s,
+    );
+    let t1 = Instant::now();
+    let streams = prepare_streams(&w, &cfg).unwrap();
+    println!("prepare (null model): {:.2}s, {} bytes", t1.elapsed().as_secs_f64(), streams.iter().map(|s| s.len()).sum::<usize>());
+    let t2 = Instant::now();
+    let dec = decode_study(&MachineSpec::o2(), &w, &streams).unwrap();
+    println!(
+        "decode PAL x{frames}: {:.2}s wall, {:.3e} loads, l1mr {:.4}%, reuse {:.0}, l2mr {:.2}%, dram {:.2}%",
+        t2.elapsed().as_secs_f64(),
+        dec.metrics.counters.loads as f64,
+        dec.metrics.l1_miss_rate * 100.0,
+        dec.metrics.l1_line_reuse,
+        dec.metrics.l2_miss_rate * 100.0,
+        dec.metrics.dram_time * 100.0,
+    );
+}

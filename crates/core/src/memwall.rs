@@ -1,0 +1,137 @@
+//! The memory-wall study the paper leaves as future work.
+//!
+//! §4: *"we will conduct simulation studies to determine at what ratio
+//! of processor-to-memory speed and at what bandwidths among various
+//! levels of the memory hierarchy the performance of MPEG-4 does
+//! finally become memory limited."*
+//!
+//! The counters from one measured run are independent of memory timing,
+//! so the sweep is analytic: scale the effective DRAM (and L2) latency
+//! as if the processor clock kept rising against a fixed memory system,
+//! and recompute the stall shares.
+
+use m4ps_memsim::{Counters, MachineSpec, TimingModel};
+
+/// One point of the processor-to-memory ratio sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WallPoint {
+    /// Multiplier on today's processor-to-memory speed ratio.
+    pub ratio: f64,
+    /// Fraction of time stalled on DRAM at that ratio.
+    pub dram_time: f64,
+    /// Fraction of time stalled on L1-miss/L2-hit latency.
+    pub l1_miss_time: f64,
+    /// Total memory-stall fraction.
+    pub memory_stall: f64,
+}
+
+/// Sweeps the processor-to-memory speed ratio over `multipliers`,
+/// returning one point per multiplier.
+pub fn sweep(counters: &Counters, machine: &MachineSpec, multipliers: &[f64]) -> Vec<WallPoint> {
+    multipliers
+        .iter()
+        .map(|&ratio| {
+            // A faster core sees proportionally longer memory latencies
+            // (in cycles); L2 is on-chip-speed-bound on these systems
+            // but its relative latency also grows, if more slowly.
+            let t = TimingModel {
+                dram_latency: (f64::from(machine.timing.dram_latency) * ratio).round() as u32,
+                l2_latency: (f64::from(machine.timing.l2_latency) * ratio.sqrt()).round() as u32,
+                ..machine.timing
+            };
+            let b = t.breakdown(counters);
+            WallPoint {
+                ratio,
+                dram_time: b.dram_time_fraction(),
+                l1_miss_time: b.l1_miss_time_fraction(),
+                memory_stall: b.dram_time_fraction() + b.l1_miss_time_fraction(),
+            }
+        })
+        .collect()
+}
+
+/// The smallest swept ratio at which memory stalls consume at least
+/// half the execution time — the point where MPEG-4 "finally becomes
+/// memory limited".
+pub fn crossover(points: &[WallPoint]) -> Option<WallPoint> {
+    points.iter().copied().find(|p| p.memory_stall >= 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::{encode_study, StudyConfig, Workload};
+    use m4ps_vidgen::Resolution;
+
+    fn measured() -> (Counters, MachineSpec) {
+        let w = Workload {
+            resolution: Resolution::QCIF,
+            frames: 3,
+            objects: 0,
+            layers: 1,
+            seed: 4,
+        };
+        let run = encode_study(&MachineSpec::o2(), &w, &StudyConfig::fast()).unwrap();
+        (run.metrics.counters, run.machine)
+    }
+
+    #[test]
+    fn stall_share_grows_monotonically_with_ratio() {
+        let (c, m) = measured();
+        let pts = sweep(&c, &m, &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]);
+        for w in pts.windows(2) {
+            assert!(w[1].memory_stall >= w[0].memory_stall);
+        }
+        assert!(pts[0].memory_stall < 0.2, "already memory bound at 1x?");
+    }
+
+    #[test]
+    fn a_crossover_exists_at_extreme_ratios() {
+        let (c, m) = measured();
+        let pts = sweep(&c, &m, &[1.0, 4.0, 16.0, 64.0, 256.0, 1024.0]);
+        let x = crossover(&pts).expect("extreme ratios must be memory bound");
+        assert!(x.ratio > 1.0);
+        assert!(x.memory_stall >= 0.5);
+    }
+
+    #[test]
+    fn ratio_one_reproduces_the_baseline_breakdown() {
+        let (c, m) = measured();
+        let pts = sweep(&c, &m, &[1.0]);
+        let base = m.timing.breakdown(&c);
+        assert!((pts[0].dram_time - base.dram_time_fraction()).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod ordering_tests {
+    use super::*;
+    use crate::study::{decode_study, encode_study, prepare_streams, StudyConfig, Workload};
+    use m4ps_memsim::MachineSpec;
+    use m4ps_vidgen::Resolution;
+
+    #[test]
+    fn decode_hits_the_wall_before_encode() {
+        // Decode has a higher miss-per-instruction density, so its
+        // crossover ratio must be at or below encode's.
+        let w = Workload {
+            resolution: Resolution::QCIF,
+            frames: 3,
+            objects: 0,
+            layers: 1,
+            seed: 6,
+        };
+        let cfg = StudyConfig::fast();
+        let m = MachineSpec::o2();
+        let enc = encode_study(&m, &w, &cfg).unwrap();
+        let streams = prepare_streams(&w, &cfg).unwrap();
+        let dec = decode_study(&m, &w, &streams).unwrap();
+        let ratios: Vec<f64> = (0..12).map(|i| (1u64 << i) as f64).collect();
+        let enc_x = crossover(&sweep(&enc.metrics.counters, &m, &ratios));
+        let dec_x = crossover(&sweep(&dec.metrics.counters, &m, &ratios));
+        let (Some(e), Some(d)) = (enc_x, dec_x) else {
+            panic!("no crossover found in a 2048x sweep");
+        };
+        assert!(d.ratio <= e.ratio, "decode {} vs encode {}", d.ratio, e.ratio);
+    }
+}

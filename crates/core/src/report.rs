@@ -1,0 +1,142 @@
+//! Paper-style table formatting.
+//!
+//! Renders rows with the same metric names and units as Tables 2–8 of
+//! the paper, so the reproduction output can be put side by side with
+//! the original.
+
+use m4ps_memsim::MemoryMetrics;
+
+/// The row labels of the paper's tables, in order.
+pub const METRIC_ROWS: [&str; 9] = [
+    "L1C miss rate",
+    "L1C miss time",
+    "L1C line reuse",
+    "L2C miss rate",
+    "L2C line reuse",
+    "DRAM time",
+    "L1-L2 b/w (MB/s)",
+    "L2-DRAM b/w (MB/s)",
+    "prefetch L1C miss",
+];
+
+/// Formats one metric row value the way the paper prints it.
+pub fn format_cell(metrics: &MemoryMetrics, row: usize) -> String {
+    match row {
+        0 => format!("{:.2}%", metrics.l1_miss_rate * 100.0),
+        1 => format!("{:.2}%", metrics.l1_miss_time * 100.0),
+        2 => format!("{:.1}", metrics.l1_line_reuse),
+        3 => format!("{:.2}%", metrics.l2_miss_rate * 100.0),
+        4 => format!("{:.1}", metrics.l2_line_reuse),
+        5 => format!("{:.1}%", metrics.dram_time * 100.0),
+        6 => format!("{:.1}", metrics.l1_l2_mb_s),
+        7 => format!("{:.1}", metrics.l2_dram_mb_s),
+        8 => match metrics.prefetch_l1_miss {
+            Some(v) => format!("{:.1}%", v * 100.0),
+            None => "n/a".to_string(),
+        },
+        _ => panic!("row {row} out of range"),
+    }
+}
+
+/// Renders a full paper-style table: one column per run.
+pub fn render_table(title: &str, columns: &[(&str, &MemoryMetrics)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n\n"));
+    let label_width = METRIC_ROWS.iter().map(|r| r.len()).max().unwrap_or(0) + 2;
+    // Header.
+    out.push_str(&format!("{:label_width$}", "metrics"));
+    for (name, _) in columns {
+        out.push_str(&format!("{name:>14}"));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(label_width + 14 * columns.len()));
+    out.push('\n');
+    for row in 0..METRIC_ROWS.len() {
+        out.push_str(&format!("{:label_width$}", METRIC_ROWS[row]));
+        for (_, m) in columns {
+            out.push_str(&format!("{:>14}", format_cell(m, row)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a simple two-column series (for the figures).
+pub fn render_series(title: &str, x_label: &str, rows: &[(String, Vec<(String, String)>)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n\n"));
+    for (x, values) in rows {
+        out.push_str(&format!("{x_label} = {x}: "));
+        let cells: Vec<String> = values.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        out.push_str(&cells.join(", "));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m4ps_memsim::{Counters, MachineSpec};
+
+    fn metrics() -> MemoryMetrics {
+        let c = Counters {
+            loads: 1_000_000,
+            stores: 200_000,
+            prefetches: 100,
+            prefetch_l1_hits: 55,
+            l1_misses: 1_200,
+            l1_writebacks: 300,
+            l2_misses: 240,
+            l2_writebacks: 60,
+            tlb_misses: 5,
+            compute_ops: 2_000_000,
+            bytes_accessed: 1_200_000,
+        };
+        MemoryMetrics::derive(&c, &MachineSpec::o2())
+    }
+
+    #[test]
+    fn cells_have_paper_units() {
+        let m = metrics();
+        assert!(format_cell(&m, 0).ends_with('%'));
+        assert!(format_cell(&m, 2).parse::<f64>().is_ok());
+        assert_eq!(format_cell(&m, 8), "45.0%");
+        let r10k = MemoryMetrics::derive(&m.counters, &MachineSpec::onyx_vtx());
+        assert_eq!(format_cell(&r10k, 8), "n/a");
+    }
+
+    #[test]
+    fn table_contains_all_rows_and_columns() {
+        let m = metrics();
+        let t = render_table("Video Encoding test", &[("R12K 1MB", &m), ("R12K 8MB", &m)]);
+        for row in METRIC_ROWS {
+            assert!(t.contains(row), "missing row {row}");
+        }
+        assert!(t.contains("R12K 1MB"));
+        assert!(t.contains("R12K 8MB"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_row_panics() {
+        format_cell(&metrics(), 9);
+    }
+
+    #[test]
+    fn series_lists_every_point() {
+        let rows = vec![
+            (
+                "352x288".to_string(),
+                vec![("L1C".to_string(), "0.31%".to_string())],
+            ),
+            (
+                "720x576".to_string(),
+                vec![("L1C".to_string(), "0.29%".to_string())],
+            ),
+        ];
+        let s = render_series("Figure 2", "size", &rows);
+        assert!(s.contains("size = 352x288"));
+        assert!(s.contains("L1C=0.29%"));
+    }
+}

@@ -1,0 +1,195 @@
+//! SIMD/vector projection — the second future-work study.
+//!
+//! §4 of the paper: *"our experience has shown that even in the presence
+//! of these ISA extensions, the performance bottleneck is still the
+//! fetch/issue rate. Only in the presence of longer vector SIMD
+//! instructions does L1 bandwidth surpass fetch rate as a limiting
+//! performance factor"* (citing Corbal, Espasa & Valero).
+//!
+//! We project measured scalar counters onto SIMD execution: vectorizable
+//! references and operations collapse by the SIMD width (fewer, wider
+//! instructions), while the *byte volume* between the ALUs and L1 only
+//! grows (early exits are forfeited, overlapping windows refetched).
+//! Comparing the issue-limited cycle count against the
+//! L1-port-bandwidth-limited cycle count shows which resource binds.
+
+use m4ps_memsim::{Counters, MachineSpec};
+
+/// An ISA scenario to project onto.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimdScenario {
+    /// Display name.
+    pub name: &'static str,
+    /// Lanes per instruction (1 = scalar).
+    pub width: u32,
+    /// Fraction of the workload's references/operations that vectorize
+    /// (media kernels vectorize well; control code does not).
+    pub vectorizable: f64,
+    /// Multiplier on the ALU↔L1 byte volume. Vector execution moves
+    /// *more* raw data than scalar: SAD early termination is forfeited
+    /// (the whole candidate block is always fetched) and the
+    /// three-dimensional vector accesses of Corbal et al. refetch
+    /// overlapping search-window data instead of reusing registers.
+    pub traffic_expansion: f64,
+}
+
+impl SimdScenario {
+    /// Plain scalar execution (the paper's measured configuration).
+    pub fn scalar() -> Self {
+        SimdScenario {
+            name: "scalar (non-SIMD)",
+            width: 1,
+            vectorizable: 0.0,
+            traffic_expansion: 1.0,
+        }
+    }
+
+    /// Subword SIMD in 64-bit registers (MMX/VIS class).
+    pub fn subword_mmx() -> Self {
+        SimdScenario {
+            name: "subword SIMD x8 (MMX class)",
+            width: 8,
+            vectorizable: 0.7,
+            traffic_expansion: 1.5,
+        }
+    }
+
+    /// Long-vector SIMD (the Corbal/Espasa/Valero vector proposal).
+    pub fn long_vector() -> Self {
+        SimdScenario {
+            name: "long vector x64",
+            width: 64,
+            vectorizable: 0.95,
+            traffic_expansion: 4.0,
+        }
+    }
+}
+
+/// Which resource limits execution in a projection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limiter {
+    /// Instruction fetch/issue rate (the paper's finding for scalar and
+    /// subword SIMD).
+    FetchIssue,
+    /// L1 cache port bandwidth (the long-vector regime).
+    L1Bandwidth,
+    /// Main-memory stalls.
+    Memory,
+}
+
+/// Cycle accounting of one projection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimdProjection {
+    /// The scenario projected.
+    pub scenario: SimdScenario,
+    /// Cycles if limited by issue rate only.
+    pub issue_cycles: f64,
+    /// Cycles if limited by L1 port bandwidth only.
+    pub l1_bandwidth_cycles: f64,
+    /// Visible memory-stall cycles (unchanged by vectorization).
+    pub memory_stall_cycles: f64,
+    /// Which resource binds.
+    pub limiter: Limiter,
+}
+
+/// Bytes one L1 port moves per cycle (64-bit ports on these machines).
+const PORT_BYTES: f64 = 8.0;
+
+/// Projects measured scalar `counters` onto `scenario` with `l1_ports`
+/// cache ports.
+pub fn project(
+    counters: &Counters,
+    machine: &MachineSpec,
+    scenario: SimdScenario,
+    l1_ports: f64,
+) -> SimdProjection {
+    let shrink = |n: u64| {
+        let v = n as f64;
+        v * (1.0 - scenario.vectorizable) + v * scenario.vectorizable / f64::from(scenario.width)
+    };
+    let instructions = shrink(counters.memory_refs())
+        + shrink(counters.compute_ops)
+        + counters.prefetches as f64;
+    let issue_cycles = instructions / machine.timing.ipc_base;
+    // Byte volume between ALUs and L1 never shrinks with vector width —
+    // it *grows* (lost early exits, refetched windows).
+    let l1_bandwidth_cycles =
+        counters.bytes_accessed as f64 * scenario.traffic_expansion / (PORT_BYTES * l1_ports);
+    let b = machine.timing.breakdown(counters);
+    let memory_stall_cycles = b.l1_stall + b.dram_stall;
+
+    let limiter = if memory_stall_cycles >= issue_cycles.max(l1_bandwidth_cycles) {
+        Limiter::Memory
+    } else if l1_bandwidth_cycles > issue_cycles {
+        Limiter::L1Bandwidth
+    } else {
+        Limiter::FetchIssue
+    };
+    SimdProjection {
+        scenario,
+        issue_cycles,
+        l1_bandwidth_cycles,
+        memory_stall_cycles,
+        limiter,
+    }
+}
+
+/// Projects the three canonical scenarios with a dual-ported L1.
+pub fn project_all(counters: &Counters, machine: &MachineSpec) -> Vec<SimdProjection> {
+    [
+        SimdScenario::scalar(),
+        SimdScenario::subword_mmx(),
+        SimdScenario::long_vector(),
+    ]
+    .into_iter()
+    .map(|s| project(counters, machine, s, 2.0))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::{encode_study, StudyConfig, Workload};
+    use m4ps_vidgen::Resolution;
+
+    fn measured() -> (Counters, MachineSpec) {
+        let w = Workload {
+            resolution: Resolution::QCIF,
+            frames: 3,
+            objects: 0,
+            layers: 1,
+            seed: 8,
+        };
+        let run = encode_study(&MachineSpec::o2(), &w, &StudyConfig::fast()).unwrap();
+        (run.metrics.counters, run.machine)
+    }
+
+    #[test]
+    fn scalar_and_mmx_are_issue_limited_vector_is_l1_limited() {
+        // The paper's conclusion, reproduced.
+        let (c, m) = measured();
+        let p = project_all(&c, &m);
+        assert_eq!(p[0].limiter, Limiter::FetchIssue, "{:?}", p[0]);
+        assert_eq!(p[1].limiter, Limiter::FetchIssue, "{:?}", p[1]);
+        assert_eq!(p[2].limiter, Limiter::L1Bandwidth, "{:?}", p[2]);
+    }
+
+    #[test]
+    fn vectorization_shrinks_issue_but_grows_bandwidth_demand() {
+        let (c, m) = measured();
+        let p = project_all(&c, &m);
+        assert!(p[1].issue_cycles < p[0].issue_cycles);
+        assert!(p[2].issue_cycles < p[1].issue_cycles);
+        assert!(p[1].l1_bandwidth_cycles >= p[0].l1_bandwidth_cycles);
+        assert!(p[2].l1_bandwidth_cycles > p[1].l1_bandwidth_cycles);
+    }
+
+    #[test]
+    fn memory_stalls_are_invariant() {
+        let (c, m) = measured();
+        let p = project_all(&c, &m);
+        assert!(p.iter().all(|x| x.memory_stall_cycles == p[0].memory_stall_cycles));
+        // And small relative to scalar issue (the whole point of the paper).
+        assert!(p[0].memory_stall_cycles < 0.2 * p[0].issue_cycles);
+    }
+}

@@ -1,0 +1,369 @@
+//! Instrumented encode/decode runs: the machinery behind Tables 2–7 and
+//! Figures 2–4.
+
+use m4ps_codec::{
+    CodecError, EncoderConfig, FrameView, SceneDecoder, SceneEncoder, SearchStrategy,
+    SessionStats,
+};
+use m4ps_memsim::{
+    AddressSpace, Counters, Hierarchy, MachineSpec, MemModel, MemoryMetrics, RegionMisses,
+};
+use m4ps_vidgen::{Resolution, Scene, SceneSpec};
+
+/// A workload specification in the paper's terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Workload {
+    /// Frame dimensions (720×576 and 1024×768 in the paper).
+    pub resolution: Resolution,
+    /// Number of frames (30 in the paper).
+    pub frames: usize,
+    /// Number of visual objects: 0 = single rectangular VO, ≥1 =
+    /// arbitrary-shape VOs (3 in the multi-object experiments).
+    pub objects: usize,
+    /// Layers (VOLs) per object: 1 or 2.
+    pub layers: usize,
+    /// Content seed.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// The paper's single-object workload at `resolution`.
+    pub fn single(resolution: Resolution, frames: usize) -> Self {
+        Workload {
+            resolution,
+            frames,
+            objects: 0,
+            layers: 1,
+            seed: 0x4d50_4547, // "MPEG"
+        }
+    }
+
+    /// The paper's 3-VO workload at `resolution` with `layers` VOLs per
+    /// object.
+    pub fn multi_object(resolution: Resolution, frames: usize, layers: usize) -> Self {
+        Workload {
+            resolution,
+            frames,
+            objects: 3,
+            layers,
+            seed: 0x4d50_4547,
+        }
+    }
+
+    /// Human-readable label ("3 VOs, 2 layers each").
+    pub fn label(&self) -> String {
+        match (self.objects, self.layers) {
+            (0, _) => "1 VO, 1 layer".to_string(),
+            (n, 1) => format!("{n} VOs, 1 layer each"),
+            (n, l) => format!("{n} VOs, {l} layers each"),
+        }
+    }
+}
+
+/// Study-level knobs (kept apart from [`EncoderConfig`] so experiment
+/// binaries can expose them as CLI flags).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudyConfig {
+    /// Codec configuration for every coder in the run.
+    pub encoder: EncoderConfig,
+}
+
+impl StudyConfig {
+    /// The paper-reproduction configuration: full search ±8, half-pel,
+    /// IBBP, 38400 bit/s rate control, software prefetch on.
+    pub fn paper() -> Self {
+        StudyConfig {
+            encoder: EncoderConfig::paper(),
+        }
+    }
+
+    /// A cheap configuration for unit tests.
+    pub fn fast() -> Self {
+        StudyConfig {
+            encoder: EncoderConfig::fast_test(),
+        }
+    }
+
+    /// Overrides the motion-search strategy (ablation benches).
+    pub fn with_search(mut self, search: SearchStrategy, range: i16) -> Self {
+        self.encoder.search = search;
+        self.encoder.search_range = range;
+        self
+    }
+}
+
+/// Result of one instrumented run on one machine.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The machine simulated.
+    pub machine: MachineSpec,
+    /// Derived paper metrics.
+    pub metrics: MemoryMetrics,
+    /// Codec-level session statistics.
+    pub session: SessionStats,
+    /// Counter deltas accumulated inside the per-VOP windows
+    /// (`VopCode()` / `DecodeVopCombMotionShapeTexture()`).
+    pub vop_window: Counters,
+    /// Simulated resident memory (bytes requested from the address
+    /// space).
+    pub resident_bytes: u64,
+    /// Demand misses attributed to the codec's data structures (sorted
+    /// by L1 misses, descending).
+    pub region_misses: Vec<RegionMisses>,
+}
+
+/// Drives the scene encoder over the workload under `mem`. The
+/// `attach` hook runs after all codec buffers are allocated and before
+/// any traffic, so a [`Hierarchy`] caller can wire up region
+/// attribution.
+fn drive_encode<M: MemModel>(
+    space: &mut AddressSpace,
+    mem: &mut M,
+    workload: &Workload,
+    config: &StudyConfig,
+    attach: impl FnOnce(&AddressSpace, &mut M),
+) -> Result<(Vec<Vec<u8>>, SessionStats, Counters), CodecError> {
+    let scene = Scene::new(SceneSpec {
+        resolution: workload.resolution,
+        objects: workload.objects.max(1),
+        seed: workload.seed,
+    });
+    let mut enc = SceneEncoder::new(
+        space,
+        workload.resolution.width,
+        workload.resolution.height,
+        workload.objects,
+        workload.layers,
+        config.encoder,
+    )?;
+    attach(space, mem);
+    let mut mask_storage: Vec<Vec<u8>> = Vec::new();
+    for t in 0..workload.frames {
+        let frame = scene.frame(t);
+        mask_storage.clear();
+        for vo in 0..workload.objects {
+            mask_storage.push(scene.alpha(t, vo).data);
+        }
+        let masks: Vec<&[u8]> = mask_storage.iter().map(|m| m.as_slice()).collect();
+        let view = FrameView {
+            width: frame.resolution.width,
+            height: frame.resolution.height,
+            y: &frame.y,
+            u: &frame.u,
+            v: &frame.v,
+        };
+        enc.encode_frame(mem, &view, &masks)?;
+    }
+    let streams = enc.finish(mem)?;
+    Ok((streams, enc.stats(), enc.vop_window()))
+}
+
+/// Runs the encoding experiment on `machine` and derives the paper's
+/// metrics (one column of Tables 2/4/6).
+///
+/// # Errors
+///
+/// Propagates codec configuration/geometry errors.
+pub fn encode_study(
+    machine: &MachineSpec,
+    workload: &Workload,
+    config: &StudyConfig,
+) -> Result<RunResult, CodecError> {
+    let mut space = AddressSpace::new();
+    let mut mem = if config.encoder.software_prefetch {
+        Hierarchy::new(machine.clone())
+    } else {
+        Hierarchy::without_prefetch(machine.clone())
+    };
+    let (_, session, vop_window) = drive_encode(&mut space, &mut mem, workload, config, |sp, m| {
+        m.attach_regions(sp.regions())
+    })?;
+    let metrics = MemoryMetrics::derive(mem.counters(), machine);
+    Ok(RunResult {
+        machine: machine.clone(),
+        metrics,
+        session,
+        vop_window,
+        resident_bytes: space.allocated_bytes(),
+        region_misses: mem.region_misses(),
+    })
+}
+
+/// Produces the elementary streams for `workload` at full speed (no
+/// memory simulation) so decode experiments can share them across
+/// machines.
+///
+/// # Errors
+///
+/// Propagates codec errors.
+pub fn prepare_streams(
+    workload: &Workload,
+    config: &StudyConfig,
+) -> Result<Vec<Vec<u8>>, CodecError> {
+    let mut space = AddressSpace::new();
+    let mut mem = m4ps_memsim::NullModel::new();
+    let (streams, _, _) = drive_encode(&mut space, &mut mem, workload, config, |_, _| {})?;
+    Ok(streams)
+}
+
+/// Runs the decoding experiment on `machine` over pre-encoded
+/// `streams` (one column of Tables 3/5/7).
+///
+/// # Errors
+///
+/// Propagates codec errors.
+pub fn decode_study(
+    machine: &MachineSpec,
+    workload: &Workload,
+    streams: &[Vec<u8>],
+) -> Result<RunResult, CodecError> {
+    let mut space = AddressSpace::new();
+    let mut mem = Hierarchy::new(machine.clone());
+    let mut dec = SceneDecoder::new(&mut space, &mut mem, streams, workload.layers)?;
+    mem.attach_regions(space.regions());
+    let _ = dec.decode_all(&mut mem, streams)?;
+    let metrics = MemoryMetrics::derive(mem.counters(), machine);
+    Ok(RunResult {
+        machine: machine.clone(),
+        metrics,
+        session: dec.stats(),
+        vop_window: dec.vop_window(),
+        resident_bytes: space.allocated_bytes(),
+        region_misses: mem.region_misses(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_workload() -> Workload {
+        Workload {
+            resolution: Resolution::QCIF,
+            frames: 3,
+            objects: 0,
+            layers: 1,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn encode_study_produces_sane_metrics() {
+        let run = encode_study(&MachineSpec::o2(), &tiny_workload(), &StudyConfig::fast()).unwrap();
+        let m = &run.metrics;
+        assert!(m.counters.loads > 100_000);
+        assert!(m.l1_miss_rate > 0.0 && m.l1_miss_rate < 0.05);
+        assert!(m.l1_line_reuse > 20.0);
+        assert!(m.exec_seconds > 0.0);
+        assert_eq!(run.session.frames, 3);
+        assert!(run.resident_bytes > 0);
+        assert!(run.vop_window.loads > 0);
+        // The VOP windows are a subset of the whole program.
+        assert!(run.vop_window.loads <= m.counters.loads);
+        // Miss attribution: every tag accounted, totals bounded by the
+        // counter totals, and the reference frames must dominate.
+        let attributed: u64 = run.region_misses.iter().map(|r| r.l1_misses).sum();
+        assert!(attributed <= m.counters.l1_misses);
+        assert!(attributed * 10 >= m.counters.l1_misses * 9, "attribution lost misses");
+        let top = &run.region_misses[0];
+        assert!(
+            top.tag.contains("reference") || top.tag.contains("input"),
+            "unexpected top misser {:?}",
+            top
+        );
+    }
+
+    #[test]
+    fn decode_study_runs_over_shared_streams() {
+        let w = tiny_workload();
+        let cfg = StudyConfig::fast();
+        let streams = prepare_streams(&w, &cfg).unwrap();
+        let a = decode_study(&MachineSpec::o2(), &w, &streams).unwrap();
+        let b = decode_study(&MachineSpec::onyx2(), &w, &streams).unwrap();
+        assert_eq!(a.session.vops, 3);
+        assert_eq!(b.session.vops, 3);
+        // Same reference stream, bigger L2 → no more L2 misses.
+        assert!(b.metrics.counters.l2_misses <= a.metrics.counters.l2_misses);
+        // Identical architectural work on both machines.
+        assert_eq!(a.metrics.counters.loads, b.metrics.counters.loads);
+    }
+
+    #[test]
+    fn multi_object_workload_runs() {
+        let w = Workload {
+            resolution: Resolution::QCIF,
+            frames: 2,
+            objects: 3,
+            layers: 1,
+            seed: 5,
+        };
+        let run = encode_study(&MachineSpec::onyx_vtx(), &w, &StudyConfig::fast()).unwrap();
+        assert_eq!(run.session.vops, 6);
+        assert!(run.session.totals.transparent_mbs > 0);
+    }
+
+    #[test]
+    fn two_layer_workload_runs() {
+        let w = Workload {
+            resolution: Resolution::QCIF,
+            frames: 4,
+            objects: 1,
+            layers: 2,
+            seed: 5,
+        };
+        let cfg = StudyConfig::fast();
+        let run = encode_study(&MachineSpec::o2(), &w, &cfg).unwrap();
+        assert_eq!(run.session.vops, 4);
+        let streams = prepare_streams(&w, &cfg).unwrap();
+        assert_eq!(streams.len(), 2);
+        let dec = decode_study(&MachineSpec::o2(), &w, &streams).unwrap();
+        assert_eq!(dec.session.vops, 4);
+    }
+
+    #[test]
+    fn workload_labels_match_paper_wording() {
+        assert_eq!(
+            Workload::single(Resolution::PAL, 30).label(),
+            "1 VO, 1 layer"
+        );
+        assert_eq!(
+            Workload::multi_object(Resolution::PAL, 30, 1).label(),
+            "3 VOs, 1 layer each"
+        );
+        assert_eq!(
+            Workload::multi_object(Resolution::XGA, 30, 2).label(),
+            "3 VOs, 2 layers each"
+        );
+    }
+
+    #[test]
+    fn resident_memory_grows_with_objects_and_layers() {
+        let cfg = StudyConfig::fast();
+        let base = encode_study(&MachineSpec::o2(), &tiny_workload(), &cfg)
+            .unwrap()
+            .resident_bytes;
+        let multi = encode_study(
+            &MachineSpec::o2(),
+            &Workload {
+                objects: 3,
+                ..tiny_workload()
+            },
+            &cfg,
+        )
+        .unwrap()
+        .resident_bytes;
+        let layered = encode_study(
+            &MachineSpec::o2(),
+            &Workload {
+                objects: 3,
+                layers: 2,
+                ..tiny_workload()
+            },
+            &cfg,
+        )
+        .unwrap()
+        .resident_bytes;
+        assert!(multi > base);
+        assert!(layered > multi);
+    }
+}

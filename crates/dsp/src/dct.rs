@@ -1,0 +1,221 @@
+//! 8×8 forward and inverse discrete cosine transform.
+//!
+//! MPEG-4 texture coding (ISO/IEC 14496-2 Annex A) specifies a separable
+//! 2-D type-II DCT. We provide a double-precision reference implementation
+//! (`*_f64`) and the integer-in/integer-out pair the codec uses, which
+//! rounds to the nearest coefficient. The inverse transform satisfies the
+//! IEEE-1180-style accuracy needed for drift-free reconstruction at the
+//! bit depths this codec uses.
+
+use crate::{Block, BLOCK};
+
+/// Approximate compute operations per 8×8 DCT or IDCT (two passes of
+/// eight 8-point transforms, ~32 mul + ~32 add each). Charged to the
+/// timing model per transformed block.
+pub const DCT_OPS: u64 = 1024;
+
+/// An 8×8 block of DCT coefficients (row-major, DC at index 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoefBlock {
+    /// Row-major 8×8 coefficients.
+    pub data: [i16; 64],
+}
+
+impl Default for CoefBlock {
+    fn default() -> Self {
+        CoefBlock { data: [0; 64] }
+    }
+}
+
+impl CoefBlock {
+    /// Creates a coefficient block from row-major values.
+    pub fn from_coefs(data: [i16; 64]) -> Self {
+        CoefBlock { data }
+    }
+
+    /// The DC (0,0) coefficient.
+    pub fn dc(&self) -> i16 {
+        self.data[0]
+    }
+
+    /// `true` when every coefficient is zero.
+    pub fn is_zero(&self) -> bool {
+        self.data.iter().all(|&v| v == 0)
+    }
+}
+
+/// Cosine basis: `COS[k][n] = cos((2n+1) k π / 16)`.
+fn cos_table() -> [[f64; BLOCK]; BLOCK] {
+    let mut t = [[0.0; BLOCK]; BLOCK];
+    for (k, row) in t.iter_mut().enumerate() {
+        for (n, v) in row.iter_mut().enumerate() {
+            *v = (std::f64::consts::PI * (2.0 * n as f64 + 1.0) * k as f64 / 16.0).cos();
+        }
+    }
+    t
+}
+
+fn scale(k: usize) -> f64 {
+    if k == 0 {
+        (1.0f64 / 8.0).sqrt()
+    } else {
+        (2.0f64 / 8.0).sqrt()
+    }
+}
+
+/// Forward 2-D DCT on `f64` samples. Reference implementation.
+pub fn forward_dct_f64(input: &[f64; 64]) -> [f64; 64] {
+    let cos = cos_table();
+    let mut tmp = [0.0f64; 64];
+    // Rows.
+    for r in 0..BLOCK {
+        for k in 0..BLOCK {
+            let mut acc = 0.0;
+            for n in 0..BLOCK {
+                acc += input[r * BLOCK + n] * cos[k][n];
+            }
+            tmp[r * BLOCK + k] = scale(k) * acc;
+        }
+    }
+    // Columns.
+    let mut out = [0.0f64; 64];
+    for c in 0..BLOCK {
+        for k in 0..BLOCK {
+            let mut acc = 0.0;
+            for n in 0..BLOCK {
+                acc += tmp[n * BLOCK + c] * cos[k][n];
+            }
+            out[k * BLOCK + c] = scale(k) * acc;
+        }
+    }
+    out
+}
+
+/// Inverse 2-D DCT on `f64` coefficients. Reference implementation.
+pub fn inverse_dct_f64(input: &[f64; 64]) -> [f64; 64] {
+    let cos = cos_table();
+    let mut tmp = [0.0f64; 64];
+    // Columns first (order is irrelevant for a separable transform).
+    for c in 0..BLOCK {
+        for n in 0..BLOCK {
+            let mut acc = 0.0;
+            for k in 0..BLOCK {
+                acc += scale(k) * input[k * BLOCK + c] * cos[k][n];
+            }
+            tmp[n * BLOCK + c] = acc;
+        }
+    }
+    let mut out = [0.0f64; 64];
+    for r in 0..BLOCK {
+        for n in 0..BLOCK {
+            let mut acc = 0.0;
+            for k in 0..BLOCK {
+                acc += scale(k) * tmp[r * BLOCK + k] * cos[k][n];
+            }
+            out[r * BLOCK + n] = acc;
+        }
+    }
+    out
+}
+
+/// Forward DCT of integer samples with round-to-nearest coefficients.
+pub fn forward_dct(block: &Block) -> CoefBlock {
+    let mut f = [0.0f64; 64];
+    for (dst, &src) in f.iter_mut().zip(block.data.iter()) {
+        *dst = f64::from(src);
+    }
+    let out = forward_dct_f64(&f);
+    let mut c = CoefBlock::default();
+    for (dst, &src) in c.data.iter_mut().zip(out.iter()) {
+        *dst = src.round().clamp(-32768.0, 32767.0) as i16;
+    }
+    c
+}
+
+/// Inverse DCT of integer coefficients with round-to-nearest samples.
+pub fn inverse_dct(coefs: &CoefBlock) -> Block {
+    let mut f = [0.0f64; 64];
+    for (dst, &src) in f.iter_mut().zip(coefs.data.iter()) {
+        *dst = f64::from(src);
+    }
+    let out = inverse_dct_f64(&f);
+    let mut b = Block::default();
+    for (dst, &src) in b.data.iter_mut().zip(out.iter()) {
+        *dst = src.round().clamp(-32768.0, 32767.0) as i16;
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_only_block_transforms_to_flat_dc() {
+        // A constant block has all energy in the DC coefficient.
+        let b = Block::from_samples([100; 64]);
+        let c = forward_dct(&b);
+        assert_eq!(c.dc(), 800); // 100 * 8 (1/sqrt(64) * 64 samples * 100)
+        for &v in &c.data[1..] {
+            assert_eq!(v, 0);
+        }
+    }
+
+    #[test]
+    fn impulse_roundtrips_within_one() {
+        let mut b = Block::default();
+        b.data[27] = 255;
+        let rec = inverse_dct(&forward_dct(&b));
+        for i in 0..64 {
+            assert!(
+                (rec.data[i] - b.data[i]).abs() <= 1,
+                "index {i}: {} vs {}",
+                rec.data[i],
+                b.data[i]
+            );
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved_f64() {
+        // Orthonormal transform preserves the L2 norm.
+        let mut input = [0.0f64; 64];
+        for (i, v) in input.iter_mut().enumerate() {
+            *v = ((i * 37 + 11) % 255) as f64 - 128.0;
+        }
+        let out = forward_dct_f64(&input);
+        let e_in: f64 = input.iter().map(|v| v * v).sum();
+        let e_out: f64 = out.iter().map(|v| v * v).sum();
+        assert!((e_in - e_out).abs() < 1e-6 * e_in.max(1.0));
+    }
+
+    #[test]
+    fn inverse_is_exact_inverse_f64() {
+        let mut input = [0.0f64; 64];
+        for (i, v) in input.iter_mut().enumerate() {
+            *v = ((i as f64) * 1.7).sin() * 100.0;
+        }
+        let rec = inverse_dct_f64(&forward_dct_f64(&input));
+        for i in 0..64 {
+            assert!((rec[i] - input[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn horizontal_gradient_concentrates_in_first_row_coefs() {
+        let mut b = Block::default();
+        for r in 0..8 {
+            for c in 0..8 {
+                *b.at_mut(r, c) = (c as i16) * 16;
+            }
+        }
+        let coefs = forward_dct(&b);
+        // Energy should live in row 0 (horizontal frequencies) only.
+        for r in 1..8 {
+            for c in 0..8 {
+                assert_eq!(coefs.data[r * 8 + c], 0, "row {r} col {c}");
+            }
+        }
+        assert_ne!(coefs.data[1], 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Fixed-point integer DCT/IDCT.
+//!
+//! The reference implementations of the era ran an integer DCT (float
+//! units on the R10000 were precious); this is a 13-bit fixed-point
+//! separable implementation whose results track the double-precision
+//! transform to within a couple of counts on 9-bit inputs. The codec's
+//! arithmetic stays the float-backed [`crate::forward_dct`] pair
+//! (encoder/decoder bit-exactness is what matters there); this module
+//! exists for the kernel benches and as a drop-in for integer-only
+//! targets.
+
+use crate::dct::CoefBlock;
+use crate::{Block, BLOCK};
+
+/// Fixed-point fractional bits.
+const FRAC: u32 = 13;
+const ONE: i64 = 1 << FRAC;
+
+/// `round(cos((2n+1)·k·π/16) · 2^13)`.
+fn cos_fp() -> [[i64; BLOCK]; BLOCK] {
+    let mut t = [[0i64; BLOCK]; BLOCK];
+    for (k, row) in t.iter_mut().enumerate() {
+        for (n, v) in row.iter_mut().enumerate() {
+            let c = (std::f64::consts::PI * (2.0 * n as f64 + 1.0) * k as f64 / 16.0).cos();
+            *v = (c * ONE as f64).round() as i64;
+        }
+    }
+    t
+}
+
+/// `round(alpha(k) · 2^13)`: √(1/8) for k = 0, √(2/8) = 1/2 for k > 0.
+fn scale_fp(k: usize) -> i64 {
+    if k == 0 {
+        ((1.0f64 / 8.0).sqrt() * ONE as f64).round() as i64
+    } else {
+        ONE / 2
+    }
+}
+
+/// Forward 8×8 DCT in 64-bit fixed-point arithmetic.
+pub fn forward_dct_int(block: &Block) -> CoefBlock {
+    let cos = cos_fp();
+    // Rows: tmp scaled by 2^13.
+    let mut tmp = [0i64; 64];
+    for r in 0..BLOCK {
+        for k in 0..BLOCK {
+            let mut acc: i64 = 0;
+            for n in 0..BLOCK {
+                acc += i64::from(block.data[r * BLOCK + n]) * cos[k][n];
+            }
+            tmp[r * BLOCK + k] = (scale_fp(k) * acc) >> FRAC; // scaled 2^13
+        }
+    }
+    // Columns: result scaled by 2^39 before the final shift.
+    let mut out = CoefBlock::default();
+    for c in 0..BLOCK {
+        for k in 0..BLOCK {
+            let mut acc: i64 = 0;
+            for n in 0..BLOCK {
+                acc += tmp[n * BLOCK + c] * cos[k][n]; // scaled 2^26
+            }
+            let v = scale_fp(k) * acc; // scaled 2^39
+            let rounded = (v + (1 << (3 * FRAC - 1))) >> (3 * FRAC);
+            out.data[k * BLOCK + c] = rounded.clamp(-32768, 32767) as i16;
+        }
+    }
+    out
+}
+
+/// Inverse 8×8 DCT in 64-bit fixed-point arithmetic.
+pub fn inverse_dct_int(coefs: &CoefBlock) -> Block {
+    let cos = cos_fp();
+    // Columns first, mirroring the float reference.
+    let mut tmp = [0i64; 64];
+    for c in 0..BLOCK {
+        for n in 0..BLOCK {
+            let mut acc: i64 = 0;
+            for k in 0..BLOCK {
+                // scale · coef · cos, scaled 2^26 — full precision kept.
+                acc += (scale_fp(k) * i64::from(coefs.data[k * BLOCK + c]) * cos[k][n]) >> FRAC;
+            }
+            tmp[n * BLOCK + c] = acc; // scaled 2^13
+        }
+    }
+    let mut out = Block::default();
+    for r in 0..BLOCK {
+        for n in 0..BLOCK {
+            let mut acc: i64 = 0;
+            for k in 0..BLOCK {
+                acc += (scale_fp(k) * tmp[r * BLOCK + k] * cos[k][n]) >> FRAC; // scaled 2^26
+            }
+            let rounded = (acc + (1 << (2 * FRAC - 1))) >> (2 * FRAC);
+            out.data[r * BLOCK + n] = rounded.clamp(-32768, 32767) as i16;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dct::{forward_dct, inverse_dct};
+
+    fn textured_block(seed: i16) -> Block {
+        let mut b = Block::default();
+        for (i, v) in b.data.iter_mut().enumerate() {
+            let raw = (i as i16).wrapping_mul(31).wrapping_add(seed.wrapping_mul(7)) % 256;
+            *v = if raw < 0 { raw + 256 } else { raw };
+        }
+        b
+    }
+
+    #[test]
+    fn forward_tracks_reference_within_two_counts() {
+        for seed in 0..8 {
+            let b = textured_block(seed);
+            let float = forward_dct(&b);
+            let fixed = forward_dct_int(&b);
+            for i in 0..64 {
+                let d = (i32::from(float.data[i]) - i32::from(fixed.data[i])).abs();
+                assert!(
+                    d <= 2,
+                    "seed {seed} coef {i}: {} vs {}",
+                    float.data[i],
+                    fixed.data[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_tracks_reference_within_two_counts() {
+        for seed in 0..8 {
+            let coefs = forward_dct(&textured_block(seed));
+            let float = inverse_dct(&coefs);
+            let fixed = inverse_dct_int(&coefs);
+            for i in 0..64 {
+                let d = (i32::from(float.data[i]) - i32::from(fixed.data[i])).abs();
+                assert!(d <= 2, "seed {seed} sample {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn integer_roundtrip_error_is_small() {
+        for seed in 0..8 {
+            let b = textured_block(seed);
+            let rec = inverse_dct_int(&forward_dct_int(&b));
+            for i in 0..64 {
+                let d = (i32::from(rec.data[i]) - i32::from(b.data[i])).abs();
+                assert!(
+                    d <= 3,
+                    "seed {seed} sample {i}: {} vs {}",
+                    rec.data[i],
+                    b.data[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dc_only_block_matches_exactly() {
+        let b = Block::from_samples([100; 64]);
+        let c = forward_dct_int(&b);
+        assert!((i32::from(c.dc()) - 800).abs() <= 1, "dc {}", c.dc());
+        for &v in &c.data[1..] {
+            assert!(v.abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn energy_preserved_within_rounding() {
+        let b = textured_block(3);
+        let c = forward_dct_int(&b);
+        let e_in: f64 = b.data.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
+        let e_out: f64 = c.data.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
+        assert!((e_in - e_out).abs() < 0.01 * e_in, "{e_in} vs {e_out}");
+    }
+}

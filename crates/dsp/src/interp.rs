@@ -1,0 +1,177 @@
+//! Half-pel interpolation for motion compensation.
+//!
+//! MPEG-4 motion vectors have half-pixel precision; prediction at a
+//! half-pel position bilinearly averages the 2 or 4 neighbouring integer
+//! pixels with the standard's `//` rounding (round-half-away handled via
+//! `rounding_control = 0`, i.e. `(a+b+1)>>1` and `(a+b+c+d+2)>>2`).
+
+/// Compute ops per interpolated pixel (up to 4 loads + 3 adds + shift).
+pub const INTERP_OPS_PER_PIXEL: u64 = 6;
+
+/// Sub-pixel phase of a motion vector component pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HalfPel {
+    /// Integer position: direct copy.
+    Full,
+    /// Halfway horizontally: average left/right.
+    Horizontal,
+    /// Halfway vertically: average top/bottom.
+    Vertical,
+    /// Halfway in both: average the 2×2 neighbourhood.
+    Diagonal,
+}
+
+impl HalfPel {
+    /// Classifies a motion vector in half-pel units (`dx`, `dy`).
+    pub fn from_mv(dx: i16, dy: i16) -> HalfPel {
+        match (dx & 1 != 0, dy & 1 != 0) {
+            (false, false) => HalfPel::Full,
+            (true, false) => HalfPel::Horizontal,
+            (false, true) => HalfPel::Vertical,
+            (true, true) => HalfPel::Diagonal,
+        }
+    }
+}
+
+/// Interpolates a `w`×`h` prediction block from `reference` at integer
+/// origin `(rx, ry)` and phase `phase`, writing into `out` (row-major,
+/// stride `w`).
+///
+/// The reference plane must have at least one pixel of slack to the right
+/// and below the block for the fractional phases.
+///
+/// # Panics
+///
+/// Panics (via slice indexing) if the source window exceeds the reference
+/// plane bounds.
+#[allow(clippy::too_many_arguments)]
+pub fn interpolate_half_pel(
+    reference: &[u8],
+    ref_stride: usize,
+    rx: usize,
+    ry: usize,
+    phase: HalfPel,
+    w: usize,
+    h: usize,
+    out: &mut [u8],
+) {
+    assert!(out.len() >= w * h);
+    let px = |x: usize, y: usize| u16::from(reference[y * ref_stride + x]);
+    match phase {
+        HalfPel::Full => {
+            for y in 0..h {
+                let src = &reference[(ry + y) * ref_stride + rx..][..w];
+                out[y * w..][..w].copy_from_slice(src);
+            }
+        }
+        HalfPel::Horizontal => {
+            for y in 0..h {
+                for x in 0..w {
+                    let v = (px(rx + x, ry + y) + px(rx + x + 1, ry + y) + 1) >> 1;
+                    out[y * w + x] = v as u8;
+                }
+            }
+        }
+        HalfPel::Vertical => {
+            for y in 0..h {
+                for x in 0..w {
+                    let v = (px(rx + x, ry + y) + px(rx + x, ry + y + 1) + 1) >> 1;
+                    out[y * w + x] = v as u8;
+                }
+            }
+        }
+        HalfPel::Diagonal => {
+            for y in 0..h {
+                for x in 0..w {
+                    let v = (px(rx + x, ry + y)
+                        + px(rx + x + 1, ry + y)
+                        + px(rx + x, ry + y + 1)
+                        + px(rx + x + 1, ry + y + 1)
+                        + 2)
+                        >> 2;
+                    out[y * w + x] = v as u8;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane(w: usize, h: usize, f: impl Fn(usize, usize) -> u8) -> Vec<u8> {
+        let mut p = vec![0u8; w * h];
+        for y in 0..h {
+            for x in 0..w {
+                p[y * w + x] = f(x, y);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn phase_classification() {
+        assert_eq!(HalfPel::from_mv(0, 0), HalfPel::Full);
+        assert_eq!(HalfPel::from_mv(2, -4), HalfPel::Full);
+        assert_eq!(HalfPel::from_mv(1, 0), HalfPel::Horizontal);
+        assert_eq!(HalfPel::from_mv(-3, 2), HalfPel::Horizontal);
+        assert_eq!(HalfPel::from_mv(0, 5), HalfPel::Vertical);
+        assert_eq!(HalfPel::from_mv(1, 1), HalfPel::Diagonal);
+        assert_eq!(HalfPel::from_mv(-1, -1), HalfPel::Diagonal);
+    }
+
+    #[test]
+    fn full_pel_is_copy() {
+        let p = plane(20, 20, |x, y| (x * 5 + y * 7) as u8);
+        let mut out = vec![0u8; 64];
+        interpolate_half_pel(&p, 20, 3, 4, HalfPel::Full, 8, 8, &mut out);
+        for y in 0..8 {
+            for x in 0..8 {
+                assert_eq!(out[y * 8 + x], p[(y + 4) * 20 + x + 3]);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_plane_invariant_under_all_phases() {
+        let p = plane(20, 20, |_, _| 77);
+        for phase in [
+            HalfPel::Full,
+            HalfPel::Horizontal,
+            HalfPel::Vertical,
+            HalfPel::Diagonal,
+        ] {
+            let mut out = vec![0u8; 64];
+            interpolate_half_pel(&p, 20, 2, 2, phase, 8, 8, &mut out);
+            assert!(out.iter().all(|&v| v == 77), "{phase:?}");
+        }
+    }
+
+    #[test]
+    fn horizontal_averages_neighbours_with_rounding() {
+        // pixels alternate 10, 20 → halfway = (10+20+1)>>1 = 15
+        let p = plane(20, 4, |x, _| if x % 2 == 0 { 10 } else { 20 });
+        let mut out = vec![0u8; 8];
+        interpolate_half_pel(&p, 20, 0, 0, HalfPel::Horizontal, 8, 1, &mut out);
+        assert!(out.iter().all(|&v| v == 15));
+    }
+
+    #[test]
+    fn diagonal_uses_four_neighbours() {
+        // 2x2 checkerboard of 0/100: diagonal halfway = (0+100+100+0+2)>>2 = 50
+        let p = plane(20, 20, |x, y| if (x + y) % 2 == 0 { 0 } else { 100 });
+        let mut out = vec![0u8; 4];
+        interpolate_half_pel(&p, 20, 0, 0, HalfPel::Diagonal, 2, 2, &mut out);
+        assert!(out.iter().all(|&v| v == 50), "{out:?}");
+    }
+
+    #[test]
+    fn vertical_gradient_midpoint() {
+        let p = plane(8, 20, |_, y| (y * 10) as u8);
+        let mut out = vec![0u8; 8];
+        interpolate_half_pel(&p, 8, 0, 3, HalfPel::Vertical, 8, 1, &mut out);
+        // between rows 3 (30) and 4 (40): (30+40+1)>>1 = 35
+        assert!(out.iter().all(|&v| v == 35));
+    }
+}

@@ -1,0 +1,202 @@
+//! MPEG-4 "second quantization method" (H.263-style) scalar quantization.
+//!
+//! Intra DC is quantized by 8 (the standard's `dc_scaler` simplified to
+//! the 8-bit-video value); all other coefficients use the quantizer
+//! parameter `qp` in `1..=31`. Inter quantization includes the standard
+//! dead zone.
+
+use crate::dct::CoefBlock;
+
+/// Approximate compute ops per quantized 8×8 block (div/mul + clamp per
+/// coefficient).
+pub const QUANT_OPS: u64 = 192;
+
+/// Quantizer step bound (per ISO/IEC 14496-2, `quant_scale` is 5 bits).
+const QP_MAX: i16 = 31;
+
+fn check_qp(qp: u8) -> i16 {
+    let qp = i16::from(qp);
+    assert!((1..=QP_MAX).contains(&qp), "qp {qp} out of range 1..=31");
+    qp
+}
+
+/// Quantizes an intra block: DC by the fixed scaler 8, AC by `2·qp`.
+///
+/// # Panics
+///
+/// Panics if `qp` is outside `1..=31`.
+pub fn quantize_intra(coefs: &CoefBlock, qp: u8) -> CoefBlock {
+    let qp = check_qp(qp);
+    let mut out = CoefBlock::default();
+    out.data[0] = (coefs.data[0] + if coefs.data[0] >= 0 { 4 } else { -4 }) / 8;
+    for i in 1..64 {
+        let c = i32::from(coefs.data[i]);
+        let q = i32::from(qp);
+        // round-to-nearest on magnitude
+        let level = (c.abs() + q) / (2 * q);
+        out.data[i] = (level.min(2047) as i16) * c.signum() as i16;
+    }
+    out
+}
+
+/// Dequantizes an intra block (inverse of [`quantize_intra`], lossy).
+///
+/// # Panics
+///
+/// Panics if `qp` is outside `1..=31`.
+pub fn dequantize_intra(levels: &CoefBlock, qp: u8) -> CoefBlock {
+    let qp = check_qp(qp);
+    let mut out = CoefBlock::default();
+    out.data[0] = levels.data[0].saturating_mul(8);
+    for i in 1..64 {
+        let l = i32::from(levels.data[i]);
+        let q = i32::from(qp);
+        let v = if l == 0 {
+            0
+        } else if q % 2 == 1 {
+            l.signum() * (q * (2 * l.abs() + 1))
+        } else {
+            l.signum() * (q * (2 * l.abs() + 1) - 1)
+        };
+        out.data[i] = v.clamp(-2048, 2047) as i16;
+    }
+    out
+}
+
+/// Quantizes an inter (residue) block with the H.263 dead zone
+/// (`|level| = (|c| − qp/2) / 2qp`).
+///
+/// # Panics
+///
+/// Panics if `qp` is outside `1..=31`.
+pub fn quantize_inter(coefs: &CoefBlock, qp: u8) -> CoefBlock {
+    let qp = check_qp(qp);
+    let mut out = CoefBlock::default();
+    for i in 0..64 {
+        let c = i32::from(coefs.data[i]);
+        let q = i32::from(qp);
+        let level = (c.abs() - q / 2) / (2 * q);
+        out.data[i] = (level.max(0).min(2047) as i16) * c.signum() as i16;
+    }
+    out
+}
+
+/// Dequantizes an inter block (inverse of [`quantize_inter`], lossy).
+///
+/// # Panics
+///
+/// Panics if `qp` is outside `1..=31`.
+pub fn dequantize_inter(levels: &CoefBlock, qp: u8) -> CoefBlock {
+    let qp = check_qp(qp);
+    let mut out = CoefBlock::default();
+    for i in 0..64 {
+        let l = i32::from(levels.data[i]);
+        let q = i32::from(qp);
+        let v = if l == 0 {
+            0
+        } else if q % 2 == 1 {
+            l.signum() * (q * (2 * l.abs() + 1))
+        } else {
+            l.signum() * (q * (2 * l.abs() + 1) - 1)
+        };
+        out.data[i] = v.clamp(-2048, 2047) as i16;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_block() -> CoefBlock {
+        let mut c = CoefBlock::default();
+        for (i, v) in c.data.iter_mut().enumerate() {
+            *v = (i as i16 - 32) * 13;
+        }
+        c
+    }
+
+    #[test]
+    fn intra_dc_uses_fixed_scaler() {
+        let mut c = CoefBlock::default();
+        c.data[0] = 800;
+        let q = quantize_intra(&c, 31);
+        assert_eq!(q.data[0], 100);
+        let d = dequantize_intra(&q, 31);
+        assert_eq!(d.data[0], 800);
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_step_intra() {
+        let c = ramp_block();
+        for qp in [1u8, 2, 5, 12, 31] {
+            let d = dequantize_intra(&quantize_intra(&c, qp), qp);
+            for i in 1..64 {
+                let err = (i32::from(d.data[i]) - i32::from(c.data[i])).abs();
+                assert!(
+                    err <= 2 * i32::from(qp),
+                    "qp {qp} idx {i}: err {err} > {}",
+                    2 * qp
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_step_inter() {
+        let c = ramp_block();
+        for qp in [1u8, 2, 5, 12, 31] {
+            let d = dequantize_inter(&quantize_inter(&c, qp), qp);
+            for i in 0..64 {
+                let err = (i32::from(d.data[i]) - i32::from(c.data[i])).abs();
+                // Dead-zone quantizers have error up to ~1.5 steps near zero.
+                assert!(
+                    err <= 3 * i32::from(qp),
+                    "qp {qp} idx {i}: err {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inter_dead_zone_zeroes_small_coefficients() {
+        let mut c = CoefBlock::default();
+        c.data[5] = 9;
+        c.data[6] = -9;
+        let q = quantize_inter(&c, 10);
+        assert_eq!(q.data[5], 0);
+        assert_eq!(q.data[6], 0);
+    }
+
+    #[test]
+    fn sign_symmetry() {
+        let mut c = ramp_block();
+        let q1 = quantize_inter(&c, 7);
+        for v in c.data.iter_mut() {
+            *v = -*v;
+        }
+        let q2 = quantize_inter(&c, 7);
+        for i in 0..64 {
+            assert_eq!(q1.data[i], -q2.data[i], "index {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn qp_zero_rejected() {
+        quantize_intra(&CoefBlock::default(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn qp_over_31_rejected() {
+        quantize_inter(&CoefBlock::default(), 32);
+    }
+
+    #[test]
+    fn dequantize_zero_is_zero() {
+        let z = CoefBlock::default();
+        assert!(dequantize_intra(&z, 8).data[1..].iter().all(|&v| v == 0));
+        assert!(dequantize_inter(&z, 8).is_zero());
+    }
+}

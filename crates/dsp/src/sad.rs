@@ -1,0 +1,164 @@
+//! Sum-of-absolute-differences block-matching criteria.
+//!
+//! SAD is the "resemblance" criterion the paper describes for MPEG-4
+//! motion estimation: the candidate block minimizing
+//! `Σ |cur(i,j) − ref(i,j)|` wins. The cutoff variant implements the
+//! early-exit used by real encoders (MoMuSys included), abandoning a
+//! candidate as soon as it exceeds the best SAD so far.
+
+/// Compute ops per full 16×16 SAD (256 subtract/abs/accumulate triples).
+pub const SAD16_OPS: u64 = 768;
+/// Compute ops per full 8×8 SAD.
+pub const SAD8_OPS: u64 = 192;
+
+/// SAD between a 16×16 block in `cur` at `(cx, cy)` and one in `reference`
+/// at `(rx, ry)`. `stride` applies to both planes.
+///
+/// # Panics
+///
+/// Panics (via slice indexing) if either block exceeds plane bounds.
+pub fn sad_16x16(
+    cur: &[u8],
+    cur_stride: usize,
+    cx: usize,
+    cy: usize,
+    reference: &[u8],
+    ref_stride: usize,
+    rx: usize,
+    ry: usize,
+) -> u32 {
+    let mut acc = 0u32;
+    for row in 0..16 {
+        let c = &cur[(cy + row) * cur_stride + cx..][..16];
+        let r = &reference[(ry + row) * ref_stride + rx..][..16];
+        for i in 0..16 {
+            acc += u32::from(c[i].abs_diff(r[i]));
+        }
+    }
+    acc
+}
+
+/// Like [`sad_16x16`] but abandons the candidate once the partial sum
+/// exceeds `cutoff`, returning the partial sum (which is `> cutoff`).
+/// Also returns how many 16-pixel rows were actually visited, so the
+/// caller can charge memory accesses for exactly the data touched.
+#[allow(clippy::too_many_arguments)]
+pub fn sad_16x16_with_cutoff(
+    cur: &[u8],
+    cur_stride: usize,
+    cx: usize,
+    cy: usize,
+    reference: &[u8],
+    ref_stride: usize,
+    rx: usize,
+    ry: usize,
+    cutoff: u32,
+) -> (u32, usize) {
+    let mut acc = 0u32;
+    for row in 0..16 {
+        let c = &cur[(cy + row) * cur_stride + cx..][..16];
+        let r = &reference[(ry + row) * ref_stride + rx..][..16];
+        for i in 0..16 {
+            acc += u32::from(c[i].abs_diff(r[i]));
+        }
+        if acc > cutoff {
+            return (acc, row + 1);
+        }
+    }
+    (acc, 16)
+}
+
+/// SAD between two 8×8 blocks, used for chroma and half-pel refinement of
+/// 8×8 partitions.
+#[allow(clippy::too_many_arguments)]
+pub fn sad_8x8(
+    cur: &[u8],
+    cur_stride: usize,
+    cx: usize,
+    cy: usize,
+    reference: &[u8],
+    ref_stride: usize,
+    rx: usize,
+    ry: usize,
+) -> u32 {
+    let mut acc = 0u32;
+    for row in 0..8 {
+        let c = &cur[(cy + row) * cur_stride + cx..][..8];
+        let r = &reference[(ry + row) * ref_stride + rx..][..8];
+        for i in 0..8 {
+            acc += u32::from(c[i].abs_diff(r[i]));
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane(w: usize, h: usize, f: impl Fn(usize, usize) -> u8) -> Vec<u8> {
+        let mut p = vec![0u8; w * h];
+        for y in 0..h {
+            for x in 0..w {
+                p[y * w + x] = f(x, y);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn identical_blocks_have_zero_sad() {
+        let p = plane(32, 32, |x, y| (x * 7 + y * 3) as u8);
+        assert_eq!(sad_16x16(&p, 32, 4, 4, &p, 32, 4, 4), 0);
+        assert_eq!(sad_8x8(&p, 32, 10, 10, &p, 32, 10, 10), 0);
+    }
+
+    #[test]
+    fn sad_detects_known_shift() {
+        // A diagonal gradient shifted by (1,0) differs by exactly the
+        // gradient slope at every pixel.
+        let p = plane(64, 32, |x, _| (x * 4 % 256) as u8);
+        let sad_aligned = sad_16x16(&p, 64, 16, 8, &p, 64, 16, 8);
+        let sad_shifted = sad_16x16(&p, 64, 16, 8, &p, 64, 17, 8);
+        assert_eq!(sad_aligned, 0);
+        assert_eq!(sad_shifted, 256 * 4);
+    }
+
+    #[test]
+    fn cutoff_terminates_early_and_overestimates() {
+        let a = plane(32, 32, |_, _| 0);
+        let b = plane(32, 32, |_, _| 255);
+        let full = sad_16x16(&a, 32, 0, 0, &b, 32, 0, 0);
+        let (partial, rows) = sad_16x16_with_cutoff(&a, 32, 0, 0, &b, 32, 0, 0, 100);
+        assert!(partial > 100);
+        assert_eq!(rows, 1);
+        assert!(partial <= full);
+    }
+
+    #[test]
+    fn cutoff_matches_full_when_not_triggered() {
+        let a = plane(32, 32, |x, y| (x + y) as u8);
+        let b = plane(32, 32, |x, y| (x + y + 1) as u8);
+        let full = sad_16x16(&a, 32, 2, 2, &b, 32, 2, 2);
+        let (v, rows) = sad_16x16_with_cutoff(&a, 32, 2, 2, &b, 32, 2, 2, u32::MAX);
+        assert_eq!(v, full);
+        assert_eq!(rows, 16);
+    }
+
+    #[test]
+    fn sad_is_symmetric() {
+        let a = plane(32, 32, |x, y| (x * 13 + y) as u8);
+        let b = plane(32, 32, |x, y| (y * 11 + x) as u8);
+        assert_eq!(
+            sad_16x16(&a, 32, 8, 8, &b, 32, 8, 8),
+            sad_16x16(&b, 32, 8, 8, &a, 32, 8, 8)
+        );
+    }
+
+    #[test]
+    fn max_sad_bounded() {
+        let a = plane(16, 16, |_, _| 0);
+        let b = plane(16, 16, |_, _| 255);
+        assert_eq!(sad_16x16(&a, 16, 0, 0, &b, 16, 0, 0), 256 * 255);
+    }
+}

@@ -1,0 +1,79 @@
+//! Zigzag coefficient scan (ISO/IEC 14496-2 Figure 7-2, the classic
+//! MPEG scan order), mapping the 8×8 coefficient grid to a 64-entry
+//! sequence ordered by increasing spatial frequency.
+
+use crate::dct::CoefBlock;
+
+/// Zigzag scan order: `ZIGZAG[k]` is the row-major index of the k-th
+/// scanned coefficient.
+pub const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Scans a coefficient block into zigzag order.
+pub fn scan_zigzag(coefs: &CoefBlock) -> [i16; 64] {
+    let mut out = [0i16; 64];
+    for (k, &idx) in ZIGZAG.iter().enumerate() {
+        out[k] = coefs.data[idx];
+    }
+    out
+}
+
+/// Reconstructs a coefficient block from a zigzag-ordered sequence.
+pub fn unscan_zigzag(scanned: &[i16; 64]) -> CoefBlock {
+    let mut out = CoefBlock::default();
+    for (k, &idx) in ZIGZAG.iter().enumerate() {
+        out.data[idx] = scanned[k];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &idx in &ZIGZAG {
+            assert!(idx < 64);
+            assert!(!seen[idx], "index {idx} repeated");
+            seen[idx] = true;
+        }
+    }
+
+    #[test]
+    fn zigzag_starts_dc_and_walks_antidiagonals() {
+        assert_eq!(ZIGZAG[0], 0);
+        assert_eq!(ZIGZAG[1], 1); // (0,1)
+        assert_eq!(ZIGZAG[2], 8); // (1,0)
+        assert_eq!(ZIGZAG[63], 63); // (7,7)
+        // Manhattan distance from DC is non-decreasing along the scan.
+        let dist = |i: usize| (i / 8) + (i % 8);
+        for w in ZIGZAG.windows(2) {
+            assert!(dist(w[1]) + 1 >= dist(w[0]), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn scan_unscan_roundtrip() {
+        let mut c = CoefBlock::default();
+        for (i, v) in c.data.iter_mut().enumerate() {
+            *v = i as i16 * 3 - 70;
+        }
+        assert_eq!(unscan_zigzag(&scan_zigzag(&c)), c);
+    }
+
+    #[test]
+    fn low_frequency_coefs_scan_first() {
+        let mut c = CoefBlock::default();
+        c.data[0] = 10; // DC
+        c.data[1] = 20; // (0,1)
+        c.data[8] = 30; // (1,0)
+        let s = scan_zigzag(&c);
+        assert_eq!(&s[..3], &[10, 20, 30]);
+        assert!(s[3..].iter().all(|&v| v == 0));
+    }
+}

@@ -1,0 +1,144 @@
+//! Perfex-style event counters.
+//!
+//! The IRIX Perfex library exposed 32 virtual counters multiplexed onto
+//! two hardware counters; we keep the subset the paper reports plus the
+//! raw events its derived metrics need.
+
+/// Raw event counts accumulated by the simulated hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counters {
+    /// Graduated load instructions.
+    pub loads: u64,
+    /// Graduated store instructions.
+    pub stores: u64,
+    /// Software prefetch instructions issued.
+    pub prefetches: u64,
+    /// Prefetches whose target line was already in L1 (wasted issue slots;
+    /// the R10000 cannot count these — see [`crate::MachineSpec`]).
+    pub prefetch_l1_hits: u64,
+    /// L1 data-cache misses (demand refills).
+    pub l1_misses: u64,
+    /// Dirty L1 lines written back to L2.
+    pub l1_writebacks: u64,
+    /// L2 cache misses (lines fetched from DRAM).
+    pub l2_misses: u64,
+    /// Dirty L2 lines written back to DRAM.
+    pub l2_writebacks: u64,
+    /// Data-TLB misses.
+    pub tlb_misses: u64,
+    /// Non-memory compute instructions charged by the kernels.
+    pub compute_ops: u64,
+    /// Total bytes moved by architectural accesses (ALU ↔ L1 volume,
+    /// used by the SIMD bandwidth projection).
+    pub bytes_accessed: u64,
+}
+
+impl Counters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Graduated loads plus graduated stores.
+    pub fn memory_refs(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Total graduated instructions (memory refs + prefetches + compute).
+    pub fn instructions(&self) -> u64 {
+        self.memory_refs() + self.prefetches + self.compute_ops
+    }
+
+    /// L1 misses that were satisfied by L2 (did not go to DRAM).
+    pub fn l1_misses_hitting_l2(&self) -> u64 {
+        self.l1_misses.saturating_sub(self.l2_misses)
+    }
+
+    /// Element-wise difference `self − earlier`, for instrumenting a
+    /// window of execution (the paper wraps `VopCode()` /
+    /// `DecodeVopCombMotionShapeTexture()` in counter reads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field of `earlier` exceeds the corresponding field of
+    /// `self` (counters are monotonic).
+    pub fn delta_since(&self, earlier: &Counters) -> Counters {
+        let sub = |a: u64, b: u64| {
+            assert!(a >= b, "counters went backwards ({a} < {b})");
+            a - b
+        };
+        Counters {
+            loads: sub(self.loads, earlier.loads),
+            stores: sub(self.stores, earlier.stores),
+            prefetches: sub(self.prefetches, earlier.prefetches),
+            prefetch_l1_hits: sub(self.prefetch_l1_hits, earlier.prefetch_l1_hits),
+            l1_misses: sub(self.l1_misses, earlier.l1_misses),
+            l1_writebacks: sub(self.l1_writebacks, earlier.l1_writebacks),
+            l2_misses: sub(self.l2_misses, earlier.l2_misses),
+            l2_writebacks: sub(self.l2_writebacks, earlier.l2_writebacks),
+            tlb_misses: sub(self.tlb_misses, earlier.tlb_misses),
+            compute_ops: sub(self.compute_ops, earlier.compute_ops),
+            bytes_accessed: sub(self.bytes_accessed, earlier.bytes_accessed),
+        }
+    }
+
+    /// Element-wise sum.
+    pub fn merged_with(&self, other: &Counters) -> Counters {
+        Counters {
+            loads: self.loads + other.loads,
+            stores: self.stores + other.stores,
+            prefetches: self.prefetches + other.prefetches,
+            prefetch_l1_hits: self.prefetch_l1_hits + other.prefetch_l1_hits,
+            l1_misses: self.l1_misses + other.l1_misses,
+            l1_writebacks: self.l1_writebacks + other.l1_writebacks,
+            l2_misses: self.l2_misses + other.l2_misses,
+            l2_writebacks: self.l2_writebacks + other.l2_writebacks,
+            tlb_misses: self.tlb_misses + other.tlb_misses,
+            compute_ops: self.compute_ops + other.compute_ops,
+            bytes_accessed: self.bytes_accessed + other.bytes_accessed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Counters {
+        Counters {
+            loads: 1000,
+            stores: 400,
+            prefetches: 2,
+            prefetch_l1_hits: 1,
+            l1_misses: 10,
+            l1_writebacks: 4,
+            l2_misses: 3,
+            l2_writebacks: 1,
+            tlb_misses: 0,
+            compute_ops: 2000,
+            bytes_accessed: 1400,
+        }
+    }
+
+    #[test]
+    fn derived_sums() {
+        let c = sample();
+        assert_eq!(c.memory_refs(), 1400);
+        assert_eq!(c.instructions(), 3402);
+        assert_eq!(c.l1_misses_hitting_l2(), 7);
+    }
+
+    #[test]
+    fn delta_and_merge_are_inverses() {
+        let a = sample();
+        let b = a.merged_with(&sample());
+        assert_eq!(b.delta_since(&a), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn negative_delta_panics() {
+        let a = sample();
+        Counters::default().delta_since(&a);
+    }
+}

@@ -1,0 +1,132 @@
+//! Main-memory and system-bus model.
+//!
+//! The three SGI platforms share (Table 1 of the paper) a 64-bit,
+//! 133 MHz split-transaction system bus with 4-way interleaved SDRAM:
+//! roughly 1066 MB/s peak and 680 MB/s sustained. We track the bytes
+//! moved and expose the bandwidth ceilings so the study can report bus
+//! *utilization* the way the paper does.
+
+/// DRAM / system-bus parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramConfig {
+    /// Bus width in bits.
+    pub bus_bits: u32,
+    /// Bus clock in MHz.
+    pub bus_mhz: u32,
+    /// Sustained (achievable) bandwidth in MB/s.
+    pub sustained_mb_s: f64,
+    /// Access latency in CPU cycles (row activate + transfer start),
+    /// as seen by a blocked load.
+    pub latency_cycles: u32,
+    /// Interleave factor of the SDRAM banks.
+    pub interleave: u32,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            bus_bits: 64,
+            bus_mhz: 133,
+            sustained_mb_s: 680.0,
+            latency_cycles: 200,
+            interleave: 4,
+        }
+    }
+}
+
+impl DramConfig {
+    /// Peak bus bandwidth in MB/s (width × clock).
+    pub fn peak_mb_s(&self) -> f64 {
+        f64::from(self.bus_bits / 8) * f64::from(self.bus_mhz)
+    }
+}
+
+/// Byte-level traffic accounting between L2 and main memory.
+#[derive(Debug, Clone, Default)]
+pub struct DramModel {
+    config: DramConfig,
+    bytes_read: u64,
+    bytes_written: u64,
+}
+
+impl DramModel {
+    /// Creates a traffic model with the given parameters.
+    pub fn new(config: DramConfig) -> Self {
+        DramModel {
+            config,
+            bytes_read: 0,
+            bytes_written: 0,
+        }
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> DramConfig {
+        self.config
+    }
+
+    /// Records a line fetch of `bytes` from DRAM.
+    pub fn record_read(&mut self, bytes: u64) {
+        self.bytes_read += bytes;
+    }
+
+    /// Records a writeback of `bytes` to DRAM.
+    pub fn record_write(&mut self, bytes: u64) {
+        self.bytes_written += bytes;
+    }
+
+    /// Total bytes fetched from DRAM.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Total bytes written back to DRAM.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Total bus traffic in bytes.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Fraction of the sustained bandwidth consumed when the recorded
+    /// traffic is spread over `seconds` of execution.
+    pub fn utilization(&self, seconds: f64) -> f64 {
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        let mb = self.bytes_total() as f64 / 1.0e6;
+        (mb / seconds) / self.config.sustained_mb_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_bandwidth_from_geometry() {
+        let c = DramConfig::default();
+        assert!((c.peak_mb_s() - 1064.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traffic_accumulates() {
+        let mut d = DramModel::new(DramConfig::default());
+        d.record_read(128);
+        d.record_read(128);
+        d.record_write(128);
+        assert_eq!(d.bytes_read(), 256);
+        assert_eq!(d.bytes_written(), 128);
+        assert_eq!(d.bytes_total(), 384);
+    }
+
+    #[test]
+    fn utilization_is_fraction_of_sustained() {
+        let mut d = DramModel::new(DramConfig::default());
+        // 68 MB over 1 s = 68 MB/s = 10% of 680 MB/s sustained.
+        d.record_read(68_000_000);
+        assert!((d.utilization(1.0) - 0.1).abs() < 1e-9);
+        assert_eq!(d.utilization(0.0), 0.0);
+    }
+}

@@ -1,0 +1,414 @@
+//! The composed L1 → L2 → DRAM hierarchy with TLB and software prefetch.
+
+use crate::cache::Cache;
+use crate::counters::Counters;
+use crate::dram::DramModel;
+use crate::machine::MachineSpec;
+use crate::model::{AccessKind, MemModel};
+use crate::space::Region;
+use crate::timing::CycleBreakdown;
+use crate::tlb::Tlb;
+
+/// Per-data-structure miss tallies (see [`Hierarchy::attach_regions`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionMisses {
+    /// Region tag.
+    pub tag: String,
+    /// L1 demand misses landing in regions with this tag.
+    pub l1_misses: u64,
+    /// L2 demand misses landing in regions with this tag.
+    pub l2_misses: u64,
+}
+
+/// Full memory-hierarchy simulator for one [`MachineSpec`].
+///
+/// Accesses flow TLB → L1 → L2 → DRAM with write-back / write-allocate at
+/// both cache levels. Architectural instruction counts are tracked
+/// separately from line probes, so a 16-byte pixel run counts 16
+/// graduated loads but touches (and can miss) each 32 B line only once —
+/// exactly how the hardware counters see it.
+///
+/// # Examples
+///
+/// ```
+/// use m4ps_memsim::{AccessKind, Hierarchy, MachineSpec, MemModel};
+///
+/// let mut mem = Hierarchy::new(MachineSpec::o2());
+/// mem.access_range(0x1_0000, 16, AccessKind::Load, 16);
+/// assert_eq!(mem.counters().loads, 16);
+/// assert_eq!(mem.counters().l1_misses, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    machine: MachineSpec,
+    l1: Cache,
+    l2: Cache,
+    tlb: Tlb,
+    dram: DramModel,
+    counters: Counters,
+    prefetch_enabled: bool,
+    /// Sorted (base, end, tag-index) spans for miss attribution.
+    region_spans: Vec<(u64, u64, usize)>,
+    region_tags: Vec<String>,
+    region_l1: Vec<u64>,
+    region_l2: Vec<u64>,
+}
+
+impl Hierarchy {
+    /// Builds an empty hierarchy for `machine` with software prefetch
+    /// modelling enabled (as the MIPSpro compiler did at `-O3`).
+    pub fn new(machine: MachineSpec) -> Self {
+        Hierarchy {
+            l1: Cache::new(machine.l1),
+            l2: Cache::new(machine.l2),
+            tlb: Tlb::new(machine.tlb),
+            dram: DramModel::new(machine.dram),
+            counters: Counters::new(),
+            prefetch_enabled: true,
+            region_spans: Vec::new(),
+            region_tags: Vec::new(),
+            region_l1: Vec::new(),
+            region_l2: Vec::new(),
+            machine,
+        }
+    }
+
+    /// Attaches the address-space region map so demand misses can be
+    /// attributed to the data structures they land in. Regions sharing a
+    /// tag are aggregated. The paper's hardware counters could only see
+    /// totals; the simulator can answer *which buffer misses*.
+    pub fn attach_regions(&mut self, regions: &[Region]) {
+        self.region_spans.clear();
+        self.region_tags.clear();
+        for r in regions {
+            let idx = match self.region_tags.iter().position(|t| t == &r.tag) {
+                Some(i) => i,
+                None => {
+                    self.region_tags.push(r.tag.clone());
+                    self.region_tags.len() - 1
+                }
+            };
+            self.region_spans.push((r.base, r.base + r.bytes.max(1), idx));
+        }
+        self.region_spans.sort_unstable();
+        self.region_l1 = vec![0; self.region_tags.len()];
+        self.region_l2 = vec![0; self.region_tags.len()];
+    }
+
+    /// Miss tallies per region tag, most L1 misses first.
+    pub fn region_misses(&self) -> Vec<RegionMisses> {
+        let mut out: Vec<RegionMisses> = self
+            .region_tags
+            .iter()
+            .enumerate()
+            .map(|(i, tag)| RegionMisses {
+                tag: tag.clone(),
+                l1_misses: self.region_l1[i],
+                l2_misses: self.region_l2[i],
+            })
+            .collect();
+        out.sort_by(|a, b| b.l1_misses.cmp(&a.l1_misses));
+        out
+    }
+
+    /// Tag index of the region containing `addr`, if any.
+    fn region_of(&self, addr: u64) -> Option<usize> {
+        if self.region_spans.is_empty() {
+            return None;
+        }
+        let i = self
+            .region_spans
+            .partition_point(|&(base, _, _)| base <= addr);
+        if i == 0 {
+            return None;
+        }
+        let (_, end, idx) = self.region_spans[i - 1];
+        (addr < end).then_some(idx)
+    }
+
+    /// Builds a hierarchy with software prefetch disabled.
+    pub fn without_prefetch(machine: MachineSpec) -> Self {
+        let mut h = Self::new(machine);
+        h.prefetch_enabled = false;
+        h
+    }
+
+    /// The machine this hierarchy models.
+    pub fn machine(&self) -> &MachineSpec {
+        &self.machine
+    }
+
+    /// Whether software prefetches are being simulated.
+    pub fn prefetch_enabled(&self) -> bool {
+        self.prefetch_enabled
+    }
+
+    /// DRAM traffic accounting.
+    pub fn dram(&self) -> &DramModel {
+        &self.dram
+    }
+
+    /// Cycle breakdown under the machine's timing model.
+    pub fn breakdown(&self) -> CycleBreakdown {
+        self.machine.timing.breakdown(&self.counters)
+    }
+
+    /// Execution time in seconds under the machine's clock.
+    pub fn exec_seconds(&self) -> f64 {
+        self.breakdown().total() / (f64::from(self.machine.clock_mhz) * 1.0e6)
+    }
+
+    /// Snapshot of the counters (for delta-instrumentation windows).
+    pub fn snapshot(&self) -> Counters {
+        self.counters
+    }
+
+    /// Probes one line through L1 → L2 → DRAM.
+    fn probe_line(&mut self, addr: u64, write: bool) {
+        let r1 = self.l1.probe(addr, write);
+        if r1.hit {
+            return;
+        }
+        self.counters.l1_misses += 1;
+        if let Some(idx) = self.region_of(addr) {
+            self.region_l1[idx] += 1;
+        }
+        if let Some(victim) = r1.writeback_of {
+            // Dirty L1 line drains to L2; it is a write touch of L2.
+            self.counters.l1_writebacks += 1;
+            let wb = self.l2.probe(victim, true);
+            if !wb.hit {
+                // Non-inclusive corner: the line left L2 earlier. Refill
+                // from DRAM, then dirty it.
+                self.counters.l2_misses += 1;
+                self.dram.record_read(self.machine.l2.line_bytes);
+                if let Some(l2_victim) = wb.writeback_of {
+                    let _ = l2_victim;
+                    self.counters.l2_writebacks += 1;
+                    self.dram.record_write(self.machine.l2.line_bytes);
+                }
+            }
+        }
+        // Demand refill of the missing line from L2.
+        let r2 = self.l2.probe(addr, false);
+        if !r2.hit {
+            self.counters.l2_misses += 1;
+            if let Some(idx) = self.region_of(addr) {
+                self.region_l2[idx] += 1;
+            }
+            self.dram.record_read(self.machine.l2.line_bytes);
+            if let Some(l2_victim) = r2.writeback_of {
+                let _ = l2_victim;
+                self.counters.l2_writebacks += 1;
+                self.dram.record_write(self.machine.l2.line_bytes);
+            }
+        }
+    }
+
+    /// Line-aligned iteration over `[addr, addr + len)`.
+    fn for_each_line(addr: u64, len: u64, line: u64, mut f: impl FnMut(u64)) {
+        let start = addr & !(line - 1);
+        let end = addr + len.max(1);
+        let mut a = start;
+        while a < end {
+            f(a);
+            a += line;
+        }
+    }
+
+    /// Page-aligned iteration for the TLB.
+    fn for_each_page(addr: u64, len: u64, page: u64, mut f: impl FnMut(u64)) {
+        let start = addr & !(page - 1);
+        let end = addr + len.max(1);
+        let mut a = start;
+        while a < end {
+            f(a);
+            a += page;
+        }
+    }
+}
+
+impl MemModel for Hierarchy {
+    fn access_range(&mut self, addr: u64, len: u64, kind: AccessKind, arch_ops: u64) {
+        match kind {
+            AccessKind::Load => self.counters.loads += arch_ops,
+            AccessKind::Store => self.counters.stores += arch_ops,
+        }
+        self.counters.bytes_accessed += len.max(1);
+        let page = self.machine.tlb.page_bytes;
+        Self::for_each_page(addr, len, page, |a| {
+            if !self.tlb.lookup(a) {
+                self.counters.tlb_misses += 1;
+            }
+        });
+        let line = self.machine.l1.line_bytes;
+        let write = matches!(kind, AccessKind::Store);
+        Self::for_each_line(addr, len, line, |a| self.probe_line(a, write));
+    }
+
+    fn prefetch(&mut self, addr: u64) {
+        if !self.prefetch_enabled {
+            return;
+        }
+        self.counters.prefetches += 1;
+        if self.l1.contains(addr) {
+            // The line is already resident: the prefetch becomes a nop and
+            // wasted an issue slot (the paper's "prefetch hits L1").
+            self.counters.prefetch_l1_hits += 1;
+            return;
+        }
+        // Useful prefetch: bring the line in like a (non-blocking) load,
+        // but without counting a demand L1 miss.
+        let before = self.counters.l1_misses;
+        self.probe_line(addr, false);
+        // probe_line counted a demand miss; reclassify it as a prefetch
+        // fill (the hardware counts prefetch fills separately from demand
+        // misses, and the paper's miss rates are demand rates).
+        self.counters.l1_misses = before;
+    }
+
+    fn add_ops(&mut self, ops: u64) {
+        self.counters.compute_ops += ops;
+    }
+
+    fn counters(&self) -> &Counters {
+        &self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_machine() -> MachineSpec {
+        // Shrink caches so tests exercise evictions cheaply.
+        let mut m = MachineSpec::o2();
+        m.l1.size_bytes = 1024; // 16 sets × 2 × 32 B
+        m.l2.size_bytes = 8 * 1024; // 32 sets × 2 × 128 B
+        m
+    }
+
+    #[test]
+    fn sequential_sweep_misses_once_per_line() {
+        let mut h = Hierarchy::new(small_machine());
+        for a in (0..4096u64).step_by(8) {
+            h.access_range(a, 8, AccessKind::Load, 1);
+        }
+        let c = h.counters();
+        assert_eq!(c.loads, 512);
+        assert_eq!(c.l1_misses, 4096 / 32);
+        assert_eq!(c.l2_misses, 4096 / 128);
+    }
+
+    #[test]
+    fn range_access_counts_arch_ops_but_probes_lines() {
+        let mut h = Hierarchy::new(small_machine());
+        h.access_range(0, 64, AccessKind::Load, 64);
+        let c = h.counters();
+        assert_eq!(c.loads, 64);
+        assert_eq!(c.l1_misses, 2); // two 32 B lines
+    }
+
+    #[test]
+    fn store_then_evict_generates_writeback_traffic() {
+        let mut h = Hierarchy::new(small_machine());
+        // Dirty 2 KB (64 lines) — L1 holds 1 KB, so ~32 evictions occur,
+        // all dirty.
+        for a in (0..2048u64).step_by(32) {
+            h.access_range(a, 32, AccessKind::Store, 4);
+        }
+        // Sweep a disjoint 1 KB region to flush the rest.
+        for a in (65536..66560u64).step_by(32) {
+            h.access_range(a, 32, AccessKind::Load, 4);
+        }
+        let c = h.counters();
+        assert!(c.l1_writebacks >= 32, "writebacks {}", c.l1_writebacks);
+        assert!(c.stores == 256);
+    }
+
+    #[test]
+    fn l2_captures_l1_capacity_misses() {
+        let mut h = Hierarchy::new(small_machine());
+        // Working set 4 KB: 4× the tiny L1 but half the tiny L2.
+        for _ in 0..10 {
+            for a in (0..4096u64).step_by(32) {
+                h.access_range(a, 32, AccessKind::Load, 4);
+            }
+        }
+        let c = h.counters();
+        assert!(c.l1_misses > 500); // thrashes L1 every pass
+        assert_eq!(c.l2_misses, 4096 / 128); // fits in L2: cold misses only
+    }
+
+    #[test]
+    fn dram_traffic_matches_l2_miss_and_writeback_counts() {
+        let mut h = Hierarchy::new(small_machine());
+        for a in (0..32768u64).step_by(32) {
+            h.access_range(a, 32, AccessKind::Store, 4);
+        }
+        let c = *h.counters();
+        let expected = (c.l2_misses + c.l2_writebacks) * 128;
+        assert_eq!(h.dram().bytes_total(), expected);
+    }
+
+    #[test]
+    fn prefetch_hit_in_l1_is_counted_as_waste() {
+        let mut h = Hierarchy::new(small_machine());
+        h.access_range(0x100, 8, AccessKind::Load, 1);
+        h.prefetch(0x104); // same line: wasted
+        h.prefetch(0x2000); // useful
+        let c = h.counters();
+        assert_eq!(c.prefetches, 2);
+        assert_eq!(c.prefetch_l1_hits, 1);
+        // The useful prefetch installed the line: demand load now hits.
+        let misses_before = c.l1_misses;
+        h.access_range(0x2000, 8, AccessKind::Load, 1);
+        assert_eq!(h.counters().l1_misses, misses_before);
+    }
+
+    #[test]
+    fn disabled_prefetch_is_silent() {
+        let mut h = Hierarchy::without_prefetch(small_machine());
+        h.prefetch(0x100);
+        assert_eq!(h.counters().prefetches, 0);
+        assert!(!h.prefetch_enabled());
+    }
+
+    #[test]
+    fn prefetch_does_not_inflate_demand_miss_rate() {
+        let mut h = Hierarchy::new(small_machine());
+        h.prefetch(0x5000);
+        assert_eq!(h.counters().l1_misses, 0);
+    }
+
+    #[test]
+    fn tlb_misses_counted_per_new_page() {
+        let mut h = Hierarchy::new(small_machine());
+        h.access_range(0, 8, AccessKind::Load, 1);
+        h.access_range(16 * 1024, 8, AccessKind::Load, 1);
+        h.access_range(8, 8, AccessKind::Load, 1);
+        assert_eq!(h.counters().tlb_misses, 2);
+    }
+
+    #[test]
+    fn exec_seconds_positive_after_work() {
+        let mut h = Hierarchy::new(MachineSpec::onyx2());
+        h.add_ops(1_000_000);
+        h.access_range(0, 4096, AccessKind::Load, 4096);
+        assert!(h.exec_seconds() > 0.0);
+        let b = h.breakdown();
+        assert!(b.total() >= b.base);
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_window() {
+        let mut h = Hierarchy::new(small_machine());
+        h.access_range(0, 1024, AccessKind::Load, 128);
+        let snap = h.snapshot();
+        h.access_range(0x10000, 1024, AccessKind::Store, 128);
+        let delta = h.counters().delta_since(&snap);
+        assert_eq!(delta.loads, 0);
+        assert_eq!(delta.stores, 128);
+        assert_eq!(delta.l1_misses, 32);
+    }
+}

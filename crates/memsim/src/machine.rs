@@ -1,0 +1,184 @@
+//! Machine presets for the three SGI platforms of the study.
+
+use crate::cache::CacheConfig;
+use crate::dram::DramConfig;
+use crate::timing::TimingModel;
+use crate::tlb::TlbConfig;
+
+/// Processor family. The only behavioural difference the paper exercises
+/// is that the R10000 cannot count prefetches that hit in L1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpuKind {
+    /// MIPS R10000 (Onyx VTX).
+    R10000,
+    /// MIPS R12000 (O2, Onyx2 InfiniteReality).
+    R12000,
+}
+
+impl CpuKind {
+    /// Whether the performance counters can report prefetches hitting L1.
+    pub fn counts_prefetch_l1_hits(self) -> bool {
+        matches!(self, CpuKind::R12000)
+    }
+
+    /// Short display name.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            CpuKind::R10000 => "R10K",
+            CpuKind::R12000 => "R12K",
+        }
+    }
+}
+
+/// Full description of one experimental platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSpec {
+    /// Marketing name of the system.
+    pub name: &'static str,
+    /// Processor family.
+    pub cpu: CpuKind,
+    /// Core clock in MHz.
+    pub clock_mhz: u32,
+    /// L1 data cache geometry.
+    pub l1: CacheConfig,
+    /// Unified L2 cache geometry.
+    pub l2: CacheConfig,
+    /// Data TLB geometry.
+    pub tlb: TlbConfig,
+    /// DRAM / system-bus parameters.
+    pub dram: DramConfig,
+    /// Analytic timing parameters.
+    pub timing: TimingModel,
+}
+
+/// R10K/R12K L1 data cache: 32 KB, 2-way, 32 B lines.
+fn mips_l1() -> CacheConfig {
+    CacheConfig {
+        size_bytes: 32 * 1024,
+        line_bytes: 32,
+        assoc: 2,
+    }
+}
+
+/// SGI L2: 2-way, 128 B lines, size per machine.
+fn mips_l2(mb: u64) -> CacheConfig {
+    CacheConfig {
+        size_bytes: mb * 1024 * 1024,
+        line_bytes: 128,
+        assoc: 2,
+    }
+}
+
+impl MachineSpec {
+    /// SGI O2: MIPS R12000, 1 MB L2.
+    pub fn o2() -> Self {
+        MachineSpec {
+            name: "SGI O2",
+            cpu: CpuKind::R12000,
+            clock_mhz: 300,
+            l1: mips_l1(),
+            l2: mips_l2(1),
+            tlb: TlbConfig::default(),
+            dram: DramConfig::default(),
+            timing: TimingModel::mips_r12k(),
+        }
+    }
+
+    /// SGI Onyx VTX: MIPS R10000, 2 MB L2.
+    pub fn onyx_vtx() -> Self {
+        MachineSpec {
+            name: "SGI Onyx VTX",
+            cpu: CpuKind::R10000,
+            clock_mhz: 195,
+            l1: mips_l1(),
+            l2: mips_l2(2),
+            tlb: TlbConfig::default(),
+            dram: DramConfig::default(),
+            timing: TimingModel::mips_r10k(),
+        }
+    }
+
+    /// SGI Onyx2 InfiniteReality: MIPS R12000, 8 MB L2.
+    pub fn onyx2() -> Self {
+        MachineSpec {
+            name: "SGI Onyx2 InfiniteReality",
+            cpu: CpuKind::R12000,
+            clock_mhz: 300,
+            l1: mips_l1(),
+            l2: mips_l2(8),
+            tlb: TlbConfig::default(),
+            dram: DramConfig::default(),
+            timing: TimingModel::mips_r12k(),
+        }
+    }
+
+    /// All three platforms in the order the paper's tables use
+    /// (1 MB, 2 MB, 8 MB L2).
+    pub fn study_machines() -> Vec<MachineSpec> {
+        vec![Self::o2(), Self::onyx_vtx(), Self::onyx2()]
+    }
+
+    /// A custom machine derived from this one with a different L2 size
+    /// (for cache-geometry sweeps).
+    pub fn with_l2_mb(mut self, mb: u64) -> Self {
+        self.l2 = mips_l2(mb);
+        self
+    }
+
+    /// Column label used in the reproduced tables, e.g. `R12K 1MB`.
+    pub fn column_label(&self) -> String {
+        format!(
+            "{} {}MB",
+            self.cpu.short_name(),
+            self.l2.size_bytes / (1024 * 1024)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_table_1() {
+        let o2 = MachineSpec::o2();
+        assert_eq!(o2.cpu, CpuKind::R12000);
+        assert_eq!(o2.l2.size_bytes, 1024 * 1024);
+
+        let onyx = MachineSpec::onyx_vtx();
+        assert_eq!(onyx.cpu, CpuKind::R10000);
+        assert_eq!(onyx.l2.size_bytes, 2 * 1024 * 1024);
+
+        let onyx2 = MachineSpec::onyx2();
+        assert_eq!(onyx2.cpu, CpuKind::R12000);
+        assert_eq!(onyx2.l2.size_bytes, 8 * 1024 * 1024);
+
+        for m in MachineSpec::study_machines() {
+            assert_eq!(m.l1.size_bytes, 32 * 1024);
+            assert_eq!(m.l1.line_bytes, 32);
+            assert_eq!(m.l2.line_bytes, 128);
+            assert_eq!(m.dram.bus_bits, 64);
+            assert_eq!(m.dram.bus_mhz, 133);
+        }
+    }
+
+    #[test]
+    fn prefetch_countability_differs_by_cpu() {
+        assert!(CpuKind::R12000.counts_prefetch_l1_hits());
+        assert!(!CpuKind::R10000.counts_prefetch_l1_hits());
+    }
+
+    #[test]
+    fn column_labels() {
+        assert_eq!(MachineSpec::o2().column_label(), "R12K 1MB");
+        assert_eq!(MachineSpec::onyx_vtx().column_label(), "R10K 2MB");
+        assert_eq!(MachineSpec::onyx2().column_label(), "R12K 8MB");
+    }
+
+    #[test]
+    fn l2_override() {
+        let m = MachineSpec::o2().with_l2_mb(4);
+        assert_eq!(m.l2.size_bytes, 4 * 1024 * 1024);
+        assert_eq!(m.l2.sets(), 4 * 1024 * 1024 / (128 * 2));
+    }
+}

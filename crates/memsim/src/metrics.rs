@@ -1,0 +1,178 @@
+//! Derived metrics matching the paper's table rows.
+//!
+//! Every definition follows §3.1 of the paper verbatim:
+//!
+//! - *L1C miss rate* — L1 data misses / (graduated loads + stores).
+//! - *L1C miss time* — fraction of execution time stalled on L1 misses
+//!   that hit L2.
+//! - *L1C line reuse* — (graduated loads + stores − L1 misses) / L1
+//!   misses: mean uses of a line between fill and eviction.
+//! - *L2C miss rate* — L2 misses / L1 misses.
+//! - *L2C line reuse* — (L1 misses − L2 misses) / L2 misses.
+//! - *DRAM time* — fraction of execution time the processor is stalled on
+//!   secondary-cache misses (the latency OoO execution fails to hide).
+//! - *L1–L2 b/w* — (L1 refills + L1 writebacks) × 32 B / execution time.
+//! - *L2–DRAM b/w* — (L2 misses + L2 writebacks) × 128 B / execution time.
+//! - *prefetch L1C miss* — fraction of software prefetches whose line was
+//!   *not* already in L1 (high is good; the complement is wasted issue
+//!   bandwidth). `None` on the R10000, which cannot count it.
+
+use crate::counters::Counters;
+use crate::machine::MachineSpec;
+
+/// One column of a paper table: all derived metrics for one run on one
+/// machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryMetrics {
+    /// L1 data-cache miss rate (fraction of graduated loads+stores).
+    pub l1_miss_rate: f64,
+    /// Fraction of execution time stalled on L1-miss/L2-hit latency.
+    pub l1_miss_time: f64,
+    /// Mean reuses of an L1 line before eviction.
+    pub l1_line_reuse: f64,
+    /// L2 miss rate (fraction of L1 misses).
+    pub l2_miss_rate: f64,
+    /// Mean reuses of an L2 line before eviction.
+    pub l2_line_reuse: f64,
+    /// Fraction of execution time stalled on DRAM (paper's "DRAM time").
+    pub dram_time: f64,
+    /// L1–L2 bandwidth in MB/s.
+    pub l1_l2_mb_s: f64,
+    /// L2–DRAM bandwidth in MB/s.
+    pub l2_dram_mb_s: f64,
+    /// Fraction of prefetches missing L1 (`None` where the hardware
+    /// cannot count it — R10000).
+    pub prefetch_l1_miss: Option<f64>,
+    /// Execution time in seconds under the analytic timing model.
+    pub exec_seconds: f64,
+    /// Raw counters the metrics were derived from.
+    pub counters: Counters,
+}
+
+impl MemoryMetrics {
+    /// Derives the full metric set from raw `counters` on `machine`.
+    pub fn derive(counters: &Counters, machine: &MachineSpec) -> Self {
+        let refs = counters.memory_refs() as f64;
+        let l1m = counters.l1_misses as f64;
+        let l2m = counters.l2_misses as f64;
+        let breakdown = machine.timing.breakdown(counters);
+        let seconds = breakdown.total() / (f64::from(machine.clock_mhz) * 1.0e6);
+
+        let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+
+        let l1_l2_bytes =
+            (counters.l1_misses + counters.l1_writebacks) * machine.l1.line_bytes;
+        let l2_dram_bytes =
+            (counters.l2_misses + counters.l2_writebacks) * machine.l2.line_bytes;
+
+        let prefetch_l1_miss = if machine.cpu.counts_prefetch_l1_hits() {
+            Some(if counters.prefetches > 0 {
+                (counters.prefetches - counters.prefetch_l1_hits) as f64
+                    / counters.prefetches as f64
+            } else {
+                1.0
+            })
+        } else {
+            None
+        };
+
+        MemoryMetrics {
+            l1_miss_rate: ratio(l1m, refs),
+            l1_miss_time: breakdown.l1_miss_time_fraction(),
+            l1_line_reuse: ratio(refs - l1m, l1m),
+            l2_miss_rate: ratio(l2m, l1m),
+            l2_line_reuse: ratio(l1m - l2m, l2m),
+            dram_time: breakdown.dram_time_fraction(),
+            l1_l2_mb_s: if seconds > 0.0 {
+                l1_l2_bytes as f64 / 1.0e6 / seconds
+            } else {
+                0.0
+            },
+            l2_dram_mb_s: if seconds > 0.0 {
+                l2_dram_bytes as f64 / 1.0e6 / seconds
+            } else {
+                0.0
+            },
+            prefetch_l1_miss,
+            exec_seconds: seconds,
+            counters: *counters,
+        }
+    }
+
+    /// Fraction of the sustained system-bus bandwidth consumed by
+    /// L2–DRAM traffic.
+    pub fn bus_utilization(&self, machine: &MachineSpec) -> f64 {
+        self.l2_dram_mb_s / machine.dram.sustained_mb_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineSpec;
+
+    fn counters() -> Counters {
+        Counters {
+            loads: 900_000,
+            stores: 100_000,
+            prefetches: 1_000,
+            prefetch_l1_hits: 600,
+            l1_misses: 2_000,
+            l1_writebacks: 500,
+            l2_misses: 400,
+            l2_writebacks: 100,
+            tlb_misses: 10,
+            compute_ops: 1_500_000,
+            bytes_accessed: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn definitions_match_paper() {
+        let m = MachineSpec::o2();
+        let mm = MemoryMetrics::derive(&counters(), &m);
+        assert!((mm.l1_miss_rate - 2_000.0 / 1_000_000.0).abs() < 1e-12);
+        assert!((mm.l1_line_reuse - (1_000_000.0 - 2_000.0) / 2_000.0).abs() < 1e-9);
+        assert!((mm.l2_miss_rate - 0.2).abs() < 1e-12);
+        assert!((mm.l2_line_reuse - (2_000.0 - 400.0) / 400.0).abs() < 1e-9);
+        assert!(mm.exec_seconds > 0.0);
+    }
+
+    #[test]
+    fn bandwidth_uses_line_sizes() {
+        let m = MachineSpec::o2();
+        let mm = MemoryMetrics::derive(&counters(), &m);
+        let expected_l1l2 = (2_000.0 + 500.0) * 32.0 / 1.0e6 / mm.exec_seconds;
+        let expected_l2d = (400.0 + 100.0) * 128.0 / 1.0e6 / mm.exec_seconds;
+        assert!((mm.l1_l2_mb_s - expected_l1l2).abs() < 1e-9);
+        assert!((mm.l2_dram_mb_s - expected_l2d).abs() < 1e-9);
+        assert!(mm.bus_utilization(&m) < 1.0);
+    }
+
+    #[test]
+    fn prefetch_metric_is_cpu_dependent() {
+        let c = counters();
+        let r12k = MemoryMetrics::derive(&c, &MachineSpec::o2());
+        assert_eq!(r12k.prefetch_l1_miss, Some(0.4));
+        let r10k = MemoryMetrics::derive(&c, &MachineSpec::onyx_vtx());
+        assert_eq!(r10k.prefetch_l1_miss, None);
+    }
+
+    #[test]
+    fn zero_counters_give_finite_metrics() {
+        let m = MachineSpec::onyx2();
+        let mm = MemoryMetrics::derive(&Counters::default(), &m);
+        assert_eq!(mm.l1_miss_rate, 0.0);
+        assert_eq!(mm.l2_miss_rate, 0.0);
+        assert_eq!(mm.l1_l2_mb_s, 0.0);
+        assert!(mm.l1_line_reuse.is_finite());
+    }
+
+    #[test]
+    fn stall_fractions_are_fractions() {
+        let m = MachineSpec::o2();
+        let mm = MemoryMetrics::derive(&counters(), &m);
+        assert!(mm.dram_time >= 0.0 && mm.dram_time <= 1.0);
+        assert!(mm.l1_miss_time >= 0.0 && mm.l1_miss_time <= 1.0);
+    }
+}

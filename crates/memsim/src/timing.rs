@@ -1,0 +1,188 @@
+//! Analytic out-of-order timing model.
+//!
+//! The R10000/R12000 are 4-issue out-of-order cores; the paper
+//! repeatedly notes that "out-of-order issue and the MIPS optimizing
+//! compiler hide another portion of the latency". We model execution time
+//! as
+//!
+//! ```text
+//! cycles = instructions / ipc_base
+//!        + (L1 misses hitting L2) · l2_latency · (1 − hide_l2)
+//!        + (L2 misses)            · dram_latency · (1 − hide_dram)
+//!        + (TLB misses)           · tlb_penalty
+//! ```
+//!
+//! where the `hide_*` factors are the fraction of miss latency the
+//! out-of-order window overlaps with useful work. DRAM time as the paper
+//! defines it ("cycles during which the processor is stalled due to
+//! secondary data cache misses; the latency that out-of-order execution
+//! and compilation fail to hide") is exactly the third term over the sum.
+
+use crate::counters::Counters;
+
+/// Parameters of the analytic cycle model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingModel {
+    /// Baseline instructions per cycle in the absence of memory stalls.
+    pub ipc_base: f64,
+    /// L2 hit latency in CPU cycles (as seen by an L1 miss).
+    pub l2_latency: u32,
+    /// Main-memory latency in CPU cycles (as seen by an L2 miss).
+    pub dram_latency: u32,
+    /// Fraction of the L2-hit latency hidden by out-of-order overlap.
+    pub hide_l2: f64,
+    /// Fraction of the DRAM latency hidden by out-of-order overlap and
+    /// software pipelining.
+    pub hide_dram: f64,
+    /// Cycles per software-refilled TLB miss.
+    pub tlb_penalty: u32,
+}
+
+impl TimingModel {
+    /// Parameters for the 300 MHz R12000.
+    pub fn mips_r12k() -> Self {
+        TimingModel {
+            ipc_base: 1.4,
+            l2_latency: 10,
+            dram_latency: 200,
+            hide_l2: 0.2,
+            hide_dram: 0.15,
+            tlb_penalty: 60,
+        }
+    }
+
+    /// Parameters for the 195 MHz R10000 (same pipeline family; DRAM is
+    /// relatively closer at the lower clock).
+    pub fn mips_r10k() -> Self {
+        TimingModel {
+            ipc_base: 1.3,
+            l2_latency: 9,
+            dram_latency: 140,
+            hide_l2: 0.2,
+            hide_dram: 0.15,
+            tlb_penalty: 55,
+        }
+    }
+
+    /// Visible (unhidden) cycles per L1 miss that hits in L2.
+    pub fn visible_l2_cycles(&self) -> f64 {
+        f64::from(self.l2_latency) * (1.0 - self.hide_l2)
+    }
+
+    /// Visible (unhidden) cycles per L2 miss.
+    pub fn visible_dram_cycles(&self) -> f64 {
+        f64::from(self.dram_latency) * (1.0 - self.hide_dram)
+    }
+
+    /// Full cycle breakdown for a set of counters.
+    pub fn breakdown(&self, c: &Counters) -> CycleBreakdown {
+        let base = c.instructions() as f64 / self.ipc_base;
+        let l1_stall = c.l1_misses_hitting_l2() as f64 * self.visible_l2_cycles();
+        let dram_stall = c.l2_misses as f64 * self.visible_dram_cycles();
+        let tlb_stall = c.tlb_misses as f64 * f64::from(self.tlb_penalty);
+        CycleBreakdown {
+            base,
+            l1_stall,
+            dram_stall,
+            tlb_stall,
+        }
+    }
+}
+
+/// Cycle totals by cause.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleBreakdown {
+    /// Issue-limited cycles (instructions / IPC).
+    pub base: f64,
+    /// Visible stall cycles on L1 misses that hit L2.
+    pub l1_stall: f64,
+    /// Visible stall cycles on L2 misses (DRAM time numerator).
+    pub dram_stall: f64,
+    /// TLB refill cycles.
+    pub tlb_stall: f64,
+}
+
+impl CycleBreakdown {
+    /// Total execution cycles.
+    pub fn total(&self) -> f64 {
+        self.base + self.l1_stall + self.dram_stall + self.tlb_stall
+    }
+
+    /// Fraction of time stalled on DRAM (the paper's "DRAM time").
+    pub fn dram_time_fraction(&self) -> f64 {
+        if self.total() == 0.0 {
+            0.0
+        } else {
+            self.dram_stall / self.total()
+        }
+    }
+
+    /// Fraction of time stalled on L1 misses that hit L2 (the paper's
+    /// "L1C miss time").
+    pub fn l1_miss_time_fraction(&self) -> f64 {
+        if self.total() == 0.0 {
+            0.0
+        } else {
+            self.l1_stall / self.total()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(loads: u64, l1m: u64, l2m: u64) -> Counters {
+        Counters {
+            loads,
+            stores: loads / 4,
+            l1_misses: l1m,
+            l2_misses: l2m,
+            compute_ops: loads * 2,
+            ..Counters::default()
+        }
+    }
+
+    #[test]
+    fn zero_misses_means_zero_stall() {
+        let t = TimingModel::mips_r12k();
+        let b = t.breakdown(&counters(1_000_000, 0, 0));
+        assert_eq!(b.l1_stall, 0.0);
+        assert_eq!(b.dram_stall, 0.0);
+        assert!(b.base > 0.0);
+        assert_eq!(b.dram_time_fraction(), 0.0);
+    }
+
+    #[test]
+    fn stall_fractions_sum_below_one() {
+        let t = TimingModel::mips_r12k();
+        let b = t.breakdown(&counters(1_000_000, 10_000, 4_000));
+        let f = b.dram_time_fraction() + b.l1_miss_time_fraction();
+        assert!(f > 0.0 && f < 1.0);
+        assert!((b.total() - (b.base + b.l1_stall + b.dram_stall + b.tlb_stall)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_l2_misses_increase_dram_time() {
+        let t = TimingModel::mips_r12k();
+        let low = t.breakdown(&counters(1_000_000, 10_000, 100));
+        let high = t.breakdown(&counters(1_000_000, 10_000, 9_000));
+        assert!(high.dram_time_fraction() > low.dram_time_fraction());
+    }
+
+    #[test]
+    fn hidden_fraction_reduces_visible_latency() {
+        let t = TimingModel::mips_r12k();
+        assert!(t.visible_l2_cycles() < f64::from(t.l2_latency));
+        assert!(t.visible_dram_cycles() < f64::from(t.dram_latency));
+    }
+
+    #[test]
+    fn empty_counters_have_zero_total() {
+        let t = TimingModel::mips_r10k();
+        let b = t.breakdown(&Counters::default());
+        assert_eq!(b.total(), 0.0);
+        assert_eq!(b.dram_time_fraction(), 0.0);
+        assert_eq!(b.l1_miss_time_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Raw frame containers (untraced; the codec copies these into traced
+//! buffers at the simulation boundary).
+
+/// Frame dimensions in pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Resolution {
+    /// Width in pixels (must be even for 4:2:0 chroma).
+    pub width: usize,
+    /// Height in pixels (must be even for 4:2:0 chroma).
+    pub height: usize,
+}
+
+impl Resolution {
+    /// PAL resolution used in the paper: 720×576.
+    pub const PAL: Resolution = Resolution {
+        width: 720,
+        height: 576,
+    };
+    /// The paper's larger size: 1024×768.
+    pub const XGA: Resolution = Resolution {
+        width: 1024,
+        height: 768,
+    };
+    /// The paper's "extremely large frames": 2048×1024.
+    pub const HUGE: Resolution = Resolution {
+        width: 2048,
+        height: 1024,
+    };
+    /// CIF (352×288), the small end of the paper's Figure 2 sweep
+    /// (Ranganathan et al. used 352×240; CIF is the macroblock-aligned
+    /// equivalent).
+    pub const CIF: Resolution = Resolution {
+        width: 352,
+        height: 288,
+    };
+    /// QCIF (176×144), for fast tests.
+    pub const QCIF: Resolution = Resolution {
+        width: 176,
+        height: 144,
+    };
+
+    /// Creates a resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or odd (4:2:0 requires even).
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "empty resolution");
+        assert!(width % 2 == 0 && height % 2 == 0, "4:2:0 needs even dims");
+        Resolution { width, height }
+    }
+
+    /// Luma samples per frame.
+    pub fn luma_pixels(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Chroma samples per plane (4:2:0 subsampling).
+    pub fn chroma_pixels(&self) -> usize {
+        (self.width / 2) * (self.height / 2)
+    }
+
+    /// Total bytes of one 8-bit 4:2:0 frame.
+    pub fn frame_bytes(&self) -> usize {
+        self.luma_pixels() + 2 * self.chroma_pixels()
+    }
+}
+
+/// An 8-bit 4:2:0 frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct YuvFrame {
+    /// Frame dimensions.
+    pub resolution: Resolution,
+    /// Luminance plane, row-major `width × height`.
+    pub y: Vec<u8>,
+    /// Cb plane, row-major `width/2 × height/2`.
+    pub u: Vec<u8>,
+    /// Cr plane, row-major `width/2 × height/2`.
+    pub v: Vec<u8>,
+}
+
+impl YuvFrame {
+    /// Creates a mid-grey frame.
+    pub fn grey(resolution: Resolution) -> Self {
+        YuvFrame {
+            resolution,
+            y: vec![128; resolution.luma_pixels()],
+            u: vec![128; resolution.chroma_pixels()],
+            v: vec![128; resolution.chroma_pixels()],
+        }
+    }
+
+    /// Luma PSNR in dB against `other` (infinite for identical planes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if resolutions differ.
+    pub fn psnr_luma(&self, other: &YuvFrame) -> f64 {
+        assert_eq!(self.resolution, other.resolution);
+        let mse: f64 = self
+            .y
+            .iter()
+            .zip(other.y.iter())
+            .map(|(&a, &b)| {
+                let d = f64::from(a) - f64::from(b);
+                d * d
+            })
+            .sum::<f64>()
+            / self.y.len() as f64;
+        if mse == 0.0 {
+            f64::INFINITY
+        } else {
+            10.0 * (255.0f64 * 255.0 / mse).log10()
+        }
+    }
+}
+
+/// A binary segmentation mask for one visual object (255 = inside).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlphaMask {
+    /// Mask dimensions (match the luma plane).
+    pub resolution: Resolution,
+    /// Row-major mask samples: 0 outside the object, 255 inside.
+    pub data: Vec<u8>,
+}
+
+impl AlphaMask {
+    /// An all-opaque mask (rectangular VOP covering the frame).
+    pub fn opaque(resolution: Resolution) -> Self {
+        AlphaMask {
+            resolution,
+            data: vec![255; resolution.luma_pixels()],
+        }
+    }
+
+    /// `true` if the pixel at `(x, y)` belongs to the object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn contains(&self, x: usize, y: usize) -> bool {
+        assert!(x < self.resolution.width && y < self.resolution.height);
+        self.data[y * self.resolution.width + x] != 0
+    }
+
+    /// Number of opaque pixels.
+    pub fn area(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0).count()
+    }
+
+    /// Tight bounding box `(x0, y0, x1, y1)` of the opaque region
+    /// (half-open on the right/bottom), or `None` when fully transparent.
+    pub fn bounding_box(&self) -> Option<(usize, usize, usize, usize)> {
+        let w = self.resolution.width;
+        let mut x0 = usize::MAX;
+        let mut y0 = usize::MAX;
+        let mut x1 = 0usize;
+        let mut y1 = 0usize;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v != 0 {
+                let (x, y) = (i % w, i / w);
+                x0 = x0.min(x);
+                y0 = y0.min(y);
+                x1 = x1.max(x + 1);
+                y1 = y1.max(y + 1);
+            }
+        }
+        if x0 == usize::MAX {
+            None
+        } else {
+            Some((x0, y0, x1, y1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_presets_match_paper() {
+        assert_eq!(Resolution::PAL.luma_pixels(), 414_720);
+        assert_eq!(Resolution::XGA.luma_pixels(), 786_432);
+        assert_eq!(Resolution::HUGE.luma_pixels(), 2_097_152);
+        // 1024×768 / 720×576 = 1.896…, the paper's "factor of 1.9".
+        let ratio = Resolution::XGA.luma_pixels() as f64 / Resolution::PAL.luma_pixels() as f64;
+        assert!((ratio - 1.9).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_resolution_rejected() {
+        Resolution::new(721, 576);
+    }
+
+    #[test]
+    fn frame_bytes_is_one_point_five_luma() {
+        let r = Resolution::new(64, 48);
+        assert_eq!(r.frame_bytes(), 64 * 48 * 3 / 2);
+    }
+
+    #[test]
+    fn psnr_of_identical_frames_is_infinite() {
+        let f = YuvFrame::grey(Resolution::QCIF);
+        assert_eq!(f.psnr_luma(&f), f64::INFINITY);
+    }
+
+    #[test]
+    fn psnr_decreases_with_error() {
+        let a = YuvFrame::grey(Resolution::QCIF);
+        let mut b = a.clone();
+        for v in b.y.iter_mut().step_by(2) {
+            *v = v.wrapping_add(4);
+        }
+        let mut c = a.clone();
+        for v in c.y.iter_mut().step_by(2) {
+            *v = v.wrapping_add(16);
+        }
+        assert!(a.psnr_luma(&b) > a.psnr_luma(&c));
+        assert!(a.psnr_luma(&c) > 20.0);
+    }
+
+    #[test]
+    fn mask_bounding_box() {
+        let mut m = AlphaMask {
+            resolution: Resolution::new(16, 16),
+            data: vec![0; 256],
+        };
+        assert_eq!(m.bounding_box(), None);
+        m.data[3 * 16 + 4] = 255;
+        m.data[10 * 16 + 12] = 255;
+        assert_eq!(m.bounding_box(), Some((4, 3, 13, 11)));
+        assert_eq!(m.area(), 2);
+        assert!(m.contains(4, 3));
+        assert!(!m.contains(0, 0));
+    }
+
+    #[test]
+    fn opaque_mask_covers_frame() {
+        let m = AlphaMask::opaque(Resolution::new(16, 16));
+        assert_eq!(m.area(), 256);
+        assert_eq!(m.bounding_box(), Some((0, 0, 16, 16)));
+    }
+}

@@ -1,0 +1,84 @@
+//! Deterministic procedural textures.
+
+/// A fast integer hash usable as position-stable noise: returns a value
+/// in `0..=255` that is a pure function of its inputs.
+///
+/// Based on a 64-bit xorshift-multiply mix (splitmix64 finalizer).
+pub fn hash_noise(seed: u64, x: i64, y: i64, t: u64) -> u8 {
+    let mut h = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((x as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add((y as u64).wrapping_mul(0x94d0_49bb_1331_11eb))
+        .wrapping_add(t.wrapping_mul(0x2545_f491_4f6c_dd1d));
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    (h & 0xff) as u8
+}
+
+/// Smooth band-limited texture: a sum of two sinusoids plus low-amplitude
+/// noise, clamped to `0..=255`. Smoothness matters — pure white noise
+/// would make motion estimation useless and DCT residues unrealistic.
+pub fn smooth_texture(seed: u64, x: i64, y: i64, phase: f64) -> u8 {
+    let fx = x as f64;
+    let fy = y as f64;
+    let s1 = ((fx * 0.11 + phase).sin() + (fy * 0.07 - phase * 0.5).cos()) * 28.0;
+    let s2 = ((fx * 0.031 + fy * 0.043).sin()) * 36.0;
+    let n = f64::from(hash_noise(seed, x / 4, y / 4, 0)) / 255.0 * 24.0 - 12.0;
+    (128.0 + s1 + s2 + n).clamp(0.0, 255.0) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_deterministic() {
+        assert_eq!(hash_noise(1, 2, 3, 4), hash_noise(1, 2, 3, 4));
+    }
+
+    #[test]
+    fn noise_varies_with_each_input() {
+        let base = hash_noise(1, 2, 3, 4);
+        // At least one of several neighbours must differ for each input
+        // dimension (a constant hash would break texture generation).
+        assert!((0..16).any(|d| hash_noise(1 + d, 2, 3, 4) != base));
+        assert!((0..16).any(|d| hash_noise(1, 2 + d as i64, 3, 4) != base));
+        assert!((0..16).any(|d| hash_noise(1, 2, 3 + d as i64, 4) != base));
+        assert!((0..16).any(|d| hash_noise(1, 2, 3, 4 + d) != base));
+    }
+
+    #[test]
+    fn noise_distribution_is_roughly_uniform() {
+        let mut counts = [0u32; 8];
+        for i in 0..8000i64 {
+            counts[(hash_noise(42, i, -i, 0) / 32) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 700 && c < 1300, "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn texture_is_smooth_locally() {
+        // Adjacent pixels differ by a bounded amount most of the time.
+        let mut big_jumps = 0;
+        for x in 0..500i64 {
+            let a = i16::from(smooth_texture(7, x, 10, 0.3));
+            let b = i16::from(smooth_texture(7, x + 1, 10, 0.3));
+            if (a - b).abs() > 40 {
+                big_jumps += 1;
+            }
+        }
+        assert!(big_jumps < 50, "{big_jumps} large jumps in 500 pixels");
+    }
+
+    #[test]
+    fn texture_in_range() {
+        for x in -100..100i64 {
+            let _ = smooth_texture(3, x, x * 2, 1.5); // clamp guarantees u8
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Characterize: run the paper's measurement on one simulated machine
+//! and print a Table-2/3-style column for encode and decode.
+//!
+//! ```text
+//! cargo run --release --example characterize [frames]
+//! ```
+
+use m4ps::core::report::{format_cell, METRIC_ROWS};
+use m4ps::core::study::{decode_study, encode_study, prepare_streams, StudyConfig, Workload};
+use m4ps::memsim::MachineSpec;
+use m4ps::vidgen::Resolution;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let frames: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(6);
+    let machine = MachineSpec::o2();
+    let workload = Workload::single(Resolution::PAL, frames);
+    let config = StudyConfig::paper();
+
+    println!(
+        "machine: {} ({}, L2 {} MB); workload: {} at {}x{}, {} frames\n",
+        machine.name,
+        machine.cpu.short_name(),
+        machine.l2.size_bytes / (1024 * 1024),
+        workload.label(),
+        workload.resolution.width,
+        workload.resolution.height,
+        frames
+    );
+
+    println!("encoding (this simulates every memory access; expect ~0.5 s/frame)...");
+    let enc = encode_study(&machine, &workload, &config)?;
+    println!("decoding...");
+    let streams = prepare_streams(&workload, &config)?;
+    let dec = decode_study(&machine, &workload, &streams)?;
+
+    println!("\n{:22} {:>14} {:>14}", "metrics", "encoding", "decoding");
+    println!("{}", "-".repeat(52));
+    for row in 0..METRIC_ROWS.len() {
+        println!(
+            "{:22} {:>14} {:>14}",
+            METRIC_ROWS[row],
+            format_cell(&enc.metrics, row),
+            format_cell(&dec.metrics, row)
+        );
+    }
+    println!(
+        "\nencode: {} VOPs, {} bitstream bytes, {:.1} M search candidates",
+        enc.session.vops,
+        enc.session.bytes,
+        enc.session.totals.candidates as f64 / 1.0e6
+    );
+    println!(
+        "simulated exec time: encode {:.2} s, decode {:.2} s (at {} MHz)",
+        enc.metrics.exec_seconds, dec.metrics.exec_seconds, machine.clock_mhz
+    );
+    println!(
+        "bus utilization: encode {:.2}%, decode {:.2}% of {:.0} MB/s sustained",
+        enc.metrics.bus_utilization(&machine) * 100.0,
+        dec.metrics.bus_utilization(&machine) * 100.0,
+        machine.dram.sustained_mb_s
+    );
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Multi-object scene: encode three arbitrary-shaped visual objects
+//! with two temporal-scalability layers each (the paper's heaviest
+//! configuration), decode all six elementary streams, recompose the
+//! scene, and show the paper's paradox — memory behaviour does not
+//! degrade as objects and layers multiply.
+//!
+//! ```text
+//! cargo run --release --example multi_object_scene
+//! ```
+
+use m4ps::codec::FrameView;
+use m4ps::codec::{SceneDecoder, SceneEncoder};
+use m4ps::core::study::{decode_study, prepare_streams, StudyConfig, Workload};
+use m4ps::memsim::{AddressSpace, MachineSpec, MemoryMetrics, NullModel};
+use m4ps::vidgen::{Resolution, Scene, SceneSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let res = Resolution::CIF;
+    let frames = 8;
+    let scene = Scene::new(SceneSpec {
+        resolution: res,
+        objects: 3,
+        seed: 99,
+    });
+
+    // --- Functional demo: 3 VOs x 2 VOLs end to end. -------------------
+    let mut space = AddressSpace::new();
+    let mut mem = NullModel::new();
+    let config = StudyConfig::paper().encoder;
+    let mut enc = SceneEncoder::new(&mut space, res.width, res.height, 3, 2, config)?;
+    for t in 0..frames {
+        let f = scene.frame(t);
+        let masks: Vec<Vec<u8>> = (0..3).map(|vo| scene.alpha(t, vo).data).collect();
+        let mask_refs: Vec<&[u8]> = masks.iter().map(|m| m.as_slice()).collect();
+        let view = FrameView {
+            width: res.width,
+            height: res.height,
+            y: &f.y,
+            u: &f.u,
+            v: &f.v,
+        };
+        enc.encode_frame(&mut mem, &view, &mask_refs)?;
+    }
+    let stats = enc.stats();
+    let streams = enc.finish(&mut mem)?;
+    println!(
+        "encoded {} frames as {} VOPs across {} elementary streams ({} bytes total)",
+        stats.frames,
+        stats.vops,
+        streams.len(),
+        streams.iter().map(|s| s.len()).sum::<usize>()
+    );
+    for (i, s) in streams.iter().enumerate() {
+        println!("  stream {i} (vo {}, layer {}): {:6} bytes", i / 2, i % 2, s.len());
+    }
+
+    let mut dspace = AddressSpace::new();
+    let mut dec = SceneDecoder::new(&mut dspace, &mut mem, &streams, 2)?;
+    let vops = dec.decode_all(&mut mem, &streams)?;
+    println!("decoded {} VOPs and recomposed the scene", vops.len());
+
+    // --- The paper's paradox: decode cache behaviour vs object count. --
+    println!("\ndecode L1/L2 miss rates on the R10K/2MB machine (paper Figs 3-4):");
+    let machine = MachineSpec::onyx_vtx();
+    let study_cfg = StudyConfig::paper();
+    for (objects, layers) in [(0usize, 1usize), (3, 1), (3, 2)] {
+        let w = Workload {
+            resolution: res,
+            frames,
+            objects,
+            layers,
+            seed: 99,
+        };
+        let s = prepare_streams(&w, &study_cfg)?;
+        let run = decode_study(&machine, &w, &s)?;
+        let m: &MemoryMetrics = &run.metrics;
+        println!(
+            "  {:22} L1C {:5.3}%  L2C {:6.2}%  resident {:4} MB",
+            w.label(),
+            m.l1_miss_rate * 100.0,
+            m.l2_miss_rate * 100.0,
+            run.resident_bytes / 1_000_000
+        );
+    }
+    println!("\nMemory requirements grow with objects and layers; miss rates do not.");
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Quickstart: encode a synthetic clip, decode it back, report quality
+//! and bitrate — the plain codec API with no memory simulation.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use m4ps::bitstream::BitReader;
+use m4ps::codec::{EncoderConfig, FrameView, VideoObjectCoder, VideoObjectDecoder};
+use m4ps::memsim::{AddressSpace, NullModel};
+use m4ps::vidgen::{Resolution, Scene, SceneSpec, YuvFrame};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let res = Resolution::CIF;
+    let frames = 12;
+    let scene = Scene::new(SceneSpec {
+        resolution: res,
+        objects: 2,
+        seed: 2026,
+    });
+
+    // NullModel: run the codec at full speed, no cache simulation.
+    let mut space = AddressSpace::new();
+    let mut mem = NullModel::new();
+    let mut coder = VideoObjectCoder::new(&mut space, res.width, res.height, EncoderConfig::paper())?;
+
+    let mut stream = coder.header_bytes();
+    let mut sources: Vec<YuvFrame> = Vec::new();
+    for t in 0..frames {
+        let f = scene.frame(t);
+        let view = FrameView {
+            width: res.width,
+            height: res.height,
+            y: &f.y,
+            u: &f.u,
+            v: &f.v,
+        };
+        for vop in coder.encode_frame(&mut mem, &view, None)? {
+            println!(
+                "encoded {:?}-VOP (display {:2}) qp {:2}: {:6} bytes",
+                vop.kind,
+                vop.display_index,
+                vop.qp,
+                vop.bytes.len()
+            );
+            stream.extend_from_slice(&vop.bytes);
+        }
+        sources.push(f);
+    }
+    for vop in coder.flush(&mut mem)? {
+        println!(
+            "encoded {:?}-VOP (display {:2}) qp {:2}: {:6} bytes (flush)",
+            vop.kind,
+            vop.display_index,
+            vop.qp,
+            vop.bytes.len()
+        );
+        stream.extend_from_slice(&vop.bytes);
+    }
+
+    let kbps = stream.len() as f64 * 8.0 * 30.0 / frames as f64 / 1000.0;
+    println!("\ntotal bitstream: {} bytes ({kbps:.1} kbit/s at 30 Hz)", stream.len());
+
+    // Decode and measure fidelity.
+    let mut dspace = AddressSpace::new();
+    let mut r = BitReader::new(&stream);
+    let mut decoder = VideoObjectDecoder::from_stream(&mut dspace, &mut mem, &mut r)?;
+    decoder.set_keep_output(true);
+    let mut decoded = Vec::new();
+    while let Some(vop) = decoder.decode_next(&mut mem, &mut r)? {
+        decoded.push(vop);
+    }
+    decoded.sort_by_key(|v| v.display_index);
+
+    println!("\nper-frame luma PSNR:");
+    for vop in &decoded {
+        let planes = vop.planes.as_ref().expect("kept output");
+        let mut rec = YuvFrame::grey(res);
+        rec.y.copy_from_slice(&planes.y);
+        let psnr = sources[vop.display_index].psnr_luma(&rec);
+        println!("  frame {:2} ({:?}): {:5.2} dB", vop.display_index, vop.kind, psnr);
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Streaming contrast: the paper's headline claim, quantified.
+//!
+//! "Streaming MPEG-4" is routinely assumed to behave like a memory
+//! stream. This example runs (a) the MPEG-4 encoder and (b) a *true*
+//! streaming kernel through the **same** simulated SGI O2 memory
+//! hierarchy and prints them side by side.
+//!
+//! ```text
+//! cargo run --release --example streaming_contrast
+//! ```
+
+use m4ps::core::baseline::{run_resident, run_streaming, StreamingKernel};
+use m4ps::core::report::{format_cell, METRIC_ROWS};
+use m4ps::core::study::{encode_study, StudyConfig, Workload};
+use m4ps::memsim::MachineSpec;
+use m4ps::vidgen::Resolution;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = MachineSpec::o2();
+    let workload = Workload::single(Resolution::PAL, 4);
+
+    println!("simulating the MPEG-4 encoder (every access traced)...");
+    let codec = encode_study(&machine, &workload, &StudyConfig::paper())?;
+    println!("simulating a true streaming kernel (32 MB, 2 passes)...");
+    let stream = run_streaming(&machine, &StreamingKernel::default());
+    println!("simulating an L1-resident kernel (16 KB, 2000 passes)...\n");
+    let resident = run_resident(&machine, 16 * 1024, 2000);
+
+    println!(
+        "{:22} {:>14} {:>14} {:>14}",
+        "metrics", "MPEG-4 encode", "streaming", "L1-resident"
+    );
+    println!("{}", "-".repeat(66));
+    for row in 0..METRIC_ROWS.len() {
+        println!(
+            "{:22} {:>14} {:>14} {:>14}",
+            METRIC_ROWS[row],
+            format_cell(&codec.metrics, row),
+            format_cell(&stream, row),
+            format_cell(&resident, row)
+        );
+    }
+    println!(
+        "\nbus utilization:      {:>13.2}% {:>13.1}% {:>13.3}%",
+        codec.metrics.bus_utilization(&machine) * 100.0,
+        stream.bus_utilization(&machine) * 100.0,
+        resident.bus_utilization(&machine) * 100.0
+    );
+    println!(
+        "\nThe codec's line reuse is {}x the streaming kernel's: the data\n\
+         references in \"streaming MPEG-4\" do not really stream.",
+        (codec.metrics.l1_line_reuse / stream.l1_line_reuse).round() as u64
+    );
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! `m4ps` — umbrella crate of the MPEG-4 performance-study
+//! reproduction (*"An MPEG-4 Performance Study for non-SIMD, General
+//! Purpose Architectures"*, McKee, Fang & Valero, ISPASS 2003).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! - [`bitstream`] — bit-level I/O and startcodes,
+//! - [`dsp`] — DCT, quantization, zigzag, SAD, interpolation kernels,
+//! - [`memsim`] — the simulated SGI memory hierarchies and Perfex-style
+//!   counters,
+//! - [`vidgen`] — deterministic synthetic video scenes,
+//! - [`codec`] — the from-scratch MPEG-4 visual encoder/decoder whose
+//!   every data access is traced,
+//! - [`core`] — the characterization study: instrumented runs, fallacy
+//!   verdicts, burstiness windows, streaming baselines, report tables.
+//!
+//! # Examples
+//!
+//! Encode a synthetic clip on a simulated SGI O2 and read the paper's
+//! metrics:
+//!
+//! ```
+//! use m4ps::core::study::{encode_study, StudyConfig, Workload};
+//! use m4ps::memsim::MachineSpec;
+//! use m4ps::vidgen::Resolution;
+//!
+//! let workload = Workload {
+//!     resolution: Resolution::QCIF,
+//!     frames: 2,
+//!     objects: 0,
+//!     layers: 1,
+//!     seed: 42,
+//! };
+//! let run = encode_study(&MachineSpec::o2(), &workload, &StudyConfig::fast()).unwrap();
+//! assert!(run.metrics.l1_miss_rate < 0.05); // MPEG-4 does not stream
+//! ```
+
+pub use m4ps_bitstream as bitstream;
+pub use m4ps_codec as codec;
+pub use m4ps_core as core;
+pub use m4ps_dsp as dsp;
+pub use m4ps_memsim as memsim;
+pub use m4ps_vidgen as vidgen;
