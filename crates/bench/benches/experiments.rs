@@ -1,13 +1,15 @@
-//! Criterion benches exercising every table/figure generator at bench
-//! scale (reduced frame count and a fast search so wall time stays
+//! Benchmarks exercising every table/figure generator at bench scale
+//! (reduced frame count and a fast search so wall time stays
 //! reasonable). Run `cargo run --release --bin repro -- all` for the
 //! paper-scale reproduction; these benches track the *cost* of each
 //! experiment generator and keep them exercised by `cargo bench`.
+//!
+//! Runs on the in-tree [`m4ps_testkit::bench`] runner (`harness =
+//! false`); results are written to `BENCH_experiments.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use m4ps_bench::{run_experiment, Options, ALL_EXPERIMENTS};
 use m4ps_codec::SearchStrategy;
-use std::time::Duration;
+use m4ps_testkit::bench::{BenchOptions, BenchRunner};
 
 fn bench_opts() -> Options {
     Options {
@@ -18,24 +20,20 @@ fn bench_opts() -> Options {
     }
 }
 
-fn bench_experiments(c: &mut Criterion) {
-    let mut group = c.benchmark_group("experiments");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
-    let opts = bench_opts();
+fn main() {
+    // Experiment generators run for hundreds of milliseconds each, so
+    // cap the sample budget well below the kernel defaults.
+    let mut opts = BenchOptions::parse(std::env::args().skip(1));
+    opts.samples = opts.samples.min(10);
+    opts.target_sample_ns = opts.target_sample_ns.min(2_000_000);
+    let mut r = BenchRunner::with_options("experiments", opts);
+    let run_opts = bench_opts();
     for e in ALL_EXPERIMENTS {
-        group.bench_function(e.name, |b| {
-            b.iter(|| {
-                let out = run_experiment(e.name, &opts).expect("known experiment");
-                assert!(!out.is_empty());
-                out.len()
-            })
+        r.bench(&format!("experiments/{}", e.name), || {
+            let out = run_experiment(e.name, &run_opts).expect("known experiment");
+            assert!(!out.is_empty());
+            out.len()
         });
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench_experiments);
-criterion_main!(benches);

@@ -1,8 +1,11 @@
-//! Criterion micro-benchmarks of the computational and simulation
-//! kernels: DCT, SAD, quantization, interpolation, arithmetic coding,
-//! bitstream I/O, and the cache-hierarchy probe itself.
+//! Micro-benchmarks of the computational and simulation kernels: DCT,
+//! SAD, quantization, arithmetic coding, bitstream I/O, and the
+//! cache-hierarchy probe itself.
+//!
+//! Runs on the in-tree [`m4ps_testkit::bench`] runner (`harness =
+//! false`); results are written to `BENCH_kernels.json`. Pass `--smoke`
+//! for a minimal CI budget, or a substring to filter benchmarks.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use m4ps_bitstream::{BitReader, BitWriter};
 use m4ps_codec::{ArithDecoder, ArithEncoder, ContextModel};
 use m4ps_dsp::{
@@ -10,87 +13,69 @@ use m4ps_dsp::{
     sad_16x16_with_cutoff, scan_zigzag, Block,
 };
 use m4ps_memsim::{AccessKind, AddressSpace, Hierarchy, MachineSpec, MemModel, SimBuf};
+use m4ps_testkit::bench::{black_box, BenchRunner};
 
-fn bench_dct(c: &mut Criterion) {
+fn bench_dct(r: &mut BenchRunner) {
     let mut b = Block::default();
     for (i, v) in b.data.iter_mut().enumerate() {
         *v = ((i * 37) % 256) as i16;
     }
-    c.bench_function("dct/forward_8x8", |bench| {
-        bench.iter(|| forward_dct(black_box(&b)))
-    });
+    r.bench("dct/forward_8x8", || forward_dct(black_box(&b)));
     let coefs = forward_dct(&b);
-    c.bench_function("dct/inverse_8x8", |bench| {
-        bench.iter(|| inverse_dct(black_box(&coefs)))
-    });
-    c.bench_function("dct/forward_8x8_int", |bench| {
-        bench.iter(|| forward_dct_int(black_box(&b)))
-    });
-    c.bench_function("dct/inverse_8x8_int", |bench| {
-        bench.iter(|| inverse_dct_int(black_box(&coefs)))
-    });
-    c.bench_function("dct/quantize_intra", |bench| {
-        bench.iter(|| quantize_intra(black_box(&coefs), 8))
-    });
+    r.bench("dct/inverse_8x8", || inverse_dct(black_box(&coefs)));
+    r.bench("dct/forward_8x8_int", || forward_dct_int(black_box(&b)));
+    r.bench("dct/inverse_8x8_int", || inverse_dct_int(black_box(&coefs)));
+    r.bench("dct/quantize_intra", || quantize_intra(black_box(&coefs), 8));
     let q = quantize_intra(&coefs, 8);
-    c.bench_function("dct/zigzag_scan", |bench| {
-        bench.iter(|| scan_zigzag(black_box(&q)))
-    });
+    r.bench("dct/zigzag_scan", || scan_zigzag(black_box(&q)));
 }
 
-fn bench_sad(c: &mut Criterion) {
+fn bench_sad(r: &mut BenchRunner) {
     let a: Vec<u8> = (0..64 * 64).map(|i| (i % 251) as u8).collect();
     let b: Vec<u8> = (0..64 * 64).map(|i| ((i * 7) % 253) as u8).collect();
-    c.bench_function("sad/16x16_full", |bench| {
-        bench.iter(|| sad_16x16(black_box(&a), 64, 8, 8, black_box(&b), 64, 9, 8))
+    // A 16x16 SAD touches 2 x 256 pixels per call.
+    r.bench_bytes("sad/16x16_full", 512, || {
+        sad_16x16(black_box(&a), 64, 8, 8, black_box(&b), 64, 9, 8)
     });
-    c.bench_function("sad/16x16_cutoff", |bench| {
-        bench.iter(|| {
-            sad_16x16_with_cutoff(black_box(&a), 64, 8, 8, black_box(&b), 64, 9, 8, 500)
-        })
+    r.bench_bytes("sad/16x16_cutoff", 512, || {
+        sad_16x16_with_cutoff(black_box(&a), 64, 8, 8, black_box(&b), 64, 9, 8, 500)
     });
 }
 
-fn bench_bitstream(c: &mut Criterion) {
-    c.bench_function("bitstream/write_1k_fields", |bench| {
-        bench.iter(|| {
-            let mut w = BitWriter::with_capacity(1024);
-            for i in 0..1000u32 {
-                w.put_bits(i & 0x3f, 7);
-            }
-            w.into_bytes()
-        })
+fn bench_bitstream(r: &mut BenchRunner) {
+    r.bench("bitstream/write_1k_fields", || {
+        let mut w = BitWriter::with_capacity(1024);
+        for i in 0..1000u32 {
+            w.put_bits(i & 0x3f, 7);
+        }
+        w.into_bytes()
     });
     let mut w = BitWriter::new();
     for i in 0..1000u32 {
         w.put_bits(i & 0x3f, 7);
     }
     let bytes = w.into_bytes();
-    c.bench_function("bitstream/read_1k_fields", |bench| {
-        bench.iter(|| {
-            let mut r = BitReader::new(black_box(&bytes));
-            let mut acc = 0u64;
-            for _ in 0..1000 {
-                acc += u64::from(r.get_bits(7).unwrap());
-            }
-            acc
-        })
+    r.bench("bitstream/read_1k_fields", || {
+        let mut rd = BitReader::new(black_box(&bytes));
+        let mut acc = 0u64;
+        for _ in 0..1000 {
+            acc += u64::from(rd.get_bits(7).unwrap());
+        }
+        acc
     });
 }
 
-fn bench_arith(c: &mut Criterion) {
+fn bench_arith(r: &mut BenchRunner) {
     let bits: Vec<bool> = (0..2048).map(|i| i % 9 == 0).collect();
-    c.bench_function("arith/encode_2k_bits_adaptive", |bench| {
-        bench.iter(|| {
-            let mut model = ContextModel::new(4);
-            let mut enc = ArithEncoder::new();
-            for (i, &b) in bits.iter().enumerate() {
-                let ctx = i & 3;
-                enc.encode(b, model.p0(ctx));
-                model.update(ctx, b);
-            }
-            enc.finish()
-        })
+    r.bench("arith/encode_2k_bits_adaptive", || {
+        let mut model = ContextModel::new(4);
+        let mut enc = ArithEncoder::new();
+        for (i, &b) in bits.iter().enumerate() {
+            let ctx = i & 3;
+            enc.encode(b, model.p0(ctx));
+            model.update(ctx, b);
+        }
+        enc.finish()
     });
     let (payload, n) = {
         let mut model = ContextModel::new(4);
@@ -102,57 +87,55 @@ fn bench_arith(c: &mut Criterion) {
         }
         enc.finish()
     };
-    c.bench_function("arith/decode_2k_bits_adaptive", |bench| {
-        bench.iter(|| {
-            let mut model = ContextModel::new(4);
-            let mut dec = ArithDecoder::new(black_box(&payload), n);
-            let mut acc = 0u32;
-            for i in 0..bits.len() {
-                let ctx = i & 3;
-                let b = dec.decode(model.p0(ctx));
-                model.update(ctx, b);
-                acc += u32::from(b);
-            }
-            acc
-        })
+    r.bench("arith/decode_2k_bits_adaptive", || {
+        let mut model = ContextModel::new(4);
+        let mut dec = ArithDecoder::new(black_box(&payload), n);
+        let mut acc = 0u32;
+        for i in 0..bits.len() {
+            let ctx = i & 3;
+            let b = dec.decode(model.p0(ctx));
+            model.update(ctx, b);
+            acc += u32::from(b);
+        }
+        acc
     });
 }
 
-fn bench_memsim(c: &mut Criterion) {
-    c.bench_function("memsim/l1_hit_probe", |bench| {
+fn bench_memsim(r: &mut BenchRunner) {
+    {
         let mut h = Hierarchy::new(MachineSpec::o2());
         h.access_range(0, 64, AccessKind::Load, 8);
-        bench.iter(|| {
+        r.bench("memsim/l1_hit_probe", || {
             h.access_range(black_box(0), 8, AccessKind::Load, 1);
-        })
-    });
-    c.bench_function("memsim/streaming_4kb", |bench| {
+        });
+    }
+    {
         let mut h = Hierarchy::new(MachineSpec::o2());
         let mut base = 0u64;
-        bench.iter(|| {
+        r.bench_bytes("memsim/streaming_4kb", 4096, || {
             h.access_range(black_box(base), 4096, AccessKind::Load, 512);
             base = base.wrapping_add(4096);
-        })
-    });
-    c.bench_function("memsim/simbuf_row_load", |bench| {
+        });
+    }
+    {
         let mut space = AddressSpace::new();
         let buf = SimBuf::<u8>::zeroed(&mut space, 1 << 20);
         let mut h = Hierarchy::new(MachineSpec::onyx2());
         let mut off = 0usize;
-        bench.iter(|| {
-            let r = buf.load_run(&mut h, off & 0xf_ffff, 16);
+        r.bench("memsim/simbuf_row_load", || {
+            let row = buf.load_run(&mut h, off & 0xf_ffff, 16);
             off += 720;
-            black_box(r[0])
-        })
-    });
+            black_box(row[0])
+        });
+    }
 }
 
-criterion_group!(
-    benches,
-    bench_dct,
-    bench_sad,
-    bench_bitstream,
-    bench_arith,
-    bench_memsim
-);
-criterion_main!(benches);
+fn main() {
+    let mut r = BenchRunner::from_args("kernels");
+    bench_dct(&mut r);
+    bench_sad(&mut r);
+    bench_bitstream(&mut r);
+    bench_arith(&mut r);
+    bench_memsim(&mut r);
+    r.finish();
+}

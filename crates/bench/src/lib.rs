@@ -1,5 +1,6 @@
 //! Experiment-harness library: shared driver code for the `repro`
-//! binary and the criterion benches.
+//! binary and the benches (which run on the in-tree
+//! `m4ps_testkit::bench` runner).
 
 pub mod cli;
 pub mod experiments;

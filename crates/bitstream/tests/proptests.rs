@@ -1,116 +1,168 @@
 //! Property-based tests: arbitrary field sequences written with
 //! [`BitWriter`] read back identically with [`BitReader`].
+//!
+//! Runs on the in-tree [`m4ps_testkit::prop`] harness; failures print a
+//! replayable seed (`M4PS_PROP_REPLAY=0x...`).
 
 use m4ps_bitstream::{BitReader, BitWriter};
-use proptest::prelude::*;
+use m4ps_testkit::prop::{check, check_pinned, Config};
+use m4ps_testkit::rng::Rng;
+use m4ps_testkit::prop_assert_eq;
 
 /// A single (value, width) field with the value constrained to the width.
-fn field_strategy() -> impl Strategy<Value = (u32, u32)> {
-    (1u32..=32).prop_flat_map(|n| {
-        let max = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
-        (0..=max, Just(n))
-    })
+fn field(rng: &mut Rng) -> (u32, u32) {
+    let n = rng.gen_range(1u32..=32);
+    let max = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    (rng.gen_range(0..=max), n)
 }
 
-fn signed_field_strategy() -> impl Strategy<Value = (i32, u32)> {
-    (1u32..=32).prop_flat_map(|n| {
-        let lo = -(1i64 << (n - 1));
-        let hi = (1i64 << (n - 1)) - 1;
-        ((lo as i32)..=(hi as i32), Just(n))
-    })
+fn signed_field(rng: &mut Rng) -> (i32, u32) {
+    let n = rng.gen_range(1u32..=32);
+    let lo = -(1i64 << (n - 1));
+    let hi = (1i64 << (n - 1)) - 1;
+    (rng.gen_range(lo as i32..=hi as i32), n)
 }
 
-proptest! {
-    #[test]
-    fn unsigned_fields_roundtrip(fields in prop::collection::vec(field_strategy(), 0..64)) {
-        let mut w = BitWriter::new();
-        for &(v, n) in &fields {
-            w.put_bits(v, n);
-        }
-        let bytes = w.into_bytes();
-        let mut r = BitReader::new(&bytes);
-        for &(v, n) in &fields {
-            prop_assert_eq!(r.get_bits(n).unwrap(), v);
-        }
-    }
-
-    #[test]
-    fn signed_fields_roundtrip(fields in prop::collection::vec(signed_field_strategy(), 0..64)) {
-        let mut w = BitWriter::new();
-        for &(v, n) in &fields {
-            w.put_signed(v, n);
-        }
-        let bytes = w.into_bytes();
-        let mut r = BitReader::new(&bytes);
-        for &(v, n) in &fields {
-            prop_assert_eq!(r.get_signed(n).unwrap(), v);
-        }
-    }
-
-    #[test]
-    fn bit_len_equals_sum_of_widths(fields in prop::collection::vec(field_strategy(), 0..64)) {
-        let mut w = BitWriter::new();
-        let mut total = 0u64;
-        for &(v, n) in &fields {
-            w.put_bits(v, n);
-            total += u64::from(n);
-        }
-        prop_assert_eq!(w.bit_len(), total);
-    }
-
-    #[test]
-    fn aligned_startcodes_found_after_arbitrary_payload(
-        payload in prop::collection::vec(field_strategy(), 0..32),
-    ) {
-        use m4ps_bitstream::StartCode;
-        let mut w = BitWriter::new();
-        for &(v, n) in &payload {
-            // Keep the payload from accidentally containing a 00 00 01 run
-            // by forcing the top bit of every byte-wide chunk; simpler: use
-            // values with the high bit set where width >= 8.
-            if n >= 8 {
-                w.put_bits(v | (1 << (n - 1)), n);
-            } else {
+#[test]
+fn unsigned_fields_roundtrip() {
+    check(
+        "unsigned_fields_roundtrip",
+        &Config::default(),
+        |rng| rng.vec(0..64, field),
+        |fields| {
+            let mut w = BitWriter::new();
+            for &(v, n) in fields {
                 w.put_bits(v, n);
             }
-        }
-        w.put_start_code(StartCode::VideoObjectPlane);
-        w.put_bits(0xaa, 8);
-        let bytes = w.into_bytes();
-        let mut r = BitReader::new(&bytes);
-        // The first high-bit trick does not fully preclude embedded
-        // startcode patterns, so scan until the VOP code specifically.
-        loop {
-            let code = r.next_start_code().unwrap();
-            if code == StartCode::VideoObjectPlane.value() && r.peek_bits(8) == 0xaa {
-                break;
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            for &(v, n) in fields {
+                prop_assert_eq!(r.get_bits(n).unwrap(), v);
             }
-        }
-        prop_assert_eq!(r.get_bits(8).unwrap(), 0xaa);
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn skip_then_read_matches_direct_read(
-        fields in prop::collection::vec(field_strategy(), 2..32),
-        skip_count in 1usize..8,
-    ) {
-        let mut w = BitWriter::new();
-        for &(v, n) in &fields {
-            w.put_bits(v, n);
-        }
-        let bytes = w.into_bytes();
-        let skip_count = skip_count.min(fields.len() - 1);
-        let skip_bits: u64 = fields[..skip_count].iter().map(|&(_, n)| u64::from(n)).sum();
+#[test]
+fn signed_fields_roundtrip() {
+    // Pinned: proptest's historical shrink for this property —
+    // a single-field sequence of -1 at width 31
+    // (was `cc 04c0257f...` in proptests.proptest-regressions).
+    check_pinned(
+        "signed_fields_roundtrip",
+        &Config::default(),
+        vec![vec![(-1, 31)]],
+        |rng| rng.vec(0..64, signed_field),
+        |fields| {
+            let mut w = BitWriter::new();
+            for &(v, n) in fields {
+                w.put_signed(v, n);
+            }
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            for &(v, n) in fields {
+                prop_assert_eq!(r.get_signed(n).unwrap(), v);
+            }
+            Ok(())
+        },
+    );
+}
 
-        let mut direct = BitReader::new(&bytes);
-        for &(_, n) in &fields[..skip_count] {
-            direct.get_bits(n).unwrap();
-        }
-        let mut skipped = BitReader::new(&bytes);
-        skipped.skip_bits(skip_bits).unwrap();
+/// The case `signed_fields_roundtrip`'s pinned regression came from,
+/// kept as an explicit named test so it stays visible even if the
+/// property's generator changes shape.
+#[test]
+fn regression_minus_one_at_width_31_roundtrips() {
+    let mut w = BitWriter::new();
+    w.put_signed(-1, 31);
+    let bytes = w.into_bytes();
+    let mut r = BitReader::new(&bytes);
+    assert_eq!(r.get_signed(31).unwrap(), -1);
+}
 
-        let (v, n) = fields[skip_count];
-        prop_assert_eq!(direct.get_bits(n).unwrap(), v);
-        prop_assert_eq!(skipped.get_bits(n).unwrap(), v);
-    }
+#[test]
+fn bit_len_equals_sum_of_widths() {
+    check(
+        "bit_len_equals_sum_of_widths",
+        &Config::default(),
+        |rng| rng.vec(0..64, field),
+        |fields| {
+            let mut w = BitWriter::new();
+            let mut total = 0u64;
+            for &(v, n) in fields {
+                w.put_bits(v, n);
+                total += u64::from(n);
+            }
+            prop_assert_eq!(w.bit_len(), total);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn aligned_startcodes_found_after_arbitrary_payload() {
+    use m4ps_bitstream::StartCode;
+    check(
+        "aligned_startcodes_found_after_arbitrary_payload",
+        &Config::default(),
+        |rng| rng.vec(0..32, field),
+        |payload| {
+            let mut w = BitWriter::new();
+            for &(v, n) in payload {
+                // Keep the payload from accidentally containing a 00 00 01 run
+                // by forcing the top bit of every byte-wide chunk; simpler: use
+                // values with the high bit set where width >= 8.
+                if n >= 8 {
+                    w.put_bits(v | (1 << (n - 1)), n);
+                } else {
+                    w.put_bits(v, n);
+                }
+            }
+            w.put_start_code(StartCode::VideoObjectPlane);
+            w.put_bits(0xaa, 8);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            // The first high-bit trick does not fully preclude embedded
+            // startcode patterns, so scan until the VOP code specifically.
+            loop {
+                let code = r.next_start_code().unwrap();
+                if code == StartCode::VideoObjectPlane.value() && r.peek_bits(8) == 0xaa {
+                    break;
+                }
+            }
+            prop_assert_eq!(r.get_bits(8).unwrap(), 0xaa);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn skip_then_read_matches_direct_read() {
+    check(
+        "skip_then_read_matches_direct_read",
+        &Config::default(),
+        |rng| (rng.vec(2..32, field), rng.gen_range(1usize..8)),
+        |(fields, skip_count)| {
+            let mut w = BitWriter::new();
+            for &(v, n) in fields {
+                w.put_bits(v, n);
+            }
+            let bytes = w.into_bytes();
+            let skip_count = (*skip_count).min(fields.len() - 1);
+            let skip_bits: u64 = fields[..skip_count].iter().map(|&(_, n)| u64::from(n)).sum();
+
+            let mut direct = BitReader::new(&bytes);
+            for &(_, n) in &fields[..skip_count] {
+                direct.get_bits(n).unwrap();
+            }
+            let mut skipped = BitReader::new(&bytes);
+            skipped.skip_bits(skip_bits).unwrap();
+
+            let (v, n) = fields[skip_count];
+            prop_assert_eq!(direct.get_bits(n).unwrap(), v);
+            prop_assert_eq!(skipped.get_bits(n).unwrap(), v);
+            Ok(())
+        },
+    );
 }

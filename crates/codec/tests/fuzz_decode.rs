@@ -1,10 +1,13 @@
 //! Robustness: the decoder must reject arbitrary garbage with an error,
 //! never panic, and never loop forever.
+//!
+//! Runs on the in-tree [`m4ps_testkit::prop`] harness; failures print a
+//! replayable seed (`M4PS_PROP_REPLAY=0x...`).
 
 use m4ps_bitstream::{BitReader, BitWriter};
 use m4ps_codec::{VideoObjectDecoder, VolHeader};
 use m4ps_memsim::{AddressSpace, NullModel};
-use proptest::prelude::*;
+use m4ps_testkit::prop::{check, Config};
 
 fn vol_bytes(binary_shape: bool) -> Vec<u8> {
     let mut w = BitWriter::new();
@@ -37,51 +40,77 @@ fn try_decode(stream: &[u8]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn cfg() -> Config {
+    Config::with_cases(64)
+}
 
-    #[test]
-    fn random_bytes_after_vol_header_never_panic(
-        body in prop::collection::vec(any::<u8>(), 0..512),
-        shaped in any::<bool>(),
-    ) {
-        let mut stream = vol_bytes(shaped);
-        stream.extend_from_slice(&body);
-        try_decode(&stream);
-    }
+#[test]
+fn random_bytes_after_vol_header_never_panic() {
+    check(
+        "random_bytes_after_vol_header_never_panic",
+        &cfg(),
+        |rng| (rng.bytes(0..512), rng.gen_bool()),
+        |(body, shaped)| {
+            let mut stream = vol_bytes(*shaped);
+            stream.extend_from_slice(body);
+            try_decode(&stream);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn random_bytes_with_vop_startcode_never_panic(
-        body in prop::collection::vec(any::<u8>(), 0..512),
-        shaped in any::<bool>(),
-    ) {
-        let mut stream = vol_bytes(shaped);
-        stream.extend_from_slice(&[0x00, 0x00, 0x01, 0xb6]);
-        stream.extend_from_slice(&body);
-        try_decode(&stream);
-    }
+#[test]
+fn random_bytes_with_vop_startcode_never_panic() {
+    check(
+        "random_bytes_with_vop_startcode_never_panic",
+        &cfg(),
+        |rng| (rng.bytes(0..512), rng.gen_bool()),
+        |(body, shaped)| {
+            let mut stream = vol_bytes(*shaped);
+            stream.extend_from_slice(&[0x00, 0x00, 0x01, 0xb6]);
+            stream.extend_from_slice(body);
+            try_decode(&stream);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn pure_garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
-        try_decode(&bytes);
-    }
+#[test]
+fn pure_garbage_never_panics() {
+    check(
+        "pure_garbage_never_panics",
+        &cfg(),
+        |rng| rng.bytes(0..256),
+        |bytes| {
+            try_decode(bytes);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn truncations_of_a_valid_stream_never_panic(cut in 0usize..400) {
-        use m4ps_codec::{EncoderConfig, FrameView, VideoObjectCoder};
-        let mut space = AddressSpace::new();
-        let mut mem = NullModel::new();
-        let mut coder =
-            VideoObjectCoder::new(&mut space, 64, 48, EncoderConfig::fast_test()).unwrap();
-        let y = vec![100u8; 64 * 48];
-        let u = vec![128u8; 32 * 24];
-        let v = vec![128u8; 32 * 24];
-        let view = FrameView { width: 64, height: 48, y: &y, u: &u, v: &v };
-        let mut stream = coder.header_bytes();
-        for vop in coder.encode_frame(&mut mem, &view, None).unwrap() {
-            stream.extend_from_slice(&vop.bytes);
-        }
-        stream.truncate(cut.min(stream.len()));
-        try_decode(&stream);
-    }
+#[test]
+fn truncations_of_a_valid_stream_never_panic() {
+    check(
+        "truncations_of_a_valid_stream_never_panic",
+        &cfg(),
+        |rng| rng.gen_range(0usize..400),
+        |&cut| {
+            use m4ps_codec::{EncoderConfig, FrameView, VideoObjectCoder};
+            let mut space = AddressSpace::new();
+            let mut mem = NullModel::new();
+            let mut coder =
+                VideoObjectCoder::new(&mut space, 64, 48, EncoderConfig::fast_test()).unwrap();
+            let y = vec![100u8; 64 * 48];
+            let u = vec![128u8; 32 * 24];
+            let v = vec![128u8; 32 * 24];
+            let view = FrameView { width: 64, height: 48, y: &y, u: &u, v: &v };
+            let mut stream = coder.header_bytes();
+            for vop in coder.encode_frame(&mut mem, &view, None).unwrap() {
+                stream.extend_from_slice(&vop.bytes);
+            }
+            stream.truncate(cut.min(stream.len()));
+            try_decode(&stream);
+            Ok(())
+        },
+    );
 }

@@ -1,6 +1,9 @@
 //! Property-based tests of codec components: headers, shape coding,
 //! motion-vector machinery and texture entropy coding under arbitrary
 //! inputs.
+//!
+//! Runs on the in-tree [`m4ps_testkit::prop`] harness; failures print a
+//! replayable seed (`M4PS_PROP_REPLAY=0x...`).
 
 use m4ps_bitstream::{BitReader, BitWriter};
 use m4ps_codec::{
@@ -8,159 +11,195 @@ use m4ps_codec::{
     VopKind,
 };
 use m4ps_memsim::{AddressSpace, NullModel};
-use proptest::prelude::*;
+use m4ps_testkit::prop::{check, Config};
+use m4ps_testkit::rng::Rng;
+use m4ps_testkit::{prop_assert, prop_assert_eq};
 
-fn vop_kind_strategy() -> impl Strategy<Value = VopKind> {
-    prop_oneof![Just(VopKind::I), Just(VopKind::P), Just(VopKind::B)]
+fn vop_kind(rng: &mut Rng) -> VopKind {
+    *rng.choose(&[VopKind::I, VopKind::P, VopKind::B])
 }
 
-proptest! {
-    #[test]
-    fn vol_header_roundtrips_any_legal_fields(
-        vo_id in 0u32..1000,
-        vol_id in 0u32..16,
-        w_mb in 1usize..64,
-        h_mb in 1usize..64,
-        shape in any::<bool>(),
-        enh in any::<bool>(),
-    ) {
-        let h = VolHeader {
-            vo_id,
-            vol_id,
-            width: w_mb * 16,
-            height: h_mb * 16,
-            binary_shape: shape,
-            enhancement: enh,
-        };
-        let mut w = BitWriter::new();
-        h.write(&mut w);
-        let bytes = w.into_bytes();
-        let mut r = BitReader::new(&bytes);
-        prop_assert_eq!(VolHeader::read(&mut r).unwrap(), h);
-    }
+#[test]
+fn vol_header_roundtrips_any_legal_fields() {
+    check(
+        "vol_header_roundtrips_any_legal_fields",
+        &Config::default(),
+        |rng| VolHeader {
+            vo_id: rng.gen_range(0u32..1000),
+            vol_id: rng.gen_range(0u32..16),
+            width: rng.gen_range(1usize..64) * 16,
+            height: rng.gen_range(1usize..64) * 16,
+            binary_shape: rng.gen_bool(),
+            enhancement: rng.gen_bool(),
+        },
+        |h| {
+            let mut w = BitWriter::new();
+            h.write(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            prop_assert_eq!(VolHeader::read(&mut r).unwrap(), *h);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn vop_header_roundtrips_any_legal_fields(
-        kind in vop_kind_strategy(),
-        display in 0u32..100_000,
-        qp in 1u8..=31,
-        bbox_mb in proptest::option::of((0usize..8, 0usize..8, 1usize..8, 1usize..8)),
-        resync in proptest::option::of(1usize..500),
-    ) {
-        let h = VopHeader {
-            kind,
-            display_index: display,
-            qp,
-            bbox: bbox_mb.map(|(x, y, w, hh)| (x * 16, y * 16, w * 16, hh * 16)),
-            resync_interval: resync,
-        };
-        let mut w = BitWriter::new();
-        h.write(&mut w);
-        let bytes = w.into_bytes();
-        let mut r = BitReader::new(&bytes);
-        prop_assert_eq!(VopHeader::read(&mut r).unwrap(), h);
-    }
+#[test]
+fn vop_header_roundtrips_any_legal_fields() {
+    check(
+        "vop_header_roundtrips_any_legal_fields",
+        &Config::default(),
+        |rng| VopHeader {
+            kind: vop_kind(rng),
+            display_index: rng.gen_range(0u32..100_000),
+            qp: rng.gen_range(1u8..=31),
+            bbox: rng.gen_bool().then(|| {
+                (
+                    rng.gen_range(0usize..8) * 16,
+                    rng.gen_range(0usize..8) * 16,
+                    rng.gen_range(1usize..8) * 16,
+                    rng.gen_range(1usize..8) * 16,
+                )
+            }),
+            resync_interval: rng.gen_bool().then(|| rng.gen_range(1usize..500)),
+        },
+        |h| {
+            let mut w = BitWriter::new();
+            h.write(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            prop_assert_eq!(VopHeader::read(&mut r).unwrap(), *h);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn mv_median_is_bounded_by_inputs(
-        ax in -30i16..30, ay in -30i16..30,
-        bx in -30i16..30, by in -30i16..30,
-        cx in -30i16..30, cy in -30i16..30,
-    ) {
-        let m = MotionVector::median3(
-            MotionVector::new(ax, ay),
-            MotionVector::new(bx, by),
-            MotionVector::new(cx, cy),
-        );
-        // The median is always one of the inputs, component-wise.
-        prop_assert!([ax, bx, cx].contains(&m.x));
-        prop_assert!([ay, by, cy].contains(&m.y));
-        prop_assert!(m.x >= ax.min(bx).min(cx) && m.x <= ax.max(bx).max(cx));
-        prop_assert!(m.y >= ay.min(by).min(cy) && m.y <= ay.max(by).max(cy));
-    }
+fn mv_triple(rng: &mut Rng) -> [MotionVector; 3] {
+    let mut mv = || MotionVector::new(rng.gen_range(-30i16..30), rng.gen_range(-30i16..30));
+    [mv(), mv(), mv()]
+}
 
-    #[test]
-    fn mv_median_is_permutation_invariant(
-        ax in -30i16..30, ay in -30i16..30,
-        bx in -30i16..30, by in -30i16..30,
-        cx in -30i16..30, cy in -30i16..30,
-    ) {
-        let a = MotionVector::new(ax, ay);
-        let b = MotionVector::new(bx, by);
-        let c = MotionVector::new(cx, cy);
-        let m = MotionVector::median3(a, b, c);
-        prop_assert_eq!(m, MotionVector::median3(b, c, a));
-        prop_assert_eq!(m, MotionVector::median3(c, b, a));
-        prop_assert_eq!(m, MotionVector::median3(a, c, b));
-    }
+#[test]
+fn mv_median_is_bounded_by_inputs() {
+    check(
+        "mv_median_is_bounded_by_inputs",
+        &Config::default(),
+        mv_triple,
+        |&[a, b, c]| {
+            let m = MotionVector::median3(a, b, c);
+            // The median is always one of the inputs, component-wise.
+            prop_assert!([a.x, b.x, c.x].contains(&m.x));
+            prop_assert!([a.y, b.y, c.y].contains(&m.y));
+            prop_assert!(m.x >= a.x.min(b.x).min(c.x) && m.x <= a.x.max(b.x).max(c.x));
+            prop_assert!(m.y >= a.y.min(b.y).min(c.y) && m.y <= a.y.max(b.y).max(c.y));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn full_pel_floor_division_is_consistent(x in -64i16..64, y in -64i16..64) {
-        let v = MotionVector::new(x, y);
-        let (fx, fy) = v.full_pel();
-        // fx is floor(x/2): 2*fx <= x < 2*fx + 2.
-        prop_assert!(i32::from(fx) * 2 <= i32::from(x));
-        prop_assert!(i32::from(x) < i32::from(fx) * 2 + 2);
-        prop_assert!(i32::from(fy) * 2 <= i32::from(y));
-        prop_assert!(i32::from(y) < i32::from(fy) * 2 + 2);
-    }
+#[test]
+fn mv_median_is_permutation_invariant() {
+    check(
+        "mv_median_is_permutation_invariant",
+        &Config::default(),
+        mv_triple,
+        |&[a, b, c]| {
+            let m = MotionVector::median3(a, b, c);
+            prop_assert_eq!(m, MotionVector::median3(b, c, a));
+            prop_assert_eq!(m, MotionVector::median3(c, b, a));
+            prop_assert_eq!(m, MotionVector::median3(a, c, b));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn arbitrary_masks_roundtrip_losslessly(
-        seed_bits in prop::collection::vec(any::<bool>(), 12),
-        density in 0u8..=255,
-    ) {
-        // A 48x32 mask (6 BABs) built from a hash of the seed bits, with
-        // varying densities to cover transparent/opaque/border mixes.
-        let (w, h) = (48usize, 32usize);
-        let mut data = vec![0u8; w * h];
-        let mut state: u64 = seed_bits
-            .iter()
-            .fold(0x9e3779b97f4a7c15, |acc, &b| acc.rotate_left(7) ^ u64::from(b));
-        for px in data.iter_mut() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            *px = if ((state >> 33) & 0xff) as u8 <= density { 255 } else { 0 };
-        }
-        let mut space = AddressSpace::new();
-        let mut mem = NullModel::new();
-        let mut plane = TracedPlane::new(&mut space, w, h);
-        plane.copy_from(&mut mem, &data, false);
+#[test]
+fn full_pel_floor_division_is_consistent() {
+    check(
+        "full_pel_floor_division_is_consistent",
+        &Config::default(),
+        |rng| (rng.gen_range(-64i16..64), rng.gen_range(-64i16..64)),
+        |&(x, y)| {
+            let v = MotionVector::new(x, y);
+            let (fx, fy) = v.full_pel();
+            // fx is floor(x/2): 2*fx <= x < 2*fx + 2.
+            prop_assert!(i32::from(fx) * 2 <= i32::from(x));
+            prop_assert!(i32::from(x) < i32::from(fx) * 2 + 2);
+            prop_assert!(i32::from(fy) * 2 <= i32::from(y));
+            prop_assert!(i32::from(y) < i32::from(fy) * 2 + 2);
+            Ok(())
+        },
+    );
+}
 
-        let mut bits = BitWriter::new();
-        encode_alpha_plane(&mut mem, &plane, (0, 0, w, h), &mut bits);
-        let bytes = bits.into_bytes();
-        let mut out = TracedPlane::new(&mut space, w, h);
-        let mut r = BitReader::new(&bytes);
-        decode_alpha_plane(&mut mem, &mut out, (0, 0, w, h), &mut r).unwrap();
-        for y in 0..h {
-            prop_assert_eq!(
-                plane.raw_row(0, y as isize, w),
-                out.raw_row(0, y as isize, w),
-                "row {}", y
-            );
-        }
-    }
+#[test]
+fn arbitrary_masks_roundtrip_losslessly() {
+    check(
+        "arbitrary_masks_roundtrip_losslessly",
+        &Config::default(),
+        |rng| {
+            // A 48x32 mask (6 BABs) with a density drawn per case to
+            // cover transparent/opaque/border mixes.
+            let density = rng.gen_range(0u8..=255);
+            let (w, h) = (48usize, 32usize);
+            let mut data = vec![0u8; w * h];
+            for px in data.iter_mut() {
+                *px = if rng.gen_range(0u8..=255) <= density { 255 } else { 0 };
+            }
+            (density, data)
+        },
+        |(_density, data)| {
+            let (w, h) = (48usize, 32usize);
+            let mut space = AddressSpace::new();
+            let mut mem = NullModel::new();
+            let mut plane = TracedPlane::new(&mut space, w, h);
+            plane.copy_from(&mut mem, data, false);
 
-    #[test]
-    fn structured_masks_compress_below_raw_size(radius in 5.0f64..20.0) {
-        let (w, h) = (64usize, 64usize);
-        let mut data = vec![0u8; w * h];
-        for y in 0..h {
-            for x in 0..w {
-                let dx = x as f64 - 32.0;
-                let dy = y as f64 - 32.0;
-                if (dx * dx + dy * dy).sqrt() <= radius {
-                    data[y * w + x] = 255;
+            let mut bits = BitWriter::new();
+            encode_alpha_plane(&mut mem, &plane, (0, 0, w, h), &mut bits);
+            let bytes = bits.into_bytes();
+            let mut out = TracedPlane::new(&mut space, w, h);
+            let mut r = BitReader::new(&bytes);
+            decode_alpha_plane(&mut mem, &mut out, (0, 0, w, h), &mut r).unwrap();
+            for y in 0..h {
+                prop_assert_eq!(
+                    plane.raw_row(0, y as isize, w),
+                    out.raw_row(0, y as isize, w),
+                    "row {}",
+                    y
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn structured_masks_compress_below_raw_size() {
+    check(
+        "structured_masks_compress_below_raw_size",
+        &Config::default(),
+        |rng| rng.gen_range(5.0f64..20.0),
+        |&radius| {
+            let (w, h) = (64usize, 64usize);
+            let mut data = vec![0u8; w * h];
+            for y in 0..h {
+                for x in 0..w {
+                    let dx = x as f64 - 32.0;
+                    let dy = y as f64 - 32.0;
+                    if (dx * dx + dy * dy).sqrt() <= radius {
+                        data[y * w + x] = 255;
+                    }
                 }
             }
-        }
-        let mut space = AddressSpace::new();
-        let mut mem = NullModel::new();
-        let mut plane = TracedPlane::new(&mut space, w, h);
-        plane.copy_from(&mut mem, &data, false);
-        let mut bits = BitWriter::new();
-        encode_alpha_plane(&mut mem, &plane, (0, 0, w, h), &mut bits);
-        // Raw binary plane is 4096 bits.
-        prop_assert!(bits.bit_len() < 2048, "coded {} bits", bits.bit_len());
-    }
+            let mut space = AddressSpace::new();
+            let mut mem = NullModel::new();
+            let mut plane = TracedPlane::new(&mut space, w, h);
+            plane.copy_from(&mut mem, &data, false);
+            let mut bits = BitWriter::new();
+            encode_alpha_plane(&mut mem, &plane, (0, 0, w, h), &mut bits);
+            // Raw binary plane is 4096 bits.
+            prop_assert!(bits.bit_len() < 2048, "coded {} bits", bits.bit_len());
+            Ok(())
+        },
+    );
 }

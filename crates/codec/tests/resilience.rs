@@ -112,7 +112,10 @@ fn corruption_with_resync_is_concealed_not_fatal() {
 
 #[test]
 fn corruption_without_resync_kills_the_vop() {
-    let (mut stream, encoded, _) = encode_clip(EncoderConfig::fast_test(), 4);
+    let (clean_stream, encoded, _) = encode_clip(EncoderConfig::fast_test(), 4);
+    let clean = decode_clip(&clean_stream);
+    assert_eq!(clean.len(), encoded.len());
+    let mut stream = clean_stream;
     let second_vop_start = stream.len() - encoded.last().unwrap().bytes.len()
         - encoded[encoded.len() - 2].bytes.len();
     let target = second_vop_start + 60;
@@ -123,11 +126,12 @@ fn corruption_without_resync_kills_the_vop() {
     let mut space = AddressSpace::new();
     let mut r = BitReader::new(&stream);
     let mut dec = VideoObjectDecoder::from_stream(&mut space, &mut mem, &mut r).unwrap();
-    let mut ok = 0;
+    dec.set_keep_output(true);
+    let mut decoded = Vec::new();
     let mut failed = false;
     loop {
         match dec.decode_next(&mut mem, &mut r) {
-            Ok(Some(_)) => ok += 1,
+            Ok(Some(v)) => decoded.push(v),
             Ok(None) => break,
             Err(_) => {
                 failed = true;
@@ -135,10 +139,22 @@ fn corruption_without_resync_kills_the_vop() {
             }
         }
     }
-    // Without markers the corrupted VOP either errors out or decodes to
-    // garbage; it must not conceal (the counter stays zero), and most
-    // likely the decode fails before the end of the stream.
-    assert!(failed || ok < encoded.len(), "corruption had no effect (ok={ok})");
+    // Without markers there is nothing to resynchronize on, so nothing
+    // may be concealed...
+    let concealed: u64 = decoded.iter().map(|d| d.stats.concealed_mbs).sum();
+    assert_eq!(concealed, 0, "concealment without resync markers");
+    // ...and the damage must not go unnoticed: either the decode dies
+    // before the end of the stream, or the surviving VOPs decode to
+    // different pixels than the clean run (garbage propagated by
+    // prediction).
+    let diverged = decoded.iter().zip(&clean).any(|(d, c)| {
+        d.planes.as_ref().unwrap().y != c.planes.as_ref().unwrap().y
+    });
+    assert!(
+        failed || decoded.len() < encoded.len() || diverged,
+        "corruption had no effect (ok={})",
+        decoded.len()
+    );
 }
 
 #[test]

@@ -1,145 +1,211 @@
 //! Property-based tests for the DSP kernels: transform invertibility,
 //! quantizer error bounds, scan permutation, SAD metric axioms.
+//!
+//! Runs on the in-tree [`m4ps_testkit::prop`] harness; failures print a
+//! replayable seed (`M4PS_PROP_REPLAY=0x...`).
 
 use m4ps_dsp::{
     dequantize_inter, dequantize_intra, forward_dct, forward_dct_f64, inverse_dct,
     inverse_dct_f64, quantize_inter, quantize_intra, sad_16x16, sad_16x16_with_cutoff,
     scan_zigzag, unscan_zigzag, Block, CoefBlock,
 };
-use proptest::prelude::*;
+use m4ps_testkit::prop::{check, Config};
+use m4ps_testkit::rng::Rng;
+use m4ps_testkit::{prop_assert, prop_assert_eq};
 
-fn pixel_block() -> impl Strategy<Value = Block> {
-    prop::array::uniform32((0i16..=255, 0i16..=255))
-        .prop_map(|pairs| {
-            let mut data = [0i16; 64];
-            for (i, (a, b)) in pairs.iter().enumerate() {
-                data[2 * i] = *a;
-                data[2 * i + 1] = *b;
-            }
-            Block::from_samples(data)
-        })
+fn pixel_block(rng: &mut Rng) -> Block {
+    let mut data = [0i16; 64];
+    for v in &mut data {
+        *v = rng.gen_range(0i16..=255);
+    }
+    Block::from_samples(data)
 }
 
-fn residue_block() -> impl Strategy<Value = Block> {
-    prop::array::uniform32((-255i16..=255, -255i16..=255))
-        .prop_map(|pairs| {
-            let mut data = [0i16; 64];
-            for (i, (a, b)) in pairs.iter().enumerate() {
-                data[2 * i] = *a;
-                data[2 * i + 1] = *b;
-            }
-            Block::from_samples(data)
-        })
+fn residue_block(rng: &mut Rng) -> Block {
+    let mut data = [0i16; 64];
+    for v in &mut data {
+        *v = rng.gen_range(-255i16..=255);
+    }
+    Block::from_samples(data)
 }
 
-proptest! {
-    #[test]
-    fn dct_roundtrip_integer_error_at_most_one(b in pixel_block()) {
-        let rec = inverse_dct(&forward_dct(&b));
-        for i in 0..64 {
-            prop_assert!((rec.data[i] - b.data[i]).abs() <= 1, "index {}", i);
-        }
+fn f64_block(rng: &mut Rng, lo: f64, hi: f64) -> [f64; 64] {
+    let mut data = [0.0f64; 64];
+    for v in &mut data {
+        *v = rng.gen_range(lo..hi);
     }
+    data
+}
 
-    #[test]
-    fn dct_f64_roundtrip_exact(vals in prop::array::uniform32(-1000.0f64..1000.0)) {
-        let mut input = [0.0f64; 64];
-        for (i, v) in vals.iter().enumerate() {
-            input[i] = *v;
-            input[63 - i] = v * 0.5;
-        }
-        let rec = inverse_dct_f64(&forward_dct_f64(&input));
-        for i in 0..64 {
-            prop_assert!((rec[i] - input[i]).abs() < 1e-8);
-        }
-    }
+#[test]
+fn dct_roundtrip_integer_error_at_most_one() {
+    check(
+        "dct_roundtrip_integer_error_at_most_one",
+        &Config::default(),
+        pixel_block,
+        |b| {
+            let rec = inverse_dct(&forward_dct(b));
+            for i in 0..64 {
+                prop_assert!((rec.data[i] - b.data[i]).abs() <= 1, "index {}", i);
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn dct_linearity_f64(vals in prop::array::uniform32(-500.0f64..500.0)) {
-        let mut a = [0.0f64; 64];
-        let mut b = [0.0f64; 64];
-        for (i, v) in vals.iter().enumerate() {
-            a[i] = *v;
-            b[63 - i] = *v * 2.0;
-        }
-        let mut sum = [0.0f64; 64];
-        for i in 0..64 {
-            sum[i] = a[i] + b[i];
-        }
-        let fa = forward_dct_f64(&a);
-        let fb = forward_dct_f64(&b);
-        let fsum = forward_dct_f64(&sum);
-        for i in 0..64 {
-            prop_assert!((fsum[i] - fa[i] - fb[i]).abs() < 1e-8);
-        }
-    }
+#[test]
+fn dct_f64_roundtrip_exact() {
+    check(
+        "dct_f64_roundtrip_exact",
+        &Config::default(),
+        |rng| f64_block(rng, -1000.0, 1000.0),
+        |input| {
+            let rec = inverse_dct_f64(&forward_dct_f64(input));
+            for i in 0..64 {
+                prop_assert!((rec[i] - input[i]).abs() < 1e-8);
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn intra_quant_error_bounded(b in pixel_block(), qp in 1u8..=31) {
-        let coefs = forward_dct(&b);
-        let rec = dequantize_intra(&quantize_intra(&coefs, qp), qp);
-        // DC error ≤ 4 (fixed scaler 8); AC error ≤ 2·qp.
-        prop_assert!((i32::from(rec.data[0]) - i32::from(coefs.data[0])).abs() <= 4);
-        for i in 1..64 {
-            let err = (i32::from(rec.data[i]) - i32::from(coefs.data[i])).abs();
-            prop_assert!(err <= 2 * i32::from(qp), "idx {} err {}", i, err);
-        }
-    }
+#[test]
+fn dct_linearity_f64() {
+    check(
+        "dct_linearity_f64",
+        &Config::default(),
+        |rng| (f64_block(rng, -500.0, 500.0), f64_block(rng, -500.0, 500.0)),
+        |(a, b)| {
+            let mut sum = [0.0f64; 64];
+            for i in 0..64 {
+                sum[i] = a[i] + b[i];
+            }
+            let fa = forward_dct_f64(a);
+            let fb = forward_dct_f64(b);
+            let fsum = forward_dct_f64(&sum);
+            for i in 0..64 {
+                prop_assert!((fsum[i] - fa[i] - fb[i]).abs() < 1e-8);
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn inter_quant_error_bounded(b in residue_block(), qp in 1u8..=31) {
-        let coefs = forward_dct(&b);
-        let rec = dequantize_inter(&quantize_inter(&coefs, qp), qp);
-        for i in 0..64 {
-            let err = (i32::from(rec.data[i]) - i32::from(coefs.data[i])).abs();
-            prop_assert!(err <= 3 * i32::from(qp), "idx {} err {}", i, err);
-        }
-    }
+#[test]
+fn intra_quant_error_bounded() {
+    check(
+        "intra_quant_error_bounded",
+        &Config::default(),
+        |rng| (pixel_block(rng), rng.gen_range(1u8..=31)),
+        |(b, qp)| {
+            let qp = *qp;
+            let coefs = forward_dct(b);
+            let rec = dequantize_intra(&quantize_intra(&coefs, qp), qp);
+            // DC error ≤ 4 (fixed scaler 8); AC error ≤ 2·qp.
+            prop_assert!((i32::from(rec.data[0]) - i32::from(coefs.data[0])).abs() <= 4);
+            for i in 1..64 {
+                let err = (i32::from(rec.data[i]) - i32::from(coefs.data[i])).abs();
+                prop_assert!(err <= 2 * i32::from(qp), "idx {} err {}", i, err);
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn zigzag_roundtrip(vals in prop::array::uniform32(-2048i16..=2047)) {
-        let mut c = CoefBlock::default();
-        for (i, v) in vals.iter().enumerate() {
-            c.data[i] = *v;
-            c.data[63 - i] = v.wrapping_mul(3);
-        }
-        prop_assert_eq!(unscan_zigzag(&scan_zigzag(&c)), c);
-    }
+#[test]
+fn inter_quant_error_bounded() {
+    check(
+        "inter_quant_error_bounded",
+        &Config::default(),
+        |rng| (residue_block(rng), rng.gen_range(1u8..=31)),
+        |(b, qp)| {
+            let qp = *qp;
+            let coefs = forward_dct(b);
+            let rec = dequantize_inter(&quantize_inter(&coefs, qp), qp);
+            for i in 0..64 {
+                let err = (i32::from(rec.data[i]) - i32::from(coefs.data[i])).abs();
+                prop_assert!(err <= 3 * i32::from(qp), "idx {} err {}", i, err);
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn sad_triangle_inequality(
-        a in prop::collection::vec(0u8..=255, 16 * 16),
-        b in prop::collection::vec(0u8..=255, 16 * 16),
-        c in prop::collection::vec(0u8..=255, 16 * 16),
-    ) {
-        let ab = sad_16x16(&a, 16, 0, 0, &b, 16, 0, 0);
-        let bc = sad_16x16(&b, 16, 0, 0, &c, 16, 0, 0);
-        let ac = sad_16x16(&a, 16, 0, 0, &c, 16, 0, 0);
-        prop_assert!(ac <= ab + bc);
-    }
+#[test]
+fn zigzag_roundtrip() {
+    check(
+        "zigzag_roundtrip",
+        &Config::default(),
+        |rng| {
+            let mut c = CoefBlock::default();
+            for v in &mut c.data {
+                *v = rng.gen_range(-2048i16..=2047);
+            }
+            c
+        },
+        |c| {
+            prop_assert_eq!(unscan_zigzag(&scan_zigzag(c)), *c);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn sad_identity_of_indiscernibles(a in prop::collection::vec(0u8..=255, 16 * 16)) {
-        prop_assert_eq!(sad_16x16(&a, 16, 0, 0, &a, 16, 0, 0), 0);
-    }
+fn plane_16x16(rng: &mut Rng) -> Vec<u8> {
+    let mut v = vec![0u8; 16 * 16];
+    rng.fill_bytes(&mut v);
+    v
+}
 
-    #[test]
-    fn sad_cutoff_never_underestimates_decision(
-        a in prop::collection::vec(0u8..=255, 16 * 16),
-        b in prop::collection::vec(0u8..=255, 16 * 16),
-        cutoff in 0u32..70000,
-    ) {
-        let full = sad_16x16(&a, 16, 0, 0, &b, 16, 0, 0);
-        let (partial, rows) = sad_16x16_with_cutoff(&a, 16, 0, 0, &b, 16, 0, 0, cutoff);
-        prop_assert!(rows >= 1 && rows <= 16);
-        prop_assert!(partial <= full);
-        if full <= cutoff {
-            // No early exit possible: partial must equal full.
-            prop_assert_eq!(partial, full);
-            prop_assert_eq!(rows, 16);
-        } else {
-            // Early exit must preserve the "worse than cutoff" verdict.
-            prop_assert!(partial > cutoff);
-        }
-    }
+#[test]
+fn sad_triangle_inequality() {
+    check(
+        "sad_triangle_inequality",
+        &Config::default(),
+        |rng| (plane_16x16(rng), plane_16x16(rng), plane_16x16(rng)),
+        |(a, b, c)| {
+            let ab = sad_16x16(a, 16, 0, 0, b, 16, 0, 0);
+            let bc = sad_16x16(b, 16, 0, 0, c, 16, 0, 0);
+            let ac = sad_16x16(a, 16, 0, 0, c, 16, 0, 0);
+            prop_assert!(ac <= ab + bc);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn sad_identity_of_indiscernibles() {
+    check(
+        "sad_identity_of_indiscernibles",
+        &Config::default(),
+        plane_16x16,
+        |a| {
+            prop_assert_eq!(sad_16x16(a, 16, 0, 0, a, 16, 0, 0), 0);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn sad_cutoff_never_underestimates_decision() {
+    check(
+        "sad_cutoff_never_underestimates_decision",
+        &Config::default(),
+        |rng| (plane_16x16(rng), plane_16x16(rng), rng.gen_range(0u32..70000)),
+        |(a, b, cutoff)| {
+            let cutoff = *cutoff;
+            let full = sad_16x16(a, 16, 0, 0, b, 16, 0, 0);
+            let (partial, rows) = sad_16x16_with_cutoff(a, 16, 0, 0, b, 16, 0, 0, cutoff);
+            prop_assert!(rows >= 1 && rows <= 16);
+            prop_assert!(partial <= full);
+            if full <= cutoff {
+                // No early exit possible: partial must equal full.
+                prop_assert_eq!(partial, full);
+                prop_assert_eq!(rows, 16);
+            } else {
+                // Early exit must preserve the "worse than cutoff" verdict.
+                prop_assert!(partial > cutoff);
+            }
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,165 @@
+//! A tiny JSON value model and serializer — just enough for the bench
+//! runner to emit `BENCH_*.json` without a registry dependency.
+//!
+//! Output is deterministic: object keys keep insertion order, floats
+//! are printed with enough digits to round-trip, integers without a
+//! fractional part.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any finite number (NaN/inf serialize as `null`, like
+    /// `JSON.stringify`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for strings.
+    #[must_use]
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience constructor for objects.
+    #[must_use]
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Serializes with 2-space indentation and a trailing newline.
+    #[must_use]
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_num(out, *n),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_num(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        // Shortest representation that round-trips (Rust's default
+        // float Display is exactly that).
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize() {
+        assert_eq!(Json::Null.pretty(), "null\n");
+        assert_eq!(Json::Bool(true).pretty(), "true\n");
+        assert_eq!(Json::Num(3.0).pretty(), "3\n");
+        assert_eq!(Json::Num(3.25).pretty(), "3.25\n");
+        assert_eq!(Json::Num(f64::NAN).pretty(), "null\n");
+        assert_eq!(Json::str("a\"b\n").pretty(), "\"a\\\"b\\n\"\n");
+    }
+
+    #[test]
+    fn nested_structure_is_indented() {
+        let v = Json::obj(vec![
+            ("name", Json::str("dct")),
+            ("values", Json::Arr(vec![Json::Num(1.0), Json::Num(2.5)])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let expected = "{\n  \"name\": \"dct\",\n  \"values\": [\n    1,\n    2.5\n  ],\n  \"empty\": []\n}\n";
+        assert_eq!(v.pretty(), expected);
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        assert_eq!(Json::str("\u{1}").pretty(), "\"\\u0001\"\n");
+    }
+}

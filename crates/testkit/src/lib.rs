@@ -1,0 +1,41 @@
+//! `m4ps-testkit` — the repo's own measurement instrument.
+//!
+//! The workspace builds with **zero registry dependencies** so the
+//! reproduction compiles and tests offline, on any machine, forever.
+//! Everything the tests and benches used to pull from crates.io lives
+//! here instead:
+//!
+//! - [`rng`] — a seedable deterministic PRNG (SplitMix64-seeded
+//!   xoshiro256++) with `gen_range`-style helpers; replaces `rand`,
+//! - [`prop`] — a minimal property-testing harness (generator
+//!   combinators, configurable case count, failing-seed replay,
+//!   pinned regression cases); replaces `proptest`,
+//! - [`bench`] — a no-harness benchmark runner (warmup, fixed
+//!   iteration budget, median/MAD, throughput) that writes
+//!   machine-readable `BENCH_*.json`; replaces `criterion`,
+//! - [`json`] — the tiny JSON writer the bench runner emits through.
+//!
+//! The paper this repo reproduces (McKee, Fang & Valero, ISPASS 2003)
+//! is a *measurement* paper; owning the instrument end to end keeps
+//! every number deterministic and reproducible from a clean checkout.
+//!
+//! # Examples
+//!
+//! ```
+//! use m4ps_testkit::rng::Rng;
+//!
+//! let mut rng = Rng::new(42);
+//! let a = rng.gen_range(0u64..100);
+//! assert!(a < 100);
+//! let again = Rng::new(42).gen_range(0u64..100);
+//! assert_eq!(a, again); // fully deterministic
+//! ```
+
+pub mod bench;
+pub mod json;
+pub mod prop;
+pub mod rng;
+
+pub use bench::{black_box, BenchOptions, BenchRunner};
+pub use prop::{check, check_pinned, CaseResult, Config};
+pub use rng::Rng;

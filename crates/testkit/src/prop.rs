@@ -1,0 +1,395 @@
+//! Minimal property-testing harness.
+//!
+//! A property test here is three parts: a **generator** (any
+//! `Fn(&mut Rng) -> T`, usually built from the combinators on
+//! [`Rng`]), a **property** (`Fn(&T) -> Result<(), String>`, written
+//! with the [`prop_assert!`]/[`prop_assert_eq!`] macros), and the
+//! [`check`] driver that runs the property over `cases` inputs derived
+//! deterministically from a base seed.
+//!
+//! Failure reporting is by *seed*, not by shrinking: every case is
+//! generated from its own 64-bit seed, printed on failure, and can be
+//! replayed alone with `M4PS_PROP_REPLAY=0x<seed>`. Known-bad inputs
+//! are pinned forever as explicit values via [`check_pinned`] (or as
+//! plain named unit tests) — this replaces proptest's
+//! `.proptest-regressions` files with cases that are visible in the
+//! source and survive generator changes.
+//!
+//! Environment knobs:
+//!
+//! - `M4PS_PROP_CASES` — cases per property (default 128),
+//! - `M4PS_PROP_SEED` — base seed (default stable; change to explore),
+//! - `M4PS_PROP_REPLAY` — run exactly one case from this seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use m4ps_testkit::prop::{check, Config};
+//! use m4ps_testkit::prop_assert_eq;
+//!
+//! check(
+//!     "reverse twice is identity",
+//!     &Config::default(),
+//!     |rng| rng.vec(0..16, |r| r.gen_range(0u32..100)),
+//!     |v| {
+//!         let mut w = v.clone();
+//!         w.reverse();
+//!         w.reverse();
+//!         prop_assert_eq!(&w, v);
+//!         Ok(())
+//!     },
+//! );
+//! ```
+
+use crate::rng::{splitmix64, Rng};
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Outcome of one property evaluation: `Err` carries the failure
+/// message produced by the `prop_assert*` macros.
+pub type CaseResult = Result<(), String>;
+
+/// Harness configuration. [`Config::default`] reads the environment
+/// knobs documented at the module level.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Random cases to run (after any pinned cases).
+    pub cases: u32,
+    /// Base seed from which per-case seeds are derived.
+    pub seed: u64,
+    /// If set, run exactly one case generated from this seed.
+    pub replay: Option<u64>,
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("cannot parse {name}={raw} as an integer"),
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: env_u64("M4PS_PROP_CASES").map_or(128, |v| v as u32),
+            seed: env_u64("M4PS_PROP_SEED").unwrap_or(0x6d34_7073_5f74_6b21), // "m4ps_tk!"
+            replay: env_u64("M4PS_PROP_REPLAY"),
+        }
+    }
+}
+
+impl Config {
+    /// Default configuration with `cases` random cases (environment
+    /// overrides still apply for seed/replay; `M4PS_PROP_CASES` wins
+    /// over this value so one knob controls the whole suite).
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        let mut cfg = Config::default();
+        if env_u64("M4PS_PROP_CASES").is_none() {
+            cfg.cases = cases;
+        }
+        cfg
+    }
+}
+
+/// Seed for case `index` under base seed `base`: decorrelated via
+/// SplitMix64 so neighbouring cases share no structure.
+#[must_use]
+pub fn case_seed(base: u64, index: u32) -> u64 {
+    let mut s = base ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(index) + 1);
+    splitmix64(&mut s)
+}
+
+/// Runs `property` over `cfg.cases` generated inputs.
+///
+/// # Panics
+///
+/// Panics on the first failing case with the case's seed, its debug
+/// representation, and a replay command.
+pub fn check<T, G, P>(name: &str, cfg: &Config, generator: G, property: P)
+where
+    T: Debug,
+    G: Fn(&mut Rng) -> T,
+    P: Fn(&T) -> CaseResult,
+{
+    check_pinned(name, cfg, Vec::new(), generator, property);
+}
+
+/// Like [`check`], but runs the `pinned` known-regression inputs first
+/// (always, regardless of case count or replay mode). Pin any input
+/// that ever failed so it is re-checked on every run, forever.
+///
+/// # Panics
+///
+/// Panics on the first failing case (pinned or generated).
+pub fn check_pinned<T, G, P>(name: &str, cfg: &Config, pinned: Vec<T>, generator: G, property: P)
+where
+    T: Debug,
+    G: Fn(&mut Rng) -> T,
+    P: Fn(&T) -> CaseResult,
+{
+    for (i, input) in pinned.iter().enumerate() {
+        run_case(name, &format!("pinned case #{i}"), input, &property);
+    }
+    if let Some(seed) = cfg.replay {
+        let input = generator(&mut Rng::new(seed));
+        run_case(name, &format!("replay of seed {seed:#018x}"), &input, &property);
+        return;
+    }
+    for i in 0..cfg.cases {
+        let seed = case_seed(cfg.seed, i);
+        let input = generator(&mut Rng::new(seed));
+        run_case(
+            name,
+            &format!(
+                "case {i}/{} (replay with M4PS_PROP_REPLAY={seed:#018x})",
+                cfg.cases
+            ),
+            &input,
+            &property,
+        );
+    }
+}
+
+fn run_case<T: Debug>(name: &str, ctx: &str, input: &T, property: &impl Fn(&T) -> CaseResult) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| property(input)));
+    let failure = match outcome {
+        Ok(Ok(())) => return,
+        Ok(Err(msg)) => msg,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic payload>");
+            format!("panicked: {msg}")
+        }
+    };
+    panic!("property '{name}' failed on {ctx}\n  input: {input:?}\n  {failure}");
+}
+
+/// Asserts a condition inside a property, returning a located failure
+/// message instead of panicking (so the harness can attach the input
+/// and replay seed).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{}): {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assertion `left == right` failed ({}:{})\n    left: {:?}\n   right: {:?}",
+                file!(),
+                line!(),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assertion `left == right` failed ({}:{}): {}\n    left: {:?}\n   right: {:?}",
+                file!(),
+                line!(),
+                format!($($fmt)+),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "assertion `left != right` failed ({}:{})\n    both: {:?}",
+                file!(),
+                line!(),
+                l
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "assertion `left != right` failed ({}:{}): {}\n    both: {:?}",
+                file!(),
+                line!(),
+                format!($($fmt)+),
+                l
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut cfg = Config::default();
+        cfg.cases = 50;
+        cfg.replay = None;
+        let count = std::cell::Cell::new(0u32);
+        check(
+            "sum is commutative",
+            &cfg,
+            |rng| (rng.gen_range(0u32..1000), rng.gen_range(0u32..1000)),
+            |&(a, b)| {
+                count.set(count.get() + 1);
+                prop_assert_eq!(a + b, b + a);
+                Ok(())
+            },
+        );
+        assert_eq!(count.get(), 50);
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_input() {
+        let mut cfg = Config::default();
+        cfg.cases = 64;
+        cfg.replay = None;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "all values below 10 (false)",
+                &cfg,
+                |rng| rng.gen_range(0u32..100),
+                |&v| {
+                    prop_assert!(v < 10, "v = {v}");
+                    Ok(())
+                },
+            );
+        }));
+        let msg = *result
+            .expect_err("property must fail")
+            .downcast::<String>()
+            .unwrap();
+        assert!(msg.contains("M4PS_PROP_REPLAY="), "{msg}");
+        assert!(msg.contains("input:"), "{msg}");
+    }
+
+    #[test]
+    fn replay_reproduces_the_reported_case() {
+        // Find a failing seed, then replay it and check the same input
+        // comes back.
+        let base = Config::default();
+        let mut failing_input = None;
+        for i in 0..1000 {
+            let seed = case_seed(base.seed, i);
+            let v = Rng::new(seed).gen_range(0u32..100);
+            if v >= 90 {
+                failing_input = Some((seed, v));
+                break;
+            }
+        }
+        let (seed, v) = failing_input.expect("some case must exceed 90");
+        let mut cfg = Config::default();
+        cfg.replay = Some(seed);
+        let seen = std::cell::Cell::new(0u32);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "replayed case",
+                &cfg,
+                |rng| rng.gen_range(0u32..100),
+                |&x| {
+                    seen.set(x);
+                    prop_assert!(x < 90);
+                    Ok(())
+                },
+            );
+        }));
+        assert!(result.is_err());
+        assert_eq!(seen.get(), v);
+    }
+
+    #[test]
+    fn pinned_cases_run_before_generated_ones() {
+        let mut cfg = Config::default();
+        cfg.cases = 0;
+        cfg.replay = None;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check_pinned(
+                "pinned regression fails",
+                &cfg,
+                vec![99u32],
+                |rng| rng.gen_range(0u32..10),
+                |&v| {
+                    prop_assert!(v < 50);
+                    Ok(())
+                },
+            );
+        }));
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("pinned case #0"), "{msg}");
+        assert!(msg.contains("99"), "{msg}");
+    }
+
+    #[test]
+    fn panics_inside_properties_are_reported_with_input() {
+        let mut cfg = Config::default();
+        cfg.cases = 1;
+        cfg.replay = None;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "unwraps can fail",
+                &cfg,
+                |rng| rng.gen_range(0u32..10),
+                |_| {
+                    let none: Option<u32> = None;
+                    let _ = none.unwrap();
+                    Ok(())
+                },
+            );
+        }));
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("panicked"), "{msg}");
+    }
+
+    #[test]
+    fn case_seeds_are_decorrelated() {
+        let a = case_seed(1, 0);
+        let b = case_seed(1, 1);
+        let c = case_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

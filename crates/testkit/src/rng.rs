@@ -1,0 +1,333 @@
+//! Deterministic, seedable PRNG: xoshiro256++ seeded through SplitMix64.
+//!
+//! This is the only source of randomness in the workspace. It is *not*
+//! cryptographic; it is fast, has 256 bits of state, passes BigCrush,
+//! and — the property the repo actually depends on — produces the same
+//! sequence for the same seed on every platform and toolchain.
+//!
+//! Integer ranges are sampled with Lemire's widening-multiply method
+//! (bias below `width / 2^64`, irrelevant at test scale and free of
+//! data-dependent branches); floats use the standard 53-bit mantissa
+//! construction.
+
+use std::ops::{Range, RangeInclusive};
+
+/// One step of SplitMix64 — used to expand a 64-bit seed into the
+/// 256-bit xoshiro state and to derive per-case seeds in [`crate::prop`].
+#[must_use]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Builds a generator from a 64-bit seed. Any seed is fine,
+    /// including 0 (SplitMix64 expansion never yields the all-zero
+    /// state).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        Rng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next raw 32-bit output (upper half of the 64-bit stream).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform boolean.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() >> 63 == 1
+    }
+
+    /// A uniform sample from `range` (half-open or inclusive integer
+    /// ranges, or a half-open `f64` range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Fills `buf` with uniform bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    /// An independent child generator (seeded from this stream), for
+    /// splitting randomness between sub-tasks without correlation.
+    pub fn fork(&mut self) -> Rng {
+        Rng::new(self.next_u64())
+    }
+
+    /// A uniformly chosen element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose from empty slice");
+        &items[self.gen_range(0..items.len())]
+    }
+
+    /// A vector with a length drawn from `len`, each element produced
+    /// by `f`. The generator combinator the property tests build on.
+    pub fn vec<T>(&mut self, len: Range<usize>, mut f: impl FnMut(&mut Rng) -> T) -> Vec<T> {
+        let n = self.gen_range(len);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// A byte vector with a length drawn from `len`.
+    pub fn bytes(&mut self, len: Range<usize>) -> Vec<u8> {
+        let n = self.gen_range(len);
+        let mut buf = vec![0u8; n];
+        self.fill_bytes(&mut buf);
+        buf
+    }
+}
+
+/// A range a [`Rng`] can sample uniformly. Implemented for `Range` and
+/// `RangeInclusive` over the primitive integers and for `Range<f64>`.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut Rng) -> Self::Output;
+}
+
+/// Uniform integer in `[0, width)` via widening multiply.
+fn below(rng: &mut Rng, width: u64) -> u64 {
+    ((u128::from(rng.next_u64()) * u128::from(width)) >> 64) as u64
+}
+
+macro_rules! impl_unsigned_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let width = u64::from(self.end - self.start);
+                self.start + below(rng, width) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let width = u64::from(hi - lo);
+                if width == u64::MAX {
+                    return lo + rng.next_u64() as $t;
+                }
+                lo + below(rng, width + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_unsigned_range!(u8, u16, u32);
+
+impl SampleRange for Range<u64> {
+    type Output = u64;
+    fn sample(self, rng: &mut Rng) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + below(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange for RangeInclusive<u64> {
+    type Output = u64;
+    fn sample(self, rng: &mut Rng) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        let width = hi - lo;
+        if width == u64::MAX {
+            return rng.next_u64();
+        }
+        lo + below(rng, width + 1)
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut Rng) -> usize {
+        assert!(self.start < self.end, "empty range");
+        self.start + below(rng, (self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange for RangeInclusive<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut Rng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo + below(rng, (hi - lo) as u64 + 1) as usize
+    }
+}
+
+macro_rules! impl_signed_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let width = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                ((self.start as i64).wrapping_add(below(rng, width) as i64)) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let width = (hi as i64).wrapping_sub(lo as i64) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                ((lo as i64).wrapping_add(below(rng, width + 1) as i64)) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i8, i16, i32, i64);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::new(0xdead_beef);
+        let mut b = Rng::new(0xdead_beef);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn reference_vector_xoshiro256pp_from_splitmix_seed_zero() {
+        // Pinned first outputs for seed 0: any change to the seeding or
+        // the generator breaks every golden value in the repo, so catch
+        // it here first.
+        let mut r = Rng::new(0);
+        assert_eq!(r.next_u64(), 0x53175d61490b23df);
+        assert_eq!(r.next_u64(), 0x61da6f3dc380d507);
+        assert_eq!(r.next_u64(), 0x5c0fdf91ec9a7bfc);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = Rng::new(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&w));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u = r.gen_range(3usize..=3);
+            assert_eq!(u, 3);
+        }
+    }
+
+    #[test]
+    fn full_width_inclusive_ranges_do_not_overflow() {
+        let mut r = Rng::new(9);
+        let _ = r.gen_range(0u64..=u64::MAX);
+        let _ = r.gen_range(i64::MIN..=i64::MAX);
+        let _ = r.gen_range(0u32..=u32::MAX);
+    }
+
+    #[test]
+    fn range_sampling_covers_small_domains() {
+        let mut r = Rng::new(11);
+        let mut seen = [false; 8];
+        for _ in 0..200 {
+            seen[r.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn fill_bytes_is_deterministic_and_nonzero() {
+        let mut a = [0u8; 13];
+        let mut b = [0u8; 13];
+        Rng::new(3).fill_bytes(&mut a);
+        Rng::new(3).fill_bytes(&mut b);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn vec_combinator_respects_length_range() {
+        let mut r = Rng::new(5);
+        for _ in 0..100 {
+            let v = r.vec(2..6, |r| r.gen_range(0u32..10));
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn fork_decorrelates() {
+        let mut r = Rng::new(17);
+        let mut a = r.fork();
+        let mut b = r.fork();
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

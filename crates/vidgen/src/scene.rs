@@ -2,8 +2,7 @@
 
 use crate::frame::{AlphaMask, Resolution, YuvFrame};
 use crate::texture::{hash_noise, smooth_texture};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use m4ps_testkit::rng::Rng;
 
 /// Scene parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,7 +67,7 @@ pub struct Scene {
 impl Scene {
     /// Builds the scene, placing objects pseudo-randomly from the seed.
     pub fn new(spec: SceneSpec) -> Self {
-        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut rng = Rng::new(spec.seed);
         let w = spec.resolution.width as f64;
         let h = spec.resolution.height as f64;
         let objects = (0..spec.objects)
@@ -84,7 +83,7 @@ impl Scene {
                     vy: rng.gen_range(0.5..3.0) * if i % 3 == 0 { -1.0 } else { 1.0 },
                     rx,
                     ry,
-                    tex_seed: rng.gen(),
+                    tex_seed: rng.next_u64(),
                     luma_bias: rng.gen_range(-48.0..48.0),
                 }
             })
@@ -198,6 +197,59 @@ mod tests {
             objects,
             seed: 42,
         })
+    }
+
+    /// Golden layout for the repro seed 0x4d50_4547 ("MPEG"): any
+    /// change to the PRNG, the seeding path, or the order of draws in
+    /// `Scene::new` shifts every object and silently invalidates the
+    /// numbers in EXPERIMENTS.md — this test catches that first.
+    #[test]
+    fn golden_object_layout_for_repro_seed() {
+        let s = Scene::new(SceneSpec {
+            resolution: Resolution::PAL,
+            objects: 3,
+            seed: 0x4d50_4547,
+        });
+        // (cx0, cy0, vx, vy, rx, ry, tex_seed, luma_bias) per object.
+        let expected = [
+            (
+                117.73439145458785,
+                244.09874602509296,
+                1.301183189291796,
+                -2.410789798137911,
+                67.43521604332965,
+                89.55530304863075,
+                0x36077f361fb6316f_u64,
+                -18.227791462003456,
+            ),
+            (
+                85.73054621133923,
+                90.05352496536753,
+                -2.149529263729029,
+                1.5346548932877107,
+                60.65258436482773,
+                73.32720551519647,
+                0x4fef44f47bf27969_u64,
+                -6.863959146503404,
+            ),
+            (
+                407.63823133697554,
+                368.2181935653616,
+                1.9945883911773492,
+                1.67132770647839,
+                100.71654125573137,
+                78.4637945781245,
+                0xfa95c7ec4c2da202_u64,
+                -23.158410454865525,
+            ),
+        ];
+        assert_eq!(s.objects.len(), expected.len());
+        for (o, e) in s.objects.iter().zip(expected) {
+            assert_eq!(
+                (o.cx0, o.cy0, o.vx, o.vy, o.rx, o.ry, o.tex_seed, o.luma_bias),
+                e
+            );
+        }
     }
 
     #[test]

@@ -1,73 +1,122 @@
 //! Property-based tests of the synthetic scene generator.
+//!
+//! Runs on the in-tree [`m4ps_testkit::prop`] harness; failures print a
+//! replayable seed (`M4PS_PROP_REPLAY=0x...`).
 
+use m4ps_testkit::prop::{check, Config};
+use m4ps_testkit::rng::Rng;
+use m4ps_testkit::{prop_assert, prop_assert_eq};
 use m4ps_vidgen::{Resolution, Scene, SceneSpec};
-use proptest::prelude::*;
 
-fn spec_strategy() -> impl Strategy<Value = SceneSpec> {
-    (1usize..=4, any::<u64>(), 0usize..3).prop_map(|(objects, seed, res)| SceneSpec {
-        resolution: [Resolution::QCIF, Resolution::new(96, 64), Resolution::new(128, 96)][res],
-        objects,
-        seed,
-    })
+fn spec(rng: &mut Rng) -> SceneSpec {
+    SceneSpec {
+        resolution: *rng.choose(&[
+            Resolution::QCIF,
+            Resolution::new(96, 64),
+            Resolution::new(128, 96),
+        ]),
+        objects: rng.gen_range(1usize..=4),
+        seed: rng.next_u64(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn cfg() -> Config {
+    Config::with_cases(32)
+}
 
-    #[test]
-    fn frames_are_deterministic(spec in spec_strategy(), t in 0usize..50) {
-        let a = Scene::new(spec);
-        let b = Scene::new(spec);
-        prop_assert_eq!(a.frame(t), b.frame(t));
-    }
+#[test]
+fn frames_are_deterministic() {
+    check(
+        "frames_are_deterministic",
+        &cfg(),
+        |rng| (spec(rng), rng.gen_range(0usize..50)),
+        |&(spec, t)| {
+            let a = Scene::new(spec);
+            let b = Scene::new(spec);
+            prop_assert_eq!(a.frame(t), b.frame(t));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn plane_sizes_are_always_consistent(spec in spec_strategy(), t in 0usize..20) {
-        let f = Scene::new(spec).frame(t);
-        prop_assert_eq!(f.y.len(), spec.resolution.luma_pixels());
-        prop_assert_eq!(f.u.len(), spec.resolution.chroma_pixels());
-        prop_assert_eq!(f.v.len(), spec.resolution.chroma_pixels());
-    }
+#[test]
+fn plane_sizes_are_always_consistent() {
+    check(
+        "plane_sizes_are_always_consistent",
+        &cfg(),
+        |rng| (spec(rng), rng.gen_range(0usize..20)),
+        |&(spec, t)| {
+            let f = Scene::new(spec).frame(t);
+            prop_assert_eq!(f.y.len(), spec.resolution.luma_pixels());
+            prop_assert_eq!(f.u.len(), spec.resolution.chroma_pixels());
+            prop_assert_eq!(f.v.len(), spec.resolution.chroma_pixels());
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn masks_are_binary_and_nonempty(spec in spec_strategy(), t in 0usize..20) {
-        let s = Scene::new(spec);
-        for vo in 0..spec.objects {
-            let m = s.alpha(t, vo);
-            prop_assert!(m.data.iter().all(|&v| v == 0 || v == 255));
-            prop_assert!(m.area() > 0, "object {} vanished", vo);
-            // The object never exceeds a third of each dimension by
-            // construction (radii <= 0.16 of the frame).
-            let (x0, y0, x1, y1) = m.bounding_box().unwrap();
-            prop_assert!(x1 - x0 <= spec.resolution.width * 2 / 5 + 2);
-            prop_assert!(y1 - y0 <= spec.resolution.height * 2 / 5 + 2);
-        }
-    }
+#[test]
+fn masks_are_binary_and_nonempty() {
+    check(
+        "masks_are_binary_and_nonempty",
+        &cfg(),
+        |rng| (spec(rng), rng.gen_range(0usize..20)),
+        |&(spec, t)| {
+            let s = Scene::new(spec);
+            for vo in 0..spec.objects {
+                let m = s.alpha(t, vo);
+                prop_assert!(m.data.iter().all(|&v| v == 0 || v == 255));
+                prop_assert!(m.area() > 0, "object {} vanished", vo);
+                // The object never exceeds a third of each dimension by
+                // construction (radii <= 0.16 of the frame).
+                let (x0, y0, x1, y1) = m.bounding_box().unwrap();
+                prop_assert!(x1 - x0 <= spec.resolution.width * 2 / 5 + 2);
+                prop_assert!(y1 - y0 <= spec.resolution.height * 2 / 5 + 2);
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn motion_is_bounded_per_frame(spec in spec_strategy(), t in 0usize..30) {
-        // Object centroids move at most ~6 px/frame (velocities < 4 plus
-        // bounce discontinuities are excluded by construction windows).
-        let s = Scene::new(spec);
-        for vo in 0..spec.objects {
-            let a = s.alpha(t, vo).bounding_box().unwrap();
-            let b = s.alpha(t + 1, vo).bounding_box().unwrap();
-            let cax = (a.0 + a.2) as f64 / 2.0;
-            let cay = (a.1 + a.3) as f64 / 2.0;
-            let cbx = (b.0 + b.2) as f64 / 2.0;
-            let cby = (b.1 + b.3) as f64 / 2.0;
-            prop_assert!((cax - cbx).abs() <= 8.5, "vo {} dx {}", vo, cax - cbx);
-            prop_assert!((cay - cby).abs() <= 8.5, "vo {} dy {}", vo, cay - cby);
-        }
-    }
+#[test]
+fn motion_is_bounded_per_frame() {
+    check(
+        "motion_is_bounded_per_frame",
+        &cfg(),
+        |rng| (spec(rng), rng.gen_range(0usize..30)),
+        |&(spec, t)| {
+            // Object centroids move at most ~6 px/frame (velocities < 4 plus
+            // bounce discontinuities are excluded by construction windows).
+            let s = Scene::new(spec);
+            for vo in 0..spec.objects {
+                let a = s.alpha(t, vo).bounding_box().unwrap();
+                let b = s.alpha(t + 1, vo).bounding_box().unwrap();
+                let cax = (a.0 + a.2) as f64 / 2.0;
+                let cay = (a.1 + a.3) as f64 / 2.0;
+                let cbx = (b.0 + b.2) as f64 / 2.0;
+                let cby = (b.1 + b.3) as f64 / 2.0;
+                prop_assert!((cax - cbx).abs() <= 8.5, "vo {} dx {}", vo, cax - cbx);
+                prop_assert!((cay - cby).abs() <= 8.5, "vo {} dy {}", vo, cay - cby);
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn luma_stays_in_byte_range_with_noise(spec in spec_strategy()) {
-        // Trivially true for u8 storage, but exercises generation at many
-        // seeds; also checks frames are not degenerate (flat).
-        let f = Scene::new(spec).frame(0);
-        let min = *f.y.iter().min().unwrap();
-        let max = *f.y.iter().max().unwrap();
-        prop_assert!(max - min > 30, "degenerate frame: {}..{}", min, max);
-    }
+#[test]
+fn luma_stays_in_byte_range_with_noise() {
+    check(
+        "luma_stays_in_byte_range_with_noise",
+        &cfg(),
+        spec,
+        |&spec| {
+            // Trivially true for u8 storage, but exercises generation at many
+            // seeds; also checks frames are not degenerate (flat).
+            let f = Scene::new(spec).frame(0);
+            let min = *f.y.iter().min().unwrap();
+            let max = *f.y.iter().max().unwrap();
+            prop_assert!(max - min > 30, "degenerate frame: {}..{}", min, max);
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Hermetic verification: build, test, and smoke-bench with no network.
+#
+# Everything runs with --offline; if any step tries to reach a registry
+# the workspace has regressed (see tests/hermetic.rs). The bench smoke
+# run writes machine-readable BENCH_smoke.json at the repo root.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --workspace --release --offline
+
+echo "== tests (offline) =="
+cargo test -q --workspace --offline
+
+echo "== bench smoke run =="
+cargo bench --offline -p m4ps-bench --bench kernels -- --smoke --json "$PWD/BENCH_smoke.json"
+
+echo "== verify OK =="
+echo "bench report: $PWD/BENCH_smoke.json"

@@ -1,0 +1,178 @@
+//! Guard: the workspace must stay hermetic.
+//!
+//! The build environment has no registry access, so *every* dependency
+//! in *every* manifest must resolve inside the repository: either a
+//! `path = "..."` entry or a `workspace = true` inheritance of one.
+//! This test walks all workspace `Cargo.toml`s with a small line-level
+//! scanner (no TOML crate — that would itself be a registry dep) and
+//! fails the moment a version-only (registry) dependency reappears.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Section headers whose entries declare dependencies.
+fn is_dependency_section(header: &str) -> bool {
+    header == "workspace.dependencies"
+        || header
+            .rsplit_once('.')
+            .map_or(header, |(_, last)| last)
+            .ends_with("dependencies")
+}
+
+/// Collects `(manifest, section, name, value)` for every dependency
+/// entry that cannot be satisfied from inside the repo.
+fn scan_manifest(path: &Path, violations: &mut String) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let mut section = String::new();
+    let mut in_dep_table = false;
+    let mut lines = text.lines().peekable();
+    while let Some(raw) = lines.next() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') && line.ends_with(']') {
+            section = line.trim_matches(['[', ']']).trim().to_string();
+            // `[dependencies.foo]` long-form tables: treat the whole
+            // table as one entry and require a path key inside it.
+            in_dep_table = false;
+            if let Some((parent, name)) = section.rsplit_once('.') {
+                if is_dependency_section(parent) {
+                    in_dep_table = true;
+                    let mut body = String::new();
+                    while let Some(peek) = lines.peek() {
+                        if peek.trim_start().starts_with('[') {
+                            break;
+                        }
+                        body.push_str(lines.next().unwrap());
+                        body.push('\n');
+                    }
+                    if !body.contains("path") && !body.contains("workspace = true") {
+                        let _ = writeln!(
+                            violations,
+                            "{}: [{}] `{}` has no `path` or `workspace = true`",
+                            path.display(),
+                            parent,
+                            name
+                        );
+                    }
+                }
+            }
+            continue;
+        }
+        if in_dep_table || !is_dependency_section(&section) {
+            continue;
+        }
+        let Some((name, value)) = line.split_once('=') else {
+            continue;
+        };
+        let (name, value) = (name.trim(), value.trim());
+        let hermetic = value.contains("path")
+            || value.contains("workspace = true")
+            || name.ends_with(".workspace") && value == "true";
+        if !hermetic {
+            let _ = writeln!(
+                violations,
+                "{}: [{}] `{}` = `{}` is a registry dependency",
+                path.display(),
+                section,
+                name,
+                value
+            );
+        }
+    }
+}
+
+fn workspace_manifests() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut manifests = vec![root.join("Cargo.toml")];
+    for entry in std::fs::read_dir(root.join("crates")).expect("crates/ dir") {
+        let dir = entry.expect("crates/ entry").path();
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            manifests.push(manifest);
+        }
+    }
+    assert!(
+        manifests.len() >= 8,
+        "expected the root + >=7 crate manifests, found {}",
+        manifests.len()
+    );
+    manifests
+}
+
+#[test]
+fn no_registry_dependencies_anywhere() {
+    let mut violations = String::new();
+    for manifest in workspace_manifests() {
+        scan_manifest(&manifest, &mut violations);
+    }
+    assert!(
+        violations.is_empty(),
+        "non-path dependencies found (the build has no registry access):\n{violations}"
+    );
+}
+
+#[test]
+fn no_proptest_regression_files_linger() {
+    // Regressions are pinned as named unit tests now (see the
+    // `check_pinned` call sites); a reappearing .proptest-regressions
+    // file means someone reintroduced proptest.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut stack = vec![root.join("crates"), root.join("tests")];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("readable dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path
+                .extension()
+                .is_some_and(|e| e == "proptest-regressions")
+            {
+                panic!("stale proptest regression file: {}", path.display());
+            }
+        }
+    }
+}
+
+/// The scanner itself must reject the patterns it exists to catch.
+#[test]
+fn scanner_catches_registry_shapes() {
+    let dir = std::env::temp_dir().join("m4ps-hermetic-selftest");
+    std::fs::create_dir_all(&dir).unwrap();
+    let manifest = dir.join("Cargo.toml");
+    std::fs::write(
+        &manifest,
+        r#"
+[package]
+name = "x"
+
+[dependencies]
+good = { path = "../good" }
+inherited.workspace = true
+bad = "1.0"
+
+[dev-dependencies]
+worse = { version = "0.5", features = ["std"] }
+
+[dependencies.table-bad]
+version = "2"
+
+[dependencies.table-good]
+path = "../fine"
+"#,
+    )
+    .unwrap();
+    let mut violations = String::new();
+    scan_manifest(&manifest, &mut violations);
+    std::fs::remove_file(&manifest).ok();
+    assert!(violations.contains("`bad`"), "{violations}");
+    assert!(violations.contains("`worse`"), "{violations}");
+    assert!(violations.contains("`table-bad`"), "{violations}");
+    assert!(!violations.contains("good"), "{violations}");
+    assert!(!violations.contains("inherited"), "{violations}");
+}
