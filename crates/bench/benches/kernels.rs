@@ -7,7 +7,9 @@
 //! for a minimal CI budget, or a substring to filter benchmarks.
 
 use m4ps_bitstream::{BitReader, BitWriter};
-use m4ps_codec::{ArithDecoder, ArithEncoder, ContextModel};
+use m4ps_codec::{
+    ArithDecoder, ArithEncoder, ContextModel, EncoderConfig, FrameView, VideoObjectCoder,
+};
 use m4ps_dsp::{
     forward_dct, forward_dct_int, inverse_dct, inverse_dct_int, quantize_intra, sad_16x16,
     sad_16x16_with_cutoff, scan_zigzag, Block,
@@ -25,7 +27,9 @@ fn bench_dct(r: &mut BenchRunner) {
     r.bench("dct/inverse_8x8", || inverse_dct(black_box(&coefs)));
     r.bench("dct/forward_8x8_int", || forward_dct_int(black_box(&b)));
     r.bench("dct/inverse_8x8_int", || inverse_dct_int(black_box(&coefs)));
-    r.bench("dct/quantize_intra", || quantize_intra(black_box(&coefs), 8));
+    r.bench("dct/quantize_intra", || {
+        quantize_intra(black_box(&coefs), 8)
+    });
     let q = quantize_intra(&coefs, 8);
     r.bench("dct/zigzag_scan", || scan_zigzag(black_box(&q)));
 }
@@ -130,6 +134,61 @@ fn bench_memsim(r: &mut BenchRunner) {
     }
 }
 
+fn bench_parallel(r: &mut BenchRunner) {
+    use m4ps_memsim::NullModel;
+    use m4ps_vidgen::{Resolution, Scene, SceneSpec};
+
+    // One PAL P-frame, 4 slices, scheduled onto 1/2/4 workers. The
+    // output is bit-identical across the three entries (the pool is a
+    // pure scheduling knob); the entries exist to track the scaling and
+    // the pool's dispatch overhead.
+    let res = Resolution::PAL;
+    let scene = Scene::new(SceneSpec {
+        resolution: res,
+        objects: 0,
+        seed: 11,
+    });
+    let frames = [scene.frame(0), scene.frame(1)];
+    fn view(f: &m4ps_vidgen::YuvFrame) -> FrameView<'_> {
+        FrameView {
+            width: f.resolution.width,
+            height: f.resolution.height,
+            y: &f.y,
+            u: &f.u,
+            v: &f.v,
+        }
+    }
+    let config = EncoderConfig {
+        gop: m4ps_codec::GopStructure {
+            intra_period: 1 << 20, // first frame I, every benched frame P
+            b_frames: 0,
+        },
+        ..EncoderConfig::fast_test()
+    }
+    .with_slices(4);
+    let bytes = (res.width * res.height * 3 / 2) as u64;
+    for threads in [1usize, 2, 4] {
+        let mut space = AddressSpace::new();
+        let mut mem = NullModel::new();
+        let mut coder = VideoObjectCoder::new(&mut space, res.width, res.height, config).unwrap();
+        coder.set_threads(threads);
+        // Prime the anchor so every measured frame is a P-VOP.
+        coder
+            .encode_frame(&mut mem, &view(&frames[0]), None)
+            .unwrap();
+        r.bench_bytes(
+            &format!("parallel/encode_frame/threads={threads}"),
+            bytes,
+            || {
+                coder
+                    .encode_frame(&mut mem, &view(&frames[1]), None)
+                    .unwrap()
+                    .len()
+            },
+        );
+    }
+}
+
 fn main() {
     let mut r = BenchRunner::from_args("kernels");
     bench_dct(&mut r);
@@ -137,5 +196,6 @@ fn main() {
     bench_bitstream(&mut r);
     bench_arith(&mut r);
     bench_memsim(&mut r);
+    bench_parallel(&mut r);
     r.finish();
 }

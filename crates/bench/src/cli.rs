@@ -35,7 +35,9 @@ impl Options {
     /// # Errors
     ///
     /// Returns a message for unknown flags or malformed values.
-    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<(Options, Vec<String>), String> {
+    pub fn parse<I: IntoIterator<Item = String>>(
+        args: I,
+    ) -> Result<(Options, Vec<String>), String> {
         let mut opts = Options::default();
         let mut rest = Vec::new();
         let mut it = args.into_iter();

@@ -5,7 +5,9 @@ use m4ps_core::baseline::{run_resident, run_streaming, StreamingKernel};
 use m4ps_core::burst::burstiness;
 use m4ps_core::fallacy;
 use m4ps_core::report::{render_table, METRIC_ROWS};
-use m4ps_core::study::{decode_study, encode_study, prepare_streams, RunResult, StudyConfig, Workload};
+use m4ps_core::study::{
+    decode_study, encode_study, prepare_streams, RunResult, StudyConfig, Workload,
+};
 use m4ps_memsim::{MachineSpec, MemoryMetrics};
 use m4ps_vidgen::Resolution;
 
@@ -109,7 +111,8 @@ pub const ALL_EXPERIMENTS: &[Experiment] = &[
     },
     Experiment {
         name: "ablation-resync",
-        description: "Ablation: error-resilience resync markers on/off (bit cost vs memory behaviour)",
+        description:
+            "Ablation: error-resilience resync markers on/off (bit cost vs memory behaviour)",
         run: ablation_resync,
     },
     Experiment {
@@ -119,7 +122,8 @@ pub const ALL_EXPERIMENTS: &[Experiment] = &[
     },
     Experiment {
         name: "memwall",
-        description: "Future work (§4): processor-to-memory ratio at which MPEG-4 becomes memory limited",
+        description:
+            "Future work (§4): processor-to-memory ratio at which MPEG-4 becomes memory limited",
         run: memwall,
     },
     Experiment {
@@ -252,11 +256,21 @@ fn table1(_opts: &Options) -> String {
 }
 
 fn table2(opts: &Options) -> String {
-    encode_table("Table 2: Video Encoding, One Visual Object, One Layer", opts, 0, 1)
+    encode_table(
+        "Table 2: Video Encoding, One Visual Object, One Layer",
+        opts,
+        0,
+        1,
+    )
 }
 
 fn table3(opts: &Options) -> String {
-    decode_table("Table 3: Video Decoding, One Visual Object, One Layer", opts, 0, 1)
+    decode_table(
+        "Table 3: Video Decoding, One Visual Object, One Layer",
+        opts,
+        0,
+        1,
+    )
 }
 
 fn table4(opts: &Options) -> String {
@@ -310,7 +324,12 @@ fn table8(opts: &Options) -> String {
                 rep.function,
                 rep.window_ref_share * 100.0
             ));
-            for (row, label) in [(0usize, "L1C miss rate"), (3, "L2C miss rate"), (6, "L1-L2 b/w"), (7, "L2-DRAM b/w")] {
+            for (row, label) in [
+                (0usize, "L1C miss rate"),
+                (3, "L2C miss rate"),
+                (6, "L1-L2 b/w"),
+                (7, "L2-DRAM b/w"),
+            ] {
                 out.push_str(&format!(
                     "  {label:18} window {:>10}   [whole program {:>10}]\n",
                     m4ps_core::report::format_cell(&rep.window, row),
@@ -332,7 +351,12 @@ fn fig2(opts: &Options) -> String {
         "{:>12} {:>14} {:>14} {:>14} {:>14}\n",
         "size", "L1C miss rate", "L2C miss rate", "L2-DRAM MB/s", "DRAM time"
     ));
-    for res in [Resolution::CIF, Resolution::PAL, Resolution::XGA, Resolution::HUGE] {
+    for res in [
+        Resolution::CIF,
+        Resolution::PAL,
+        Resolution::XGA,
+        Resolution::HUGE,
+    ] {
         let w = workload(opts, res, 0, 1);
         let streams = prepare_streams(&w, &cfg).expect("stream prep");
         let run = decode_study(&machine, &w, &streams).expect("decode run");
@@ -411,7 +435,12 @@ fn fallacies(opts: &Options) -> String {
 
     // Image-size series (decode, 1 MB).
     let mut size_runs = Vec::new();
-    for res in [Resolution::CIF, Resolution::PAL, Resolution::XGA, Resolution::HUGE] {
+    for res in [
+        Resolution::CIF,
+        Resolution::PAL,
+        Resolution::XGA,
+        Resolution::HUGE,
+    ] {
         let w = workload(opts, res, 0, 1);
         let streams = prepare_streams(&w, &cfg).expect("stream prep");
         size_runs.push(decode_study(&machine, &w, &streams).expect("decode run"));
@@ -435,7 +464,11 @@ fn fallacies(opts: &Options) -> String {
     ] {
         out.push_str(&format!(
             "[{}] {}\n    evidence: {}\n",
-            if verdict.refuted { "REFUTED" } else { "NOT REFUTED" },
+            if verdict.refuted {
+                "REFUTED"
+            } else {
+                "NOT REFUTED"
+            },
             verdict.assumption,
             verdict.evidence
         ));
@@ -484,8 +517,7 @@ fn ablation_blocking(opts: &Options) -> String {
         let run = encode_study(&machine, &w, &cfg).expect("encode run");
         cols.push((label, run.metrics.clone(), run.session.totals.candidates));
     }
-    let table_cols: Vec<(&str, &MemoryMetrics)> =
-        cols.iter().map(|(l, m, _)| (*l, m)).collect();
+    let table_cols: Vec<(&str, &MemoryMetrics)> = cols.iter().map(|(l, m, _)| (*l, m)).collect();
     out.push_str(&render_table("search strategies", &table_cols));
     out.push('\n');
     for (l, _, cand) in &cols {
@@ -566,13 +598,20 @@ fn ablation_4mv(opts: &Options) -> String {
         let mut cfg = config(opts);
         cfg.encoder.four_mv = four_mv;
         let run = encode_study(&machine, &w, &cfg).expect("encode run");
-        cols.push((label, run.metrics.clone(), run.session.bytes, run.session.totals.candidates));
+        cols.push((
+            label,
+            run.metrics.clone(),
+            run.session.bytes,
+            run.session.totals.candidates,
+        ));
     }
     let table_cols: Vec<(&str, &MemoryMetrics)> = cols.iter().map(|(l, m, _, _)| (*l, m)).collect();
     out.push_str(&render_table("advanced prediction", &table_cols));
     out.push('\n');
     for (l, _, bytes, cand) in &cols {
-        out.push_str(&format!("{l}: {bytes} stream bytes, {cand} search candidates\n"));
+        out.push_str(&format!(
+            "{l}: {bytes} stream bytes, {cand} search candidates\n"
+        ));
     }
     out.push_str(
         "\nThe extra quadrant refinements add search work and references but the\n\
@@ -651,18 +690,26 @@ fn memwall(opts: &Options) -> String {
     out.push_str("## Future work: when does MPEG-4 become memory limited?\n\n");
     let w = workload(opts, Resolution::PAL, 0, 1);
     for (label, counters) in [
-        ("encode", encode_study(&machine, &w, &cfg).expect("encode run").metrics.counters),
         (
-            "decode",
-            {
-                let streams = prepare_streams(&w, &cfg).expect("stream prep");
-                decode_study(&machine, &w, &streams).expect("decode run").metrics.counters
-            },
+            "encode",
+            encode_study(&machine, &w, &cfg)
+                .expect("encode run")
+                .metrics
+                .counters,
         ),
+        ("decode", {
+            let streams = prepare_streams(&w, &cfg).expect("stream prep");
+            decode_study(&machine, &w, &streams)
+                .expect("decode run")
+                .metrics
+                .counters
+        }),
     ] {
         let ratios = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
         let pts = sweep(&counters, &machine, &ratios);
-        out.push_str(&format!("{label}: memory-stall share vs processor/memory ratio\n"));
+        out.push_str(&format!(
+            "{label}: memory-stall share vs processor/memory ratio\n"
+        ));
         for p in &pts {
             out.push_str(&format!(
                 "  x{:<6.0} DRAM {:5.1}%  L1-miss {:5.1}%  total {:5.1}%\n",
@@ -688,7 +735,9 @@ fn simd_projection(opts: &Options) -> String {
     let machine = MachineSpec::o2();
     let cfg = config(opts);
     let mut out = run_note(opts);
-    out.push_str("## Future work: fetch rate vs L1 bandwidth under SIMD/vector ISAs (encode, PAL)\n\n");
+    out.push_str(
+        "## Future work: fetch rate vs L1 bandwidth under SIMD/vector ISAs (encode, PAL)\n\n",
+    );
     let w = workload(opts, Resolution::PAL, 0, 1);
     let run = encode_study(&machine, &w, &cfg).expect("encode run");
     for p in project_all(&run.metrics.counters, &machine) {

@@ -45,7 +45,7 @@ impl<'a> BitReader<'a> {
 
     /// `true` when the cursor sits on a byte boundary.
     pub fn is_aligned(&self) -> bool {
-        self.pos % 8 == 0
+        self.pos.is_multiple_of(8)
     }
 
     /// Reads one bit.
@@ -141,7 +141,7 @@ impl<'a> BitReader<'a> {
 
     /// Advances to the next byte boundary (no-op when aligned).
     pub fn align(&mut self) {
-        self.pos = (self.pos + 7) / 8 * 8;
+        self.pos = self.pos.div_ceil(8) * 8;
     }
 
     /// Consumes MPEG-4 stuffing (`0` then `1`s) up to the byte boundary,
@@ -305,7 +305,9 @@ mod tests {
     fn expect_start_code_mismatch() {
         let bytes = [0x00, 0x00, 0x01, 0xb0];
         let mut r = BitReader::new(&bytes);
-        let err = r.expect_start_code(StartCode::VideoObjectPlane).unwrap_err();
+        let err = r
+            .expect_start_code(StartCode::VideoObjectPlane)
+            .unwrap_err();
         assert_eq!(
             err,
             BitstreamError::StartCodeMismatch {

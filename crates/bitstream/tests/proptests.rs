@@ -6,8 +6,8 @@
 
 use m4ps_bitstream::{BitReader, BitWriter};
 use m4ps_testkit::prop::{check, check_pinned, Config};
-use m4ps_testkit::rng::Rng;
 use m4ps_testkit::prop_assert_eq;
+use m4ps_testkit::rng::Rng;
 
 /// A single (value, width) field with the value constrained to the width.
 fn field(rng: &mut Rng) -> (u32, u32) {
@@ -150,7 +150,10 @@ fn skip_then_read_matches_direct_read() {
             }
             let bytes = w.into_bytes();
             let skip_count = (*skip_count).min(fields.len() - 1);
-            let skip_bits: u64 = fields[..skip_count].iter().map(|&(_, n)| u64::from(n)).sum();
+            let skip_bits: u64 = fields[..skip_count]
+                .iter()
+                .map(|&(_, n)| u64::from(n))
+                .sum();
 
             let mut direct = BitReader::new(&bytes);
             for &(_, n) in &fields[..skip_count] {

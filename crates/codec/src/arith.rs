@@ -66,8 +66,8 @@ impl ContextModel {
             self.zeros[ctx] += 1;
         }
         if self.zeros[ctx] + self.ones[ctx] > 4096 {
-            self.zeros[ctx] = (self.zeros[ctx] + 1) / 2;
-            self.ones[ctx] = (self.ones[ctx] + 1) / 2;
+            self.zeros[ctx] = self.zeros[ctx].div_ceil(2);
+            self.ones[ctx] = self.ones[ctx].div_ceil(2);
         }
     }
 }
@@ -359,6 +359,6 @@ mod tests {
             m.update(0, true);
         }
         let p = m.p0(0);
-        assert!(p >= 1 && p < 1 << 15);
+        assert!((1..1 << 15).contains(&p));
     }
 }

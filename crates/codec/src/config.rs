@@ -75,6 +75,14 @@ pub struct EncoderConfig {
     /// Error resilience: insert a resynchronization marker every this
     /// many macroblocks (prediction state resets at each marker).
     pub resync_mb_interval: Option<usize>,
+    /// Number of macroblock-row slices each VOP is partitioned into
+    /// (1 = unsliced). Slices are independently decodable segments —
+    /// prediction state resets at every slice boundary — and they are
+    /// the unit of work for the parallel encoder. The slice count is an
+    /// *encoding* parameter carried in the bitstream: it changes what
+    /// is coded, while the thread count only changes who codes it, so
+    /// output stays bit-exact for any thread count.
+    pub slices: usize,
 }
 
 impl Default for EncoderConfig {
@@ -90,6 +98,7 @@ impl Default for EncoderConfig {
             software_prefetch: true,
             four_mv: false,
             resync_mb_interval: None,
+            slices: 1,
         }
     }
 }
@@ -118,7 +127,15 @@ impl EncoderConfig {
             software_prefetch: false,
             four_mv: false,
             resync_mb_interval: None,
+            slices: 1,
         }
+    }
+
+    /// Returns `self` with the VOP slice count set (builder style).
+    #[must_use]
+    pub fn with_slices(mut self, slices: usize) -> Self {
+        self.slices = slices;
+        self
     }
 
     /// Validates ranges.
@@ -144,13 +161,16 @@ impl EncoderConfig {
                 "intra_period must exceed the B-run length",
             ));
         }
-        if !(self.frame_rate > 0.0) {
+        if self.frame_rate.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(CodecError::InvalidConfig("frame_rate must be positive"));
         }
         if self.resync_mb_interval == Some(0) {
             return Err(CodecError::InvalidConfig(
                 "resync_mb_interval must be at least 1",
             ));
+        }
+        if self.slices == 0 || self.slices > 64 {
+            return Err(CodecError::InvalidConfig("slices must be 1..=64"));
         }
         Ok(())
     }
@@ -173,8 +193,10 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = EncoderConfig::default();
-        c.initial_qp = 0;
+        let mut c = EncoderConfig {
+            initial_qp: 0,
+            ..EncoderConfig::default()
+        };
         assert!(c.validate().is_err());
         c = EncoderConfig::default();
         c.initial_qp = 32;
@@ -198,5 +220,12 @@ mod tests {
         c = EncoderConfig::default();
         c.resync_mb_interval = Some(0);
         assert!(c.validate().is_err());
+        c = EncoderConfig::default();
+        c.slices = 0;
+        assert!(c.validate().is_err());
+        c = EncoderConfig::default();
+        c.slices = 65;
+        assert!(c.validate().is_err());
+        assert!(EncoderConfig::default().with_slices(4).validate().is_ok());
     }
 }

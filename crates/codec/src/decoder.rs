@@ -2,13 +2,16 @@
 //! (`DecodeVopCombMotionShapeTexture` in MoMuSys terms — the function
 //! the paper instruments for its burstiness study).
 
-use crate::encoder::{fill_bbox_ring, fill_grey_mb, predict_mb_4mv, reconstruct_inter_mb, VopStats};
+use crate::encoder::{
+    fill_bbox_ring, fill_grey_mb, predict_mb_4mv, reconstruct_inter_mb, VopStats,
+};
 use crate::error::CodecError;
 use crate::header::{VolHeader, VopHeader};
 use crate::mbops::{chroma_mv, write_block, IntraPredState, MvPredictor, StreamCharge};
 use crate::mc::{average_predictions, motion_compensate_block};
 use crate::plane::{TracedFrame, TracedPlane};
 use crate::shape::{classify_bab, decode_alpha_plane, BabClass};
+use crate::slices::partition_rows;
 use crate::texture::TextureCoder;
 use crate::types::{MacroblockKind, MotionVector, VopKind};
 use crate::vlc::{get_se, get_ue};
@@ -97,7 +100,7 @@ impl VideoObjectDecoder {
     /// Returns [`CodecError::InvalidStream`] for non-MB-aligned
     /// dimensions.
     pub fn with_vol(space: &mut AddressSpace, vol: VolHeader) -> Result<Self, CodecError> {
-        if vol.width % 16 != 0 || vol.height % 16 != 0 {
+        if !vol.width.is_multiple_of(16) || !vol.height.is_multiple_of(16) {
             return Err(CodecError::InvalidStream(
                 "VOL dimensions must be multiples of 16",
             ));
@@ -226,9 +229,7 @@ impl VideoObjectDecoder {
         let header = match r.next_start_code() {
             Err(BitstreamError::StartCodeNotFound) => return Ok(None),
             Err(e) => return Err(e.into()),
-            Ok(code) if code == StartCode::VideoObjectPlane.value() => {
-                VopHeader::parse_fields(r)?
-            }
+            Ok(code) if code == StartCode::VideoObjectPlane.value() => VopHeader::parse_fields(r)?,
             Ok(code) if code == StartCode::VideoObjectLayer.value() => {
                 // Tolerate a repeated VOL header mid-stream.
                 let _ = VolHeader::parse_fields(r)?;
@@ -285,14 +286,33 @@ impl VideoObjectDecoder {
             let fwd = &self.anchors[1 - self.latest];
             let bwd = &self.anchors[self.latest];
             decode_vop_body(
-                mem, r, &header, self.alpha.as_ref(), Some(fwd), Some(bwd),
-                &mut self.b_recon, &mut self.texture, &mut charge, bit_start,
-                self.mb_cols, self.mb_rows,
+                mem,
+                r,
+                &header,
+                self.alpha.as_ref(),
+                Some(fwd),
+                Some(bwd),
+                &mut self.b_recon,
+                &mut self.texture,
+                &mut charge,
+                bit_start,
+                self.mb_cols,
+                self.mb_rows,
             )?
         } else if ext_is_ref {
             decode_vop_body(
-                mem, r, &header, self.alpha.as_ref(), ext, None, &mut self.b_recon,
-                &mut self.texture, &mut charge, bit_start, self.mb_cols, self.mb_rows,
+                mem,
+                r,
+                &header,
+                self.alpha.as_ref(),
+                ext,
+                None,
+                &mut self.b_recon,
+                &mut self.texture,
+                &mut charge,
+                bit_start,
+                self.mb_cols,
+                self.mb_rows,
             )?
         } else {
             // Anchor decode: target is the non-latest slot; a P-VOP
@@ -305,8 +325,18 @@ impl VideoObjectDecoder {
                 (&mut right[0], is_p.then_some(&left[0] as &TracedFrame))
             };
             decode_vop_body(
-                mem, r, &header, self.alpha.as_ref(), fwd, None, recon,
-                &mut self.texture, &mut charge, bit_start, self.mb_cols, self.mb_rows,
+                mem,
+                r,
+                &header,
+                self.alpha.as_ref(),
+                fwd,
+                None,
+                recon,
+                &mut self.texture,
+                &mut charge,
+                bit_start,
+                self.mb_cols,
+                self.mb_rows,
             )?
         };
 
@@ -383,124 +413,190 @@ fn decode_vop_body<M: MemModel>(
         None => (0..mb_cols, 0..mb_rows),
     };
 
+    let slice_rows = partition_rows(mby_range.clone(), header.slices);
+    let multi = slice_rows.len() > 1;
+    if multi {
+        // The sliced layout byte-aligns the header segment; consume the
+        // stuffing so slice 0 starts on its byte boundary.
+        r.skip_stuffing();
+    }
+
     let mut fwd_pred = MvPredictor::new(mb_cols);
     let mut bwd_pred = MvPredictor::new(mb_cols);
     let total_mbs = mbx_range.len() * mby_range.len();
-    let mut mb_counter = 0usize;
     // `Some(target)` while concealing up to (but excluding) macroblock
     // `target`; `usize::MAX` conceals to the end of the VOP.
     let mut conceal_until: Option<usize> = None;
 
-    for mby in mby_range.clone() {
-        fwd_pred.start_row();
-        bwd_pred.start_row();
-        let mut ips = IntraPredState::reset();
-        for mbx in mbx_range.clone() {
-            // Resynchronization-marker boundary handling.
-            if let Some(interval) = header.resync_interval {
-                if mb_counter > 0 && mb_counter % interval == 0 {
-                    match conceal_until {
-                        None => {
-                            // Clean path: consume the expected marker.
-                            let ok = (|| -> Result<bool, CodecError> {
-                                r.skip_stuffing();
-                                let m = r.get_bits(16)?;
-                                let idx = get_ue(r)? as usize;
-                                let _qp = r.get_bits(5)?;
-                                Ok(m == u32::from(crate::encoder::RESYNC_MARKER)
-                                    && idx == mb_counter)
-                            })()
-                            .unwrap_or(false);
-                            if ok {
+    for (si, srows) in slice_rows.into_iter().enumerate() {
+        let slice_first_mb = (srows.start - mby_range.start) * mbx_range.len();
+        let mut mb_counter = slice_first_mb;
+        if si > 0 {
+            match conceal_until {
+                None => {
+                    // Slice header: stuffing, the resync word, the
+                    // slice's first macroblock index, the quantizer.
+                    let ok = (|| -> Result<bool, CodecError> {
+                        r.skip_stuffing();
+                        let m = r.get_bits(16)?;
+                        let idx = get_ue(r)? as usize;
+                        let _qp = r.get_bits(5)?;
+                        Ok(m == u32::from(crate::encoder::RESYNC_MARKER) && idx == slice_first_mb)
+                    })()
+                    .unwrap_or(false);
+                    if !ok {
+                        let Some(interval) = header.resync_interval else {
+                            return Err(CodecError::InvalidStream("slice header mismatch"));
+                        };
+                        conceal_until =
+                            Some(scan_to_marker(r, slice_first_mb, total_mbs, interval));
+                    }
+                }
+                Some(target) if slice_first_mb >= target => {
+                    // The recovery scan already consumed this slice's
+                    // header; resume decoding here.
+                    conceal_until = None;
+                }
+                Some(_) => {}
+            }
+        }
+        // Slice boundaries carry resync-marker semantics: no prediction
+        // crosses them (the encoder starts each slice from reset state).
+        fwd_pred.reset();
+        bwd_pred.reset();
+
+        for mby in srows {
+            fwd_pred.start_row();
+            bwd_pred.start_row();
+            let mut ips = IntraPredState::reset();
+            for mbx in mbx_range.clone() {
+                // Resynchronization-marker boundary handling.
+                if let Some(interval) = header.resync_interval {
+                    if mb_counter > slice_first_mb && mb_counter % interval == 0 {
+                        match conceal_until {
+                            None => {
+                                // Clean path: consume the expected marker.
+                                let ok = (|| -> Result<bool, CodecError> {
+                                    r.skip_stuffing();
+                                    let m = r.get_bits(16)?;
+                                    let idx = get_ue(r)? as usize;
+                                    let _qp = r.get_bits(5)?;
+                                    Ok(m == u32::from(crate::encoder::RESYNC_MARKER)
+                                        && idx == mb_counter)
+                                })()
+                                .unwrap_or(false);
+                                if ok {
+                                    fwd_pred.reset();
+                                    bwd_pred.reset();
+                                    ips = IntraPredState::reset();
+                                } else {
+                                    conceal_until =
+                                        Some(scan_to_marker(r, mb_counter, total_mbs, interval));
+                                }
+                            }
+                            Some(target) if mb_counter >= target => {
+                                // Resumption point: the scan already consumed
+                                // the marker header.
+                                conceal_until = None;
                                 fwd_pred.reset();
                                 bwd_pred.reset();
                                 ips = IntraPredState::reset();
-                            } else {
-                                conceal_until =
-                                    Some(scan_to_marker(r, mb_counter, total_mbs, interval));
                             }
+                            Some(_) => {}
                         }
-                        Some(target) if mb_counter >= target => {
-                            // Resumption point: the scan already consumed
-                            // the marker header.
-                            conceal_until = None;
-                            fwd_pred.reset();
-                            bwd_pred.reset();
-                            ips = IntraPredState::reset();
-                        }
-                        Some(_) => {}
                     }
                 }
-            }
-            let counter = mb_counter;
-            mb_counter += 1;
+                let counter = mb_counter;
+                mb_counter += 1;
 
-            let transparent = alpha
-                .map(|a| classify_bab(mem, a, mbx, mby) == BabClass::Transparent)
-                .unwrap_or(false);
-            if transparent {
-                stats.transparent_mbs += 1;
-                fill_grey_mb(mem, recon, mbx, mby);
-                fwd_pred.commit(mbx, MotionVector::ZERO);
-                bwd_pred.commit(mbx, MotionVector::ZERO);
-                ips = IntraPredState::reset();
-                continue;
-            }
-            texture.charge_mb_overhead(mem);
-
-            if conceal_until.is_some() {
-                conceal_mb(mem, fwd, recon, texture, mbx, mby);
-                stats.concealed_mbs += 1;
-                fwd_pred.commit(mbx, MotionVector::ZERO);
-                bwd_pred.commit(mbx, MotionVector::ZERO);
-                ips = IntraPredState::reset();
-                continue;
-            }
-
-            let result = (|| -> Result<(), CodecError> {
-                match header.kind {
-                    VopKind::I => {
-                        decode_intra_mb(mem, r, recon, texture, qp, mbx, mby, &mut ips)?;
-                        stats.intra_mbs += 1;
-                        fwd_pred.commit(mbx, MotionVector::ZERO);
-                    }
-                    VopKind::P => {
-                        let reference =
-                            fwd.ok_or(CodecError::InvalidStream("P-VOP without reference"))?;
-                        decode_p_mb(
-                            mem, r, reference, recon, texture, qp, mbx, mby, &mut ips,
-                            &mut fwd_pred, &mut stats,
-                        )?;
-                    }
-                    VopKind::B => {
-                        let f = fwd.ok_or(CodecError::InvalidStream("B-VOP without fwd ref"))?;
-                        let b = bwd.ok_or(CodecError::InvalidStream("B-VOP without bwd ref"))?;
-                        decode_b_mb(
-                            mem, r, f, b, recon, texture, qp, mbx, mby, &mut fwd_pred,
-                            &mut bwd_pred, &mut stats,
-                        )?;
-                        ips = IntraPredState::reset();
-                    }
+                let transparent = alpha
+                    .map(|a| classify_bab(mem, a, mbx, mby) == BabClass::Transparent)
+                    .unwrap_or(false);
+                if transparent {
+                    stats.transparent_mbs += 1;
+                    fill_grey_mb(mem, recon, mbx, mby);
+                    fwd_pred.commit(mbx, MotionVector::ZERO);
+                    bwd_pred.commit(mbx, MotionVector::ZERO);
+                    ips = IntraPredState::reset();
+                    continue;
                 }
-                Ok(())
-            })();
-            match result {
-                Ok(()) => {}
-                Err(e) => {
-                    let Some(interval) = header.resync_interval else {
-                        return Err(e);
-                    };
-                    // Error resilience: conceal this macroblock and
-                    // everything up to the next valid marker.
-                    conceal_until = Some(scan_to_marker(r, counter, total_mbs, interval));
+                texture.charge_mb_overhead(mem);
+
+                if conceal_until.is_some() {
                     conceal_mb(mem, fwd, recon, texture, mbx, mby);
                     stats.concealed_mbs += 1;
                     fwd_pred.commit(mbx, MotionVector::ZERO);
                     bwd_pred.commit(mbx, MotionVector::ZERO);
                     ips = IntraPredState::reset();
+                    continue;
                 }
+
+                let result = (|| -> Result<(), CodecError> {
+                    match header.kind {
+                        VopKind::I => {
+                            decode_intra_mb(mem, r, recon, texture, qp, mbx, mby, &mut ips)?;
+                            stats.intra_mbs += 1;
+                            fwd_pred.commit(mbx, MotionVector::ZERO);
+                        }
+                        VopKind::P => {
+                            let reference =
+                                fwd.ok_or(CodecError::InvalidStream("P-VOP without reference"))?;
+                            decode_p_mb(
+                                mem,
+                                r,
+                                reference,
+                                recon,
+                                texture,
+                                qp,
+                                mbx,
+                                mby,
+                                &mut ips,
+                                &mut fwd_pred,
+                                &mut stats,
+                            )?;
+                        }
+                        VopKind::B => {
+                            let f =
+                                fwd.ok_or(CodecError::InvalidStream("B-VOP without fwd ref"))?;
+                            let b =
+                                bwd.ok_or(CodecError::InvalidStream("B-VOP without bwd ref"))?;
+                            decode_b_mb(
+                                mem,
+                                r,
+                                f,
+                                b,
+                                recon,
+                                texture,
+                                qp,
+                                mbx,
+                                mby,
+                                &mut fwd_pred,
+                                &mut bwd_pred,
+                                &mut stats,
+                            )?;
+                            ips = IntraPredState::reset();
+                        }
+                    }
+                    Ok(())
+                })();
+                match result {
+                    Ok(()) => {}
+                    Err(e) => {
+                        let Some(interval) = header.resync_interval else {
+                            return Err(e);
+                        };
+                        // Error resilience: conceal this macroblock and
+                        // everything up to the next valid marker.
+                        conceal_until = Some(scan_to_marker(r, counter, total_mbs, interval));
+                        conceal_mb(mem, fwd, recon, texture, mbx, mby);
+                        stats.concealed_mbs += 1;
+                        fwd_pred.commit(mbx, MotionVector::ZERO);
+                        bwd_pred.commit(mbx, MotionVector::ZERO);
+                        ips = IntraPredState::reset();
+                    }
+                }
+                charge.charge_to(mem, r.bit_pos().max(bit_start) - bit_start);
             }
-            charge.charge_to(mem, r.bit_pos().max(bit_start) - bit_start);
         }
     }
 
@@ -515,12 +611,7 @@ fn decode_vop_body<M: MemModel>(
 /// returns the macroblock index at which decoding may resume (leaving
 /// the reader positioned after the marker header), or `usize::MAX` when
 /// no further marker exists.
-fn scan_to_marker(
-    r: &mut BitReader<'_>,
-    after: usize,
-    total_mbs: usize,
-    interval: usize,
-) -> usize {
+fn scan_to_marker(r: &mut BitReader<'_>, after: usize, total_mbs: usize, interval: usize) -> usize {
     loop {
         if !r.scan_aligned_u16(crate::encoder::RESYNC_MARKER) {
             return usize::MAX;
@@ -701,7 +792,8 @@ fn decode_p_mb<M: MemModel>(
 ) -> Result<(), CodecError> {
     let skipped = r.get_bit().map_err(CodecError::from)?;
     if skipped {
-        let (pred_y, pred_u, pred_v) = predict_mb(mem, reference, texture, MotionVector::ZERO, mbx, mby);
+        let (pred_y, pred_u, pred_v) =
+            predict_mb(mem, reference, texture, MotionVector::ZERO, mbx, mby);
         // Zero residue: reconstruction is the prediction itself.
         store_prediction(mem, recon, texture, &pred_y, &pred_u, &pred_v, mbx, mby);
         stats.skipped_mbs += 1;
@@ -753,6 +845,7 @@ fn decode_p_mb<M: MemModel>(
 }
 
 /// Stores a pure prediction (no residue) into the reconstruction.
+#[allow(clippy::too_many_arguments)]
 fn store_prediction<M: MemModel>(
     mem: &mut M,
     recon: &mut TracedFrame,

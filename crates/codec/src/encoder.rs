@@ -14,11 +14,14 @@ use crate::me::MotionSearch;
 use crate::plane::{TracedFrame, TracedPlane};
 use crate::rate::RateController;
 use crate::shape::{classify_bab, encode_alpha_plane, BabClass};
+use crate::slices::partition_rows;
 use crate::texture::TextureCoder;
 use crate::types::{MacroblockKind, MotionVector, VopKind};
 use crate::vlc::{put_se, put_ue};
 use m4ps_bitstream::BitWriter;
-use m4ps_memsim::{AddressSpace, MemModel};
+use m4ps_memsim::{AddressSpace, MemModel, ParallelModel};
+use m4ps_pool::ThreadPool;
+use std::ops::Range;
 
 /// A borrowed view of one 4:2:0 input frame.
 #[derive(Debug, Clone, Copy)]
@@ -72,6 +75,21 @@ pub struct VopStats {
     pub candidates: u64,
     /// Macroblocks concealed after a bitstream error (decoder only).
     pub concealed_mbs: u64,
+}
+
+impl VopStats {
+    /// Adds `other`'s tallies into `self` (slice-stitch accumulation).
+    /// Plain element-wise addition, so the merged total is independent
+    /// of the order slices finished in.
+    pub fn merge(&mut self, other: &VopStats) {
+        self.bits += other.bits;
+        self.intra_mbs += other.intra_mbs;
+        self.inter_mbs += other.inter_mbs;
+        self.skipped_mbs += other.skipped_mbs;
+        self.transparent_mbs += other.transparent_mbs;
+        self.candidates += other.candidates;
+        self.concealed_mbs += other.concealed_mbs;
+    }
 }
 
 /// Raw copies of a reconstructed VOP (testing aid).
@@ -145,6 +163,7 @@ pub struct VideoObjectCoder {
     stream_base: u64,
     stream_bits: u64,
     keep_recon: bool,
+    pool: ThreadPool,
     /// Accumulated counter deltas over the `encode_vop` windows — the
     /// paper's `VopCode()` instrumentation (Table 8).
     vop_window: m4ps_memsim::Counters,
@@ -197,7 +216,8 @@ impl VideoObjectCoder {
             ));
         }
         let alpha_for = |space: &mut AddressSpace| {
-            vol.binary_shape.then(|| TracedPlane::new(space, width, height))
+            vol.binary_shape
+                .then(|| TracedPlane::new(space, width, height))
         };
         space.set_tag("enc.b_queue");
         let b_slots = (0..config.gop.b_frames)
@@ -248,9 +268,27 @@ impl VideoObjectCoder {
             },
             stream_bits: 0,
             keep_recon: false,
+            pool: ThreadPool::from_env(),
             vop_window: m4ps_memsim::Counters::new(),
             config,
         })
+    }
+
+    /// Sets the number of worker threads used to encode a VOP's slices.
+    ///
+    /// Purely a scheduling knob: any thread count produces bit-identical
+    /// output (the slice partition is fixed by
+    /// [`EncoderConfig::slices`](crate::EncoderConfig), which is what
+    /// changes the bitstream). Defaults to the `M4PS_THREADS`
+    /// environment override, falling back to the machine's available
+    /// parallelism.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.pool = ThreadPool::new(threads);
+    }
+
+    /// The worker thread count slices are scheduled onto.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
     }
 
     /// The VOL header describing this layer.
@@ -294,9 +332,9 @@ impl VideoObjectCoder {
 
     /// Coding type of display index `idx` under the configured GOP.
     fn kind_for(&self, idx: usize) -> VopKind {
-        if idx % self.config.gop.intra_period == 0 {
+        if idx.is_multiple_of(self.config.gop.intra_period) {
             VopKind::I
-        } else if idx % (self.config.gop.b_frames + 1) == 0 {
+        } else if idx.is_multiple_of(self.config.gop.b_frames + 1) {
             VopKind::P
         } else {
             VopKind::B
@@ -311,7 +349,7 @@ impl VideoObjectCoder {
     /// Returns [`CodecError::DimensionMismatch`] for wrong plane sizes
     /// and [`CodecError::InvalidConfig`] when a shape layer is not given
     /// an alpha mask (or vice versa).
-    pub fn encode_frame<M: MemModel>(
+    pub fn encode_frame<M: ParallelModel>(
         &mut self,
         mem: &mut M,
         frame: &FrameView<'_>,
@@ -341,8 +379,13 @@ impl VideoObjectCoder {
                 slot.frame
                     .copy_region_from_yuv(mem, frame.y, frame.u, frame.v, bbox);
             } else {
-                slot.frame
-                    .copy_from_yuv(mem, frame.y, frame.u, frame.v, self.config.software_prefetch);
+                slot.frame.copy_from_yuv(
+                    mem,
+                    frame.y,
+                    frame.u,
+                    frame.v,
+                    self.config.software_prefetch,
+                );
             }
             if let (Some(plane), Some(mask)) = (slot.alpha.as_mut(), alpha) {
                 let bbox = mask_bbox(mask, plane.width(), plane.height());
@@ -369,8 +412,13 @@ impl VideoObjectCoder {
             self.cur
                 .copy_region_from_yuv(mem, frame.y, frame.u, frame.v, bbox);
         } else {
-            self.cur
-                .copy_from_yuv(mem, frame.y, frame.u, frame.v, self.config.software_prefetch);
+            self.cur.copy_from_yuv(
+                mem,
+                frame.y,
+                frame.u,
+                frame.v,
+                self.config.software_prefetch,
+            );
         }
         if let (Some(plane), Some(mask)) = (self.cur_alpha.as_mut(), alpha) {
             let bbox = mask_bbox(mask, plane.width(), plane.height());
@@ -388,7 +436,7 @@ impl VideoObjectCoder {
     }
 
     /// Encodes the frame currently in `self.cur` as an anchor.
-    fn encode_anchor_from_cur<M: MemModel>(
+    fn encode_anchor_from_cur<M: ParallelModel>(
         &mut self,
         mem: &mut M,
         kind: VopKind,
@@ -407,6 +455,7 @@ impl VideoObjectCoder {
             qp,
             bbox: None, // filled inside encode_vop for shape layers
             resync_interval: self.config.resync_mb_interval,
+            slices: self.config.slices,
         };
         let window_start = *mem.counters();
         let (left, right) = self.anchors.split_at_mut(1);
@@ -435,6 +484,7 @@ impl VideoObjectCoder {
             self.mb_cols,
             self.mb_rows,
             self.config.four_mv,
+            &self.pool,
         );
         if !self.vol.binary_shape {
             // Rectangular VOPs pad the whole reference frame; shaped
@@ -465,7 +515,7 @@ impl VideoObjectCoder {
     }
 
     /// Encodes every queued B-frame against the two live anchors.
-    fn drain_b_queue<M: MemModel>(&mut self, mem: &mut M) -> Vec<EncodedVop> {
+    fn drain_b_queue<M: ParallelModel>(&mut self, mem: &mut M) -> Vec<EncodedVop> {
         let mut out = Vec::new();
         for q in 0..self.queue_len {
             let qp = self.rate.qp_for(VopKind::B);
@@ -476,6 +526,7 @@ impl VideoObjectCoder {
                 qp,
                 bbox: None,
                 resync_interval: self.config.resync_mb_interval,
+                slices: self.config.slices,
             };
             let window_start = *mem.counters();
             // Forward ref is the *older* anchor, backward the newer.
@@ -500,6 +551,7 @@ impl VideoObjectCoder {
                 self.mb_cols,
                 self.mb_rows,
                 self.config.four_mv,
+                &self.pool,
             );
             self.vop_window = self
                 .vop_window
@@ -531,7 +583,7 @@ impl VideoObjectCoder {
     ///
     /// Currently infallible; the `Result` reserves room for bitstream
     /// finalization errors.
-    pub fn flush<M: MemModel>(&mut self, mem: &mut M) -> Result<Vec<EncodedVop>, CodecError> {
+    pub fn flush<M: ParallelModel>(&mut self, mem: &mut M) -> Result<Vec<EncodedVop>, CodecError> {
         let mut out = Vec::new();
         for q in 0..self.queue_len {
             // Move the queued frame into `cur` by swapping buffers.
@@ -554,7 +606,7 @@ impl VideoObjectCoder {
     /// # Errors
     ///
     /// Same conditions as [`VideoObjectCoder::encode_frame`].
-    pub fn encode_p_with_ref<M: MemModel>(
+    pub fn encode_p_with_ref<M: ParallelModel>(
         &mut self,
         mem: &mut M,
         frame: &FrameView<'_>,
@@ -575,8 +627,13 @@ impl VideoObjectCoder {
             self.cur
                 .copy_region_from_yuv(mem, frame.y, frame.u, frame.v, bbox);
         } else {
-            self.cur
-                .copy_from_yuv(mem, frame.y, frame.u, frame.v, self.config.software_prefetch);
+            self.cur.copy_from_yuv(
+                mem,
+                frame.y,
+                frame.u,
+                frame.v,
+                self.config.software_prefetch,
+            );
         }
         if let (Some(plane), Some(mask)) = (self.cur_alpha.as_mut(), alpha) {
             let bbox = mask_bbox(mask, plane.width(), plane.height());
@@ -594,6 +651,7 @@ impl VideoObjectCoder {
             qp,
             bbox: None,
             resync_interval: self.config.resync_mb_interval,
+            slices: self.config.slices,
         };
         let window_start = *mem.counters();
         let (bytes, stats) = encode_vop(
@@ -610,6 +668,7 @@ impl VideoObjectCoder {
             self.mb_cols,
             self.mb_rows,
             self.config.four_mv,
+            &self.pool,
         );
         self.vop_window = self
             .vop_window
@@ -660,15 +719,20 @@ pub(crate) fn mask_bbox(mask: &[u8], width: usize, height: usize) -> Bbox {
     }
     let ax0 = x0 / 16 * 16;
     let ay0 = y0 / 16 * 16;
-    let ax1 = (x1 + 15) / 16 * 16;
-    let ay1 = (y1 + 15) / 16 * 16;
+    let ax1 = x1.div_ceil(16) * 16;
+    let ay1 = y1.div_ceil(16) * 16;
     (ax0, ay0, ax1.min(width) - ax0, ay1.min(height) - ay0)
 }
 
 /// Fills one macroblock of `recon` with mid-grey (deterministic extended
 /// padding — keeps encoder and decoder references bit-identical around
 /// and inside transparent regions).
-pub(crate) fn fill_grey_mb<M: MemModel>(mem: &mut M, recon: &mut TracedFrame, mbx: usize, mby: usize) {
+pub(crate) fn fill_grey_mb<M: MemModel>(
+    mem: &mut M,
+    recon: &mut TracedFrame,
+    mbx: usize,
+    mby: usize,
+) {
     let grey16 = [128u8; 16];
     for r in 0..16 {
         recon
@@ -703,10 +767,8 @@ pub(crate) fn fill_bbox_ring<M: MemModel>(
     let mby1 = ((by0 + bh) / 16 + RING_MBS).min(mb_rows);
     for mby in mby0..mby1 {
         for mbx in mbx0..mbx1 {
-            let inside = mbx * 16 >= bx0
-                && mbx * 16 < bx0 + bw
-                && mby * 16 >= by0
-                && mby * 16 < by0 + bh;
+            let inside =
+                mbx * 16 >= bx0 && mbx * 16 < bx0 + bw && mby * 16 >= by0 && mby * 16 < by0 + bh;
             if !inside {
                 fill_grey_mb(mem, recon, mbx, mby);
             }
@@ -714,9 +776,25 @@ pub(crate) fn fill_bbox_ring<M: MemModel>(
     }
 }
 
+/// Simulated-address stride between the per-slice bitstream staging
+/// buffers. Each slice charges its bitstream traffic to its own 64 KiB
+/// window past the parent's write position, so the charge addresses are
+/// a function of the slice index alone — never of which thread ran the
+/// slice — keeping merged counters scheduling-independent.
+pub(crate) const SLICE_CHARGE_SPAN: u64 = 64 * 1024;
+
 /// Encodes one VOP. Returns the byte payload and statistics.
+///
+/// When `header.slices > 1` the macroblock rows are partitioned with
+/// [`partition_rows`] and the slices run as independent jobs on `pool`.
+/// Each job encodes into its own [`BitWriter`] against a forked memory
+/// model ([`ParallelModel::fork`]) and a cloned reconstruction buffer;
+/// the parent then stitches segments in slice order and absorbs the
+/// forked counters. Because the partition, per-slice prediction resets
+/// and charge addresses depend only on the *slice count* (a bitstream
+/// parameter), the output is bit-exact for any thread count.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn encode_vop<M: MemModel>(
+pub(crate) fn encode_vop<M: ParallelModel>(
     mem: &mut M,
     mut header: VopHeader,
     cur: &TracedFrame,
@@ -730,42 +808,181 @@ pub(crate) fn encode_vop<M: MemModel>(
     mb_cols: usize,
     mb_rows: usize,
     four_mv: bool,
+    pool: &ThreadPool,
 ) -> (Vec<u8>, VopStats) {
     let mut stats = VopStats::default();
     let mut w = BitWriter::new();
     let mut charge = StreamCharge::writer(stream_base);
-    let qp = header.qp;
 
     let bbox = alpha.map(|(_, b)| b);
     header.bbox = bbox;
-    header.write(&mut w);
-    if let Some((a, b)) = alpha {
-        encode_alpha_plane(mem, a, b, &mut w);
-    }
-    charge.charge_to(mem, w.bit_len());
 
     let (mbx_range, mby_range) = match bbox {
         Some((x0, y0, bw, bh)) => (x0 / 16..(x0 + bw) / 16, y0 / 16..(y0 + bh) / 16),
         None => (0..mb_cols, 0..mb_rows),
     };
+    let slice_rows = partition_rows(mby_range.clone(), header.slices);
+    header.slices = slice_rows.len();
 
+    header.write(&mut w);
+    if let Some((a, b)) = alpha {
+        encode_alpha_plane(mem, a, b, &mut w);
+    }
+
+    if header.slices == 1 {
+        // Unsliced: code straight into the header's writer (the legacy
+        // single-threaded layout — no alignment between header and MBs).
+        charge.charge_to(mem, w.bit_len());
+        encode_slice(
+            mem,
+            &header,
+            cur,
+            alpha,
+            fwd,
+            bwd,
+            recon,
+            texture,
+            search,
+            mbx_range,
+            mby_range,
+            0,
+            mb_cols,
+            four_mv,
+            &mut w,
+            &mut charge,
+            &mut stats,
+        );
+        if let Some(bbox) = bbox {
+            fill_bbox_ring(mem, recon, bbox, mb_cols, mb_rows);
+        }
+        w.stuff_to_alignment();
+        charge.charge_to(mem, w.bit_len());
+        stats.bits = w.bit_len();
+        return (w.into_bytes(), stats);
+    }
+
+    // Sliced: the header segment ends byte-aligned so every slice
+    // segment starts and ends on a byte boundary and concatenates
+    // without bit-shifting.
+    w.stuff_to_alignment();
+    charge.charge_to(mem, w.bit_len());
+    let header_bits = w.bit_len();
+
+    let hdr = header;
+    let mbx = mbx_range.clone();
+    let jobs: Vec<_> = slice_rows
+        .into_iter()
+        .enumerate()
+        .map(|(s, rows)| {
+            // Fork the per-slice state *sequentially* so every slice
+            // starts from an identical snapshot no matter how many
+            // worker threads later run the jobs.
+            let mut smem = mem.fork();
+            let mut stexture = texture.clone();
+            let mut srecon = recon.clone();
+            let first_mb = (rows.start - mby_range.start) * mbx.len();
+            let mbx_range = mbx.clone();
+            let charge_base = stream_base + (s as u64 + 1) * SLICE_CHARGE_SPAN;
+            move || {
+                let mut sw = BitWriter::new();
+                let mut scharge = StreamCharge::writer(charge_base);
+                let mut sstats = VopStats::default();
+                if s > 0 {
+                    // Slice header: the resync word, the index of the
+                    // slice's first macroblock, and the quantizer.
+                    sw.put_bits(u32::from(RESYNC_MARKER), 16);
+                    put_ue(&mut sw, first_mb as u32);
+                    sw.put_bits(u32::from(hdr.qp), 5);
+                }
+                encode_slice(
+                    &mut smem,
+                    &hdr,
+                    cur,
+                    alpha,
+                    fwd,
+                    bwd,
+                    &mut srecon,
+                    &mut stexture,
+                    search,
+                    mbx_range,
+                    rows.clone(),
+                    first_mb,
+                    mb_cols,
+                    four_mv,
+                    &mut sw,
+                    &mut scharge,
+                    &mut sstats,
+                );
+                sw.stuff_to_alignment();
+                scharge.charge_to(&mut smem, sw.bit_len());
+                sstats.bits = sw.bit_len();
+                (sw.into_bytes(), sstats, smem, srecon, rows)
+            }
+        })
+        .collect();
+
+    let results = pool.run(jobs);
+
+    let mut bytes = w.into_bytes();
+    for (sbytes, sstats, smem, srecon, rows) in results {
+        mem.absorb(smem);
+        stats.merge(&sstats);
+        bytes.extend_from_slice(&sbytes);
+        recon.copy_mb_rows_untraced_from(&srecon, rows);
+    }
+    stats.bits += header_bits;
+    if let Some(bbox) = bbox {
+        fill_bbox_ring(mem, recon, bbox, mb_cols, mb_rows);
+    }
+    (bytes, stats)
+}
+
+/// Encodes one slice — the macroblock rows `rows` of the VOP — into `w`.
+///
+/// `first_mb` is the VOP-wide index of the slice's first macroblock;
+/// the in-slice counter starts there so resynchronization markers keep
+/// their absolute indices, and the `> first_mb` guard keeps a marker off
+/// the slice's first macroblock (the slice header already is one).
+/// Prediction state starts from reset, exactly as after a resync marker,
+/// so no prediction crosses a slice boundary.
+#[allow(clippy::too_many_arguments)]
+fn encode_slice<M: MemModel>(
+    mem: &mut M,
+    header: &VopHeader,
+    cur: &TracedFrame,
+    alpha: Option<(&TracedPlane, Bbox)>,
+    fwd: Option<&TracedFrame>,
+    bwd: Option<&TracedFrame>,
+    recon: &mut TracedFrame,
+    texture: &mut TextureCoder,
+    search: &MotionSearch,
+    mbx_range: Range<usize>,
+    rows: Range<usize>,
+    first_mb: usize,
+    mb_cols: usize,
+    four_mv: bool,
+    w: &mut BitWriter,
+    charge: &mut StreamCharge,
+    stats: &mut VopStats,
+) {
+    let qp = header.qp;
     let mut fwd_pred = MvPredictor::new(mb_cols);
     let mut bwd_pred = MvPredictor::new(mb_cols);
-    let mut mb_counter = 0usize;
+    let mut mb_counter = first_mb;
 
-    for mby in mby_range.clone() {
+    for mby in rows {
         fwd_pred.start_row();
         bwd_pred.start_row();
         let mut ips = IntraPredState::reset();
         for mbx in mbx_range.clone() {
             if let Some(interval) = header.resync_interval {
-                if mb_counter > 0 && mb_counter % interval == 0 {
+                if mb_counter > first_mb && mb_counter.is_multiple_of(interval) {
                     // Resynchronization point: byte-aligned marker, the
                     // macroblock index, the quantizer, and a full
                     // prediction reset (no prediction crosses a marker).
                     w.stuff_to_alignment();
                     w.put_bits(u32::from(RESYNC_MARKER), 16);
-                    put_ue(&mut w, mb_counter as u32);
+                    put_ue(w, mb_counter as u32);
                     w.put_bits(u32::from(qp), 5);
                     fwd_pred.reset();
                     bwd_pred.reset();
@@ -787,23 +1004,47 @@ pub(crate) fn encode_vop<M: MemModel>(
             texture.charge_mb_overhead(mem);
             match header.kind {
                 VopKind::I => {
-                    encode_intra_mb(mem, cur, recon, texture, qp, mbx, mby, &mut ips, &mut w);
+                    encode_intra_mb(mem, cur, recon, texture, qp, mbx, mby, &mut ips, w);
                     stats.intra_mbs += 1;
                     fwd_pred.commit(mbx, MotionVector::ZERO);
                 }
                 VopKind::P => {
                     let reference = fwd.expect("P-VOP requires a forward reference");
                     encode_p_mb(
-                        mem, cur, reference, recon, texture, search, qp, mbx, mby, &mut ips,
-                        &mut fwd_pred, &mut w, &mut stats, four_mv,
+                        mem,
+                        cur,
+                        reference,
+                        recon,
+                        texture,
+                        search,
+                        qp,
+                        mbx,
+                        mby,
+                        &mut ips,
+                        &mut fwd_pred,
+                        w,
+                        stats,
+                        four_mv,
                     );
                 }
                 VopKind::B => {
                     let f = fwd.expect("B-VOP requires a forward reference");
                     let b = bwd.expect("B-VOP requires a backward reference");
                     encode_b_mb(
-                        mem, cur, f, b, recon, texture, search, qp, mbx, mby, &mut fwd_pred,
-                        &mut bwd_pred, &mut w, &mut stats,
+                        mem,
+                        cur,
+                        f,
+                        b,
+                        recon,
+                        texture,
+                        search,
+                        qp,
+                        mbx,
+                        mby,
+                        &mut fwd_pred,
+                        &mut bwd_pred,
+                        w,
+                        stats,
                     );
                     ips = IntraPredState::reset();
                 }
@@ -811,15 +1052,6 @@ pub(crate) fn encode_vop<M: MemModel>(
             charge.charge_to(mem, w.bit_len());
         }
     }
-
-    if let Some(bbox) = bbox {
-        fill_bbox_ring(mem, recon, bbox, mb_cols, mb_rows);
-    }
-
-    w.stuff_to_alignment();
-    charge.charge_to(mem, w.bit_len());
-    stats.bits = w.bit_len();
-    (w.into_bytes(), stats)
 }
 
 /// Encodes the six blocks of an intra macroblock.
@@ -986,13 +1218,13 @@ fn quantize_inter_mb<M: MemModel>(
     texture.charge_pred_load(mem, 384);
     let mut blocks = Vec::with_capacity(6);
     let mut cbp = [false; 6];
-    for blk in 0..4 {
+    for (blk, coded) in cbp.iter_mut().enumerate().take(4) {
         let bx = (mbx * 16 + (blk % 2) * 8) as isize;
         let by = (mby * 16 + (blk / 2) * 8) as isize;
         let samples = read_block(mem, &cur.y, bx, by);
         let res = residual(&samples, &pred_subblock(pred_y, blk));
         let qb = texture.transform_quant(mem, &res, false, qp);
-        cbp[blk] = !qb.is_empty_inter();
+        *coded = !qb.is_empty_inter();
         blocks.push(qb);
     }
     let cx = (mbx * 8) as isize;
@@ -1064,9 +1296,9 @@ pub(crate) fn reconstruct_inter_mb<M: MemModel>(
 fn mb_deviation<M: MemModel>(mem: &mut M, plane: &TracedPlane, px: isize, py: isize) -> u32 {
     let mut sum = 0u32;
     let mut rows = [[0u8; 16]; 16];
-    for r in 0..16 {
+    for (r, row) in rows.iter_mut().enumerate() {
         let src = plane.load_row(mem, px, py + r as isize, 16);
-        rows[r].copy_from_slice(src);
+        row.copy_from_slice(src);
         sum += src.iter().map(|&v| u32::from(v)).sum::<u32>();
     }
     mem.add_ops(2 * 256);
@@ -1110,12 +1342,12 @@ fn encode_p_mb<M: MemModel>(
     let mut sad4 = u32::MAX;
     if four_mv {
         let mut total = 0u32;
-        for blk in 0..4 {
+        for (blk, mv) in mvs4.iter_mut().enumerate() {
             let bx = (mbx * 16 + (blk % 2) * 8) as isize;
             let by = (mby * 16 + (blk / 2) * 8) as isize;
             let o = search.refine_block8(mem, &cur.y, &reference.y, bx, by, outcome.mv);
             stats.candidates += u64::from(o.candidates);
-            mvs4[blk] = o.mv;
+            *mv = o.mv;
             total = total.saturating_add(o.sad);
         }
         sad4 = total;
@@ -1138,9 +1370,8 @@ fn encode_p_mb<M: MemModel>(
 
     if use_4mv {
         let (pred_y, pred_u, pred_v) = predict_mb_4mv(mem, reference, texture, &mvs4, mbx, mby);
-        let (blocks, cbp) = quantize_inter_mb(
-            mem, cur, &pred_y, &pred_u, &pred_v, texture, qp, mbx, mby,
-        );
+        let (blocks, cbp) =
+            quantize_inter_mb(mem, cur, &pred_y, &pred_u, &pred_v, texture, qp, mbx, mby);
         w.put_bit(false); // coded
         put_ue(w, MacroblockKind::Inter4V.code());
         // Block 0 predicted from the neighbour median, blocks 1-3 chained
@@ -1168,9 +1399,8 @@ fn encode_p_mb<M: MemModel>(
     }
 
     let (pred_y, pred_u, pred_v) = predict_mb(mem, reference, texture, outcome.mv, mbx, mby);
-    let (blocks, cbp) = quantize_inter_mb(
-        mem, cur, &pred_y, &pred_u, &pred_v, texture, qp, mbx, mby,
-    );
+    let (blocks, cbp) =
+        quantize_inter_mb(mem, cur, &pred_y, &pred_u, &pred_v, texture, qp, mbx, mby);
 
     if outcome.mv == MotionVector::ZERO && cbp.iter().all(|&b| !b) {
         w.put_bit(true); // skipped
@@ -1299,9 +1529,8 @@ fn encode_b_mb<M: MemModel>(
         },
     );
 
-    let (blocks, cbp) = quantize_inter_mb(
-        mem, cur, &pred_y, &pred_u, &pred_v, texture, qp, mbx, mby,
-    );
+    let (blocks, cbp) =
+        quantize_inter_mb(mem, cur, &pred_y, &pred_u, &pred_v, texture, qp, mbx, mby);
     for &b in &cbp {
         w.put_bit(b);
     }

@@ -68,7 +68,7 @@ impl VolHeader {
         let vol_id = get_ue(r)?;
         let width = get_ue(r)? as usize;
         let height = get_ue(r)? as usize;
-        if width == 0 || height == 0 || width % 2 != 0 || height % 2 != 0 {
+        if width == 0 || height == 0 || !width.is_multiple_of(2) || !height.is_multiple_of(2) {
             return Err(CodecError::InvalidStream("illegal VOL dimensions"));
         }
         let binary_shape = r.get_bit()?;
@@ -99,6 +99,11 @@ pub struct VopHeader {
     /// Resynchronization-marker interval in macroblocks (error
     /// resilience); `None` = no markers.
     pub resync_interval: Option<usize>,
+    /// Number of macroblock-row slices this VOP is partitioned into
+    /// (1 = unsliced). Each slice after the first opens with a
+    /// byte-aligned marker carrying its first macroblock index, and no
+    /// prediction crosses a slice boundary.
+    pub slices: usize,
 }
 
 impl VopHeader {
@@ -129,6 +134,7 @@ impl VopHeader {
             }
         }
         put_ue(w, self.resync_interval.unwrap_or(0) as u32);
+        put_ue(w, self.slices.saturating_sub(1) as u32);
     }
 
     /// Reads a header, scanning forward to its startcode.
@@ -176,12 +182,17 @@ impl VopHeader {
             None
         };
         let resync = get_ue(r)? as usize;
+        let slices = get_ue(r)? as usize + 1;
+        if slices > 4096 {
+            return Err(CodecError::InvalidStream("implausible slice count"));
+        }
         Ok(VopHeader {
             kind,
             display_index,
             qp,
             bbox,
             resync_interval: (resync > 0).then_some(resync),
+            slices,
         })
     }
 }
@@ -215,6 +226,7 @@ mod tests {
             qp: 12,
             bbox: None,
             resync_interval: Some(22),
+            slices: 1,
         };
         let mut w = BitWriter::new();
         w.put_bits(0x5a, 8); // arbitrary preceding payload
@@ -233,6 +245,7 @@ mod tests {
             qp: 31,
             bbox: Some((32, 48, 160, 96)),
             resync_interval: None,
+            slices: 3,
         };
         let mut w = BitWriter::new();
         h.write(&mut w);
@@ -263,6 +276,7 @@ mod tests {
             qp: 8,
             bbox: Some((8, 0, 32, 32)),
             resync_interval: None,
+            slices: 1,
         };
         let mut w = BitWriter::new();
         h.write(&mut w);

@@ -66,6 +66,7 @@ mod plane;
 mod rate;
 mod scene_session;
 mod shape;
+mod slices;
 mod texture;
 mod types;
 mod vlc;

@@ -265,9 +265,15 @@ mod tests {
 
     #[test]
     fn chroma_mv_halves_toward_zero() {
-        assert_eq!(chroma_mv(MotionVector::new(5, -5)), MotionVector::new(2, -2));
+        assert_eq!(
+            chroma_mv(MotionVector::new(5, -5)),
+            MotionVector::new(2, -2)
+        );
         assert_eq!(chroma_mv(MotionVector::new(-1, 1)), MotionVector::new(0, 0));
-        assert_eq!(chroma_mv(MotionVector::new(8, -6)), MotionVector::new(4, -3));
+        assert_eq!(
+            chroma_mv(MotionVector::new(8, -6)),
+            MotionVector::new(4, -3)
+        );
     }
 
     #[test]

@@ -203,7 +203,16 @@ mod tests {
         let p = plane_with(&mut space, &mut null, 64, 64, |x, _| x as u8);
         let mut mem = Hierarchy::new(MachineSpec::o2());
         let mut out = vec![0u8; 256];
-        motion_compensate_block(&mut mem, &p, MotionVector::new(1, 1), 16, 16, 16, 16, &mut out);
+        motion_compensate_block(
+            &mut mem,
+            &p,
+            MotionVector::new(1, 1),
+            16,
+            16,
+            16,
+            16,
+            &mut out,
+        );
         let c = mem.counters();
         assert_eq!(c.loads, 17 * 17); // diagonal phase window
         assert!(c.compute_ops >= 256 * INTERP_OPS_PER_PIXEL);

@@ -152,7 +152,7 @@ impl MotionSearch {
                             >> 2
                     }
                 };
-                acc += u32::from(i32::from(c[i]).abs_diff(i32::from(pred)));
+                acc += i32::from(c[i]).abs_diff(i32::from(pred));
             }
             if let Some(r1) = r1 {
                 prev_row = Some(r1);
@@ -202,9 +202,8 @@ impl MotionSearch {
             for dx in -2isize..=2 {
                 let (tx, ty) = (clamp_full((cx + dx) as i32), clamp_full((cy + dy) as i32));
                 candidates += 1;
-                let sad = Self::sad_candidate_sized(
-                    mem, cur, reference, bx, by, tx, ty, best_sad, 8,
-                );
+                let sad =
+                    Self::sad_candidate_sized(mem, cur, reference, bx, by, tx, ty, best_sad, 8);
                 if sad < best_sad {
                     best_sad = sad;
                     best = (tx, ty);
@@ -223,9 +222,8 @@ impl MotionSearch {
                         continue;
                     }
                     candidates += 1;
-                    let sad = Self::sad_half_pel_sized(
-                        mem, cur, reference, bx, by, cand, best_sad, 8,
-                    );
+                    let sad =
+                        Self::sad_half_pel_sized(mem, cur, reference, bx, by, cand, best_sad, 8);
                     if sad < best_sad {
                         best_sad = sad;
                         best_mv = cand;
@@ -255,28 +253,30 @@ impl MotionSearch {
         let mut candidates = 0u32;
 
         // Seed with the zero vector (the skip candidate).
-        let mut best_sad =
-            Self::sad_candidate(mem, cur, reference, bx, by, 0, 0, u32::MAX);
+        let mut best_sad = Self::sad_candidate(mem, cur, reference, bx, by, 0, 0, u32::MAX);
         let mut best = (0isize, 0isize);
         candidates += 1;
 
-        let try_candidate =
-            |mem: &mut M, dx: isize, dy: isize, best: &mut (isize, isize), best_sad: &mut u32, candidates: &mut u32| {
-                if dx == 0 && dy == 0 {
-                    return;
-                }
-                let r = self.range as isize;
-                if dx < -r || dx > r || dy < -r || dy > r {
-                    return;
-                }
-                *candidates += 1;
-                let sad =
-                    Self::sad_candidate(mem, cur, reference, bx, by, dx, dy, *best_sad);
-                if sad < *best_sad {
-                    *best_sad = sad;
-                    *best = (dx, dy);
-                }
-            };
+        let try_candidate = |mem: &mut M,
+                             dx: isize,
+                             dy: isize,
+                             best: &mut (isize, isize),
+                             best_sad: &mut u32,
+                             candidates: &mut u32| {
+            if dx == 0 && dy == 0 {
+                return;
+            }
+            let r = self.range as isize;
+            if dx < -r || dx > r || dy < -r || dy > r {
+                return;
+            }
+            *candidates += 1;
+            let sad = Self::sad_candidate(mem, cur, reference, bx, by, dx, dy, *best_sad);
+            if sad < *best_sad {
+                *best_sad = sad;
+                *best = (dx, dy);
+            }
+        };
 
         match self.strategy {
             SearchStrategy::FullSearch => {

@@ -112,6 +112,30 @@ impl TracedPlane {
         self.buf.addr_of(self.index(x, y))
     }
 
+    /// Untraced bulk copy of the visible rows `[y0, y1)` from a clone
+    /// of this plane. This is the slice stitch-back of the parallel
+    /// encoder: each slice writes its rows into a private clone whose
+    /// traffic is charged to the slice's own memory model, so copying
+    /// the finished rows home must not be charged again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the planes differ in geometry or the row range exceeds
+    /// the visible height.
+    pub fn copy_rows_untraced_from(&mut self, src: &TracedPlane, y0: usize, y1: usize) {
+        assert_eq!(
+            (self.width, self.height),
+            (src.width, src.height),
+            "plane geometry mismatch"
+        );
+        assert!(y0 <= y1 && y1 <= self.height, "row range out of bounds");
+        for y in y0..y1 {
+            let i = self.index(0, y as isize);
+            self.buf.raw_mut()[i..i + self.width]
+                .copy_from_slice(src.raw_row(0, y as isize, self.width));
+        }
+    }
+
     /// Copies an untraced source plane (e.g. generator output) into the
     /// visible area, issuing traced stores row by row — this is the
     /// "frame input" stage of the application pipeline. When
@@ -231,7 +255,7 @@ impl TracedFrame {
     ///
     /// Panics if `width` or `height` is odd or zero.
     pub fn new(space: &mut AddressSpace, width: usize, height: usize) -> Self {
-        assert!(width % 2 == 0 && height % 2 == 0);
+        assert!(width.is_multiple_of(2) && height.is_multiple_of(2));
         TracedFrame {
             y: TracedPlane::new(space, width, height),
             u: TracedPlane::new(space, width / 2, height / 2),
@@ -270,8 +294,10 @@ impl TracedFrame {
         let (x0, y0, w, h) = bbox;
         assert!(x0 % 2 == 0 && y0 % 2 == 0 && w % 2 == 0 && h % 2 == 0);
         self.y.copy_region_from(mem, y, bbox);
-        self.u.copy_region_from(mem, u, (x0 / 2, y0 / 2, w / 2, h / 2));
-        self.v.copy_region_from(mem, v, (x0 / 2, y0 / 2, w / 2, h / 2));
+        self.u
+            .copy_region_from(mem, u, (x0 / 2, y0 / 2, w / 2, h / 2));
+        self.v
+            .copy_region_from(mem, v, (x0 / 2, y0 / 2, w / 2, h / 2));
     }
 
     /// Pads all three planes.
@@ -279,6 +305,22 @@ impl TracedFrame {
         self.y.pad_borders(mem);
         self.u.pad_borders(mem);
         self.v.pad_borders(mem);
+    }
+
+    /// Untraced copy of the macroblock rows `mb_rows` (16-pixel luma
+    /// rows, 8-pixel chroma rows) from a clone of this frame — the
+    /// slice stitch-back; see [`TracedPlane::copy_rows_untraced_from`].
+    pub fn copy_mb_rows_untraced_from(
+        &mut self,
+        src: &TracedFrame,
+        mb_rows: std::ops::Range<usize>,
+    ) {
+        self.y
+            .copy_rows_untraced_from(&src.y, mb_rows.start * 16, mb_rows.end * 16);
+        self.u
+            .copy_rows_untraced_from(&src.u, mb_rows.start * 8, mb_rows.end * 8);
+        self.v
+            .copy_rows_untraced_from(&src.v, mb_rows.start * 8, mb_rows.end * 8);
     }
 }
 

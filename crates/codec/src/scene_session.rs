@@ -21,7 +21,7 @@ use crate::error::CodecError;
 use crate::header::VolHeader;
 use crate::plane::TracedFrame;
 use m4ps_bitstream::BitReader;
-use m4ps_memsim::{AddressSpace, MemModel};
+use m4ps_memsim::{AddressSpace, MemModel, ParallelModel};
 
 /// Aggregate statistics for an encode or decode session.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -169,6 +169,18 @@ impl SceneEncoder {
         self.streams.len()
     }
 
+    /// Sets the slice-encoding worker thread count on every layer coder
+    /// (see [`VideoObjectCoder::set_threads`] — a pure scheduling knob,
+    /// never a bitstream one).
+    pub fn set_threads(&mut self, threads: usize) {
+        for stack in &mut self.vos {
+            stack.base.set_threads(threads);
+            if let Some(enh) = stack.enh.as_mut() {
+                enh.set_threads(threads);
+            }
+        }
+    }
+
     /// Session statistics so far.
     pub fn stats(&self) -> SessionStats {
         self.stats
@@ -180,7 +192,7 @@ impl SceneEncoder {
     /// # Errors
     ///
     /// Returns [`CodecError`] on geometry or configuration mismatch.
-    pub fn encode_frame<M: MemModel>(
+    pub fn encode_frame<M: ParallelModel>(
         &mut self,
         mem: &mut M,
         frame: &FrameView<'_>,
@@ -188,9 +200,7 @@ impl SceneEncoder {
     ) -> Result<(), CodecError> {
         frame.validate()?;
         if masks.len() != self.objects {
-            return Err(CodecError::InvalidConfig(
-                "one mask per object is required",
-            ));
+            return Err(CodecError::InvalidConfig("one mask per object is required"));
         }
         let t = self.frame_idx;
         self.frame_idx += 1;
@@ -215,7 +225,9 @@ impl SceneEncoder {
 
         for (vo, stack) in vos.iter_mut().enumerate() {
             let (view, alpha): (FrameView<'_>, Option<&[u8]>) = if objects > 0 {
-                mask_object(frame, masks[vo], width, height, scratch_y, scratch_u, scratch_v);
+                mask_object(
+                    frame, masks[vo], width, height, scratch_y, scratch_u, scratch_v,
+                );
                 (
                     FrameView {
                         width,
@@ -259,7 +271,7 @@ impl SceneEncoder {
     /// # Errors
     ///
     /// Propagates coder flush errors.
-    pub fn finish<M: MemModel>(&mut self, mem: &mut M) -> Result<Vec<Vec<u8>>, CodecError> {
+    pub fn finish<M: ParallelModel>(&mut self, mem: &mut M) -> Result<Vec<Vec<u8>>, CodecError> {
         for vo in 0..self.vos.len() {
             let produced = self.vos[vo].base.flush(mem)?;
             let stream_idx = vo * self.layers;
@@ -342,7 +354,8 @@ impl SceneDecoder {
         streams: &[Vec<u8>],
         layers: usize,
     ) -> Result<Self, CodecError> {
-        if streams.is_empty() || !(1..=2).contains(&layers) || streams.len() % layers != 0 {
+        if streams.is_empty() || !(1..=2).contains(&layers) || !streams.len().is_multiple_of(layers)
+        {
             return Err(CodecError::InvalidConfig("bad stream/layer arrangement"));
         }
         let mut decoders = Vec::with_capacity(streams.len());
@@ -417,8 +430,7 @@ impl SceneDecoder {
             (Some(_), Some(b)) => b,
             _ => (0, 0, w, h),
         };
-        if alpha.is_some() {
-            let a = alpha.expect("shaped decoder has alpha");
+        if let Some(a) = alpha {
             for y in by0 as isize..(by0 + bh) as isize {
                 let src: Vec<u8> = recon.y.load_row(mem, bx0 as isize, y, bw).to_vec();
                 let mask: Vec<u8> = a.load_row(mem, bx0 as isize, y, bw).to_vec();
@@ -436,8 +448,16 @@ impl SceneDecoder {
                 let su: Vec<u8> = recon.u.load_row(mem, cx0 as isize, y, cw2).to_vec();
                 let sv: Vec<u8> = recon.v.load_row(mem, cx0 as isize, y, cw2).to_vec();
                 let mask: Vec<u8> = a.load_row(mem, bx0 as isize, y * 2, bw).to_vec();
-                let mut lu: Vec<u8> = self.composite.u.load_row(mem, cx0 as isize, y, cw2).to_vec();
-                let mut lv: Vec<u8> = self.composite.v.load_row(mem, cx0 as isize, y, cw2).to_vec();
+                let mut lu: Vec<u8> = self
+                    .composite
+                    .u
+                    .load_row(mem, cx0 as isize, y, cw2)
+                    .to_vec();
+                let mut lv: Vec<u8> = self
+                    .composite
+                    .v
+                    .load_row(mem, cx0 as isize, y, cw2)
+                    .to_vec();
                 for x in 0..cw2 {
                     if mask[x * 2] != 0 {
                         lu[x] = su[x];
@@ -501,25 +521,17 @@ impl SceneDecoder {
                     let ext = base_dec
                         .last_anchor()
                         .ok_or(CodecError::InvalidStream("missing base anchor"))?;
-                    match enh_dec.decode_next_with_ref(mem, &mut enh_reader, ext)? {
-                        Some(vop) => {
-                            self.stats.absorb(&vop.stats, 0);
-                            self.compose_from(mem, enh_idx);
-                            out.push(vop);
-                        }
-                        None => {}
+                    if let Some(vop) = enh_dec.decode_next_with_ref(mem, &mut enh_reader, ext)? {
+                        self.stats.absorb(&vop.stats, 0);
+                        self.compose_from(mem, enh_idx);
+                        out.push(vop);
                     }
                 }
             } else {
-                loop {
-                    match self.decoders[base_idx].decode_next(mem, &mut base_reader)? {
-                        Some(vop) => {
-                            self.stats.absorb(&vop.stats, 0);
-                            self.compose_from(mem, base_idx);
-                            out.push(vop);
-                        }
-                        None => break,
-                    }
+                while let Some(vop) = self.decoders[base_idx].decode_next(mem, &mut base_reader)? {
+                    self.stats.absorb(&vop.stats, 0);
+                    self.compose_from(mem, base_idx);
+                    out.push(vop);
                 }
             }
         }

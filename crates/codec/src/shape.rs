@@ -153,7 +153,7 @@ pub fn encode_alpha_plane<M: MemModel>(
     bbox: (usize, usize, usize, usize),
     w: &mut BitWriter,
 ) {
-    assert!(alpha.width() % 16 == 0 && alpha.height() % 16 == 0);
+    assert!(alpha.width().is_multiple_of(16) && alpha.height().is_multiple_of(16));
     let (bx0, by0, bw_px, bh_px) = bbox;
     assert!(bx0 % 16 == 0 && by0 % 16 == 0 && bw_px % 16 == 0 && bh_px % 16 == 0);
     assert!(bx0 + bw_px <= alpha.width() && by0 + bh_px <= alpha.height());
@@ -236,7 +236,7 @@ pub fn decode_alpha_plane<M: MemModel>(
     bbox: (usize, usize, usize, usize),
     r: &mut BitReader<'_>,
 ) -> Result<(), CodecError> {
-    assert!(alpha.width() % 16 == 0 && alpha.height() % 16 == 0);
+    assert!(alpha.width().is_multiple_of(16) && alpha.height().is_multiple_of(16));
     let (bx0, by0, bw_px, bh_px) = bbox;
     assert!(bx0 % 16 == 0 && by0 % 16 == 0 && bw_px % 16 == 0 && bh_px % 16 == 0);
     assert!(bx0 + bw_px <= alpha.width() && by0 + bh_px <= alpha.height());
@@ -276,7 +276,7 @@ pub fn decode_alpha_plane<M: MemModel>(
             "shape payload longer than the stream",
         ));
     }
-    let nbytes = ((nbits + 7) / 8) as usize;
+    let nbytes = nbits.div_ceil(8) as usize;
     let mut payload = vec![0u8; nbytes];
     for i in 0..nbits {
         if r.get_bit()? {
@@ -406,7 +406,7 @@ mod tests {
     fn classification_via_traced_reads() {
         let mut space = AddressSpace::new();
         let mut mem = NullModel::new();
-        let p = plane_from_fn(&mut space, &mut mem, 48, 16, |x, _| x >= 16 && x < 24);
+        let p = plane_from_fn(&mut space, &mut mem, 48, 16, |x, _| (16..24).contains(&x));
         assert_eq!(classify_bab(&mut mem, &p, 0, 0), BabClass::Transparent);
         assert_eq!(classify_bab(&mut mem, &p, 1, 0), BabClass::Border);
         assert_eq!(classify_bab(&mut mem, &p, 2, 0), BabClass::Transparent);

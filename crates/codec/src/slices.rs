@@ -1,0 +1,68 @@
+//! Deterministic macroblock-row slice partitioning.
+//!
+//! One function, shared by encoder and decoder, defines how a VOP's
+//! macroblock rows split into slices. The partition depends only on the
+//! row count and the requested slice count — never on the thread count
+//! executing it — which is the root of the pipeline's bit-exactness
+//! guarantee: workers only *schedule* slices, they cannot change them.
+
+use std::ops::Range;
+
+/// Splits the macroblock-row range `rows` into at most `slices`
+/// contiguous, non-empty, in-order sub-ranges.
+///
+/// The first `rows.len() % n` slices get one extra row, so slice sizes
+/// differ by at most one. Requests for more slices than rows (or zero
+/// slices) are clamped; an empty input yields a single empty slice so
+/// callers need no special case.
+pub(crate) fn partition_rows(rows: Range<usize>, slices: usize) -> Vec<Range<usize>> {
+    let n = rows.len();
+    let count = slices.clamp(1, n.max(1));
+    let base = n / count;
+    let extra = n % count;
+    let mut out = Vec::with_capacity(count);
+    let mut start = rows.start;
+    for s in 0..count {
+        let len = base + usize::from(s < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, rows.end);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_range_in_order_without_gaps() {
+        for total in 1..40usize {
+            for slices in 1..10usize {
+                let parts = partition_rows(3..3 + total, slices);
+                assert_eq!(parts.len(), slices.min(total));
+                assert_eq!(parts[0].start, 3);
+                assert_eq!(parts.last().unwrap().end, 3 + total);
+                for w in parts.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+                let sizes: Vec<usize> = parts.iter().map(|r| r.len()).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "uneven split {sizes:?}");
+                assert!(*min >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_are_clamped() {
+        assert_eq!(partition_rows(0..9, 0), vec![0..9]);
+        assert_eq!(partition_rows(0..2, 5), vec![0..1, 1..2]);
+        assert_eq!(partition_rows(4..4, 3), vec![4..4]);
+    }
+
+    #[test]
+    fn nine_rows_four_slices_front_loads_remainder() {
+        assert_eq!(partition_rows(0..9, 4), vec![0..3, 3..5, 5..7, 7..9]);
+    }
+}

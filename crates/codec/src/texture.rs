@@ -186,8 +186,8 @@ impl TextureCoder {
         let mut scanned = [0i16; 64];
         let start = if intra {
             let diff = get_se(r)?;
-            scanned[0] = (i32::from(dc_pred) + diff)
-                .clamp(i32::from(i16::MIN), i32::from(i16::MAX)) as i16;
+            scanned[0] =
+                (i32::from(dc_pred) + diff).clamp(i32::from(i16::MIN), i32::from(i16::MAX)) as i16;
             1
         } else {
             0

@@ -59,7 +59,7 @@ pub fn put_se(w: &mut BitWriter, value: i32) {
 pub fn get_se(r: &mut BitReader<'_>) -> Result<i32, CodecError> {
     let v = get_ue(r)?;
     if v % 2 == 1 {
-        Ok(((v + 1) / 2) as i32)
+        Ok(v.div_ceil(2) as i32)
     } else {
         Ok(-((v / 2) as i32))
     }

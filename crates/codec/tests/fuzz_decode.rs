@@ -103,7 +103,13 @@ fn truncations_of_a_valid_stream_never_panic() {
             let y = vec![100u8; 64 * 48];
             let u = vec![128u8; 32 * 24];
             let v = vec![128u8; 32 * 24];
-            let view = FrameView { width: 64, height: 48, y: &y, u: &u, v: &v };
+            let view = FrameView {
+                width: 64,
+                height: 48,
+                y: &y,
+                u: &u,
+                v: &v,
+            };
             let mut stream = coder.header_bytes();
             for vop in coder.encode_frame(&mut mem, &view, None).unwrap() {
                 stream.extend_from_slice(&vop.bytes);

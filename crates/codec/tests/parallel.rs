@@ -1,0 +1,145 @@
+//! Slice-parallel encoding invariants: the thread count is a pure
+//! scheduling knob. For a fixed slice count the bitstream must be
+//! byte-identical and the merged memory-model counters identical no
+//! matter how many workers ran the slices — and sliced streams must
+//! still decode drift-free.
+
+use m4ps_codec::{EncoderConfig, FrameView, GopStructure, VideoObjectCoder, VideoObjectDecoder};
+use m4ps_memsim::{AddressSpace, Counters, Hierarchy, MachineSpec, MemModel, NullModel};
+use m4ps_vidgen::{Resolution, Scene, SceneSpec};
+
+const FRAMES: usize = 5;
+
+fn test_config(slices: usize) -> EncoderConfig {
+    // B-frames on so the parallel path covers I, P and B slices.
+    EncoderConfig {
+        gop: GopStructure {
+            intra_period: 4,
+            b_frames: 1,
+        },
+        ..EncoderConfig::fast_test()
+    }
+    .with_slices(slices)
+}
+
+/// Encodes the reference scene and returns the full elementary stream
+/// plus (optionally) every reconstruction produced along the way.
+fn encode_stream<M: m4ps_memsim::ParallelModel>(
+    mem: &mut M,
+    slices: usize,
+    threads: usize,
+    keep_recon: bool,
+) -> (Vec<u8>, Vec<Vec<u8>>) {
+    let scene = Scene::new(SceneSpec {
+        resolution: Resolution::QCIF,
+        objects: 0,
+        seed: 7,
+    });
+    let mut space = AddressSpace::new();
+    let mut coder = VideoObjectCoder::new(&mut space, 176, 144, test_config(slices)).unwrap();
+    coder.set_threads(threads);
+    coder.set_keep_recon(keep_recon);
+    let mut stream = coder.header_bytes();
+    let mut recons = Vec::new();
+    let mut push = |vops: Vec<m4ps_codec::EncodedVop>, stream: &mut Vec<u8>| {
+        for vop in vops {
+            stream.extend_from_slice(&vop.bytes);
+            if let Some(r) = vop.recon {
+                recons.push(r.y);
+            }
+        }
+    };
+    for t in 0..FRAMES {
+        let f = scene.frame(t);
+        let view = FrameView {
+            width: 176,
+            height: 144,
+            y: &f.y,
+            u: &f.u,
+            v: &f.v,
+        };
+        let vops = coder.encode_frame(mem, &view, None).unwrap();
+        push(vops, &mut stream);
+    }
+    let vops = coder.flush(mem).unwrap();
+    push(vops, &mut stream);
+    (stream, recons)
+}
+
+#[test]
+fn bitstream_is_identical_for_any_thread_count() {
+    let mut mem = NullModel::new();
+    let (reference, _) = encode_stream(&mut mem, 4, 1, false);
+    for threads in [2, 4, 7] {
+        let (stream, _) = encode_stream(&mut mem, 4, threads, false);
+        assert_eq!(
+            stream, reference,
+            "{threads}-thread stream differs from the single-threaded one"
+        );
+    }
+}
+
+#[test]
+fn merged_counters_are_identical_for_any_thread_count() {
+    let run = |threads: usize| -> Counters {
+        let mut mem = Hierarchy::new(MachineSpec::o2());
+        encode_stream(&mut mem, 4, threads, false);
+        *mem.counters()
+    };
+    let reference = run(1);
+    assert!(reference.loads > 0);
+    for threads in [2, 4] {
+        assert_eq!(
+            run(threads),
+            reference,
+            "{threads}-thread counters differ from the single-threaded ones"
+        );
+    }
+}
+
+#[test]
+fn sliced_stream_decodes_drift_free() {
+    let mut mem = NullModel::new();
+    let (stream, enc_recons) = encode_stream(&mut mem, 4, 4, true);
+    assert!(!enc_recons.is_empty());
+
+    let mut space = AddressSpace::new();
+    let mut r = m4ps_bitstream::BitReader::new(&stream);
+    let mut dec = VideoObjectDecoder::from_stream(&mut space, &mut mem, &mut r).unwrap();
+    dec.set_keep_output(true);
+    let mut decoded = Vec::new();
+    while let Some(vop) = dec.decode_next(&mut mem, &mut r).unwrap() {
+        decoded.push(vop.planes.unwrap().y);
+    }
+    assert_eq!(decoded.len(), enc_recons.len());
+    for (i, (d, e)) in decoded.iter().zip(&enc_recons).enumerate() {
+        assert_eq!(d, e, "decoder drift on VOP {i}");
+    }
+}
+
+#[test]
+fn slice_count_is_a_bitstream_parameter() {
+    // Unlike the thread count, the slice count changes what is coded.
+    let mut mem = NullModel::new();
+    let (sliced, _) = encode_stream(&mut mem, 4, 1, false);
+    let (unsliced, _) = encode_stream(&mut mem, 1, 1, false);
+    assert_ne!(sliced, unsliced);
+}
+
+#[test]
+fn slices_beyond_rows_are_clamped_and_still_roundtrip() {
+    // QCIF has 9 macroblock rows; asking for 64 slices must clamp to 9
+    // and still produce a decodable stream.
+    let mut mem = NullModel::new();
+    let (stream, enc_recons) = encode_stream(&mut mem, 64, 3, true);
+    let mut space = AddressSpace::new();
+    let mut r = m4ps_bitstream::BitReader::new(&stream);
+    let mut dec = VideoObjectDecoder::from_stream(&mut space, &mut mem, &mut r).unwrap();
+    dec.set_keep_output(true);
+    let mut n = 0;
+    while let Some(vop) = dec.decode_next(&mut mem, &mut r).unwrap() {
+        assert_eq!(vop.planes.unwrap().y, enc_recons[n]);
+        n += 1;
+    }
+    assert_eq!(n, enc_recons.len());
+}

@@ -61,6 +61,7 @@ fn vop_header_roundtrips_any_legal_fields() {
                 )
             }),
             resync_interval: rng.gen_bool().then(|| rng.gen_range(1usize..500)),
+            slices: rng.gen_range(1usize..=64),
         },
         |h| {
             let mut w = BitWriter::new();
@@ -143,7 +144,11 @@ fn arbitrary_masks_roundtrip_losslessly() {
             let (w, h) = (48usize, 32usize);
             let mut data = vec![0u8; w * h];
             for px in data.iter_mut() {
-                *px = if rng.gen_range(0u8..=255) <= density { 255 } else { 0 };
+                *px = if rng.gen_range(0u8..=255) <= density {
+                    255
+                } else {
+                    0
+                };
             }
             (density, data)
         },

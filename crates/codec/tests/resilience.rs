@@ -94,8 +94,8 @@ fn resync_markers_cost_bits_but_little() {
 fn corruption_with_resync_is_concealed_not_fatal() {
     let (mut stream, encoded, _) = encode_clip(resync_config(), 4);
     // Flip bytes inside the *second* VOP's payload (well past its header).
-    let second_vop_start = stream.len() - encoded.last().unwrap().bytes.len()
-        - encoded[encoded.len() - 2].bytes.len();
+    let second_vop_start =
+        stream.len() - encoded.last().unwrap().bytes.len() - encoded[encoded.len() - 2].bytes.len();
     let target = second_vop_start + 60;
     for i in 0..4 {
         stream[target + i] ^= 0xa5;
@@ -107,7 +107,10 @@ fn corruption_with_resync_is_concealed_not_fatal() {
     assert!(concealed > 0, "corruption went unnoticed");
     // Concealment is partial: far fewer than all MBs were lost.
     let total_mbs = (176 / 16) * (144 / 16) * decoded.len() as u64;
-    assert!(concealed < total_mbs / 2, "concealed {concealed} of {total_mbs}");
+    assert!(
+        concealed < total_mbs / 2,
+        "concealed {concealed} of {total_mbs}"
+    );
 }
 
 #[test]
@@ -116,8 +119,8 @@ fn corruption_without_resync_kills_the_vop() {
     let clean = decode_clip(&clean_stream);
     assert_eq!(clean.len(), encoded.len());
     let mut stream = clean_stream;
-    let second_vop_start = stream.len() - encoded.last().unwrap().bytes.len()
-        - encoded[encoded.len() - 2].bytes.len();
+    let second_vop_start =
+        stream.len() - encoded.last().unwrap().bytes.len() - encoded[encoded.len() - 2].bytes.len();
     let target = second_vop_start + 60;
     for i in 0..4 {
         stream[target + i] ^= 0xa5;
@@ -147,9 +150,10 @@ fn corruption_without_resync_kills_the_vop() {
     // before the end of the stream, or the surviving VOPs decode to
     // different pixels than the clean run (garbage propagated by
     // prediction).
-    let diverged = decoded.iter().zip(&clean).any(|(d, c)| {
-        d.planes.as_ref().unwrap().y != c.planes.as_ref().unwrap().y
-    });
+    let diverged = decoded
+        .iter()
+        .zip(&clean)
+        .any(|(d, c)| d.planes.as_ref().unwrap().y != c.planes.as_ref().unwrap().y);
     assert!(
         failed || decoded.len() < encoded.len() || diverged,
         "corruption had no effect (ok={})",

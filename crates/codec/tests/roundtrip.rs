@@ -166,10 +166,7 @@ fn vop_kinds_follow_gop_structure() {
     // 0(I), 3(P), 1(B), 2(B), 6(I), 4(B), 5(B)... flush turns trailing
     // queued Bs (4, 5) into P-VOPs *after* 6 arrives? No: 6 is an anchor,
     // so 4 and 5 are drained as B right after it.
-    let order: Vec<(usize, VopKind)> = encoded
-        .iter()
-        .map(|e| (e.display_index, e.kind))
-        .collect();
+    let order: Vec<(usize, VopKind)> = encoded.iter().map(|e| (e.display_index, e.kind)).collect();
     assert_eq!(
         order,
         vec![
@@ -329,9 +326,9 @@ fn three_vo_scene_composes_faithfully() {
     let m2 = scene.alpha(2, 2);
     let mut err = 0.0f64;
     let mut n = 0usize;
-    for i in 0..composite.len() {
+    for (i, &cv) in composite.iter().enumerate() {
         if m2.data[i] != 0 {
-            let d = f64::from(composite[i]) - f64::from(src.y[i]);
+            let d = f64::from(cv) - f64::from(src.y[i]);
             err += d * d;
             n += 1;
         }
@@ -388,9 +385,9 @@ fn two_layer_scalability_roundtrip() {
         let dec_y = &vop.planes.as_ref().unwrap().y;
         let mut err = 0.0f64;
         let mut n = 0usize;
-        for i in 0..dec_y.len() {
+        for (i, &dv) in dec_y.iter().enumerate() {
             if mask.data[i] != 0 {
-                let d = f64::from(dec_y[i]) - f64::from(src.y[i]);
+                let d = f64::from(dv) - f64::from(src.y[i]);
                 err += d * d;
                 n += 1;
             }
@@ -444,9 +441,13 @@ fn corrupt_stream_is_rejected_not_panicking() {
     });
     let mut space = AddressSpace::new();
     let mut mem = NullModel::new();
-    let mut coder =
-        VideoObjectCoder::new(&mut space, res.width, res.height, EncoderConfig::fast_test())
-            .unwrap();
+    let mut coder = VideoObjectCoder::new(
+        &mut space,
+        res.width,
+        res.height,
+        EncoderConfig::fast_test(),
+    )
+    .unwrap();
     let mut stream = coder.header_bytes();
     let f = scene.frame(0);
     for vop in coder.encode_frame(&mut mem, &view(&f), None).unwrap() {
@@ -494,8 +495,7 @@ fn four_mv_actually_selects_the_mode_on_divergent_motion() {
         config.search_range = 6;
         let mut space = AddressSpace::new();
         let mut mem = NullModel::new();
-        let mut coder =
-            VideoObjectCoder::new(&mut space, res.width, res.height, config).unwrap();
+        let mut coder = VideoObjectCoder::new(&mut space, res.width, res.height, config).unwrap();
         let mut bits = 0u64;
         let mut sad_sum = 0u32;
         for t in 0..4 {

@@ -1,5 +1,5 @@
 //! Quick wall-clock probe of paper-scale simulation cost.
-use m4ps_core::study::{encode_study, decode_study, prepare_streams, StudyConfig, Workload};
+use m4ps_core::study::{decode_study, encode_study, prepare_streams, StudyConfig, Workload};
 use m4ps_memsim::MachineSpec;
 use m4ps_vidgen::Resolution;
 use std::time::Instant;
@@ -24,7 +24,11 @@ fn main() {
     );
     let t1 = Instant::now();
     let streams = prepare_streams(&w, &cfg).unwrap();
-    println!("prepare (null model): {:.2}s, {} bytes", t1.elapsed().as_secs_f64(), streams.iter().map(|s| s.len()).sum::<usize>());
+    println!(
+        "prepare (null model): {:.2}s, {} bytes",
+        t1.elapsed().as_secs_f64(),
+        streams.iter().map(|s| s.len()).sum::<usize>()
+    );
     let t2 = Instant::now();
     let dec = decode_study(&MachineSpec::o2(), &w, &streams).unwrap();
     println!(

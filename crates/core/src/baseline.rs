@@ -6,9 +6,7 @@
 //! than L2, touched once per pass — through the *same* hierarchy, and
 //! compare line reuse, miss rates, and bus bandwidth against the codec.
 
-use m4ps_memsim::{
-    AddressSpace, Hierarchy, MachineSpec, MemModel, MemoryMetrics, SimBuf,
-};
+use m4ps_memsim::{AddressSpace, Hierarchy, MachineSpec, MemModel, MemoryMetrics, SimBuf};
 
 /// Parameters of the streaming baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

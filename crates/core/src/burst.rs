@@ -24,11 +24,7 @@ pub struct BurstReport {
 }
 
 impl BurstReport {
-    fn build(
-        function: &'static str,
-        run: &RunResult,
-        machine: &MachineSpec,
-    ) -> BurstReport {
+    fn build(function: &'static str, run: &RunResult, machine: &MachineSpec) -> BurstReport {
         let window = MemoryMetrics::derive(&run.vop_window, machine);
         let whole = run.metrics.clone();
         let share = if whole.counters.memory_refs() > 0 {

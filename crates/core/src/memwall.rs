@@ -132,6 +132,11 @@ mod ordering_tests {
         let (Some(e), Some(d)) = (enc_x, dec_x) else {
             panic!("no crossover found in a 2048x sweep");
         };
-        assert!(d.ratio <= e.ratio, "decode {} vs encode {}", d.ratio, e.ratio);
+        assert!(
+            d.ratio <= e.ratio,
+            "decode {} vs encode {}",
+            d.ratio,
+            e.ratio
+        );
     }
 }

@@ -51,8 +51,8 @@ pub fn render_table(title: &str, columns: &[(&str, &MemoryMetrics)]) -> String {
     out.push('\n');
     out.push_str(&"-".repeat(label_width + 14 * columns.len()));
     out.push('\n');
-    for row in 0..METRIC_ROWS.len() {
-        out.push_str(&format!("{:label_width$}", METRIC_ROWS[row]));
+    for (row, label) in METRIC_ROWS.iter().enumerate() {
+        out.push_str(&format!("{label:label_width$}"));
         for (_, m) in columns {
             out.push_str(&format!("{:>14}", format_cell(m, row)));
         }
@@ -62,7 +62,11 @@ pub fn render_table(title: &str, columns: &[(&str, &MemoryMetrics)]) -> String {
 }
 
 /// Renders a simple two-column series (for the figures).
-pub fn render_series(title: &str, x_label: &str, rows: &[(String, Vec<(String, String)>)]) -> String {
+pub fn render_series(
+    title: &str,
+    x_label: &str,
+    rows: &[(String, Vec<(String, String)>)],
+) -> String {
     let mut out = String::new();
     out.push_str(&format!("## {title}\n\n"));
     for (x, values) in rows {

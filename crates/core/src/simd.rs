@@ -107,9 +107,8 @@ pub fn project(
         let v = n as f64;
         v * (1.0 - scenario.vectorizable) + v * scenario.vectorizable / f64::from(scenario.width)
     };
-    let instructions = shrink(counters.memory_refs())
-        + shrink(counters.compute_ops)
-        + counters.prefetches as f64;
+    let instructions =
+        shrink(counters.memory_refs()) + shrink(counters.compute_ops) + counters.prefetches as f64;
     let issue_cycles = instructions / machine.timing.ipc_base;
     // Byte volume between ALUs and L1 never shrinks with vector width —
     // it *grows* (lost early exits, refetched windows).
@@ -188,7 +187,9 @@ mod tests {
     fn memory_stalls_are_invariant() {
         let (c, m) = measured();
         let p = project_all(&c, &m);
-        assert!(p.iter().all(|x| x.memory_stall_cycles == p[0].memory_stall_cycles));
+        assert!(p
+            .iter()
+            .all(|x| x.memory_stall_cycles == p[0].memory_stall_cycles));
         // And small relative to scalar issue (the whole point of the paper).
         assert!(p[0].memory_stall_cycles < 0.2 * p[0].issue_cycles);
     }

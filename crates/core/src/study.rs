@@ -2,11 +2,11 @@
 //! Figures 2–4.
 
 use m4ps_codec::{
-    CodecError, EncoderConfig, FrameView, SceneDecoder, SceneEncoder, SearchStrategy,
-    SessionStats,
+    CodecError, EncoderConfig, FrameView, SceneDecoder, SceneEncoder, SearchStrategy, SessionStats,
 };
 use m4ps_memsim::{
-    AddressSpace, Counters, Hierarchy, MachineSpec, MemModel, MemoryMetrics, RegionMisses,
+    AddressSpace, Counters, Hierarchy, MachineSpec, MemModel, MemoryMetrics, ParallelModel,
+    RegionMisses,
 };
 use m4ps_vidgen::{Resolution, Scene, SceneSpec};
 
@@ -66,6 +66,12 @@ impl Workload {
 pub struct StudyConfig {
     /// Codec configuration for every coder in the run.
     pub encoder: EncoderConfig,
+    /// Worker threads for slice-parallel encoding; `0` resolves from the
+    /// `M4PS_THREADS` environment override (falling back to the
+    /// machine's available parallelism). A pure scheduling knob — the
+    /// bitstream and the paper-band metrics are identical for every
+    /// value (only [`EncoderConfig::slices`] changes the stream).
+    pub threads: usize,
 }
 
 impl StudyConfig {
@@ -74,6 +80,7 @@ impl StudyConfig {
     pub fn paper() -> Self {
         StudyConfig {
             encoder: EncoderConfig::paper(),
+            threads: 0,
         }
     }
 
@@ -81,6 +88,7 @@ impl StudyConfig {
     pub fn fast() -> Self {
         StudyConfig {
             encoder: EncoderConfig::fast_test(),
+            threads: 0,
         }
     }
 
@@ -88,6 +96,14 @@ impl StudyConfig {
     pub fn with_search(mut self, search: SearchStrategy, range: i16) -> Self {
         self.encoder.search = search;
         self.encoder.search_range = range;
+        self
+    }
+
+    /// Overrides the slice count and worker thread count (parallel
+    /// benches).
+    pub fn with_parallel(mut self, slices: usize, threads: usize) -> Self {
+        self.encoder.slices = slices;
+        self.threads = threads;
         self
     }
 }
@@ -116,7 +132,7 @@ pub struct RunResult {
 /// `attach` hook runs after all codec buffers are allocated and before
 /// any traffic, so a [`Hierarchy`] caller can wire up region
 /// attribution.
-fn drive_encode<M: MemModel>(
+fn drive_encode<M: ParallelModel>(
     space: &mut AddressSpace,
     mem: &mut M,
     workload: &Workload,
@@ -136,6 +152,9 @@ fn drive_encode<M: MemModel>(
         workload.layers,
         config.encoder,
     )?;
+    if config.threads > 0 {
+        enc.set_threads(config.threads);
+    }
     attach(space, mem);
     let mut mask_storage: Vec<Vec<u8>> = Vec::new();
     for t in 0..workload.frames {
@@ -175,9 +194,10 @@ pub fn encode_study(
     } else {
         Hierarchy::without_prefetch(machine.clone())
     };
-    let (_, session, vop_window) = drive_encode(&mut space, &mut mem, workload, config, |sp, m| {
-        m.attach_regions(sp.regions())
-    })?;
+    let (_, session, vop_window) =
+        drive_encode(&mut space, &mut mem, workload, config, |sp, m| {
+            m.attach_regions(sp.regions())
+        })?;
     let metrics = MemoryMetrics::derive(mem.counters(), machine);
     Ok(RunResult {
         machine: machine.clone(),
@@ -264,7 +284,10 @@ mod tests {
         // counter totals, and the reference frames must dominate.
         let attributed: u64 = run.region_misses.iter().map(|r| r.l1_misses).sum();
         assert!(attributed <= m.counters.l1_misses);
-        assert!(attributed * 10 >= m.counters.l1_misses * 9, "attribution lost misses");
+        assert!(
+            attributed * 10 >= m.counters.l1_misses * 9,
+            "attribution lost misses"
+        );
         let top = &run.region_misses[0];
         assert!(
             top.tag.contains("reference") || top.tag.contains("input"),

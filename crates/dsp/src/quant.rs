@@ -76,7 +76,7 @@ pub fn quantize_inter(coefs: &CoefBlock, qp: u8) -> CoefBlock {
         let c = i32::from(coefs.data[i]);
         let q = i32::from(qp);
         let level = (c.abs() - q / 2) / (2 * q);
-        out.data[i] = (level.max(0).min(2047) as i16) * c.signum() as i16;
+        out.data[i] = (level.clamp(0, 2047) as i16) * c.signum() as i16;
     }
     out
 }
@@ -150,10 +150,7 @@ mod tests {
             for i in 0..64 {
                 let err = (i32::from(d.data[i]) - i32::from(c.data[i])).abs();
                 // Dead-zone quantizers have error up to ~1.5 steps near zero.
-                assert!(
-                    err <= 3 * i32::from(qp),
-                    "qp {qp} idx {i}: err {err}"
-                );
+                assert!(err <= 3 * i32::from(qp), "qp {qp} idx {i}: err {err}");
             }
         }
     }

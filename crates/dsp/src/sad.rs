@@ -17,6 +17,7 @@ pub const SAD8_OPS: u64 = 192;
 /// # Panics
 ///
 /// Panics (via slice indexing) if either block exceeds plane bounds.
+#[allow(clippy::too_many_arguments)]
 pub fn sad_16x16(
     cur: &[u8],
     cur_stride: usize,

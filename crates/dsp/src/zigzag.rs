@@ -7,9 +7,9 @@ use crate::dct::CoefBlock;
 /// Zigzag scan order: `ZIGZAG[k]` is the row-major index of the k-th
 /// scanned coefficient.
 pub const ZIGZAG: [usize; 64] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
-    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 /// Scans a coefficient block into zigzag order.
@@ -50,7 +50,7 @@ mod tests {
         assert_eq!(ZIGZAG[1], 1); // (0,1)
         assert_eq!(ZIGZAG[2], 8); // (1,0)
         assert_eq!(ZIGZAG[63], 63); // (7,7)
-        // Manhattan distance from DC is non-decreasing along the scan.
+                                    // Manhattan distance from DC is non-decreasing along the scan.
         let dist = |i: usize| (i / 8) + (i % 8);
         for w in ZIGZAG.windows(2) {
             assert!(dist(w[1]) + 1 >= dist(w[0]), "{w:?}");

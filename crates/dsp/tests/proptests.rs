@@ -5,9 +5,9 @@
 //! replayable seed (`M4PS_PROP_REPLAY=0x...`).
 
 use m4ps_dsp::{
-    dequantize_inter, dequantize_intra, forward_dct, forward_dct_f64, inverse_dct,
-    inverse_dct_f64, quantize_inter, quantize_intra, sad_16x16, sad_16x16_with_cutoff,
-    scan_zigzag, unscan_zigzag, Block, CoefBlock,
+    dequantize_inter, dequantize_intra, forward_dct, forward_dct_f64, inverse_dct, inverse_dct_f64,
+    quantize_inter, quantize_intra, sad_16x16, sad_16x16_with_cutoff, scan_zigzag, unscan_zigzag,
+    Block, CoefBlock,
 };
 use m4ps_testkit::prop::{check, Config};
 use m4ps_testkit::rng::Rng;
@@ -190,12 +190,18 @@ fn sad_cutoff_never_underestimates_decision() {
     check(
         "sad_cutoff_never_underestimates_decision",
         &Config::default(),
-        |rng| (plane_16x16(rng), plane_16x16(rng), rng.gen_range(0u32..70000)),
+        |rng| {
+            (
+                plane_16x16(rng),
+                plane_16x16(rng),
+                rng.gen_range(0u32..70000),
+            )
+        },
         |(a, b, cutoff)| {
             let cutoff = *cutoff;
             let full = sad_16x16(a, 16, 0, 0, b, 16, 0, 0);
             let (partial, rows) = sad_16x16_with_cutoff(a, 16, 0, 0, b, 16, 0, 0, cutoff);
-            prop_assert!(rows >= 1 && rows <= 16);
+            prop_assert!((1..=16).contains(&rows));
             prop_assert!(partial <= full);
             if full <= cutoff {
                 // No early exit possible: partial must equal full.

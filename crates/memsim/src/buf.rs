@@ -127,7 +127,7 @@ impl<T: Copy + Default> SimBuf<T> {
         if !src.is_empty() {
             mem.access_range(
                 self.addr_of(start),
-                (src.len() * std::mem::size_of::<T>()) as u64,
+                std::mem::size_of_val(src) as u64,
                 AccessKind::Store,
                 src.len() as u64,
             );

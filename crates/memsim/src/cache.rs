@@ -245,7 +245,7 @@ mod tests {
         c.probe(0, true); // dirty
         c.probe(128, false);
         c.probe(256, false); // evicts line 0 (LRU, dirty)
-        // line 0 was LRU after 128 and 256 probes? order: 0(t1),128(t2),256→evict 0.
+                             // line 0 was LRU after 128 and 256 probes? order: 0(t1),128(t2),256→evict 0.
         assert!(!c.contains(0));
         let mut c2 = tiny();
         c2.probe(0, true);

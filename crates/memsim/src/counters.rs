@@ -82,21 +82,31 @@ impl Counters {
         }
     }
 
+    /// Element-wise in-place accumulation of `other` into `self`.
+    ///
+    /// This is how per-slice counter sets from a parallel encode are
+    /// folded back into the parent model's totals: addition is
+    /// commutative, so the merged counters are independent of worker
+    /// scheduling as long as the set of slices is fixed.
+    pub fn merge(&mut self, other: &Counters) {
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.prefetches += other.prefetches;
+        self.prefetch_l1_hits += other.prefetch_l1_hits;
+        self.l1_misses += other.l1_misses;
+        self.l1_writebacks += other.l1_writebacks;
+        self.l2_misses += other.l2_misses;
+        self.l2_writebacks += other.l2_writebacks;
+        self.tlb_misses += other.tlb_misses;
+        self.compute_ops += other.compute_ops;
+        self.bytes_accessed += other.bytes_accessed;
+    }
+
     /// Element-wise sum.
     pub fn merged_with(&self, other: &Counters) -> Counters {
-        Counters {
-            loads: self.loads + other.loads,
-            stores: self.stores + other.stores,
-            prefetches: self.prefetches + other.prefetches,
-            prefetch_l1_hits: self.prefetch_l1_hits + other.prefetch_l1_hits,
-            l1_misses: self.l1_misses + other.l1_misses,
-            l1_writebacks: self.l1_writebacks + other.l1_writebacks,
-            l2_misses: self.l2_misses + other.l2_misses,
-            l2_writebacks: self.l2_writebacks + other.l2_writebacks,
-            tlb_misses: self.tlb_misses + other.tlb_misses,
-            compute_ops: self.compute_ops + other.compute_ops,
-            bytes_accessed: self.bytes_accessed + other.bytes_accessed,
-        }
+        let mut out = *self;
+        out.merge(other);
+        out
     }
 }
 
@@ -133,6 +143,16 @@ mod tests {
         let a = sample();
         let b = a.merged_with(&sample());
         assert_eq!(b.delta_since(&a), a);
+    }
+
+    #[test]
+    fn merge_accumulates_in_place() {
+        let mut acc = Counters::default();
+        acc.merge(&sample());
+        acc.merge(&sample());
+        assert_eq!(acc, sample().merged_with(&sample()));
+        assert_eq!(acc.loads, 2000);
+        assert_eq!(acc.bytes_accessed, 2800);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::cache::Cache;
 use crate::counters::Counters;
 use crate::dram::DramModel;
 use crate::machine::MachineSpec;
-use crate::model::{AccessKind, MemModel};
+use crate::model::{AccessKind, MemModel, ParallelModel};
 use crate::space::Region;
 use crate::timing::CycleBreakdown;
 use crate::tlb::Tlb;
@@ -88,7 +88,8 @@ impl Hierarchy {
                     self.region_tags.len() - 1
                 }
             };
-            self.region_spans.push((r.base, r.base + r.bytes.max(1), idx));
+            self.region_spans
+                .push((r.base, r.base + r.bytes.max(1), idx));
         }
         self.region_spans.sort_unstable();
         self.region_l1 = vec![0; self.region_tags.len()];
@@ -107,7 +108,7 @@ impl Hierarchy {
                 l2_misses: self.region_l2[i],
             })
             .collect();
-        out.sort_by(|a, b| b.l1_misses.cmp(&a.l1_misses));
+        out.sort_by_key(|r| std::cmp::Reverse(r.l1_misses));
         out
     }
 
@@ -276,6 +277,39 @@ impl MemModel for Hierarchy {
     }
 }
 
+impl ParallelModel for Hierarchy {
+    fn fork(&self) -> Self {
+        let mut child = if self.prefetch_enabled {
+            Hierarchy::new(self.machine.clone())
+        } else {
+            Hierarchy::without_prefetch(self.machine.clone())
+        };
+        // Share the attribution map (configuration, not state) so
+        // slice-local misses can be attributed on merge.
+        child.region_spans = self.region_spans.clone();
+        child.region_tags = self.region_tags.clone();
+        child.region_l1 = vec![0; self.region_tags.len()];
+        child.region_l2 = vec![0; self.region_tags.len()];
+        child
+    }
+
+    fn absorb(&mut self, child: Self) {
+        self.counters.merge(&child.counters);
+        self.dram.record_read(child.dram.bytes_read());
+        self.dram.record_write(child.dram.bytes_written());
+        // Region tallies are matched by tag: the parent map may have
+        // been re-attached (with new tags) since the fork.
+        for (i, tag) in child.region_tags.iter().enumerate() {
+            if let Some(j) = self.region_tags.iter().position(|t| t == tag) {
+                self.region_l1[j] += child.region_l1[i];
+                self.region_l2[j] += child.region_l2[i];
+            }
+        }
+        // The child's cache/TLB contents model a worker core's private
+        // hierarchy and are intentionally dropped here.
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,6 +432,61 @@ mod tests {
         assert!(h.exec_seconds() > 0.0);
         let b = h.breakdown();
         assert!(b.total() >= b.base);
+    }
+
+    #[test]
+    fn fork_starts_cold_with_shared_region_map() {
+        use crate::space::Region;
+        let mut parent = Hierarchy::new(small_machine());
+        parent.attach_regions(&[Region {
+            tag: "frame".into(),
+            base: 0,
+            bytes: 4096,
+        }]);
+        parent.access_range(0, 1024, AccessKind::Load, 128);
+        let child = parent.fork();
+        assert_eq!(*child.counters(), Counters::default());
+        assert_eq!(child.dram().bytes_total(), 0);
+        assert_eq!(child.region_misses()[0].l1_misses, 0);
+        assert_eq!(child.machine(), parent.machine());
+        assert_eq!(child.prefetch_enabled(), parent.prefetch_enabled());
+        let no_pf = Hierarchy::without_prefetch(small_machine());
+        assert!(!no_pf.fork().prefetch_enabled());
+    }
+
+    #[test]
+    fn absorb_merges_counters_dram_and_region_tallies() {
+        use crate::space::Region;
+        let regions = [Region {
+            tag: "frame".into(),
+            base: 0,
+            bytes: 1 << 20,
+        }];
+        let mut parent = Hierarchy::new(small_machine());
+        parent.attach_regions(&regions);
+        parent.access_range(0, 4096, AccessKind::Store, 512);
+        let before = parent.snapshot();
+        let before_dram = parent.dram().bytes_total();
+        let before_region = parent.region_misses();
+
+        let mut child = parent.fork();
+        child.access_range(65536, 4096, AccessKind::Load, 512);
+        let child_counters = *child.counters();
+        let child_dram = child.dram().bytes_total();
+        let child_region = child.region_misses();
+
+        parent.absorb(child);
+        assert_eq!(*parent.counters(), before.merged_with(&child_counters));
+        assert_eq!(parent.dram().bytes_total(), before_dram + child_dram);
+        assert_eq!(
+            parent.region_misses()[0].l1_misses,
+            before_region[0].l1_misses + child_region[0].l1_misses
+        );
+        // Parent cache state is untouched by the absorb: the tail of
+        // its own 4 KB sweep is still resident and hits.
+        let misses = parent.counters().l1_misses;
+        parent.access_range(4096 - 32, 32, AccessKind::Load, 1);
+        assert_eq!(parent.counters().l1_misses, misses);
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub use dram::{DramConfig, DramModel};
 pub use hierarchy::{Hierarchy, RegionMisses};
 pub use machine::{CpuKind, MachineSpec};
 pub use metrics::MemoryMetrics;
-pub use model::{AccessKind, MemModel, NullModel};
+pub use model::{AccessKind, MemModel, NullModel, ParallelModel};
 pub use space::{AddressSpace, Region};
 pub use timing::TimingModel;
 pub use tlb::{Tlb, TlbConfig};

@@ -60,10 +60,8 @@ impl MemoryMetrics {
 
         let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
 
-        let l1_l2_bytes =
-            (counters.l1_misses + counters.l1_writebacks) * machine.l1.line_bytes;
-        let l2_dram_bytes =
-            (counters.l2_misses + counters.l2_writebacks) * machine.l2.line_bytes;
+        let l1_l2_bytes = (counters.l1_misses + counters.l1_writebacks) * machine.l1.line_bytes;
+        let l2_dram_bytes = (counters.l2_misses + counters.l2_writebacks) * machine.l2.line_bytes;
 
         let prefetch_l1_miss = if machine.cpu.counts_prefetch_l1_hits() {
             Some(if counters.prefetches > 0 {

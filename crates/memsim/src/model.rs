@@ -48,6 +48,31 @@ pub trait MemModel {
     fn counters(&self) -> &Counters;
 }
 
+/// A memory model that can spawn independent per-worker instances and
+/// fold their observations back in — the simulation side of
+/// slice-parallel encoding.
+///
+/// `fork` produces a model with the *same configuration* (machine,
+/// prefetch setting, region map) but *empty state* (cold caches, zero
+/// counters): each worker models a core with private caches, as in the
+/// MPSoC designs the paper's follow-up literature points to. Because a
+/// fork starts from a fixed state rather than a snapshot of the parent,
+/// a slice's simulated traffic depends only on the slice's own access
+/// stream — never on worker scheduling — which is what keeps merged
+/// counters identical across thread counts.
+///
+/// `absorb` folds a finished fork's totals (event counters, DRAM
+/// traffic, per-region miss tallies) back into the parent via
+/// commutative addition; the fork's transient cache/TLB state is
+/// discarded.
+pub trait ParallelModel: MemModel + Send + Sized {
+    /// Same-configuration, empty-state child model for one worker.
+    fn fork(&self) -> Self;
+
+    /// Accumulates a finished fork's observations into `self`.
+    fn absorb(&mut self, child: Self);
+}
+
 /// A no-op model: counts nothing, simulates nothing.
 ///
 /// Use it to run the codec at full speed when only functional behaviour
@@ -84,6 +109,14 @@ impl MemModel for NullModel {
     fn counters(&self) -> &Counters {
         &self.counters
     }
+}
+
+impl ParallelModel for NullModel {
+    fn fork(&self) -> Self {
+        NullModel::new()
+    }
+
+    fn absorb(&mut self, _child: Self) {}
 }
 
 #[cfg(test)]

@@ -67,7 +67,7 @@ impl AddressSpace {
     /// Regions are page-aligned and never overlap.
     pub fn alloc(&mut self, bytes: u64) -> u64 {
         let base = self.next;
-        let padded = (bytes.max(1) + self.align - 1) / self.align * self.align;
+        let padded = bytes.max(1).div_ceil(self.align) * self.align;
         self.next += padded;
         self.allocated += bytes;
         self.regions.push(Region {
@@ -138,8 +138,14 @@ mod tests {
         let b = s.alloc(50);
         let r = s.regions();
         assert_eq!(r.len(), 2);
-        assert_eq!((r[0].base, r[0].bytes, r[0].tag.as_str()), (a, 100, "frames"));
-        assert_eq!((r[1].base, r[1].bytes, r[1].tag.as_str()), (b, 50, "scratch"));
+        assert_eq!(
+            (r[0].base, r[0].bytes, r[0].tag.as_str()),
+            (a, 100, "frames")
+        );
+        assert_eq!(
+            (r[1].base, r[1].bytes, r[1].tag.as_str()),
+            (b, 50, "scratch")
+        );
         assert!(r[0].base < r[1].base);
     }
 }

@@ -66,12 +66,10 @@ impl Tlb {
         self.tick += 1;
         self.lookups += 1;
         let vpn = addr >> self.page_shift;
-        for e in self.entries.iter_mut() {
-            if let Some((page, stamp)) = e {
-                if *page == vpn {
-                    *stamp = self.tick;
-                    return true;
-                }
+        for (page, stamp) in self.entries.iter_mut().flatten() {
+            if *page == vpn {
+                *stamp = self.tick;
+                return true;
             }
         }
         self.misses += 1;

@@ -96,7 +96,11 @@ fn hierarchy_invariants_hold_for_any_access_mix() {
             let mut expected_loads = 0u64;
             let mut expected_stores = 0u64;
             for &(addr, len, is_store) in accesses {
-                let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
+                let kind = if is_store {
+                    AccessKind::Store
+                } else {
+                    AccessKind::Load
+                };
                 h.access_range(addr, len, kind, len);
                 if is_store {
                     expected_stores += len;
@@ -142,7 +146,11 @@ fn bigger_cache_never_misses_more() {
                 m.l1.size_bytes = l1_bytes;
                 let mut h = Hierarchy::new(m);
                 for &(addr, len, is_store) in accesses {
-                    let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
+                    let kind = if is_store {
+                        AccessKind::Store
+                    } else {
+                        AccessKind::Load
+                    };
                     h.access_range(addr, len, kind, 1);
                 }
                 h.counters().l1_misses
@@ -165,7 +173,10 @@ fn tlb_hit_plus_miss_equals_lookups() {
         &Config::default(),
         |rng| rng.vec(1..200, |r| r.gen_range(0u64..64)),
         |pages| {
-            let mut t = Tlb::new(TlbConfig { entries: 8, page_bytes: 4096 });
+            let mut t = Tlb::new(TlbConfig {
+                entries: 8,
+                page_bytes: 4096,
+            });
             for &p in pages {
                 t.lookup(p * 4096 + (p % 7) * 13);
             }
@@ -253,9 +264,7 @@ fn prefetch_never_changes_demand_results() {
         &Config::default(),
         vec![vec![13465, 153, 2784, 13465]],
         |rng| rng.vec(1..100, |r| r.gen_range(0u64..16384)),
-        |addrs| {
-            prefetch_transparency_property(addrs)
-        },
+        |addrs| prefetch_transparency_property(addrs),
     );
 }
 
@@ -273,9 +282,7 @@ fn prefetch_transparency_property(addrs: &[u64]) -> Result<(), String> {
     }
     prop_assert_eq!(plain.counters().loads, pf.counters().loads);
     prop_assert_eq!(plain.counters().stores, pf.counters().stores);
-    prop_assert!(
-        pf.counters().l1_misses <= plain.counters().l1_misses + pf.counters().prefetches
-    );
+    prop_assert!(pf.counters().l1_misses <= plain.counters().l1_misses + pf.counters().prefetches);
     Ok(())
 }
 

@@ -1,0 +1,298 @@
+//! Zero-dependency scoped thread pool for slice-parallel coding.
+//!
+//! The paper's central finding is that MPEG-4 coding is compute-bound
+//! (99.9% L1 hit rate, <2% of bus bandwidth), so the route to "as fast
+//! as the hardware allows" is thread-level parallelism, not wider
+//! memory. This crate provides the minimal scheduling substrate: a
+//! scoped fork/join pool built only on `std::thread::scope` and
+//! `std::sync::mpsc` channels, preserving the workspace's registry-free
+//! invariant (`tests/hermetic.rs`).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism is the caller's job, scheduling is ours.** The pool
+//!    never influences *what* is computed — callers submit a fixed job
+//!    list and receive results in submission order, so output is
+//!    identical for any worker count (including 1).
+//! 2. **Scoped borrows.** Jobs may borrow from the caller's stack
+//!    (reference frames, config) because `run` fully joins before
+//!    returning.
+//! 3. **Panic propagation.** A panicking job panics the calling thread
+//!    after all workers have been joined; work is never silently lost.
+
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker-thread count used by
+/// [`ThreadPool::from_env`]. Invalid or zero values fall back to the
+/// machine's available parallelism.
+pub const THREADS_ENV: &str = "M4PS_THREADS";
+
+/// Upper bound on worker threads; far above any slice count we split
+/// a VOP into, this only guards against absurd env values.
+const MAX_THREADS: usize = 256;
+
+/// A fixed-size pool of logical workers that executes batches of
+/// scoped jobs.
+///
+/// The pool is a value, not a set of parked OS threads: workers are
+/// spawned per [`run`](ThreadPool::run) call inside a
+/// [`std::thread::scope`] so jobs may borrow local state. For the
+/// sub-millisecond-to-millisecond jobs this workload produces (one
+/// macroblock-row slice of a VOP), spawn cost is dwarfed by the job
+/// body, and keeping no parked threads means no idle state to poison
+/// or leak between study runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool with exactly `threads` workers (clamped to
+    /// `1..=256`).
+    pub fn new(threads: usize) -> Self {
+        ThreadPool {
+            threads: threads.clamp(1, MAX_THREADS),
+        }
+    }
+
+    /// Creates a pool sized from the `M4PS_THREADS` environment
+    /// variable, falling back to the machine's available parallelism
+    /// when unset or invalid.
+    pub fn from_env() -> Self {
+        Self::new(resolve_threads(std::env::var(THREADS_ENV).ok().as_deref()))
+    }
+
+    /// Serial pool: one worker, jobs run inline on the caller's thread.
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// Number of workers this pool schedules onto.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every job and returns their results in submission order.
+    ///
+    /// Jobs are pulled from a shared channel-backed work queue by
+    /// `min(threads, jobs.len())` scoped workers, so an expensive job
+    /// does not stall the queue behind it. With one worker (or one
+    /// job) everything runs inline on the calling thread — no spawn,
+    /// no channels — which keeps the serial path zero-overhead and
+    /// trivially deterministic.
+    ///
+    /// # Panics
+    ///
+    /// If a job panics, the panic is propagated to the caller after
+    /// all workers have been joined (via [`std::thread::scope`]).
+    pub fn run<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.threads.min(jobs.len());
+        if workers <= 1 {
+            return jobs.into_iter().map(|job| job()).collect();
+        }
+
+        let n = jobs.len();
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+
+        // Pre-load the entire batch into the queue, then drop the
+        // sender so workers observe end-of-queue via disconnect. The
+        // queue lives outside the scope so workers may borrow it.
+        let (job_tx, job_rx) = mpsc::channel::<(usize, F)>();
+        for job in jobs.into_iter().enumerate() {
+            job_tx.send(job).expect("receiver lives on this stack");
+        }
+        drop(job_tx);
+        let queue = Mutex::new(job_rx);
+        let (res_tx, res_rx) = mpsc::channel::<(usize, T)>();
+
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let queue = &queue;
+                let res_tx = res_tx.clone();
+                s.spawn(move || loop {
+                    // Hold the queue lock only for the dequeue itself;
+                    // the job body runs lock-free.
+                    let next = match queue.lock() {
+                        Ok(rx) => rx.try_recv(),
+                        // A sibling panicked while dequeuing; stop
+                        // pulling work and let scope propagate.
+                        Err(_) => break,
+                    };
+                    match next {
+                        Ok((idx, job)) => {
+                            if res_tx.send((idx, job())).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                });
+            }
+            drop(res_tx);
+
+            // Collect whatever completed. If a worker panicked its
+            // result never arrives; the matching slot stays `None` and
+            // `scope` re-raises the worker's panic payload right after
+            // this closure returns, before the caller can observe the
+            // hole.
+            for (idx, value) in res_rx {
+                slots[idx] = Some(value);
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("scope propagates worker panics"))
+            .collect()
+    }
+}
+
+impl Default for ThreadPool {
+    /// Equivalent to [`ThreadPool::from_env`].
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Resolves a worker count from an optional `M4PS_THREADS` value:
+/// a positive integer wins; anything else falls back to the machine's
+/// available parallelism (1 if unknown).
+///
+/// Split out from [`ThreadPool::from_env`] so tests can cover the
+/// parsing rules without mutating process-global environment state.
+pub fn resolve_threads(env_value: Option<&str>) -> usize {
+    if let Some(v) = env_value {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn empty_job_list_returns_empty() {
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            let out: Vec<u32> = pool.run(Vec::<fn() -> u32>::new());
+            assert!(out.is_empty());
+        }
+    }
+
+    #[test]
+    fn results_are_in_submission_order() {
+        for threads in [1, 2, 3, 8] {
+            let pool = ThreadPool::new(threads);
+            let jobs: Vec<_> = (0..17u64)
+                .map(|i| {
+                    move || {
+                        // Skew job cost so completion order differs
+                        // from submission order under real parallelism.
+                        let spin = (17 - i) * 1000;
+                        let mut acc = i;
+                        for k in 0..spin {
+                            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                        }
+                        std::hint::black_box(acc);
+                        i * i
+                    }
+                })
+                .collect();
+            let out = pool.run(jobs);
+            let expect: Vec<u64> = (0..17).map(|i| i * i).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn jobs_may_borrow_caller_state() {
+        let data: Vec<u64> = (0..100).collect();
+        let pool = ThreadPool::new(4);
+        let chunks: Vec<&[u64]> = data.chunks(7).collect();
+        let jobs: Vec<_> = chunks
+            .iter()
+            .map(|c| move || c.iter().sum::<u64>())
+            .collect();
+        let total: u64 = pool.run(jobs).into_iter().sum();
+        assert_eq!(total, data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        static RUNS: AtomicUsize = AtomicUsize::new(0);
+        RUNS.store(0, Ordering::SeqCst);
+        let pool = ThreadPool::new(3);
+        let jobs: Vec<_> = (0..50)
+            .map(|_| || RUNS.fetch_add(1, Ordering::SeqCst))
+            .collect();
+        let out = pool.run(jobs);
+        assert_eq!(out.len(), 50);
+        assert_eq!(RUNS.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn panic_propagates_to_caller_serial() {
+        let pool = ThreadPool::new(1);
+        let caught = std::panic::catch_unwind(|| {
+            pool.run(vec![
+                Box::new(|| 1u32) as Box<dyn FnOnce() -> u32 + Send>,
+                { Box::new(|| panic!("slice job failed")) },
+            ]);
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn panic_propagates_to_caller_parallel() {
+        let pool = ThreadPool::new(4);
+        let caught = std::panic::catch_unwind(|| {
+            let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = (0..8u32)
+                .map(|i| {
+                    Box::new(move || {
+                        if i == 5 {
+                            panic!("slice job failed");
+                        }
+                        i
+                    }) as Box<dyn FnOnce() -> u32 + Send>
+                })
+                .collect();
+            pool.run(jobs);
+        });
+        assert!(caught.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn thread_count_clamped() {
+        assert_eq!(ThreadPool::new(0).threads(), 1);
+        assert_eq!(ThreadPool::new(9999).threads(), 256);
+        assert_eq!(ThreadPool::serial().threads(), 1);
+    }
+
+    #[test]
+    fn resolve_threads_parses_and_falls_back() {
+        assert_eq!(resolve_threads(Some("3")), 3);
+        assert_eq!(resolve_threads(Some(" 12 ")), 12);
+        let fallback = resolve_threads(None);
+        assert!(fallback >= 1);
+        assert_eq!(resolve_threads(Some("0")), fallback);
+        assert_eq!(resolve_threads(Some("zebra")), fallback);
+        assert_eq!(resolve_threads(Some("")), fallback);
+    }
+}

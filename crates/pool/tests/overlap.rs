@@ -1,0 +1,14 @@
+#[test]
+fn jobs_overlap_in_time() {
+    let pool = m4ps_pool::ThreadPool::new(4);
+    let t0 = std::time::Instant::now();
+    let jobs: Vec<_> = (0..4)
+        .map(|_| || std::thread::sleep(std::time::Duration::from_millis(200)))
+        .collect();
+    pool.run(jobs);
+    let dt = t0.elapsed();
+    assert!(
+        dt.as_millis() < 500,
+        "4x200ms jobs took {dt:?} on 4 threads"
+    );
+}

@@ -174,7 +174,12 @@ impl BenchRunner {
         self.bench_inner(name, Some(bytes_per_iter), f);
     }
 
-    fn bench_inner<R>(&mut self, name: &str, bytes_per_iter: Option<u64>, mut f: impl FnMut() -> R) {
+    fn bench_inner<R>(
+        &mut self,
+        name: &str,
+        bytes_per_iter: Option<u64>,
+        mut f: impl FnMut() -> R,
+    ) {
         if let Some(filter) = &self.opts.filter {
             if !name.contains(filter.as_str()) {
                 return;
@@ -360,7 +365,9 @@ mod tests {
     fn throughput_derives_from_bytes() {
         let mut r = BenchRunner::with_options("selftest", quiet_opts());
         let data = vec![1u8; 4096];
-        r.bench_bytes("sum_4k", 4096, || data.iter().map(|&b| b as u64).sum::<u64>());
+        r.bench_bytes("sum_4k", 4096, || {
+            data.iter().map(|&b| b as u64).sum::<u64>()
+        });
         let res = &r.results()[0];
         let t = res.throughput_mb_s.expect("throughput");
         let expected = 4096.0 / 1.0e6 / (res.median_ns * 1.0e-9);
@@ -393,9 +400,17 @@ mod tests {
     #[test]
     fn args_parse_all_flags() {
         let opts = BenchOptions::parse(
-            ["--bench", "--smoke", "--json", "out.json", "--samples", "9", "dct"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--bench",
+                "--smoke",
+                "--json",
+                "out.json",
+                "--samples",
+                "9",
+                "dct",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert!(opts.smoke);
         assert_eq!(opts.json_path.as_deref(), Some("out.json"));

@@ -1,0 +1,120 @@
+//! Bench-regression gate: diff a fresh `BENCH_smoke.json` against the
+//! committed baseline and fail when any benchmark's median regressed by
+//! more than the threshold.
+//!
+//! ```text
+//! bench_compare <baseline.json> <fresh.json> [--max-regress <pct>]
+//! ```
+//!
+//! Exit status 0 when every shared benchmark is within budget, 1 on
+//! regression, 2 on unreadable/invalid input. Benchmarks present in only
+//! one file are reported but never fail the gate, so adding or retiring
+//! a benchmark doesn't require a lockstep baseline update.
+
+use m4ps_testkit::json::Json;
+use std::process::ExitCode;
+
+const DEFAULT_MAX_REGRESS_PCT: f64 = 25.0;
+
+/// `(name, median_ns)` for every entry in a bench report.
+fn load_medians(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let schema = doc.get("schema").and_then(Json::as_str);
+    if schema != Some("m4ps-bench-v1") {
+        return Err(format!("{path}: unexpected schema {schema:?}"));
+    }
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: missing results array"))?;
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        let name = r
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: result without a name"))?;
+        let median = r
+            .get("median_ns")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{path}: {name}: missing median_ns"))?;
+        out.push((name.to_string(), median));
+    }
+    Ok(out)
+}
+
+fn run() -> Result<bool, String> {
+    let mut args = std::env::args().skip(1);
+    let baseline_path = args
+        .next()
+        .ok_or("usage: bench_compare <baseline.json> <fresh.json> [--max-regress <pct>]")?;
+    let fresh_path = args.next().ok_or("missing <fresh.json> argument")?;
+    let mut max_regress_pct = DEFAULT_MAX_REGRESS_PCT;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--max-regress" => {
+                max_regress_pct = args
+                    .next()
+                    .ok_or("--max-regress needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--max-regress: {e}"))?;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+
+    let baseline = load_medians(&baseline_path)?;
+    let fresh = load_medians(&fresh_path)?;
+    let limit = 1.0 + max_regress_pct / 100.0;
+
+    println!("comparing {fresh_path} against {baseline_path} (fail above +{max_regress_pct}%)");
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for (name, fresh_median) in &fresh {
+        let Some((_, base_median)) = baseline.iter().find(|(n, _)| n == name) else {
+            println!("  new       {name}: {fresh_median:.0} ns (no baseline, not gated)");
+            continue;
+        };
+        compared += 1;
+        let delta_pct = if *base_median > 0.0 {
+            (fresh_median / base_median - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        if *base_median > 0.0 && fresh_median / base_median > limit {
+            regressions += 1;
+            println!(
+                "  REGRESSED {name}: {base_median:.0} -> {fresh_median:.0} ns ({delta_pct:+.1}%)"
+            );
+        } else {
+            println!(
+                "  ok        {name}: {base_median:.0} -> {fresh_median:.0} ns ({delta_pct:+.1}%)"
+            );
+        }
+    }
+    for (name, _) in &baseline {
+        if !fresh.iter().any(|(n, _)| n == name) {
+            println!("  retired   {name}: present in baseline only");
+        }
+    }
+    if compared == 0 {
+        return Err("no benchmark names in common; wrong files?".to_string());
+    }
+    if regressions > 0 {
+        println!("{regressions} of {compared} benchmarks regressed beyond +{max_regress_pct}%");
+    } else {
+        println!("all {compared} shared benchmarks within budget");
+    }
+    Ok(regressions == 0)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("bench_compare: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,5 +1,6 @@
-//! A tiny JSON value model and serializer — just enough for the bench
-//! runner to emit `BENCH_*.json` without a registry dependency.
+//! A tiny JSON value model, serializer and parser — just enough for the
+//! bench runner to emit `BENCH_*.json` (and the regression comparator to
+//! read it back) without a registry dependency.
 //!
 //! Output is deterministic: object keys keep insertion order, floats
 //! are printed with enough digits to round-trip, integers without a
@@ -35,7 +36,70 @@ impl Json {
     /// Convenience constructor for objects.
     #[must_use]
     pub fn obj(fields: Vec<(&str, Json)>) -> Json {
-        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Parses a JSON document (the subset this module emits: no
+    /// exponent-less oddities are rejected — standard JSON numbers,
+    /// strings with `\uXXXX` escapes, arrays, objects, literals).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the byte offset of the first syntax error
+    /// or trailing garbage.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (`None` for non-objects and missing keys).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
     }
 
     /// Serializes with 2-space indentation and a trailing newline.
@@ -92,6 +156,196 @@ impl Json {
                 out.push('}');
             }
         }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.pos)
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.bytes.get(self.pos) {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => {
+                self.expect_literal("null")?;
+                Ok(Json::Null)
+            }
+            Some(b't') => {
+                self.expect_literal("true")?;
+                Ok(Json::Bool(true))
+            }
+            Some(b'f') => {
+                self.expect_literal("false")?;
+                Ok(Json::Bool(false))
+            }
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(Json::Arr(items));
+            }
+            if !self.eat(b',') {
+                return Err(self.err("expected ',' or ']'"));
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.pos += 1; // '{'
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.bytes.get(self.pos) != Some(&b'"') {
+                return Err(self.err("expected object key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return Err(self.err("expected ':'"));
+            }
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(Json::Obj(fields));
+            }
+            if !self.eat(b',') {
+                return Err(self.err("expected ',' or '}'"));
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.pos += 1; // '"'
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            // Surrogates are rejected rather than paired;
+                            // nothing this repo emits uses them.
+                            let c =
+                                char::from_u32(hex).ok_or_else(|| self.err("bad \\u escape"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) if b < 0x20 => return Err(self.err("control char in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is a &str, so this
+                    // char boundary arithmetic is safe).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.bytes.get(self.pos).is_some_and(|&b| b & 0xc0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        self.eat(b'-');
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.eat(b'.') {
+            while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if self.eat(b'e') || self.eat(b'E') {
+            let _ = self.eat(b'+') || self.eat(b'-');
+            while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|n| n.is_finite())
+            .map(Json::Num)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
     }
 }
 
@@ -154,12 +408,76 @@ mod tests {
             ("values", Json::Arr(vec![Json::Num(1.0), Json::Num(2.5)])),
             ("empty", Json::Arr(vec![])),
         ]);
-        let expected = "{\n  \"name\": \"dct\",\n  \"values\": [\n    1,\n    2.5\n  ],\n  \"empty\": []\n}\n";
+        let expected =
+            "{\n  \"name\": \"dct\",\n  \"values\": [\n    1,\n    2.5\n  ],\n  \"empty\": []\n}\n";
         assert_eq!(v.pretty(), expected);
     }
 
     #[test]
     fn control_chars_are_escaped() {
         assert_eq!(Json::str("\u{1}").pretty(), "\"\\u0001\"\n");
+    }
+
+    #[test]
+    fn parse_round_trips_what_pretty_emits() {
+        let v = Json::obj(vec![
+            ("schema", Json::str("m4ps-bench-v1")),
+            ("count", Json::Num(3.0)),
+            ("median_ns", Json::Num(1234.5)),
+            ("flags", Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("nested", Json::obj(vec![("k", Json::str("v\n\"q\""))])),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+        ]);
+        assert_eq!(Json::parse(&v.pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_accessors_navigate() {
+        let doc = Json::parse(r#"{"results": [{"name": "dct/forward_8x8", "median_ns": 91.25}]}"#)
+            .unwrap();
+        let first = &doc.get("results").unwrap().as_arr().unwrap()[0];
+        assert_eq!(first.get("name").unwrap().as_str(), Some("dct/forward_8x8"));
+        assert_eq!(first.get("median_ns").unwrap().as_f64(), Some(91.25));
+        assert!(doc.get("missing").is_none());
+        assert!(Json::Null.get("x").is_none());
+    }
+
+    #[test]
+    fn parse_numbers() {
+        assert_eq!(Json::parse("-0.5e2").unwrap(), Json::Num(-50.0));
+        assert_eq!(Json::parse("12").unwrap(), Json::Num(12.0));
+        assert_eq!(Json::parse("1E3").unwrap(), Json::Num(1000.0));
+    }
+
+    #[test]
+    fn parse_escapes_and_unicode() {
+        assert_eq!(
+            Json::parse(r#""a\u00e9\t\\b çav""#).unwrap(),
+            Json::str("a\u{e9}\t\\b çav")
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"k\":}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{1: 2}",
+            "nan",
+            "[1],",
+            "\"bad\\q\"",
+            "--1",
+        ] {
+            assert!(
+                Json::parse(bad).is_err(),
+                "accepted malformed input {bad:?}"
+            );
+        }
     }
 }

@@ -139,7 +139,12 @@ where
     }
     if let Some(seed) = cfg.replay {
         let input = generator(&mut Rng::new(seed));
-        run_case(name, &format!("replay of seed {seed:#018x}"), &input, &property);
+        run_case(
+            name,
+            &format!("replay of seed {seed:#018x}"),
+            &input,
+            &property,
+        );
         return;
     }
     for i in 0..cfg.cases {
@@ -266,9 +271,11 @@ mod tests {
 
     #[test]
     fn passing_property_runs_all_cases() {
-        let mut cfg = Config::default();
-        cfg.cases = 50;
-        cfg.replay = None;
+        let cfg = Config {
+            cases: 50,
+            replay: None,
+            ..Config::default()
+        };
         let count = std::cell::Cell::new(0u32);
         check(
             "sum is commutative",
@@ -285,9 +292,11 @@ mod tests {
 
     #[test]
     fn failing_property_reports_seed_and_input() {
-        let mut cfg = Config::default();
-        cfg.cases = 64;
-        cfg.replay = None;
+        let cfg = Config {
+            cases: 64,
+            replay: None,
+            ..Config::default()
+        };
         let result = catch_unwind(AssertUnwindSafe(|| {
             check(
                 "all values below 10 (false)",
@@ -322,8 +331,10 @@ mod tests {
             }
         }
         let (seed, v) = failing_input.expect("some case must exceed 90");
-        let mut cfg = Config::default();
-        cfg.replay = Some(seed);
+        let cfg = Config {
+            replay: Some(seed),
+            ..Config::default()
+        };
         let seen = std::cell::Cell::new(0u32);
         let result = catch_unwind(AssertUnwindSafe(|| {
             check(
@@ -343,9 +354,11 @@ mod tests {
 
     #[test]
     fn pinned_cases_run_before_generated_ones() {
-        let mut cfg = Config::default();
-        cfg.cases = 0;
-        cfg.replay = None;
+        let cfg = Config {
+            cases: 0,
+            replay: None,
+            ..Config::default()
+        };
         let result = catch_unwind(AssertUnwindSafe(|| {
             check_pinned(
                 "pinned regression fails",
@@ -364,10 +377,13 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::unnecessary_literal_unwrap)] // the unwrap-on-None panic is the fixture
     fn panics_inside_properties_are_reported_with_input() {
-        let mut cfg = Config::default();
-        cfg.cases = 1;
-        cfg.replay = None;
+        let cfg = Config {
+            cases: 1,
+            replay: None,
+            ..Config::default()
+        };
         let result = catch_unwind(AssertUnwindSafe(|| {
             check(
                 "unwraps can fail",

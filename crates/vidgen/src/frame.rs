@@ -46,7 +46,10 @@ impl Resolution {
     /// Panics if either dimension is zero or odd (4:2:0 requires even).
     pub fn new(width: usize, height: usize) -> Self {
         assert!(width > 0 && height > 0, "empty resolution");
-        assert!(width % 2 == 0 && height % 2 == 0, "4:2:0 needs even dims");
+        assert!(
+            width.is_multiple_of(2) && height.is_multiple_of(2),
+            "4:2:0 needs even dims"
+        );
         Resolution { width, height }
     }
 

@@ -136,8 +136,7 @@ impl Scene {
         for py in 0..res.height {
             for px in 0..res.width {
                 let clean = i16::from(self.luma_at(t, px, py, &centers));
-                y[py * res.width + px] =
-                    (clean + self.sensor_noise(t, px, py)).clamp(0, 255) as u8;
+                y[py * res.width + px] = (clean + self.sensor_noise(t, px, py)).clamp(0, 255) as u8;
             }
         }
         // Chroma: low-detail planes derived from position (cheap but
@@ -246,7 +245,16 @@ mod tests {
         assert_eq!(s.objects.len(), expected.len());
         for (o, e) in s.objects.iter().zip(expected) {
             assert_eq!(
-                (o.cx0, o.cy0, o.vx, o.vy, o.rx, o.ry, o.tex_seed, o.luma_bias),
+                (
+                    o.cx0,
+                    o.cy0,
+                    o.vx,
+                    o.vy,
+                    o.rx,
+                    o.ry,
+                    o.tex_seed,
+                    o.luma_bias
+                ),
                 e
             );
         }

@@ -2,8 +2,14 @@
 //! and print a Table-2/3-style column for encode and decode.
 //!
 //! ```text
-//! cargo run --release --example characterize [frames]
+//! cargo run --release --example characterize [frames] [slices] [threads]
 //! ```
+//!
+//! `slices` partitions each VOP into that many independently decodable
+//! macroblock-row slices (a bitstream parameter); `threads` is the
+//! worker count the slices are scheduled onto (0 = `M4PS_THREADS` or
+//! the machine's parallelism). The stream and the paper metrics are
+//! identical for every thread count.
 
 use m4ps::core::report::{format_cell, METRIC_ROWS};
 use m4ps::core::study::{decode_study, encode_study, prepare_streams, StudyConfig, Workload};
@@ -11,24 +17,24 @@ use m4ps::memsim::MachineSpec;
 use m4ps::vidgen::Resolution;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let frames: usize = std::env::args()
-        .nth(1)
-        .map(|s| s.parse())
-        .transpose()?
-        .unwrap_or(6);
+    let mut args = std::env::args().skip(1);
+    let frames: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(6);
+    let slices: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(1);
+    let threads: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(0);
     let machine = MachineSpec::o2();
     let workload = Workload::single(Resolution::PAL, frames);
-    let config = StudyConfig::paper();
+    let config = StudyConfig::paper().with_parallel(slices, threads);
 
     println!(
-        "machine: {} ({}, L2 {} MB); workload: {} at {}x{}, {} frames\n",
+        "machine: {} ({}, L2 {} MB); workload: {} at {}x{}, {} frames, {} slice(s)\n",
         machine.name,
         machine.cpu.short_name(),
         machine.l2.size_bytes / (1024 * 1024),
         workload.label(),
         workload.resolution.width,
         workload.resolution.height,
-        frames
+        frames,
+        slices
     );
 
     println!("encoding (this simulates every memory access; expect ~0.5 s/frame)...");
@@ -39,10 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n{:22} {:>14} {:>14}", "metrics", "encoding", "decoding");
     println!("{}", "-".repeat(52));
-    for row in 0..METRIC_ROWS.len() {
+    for (row, label) in METRIC_ROWS.iter().enumerate() {
         println!(
             "{:22} {:>14} {:>14}",
-            METRIC_ROWS[row],
+            label,
             format_cell(&enc.metrics, row),
             format_cell(&dec.metrics, row)
         );

@@ -51,7 +51,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         streams.iter().map(|s| s.len()).sum::<usize>()
     );
     for (i, s) in streams.iter().enumerate() {
-        println!("  stream {i} (vo {}, layer {}): {:6} bytes", i / 2, i % 2, s.len());
+        println!(
+            "  stream {i} (vo {}, layer {}): {:6} bytes",
+            i / 2,
+            i % 2,
+            s.len()
+        );
     }
 
     let mut dspace = AddressSpace::new();

@@ -22,7 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // NullModel: run the codec at full speed, no cache simulation.
     let mut space = AddressSpace::new();
     let mut mem = NullModel::new();
-    let mut coder = VideoObjectCoder::new(&mut space, res.width, res.height, EncoderConfig::paper())?;
+    let mut coder =
+        VideoObjectCoder::new(&mut space, res.width, res.height, EncoderConfig::paper())?;
 
     let mut stream = coder.header_bytes();
     let mut sources: Vec<YuvFrame> = Vec::new();
@@ -59,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let kbps = stream.len() as f64 * 8.0 * 30.0 / frames as f64 / 1000.0;
-    println!("\ntotal bitstream: {} bytes ({kbps:.1} kbit/s at 30 Hz)", stream.len());
+    println!(
+        "\ntotal bitstream: {} bytes ({kbps:.1} kbit/s at 30 Hz)",
+        stream.len()
+    );
 
     // Decode and measure fidelity.
     let mut dspace = AddressSpace::new();
@@ -78,7 +82,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut rec = YuvFrame::grey(res);
         rec.y.copy_from_slice(&planes.y);
         let psnr = sources[vop.display_index].psnr_luma(&rec);
-        println!("  frame {:2} ({:?}): {:5.2} dB", vop.display_index, vop.kind, psnr);
+        println!(
+            "  frame {:2} ({:?}): {:5.2} dB",
+            vop.display_index, vop.kind, psnr
+        );
     }
     Ok(())
 }

@@ -31,10 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "metrics", "MPEG-4 encode", "streaming", "L1-resident"
     );
     println!("{}", "-".repeat(66));
-    for row in 0..METRIC_ROWS.len() {
+    for (row, label) in METRIC_ROWS.iter().enumerate() {
         println!(
             "{:22} {:>14} {:>14} {:>14}",
-            METRIC_ROWS[row],
+            label,
             format_cell(&codec.metrics, row),
             format_cell(&stream, row),
             format_cell(&resident, row)

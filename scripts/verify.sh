@@ -3,7 +3,11 @@
 #
 # Everything runs with --offline; if any step tries to reach a registry
 # the workspace has regressed (see tests/hermetic.rs). The bench smoke
-# run writes machine-readable BENCH_smoke.json at the repo root.
+# run writes machine-readable BENCH_smoke.json at the repo root, then
+# bench_compare gates it against the committed baseline (the pre-run
+# copy of that same file): any median more than 25% above baseline
+# fails. Set M4PS_BENCH_SKIP_COMPARE=1 to regenerate the baseline on a
+# machine where the committed numbers don't apply.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -15,7 +19,18 @@ echo "== tests (offline) =="
 cargo test -q --workspace --offline
 
 echo "== bench smoke run =="
+baseline=""
+if [[ -f BENCH_smoke.json ]]; then
+    baseline="target/bench_baseline.json"
+    cp BENCH_smoke.json "$baseline"
+fi
 cargo bench --offline -p m4ps-bench --bench kernels -- --smoke --json "$PWD/BENCH_smoke.json"
+
+if [[ -n "$baseline" && "${M4PS_BENCH_SKIP_COMPARE:-0}" != "1" ]]; then
+    echo "== bench regression gate =="
+    cargo run -q --release --offline -p m4ps-testkit --bin bench_compare -- \
+        "$baseline" BENCH_smoke.json
+fi
 
 echo "== verify OK =="
 echo "bench report: $PWD/BENCH_smoke.json"

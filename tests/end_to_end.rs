@@ -31,8 +31,7 @@ fn full_pipeline_under_simulation_matches_null_model_functionally() {
 
     let run = |hier: bool| -> Vec<Vec<u8>> {
         let mut space = AddressSpace::new();
-        let mut enc =
-            SceneEncoder::new(&mut space, res.width, res.height, 1, 1, config).unwrap();
+        let mut enc = SceneEncoder::new(&mut space, res.width, res.height, 1, 1, config).unwrap();
         let mut h = Hierarchy::new(MachineSpec::o2());
         let mut n = NullModel::new();
         for t in 0..4 {
@@ -110,7 +109,10 @@ fn architectural_work_is_machine_independent() {
     let b = encode_study(&MachineSpec::onyx2(), &w, &cfg).unwrap();
     assert_eq!(a.metrics.counters.loads, b.metrics.counters.loads);
     assert_eq!(a.metrics.counters.stores, b.metrics.counters.stores);
-    assert_eq!(a.metrics.counters.compute_ops, b.metrics.counters.compute_ops);
+    assert_eq!(
+        a.metrics.counters.compute_ops,
+        b.metrics.counters.compute_ops
+    );
     assert!(a.metrics.counters.l2_misses >= b.metrics.counters.l2_misses);
 }
 
@@ -129,7 +131,10 @@ fn image_size_does_not_degrade_encode_miss_rate() {
     )
     .unwrap();
     let growth = big.metrics.l1_miss_rate / small.metrics.l1_miss_rate.max(1e-12);
-    assert!(growth < 1.5, "L1 miss rate grew {growth:.2}x with 4x pixels");
+    assert!(
+        growth < 1.5,
+        "L1 miss rate grew {growth:.2}x with 4x pixels"
+    );
 }
 
 #[test]
@@ -163,9 +168,15 @@ fn layered_scene_roundtrip_under_full_simulation() {
     });
     let mut space = AddressSpace::new();
     let mut mem = Hierarchy::new(MachineSpec::onyx_vtx());
-    let mut enc =
-        SceneEncoder::new(&mut space, res.width, res.height, 2, 2, EncoderConfig::fast_test())
-            .unwrap();
+    let mut enc = SceneEncoder::new(
+        &mut space,
+        res.width,
+        res.height,
+        2,
+        2,
+        EncoderConfig::fast_test(),
+    )
+    .unwrap();
     for t in 0..4 {
         let f = scene.frame(t);
         let m0 = scene.alpha(t, 0).data;
@@ -189,7 +200,10 @@ fn layered_scene_roundtrip_under_full_simulation() {
     let c = mem.counters();
     assert!(c.loads > 1_000_000);
     assert!(c.l1_misses > 0);
-    assert!(c.l1_misses * 20 < c.memory_refs(), "hierarchy saw streaming-like behaviour");
+    assert!(
+        c.l1_misses * 20 < c.memory_refs(),
+        "hierarchy saw streaming-like behaviour"
+    );
 }
 
 #[test]
