@@ -763,7 +763,7 @@ fn decode_inter_residual_and_reconstruct<M: MemModel>(
         levels: m4ps_dsp::CoefBlock::default(),
         intra: false,
     };
-    let mut blocks = vec![empty; 6];
+    let mut blocks = [empty; 6];
     for i in 0..6 {
         if cbp[i] {
             blocks[i] = texture.entropy_decode(mem, false, 0, r)?;

@@ -11,7 +11,7 @@ use crate::mbops::{
 };
 use crate::mc::{average_predictions, motion_compensate_block};
 use crate::me::MotionSearch;
-use crate::plane::{TracedFrame, TracedPlane};
+use crate::plane::{FrameSink, RowSink, TracedFrame, TracedPlane};
 use crate::rate::RateController;
 use crate::shape::{classify_bab, encode_alpha_plane, BabClass};
 use crate::slices::partition_rows;
@@ -155,6 +155,10 @@ pub struct VideoObjectCoder {
     have_anchor: bool,
     b_recon: TracedFrame,
     texture: TextureCoder,
+    /// Reusable per-slice coding state (texture scratch clones and MV
+    /// predictors), grown on first use and recycled every VOP so the
+    /// steady-state encode loop performs no per-slice heap allocation.
+    slice_scratch: Vec<SliceScratch>,
     search: MotionSearch,
     rate: RateController,
     next_display: usize,
@@ -255,6 +259,7 @@ impl VideoObjectCoder {
             have_anchor: false,
             b_recon,
             texture: TextureCoder::new(space),
+            slice_scratch: Vec::new(),
             search: MotionSearch::new(config.search, config.search_range, config.half_pel),
             rate: RateController::new(config.initial_qp, config.bitrate, config.frame_rate),
             next_display: 0,
@@ -429,7 +434,7 @@ impl VideoObjectCoder {
             self.prev_alpha_bbox = Some(bbox);
             self.cur_bbox = bbox;
         }
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(1 + self.queue_len);
         out.push(self.encode_anchor_from_cur(mem, kind, idx));
         out.extend(self.drain_b_queue(mem));
         Ok(out)
@@ -478,7 +483,8 @@ impl VideoObjectCoder {
             fwd,
             None,
             recon,
-            &mut self.texture,
+            &self.texture,
+            &mut self.slice_scratch,
             &self.search,
             self.stream_base + self.stream_bits / 8,
             self.mb_cols,
@@ -516,7 +522,7 @@ impl VideoObjectCoder {
 
     /// Encodes every queued B-frame against the two live anchors.
     fn drain_b_queue<M: ParallelModel>(&mut self, mem: &mut M) -> Vec<EncodedVop> {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.queue_len);
         for q in 0..self.queue_len {
             let qp = self.rate.qp_for(VopKind::B);
             let slot = &self.b_slots[q];
@@ -545,7 +551,8 @@ impl VideoObjectCoder {
                 Some(fwd),
                 Some(bwd),
                 &mut self.b_recon,
-                &mut self.texture,
+                &self.texture,
+                &mut self.slice_scratch,
                 &self.search,
                 self.stream_base + self.stream_bits / 8,
                 self.mb_cols,
@@ -584,7 +591,7 @@ impl VideoObjectCoder {
     /// Currently infallible; the `Result` reserves room for bitstream
     /// finalization errors.
     pub fn flush<M: ParallelModel>(&mut self, mem: &mut M) -> Result<Vec<EncodedVop>, CodecError> {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.queue_len);
         for q in 0..self.queue_len {
             // Move the queued frame into `cur` by swapping buffers.
             std::mem::swap(&mut self.cur, &mut self.b_slots[q].frame);
@@ -662,7 +669,8 @@ impl VideoObjectCoder {
             Some(ext),
             None,
             &mut self.b_recon,
-            &mut self.texture,
+            &self.texture,
+            &mut self.slice_scratch,
             &self.search,
             self.stream_base + self.stream_bits / 8,
             self.mb_cols,
@@ -727,34 +735,29 @@ pub(crate) fn mask_bbox(mask: &[u8], width: usize, height: usize) -> Bbox {
 /// Fills one macroblock of `recon` with mid-grey (deterministic extended
 /// padding — keeps encoder and decoder references bit-identical around
 /// and inside transparent regions).
-pub(crate) fn fill_grey_mb<M: MemModel>(
+pub(crate) fn fill_grey_mb<M: MemModel, F: FrameSink>(
     mem: &mut M,
-    recon: &mut TracedFrame,
+    recon: &mut F,
     mbx: usize,
     mby: usize,
 ) {
+    let (ry, ru, rv) = recon.planes_mut();
     let grey16 = [128u8; 16];
     for r in 0..16 {
-        recon
-            .y
-            .store_row(mem, (mbx * 16) as isize, (mby * 16 + r) as isize, &grey16);
+        ry.store_row(mem, (mbx * 16) as isize, (mby * 16 + r) as isize, &grey16);
     }
     let grey8 = [128u8; 8];
     for r in 0..8 {
-        recon
-            .u
-            .store_row(mem, (mbx * 8) as isize, (mby * 8 + r) as isize, &grey8);
-        recon
-            .v
-            .store_row(mem, (mbx * 8) as isize, (mby * 8 + r) as isize, &grey8);
+        ru.store_row(mem, (mbx * 8) as isize, (mby * 8 + r) as isize, &grey8);
+        rv.store_row(mem, (mbx * 8) as isize, (mby * 8 + r) as isize, &grey8);
     }
 }
 
 /// Extends grey fill to a ring of macroblocks around the bounding box so
 /// motion search windows that spill past the box read deterministic data.
-pub(crate) fn fill_bbox_ring<M: MemModel>(
+pub(crate) fn fill_bbox_ring<M: MemModel, F: FrameSink>(
     mem: &mut M,
-    recon: &mut TracedFrame,
+    recon: &mut F,
     bbox: (usize, usize, usize, usize),
     mb_cols: usize,
     mb_rows: usize,
@@ -783,16 +786,40 @@ pub(crate) fn fill_bbox_ring<M: MemModel>(
 /// slice — keeping merged counters scheduling-independent.
 pub(crate) const SLICE_CHARGE_SPAN: u64 = 64 * 1024;
 
+/// Reusable per-slice coding state: the texture pipeline's traced
+/// scratch buffers and the slice's motion-vector predictors. Cloned
+/// from the coder's template once per slice index and recycled every
+/// VOP — texture clones keep their simulated base addresses, so reuse
+/// charges exactly the traffic a fresh clone would.
+#[derive(Debug)]
+pub(crate) struct SliceScratch {
+    texture: TextureCoder,
+    fwd_pred: MvPredictor,
+    bwd_pred: MvPredictor,
+}
+
+impl SliceScratch {
+    fn new(template: &TextureCoder, mb_cols: usize) -> Self {
+        SliceScratch {
+            texture: template.clone(),
+            fwd_pred: MvPredictor::new(mb_cols),
+            bwd_pred: MvPredictor::new(mb_cols),
+        }
+    }
+}
+
 /// Encodes one VOP. Returns the byte payload and statistics.
 ///
 /// When `header.slices > 1` the macroblock rows are partitioned with
 /// [`partition_rows`] and the slices run as independent jobs on `pool`.
 /// Each job encodes into its own [`BitWriter`] against a forked memory
-/// model ([`ParallelModel::fork`]) and a cloned reconstruction buffer;
-/// the parent then stitches segments in slice order and absorbs the
-/// forked counters. Because the partition, per-slice prediction resets
-/// and charge addresses depend only on the *slice count* (a bitstream
-/// parameter), the output is bit-exact for any thread count.
+/// model ([`ParallelModel::fork`]), reads the shared reference frames
+/// by `&`, and writes the reconstruction *in place* through a disjoint
+/// [`FrameViewMut`](crate::FrameViewMut) over its macroblock rows — no
+/// frame clone, no stitch-back copy. Because the partition, per-slice
+/// prediction resets and charge addresses depend only on the *slice
+/// count* (a bitstream parameter), the output is bit-exact for any
+/// thread count.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn encode_vop<M: ParallelModel>(
     mem: &mut M,
@@ -802,7 +829,8 @@ pub(crate) fn encode_vop<M: ParallelModel>(
     fwd: Option<&TracedFrame>,
     bwd: Option<&TracedFrame>,
     recon: &mut TracedFrame,
-    texture: &mut TextureCoder,
+    texture: &TextureCoder,
+    scratch: &mut Vec<SliceScratch>,
     search: &MotionSearch,
     stream_base: u64,
     mb_cols: usize,
@@ -823,6 +851,9 @@ pub(crate) fn encode_vop<M: ParallelModel>(
     };
     let slice_rows = partition_rows(mby_range.clone(), header.slices);
     header.slices = slice_rows.len();
+    while scratch.len() < slice_rows.len() {
+        scratch.push(SliceScratch::new(texture, mb_cols));
+    }
 
     header.write(&mut w);
     if let Some((a, b)) = alpha {
@@ -841,12 +872,11 @@ pub(crate) fn encode_vop<M: ParallelModel>(
             fwd,
             bwd,
             recon,
-            texture,
+            &mut scratch[0],
             search,
             mbx_range,
             mby_range,
             0,
-            mb_cols,
             four_mv,
             &mut w,
             &mut charge,
@@ -870,21 +900,24 @@ pub(crate) fn encode_vop<M: ParallelModel>(
 
     let hdr = header;
     let mbx = mbx_range.clone();
+    let views = recon.split_mb_rows_mut(&slice_rows);
     let jobs: Vec<_> = slice_rows
-        .into_iter()
+        .iter()
+        .cloned()
+        .zip(views)
+        .zip(scratch.iter_mut())
         .enumerate()
-        .map(|(s, rows)| {
-            // Fork the per-slice state *sequentially* so every slice
-            // starts from an identical snapshot no matter how many
-            // worker threads later run the jobs.
+        .map(|(s, ((rows, mut view), sc))| {
+            // Fork the per-slice memory model *sequentially* so every
+            // slice starts from an identical snapshot no matter how
+            // many worker threads later run the jobs.
             let mut smem = mem.fork();
-            let mut stexture = texture.clone();
-            let mut srecon = recon.clone();
             let first_mb = (rows.start - mby_range.start) * mbx.len();
             let mbx_range = mbx.clone();
             let charge_base = stream_base + (s as u64 + 1) * SLICE_CHARGE_SPAN;
+            let cap = rows.len() * mbx.len() * 32 + 64;
             move || {
-                let mut sw = BitWriter::new();
+                let mut sw = BitWriter::with_capacity(cap);
                 let mut scharge = StreamCharge::writer(charge_base);
                 let mut sstats = VopStats::default();
                 if s > 0 {
@@ -901,13 +934,12 @@ pub(crate) fn encode_vop<M: ParallelModel>(
                     alpha,
                     fwd,
                     bwd,
-                    &mut srecon,
-                    &mut stexture,
+                    &mut view,
+                    sc,
                     search,
                     mbx_range,
-                    rows.clone(),
+                    rows,
                     first_mb,
-                    mb_cols,
                     four_mv,
                     &mut sw,
                     &mut scharge,
@@ -916,7 +948,7 @@ pub(crate) fn encode_vop<M: ParallelModel>(
                 sw.stuff_to_alignment();
                 scharge.charge_to(&mut smem, sw.bit_len());
                 sstats.bits = sw.bit_len();
-                (sw.into_bytes(), sstats, smem, srecon, rows)
+                (sw.into_bytes(), sstats, smem)
             }
         })
         .collect();
@@ -924,11 +956,11 @@ pub(crate) fn encode_vop<M: ParallelModel>(
     let results = pool.run(jobs);
 
     let mut bytes = w.into_bytes();
-    for (sbytes, sstats, smem, srecon, rows) in results {
+    bytes.reserve(results.iter().map(|(b, _, _)| b.len()).sum());
+    for (sbytes, sstats, smem) in results {
         mem.absorb(smem);
         stats.merge(&sstats);
         bytes.extend_from_slice(&sbytes);
-        recon.copy_mb_rows_untraced_from(&srecon, rows);
     }
     stats.bits += header_bits;
     if let Some(bbox) = bbox {
@@ -946,28 +978,34 @@ pub(crate) fn encode_vop<M: ParallelModel>(
 /// Prediction state starts from reset, exactly as after a resync marker,
 /// so no prediction crosses a slice boundary.
 #[allow(clippy::too_many_arguments)]
-fn encode_slice<M: MemModel>(
+fn encode_slice<M: MemModel, F: FrameSink>(
     mem: &mut M,
     header: &VopHeader,
     cur: &TracedFrame,
     alpha: Option<(&TracedPlane, Bbox)>,
     fwd: Option<&TracedFrame>,
     bwd: Option<&TracedFrame>,
-    recon: &mut TracedFrame,
-    texture: &mut TextureCoder,
+    recon: &mut F,
+    scratch: &mut SliceScratch,
     search: &MotionSearch,
     mbx_range: Range<usize>,
     rows: Range<usize>,
     first_mb: usize,
-    mb_cols: usize,
     four_mv: bool,
     w: &mut BitWriter,
     charge: &mut StreamCharge,
     stats: &mut VopStats,
 ) {
     let qp = header.qp;
-    let mut fwd_pred = MvPredictor::new(mb_cols);
-    let mut bwd_pred = MvPredictor::new(mb_cols);
+    let SliceScratch {
+        texture,
+        fwd_pred,
+        bwd_pred,
+    } = scratch;
+    // Recycled predictors start from reset — the same state a fresh
+    // `MvPredictor::new` carries, as pinned by the parallel tests.
+    fwd_pred.reset();
+    bwd_pred.reset();
     let mut mb_counter = first_mb;
 
     for mby in rows {
@@ -1011,40 +1049,16 @@ fn encode_slice<M: MemModel>(
                 VopKind::P => {
                     let reference = fwd.expect("P-VOP requires a forward reference");
                     encode_p_mb(
-                        mem,
-                        cur,
-                        reference,
-                        recon,
-                        texture,
-                        search,
-                        qp,
-                        mbx,
-                        mby,
-                        &mut ips,
-                        &mut fwd_pred,
-                        w,
-                        stats,
-                        four_mv,
+                        mem, cur, reference, recon, texture, search, qp, mbx, mby, &mut ips,
+                        fwd_pred, w, stats, four_mv,
                     );
                 }
                 VopKind::B => {
                     let f = fwd.expect("B-VOP requires a forward reference");
                     let b = bwd.expect("B-VOP requires a backward reference");
                     encode_b_mb(
-                        mem,
-                        cur,
-                        f,
-                        b,
-                        recon,
-                        texture,
-                        search,
-                        qp,
-                        mbx,
-                        mby,
-                        &mut fwd_pred,
-                        &mut bwd_pred,
-                        w,
-                        stats,
+                        mem, cur, f, b, recon, texture, search, qp, mbx, mby, fwd_pred, bwd_pred,
+                        w, stats,
                     );
                     ips = IntraPredState::reset();
                 }
@@ -1056,10 +1070,10 @@ fn encode_slice<M: MemModel>(
 
 /// Encodes the six blocks of an intra macroblock.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn encode_intra_mb<M: MemModel>(
+pub(crate) fn encode_intra_mb<M: MemModel, F: FrameSink>(
     mem: &mut M,
     cur: &TracedFrame,
-    recon: &mut TracedFrame,
+    recon: &mut F,
     texture: &mut TextureCoder,
     qp: u8,
     mbx: usize,
@@ -1067,6 +1081,7 @@ pub(crate) fn encode_intra_mb<M: MemModel>(
     ips: &mut IntraPredState,
     w: &mut BitWriter,
 ) {
+    let (ry, ru, rv) = recon.planes_mut();
     let px = (mbx * 16) as isize;
     let py = (mby * 16) as isize;
     for blk in 0..4 {
@@ -1077,14 +1092,11 @@ pub(crate) fn encode_intra_mb<M: MemModel>(
         texture.entropy_encode(mem, &qb, ips.y, w);
         ips.y = qb.qdc();
         let rec = texture.reconstruct(mem, &qb, qp);
-        write_block(mem, &mut recon.y, bx, by, &rec);
+        write_block(mem, ry, bx, by, &rec);
     }
     let cx = (mbx * 8) as isize;
     let cy = (mby * 8) as isize;
-    for (plane_idx, (src, dst)) in [(&cur.u, &mut recon.u), (&cur.v, &mut recon.v)]
-        .into_iter()
-        .enumerate()
-    {
+    for (plane_idx, (src, dst)) in [(&cur.u, ru), (&cur.v, rv)].into_iter().enumerate() {
         let samples = read_block(mem, src, cx, cy);
         let qb = texture.transform_quant(mem, &samples, true, qp);
         let pred = if plane_idx == 0 { ips.u } else { ips.v };
@@ -1214,9 +1226,12 @@ fn quantize_inter_mb<M: MemModel>(
     qp: u8,
     mbx: usize,
     mby: usize,
-) -> (Vec<crate::texture::QuantizedBlock>, [bool; 6]) {
+) -> ([crate::texture::QuantizedBlock; 6], [bool; 6]) {
     texture.charge_pred_load(mem, 384);
-    let mut blocks = Vec::with_capacity(6);
+    let mut blocks = [crate::texture::QuantizedBlock {
+        levels: m4ps_dsp::CoefBlock::default(),
+        intra: false,
+    }; 6];
     let mut cbp = [false; 6];
     for (blk, coded) in cbp.iter_mut().enumerate().take(4) {
         let bx = (mbx * 16 + (blk % 2) * 8) as isize;
@@ -1225,7 +1240,7 @@ fn quantize_inter_mb<M: MemModel>(
         let res = residual(&samples, &pred_subblock(pred_y, blk));
         let qb = texture.transform_quant(mem, &res, false, qp);
         *coded = !qb.is_empty_inter();
-        blocks.push(qb);
+        blocks[blk] = qb;
     }
     let cx = (mbx * 8) as isize;
     let cy = (mby * 8) as isize;
@@ -1234,17 +1249,17 @@ fn quantize_inter_mb<M: MemModel>(
         let res = residual(&samples, pred);
         let qb = texture.transform_quant(mem, &res, false, qp);
         cbp[4 + i] = !qb.is_empty_inter();
-        blocks.push(qb);
+        blocks[4 + i] = qb;
     }
     (blocks, cbp)
 }
 
 /// Reconstructs an inter MB from levels + prediction and stores it.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn reconstruct_inter_mb<M: MemModel>(
+pub(crate) fn reconstruct_inter_mb<M: MemModel, F: FrameSink>(
     mem: &mut M,
-    recon: &mut TracedFrame,
-    blocks: &[crate::texture::QuantizedBlock],
+    recon: &mut F,
+    blocks: &[crate::texture::QuantizedBlock; 6],
     cbp: &[bool; 6],
     pred_y: &[u8; 256],
     pred_u: &[u8; 64],
@@ -1255,6 +1270,7 @@ pub(crate) fn reconstruct_inter_mb<M: MemModel>(
     mby: usize,
 ) {
     texture.charge_pred_load(mem, 384);
+    let (ry, ru, rv) = recon.planes_mut();
     for blk in 0..4 {
         let bx = (mbx * 16 + (blk % 2) * 8) as isize;
         let by = (mby * 16 + (blk / 2) * 8) as isize;
@@ -1269,14 +1285,11 @@ pub(crate) fn reconstruct_inter_mb<M: MemModel>(
             }
             out
         };
-        write_block(mem, &mut recon.y, bx, by, &rec);
+        write_block(mem, ry, bx, by, &rec);
     }
     let cx = (mbx * 8) as isize;
     let cy = (mby * 8) as isize;
-    for (i, (dst, pred)) in [(&mut recon.u, pred_u), (&mut recon.v, pred_v)]
-        .into_iter()
-        .enumerate()
-    {
+    for (i, (dst, pred)) in [(ru, pred_u), (rv, pred_v)].into_iter().enumerate() {
         let rec = if cbp[4 + i] {
             let res = texture.reconstruct(mem, &blocks[4 + i], qp);
             add_prediction(&res, pred)
@@ -1318,11 +1331,11 @@ const FOUR_MV_BIAS: u32 = 300;
 
 /// Encodes one macroblock of a P-VOP.
 #[allow(clippy::too_many_arguments)]
-fn encode_p_mb<M: MemModel>(
+fn encode_p_mb<M: MemModel, F: FrameSink>(
     mem: &mut M,
     cur: &TracedFrame,
     reference: &TracedFrame,
-    recon: &mut TracedFrame,
+    recon: &mut F,
     texture: &mut TextureCoder,
     search: &MotionSearch,
     qp: u8,
@@ -1454,12 +1467,12 @@ fn sad_against_pred<M: MemModel>(
 
 /// Encodes one macroblock of a B-VOP.
 #[allow(clippy::too_many_arguments)]
-fn encode_b_mb<M: MemModel>(
+fn encode_b_mb<M: MemModel, F: FrameSink>(
     mem: &mut M,
     cur: &TracedFrame,
     fwd: &TracedFrame,
     bwd: &TracedFrame,
-    recon: &mut TracedFrame,
+    recon: &mut F,
     texture: &mut TextureCoder,
     search: &MotionSearch,
     qp: u8,

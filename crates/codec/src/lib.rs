@@ -79,7 +79,7 @@ pub use error::CodecError;
 pub use header::{VolHeader, VopHeader};
 pub use mc::motion_compensate_block;
 pub use me::{MotionSearch, SearchOutcome};
-pub use plane::{TracedFrame, TracedPlane, PAD};
+pub use plane::{FrameViewMut, PlaneViewMut, TracedFrame, TracedPlane, PAD};
 pub use rate::RateController;
 pub use scene_session::{SceneDecoder, SceneEncoder, SessionStats};
 pub use shape::{decode_alpha_plane, encode_alpha_plane, BabClass};

@@ -2,7 +2,7 @@
 //! local-decode loop and the decoder, guaranteeing bit-exact
 //! reconstruction agreement.
 
-use crate::plane::TracedPlane;
+use crate::plane::{RowSink, TracedPlane};
 use crate::types::MotionVector;
 use m4ps_memsim::{AccessKind, MemModel};
 
@@ -25,10 +25,11 @@ pub(crate) fn read_block<M: MemModel>(
 }
 
 /// Writes an 8×8 block of `i16` samples, clamped to `0..=255`, with
-/// traced row stores.
-pub(crate) fn write_block<M: MemModel>(
+/// traced row stores. Generic over the destination so whole planes and
+/// borrowed slice regions share one write path.
+pub(crate) fn write_block<M: MemModel, P: RowSink>(
     mem: &mut M,
-    plane: &mut TracedPlane,
+    plane: &mut P,
     x: isize,
     y: isize,
     samples: &[i16; 64],

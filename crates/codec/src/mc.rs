@@ -40,8 +40,11 @@ pub fn motion_compensate_block<M: MemModel>(
     // The compiler prefetches ahead of the interpolation loop.
     mem.prefetch_pair(reference.addr_of(sx, sy));
 
-    // Gather the source window with traced row reads.
-    let mut window = vec![0u8; cols * rows];
+    // Gather the source window with traced row reads. Blocks are at
+    // most 16×16, so the (half-pel-extended) window fits on the stack —
+    // this runs per block and must not touch the heap.
+    debug_assert!(cols <= 17 && rows <= 17);
+    let mut window = [0u8; 17 * 17];
     for r in 0..rows {
         let src = reference.load_row(mem, sx, sy + r as isize, cols);
         window[r * cols..][..cols].copy_from_slice(src);

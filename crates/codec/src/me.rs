@@ -123,27 +123,32 @@ impl MotionSearch {
         let sx = bx + fx as isize;
         let sy = by + fy as isize;
         let mut acc = 0u32;
-        let mut prev_row: Option<Vec<u8>> = None;
+        // Reference rows are staged in two stack buffers (cols ≤ 17);
+        // with a vertical fraction the bottom row of one step is the top
+        // row of the next, carried by a swap — the hot half-pel loop
+        // performs no heap allocation.
+        let mut rbuf0 = [0u8; 17];
+        let mut rbuf1 = [0u8; 17];
+        let mut have_prev = false;
         for row in 0..size as isize {
-            let c: Vec<u8> = cur.load_row(mem, bx, by + row, size).to_vec();
-            let r0: Vec<u8> = if let Some(p) = prev_row.take() {
-                p
+            let c = cur.load_row(mem, bx, by + row, size);
+            if have_prev {
+                std::mem::swap(&mut rbuf0, &mut rbuf1);
             } else {
-                reference.load_row(mem, sx, sy + row, cols).to_vec()
-            };
-            let r1: Option<Vec<u8>> = if frac_y {
-                let v = reference.load_row(mem, sx, sy + row + 1, cols).to_vec();
-                Some(v)
-            } else {
-                None
-            };
+                rbuf0[..cols].copy_from_slice(reference.load_row(mem, sx, sy + row, cols));
+            }
+            if frac_y {
+                rbuf1[..cols].copy_from_slice(reference.load_row(mem, sx, sy + row + 1, cols));
+                have_prev = true;
+            }
             mem.add_ops(SAD_ROW_OPS * 2 * size as u64 / 16);
+            let (r0, r1) = (&rbuf0, &rbuf1);
             for i in 0..size {
-                let pred = match (frac_x, &r1) {
-                    (false, None) => u16::from(r0[i]),
-                    (true, None) => (u16::from(r0[i]) + u16::from(r0[i + 1]) + 1) >> 1,
-                    (false, Some(r1)) => (u16::from(r0[i]) + u16::from(r1[i]) + 1) >> 1,
-                    (true, Some(r1)) => {
+                let pred = match (frac_x, frac_y) {
+                    (false, false) => u16::from(r0[i]),
+                    (true, false) => (u16::from(r0[i]) + u16::from(r0[i + 1]) + 1) >> 1,
+                    (false, true) => (u16::from(r0[i]) + u16::from(r1[i]) + 1) >> 1,
+                    (true, true) => {
                         (u16::from(r0[i])
                             + u16::from(r0[i + 1])
                             + u16::from(r1[i])
@@ -153,9 +158,6 @@ impl MotionSearch {
                     }
                 };
                 acc += i32::from(c[i]).abs_diff(i32::from(pred));
-            }
-            if let Some(r1) = r1 {
-                prev_row = Some(r1);
             }
             if acc > cutoff {
                 break;

@@ -5,10 +5,29 @@
 //! search and compensation may address candidates that spill over the
 //! frame edge without bounds branches in the inner loops.
 
-use m4ps_memsim::{AddressSpace, MemModel, SimBuf};
+use m4ps_memsim::{AccessKind, AddressSpace, MemModel, SimBuf};
+use std::ops::Range;
 
 /// Border width in pixels around every plane.
 pub const PAD: usize = 16;
+
+/// A mutable row-range destination for traced pixel writes.
+///
+/// Implemented by whole planes ([`TracedPlane`]) and by borrowed slice
+/// regions ([`PlaneViewMut`]), so the macroblock write path is shared
+/// between the sequential decoder and the zero-copy parallel encoder.
+pub(crate) trait RowSink {
+    /// Traced write of a row of pixels at `(x, y)`.
+    fn store_row<M: MemModel>(&mut self, mem: &mut M, x: isize, y: isize, src: &[u8]);
+}
+
+/// A mutable 4:2:0 destination (three [`RowSink`] planes).
+pub(crate) trait FrameSink {
+    /// Plane type of the three components.
+    type Plane: RowSink;
+    /// Mutable access to `(y, u, v)` at once.
+    fn planes_mut(&mut self) -> (&mut Self::Plane, &mut Self::Plane, &mut Self::Plane);
+}
 
 /// One traced 8-bit pixel plane.
 #[derive(Debug, Clone)]
@@ -112,28 +131,48 @@ impl TracedPlane {
         self.buf.addr_of(self.index(x, y))
     }
 
-    /// Untraced bulk copy of the visible rows `[y0, y1)` from a clone
-    /// of this plane. This is the slice stitch-back of the parallel
-    /// encoder: each slice writes its rows into a private clone whose
-    /// traffic is charged to the slice's own memory model, so copying
-    /// the finished rows home must not be charged again.
+    /// Splits the plane into disjoint mutable views over the visible
+    /// row ranges `parts` (ascending, non-overlapping). Each view owns
+    /// the full padded width of its rows and charges its stores to the
+    /// same simulated addresses the whole plane would, so slice workers
+    /// write the reconstruction in place — no private clone, no
+    /// stitch-back copy — while the traced reference stream stays
+    /// byte-identical to the sequential path.
     ///
     /// # Panics
     ///
-    /// Panics if the planes differ in geometry or the row range exceeds
-    /// the visible height.
-    pub fn copy_rows_untraced_from(&mut self, src: &TracedPlane, y0: usize, y1: usize) {
-        assert_eq!(
-            (self.width, self.height),
-            (src.width, src.height),
-            "plane geometry mismatch"
-        );
-        assert!(y0 <= y1 && y1 <= self.height, "row range out of bounds");
-        for y in y0..y1 {
-            let i = self.index(0, y as isize);
-            self.buf.raw_mut()[i..i + self.width]
-                .copy_from_slice(src.raw_row(0, y as isize, self.width));
+    /// Panics if the ranges overlap, run out of order, or exceed the
+    /// visible height.
+    pub fn split_rows_mut(&mut self, parts: &[Range<usize>]) -> Vec<PlaneViewMut<'_>> {
+        let (width, height, stride) = (self.width, self.height, self.stride);
+        let base = self.buf.base_addr();
+        let mut rest: &mut [u8] = self.buf.raw_mut();
+        let mut consumed = 0usize; // bytes already split off the front
+        let mut prev_end = 0usize;
+        let mut out = Vec::with_capacity(parts.len());
+        for r in parts {
+            assert!(
+                r.start >= prev_end && r.start <= r.end && r.end <= height,
+                "row ranges must be ascending, disjoint and within 0..{height}"
+            );
+            prev_end = r.end;
+            let first = (r.start + PAD) * stride;
+            let last = (r.end + PAD) * stride;
+            let tail = std::mem::take(&mut rest);
+            let (_, tail) = tail.split_at_mut(first - consumed);
+            let (mid, tail) = tail.split_at_mut(last - first);
+            rest = tail;
+            consumed = last;
+            out.push(PlaneViewMut {
+                data: mid,
+                base: base + first as u64,
+                stride,
+                width,
+                y0: r.start as isize,
+                y1: r.end as isize,
+            });
         }
+        out
     }
 
     /// Copies an untraced source plane (e.g. generator output) into the
@@ -307,20 +346,134 @@ impl TracedFrame {
         self.v.pad_borders(mem);
     }
 
-    /// Untraced copy of the macroblock rows `mb_rows` (16-pixel luma
-    /// rows, 8-pixel chroma rows) from a clone of this frame — the
-    /// slice stitch-back; see [`TracedPlane::copy_rows_untraced_from`].
-    pub fn copy_mb_rows_untraced_from(
+    /// Splits the frame into disjoint mutable views over the given
+    /// macroblock-row ranges (16-pixel luma rows, 8-pixel chroma rows)
+    /// — the zero-copy slice regions of the parallel encoder; see
+    /// [`TracedPlane::split_rows_mut`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges overlap, run out of order, or exceed the
+    /// frame's macroblock rows.
+    pub fn split_mb_rows_mut(&mut self, mb_rows: &[Range<usize>]) -> Vec<FrameViewMut<'_>> {
+        let luma: Vec<Range<usize>> = mb_rows.iter().map(|r| r.start * 16..r.end * 16).collect();
+        let chroma: Vec<Range<usize>> = mb_rows.iter().map(|r| r.start * 8..r.end * 8).collect();
+        let ys = self.y.split_rows_mut(&luma);
+        let us = self.u.split_rows_mut(&chroma);
+        let vs = self.v.split_rows_mut(&chroma);
+        ys.into_iter()
+            .zip(us)
+            .zip(vs)
+            .map(|((y, u), v)| FrameViewMut { y, u, v })
+            .collect()
+    }
+}
+
+/// A mutable borrowed window of a [`TracedPlane`] covering the visible
+/// rows `[y0, y1)`, with the plane's padded-access semantics: `x` may
+/// address the side pads, addresses and store tracing are identical to
+/// writing the parent plane directly. Disjoint views of one plane can
+/// be written from different threads (`split_at_mut`-style borrowing).
+#[derive(Debug)]
+pub struct PlaneViewMut<'a> {
+    data: &'a mut [u8],
+    /// Simulated address of `data[0]`.
+    base: u64,
+    stride: usize,
+    width: usize,
+    y0: isize,
+    y1: isize,
+}
+
+impl PlaneViewMut<'_> {
+    /// Visible width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The visible row range this view may write.
+    pub fn rows(&self) -> Range<isize> {
+        self.y0..self.y1
+    }
+
+    /// Linear index of signed coordinates within the view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` falls outside the view's rows or `x` outside the
+    /// padded width.
+    fn index(&self, x: isize, y: isize) -> usize {
+        let px = x + PAD as isize;
+        assert!(
+            px >= 0 && (px as usize) < self.stride,
+            "x {x} out of padded range"
+        );
+        assert!(
+            y >= self.y0 && y < self.y1,
+            "y {y} outside view rows {}..{}",
+            self.y0,
+            self.y1
+        );
+        (y - self.y0) as usize * self.stride + px as usize
+    }
+
+    /// Traced write of a row of pixels at `(x, y)` — same charge stream
+    /// as [`TracedPlane::store_row`] on the parent plane.
+    pub fn store_row<M: MemModel>(&mut self, mem: &mut M, x: isize, y: isize, src: &[u8]) {
+        let i = self.index(x, y);
+        if !src.is_empty() {
+            mem.access_range(
+                self.base + i as u64,
+                src.len() as u64,
+                AccessKind::Store,
+                src.len() as u64,
+            );
+        }
+        self.data[i..i + src.len()].copy_from_slice(src);
+    }
+}
+
+/// Disjoint mutable views of a [`TracedFrame`]'s three planes over one
+/// slice's macroblock rows.
+#[derive(Debug)]
+pub struct FrameViewMut<'a> {
+    /// Luminance rows.
+    pub y: PlaneViewMut<'a>,
+    /// Cb rows.
+    pub u: PlaneViewMut<'a>,
+    /// Cr rows.
+    pub v: PlaneViewMut<'a>,
+}
+
+impl RowSink for TracedPlane {
+    fn store_row<M: MemModel>(&mut self, mem: &mut M, x: isize, y: isize, src: &[u8]) {
+        TracedPlane::store_row(self, mem, x, y, src);
+    }
+}
+
+impl RowSink for PlaneViewMut<'_> {
+    fn store_row<M: MemModel>(&mut self, mem: &mut M, x: isize, y: isize, src: &[u8]) {
+        PlaneViewMut::store_row(self, mem, x, y, src);
+    }
+}
+
+impl FrameSink for TracedFrame {
+    type Plane = TracedPlane;
+    fn planes_mut(&mut self) -> (&mut TracedPlane, &mut TracedPlane, &mut TracedPlane) {
+        (&mut self.y, &mut self.u, &mut self.v)
+    }
+}
+
+impl<'a> FrameSink for FrameViewMut<'a> {
+    type Plane = PlaneViewMut<'a>;
+    fn planes_mut(
         &mut self,
-        src: &TracedFrame,
-        mb_rows: std::ops::Range<usize>,
+    ) -> (
+        &mut PlaneViewMut<'a>,
+        &mut PlaneViewMut<'a>,
+        &mut PlaneViewMut<'a>,
     ) {
-        self.y
-            .copy_rows_untraced_from(&src.y, mb_rows.start * 16, mb_rows.end * 16);
-        self.u
-            .copy_rows_untraced_from(&src.u, mb_rows.start * 8, mb_rows.end * 8);
-        self.v
-            .copy_rows_untraced_from(&src.v, mb_rows.start * 8, mb_rows.end * 8);
+        (&mut self.y, &mut self.u, &mut self.v)
     }
 }
 
@@ -417,5 +570,79 @@ mod tests {
         let f = TracedFrame::new(&mut space, 32, 16);
         assert_ne!(f.y.addr_of(0, 0), f.u.addr_of(0, 0));
         assert_ne!(f.u.addr_of(0, 0), f.v.addr_of(0, 0));
+    }
+
+    #[test]
+    fn view_stores_land_in_parent_plane() {
+        let (mut space, mut mem) = setup();
+        let mut p = TracedPlane::new(&mut space, 32, 32);
+        {
+            let mut views = p.split_rows_mut(&[0..16, 16..32]);
+            views[0].store_row(&mut mem, 0, 3, &[7; 32]);
+            views[1].store_row(&mut mem, -2, 20, &[9; 36]);
+            assert_eq!(views[0].rows(), 0..16);
+            assert_eq!(views[1].rows(), 16..32);
+        }
+        assert_eq!(p.load_row(&mut mem, 0, 3, 32), &[7; 32]);
+        assert_eq!(p.load_row(&mut mem, -2, 20, 36), &[9; 36]);
+        assert_eq!(p.load_pixel(&mut mem, 0, 4), 0);
+    }
+
+    #[test]
+    fn view_stores_charge_the_same_traced_addresses() {
+        use m4ps_memsim::{Hierarchy, MachineSpec};
+        let mut space = AddressSpace::new();
+        let mut a = TracedPlane::new(&mut space, 48, 32);
+        // A second plane at *the same simulated addresses* is what a
+        // per-slice clone used to be: clones preserve the base address.
+        let mut b = a.clone();
+
+        let mut mem_direct = Hierarchy::new(MachineSpec::o2());
+        for y in 0..32 {
+            a.store_row(&mut mem_direct, 0, y, &[y as u8; 48]);
+        }
+
+        let mut mem_view = Hierarchy::new(MachineSpec::o2());
+        let mut views = b.split_rows_mut(&[0..16, 16..32]);
+        for v in &mut views {
+            for y in v.rows() {
+                v.store_row(&mut mem_view, 0, y, &[y as u8; 48]);
+            }
+        }
+        assert_eq!(mem_direct.counters(), mem_view.counters());
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending, disjoint")]
+    fn overlapping_split_ranges_panic() {
+        let (mut space, _) = setup();
+        let mut p = TracedPlane::new(&mut space, 32, 32);
+        let _ = p.split_rows_mut(&[0..16, 8..32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside view rows")]
+    // One deliberate half-height part, not a range-to-Vec typo.
+    #[allow(clippy::single_range_in_vec_init)]
+    fn view_rejects_rows_outside_its_range() {
+        let (mut space, mut mem) = setup();
+        let mut p = TracedPlane::new(&mut space, 32, 32);
+        let mut views = p.split_rows_mut(&[0..16]);
+        views[0].store_row(&mut mem, 0, 16, &[1; 32]);
+    }
+
+    #[test]
+    fn frame_split_covers_luma_and_chroma_rows() {
+        let (mut space, mut mem) = setup();
+        let mut f = TracedFrame::new(&mut space, 32, 32);
+        {
+            let mut views = f.split_mb_rows_mut(&[0..1, 1..2]);
+            assert_eq!(views[0].y.rows(), 0..16);
+            assert_eq!(views[0].u.rows(), 0..8);
+            assert_eq!(views[1].y.rows(), 16..32);
+            assert_eq!(views[1].v.rows(), 8..16);
+            views[1].u.store_row(&mut mem, 0, 12, &[5; 16]);
+        }
+        assert_eq!(f.u.load_pixel(&mut mem, 0, 12), 5);
     }
 }

@@ -1,0 +1,77 @@
+//! Steady-state allocation budget for slice encoding.
+//!
+//! After the first VOPs have grown the per-slice scratch arenas, a
+//! sliced encode must not allocate per macroblock: all block-level
+//! buffers are stack arrays or recycled arena state. QCIF is 99
+//! macroblocks per frame, so asserting fewer allocations than
+//! macroblocks per steady-state frame proves the hot loop is clean
+//! while leaving room for the legitimate per-frame/per-slice setup
+//! (output `Vec`s, slice bitstream buffers, returned VOP metadata).
+//!
+//! Lives in its own integration-test binary because it installs a
+//! process-wide `#[global_allocator]`.
+
+use m4ps_codec::{EncoderConfig, FrameView, GopStructure, VideoObjectCoder};
+use m4ps_memsim::{AddressSpace, NullModel};
+use m4ps_testkit::alloc::CountingAlloc;
+use m4ps_vidgen::{Resolution, Scene, SceneSpec};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+const MBS_PER_FRAME: u64 = 99; // QCIF: 11 × 9 macroblocks
+const WARMUP_FRAMES: usize = 4;
+const MEASURED_FRAMES: usize = 8;
+
+#[test]
+fn steady_state_slice_encode_does_not_allocate_per_macroblock() {
+    let scene = Scene::new(SceneSpec {
+        resolution: Resolution::QCIF,
+        objects: 0,
+        seed: 7,
+    });
+    // P-only GOP keeps the B-queue from deferring output: every call
+    // emits exactly one VOP, so per-frame deltas are comparable.
+    let config = EncoderConfig {
+        gop: GopStructure {
+            intra_period: 1 << 20,
+            b_frames: 0,
+        },
+        ..EncoderConfig::fast_test()
+    }
+    .with_slices(2);
+    // Pre-render frames so scene generation doesn't bill the encoder.
+    let frames: Vec<_> = (0..WARMUP_FRAMES + MEASURED_FRAMES)
+        .map(|t| scene.frame(t))
+        .collect();
+
+    let mut mem = NullModel::new();
+    let mut space = AddressSpace::new();
+    let mut coder = VideoObjectCoder::new(&mut space, 176, 144, config).unwrap();
+    coder.set_threads(1);
+
+    let encode = |coder: &mut VideoObjectCoder, mem: &mut NullModel, f: &m4ps_vidgen::YuvFrame| {
+        let view = FrameView {
+            width: 176,
+            height: 144,
+            y: &f.y,
+            u: &f.u,
+            v: &f.v,
+        };
+        coder.encode_frame(mem, &view, None).unwrap();
+    };
+
+    for f in &frames[..WARMUP_FRAMES] {
+        encode(&mut coder, &mut mem, f);
+    }
+    let before = ALLOC.allocations();
+    for f in &frames[WARMUP_FRAMES..] {
+        encode(&mut coder, &mut mem, f);
+    }
+    let per_frame = (ALLOC.allocations() - before) / MEASURED_FRAMES as u64;
+    assert!(
+        per_frame < MBS_PER_FRAME,
+        "steady-state encode allocates {per_frame} times per frame \
+         (>= {MBS_PER_FRAME} macroblocks) — a per-macroblock allocation is back"
+    );
+}

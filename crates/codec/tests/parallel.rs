@@ -6,6 +6,7 @@
 
 use m4ps_codec::{EncoderConfig, FrameView, GopStructure, VideoObjectCoder, VideoObjectDecoder};
 use m4ps_memsim::{AddressSpace, Counters, Hierarchy, MachineSpec, MemModel, NullModel};
+use m4ps_testkit::prop::{self, Config};
 use m4ps_vidgen::{Resolution, Scene, SceneSpec};
 
 const FRAMES: usize = 5;
@@ -30,10 +31,21 @@ fn encode_stream<M: m4ps_memsim::ParallelModel>(
     threads: usize,
     keep_recon: bool,
 ) -> (Vec<u8>, Vec<Vec<u8>>) {
+    encode_scene(mem, 7, slices, threads, keep_recon)
+}
+
+/// Like [`encode_stream`] but over an arbitrary scene seed.
+fn encode_scene<M: m4ps_memsim::ParallelModel>(
+    mem: &mut M,
+    scene_seed: u64,
+    slices: usize,
+    threads: usize,
+    keep_recon: bool,
+) -> (Vec<u8>, Vec<Vec<u8>>) {
     let scene = Scene::new(SceneSpec {
         resolution: Resolution::QCIF,
         objects: 0,
-        seed: 7,
+        seed: scene_seed,
     });
     let mut space = AddressSpace::new();
     let mut coder = VideoObjectCoder::new(&mut space, 176, 144, test_config(slices)).unwrap();
@@ -124,6 +136,47 @@ fn slice_count_is_a_bitstream_parameter() {
     let (sliced, _) = encode_stream(&mut mem, 4, 1, false);
     let (unsliced, _) = encode_stream(&mut mem, 1, 1, false);
     assert_ne!(sliced, unsliced);
+}
+
+#[test]
+fn random_scenes_encode_identically_for_any_thread_count() {
+    // Property: for ANY scene, slice count and thread count, the
+    // parallel encode produces exactly the bitstream and merged
+    // counters of the sequential (threads = 1) encode at the SAME
+    // slice count. Randomizing all three inputs covers uneven slice
+    // partitions and more-threads-than-slices schedules the pinned
+    // tests above don't reach.
+    prop::check(
+        "parallel_encode_determinism",
+        &Config::with_cases(5),
+        |rng| {
+            (
+                rng.gen_range(0u64..1 << 32),
+                rng.gen_range(1..=10usize),
+                rng.gen_range(2..=8usize),
+            )
+        },
+        |&(scene_seed, slices, threads)| {
+            let run = |threads: usize| {
+                let mut mem = Hierarchy::new(MachineSpec::o2());
+                let (stream, _) = encode_scene(&mut mem, scene_seed, slices, threads, false);
+                (stream, *mem.counters())
+            };
+            let (seq_stream, seq_counters) = run(1);
+            let (par_stream, par_counters) = run(threads);
+            if par_stream != seq_stream {
+                return Err(format!(
+                    "bitstream differs: {slices} slices, {threads} threads"
+                ));
+            }
+            if par_counters != seq_counters {
+                return Err(format!(
+                    "merged counters differ: {slices} slices, {threads} threads"
+                ));
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]

@@ -8,33 +8,52 @@
 //! (encoder/decoder bit-exactness is what matters there); this module
 //! exists for the kernel benches and as a drop-in for integer-only
 //! targets.
+//!
+//! The cosine/scale tables are computed once into a process-wide
+//! `static` (they used to be rebuilt on every call — 64 `cos()`
+//! evaluations per block), and both passes exploit the cosine mirror
+//! symmetry `cos[k][7−n] = (−1)^k · cos[k][n]` to fold each 8-term sum
+//! into a 4-term butterfly. The fold is exact in integer arithmetic
+//! because the table is built mirrored by construction.
 
 use crate::dct::CoefBlock;
 use crate::{Block, BLOCK};
+use std::sync::OnceLock;
 
 /// Fixed-point fractional bits.
 const FRAC: u32 = 13;
 const ONE: i64 = 1 << FRAC;
 
-/// `round(cos((2n+1)·k·π/16) · 2^13)`.
-fn cos_fp() -> [[i64; BLOCK]; BLOCK] {
-    let mut t = [[0i64; BLOCK]; BLOCK];
-    for (k, row) in t.iter_mut().enumerate() {
-        for (n, v) in row.iter_mut().enumerate() {
-            let c = (std::f64::consts::PI * (2.0 * n as f64 + 1.0) * k as f64 / 16.0).cos();
-            *v = (c * ONE as f64).round() as i64;
-        }
-    }
-    t
+/// Precomputed fixed-point basis: `cos[k][n] = round(cos((2n+1)·k·π/16)
+/// · 2^13)` for the first half of each row (`n < 4` — the second half
+/// is `(−1)^k` times the first, applied by the butterfly), and
+/// `scale[k] = round(alpha(k) · 2^13)` with alpha √(1/8) for k = 0 and
+/// 1/2 otherwise.
+struct Tables {
+    cos: [[i64; BLOCK / 2]; BLOCK],
+    scale: [i64; BLOCK],
 }
 
-/// `round(alpha(k) · 2^13)`: √(1/8) for k = 0, √(2/8) = 1/2 for k > 0.
-fn scale_fp(k: usize) -> i64 {
-    if k == 0 {
-        ((1.0f64 / 8.0).sqrt() * ONE as f64).round() as i64
-    } else {
-        ONE / 2
-    }
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut cos = [[0i64; BLOCK / 2]; BLOCK];
+        for (k, row) in cos.iter_mut().enumerate() {
+            for (n, v) in row.iter_mut().enumerate() {
+                let c = (std::f64::consts::PI * (2.0 * n as f64 + 1.0) * k as f64 / 16.0).cos();
+                *v = (c * ONE as f64).round() as i64;
+            }
+        }
+        let mut scale = [ONE / 2; BLOCK];
+        scale[0] = ((1.0f64 / 8.0).sqrt() * ONE as f64).round() as i64;
+        Tables { cos, scale }
+    })
+}
+
+/// `(v + 2^(sh−1)) >> sh` — round-half-up under arithmetic shift.
+#[inline]
+fn round_shift(v: i64, sh: u32) -> i64 {
+    (v + (1 << (sh - 1))) >> sh
 }
 
 /// Forward 8×8 DCT in 64-bit fixed-point arithmetic.
@@ -42,28 +61,43 @@ fn scale_fp(k: usize) -> i64 {
 // which axis each index walks.
 #[allow(clippy::needless_range_loop)]
 pub fn forward_dct_int(block: &Block) -> CoefBlock {
-    let cos = cos_fp();
-    // Rows: tmp scaled by 2^13.
+    let t = tables();
+    // Rows: tmp scaled by 2^13. Even k see the mirrored sums s[n],
+    // odd k the differences d[n].
     let mut tmp = [0i64; 64];
     for r in 0..BLOCK {
+        let row = &block.data[r * BLOCK..][..BLOCK];
+        let mut s = [0i64; 4];
+        let mut d = [0i64; 4];
+        for n in 0..4 {
+            s[n] = i64::from(row[n]) + i64::from(row[7 - n]);
+            d[n] = i64::from(row[n]) - i64::from(row[7 - n]);
+        }
         for k in 0..BLOCK {
+            let half = if k % 2 == 0 { &s } else { &d };
             let mut acc: i64 = 0;
-            for n in 0..BLOCK {
-                acc += i64::from(block.data[r * BLOCK + n]) * cos[k][n];
+            for n in 0..4 {
+                acc += half[n] * t.cos[k][n];
             }
-            tmp[r * BLOCK + k] = (scale_fp(k) * acc) >> FRAC; // scaled 2^13
+            tmp[r * BLOCK + k] = (t.scale[k] * acc) >> FRAC; // scaled 2^13
         }
     }
     // Columns: result scaled by 2^39 before the final shift.
     let mut out = CoefBlock::default();
     for c in 0..BLOCK {
+        let mut s = [0i64; 4];
+        let mut d = [0i64; 4];
+        for n in 0..4 {
+            s[n] = tmp[n * BLOCK + c] + tmp[(7 - n) * BLOCK + c];
+            d[n] = tmp[n * BLOCK + c] - tmp[(7 - n) * BLOCK + c];
+        }
         for k in 0..BLOCK {
+            let half = if k % 2 == 0 { &s } else { &d };
             let mut acc: i64 = 0;
-            for n in 0..BLOCK {
-                acc += tmp[n * BLOCK + c] * cos[k][n]; // scaled 2^26
+            for n in 0..4 {
+                acc += half[n] * t.cos[k][n]; // scaled 2^26
             }
-            let v = scale_fp(k) * acc; // scaled 2^39
-            let rounded = (v + (1 << (3 * FRAC - 1))) >> (3 * FRAC);
+            let rounded = round_shift(t.scale[k] * acc, 3 * FRAC); // from 2^39
             out.data[k * BLOCK + c] = rounded.clamp(-32768, 32767) as i16;
         }
     }
@@ -71,30 +105,49 @@ pub fn forward_dct_int(block: &Block) -> CoefBlock {
 }
 
 /// Inverse 8×8 DCT in 64-bit fixed-point arithmetic.
+///
+/// Per-term shifts are deferred: each pass accumulates the full-precision
+/// products (well within i64) and rounds once, so the butterfly fold over
+/// output samples `n` and `7−n` is exact.
 #[allow(clippy::needless_range_loop)]
 pub fn inverse_dct_int(coefs: &CoefBlock) -> Block {
-    let cos = cos_fp();
-    // Columns first, mirroring the float reference.
+    let t = tables();
+    // Columns first, mirroring the float reference. Even k contribute
+    // identically to samples n and 7−n, odd k with opposite sign.
     let mut tmp = [0i64; 64];
     for c in 0..BLOCK {
-        for n in 0..BLOCK {
-            let mut acc: i64 = 0;
-            for k in 0..BLOCK {
-                // scale · coef · cos, scaled 2^26 — full precision kept.
-                acc += (scale_fp(k) * i64::from(coefs.data[k * BLOCK + c]) * cos[k][n]) >> FRAC;
+        let mut e = [0i64; 4];
+        let mut o = [0i64; 4];
+        for k in 0..BLOCK {
+            let g = t.scale[k] * i64::from(coefs.data[k * BLOCK + c]); // scaled 2^26
+            let half = if k % 2 == 0 { &mut e } else { &mut o };
+            for n in 0..4 {
+                half[n] += g * t.cos[k][n]; // scaled 2^39
             }
-            tmp[n * BLOCK + c] = acc; // scaled 2^13
+        }
+        for n in 0..4 {
+            // e/o carry 2·FRAC fractional bits (scale · cos); one
+            // rounded shift by FRAC leaves the 2^13 working scale.
+            tmp[n * BLOCK + c] = round_shift(e[n] + o[n], FRAC); // scaled 2^13
+            tmp[(7 - n) * BLOCK + c] = round_shift(e[n] - o[n], FRAC);
         }
     }
     let mut out = Block::default();
     for r in 0..BLOCK {
-        for n in 0..BLOCK {
-            let mut acc: i64 = 0;
-            for k in 0..BLOCK {
-                acc += (scale_fp(k) * tmp[r * BLOCK + k] * cos[k][n]) >> FRAC; // scaled 2^26
+        let mut e = [0i64; 4];
+        let mut o = [0i64; 4];
+        for k in 0..BLOCK {
+            let g = t.scale[k] * tmp[r * BLOCK + k]; // scaled 2^26
+            let half = if k % 2 == 0 { &mut e } else { &mut o };
+            for n in 0..4 {
+                half[n] += g * t.cos[k][n]; // scaled 2^39
             }
-            let rounded = (acc + (1 << (2 * FRAC - 1))) >> (2 * FRAC);
-            out.data[r * BLOCK + n] = rounded.clamp(-32768, 32767) as i16;
+        }
+        for n in 0..4 {
+            let a = round_shift(e[n] + o[n], 3 * FRAC);
+            let b = round_shift(e[n] - o[n], 3 * FRAC);
+            out.data[r * BLOCK + n] = a.clamp(-32768, 32767) as i16;
+            out.data[r * BLOCK + 7 - n] = b.clamp(-32768, 32767) as i16;
         }
     }
     out
@@ -182,5 +235,53 @@ mod tests {
         let e_in: f64 = b.data.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
         let e_out: f64 = c.data.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
         assert!((e_in - e_out).abs() < 0.01 * e_in, "{e_in} vs {e_out}");
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // k/n mirror the DCT sum indices
+    fn butterfly_matches_direct_8term_sums() {
+        // The folded 4-term butterflies must equal the plain 8-term
+        // sums computed with the full (mirrored) table.
+        let t = tables();
+        let mut full = [[0i64; BLOCK]; BLOCK];
+        for k in 0..BLOCK {
+            for n in 0..4 {
+                full[k][n] = t.cos[k][n];
+                full[k][7 - n] = if k % 2 == 0 {
+                    t.cos[k][n]
+                } else {
+                    -t.cos[k][n]
+                };
+            }
+        }
+        for seed in 0..4 {
+            let b = textured_block(seed);
+            let fast = forward_dct_int(&b);
+            // Direct evaluation with the full table.
+            let mut tmp = [0i64; 64];
+            for r in 0..BLOCK {
+                for k in 0..BLOCK {
+                    let mut acc = 0i64;
+                    for n in 0..BLOCK {
+                        acc += i64::from(b.data[r * BLOCK + n]) * full[k][n];
+                    }
+                    tmp[r * BLOCK + k] = (t.scale[k] * acc) >> FRAC;
+                }
+            }
+            for c in 0..BLOCK {
+                for k in 0..BLOCK {
+                    let mut acc = 0i64;
+                    for n in 0..BLOCK {
+                        acc += tmp[n * BLOCK + c] * full[k][n];
+                    }
+                    let direct = round_shift(t.scale[k] * acc, 3 * FRAC).clamp(-32768, 32767);
+                    assert_eq!(
+                        i64::from(fast.data[k * BLOCK + c]),
+                        direct,
+                        "seed {seed} coef ({k},{c})"
+                    );
+                }
+            }
+        }
     }
 }

@@ -11,6 +11,26 @@ pub const SAD16_OPS: u64 = 768;
 /// Compute ops per full 8×8 SAD.
 pub const SAD8_OPS: u64 = 192;
 
+/// One row's absolute-difference sum over fixed-size arrays: the array
+/// types let the compiler drop every per-element bounds check from the
+/// accumulation (the single length check happens in the `try_into`).
+#[inline]
+fn sad_row<const N: usize>(c: &[u8; N], r: &[u8; N]) -> u32 {
+    let mut acc = 0u32;
+    for i in 0..N {
+        acc += u32::from(c[i].abs_diff(r[i]));
+    }
+    acc
+}
+
+/// The `N`-pixel row of `plane` at `(x, y)` as a fixed-size array ref.
+#[inline]
+fn row_n<const N: usize>(plane: &[u8], stride: usize, x: usize, y: usize) -> &[u8; N] {
+    plane[y * stride + x..][..N]
+        .try_into()
+        .expect("row slice is exactly N long")
+}
+
 /// SAD between a 16×16 block in `cur` at `(cx, cy)` and one in `reference`
 /// at `(rx, ry)`. `stride` applies to both planes.
 ///
@@ -18,6 +38,7 @@ pub const SAD8_OPS: u64 = 192;
 ///
 /// Panics (via slice indexing) if either block exceeds plane bounds.
 #[allow(clippy::too_many_arguments)]
+#[inline]
 pub fn sad_16x16(
     cur: &[u8],
     cur_stride: usize,
@@ -30,20 +51,21 @@ pub fn sad_16x16(
 ) -> u32 {
     let mut acc = 0u32;
     for row in 0..16 {
-        let c = &cur[(cy + row) * cur_stride + cx..][..16];
-        let r = &reference[(ry + row) * ref_stride + rx..][..16];
-        for i in 0..16 {
-            acc += u32::from(c[i].abs_diff(r[i]));
-        }
+        acc += sad_row(
+            row_n::<16>(cur, cur_stride, cx, cy + row),
+            row_n::<16>(reference, ref_stride, rx, ry + row),
+        );
     }
     acc
 }
 
 /// Like [`sad_16x16`] but abandons the candidate once the partial sum
-/// exceeds `cutoff`, returning the partial sum (which is `> cutoff`).
-/// Also returns how many 16-pixel rows were actually visited, so the
-/// caller can charge memory accesses for exactly the data touched.
+/// exceeds `cutoff` after any 16-pixel row, returning the partial sum
+/// (which is `> cutoff`). Also returns how many rows were actually
+/// visited, so the caller can charge memory accesses for exactly the
+/// data touched.
 #[allow(clippy::too_many_arguments)]
+#[inline]
 pub fn sad_16x16_with_cutoff(
     cur: &[u8],
     cur_stride: usize,
@@ -57,11 +79,10 @@ pub fn sad_16x16_with_cutoff(
 ) -> (u32, usize) {
     let mut acc = 0u32;
     for row in 0..16 {
-        let c = &cur[(cy + row) * cur_stride + cx..][..16];
-        let r = &reference[(ry + row) * ref_stride + rx..][..16];
-        for i in 0..16 {
-            acc += u32::from(c[i].abs_diff(r[i]));
-        }
+        acc += sad_row(
+            row_n::<16>(cur, cur_stride, cx, cy + row),
+            row_n::<16>(reference, ref_stride, rx, ry + row),
+        );
         if acc > cutoff {
             return (acc, row + 1);
         }
@@ -72,6 +93,7 @@ pub fn sad_16x16_with_cutoff(
 /// SAD between two 8×8 blocks, used for chroma and half-pel refinement of
 /// 8×8 partitions.
 #[allow(clippy::too_many_arguments)]
+#[inline]
 pub fn sad_8x8(
     cur: &[u8],
     cur_stride: usize,
@@ -84,11 +106,10 @@ pub fn sad_8x8(
 ) -> u32 {
     let mut acc = 0u32;
     for row in 0..8 {
-        let c = &cur[(cy + row) * cur_stride + cx..][..8];
-        let r = &reference[(ry + row) * ref_stride + rx..][..8];
-        for i in 0..8 {
-            acc += u32::from(c[i].abs_diff(r[i]));
-        }
+        acc += sad_row(
+            row_n::<8>(cur, cur_stride, cx, cy + row),
+            row_n::<8>(reference, ref_stride, rx, ry + row),
+        );
     }
     acc
 }

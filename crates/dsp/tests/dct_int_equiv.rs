@@ -1,0 +1,107 @@
+//! Integer-DCT equivalence corpus: the fixed-point transforms must track
+//! the double-precision reference to within ±2 counts in both directions
+//! over randomized pixel blocks and residual-range blocks.
+
+use m4ps_dsp::{
+    forward_dct, forward_dct_int, inverse_dct, inverse_dct_int, Block, CoefBlock, BLOCK,
+};
+use m4ps_testkit::prop::{self, CaseResult, Config};
+use m4ps_testkit::rng::Rng;
+
+const N: usize = BLOCK * BLOCK;
+
+/// A block of unsigned pixel samples (0..=255), the intra-coding input
+/// range.
+fn pixel_block(rng: &mut Rng) -> Block {
+    let mut b = Block::default();
+    for v in b.data.iter_mut() {
+        *v = rng.gen_range(0..=255i16);
+    }
+    b
+}
+
+/// A block of signed residual samples (−255..=255), the inter-coding
+/// input range.
+fn residual_block(rng: &mut Rng) -> Block {
+    let mut b = Block::default();
+    for v in b.data.iter_mut() {
+        *v = rng.gen_range(-255..=255i16);
+    }
+    b
+}
+
+fn close_within_two(float: &[i16; N], fixed: &[i16; N], what: &str) -> CaseResult {
+    for i in 0..N {
+        let d = (i32::from(float[i]) - i32::from(fixed[i])).abs();
+        if d > 2 {
+            return Err(format!(
+                "{what} index {i}: float {} vs fixed {}",
+                float[i], fixed[i]
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn forward_int_tracks_float_on_pixel_corpus() {
+    prop::check(
+        "forward_int_pixel",
+        &Config::with_cases(64),
+        pixel_block,
+        |b| close_within_two(&forward_dct(b).data, &forward_dct_int(b).data, "pixel fwd"),
+    );
+}
+
+#[test]
+fn forward_int_tracks_float_on_residual_corpus() {
+    prop::check(
+        "forward_int_residual",
+        &Config::with_cases(64),
+        residual_block,
+        |b| {
+            close_within_two(
+                &forward_dct(b).data,
+                &forward_dct_int(b).data,
+                "residual fwd",
+            )
+        },
+    );
+}
+
+#[test]
+fn inverse_int_tracks_float_on_coef_corpus() {
+    // Feed both inverses coefficients produced by the float forward on
+    // random blocks, so the corpus stays in the coefficient range the
+    // codec actually produces.
+    prop::check(
+        "inverse_int",
+        &Config::with_cases(64),
+        |rng| {
+            let b = if rng.gen_bool() {
+                pixel_block(rng)
+            } else {
+                residual_block(rng)
+            };
+            forward_dct(&b)
+        },
+        |c: &CoefBlock| close_within_two(&inverse_dct(c).data, &inverse_dct_int(c).data, "inverse"),
+    );
+}
+
+#[test]
+fn int_roundtrip_stays_within_three_counts_on_corpus() {
+    prop::check("int_roundtrip", &Config::with_cases(32), pixel_block, |b| {
+        let rec = inverse_dct_int(&forward_dct_int(b));
+        for i in 0..N {
+            let d = (i32::from(rec.data[i]) - i32::from(b.data[i])).abs();
+            if d > 3 {
+                return Err(format!(
+                    "roundtrip index {i}: {} vs {}",
+                    rec.data[i], b.data[i]
+                ));
+            }
+        }
+        Ok(())
+    });
+}

@@ -3,18 +3,30 @@
 //! more than the threshold.
 //!
 //! ```text
-//! bench_compare <baseline.json> <fresh.json> [--max-regress <pct>]
+//! bench_compare <baseline.json> <fresh.json> [--max-regress <pct>] [--min-scaling <x>]
+//! bench_compare --scaling <fresh.json> [--min-scaling <x>]
 //! ```
 //!
 //! Exit status 0 when every shared benchmark is within budget, 1 on
 //! regression, 2 on unreadable/invalid input. Benchmarks present in only
 //! one file are reported but never fail the gate, so adding or retiring
 //! a benchmark doesn't require a lockstep baseline update.
+//!
+//! When the fresh file contains the `parallel/encode_frame/threads=N`
+//! series, the thread-scaling speedups are reported and gated too: the
+//! threads=4 speedup over threads=1 must clear `--min-scaling`. The
+//! default floor adapts to the machine running the gate (a single-core
+//! CI runner cannot show parallel speedup, only bounded overhead):
+//! ≥4 cores → 1.25×, 2–3 cores → 1.0×, 1 core → 0.8×. `--scaling` runs
+//! the scaling report alone against one file, no baseline needed.
 
 use m4ps_testkit::json::Json;
 use std::process::ExitCode;
 
 const DEFAULT_MAX_REGRESS_PCT: f64 = 25.0;
+
+/// The benchmark series the scaling gate reads.
+const SCALING_SERIES: &str = "parallel/encode_frame/threads=";
 
 /// `(name, median_ns)` for every entry in a bench report.
 fn load_medians(path: &str) -> Result<Vec<(String, f64)>, String> {
@@ -43,13 +55,76 @@ fn load_medians(path: &str) -> Result<Vec<(String, f64)>, String> {
     Ok(out)
 }
 
+/// Machine-aware default for the threads=4 speedup floor. Parallel
+/// speedup needs cores; on starved runners the gate only bounds the
+/// overhead of scheduling slices onto a pool.
+fn default_min_scaling() -> f64 {
+    match std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) {
+        n if n >= 4 => 1.25,
+        n if n >= 2 => 1.0,
+        _ => 0.8,
+    }
+}
+
+/// Prints the thread-scaling speedup table from `medians` and gates the
+/// threads=4 point. Returns `Ok(None)` when the series is absent (the
+/// file simply doesn't carry the parallel benches), `Ok(Some(pass))`
+/// otherwise.
+fn check_scaling(medians: &[(String, f64)], min_scaling: f64) -> Result<Option<bool>, String> {
+    let median_at = |threads: u32| {
+        let name = format!("{SCALING_SERIES}{threads}");
+        medians
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, m)| m)
+            .filter(|&m| m > 0.0)
+    };
+    let Some(base) = median_at(1) else {
+        return Ok(None);
+    };
+    println!("thread scaling ({SCALING_SERIES}N, speedup over threads=1, floor {min_scaling:.2}x at threads=4)");
+    println!("  threads=1: {base:.0} ns  1.00x");
+    let mut gated = None;
+    for threads in [2u32, 4] {
+        let Some(m) = median_at(threads) else {
+            return Err(format!(
+                "{SCALING_SERIES}{threads} missing from fresh results"
+            ));
+        };
+        let speedup = base / m;
+        println!("  threads={threads}: {m:.0} ns  {speedup:.2}x");
+        if threads == 4 {
+            gated = Some(speedup);
+        }
+    }
+    let speedup4 = gated.expect("loop covers threads=4");
+    if speedup4 < min_scaling {
+        println!(
+            "SCALING REGRESSED: threads=4 speedup {speedup4:.2}x below the {min_scaling:.2}x floor"
+        );
+        Ok(Some(false))
+    } else {
+        println!("scaling ok: threads=4 speedup {speedup4:.2}x >= {min_scaling:.2}x");
+        Ok(Some(true))
+    }
+}
+
 fn run() -> Result<bool, String> {
     let mut args = std::env::args().skip(1);
-    let baseline_path = args
-        .next()
-        .ok_or("usage: bench_compare <baseline.json> <fresh.json> [--max-regress <pct>]")?;
-    let fresh_path = args.next().ok_or("missing <fresh.json> argument")?;
+    let first = args.next().ok_or(
+        "usage: bench_compare <baseline.json> <fresh.json> [--max-regress <pct>] [--min-scaling <x>]\n       bench_compare --scaling <fresh.json> [--min-scaling <x>]",
+    )?;
     let mut max_regress_pct = DEFAULT_MAX_REGRESS_PCT;
+    let mut min_scaling = default_min_scaling();
+    let scaling_only = first == "--scaling";
+    let (baseline_path, fresh_path) = if scaling_only {
+        (None, args.next().ok_or("--scaling needs a <fresh.json>")?)
+    } else {
+        (
+            Some(first),
+            args.next().ok_or("missing <fresh.json> argument")?,
+        )
+    };
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--max-regress" => {
@@ -59,12 +134,28 @@ fn run() -> Result<bool, String> {
                     .parse()
                     .map_err(|e| format!("--max-regress: {e}"))?;
             }
+            "--min-scaling" => {
+                min_scaling = args
+                    .next()
+                    .ok_or("--min-scaling needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--min-scaling: {e}"))?;
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
 
-    let baseline = load_medians(&baseline_path)?;
     let fresh = load_medians(&fresh_path)?;
+    if scaling_only {
+        return match check_scaling(&fresh, min_scaling)? {
+            Some(pass) => Ok(pass),
+            None => Err(format!(
+                "{fresh_path}: no {SCALING_SERIES}N entries to gate"
+            )),
+        };
+    }
+    let baseline_path = baseline_path.expect("set in non-scaling mode");
+    let baseline = load_medians(&baseline_path)?;
     let limit = 1.0 + max_regress_pct / 100.0;
 
     println!("comparing {fresh_path} against {baseline_path} (fail above +{max_regress_pct}%)");
@@ -105,7 +196,11 @@ fn run() -> Result<bool, String> {
     } else {
         println!("all {compared} shared benchmarks within budget");
     }
-    Ok(regressions == 0)
+    // Gate thread scaling from the fresh run too (when present): a
+    // per-bench regression check alone can miss a broken parallel path
+    // whose threads=1 and threads=4 medians both drift within budget.
+    let scaling_ok = check_scaling(&fresh, min_scaling)?.unwrap_or(true);
+    Ok(regressions == 0 && scaling_ok)
 }
 
 fn main() -> ExitCode {

@@ -13,7 +13,9 @@
 //! - [`bench`] — a no-harness benchmark runner (warmup, fixed
 //!   iteration budget, median/MAD, throughput) that writes
 //!   machine-readable `BENCH_*.json`; replaces `criterion`,
-//! - [`json`] — the tiny JSON writer the bench runner emits through.
+//! - [`json`] — the tiny JSON writer the bench runner emits through,
+//! - [`alloc`] — a counting global allocator so tests can assert
+//!   allocation budgets (e.g. zero-allocation steady-state encode).
 //!
 //! The paper this repo reproduces (McKee, Fang & Valero, ISPASS 2003)
 //! is a *measurement* paper; owning the instrument end to end keeps
@@ -31,6 +33,7 @@
 //! assert_eq!(a, again); // fully deterministic
 //! ```
 
+pub mod alloc;
 pub mod bench;
 pub mod json;
 pub mod prop;

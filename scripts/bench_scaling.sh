@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Thread-scaling bench: run only the parallel/encode_frame/threads=N
+# series, write BENCH_scaling.json at the repo root, and print the
+# speedup table via `bench_compare --scaling` (which also enforces the
+# machine-aware threads=4 speedup floor; override with
+# M4PS_MIN_SCALING=<x>).
+#
+# Offline like everything else; CI uploads BENCH_scaling.json as an
+# artifact next to BENCH_smoke.json.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== thread-scaling bench (parallel/encode_frame) =="
+cargo bench --offline -p m4ps-bench --bench kernels -- \
+    --smoke --json "$PWD/BENCH_scaling.json" parallel/encode_frame
+
+scaling_args=(--scaling BENCH_scaling.json)
+if [[ -n "${M4PS_MIN_SCALING:-}" ]]; then
+    scaling_args+=(--min-scaling "$M4PS_MIN_SCALING")
+fi
+cargo run -q --release --offline -p m4ps-testkit --bin bench_compare -- \
+    "${scaling_args[@]}"
+
+echo "scaling report: $PWD/BENCH_scaling.json"

@@ -6,8 +6,10 @@
 # run writes machine-readable BENCH_smoke.json at the repo root, then
 # bench_compare gates it against the committed baseline (the pre-run
 # copy of that same file): any median more than 25% above baseline
-# fails. Set M4PS_BENCH_SKIP_COMPARE=1 to regenerate the baseline on a
-# machine where the committed numbers don't apply.
+# fails, and the parallel/encode_frame thread-scaling speedup must
+# clear bench_compare's machine-aware floor. Set
+# M4PS_BENCH_SKIP_COMPARE=1 to regenerate the baseline on a machine
+# where the committed numbers don't apply.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -24,12 +26,27 @@ if [[ -f BENCH_smoke.json ]]; then
     baseline="target/bench_baseline.json"
     cp BENCH_smoke.json "$baseline"
 fi
-cargo bench --offline -p m4ps-bench --bench kernels -- --smoke --json "$PWD/BENCH_smoke.json"
 
+run_bench() {
+    cargo bench --offline -p m4ps-bench --bench kernels -- \
+        --smoke --json "$PWD/BENCH_smoke.json"
+}
+
+run_bench
 if [[ -n "$baseline" && "${M4PS_BENCH_SKIP_COMPARE:-0}" != "1" ]]; then
+    # Wall-clock medians on shared/1-core runners can swing well past
+    # the gate threshold from scheduler interference alone, so a gate
+    # failure earns one fresh re-measure before it is believed: noise
+    # rarely strikes the same benchmarks twice, a real regression
+    # always does.
     echo "== bench regression gate =="
-    cargo run -q --release --offline -p m4ps-testkit --bin bench_compare -- \
-        "$baseline" BENCH_smoke.json
+    if ! cargo run -q --release --offline -p m4ps-testkit --bin bench_compare -- \
+        "$baseline" BENCH_smoke.json; then
+        echo "== gate failed; re-measuring once to rule out machine noise =="
+        run_bench
+        cargo run -q --release --offline -p m4ps-testkit --bin bench_compare -- \
+            "$baseline" BENCH_smoke.json
+    fi
 fi
 
 echo "== verify OK =="
