@@ -189,6 +189,59 @@ fn bench_parallel(r: &mut BenchRunner) {
     }
 }
 
+fn bench_obs_overhead(r: &mut BenchRunner) {
+    use m4ps_memsim::NullModel;
+    use m4ps_vidgen::{Resolution, Scene, SceneSpec};
+
+    // The same P-frame encode with and without an installed profiler
+    // session. With no session, spans cost one atomic load each; with
+    // one, every span snapshots the counters twice and does ~40 word
+    // ops. bench_compare gates obs=on against obs=off (<5% overhead).
+    let res = Resolution::PAL;
+    let scene = Scene::new(SceneSpec {
+        resolution: res,
+        objects: 0,
+        seed: 11,
+    });
+    let frames = [scene.frame(0), scene.frame(1)];
+    fn view(f: &m4ps_vidgen::YuvFrame) -> FrameView<'_> {
+        FrameView {
+            width: f.resolution.width,
+            height: f.resolution.height,
+            y: &f.y,
+            u: &f.u,
+            v: &f.v,
+        }
+    }
+    let config = EncoderConfig {
+        gop: m4ps_codec::GopStructure {
+            intra_period: 1 << 20,
+            b_frames: 0,
+        },
+        ..EncoderConfig::fast_test()
+    }
+    .with_slices(4);
+    let bytes = (res.width * res.height * 3 / 2) as u64;
+    for profiled in [false, true] {
+        let mut space = AddressSpace::new();
+        let mut mem = NullModel::new();
+        let mut coder = VideoObjectCoder::new(&mut space, res.width, res.height, config).unwrap();
+        coder.set_threads(1);
+        coder
+            .encode_frame(&mut mem, &view(&frames[0]), None)
+            .unwrap();
+        let profiler = profiled.then(|| m4ps_obs::Profiler::new(false));
+        let _guard = profiler.as_ref().map(m4ps_obs::Profiler::attach);
+        let label = if profiled { "on" } else { "off" };
+        r.bench_bytes(&format!("parallel/encode_frame/obs={label}"), bytes, || {
+            coder
+                .encode_frame(&mut mem, &view(&frames[1]), None)
+                .unwrap()
+                .len()
+        });
+    }
+}
+
 fn main() {
     let mut r = BenchRunner::from_args("kernels");
     bench_dct(&mut r);
@@ -197,5 +250,6 @@ fn main() {
     bench_arith(&mut r);
     bench_memsim(&mut r);
     bench_parallel(&mut r);
+    bench_obs_overhead(&mut r);
     r.finish();
 }

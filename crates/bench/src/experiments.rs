@@ -4,7 +4,7 @@ use crate::cli::Options;
 use m4ps_core::baseline::{run_resident, run_streaming, StreamingKernel};
 use m4ps_core::burst::burstiness;
 use m4ps_core::fallacy;
-use m4ps_core::report::{render_table, METRIC_ROWS};
+use m4ps_core::report::{render_phase_table, render_table, METRIC_ROWS};
 use m4ps_core::study::{
     decode_study, encode_study, prepare_streams, RunResult, StudyConfig, Workload,
 };
@@ -119,6 +119,11 @@ pub const ALL_EXPERIMENTS: &[Experiment] = &[
         name: "misses-by-structure",
         description: "Beyond the paper: demand misses attributed to codec data structures",
         run: misses_by_structure,
+    },
+    Experiment {
+        name: "phases",
+        description: "Beyond the paper: SpeedShop-style per-phase counter attribution (R12K 1MB)",
+        run: phases,
     },
     Experiment {
         name: "memwall",
@@ -640,6 +645,43 @@ fn ablation_resync(opts: &Options) -> String {
         "bitstream: {b0} -> {b1} bytes (+{:.1}%); cache metrics unchanged —\n\
          resilience costs bits, not memory behaviour.\n",
         (b1 as f64 / b0 as f64 - 1.0) * 100.0
+    ));
+    out
+}
+
+/// SpeedShop-style per-phase attribution: where the references, misses,
+/// and modelled stall cycles go, for one encode and one decode run. The
+/// per-phase sums partition the aggregate counters bit-for-bit (the
+/// `phase_attribution` integration test holds this for every config).
+fn phases(opts: &Options) -> String {
+    let machine = MachineSpec::o2();
+    let cfg = config(opts);
+    let mut out = run_note(opts);
+    out.push_str(
+        "The paper reads SpeedShop/Perfex per-function tables off the SGI\n\
+         counters; the simulator attributes its counters to codec phases\n\
+         directly. Phase sums equal the run totals exactly.\n\n",
+    );
+    let w = workload(opts, Resolution::PAL, 0, 1);
+    let enc = encode_study(&machine, &w, &cfg).expect("encode run");
+    out.push_str(&render_phase_table(
+        &format!(
+            "Per-phase attribution — video encoding ({})",
+            machine.column_label()
+        ),
+        &enc.profile,
+        &machine.timing,
+    ));
+    out.push('\n');
+    let streams = prepare_streams(&w, &cfg).expect("stream prep");
+    let dec = decode_study(&machine, &w, &streams).expect("decode run");
+    out.push_str(&render_phase_table(
+        &format!(
+            "Per-phase attribution — video decoding ({})",
+            machine.column_label()
+        ),
+        &dec.profile,
+        &machine.timing,
     ));
     out
 }

@@ -17,6 +17,7 @@ use crate::types::{MacroblockKind, MotionVector, VopKind};
 use crate::vlc::{get_se, get_ue};
 use m4ps_bitstream::{BitReader, BitstreamError, StartCode};
 use m4ps_memsim::{AddressSpace, MemModel};
+use m4ps_obs::{span, Phase};
 
 /// Largest legal motion-vector component in half-pels: the search range
 /// plus half-pel refinement can never leave the [`crate::PAD`]-pixel
@@ -239,119 +240,19 @@ impl VideoObjectDecoder {
         };
 
         let window_start = *mem.counters();
-        if header.kind == VopKind::P && self.anchor_count == 0 && ext.is_none() {
-            return Err(CodecError::InvalidStream("P-VOP before first anchor"));
-        }
-        if header.kind == VopKind::B && self.anchor_count < 2 {
-            return Err(CodecError::InvalidStream("B-VOP before two anchors"));
-        }
-
         let bit_start = r.bit_pos();
-        let mut charge = StreamCharge::reader(self.stream_base + self.stream_bits / 8);
-
-        // Shape first (DecodeVopCombMotionShapeTexture order).
-        if self.vol.binary_shape {
-            let bbox = header.bbox.ok_or(CodecError::InvalidStream(
-                "shaped VOP without a bounding box",
-            ))?;
-            if bbox.0 + bbox.2 > self.vol.width || bbox.1 + bbox.3 > self.vol.height {
-                return Err(CodecError::InvalidStream("bounding box out of frame"));
-            }
-            let alpha = self
-                .alpha
-                .as_mut()
-                .expect("binary-shape decoder has an alpha plane");
-            if let Some((px, py, pw, ph)) = self.prev_bbox {
-                alpha.clear_region(mem, px, py, pw, ph);
-            }
-            decode_alpha_plane(mem, alpha, bbox, r)?;
-            self.prev_bbox = Some(bbox);
-        } else if header.bbox.is_some() {
-            return Err(CodecError::InvalidStream(
-                "bounding box on a rectangular layer",
-            ));
+        // The paper's `VopDecode()` counter window doubles as the coarse
+        // `vop.decode` span; the body is split out so the span closes on
+        // error returns too.
+        let obs_on = m4ps_obs::enabled();
+        if obs_on {
+            m4ps_obs::enter(Phase::VopDecode, window_start);
         }
-        charge.charge_to(mem, r.bit_pos() - bit_start);
-
-        // Pick references and the reconstruction target.
-        let ext_is_ref = ext.is_some() && header.kind == VopKind::P;
-        let into_anchor = header.kind.is_anchor() && !ext_is_ref;
-        let new_idx = if self.anchor_count == 0 {
-            0
-        } else {
-            1 - self.latest
-        };
-
-        let stats = if header.kind == VopKind::B {
-            let fwd = &self.anchors[1 - self.latest];
-            let bwd = &self.anchors[self.latest];
-            decode_vop_body(
-                mem,
-                r,
-                &header,
-                self.alpha.as_ref(),
-                Some(fwd),
-                Some(bwd),
-                &mut self.b_recon,
-                &mut self.texture,
-                &mut charge,
-                bit_start,
-                self.mb_cols,
-                self.mb_rows,
-            )?
-        } else if ext_is_ref {
-            decode_vop_body(
-                mem,
-                r,
-                &header,
-                self.alpha.as_ref(),
-                ext,
-                None,
-                &mut self.b_recon,
-                &mut self.texture,
-                &mut charge,
-                bit_start,
-                self.mb_cols,
-                self.mb_rows,
-            )?
-        } else {
-            // Anchor decode: target is the non-latest slot; a P-VOP
-            // references the latest slot.
-            let is_p = header.kind == VopKind::P;
-            let (left, right) = self.anchors.split_at_mut(1);
-            let (recon, fwd): (&mut TracedFrame, Option<&TracedFrame>) = if new_idx == 0 {
-                (&mut left[0], is_p.then_some(&right[0] as &TracedFrame))
-            } else {
-                (&mut right[0], is_p.then_some(&left[0] as &TracedFrame))
-            };
-            decode_vop_body(
-                mem,
-                r,
-                &header,
-                self.alpha.as_ref(),
-                fwd,
-                None,
-                recon,
-                &mut self.texture,
-                &mut charge,
-                bit_start,
-                self.mb_cols,
-                self.mb_rows,
-            )?
-        };
-
-        if into_anchor {
-            if !self.vol.binary_shape {
-                let recon = if new_idx == 0 {
-                    &mut self.anchors[0]
-                } else {
-                    &mut self.anchors[1]
-                };
-                recon.pad_borders(mem);
-            }
-            self.latest = new_idx;
-            self.anchor_count = (self.anchor_count + 1).min(2);
+        let body = self.decode_window(mem, r, ext, &header, bit_start);
+        if obs_on {
+            m4ps_obs::exit(Phase::VopDecode, *mem.counters());
         }
+        let (stats, ext_is_ref) = body?;
 
         self.vop_window = self
             .vop_window
@@ -381,6 +282,140 @@ impl VideoObjectDecoder {
             planes,
             alpha: alpha_copy,
         }))
+    }
+
+    /// Shape, reference selection, macroblock layer, and anchor
+    /// bookkeeping for one VOP — everything inside the per-VOP counter
+    /// window. Returns the layer stats and whether the external
+    /// reference was used (the output then lands in the B slot).
+    fn decode_window<M: MemModel>(
+        &mut self,
+        mem: &mut M,
+        r: &mut BitReader<'_>,
+        ext: Option<&TracedFrame>,
+        header: &VopHeader,
+        bit_start: u64,
+    ) -> Result<(VopStats, bool), CodecError> {
+        if header.kind == VopKind::P && self.anchor_count == 0 && ext.is_none() {
+            return Err(CodecError::InvalidStream("P-VOP before first anchor"));
+        }
+        if header.kind == VopKind::B && self.anchor_count < 2 {
+            return Err(CodecError::InvalidStream("B-VOP before two anchors"));
+        }
+
+        let mut charge = StreamCharge::reader(self.stream_base + self.stream_bits / 8);
+
+        // Shape first (DecodeVopCombMotionShapeTexture order).
+        if self.vol.binary_shape {
+            let bbox = header.bbox.ok_or(CodecError::InvalidStream(
+                "shaped VOP without a bounding box",
+            ))?;
+            if bbox.0 + bbox.2 > self.vol.width || bbox.1 + bbox.3 > self.vol.height {
+                return Err(CodecError::InvalidStream("bounding box out of frame"));
+            }
+            let alpha = self
+                .alpha
+                .as_mut()
+                .expect("binary-shape decoder has an alpha plane");
+            if let Some((px, py, pw, ph)) = self.prev_bbox {
+                alpha.clear_region(mem, px, py, pw, ph);
+            }
+            span!(mem, Phase::Shape, decode_alpha_plane(mem, alpha, bbox, r))?;
+            self.prev_bbox = Some(bbox);
+        } else if header.bbox.is_some() {
+            return Err(CodecError::InvalidStream(
+                "bounding box on a rectangular layer",
+            ));
+        }
+        // Stream-byte traffic for the consumed header/shape bits is the
+        // decoder's parse cost.
+        span!(
+            mem,
+            Phase::Parse,
+            charge.charge_to(mem, r.bit_pos() - bit_start)
+        );
+
+        // Pick references and the reconstruction target.
+        let ext_is_ref = ext.is_some() && header.kind == VopKind::P;
+        let into_anchor = header.kind.is_anchor() && !ext_is_ref;
+        let new_idx = if self.anchor_count == 0 {
+            0
+        } else {
+            1 - self.latest
+        };
+
+        let stats = if header.kind == VopKind::B {
+            let fwd = &self.anchors[1 - self.latest];
+            let bwd = &self.anchors[self.latest];
+            decode_vop_body(
+                mem,
+                r,
+                header,
+                self.alpha.as_ref(),
+                Some(fwd),
+                Some(bwd),
+                &mut self.b_recon,
+                &mut self.texture,
+                &mut charge,
+                bit_start,
+                self.mb_cols,
+                self.mb_rows,
+            )?
+        } else if ext_is_ref {
+            decode_vop_body(
+                mem,
+                r,
+                header,
+                self.alpha.as_ref(),
+                ext,
+                None,
+                &mut self.b_recon,
+                &mut self.texture,
+                &mut charge,
+                bit_start,
+                self.mb_cols,
+                self.mb_rows,
+            )?
+        } else {
+            // Anchor decode: target is the non-latest slot; a P-VOP
+            // references the latest slot.
+            let is_p = header.kind == VopKind::P;
+            let (left, right) = self.anchors.split_at_mut(1);
+            let (recon, fwd): (&mut TracedFrame, Option<&TracedFrame>) = if new_idx == 0 {
+                (&mut left[0], is_p.then_some(&right[0] as &TracedFrame))
+            } else {
+                (&mut right[0], is_p.then_some(&left[0] as &TracedFrame))
+            };
+            decode_vop_body(
+                mem,
+                r,
+                header,
+                self.alpha.as_ref(),
+                fwd,
+                None,
+                recon,
+                &mut self.texture,
+                &mut charge,
+                bit_start,
+                self.mb_cols,
+                self.mb_rows,
+            )?
+        };
+
+        if into_anchor {
+            if !self.vol.binary_shape {
+                let recon = if new_idx == 0 {
+                    &mut self.anchors[0]
+                } else {
+                    &mut self.anchors[1]
+                };
+                recon.pad_borders(mem);
+            }
+            self.latest = new_idx;
+            self.anchor_count = (self.anchor_count + 1).min(2);
+        }
+
+        Ok((stats, ext_is_ref))
     }
 }
 
@@ -509,9 +544,14 @@ fn decode_vop_body<M: MemModel>(
                 let counter = mb_counter;
                 mb_counter += 1;
 
-                let transparent = alpha
-                    .map(|a| classify_bab(mem, a, mbx, mby) == BabClass::Transparent)
-                    .unwrap_or(false);
+                let transparent = match alpha {
+                    Some(a) => span!(
+                        mem,
+                        Phase::Shape,
+                        classify_bab(mem, a, mbx, mby) == BabClass::Transparent
+                    ),
+                    None => false,
+                };
                 if transparent {
                     stats.transparent_mbs += 1;
                     fill_grey_mb(mem, recon, mbx, mby);
@@ -595,7 +635,11 @@ fn decode_vop_body<M: MemModel>(
                         ips = IntraPredState::reset();
                     }
                 }
-                charge.charge_to(mem, r.bit_pos().max(bit_start) - bit_start);
+                span!(
+                    mem,
+                    Phase::Parse,
+                    charge.charge_to(mem, r.bit_pos().max(bit_start) - bit_start)
+                );
             }
         }
     }
@@ -652,8 +696,31 @@ fn conceal_mb<M: MemModel>(
 }
 
 /// Decodes the six blocks of an intra macroblock.
+///
+/// Like the encoder's intra path, the whole entropy-decode + dequant +
+/// IDCT pipeline is one `texture.dctq` span per macroblock.
 #[allow(clippy::too_many_arguments)]
 fn decode_intra_mb<M: MemModel>(
+    mem: &mut M,
+    r: &mut BitReader<'_>,
+    recon: &mut TracedFrame,
+    texture: &mut TextureCoder,
+    qp: u8,
+    mbx: usize,
+    mby: usize,
+    ips: &mut IntraPredState,
+) -> Result<(), CodecError> {
+    span!(
+        mem,
+        Phase::DctQuant,
+        decode_intra_mb_blocks(mem, r, recon, texture, qp, mbx, mby, ips)
+    )
+}
+
+/// The fallible body of [`decode_intra_mb`] (split out so `?` cannot
+/// skip the span exit).
+#[allow(clippy::too_many_arguments)]
+fn decode_intra_mb_blocks<M: MemModel>(
     mem: &mut M,
     r: &mut BitReader<'_>,
     recon: &mut TracedFrame,
@@ -703,42 +770,65 @@ fn predict_mb<M: MemModel>(
     mbx: usize,
     mby: usize,
 ) -> ([u8; 256], [u8; 64], [u8; 64]) {
-    let mut pred_y = [0u8; 256];
-    motion_compensate_block(
-        mem,
-        &reference.y,
-        mv,
-        (mbx * 16) as isize,
-        (mby * 16) as isize,
-        16,
-        16,
-        &mut pred_y,
-    );
-    let cmv = chroma_mv(mv);
-    let mut pred_u = [0u8; 64];
-    let mut pred_v = [0u8; 64];
-    motion_compensate_block(
-        mem,
-        &reference.u,
-        cmv,
-        (mbx * 8) as isize,
-        (mby * 8) as isize,
-        8,
-        8,
-        &mut pred_u,
-    );
-    motion_compensate_block(
-        mem,
-        &reference.v,
-        cmv,
-        (mbx * 8) as isize,
-        (mby * 8) as isize,
-        8,
-        8,
-        &mut pred_v,
-    );
-    texture.charge_pred_store(mem, 384);
-    (pred_y, pred_u, pred_v)
+    span!(mem, Phase::McPredict, {
+        let mut pred_y = [0u8; 256];
+        motion_compensate_block(
+            mem,
+            &reference.y,
+            mv,
+            (mbx * 16) as isize,
+            (mby * 16) as isize,
+            16,
+            16,
+            &mut pred_y,
+        );
+        let cmv = chroma_mv(mv);
+        let mut pred_u = [0u8; 64];
+        let mut pred_v = [0u8; 64];
+        motion_compensate_block(
+            mem,
+            &reference.u,
+            cmv,
+            (mbx * 8) as isize,
+            (mby * 8) as isize,
+            8,
+            8,
+            &mut pred_u,
+        );
+        motion_compensate_block(
+            mem,
+            &reference.v,
+            cmv,
+            (mbx * 8) as isize,
+            (mby * 8) as isize,
+            8,
+            8,
+            &mut pred_v,
+        );
+        texture.charge_pred_store(mem, 384);
+        (pred_y, pred_u, pred_v)
+    })
+}
+
+/// Parses the cbp flags and the flagged residual blocks — the Vlc
+/// section of an inter macroblock, split out so `?` cannot skip the
+/// span exit.
+fn parse_inter_residual<M: MemModel>(
+    mem: &mut M,
+    r: &mut BitReader<'_>,
+    texture: &mut TextureCoder,
+    cbp: &mut [bool; 6],
+    blocks: &mut [crate::texture::QuantizedBlock; 6],
+) -> Result<(), CodecError> {
+    for b in cbp.iter_mut() {
+        *b = r.get_bit().map_err(CodecError::from)?;
+    }
+    for i in 0..6 {
+        if cbp[i] {
+            blocks[i] = texture.entropy_decode(mem, false, 0, r)?;
+        }
+    }
+    Ok(())
 }
 
 /// Decodes cbp flags and the flagged residual blocks, then reconstructs.
@@ -756,19 +846,16 @@ fn decode_inter_residual_and_reconstruct<M: MemModel>(
     pred_v: &[u8; 64],
 ) -> Result<(), CodecError> {
     let mut cbp = [false; 6];
-    for b in cbp.iter_mut() {
-        *b = r.get_bit().map_err(CodecError::from)?;
-    }
     let empty = crate::texture::QuantizedBlock {
         levels: m4ps_dsp::CoefBlock::default(),
         intra: false,
     };
     let mut blocks = [empty; 6];
-    for i in 0..6 {
-        if cbp[i] {
-            blocks[i] = texture.entropy_decode(mem, false, 0, r)?;
-        }
-    }
+    span!(
+        mem,
+        Phase::Vlc,
+        parse_inter_residual(mem, r, texture, &mut cbp, &mut blocks)
+    )?;
     reconstruct_inter_mb(
         mem, recon, &blocks, &cbp, pred_y, pred_u, pred_v, texture, qp, mbx, mby,
     );

@@ -20,6 +20,7 @@ use crate::types::{MacroblockKind, MotionVector, VopKind};
 use crate::vlc::{put_se, put_ue};
 use m4ps_bitstream::BitWriter;
 use m4ps_memsim::{AddressSpace, MemModel, ParallelModel};
+use m4ps_obs::{span, MetricId, Phase};
 use m4ps_pool::ThreadPool;
 use std::ops::Range;
 
@@ -379,31 +380,33 @@ impl VideoObjectCoder {
 
         if kind == VopKind::B && self.have_anchor && self.queue_len < self.b_slots.len() {
             let slot = &mut self.b_slots[self.queue_len];
-            if let Some(mask) = alpha {
-                let bbox = mask_bbox(mask, self.vol.width, self.vol.height);
-                slot.frame
-                    .copy_region_from_yuv(mem, frame.y, frame.u, frame.v, bbox);
-            } else {
-                slot.frame.copy_from_yuv(
-                    mem,
-                    frame.y,
-                    frame.u,
-                    frame.v,
-                    self.config.software_prefetch,
-                );
-            }
-            if let (Some(plane), Some(mask)) = (slot.alpha.as_mut(), alpha) {
-                let bbox = mask_bbox(mask, plane.width(), plane.height());
-                // Clear the slot's previous object region, then load the
-                // new VOP-sized alpha region (as the reference codec
-                // loads per-VOP segmentation buffers).
-                let (px, py, pw, ph) = slot.bbox;
-                if pw > 0 {
-                    plane.clear_region(mem, px, py, pw, ph);
+            span!(mem, Phase::FrameIo, {
+                if let Some(mask) = alpha {
+                    let bbox = mask_bbox(mask, self.vol.width, self.vol.height);
+                    slot.frame
+                        .copy_region_from_yuv(mem, frame.y, frame.u, frame.v, bbox);
+                } else {
+                    slot.frame.copy_from_yuv(
+                        mem,
+                        frame.y,
+                        frame.u,
+                        frame.v,
+                        self.config.software_prefetch,
+                    );
                 }
-                plane.copy_region_from(mem, mask, bbox);
-                slot.bbox = bbox;
-            }
+                if let (Some(plane), Some(mask)) = (slot.alpha.as_mut(), alpha) {
+                    let bbox = mask_bbox(mask, plane.width(), plane.height());
+                    // Clear the slot's previous object region, then load the
+                    // new VOP-sized alpha region (as the reference codec
+                    // loads per-VOP segmentation buffers).
+                    let (px, py, pw, ph) = slot.bbox;
+                    if pw > 0 {
+                        plane.clear_region(mem, px, py, pw, ph);
+                    }
+                    plane.copy_region_from(mem, mask, bbox);
+                    slot.bbox = bbox;
+                }
+            });
             slot.display_index = idx;
             self.queue_len += 1;
             return Ok(Vec::new());
@@ -411,29 +414,31 @@ impl VideoObjectCoder {
 
         // Anchor path (also handles a B that could not queue: encode as P).
         let kind = if kind == VopKind::B { VopKind::P } else { kind };
-        if let Some(mask) = alpha {
-            // Shaped objects load only their VOP-sized region.
-            let bbox = mask_bbox(mask, self.vol.width, self.vol.height);
-            self.cur
-                .copy_region_from_yuv(mem, frame.y, frame.u, frame.v, bbox);
-        } else {
-            self.cur.copy_from_yuv(
-                mem,
-                frame.y,
-                frame.u,
-                frame.v,
-                self.config.software_prefetch,
-            );
-        }
-        if let (Some(plane), Some(mask)) = (self.cur_alpha.as_mut(), alpha) {
-            let bbox = mask_bbox(mask, plane.width(), plane.height());
-            if let Some((px, py, pw, ph)) = self.prev_alpha_bbox {
-                plane.clear_region(mem, px, py, pw, ph);
+        span!(mem, Phase::FrameIo, {
+            if let Some(mask) = alpha {
+                // Shaped objects load only their VOP-sized region.
+                let bbox = mask_bbox(mask, self.vol.width, self.vol.height);
+                self.cur
+                    .copy_region_from_yuv(mem, frame.y, frame.u, frame.v, bbox);
+            } else {
+                self.cur.copy_from_yuv(
+                    mem,
+                    frame.y,
+                    frame.u,
+                    frame.v,
+                    self.config.software_prefetch,
+                );
             }
-            plane.copy_region_from(mem, mask, bbox);
-            self.prev_alpha_bbox = Some(bbox);
-            self.cur_bbox = bbox;
-        }
+            if let (Some(plane), Some(mask)) = (self.cur_alpha.as_mut(), alpha) {
+                let bbox = mask_bbox(mask, plane.width(), plane.height());
+                if let Some((px, py, pw, ph)) = self.prev_alpha_bbox {
+                    plane.clear_region(mem, px, py, pw, ph);
+                }
+                plane.copy_region_from(mem, mask, bbox);
+                self.prev_alpha_bbox = Some(bbox);
+                self.cur_bbox = bbox;
+            }
+        });
         let mut out = Vec::with_capacity(1 + self.queue_len);
         out.push(self.encode_anchor_from_cur(mem, kind, idx));
         out.extend(self.drain_b_queue(mem));
@@ -463,6 +468,12 @@ impl VideoObjectCoder {
             slices: self.config.slices,
         };
         let window_start = *mem.counters();
+        // The VopEncode span reuses the paper's `VopCode()` counter
+        // window: enter on the snapshot already taken for `vop_window`.
+        let obs_on = m4ps_obs::enabled();
+        if obs_on {
+            m4ps_obs::enter(Phase::VopEncode, window_start);
+        }
         let (left, right) = self.anchors.split_at_mut(1);
         let (fwd, recon): (Option<&TracedFrame>, &mut TracedFrame) = if new_idx == 0 {
             (
@@ -497,6 +508,9 @@ impl VideoObjectCoder {
             // VOPs are padded VOP-locally (the grey ring around the
             // bounding box), as the reference codec pads VOP buffers.
             recon.pad_borders(mem);
+        }
+        if obs_on {
+            m4ps_obs::exit(Phase::VopEncode, *mem.counters());
         }
         self.vop_window = self
             .vop_window
@@ -535,6 +549,10 @@ impl VideoObjectCoder {
                 slices: self.config.slices,
             };
             let window_start = *mem.counters();
+            let obs_on = m4ps_obs::enabled();
+            if obs_on {
+                m4ps_obs::enter(Phase::VopEncode, window_start);
+            }
             // Forward ref is the *older* anchor, backward the newer.
             let older = 1 - self.prev_anchor;
             let (left, right) = self.anchors.split_at_mut(1);
@@ -560,6 +578,9 @@ impl VideoObjectCoder {
                 self.config.four_mv,
                 &self.pool,
             );
+            if obs_on {
+                m4ps_obs::exit(Phase::VopEncode, *mem.counters());
+            }
             self.vop_window = self
                 .vop_window
                 .merged_with(&mem.counters().delta_since(&window_start));
@@ -629,28 +650,30 @@ impl VideoObjectCoder {
         let idx = self.next_display;
         self.next_display += 1;
         let idx = self.display_offset + self.display_scale * idx;
-        if let Some(mask) = alpha {
-            let bbox = mask_bbox(mask, self.vol.width, self.vol.height);
-            self.cur
-                .copy_region_from_yuv(mem, frame.y, frame.u, frame.v, bbox);
-        } else {
-            self.cur.copy_from_yuv(
-                mem,
-                frame.y,
-                frame.u,
-                frame.v,
-                self.config.software_prefetch,
-            );
-        }
-        if let (Some(plane), Some(mask)) = (self.cur_alpha.as_mut(), alpha) {
-            let bbox = mask_bbox(mask, plane.width(), plane.height());
-            if let Some((px, py, pw, ph)) = self.prev_alpha_bbox {
-                plane.clear_region(mem, px, py, pw, ph);
+        span!(mem, Phase::FrameIo, {
+            if let Some(mask) = alpha {
+                let bbox = mask_bbox(mask, self.vol.width, self.vol.height);
+                self.cur
+                    .copy_region_from_yuv(mem, frame.y, frame.u, frame.v, bbox);
+            } else {
+                self.cur.copy_from_yuv(
+                    mem,
+                    frame.y,
+                    frame.u,
+                    frame.v,
+                    self.config.software_prefetch,
+                );
             }
-            plane.copy_region_from(mem, mask, bbox);
-            self.prev_alpha_bbox = Some(bbox);
-            self.cur_bbox = bbox;
-        }
+            if let (Some(plane), Some(mask)) = (self.cur_alpha.as_mut(), alpha) {
+                let bbox = mask_bbox(mask, plane.width(), plane.height());
+                if let Some((px, py, pw, ph)) = self.prev_alpha_bbox {
+                    plane.clear_region(mem, px, py, pw, ph);
+                }
+                plane.copy_region_from(mem, mask, bbox);
+                self.prev_alpha_bbox = Some(bbox);
+                self.cur_bbox = bbox;
+            }
+        });
         let qp = self.rate.qp_for(VopKind::P);
         let header = VopHeader {
             kind: VopKind::P,
@@ -661,6 +684,10 @@ impl VideoObjectCoder {
             slices: self.config.slices,
         };
         let window_start = *mem.counters();
+        let obs_on = m4ps_obs::enabled();
+        if obs_on {
+            m4ps_obs::enter(Phase::VopEncode, window_start);
+        }
         let (bytes, stats) = encode_vop(
             mem,
             header,
@@ -678,6 +705,9 @@ impl VideoObjectCoder {
             self.config.four_mv,
             &self.pool,
         );
+        if obs_on {
+            m4ps_obs::exit(Phase::VopEncode, *mem.counters());
+        }
         self.vop_window = self
             .vop_window
             .merged_with(&mem.counters().delta_since(&window_start));
@@ -857,30 +887,34 @@ pub(crate) fn encode_vop<M: ParallelModel>(
 
     header.write(&mut w);
     if let Some((a, b)) = alpha {
-        encode_alpha_plane(mem, a, b, &mut w);
+        span!(mem, Phase::Shape, encode_alpha_plane(mem, a, b, &mut w));
     }
 
     if header.slices == 1 {
         // Unsliced: code straight into the header's writer (the legacy
         // single-threaded layout — no alignment between header and MBs).
         charge.charge_to(mem, w.bit_len());
-        encode_slice(
+        span!(
             mem,
-            &header,
-            cur,
-            alpha,
-            fwd,
-            bwd,
-            recon,
-            &mut scratch[0],
-            search,
-            mbx_range,
-            mby_range,
-            0,
-            four_mv,
-            &mut w,
-            &mut charge,
-            &mut stats,
+            Phase::Slice,
+            encode_slice(
+                mem,
+                &header,
+                cur,
+                alpha,
+                fwd,
+                bwd,
+                recon,
+                &mut scratch[0],
+                search,
+                mbx_range,
+                mby_range,
+                0,
+                four_mv,
+                &mut w,
+                &mut charge,
+                &mut stats,
+            )
         );
         if let Some(bbox) = bbox {
             fill_bbox_ring(mem, recon, bbox, mb_cols, mb_rows);
@@ -917,15 +951,28 @@ pub(crate) fn encode_vop<M: ParallelModel>(
             let charge_base = stream_base + (s as u64 + 1) * SLICE_CHARGE_SPAN;
             let cap = rows.len() * mbx.len() * 32 + 64;
             move || {
+                // A *domain* span: this job charges the forked stream
+                // `smem`, not the caller's model, so its delta must not
+                // be subtracted from the lexical parent phase (the
+                // caller accounts for it via `absorbed` instead).
+                let obs_on = m4ps_obs::enabled();
+                if obs_on {
+                    m4ps_obs::enter_domain(Phase::Slice, *smem.counters());
+                }
                 let mut sw = BitWriter::with_capacity(cap);
                 let mut scharge = StreamCharge::writer(charge_base);
                 let mut sstats = VopStats::default();
                 if s > 0 {
                     // Slice header: the resync word, the index of the
                     // slice's first macroblock, and the quantizer.
+                    let before = sw.bit_len();
                     sw.put_bits(u32::from(RESYNC_MARKER), 16);
                     put_ue(&mut sw, first_mb as u32);
                     sw.put_bits(u32::from(hdr.qp), 5);
+                    m4ps_obs::counter_add(
+                        MetricId::ResyncMarkerBytes,
+                        (sw.bit_len() - before).div_ceil(8),
+                    );
                 }
                 encode_slice(
                     &mut smem,
@@ -948,17 +995,26 @@ pub(crate) fn encode_vop<M: ParallelModel>(
                 sw.stuff_to_alignment();
                 scharge.charge_to(&mut smem, sw.bit_len());
                 sstats.bits = sw.bit_len();
+                if obs_on {
+                    m4ps_obs::exit_domain(Phase::Slice, *smem.counters());
+                }
                 (sw.into_bytes(), sstats, smem)
             }
         })
         .collect();
 
-    let results = pool.run(jobs);
+    let session = m4ps_obs::current();
+    let results = pool.run_profiled(jobs, session.as_ref());
 
     let mut bytes = w.into_bytes();
     bytes.reserve(results.iter().map(|(b, _, _)| b.len()).sum());
     for (sbytes, sstats, smem) in results {
+        let child_total = *smem.counters();
         mem.absorb(smem);
+        // Keep the caller's open phase from double-counting the jump
+        // `absorb` just folded in (the slices' own domain spans carry
+        // those counters, phase by phase).
+        m4ps_obs::absorbed(&child_total);
         stats.merge(&sstats);
         bytes.extend_from_slice(&sbytes);
     }
@@ -1018,19 +1074,29 @@ fn encode_slice<M: MemModel, F: FrameSink>(
                     // Resynchronization point: byte-aligned marker, the
                     // macroblock index, the quantizer, and a full
                     // prediction reset (no prediction crosses a marker).
+                    let before = w.bit_len();
                     w.stuff_to_alignment();
                     w.put_bits(u32::from(RESYNC_MARKER), 16);
                     put_ue(w, mb_counter as u32);
                     w.put_bits(u32::from(qp), 5);
+                    m4ps_obs::counter_add(
+                        MetricId::ResyncMarkerBytes,
+                        (w.bit_len() - before).div_ceil(8),
+                    );
                     fwd_pred.reset();
                     bwd_pred.reset();
                     ips = IntraPredState::reset();
                 }
             }
             mb_counter += 1;
-            let transparent = alpha
-                .map(|(a, _)| classify_bab(mem, a, mbx, mby) == BabClass::Transparent)
-                .unwrap_or(false);
+            let transparent = match alpha {
+                Some((a, _)) => span!(
+                    mem,
+                    Phase::Shape,
+                    classify_bab(mem, a, mbx, mby) == BabClass::Transparent
+                ),
+                None => false,
+            };
             if transparent {
                 stats.transparent_mbs += 1;
                 fill_grey_mb(mem, recon, mbx, mby);
@@ -1042,7 +1108,14 @@ fn encode_slice<M: MemModel, F: FrameSink>(
             texture.charge_mb_overhead(mem);
             match header.kind {
                 VopKind::I => {
-                    encode_intra_mb(mem, cur, recon, texture, qp, mbx, mby, &mut ips, w);
+                    // One span covers the whole intra texture pipeline
+                    // (DCT + quant + VLC + recon): intra MBs would cost
+                    // 18+ span pairs each at block granularity.
+                    span!(
+                        mem,
+                        Phase::DctQuant,
+                        encode_intra_mb(mem, cur, recon, texture, qp, mbx, mby, &mut ips, w)
+                    );
                     stats.intra_mbs += 1;
                     fwd_pred.commit(mbx, MotionVector::ZERO);
                 }
@@ -1121,42 +1194,44 @@ fn predict_mb<M: MemModel>(
     mbx: usize,
     mby: usize,
 ) -> ([u8; 256], [u8; 64], [u8; 64]) {
-    let mut pred_y = [0u8; 256];
-    motion_compensate_block(
-        mem,
-        &reference.y,
-        mv,
-        (mbx * 16) as isize,
-        (mby * 16) as isize,
-        16,
-        16,
-        &mut pred_y,
-    );
-    let cmv = chroma_mv(mv);
-    let mut pred_u = [0u8; 64];
-    let mut pred_v = [0u8; 64];
-    motion_compensate_block(
-        mem,
-        &reference.u,
-        cmv,
-        (mbx * 8) as isize,
-        (mby * 8) as isize,
-        8,
-        8,
-        &mut pred_u,
-    );
-    motion_compensate_block(
-        mem,
-        &reference.v,
-        cmv,
-        (mbx * 8) as isize,
-        (mby * 8) as isize,
-        8,
-        8,
-        &mut pred_v,
-    );
-    texture.charge_pred_store(mem, 384);
-    (pred_y, pred_u, pred_v)
+    span!(mem, Phase::McPredict, {
+        let mut pred_y = [0u8; 256];
+        motion_compensate_block(
+            mem,
+            &reference.y,
+            mv,
+            (mbx * 16) as isize,
+            (mby * 16) as isize,
+            16,
+            16,
+            &mut pred_y,
+        );
+        let cmv = chroma_mv(mv);
+        let mut pred_u = [0u8; 64];
+        let mut pred_v = [0u8; 64];
+        motion_compensate_block(
+            mem,
+            &reference.u,
+            cmv,
+            (mbx * 8) as isize,
+            (mby * 8) as isize,
+            8,
+            8,
+            &mut pred_u,
+        );
+        motion_compensate_block(
+            mem,
+            &reference.v,
+            cmv,
+            (mbx * 8) as isize,
+            (mby * 8) as isize,
+            8,
+            8,
+            &mut pred_v,
+        );
+        texture.charge_pred_store(mem, 384);
+        (pred_y, pred_u, pred_v)
+    })
 }
 
 /// Builds the prediction buffers for a four-vector (advanced
@@ -1170,47 +1245,49 @@ pub(crate) fn predict_mb_4mv<M: MemModel>(
     mbx: usize,
     mby: usize,
 ) -> ([u8; 256], [u8; 64], [u8; 64]) {
-    let mut pred_y = [0u8; 256];
-    for (blk, mv) in mvs.iter().enumerate() {
-        let bx = (mbx * 16 + (blk % 2) * 8) as isize;
-        let by = (mby * 16 + (blk / 2) * 8) as isize;
-        let mut quad = [0u8; 64];
-        motion_compensate_block(mem, &reference.y, *mv, bx, by, 8, 8, &mut quad);
-        let (qx, qy) = ((blk % 2) * 8, (blk / 2) * 8);
-        for r in 0..8 {
-            for c in 0..8 {
-                pred_y[(qy + r) * 16 + qx + c] = quad[r * 8 + c];
+    span!(mem, Phase::McPredict, {
+        let mut pred_y = [0u8; 256];
+        for (blk, mv) in mvs.iter().enumerate() {
+            let bx = (mbx * 16 + (blk % 2) * 8) as isize;
+            let by = (mby * 16 + (blk / 2) * 8) as isize;
+            let mut quad = [0u8; 64];
+            motion_compensate_block(mem, &reference.y, *mv, bx, by, 8, 8, &mut quad);
+            let (qx, qy) = ((blk % 2) * 8, (blk / 2) * 8);
+            for r in 0..8 {
+                for c in 0..8 {
+                    pred_y[(qy + r) * 16 + qx + c] = quad[r * 8 + c];
+                }
             }
         }
-    }
-    let sum_x: i32 = mvs.iter().map(|v| i32::from(v.x)).sum();
-    let sum_y: i32 = mvs.iter().map(|v| i32::from(v.y)).sum();
-    let avg = MotionVector::new((sum_x / 4) as i16, (sum_y / 4) as i16);
-    let cmv = chroma_mv(avg);
-    let mut pred_u = [0u8; 64];
-    let mut pred_v = [0u8; 64];
-    motion_compensate_block(
-        mem,
-        &reference.u,
-        cmv,
-        (mbx * 8) as isize,
-        (mby * 8) as isize,
-        8,
-        8,
-        &mut pred_u,
-    );
-    motion_compensate_block(
-        mem,
-        &reference.v,
-        cmv,
-        (mbx * 8) as isize,
-        (mby * 8) as isize,
-        8,
-        8,
-        &mut pred_v,
-    );
-    texture.charge_pred_store(mem, 384);
-    (pred_y, pred_u, pred_v)
+        let sum_x: i32 = mvs.iter().map(|v| i32::from(v.x)).sum();
+        let sum_y: i32 = mvs.iter().map(|v| i32::from(v.y)).sum();
+        let avg = MotionVector::new((sum_x / 4) as i16, (sum_y / 4) as i16);
+        let cmv = chroma_mv(avg);
+        let mut pred_u = [0u8; 64];
+        let mut pred_v = [0u8; 64];
+        motion_compensate_block(
+            mem,
+            &reference.u,
+            cmv,
+            (mbx * 8) as isize,
+            (mby * 8) as isize,
+            8,
+            8,
+            &mut pred_u,
+        );
+        motion_compensate_block(
+            mem,
+            &reference.v,
+            cmv,
+            (mbx * 8) as isize,
+            (mby * 8) as isize,
+            8,
+            8,
+            &mut pred_v,
+        );
+        texture.charge_pred_store(mem, 384);
+        (pred_y, pred_u, pred_v)
+    })
 }
 
 /// Quantizes the six residual blocks of an inter MB against the given
@@ -1227,31 +1304,33 @@ fn quantize_inter_mb<M: MemModel>(
     mbx: usize,
     mby: usize,
 ) -> ([crate::texture::QuantizedBlock; 6], [bool; 6]) {
-    texture.charge_pred_load(mem, 384);
-    let mut blocks = [crate::texture::QuantizedBlock {
-        levels: m4ps_dsp::CoefBlock::default(),
-        intra: false,
-    }; 6];
-    let mut cbp = [false; 6];
-    for (blk, coded) in cbp.iter_mut().enumerate().take(4) {
-        let bx = (mbx * 16 + (blk % 2) * 8) as isize;
-        let by = (mby * 16 + (blk / 2) * 8) as isize;
-        let samples = read_block(mem, &cur.y, bx, by);
-        let res = residual(&samples, &pred_subblock(pred_y, blk));
-        let qb = texture.transform_quant(mem, &res, false, qp);
-        *coded = !qb.is_empty_inter();
-        blocks[blk] = qb;
-    }
-    let cx = (mbx * 8) as isize;
-    let cy = (mby * 8) as isize;
-    for (i, (src, pred)) in [(&cur.u, pred_u), (&cur.v, pred_v)].into_iter().enumerate() {
-        let samples = read_block(mem, src, cx, cy);
-        let res = residual(&samples, pred);
-        let qb = texture.transform_quant(mem, &res, false, qp);
-        cbp[4 + i] = !qb.is_empty_inter();
-        blocks[4 + i] = qb;
-    }
-    (blocks, cbp)
+    span!(mem, Phase::DctQuant, {
+        texture.charge_pred_load(mem, 384);
+        let mut blocks = [crate::texture::QuantizedBlock {
+            levels: m4ps_dsp::CoefBlock::default(),
+            intra: false,
+        }; 6];
+        let mut cbp = [false; 6];
+        for (blk, coded) in cbp.iter_mut().enumerate().take(4) {
+            let bx = (mbx * 16 + (blk % 2) * 8) as isize;
+            let by = (mby * 16 + (blk / 2) * 8) as isize;
+            let samples = read_block(mem, &cur.y, bx, by);
+            let res = residual(&samples, &pred_subblock(pred_y, blk));
+            let qb = texture.transform_quant(mem, &res, false, qp);
+            *coded = !qb.is_empty_inter();
+            blocks[blk] = qb;
+        }
+        let cx = (mbx * 8) as isize;
+        let cy = (mby * 8) as isize;
+        for (i, (src, pred)) in [(&cur.u, pred_u), (&cur.v, pred_v)].into_iter().enumerate() {
+            let samples = read_block(mem, src, cx, cy);
+            let res = residual(&samples, pred);
+            let qb = texture.transform_quant(mem, &res, false, qp);
+            cbp[4 + i] = !qb.is_empty_inter();
+            blocks[4 + i] = qb;
+        }
+        (blocks, cbp)
+    })
 }
 
 /// Reconstructs an inter MB from levels + prediction and stores it.
@@ -1269,39 +1348,41 @@ pub(crate) fn reconstruct_inter_mb<M: MemModel, F: FrameSink>(
     mbx: usize,
     mby: usize,
 ) {
-    texture.charge_pred_load(mem, 384);
-    let (ry, ru, rv) = recon.planes_mut();
-    for blk in 0..4 {
-        let bx = (mbx * 16 + (blk % 2) * 8) as isize;
-        let by = (mby * 16 + (blk / 2) * 8) as isize;
-        let pred = pred_subblock(pred_y, blk);
-        let rec = if cbp[blk] {
-            let res = texture.reconstruct(mem, &blocks[blk], qp);
-            add_prediction(&res, &pred)
-        } else {
-            let mut out = [0i16; 64];
-            for i in 0..64 {
-                out[i] = i16::from(pred[i]);
-            }
-            out
-        };
-        write_block(mem, ry, bx, by, &rec);
-    }
-    let cx = (mbx * 8) as isize;
-    let cy = (mby * 8) as isize;
-    for (i, (dst, pred)) in [(ru, pred_u), (rv, pred_v)].into_iter().enumerate() {
-        let rec = if cbp[4 + i] {
-            let res = texture.reconstruct(mem, &blocks[4 + i], qp);
-            add_prediction(&res, pred)
-        } else {
-            let mut out = [0i16; 64];
-            for j in 0..64 {
-                out[j] = i16::from(pred[j]);
-            }
-            out
-        };
-        write_block(mem, dst, cx, cy, &rec);
-    }
+    span!(mem, Phase::Recon, {
+        texture.charge_pred_load(mem, 384);
+        let (ry, ru, rv) = recon.planes_mut();
+        for blk in 0..4 {
+            let bx = (mbx * 16 + (blk % 2) * 8) as isize;
+            let by = (mby * 16 + (blk / 2) * 8) as isize;
+            let pred = pred_subblock(pred_y, blk);
+            let rec = if cbp[blk] {
+                let res = texture.reconstruct(mem, &blocks[blk], qp);
+                add_prediction(&res, &pred)
+            } else {
+                let mut out = [0i16; 64];
+                for i in 0..64 {
+                    out[i] = i16::from(pred[i]);
+                }
+                out
+            };
+            write_block(mem, ry, bx, by, &rec);
+        }
+        let cx = (mbx * 8) as isize;
+        let cy = (mby * 8) as isize;
+        for (i, (dst, pred)) in [(ru, pred_u), (rv, pred_v)].into_iter().enumerate() {
+            let rec = if cbp[4 + i] {
+                let res = texture.reconstruct(mem, &blocks[4 + i], qp);
+                add_prediction(&res, pred)
+            } else {
+                let mut out = [0i16; 64];
+                for j in 0..64 {
+                    out[j] = i16::from(pred[j]);
+                }
+                out
+            };
+            write_block(mem, dst, cx, cy, &rec);
+        }
+    });
 }
 
 /// Sum of absolute deviations from the block mean (the H.263 intra/inter
@@ -1374,7 +1455,11 @@ fn encode_p_mb<M: MemModel, F: FrameSink>(
         // Intra wins.
         w.put_bit(false); // coded
         put_ue(w, MacroblockKind::Intra.code());
-        encode_intra_mb(mem, cur, recon, texture, qp, mbx, mby, ips, w);
+        span!(
+            mem,
+            Phase::DctQuant,
+            encode_intra_mb(mem, cur, recon, texture, qp, mbx, mby, ips, w)
+        );
         stats.intra_mbs += 1;
         mv_pred.commit(mbx, MotionVector::ZERO);
         return;
@@ -1385,24 +1470,26 @@ fn encode_p_mb<M: MemModel, F: FrameSink>(
         let (pred_y, pred_u, pred_v) = predict_mb_4mv(mem, reference, texture, &mvs4, mbx, mby);
         let (blocks, cbp) =
             quantize_inter_mb(mem, cur, &pred_y, &pred_u, &pred_v, texture, qp, mbx, mby);
-        w.put_bit(false); // coded
-        put_ue(w, MacroblockKind::Inter4V.code());
-        // Block 0 predicted from the neighbour median, blocks 1-3 chained
-        // from the previous block of the same macroblock.
-        let mut pred = mv_pred.predict(mbx);
-        for mv in &mvs4 {
-            put_se(w, i32::from(mv.x) - i32::from(pred.x));
-            put_se(w, i32::from(mv.y) - i32::from(pred.y));
-            pred = *mv;
-        }
-        for &b in &cbp {
-            w.put_bit(b);
-        }
-        for (i, qb) in blocks.iter().enumerate() {
-            if cbp[i] {
-                texture.entropy_encode(mem, qb, 0, w);
+        span!(mem, Phase::Vlc, {
+            w.put_bit(false); // coded
+            put_ue(w, MacroblockKind::Inter4V.code());
+            // Block 0 predicted from the neighbour median, blocks 1-3 chained
+            // from the previous block of the same macroblock.
+            let mut pred = mv_pred.predict(mbx);
+            for mv in &mvs4 {
+                put_se(w, i32::from(mv.x) - i32::from(pred.x));
+                put_se(w, i32::from(mv.y) - i32::from(pred.y));
+                pred = *mv;
             }
-        }
+            for &b in &cbp {
+                w.put_bit(b);
+            }
+            for (i, qb) in blocks.iter().enumerate() {
+                if cbp[i] {
+                    texture.entropy_encode(mem, qb, 0, w);
+                }
+            }
+        });
         reconstruct_inter_mb(
             mem, recon, &blocks, &cbp, &pred_y, &pred_u, &pred_v, texture, qp, mbx, mby,
         );
@@ -1425,19 +1512,21 @@ fn encode_p_mb<M: MemModel, F: FrameSink>(
         return;
     }
 
-    w.put_bit(false); // coded
-    put_ue(w, MacroblockKind::Inter.code());
-    let pred = mv_pred.predict(mbx);
-    put_se(w, i32::from(outcome.mv.x) - i32::from(pred.x));
-    put_se(w, i32::from(outcome.mv.y) - i32::from(pred.y));
-    for &b in &cbp {
-        w.put_bit(b);
-    }
-    for (i, qb) in blocks.iter().enumerate() {
-        if cbp[i] {
-            texture.entropy_encode(mem, qb, 0, w);
+    span!(mem, Phase::Vlc, {
+        w.put_bit(false); // coded
+        put_ue(w, MacroblockKind::Inter.code());
+        let pred = mv_pred.predict(mbx);
+        put_se(w, i32::from(outcome.mv.x) - i32::from(pred.x));
+        put_se(w, i32::from(outcome.mv.y) - i32::from(pred.y));
+        for &b in &cbp {
+            w.put_bit(b);
         }
-    }
+        for (i, qb) in blocks.iter().enumerate() {
+            if cbp[i] {
+                texture.entropy_encode(mem, qb, 0, w);
+            }
+        }
+    });
     reconstruct_inter_mb(
         mem, recon, &blocks, &cbp, &pred_y, &pred_u, &pred_v, texture, qp, mbx, mby,
     );
@@ -1514,44 +1603,50 @@ fn encode_b_mb<M: MemModel, F: FrameSink>(
         }
     };
 
-    put_ue(w, kind.code());
-    if kind != MacroblockKind::Backward {
-        let p = fwd_pred.predict(mbx);
-        put_se(w, i32::from(of.mv.x) - i32::from(p.x));
-        put_se(w, i32::from(of.mv.y) - i32::from(p.y));
-    }
-    if kind != MacroblockKind::Forward {
-        let p = bwd_pred.predict(mbx);
-        put_se(w, i32::from(ob.mv.x) - i32::from(p.x));
-        put_se(w, i32::from(ob.mv.y) - i32::from(p.y));
-    }
-    fwd_pred.commit(
-        mbx,
+    // One Vlc span wraps the macroblock's whole entropy section; the
+    // nested DctQuant span inside `quantize_inter_mb` subtracts itself
+    // back out (exclusive attribution), so no Vlc/DctQuant bleed-over.
+    let (blocks, cbp) = span!(mem, Phase::Vlc, {
+        put_ue(w, kind.code());
         if kind != MacroblockKind::Backward {
-            of.mv
-        } else {
-            MotionVector::ZERO
-        },
-    );
-    bwd_pred.commit(
-        mbx,
-        if kind != MacroblockKind::Forward {
-            ob.mv
-        } else {
-            MotionVector::ZERO
-        },
-    );
-
-    let (blocks, cbp) =
-        quantize_inter_mb(mem, cur, &pred_y, &pred_u, &pred_v, texture, qp, mbx, mby);
-    for &b in &cbp {
-        w.put_bit(b);
-    }
-    for (i, qb) in blocks.iter().enumerate() {
-        if cbp[i] {
-            texture.entropy_encode(mem, qb, 0, w);
+            let p = fwd_pred.predict(mbx);
+            put_se(w, i32::from(of.mv.x) - i32::from(p.x));
+            put_se(w, i32::from(of.mv.y) - i32::from(p.y));
         }
-    }
+        if kind != MacroblockKind::Forward {
+            let p = bwd_pred.predict(mbx);
+            put_se(w, i32::from(ob.mv.x) - i32::from(p.x));
+            put_se(w, i32::from(ob.mv.y) - i32::from(p.y));
+        }
+        fwd_pred.commit(
+            mbx,
+            if kind != MacroblockKind::Backward {
+                of.mv
+            } else {
+                MotionVector::ZERO
+            },
+        );
+        bwd_pred.commit(
+            mbx,
+            if kind != MacroblockKind::Forward {
+                ob.mv
+            } else {
+                MotionVector::ZERO
+            },
+        );
+
+        let (blocks, cbp) =
+            quantize_inter_mb(mem, cur, &pred_y, &pred_u, &pred_v, texture, qp, mbx, mby);
+        for &b in &cbp {
+            w.put_bit(b);
+        }
+        for (i, qb) in blocks.iter().enumerate() {
+            if cbp[i] {
+                texture.entropy_encode(mem, qb, 0, w);
+            }
+        }
+        (blocks, cbp)
+    });
     reconstruct_inter_mb(
         mem, recon, &blocks, &cbp, &pred_y, &pred_u, &pred_v, texture, qp, mbx, mby,
     );

@@ -13,6 +13,7 @@ use crate::config::SearchStrategy;
 use crate::plane::TracedPlane;
 use crate::types::MotionVector;
 use m4ps_memsim::MemModel;
+use m4ps_obs::{span, MetricId, Phase};
 
 /// Per-pixel-row SAD compute cost (16 abs-diff-accumulate triples).
 const SAD_ROW_OPS: u64 = 48;
@@ -193,51 +194,56 @@ impl MotionSearch {
         by: isize,
         center: MotionVector,
     ) -> SearchOutcome {
-        // Keep every candidate inside the padded reference surface.
-        let clamp_full = |v: i32| v.clamp(-14, 14) as isize;
-        let (cx, cy) = center.full_pel();
-        let (cx, cy) = (clamp_full(i32::from(cx)), clamp_full(i32::from(cy)));
-        let mut best = (cx, cy);
-        let mut best_sad = u32::MAX;
-        let mut candidates = 0u32;
-        for dy in -2isize..=2 {
-            for dx in -2isize..=2 {
-                let (tx, ty) = (clamp_full((cx + dx) as i32), clamp_full((cy + dy) as i32));
-                candidates += 1;
-                let sad =
-                    Self::sad_candidate_sized(mem, cur, reference, bx, by, tx, ty, best_sad, 8);
-                if sad < best_sad {
-                    best_sad = sad;
-                    best = (tx, ty);
-                }
-            }
-        }
-        let mut best_mv = MotionVector::from_full_pel(best.0 as i16, best.1 as i16);
-        if self.half_pel {
-            for dy in -1i16..=1 {
-                for dx in -1i16..=1 {
-                    if dx == 0 && dy == 0 {
-                        continue;
-                    }
-                    let cand = MotionVector::new(best_mv.x + dx, best_mv.y + dy);
-                    if cand.x.abs() > 29 || cand.y.abs() > 29 {
-                        continue;
-                    }
+        span!(mem, Phase::MeSearch, {
+            // Keep every candidate inside the padded reference surface.
+            let clamp_full = |v: i32| v.clamp(-14, 14) as isize;
+            let (cx, cy) = center.full_pel();
+            let (cx, cy) = (clamp_full(i32::from(cx)), clamp_full(i32::from(cy)));
+            let mut best = (cx, cy);
+            let mut best_sad = u32::MAX;
+            let mut candidates = 0u32;
+            for dy in -2isize..=2 {
+                for dx in -2isize..=2 {
+                    let (tx, ty) = (clamp_full((cx + dx) as i32), clamp_full((cy + dy) as i32));
                     candidates += 1;
                     let sad =
-                        Self::sad_half_pel_sized(mem, cur, reference, bx, by, cand, best_sad, 8);
+                        Self::sad_candidate_sized(mem, cur, reference, bx, by, tx, ty, best_sad, 8);
                     if sad < best_sad {
                         best_sad = sad;
-                        best_mv = cand;
+                        best = (tx, ty);
                     }
                 }
             }
-        }
-        SearchOutcome {
-            mv: best_mv,
-            sad: best_sad,
-            candidates,
-        }
+            let mut best_mv = MotionVector::from_full_pel(best.0 as i16, best.1 as i16);
+            if self.half_pel {
+                span!(mem, Phase::MeHalfPel, {
+                    for dy in -1i16..=1 {
+                        for dx in -1i16..=1 {
+                            if dx == 0 && dy == 0 {
+                                continue;
+                            }
+                            let cand = MotionVector::new(best_mv.x + dx, best_mv.y + dy);
+                            if cand.x.abs() > 29 || cand.y.abs() > 29 {
+                                continue;
+                            }
+                            candidates += 1;
+                            let sad = Self::sad_half_pel_sized(
+                                mem, cur, reference, bx, by, cand, best_sad, 8,
+                            );
+                            if sad < best_sad {
+                                best_sad = sad;
+                                best_mv = cand;
+                            }
+                        }
+                    }
+                });
+            }
+            SearchOutcome {
+                mv: best_mv,
+                sad: best_sad,
+                candidates,
+            }
+        })
     }
 
     /// Searches the 16×16 block whose top-left is `(mbx·16, mby·16)`,
@@ -250,6 +256,25 @@ impl MotionSearch {
         mbx: usize,
         mby: usize,
     ) -> SearchOutcome {
+        let out = self.search_inner(mem, cur, reference, mbx, mby);
+        m4ps_obs::histogram_record(MetricId::MeSadPerSearch, u64::from(out.candidates));
+        out
+    }
+
+    /// The span-instrumented search body: one `me.search` span per
+    /// macroblock with the fractional refinement nested as `me.halfpel`.
+    fn search_inner<M: MemModel>(
+        &self,
+        mem: &mut M,
+        cur: &TracedPlane,
+        reference: &TracedPlane,
+        mbx: usize,
+        mby: usize,
+    ) -> SearchOutcome {
+        let obs_on = m4ps_obs::enabled();
+        if obs_on {
+            m4ps_obs::enter(Phase::MeSearch, *mem.counters());
+        }
         let bx = (mbx * 16) as isize;
         let by = (mby * 16) as isize;
         let mut candidates = 0u32;
@@ -359,28 +384,34 @@ impl MotionSearch {
         let mut best_mv = MotionVector::from_full_pel(best.0 as i16, best.1 as i16);
 
         if self.half_pel {
-            // Refine over the 8 half-pel neighbours of the integer winner.
-            let base = best_mv;
-            for dy in -1i16..=1 {
-                for dx in -1i16..=1 {
-                    if dx == 0 && dy == 0 {
-                        continue;
-                    }
-                    let cand = MotionVector::new(base.x + dx, base.y + dy);
-                    // Stay inside the padded surface.
-                    if cand.x.abs() >= 2 * self.range || cand.y.abs() >= 2 * self.range {
-                        continue;
-                    }
-                    candidates += 1;
-                    let sad = Self::sad_half_pel(mem, cur, reference, bx, by, cand, best_sad);
-                    if sad < best_sad {
-                        best_sad = sad;
-                        best_mv = cand;
+            span!(mem, Phase::MeHalfPel, {
+                // Refine over the 8 half-pel neighbours of the integer
+                // winner.
+                let base = best_mv;
+                for dy in -1i16..=1 {
+                    for dx in -1i16..=1 {
+                        if dx == 0 && dy == 0 {
+                            continue;
+                        }
+                        let cand = MotionVector::new(base.x + dx, base.y + dy);
+                        // Stay inside the padded surface.
+                        if cand.x.abs() >= 2 * self.range || cand.y.abs() >= 2 * self.range {
+                            continue;
+                        }
+                        candidates += 1;
+                        let sad = Self::sad_half_pel(mem, cur, reference, bx, by, cand, best_sad);
+                        if sad < best_sad {
+                            best_sad = sad;
+                            best_mv = cand;
+                        }
                     }
                 }
-            }
+            });
         }
 
+        if obs_on {
+            m4ps_obs::exit(Phase::MeSearch, *mem.counters());
+        }
         SearchOutcome {
             mv: best_mv,
             sad: best_sad,

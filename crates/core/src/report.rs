@@ -4,7 +4,8 @@
 //! the paper, so the reproduction output can be put side by side with
 //! the original.
 
-use m4ps_memsim::MemoryMetrics;
+use m4ps_memsim::{MemoryMetrics, TimingModel};
+use m4ps_obs::PhaseProfile;
 
 /// The row labels of the paper's tables, in order.
 pub const METRIC_ROWS: [&str; 9] = [
@@ -58,6 +59,68 @@ pub fn render_table(title: &str, columns: &[(&str, &MemoryMetrics)]) -> String {
         }
         out.push('\n');
     }
+    out
+}
+
+/// Renders the SpeedShop-style per-phase attribution table for one run:
+/// span entries, memory-reference share, miss rates, and the share of
+/// modelled stall cycles, per [`m4ps_obs::Phase`]. Phases that never
+/// ran are omitted; the totals row is the exact aggregate (the profile
+/// partitions the run's counters bit-for-bit).
+pub fn render_phase_table(title: &str, profile: &PhaseProfile, timing: &TimingModel) -> String {
+    let stall = |c: &m4ps_memsim::Counters| {
+        let b = timing.breakdown(c);
+        b.l1_stall + b.dram_stall + b.tlb_stall
+    };
+    let total = profile.total();
+    let total_refs = total.loads + total.stores;
+    let total_stall = stall(&total);
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n\n"));
+    let header = format!(
+        "{:<16}{:>12}{:>16}{:>9}{:>12}{:>12}{:>9}\n",
+        "phase", "entries", "mem refs", "refs %", "L1 miss %", "L2 miss %", "stall %"
+    );
+    let rule = "-".repeat(header.len() - 1);
+    out.push_str(&header);
+    out.push_str(&rule);
+    out.push('\n');
+    let pct = |num: f64, den: f64| {
+        if den > 0.0 {
+            format!("{:.2}%", 100.0 * num / den)
+        } else {
+            "n/a".to_string()
+        }
+    };
+    for (phase, stats) in profile.iter() {
+        if stats.entries == 0 {
+            continue;
+        }
+        let c = &stats.counters;
+        let refs = c.loads + c.stores;
+        out.push_str(&format!(
+            "{:<16}{:>12}{:>16}{:>9}{:>12}{:>12}{:>9}\n",
+            phase.name(),
+            stats.entries,
+            refs,
+            pct(refs as f64, total_refs as f64),
+            pct(c.l1_misses as f64, refs as f64),
+            pct(c.l2_misses as f64, c.l1_misses as f64),
+            pct(stall(c), total_stall),
+        ));
+    }
+    out.push_str(&rule);
+    out.push('\n');
+    out.push_str(&format!(
+        "{:<16}{:>12}{:>16}{:>9}{:>12}{:>12}{:>9}\n",
+        "total",
+        profile.iter().map(|(_, s)| s.entries).sum::<u64>(),
+        total_refs,
+        pct(total_refs as f64, total_refs as f64),
+        pct(total.l1_misses as f64, total_refs as f64),
+        pct(total.l2_misses as f64, total.l1_misses as f64),
+        pct(total_stall, total_stall),
+    ));
     out
 }
 
@@ -125,6 +188,47 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_row_panics() {
         format_cell(&metrics(), 9);
+    }
+
+    #[test]
+    fn phase_table_lists_active_phases_and_exact_total() {
+        use m4ps_obs::{Phase, Profiler};
+        let profiler = Profiler::new(false);
+        {
+            let _g = profiler.attach();
+            let zero = Counters::new();
+            let mid = Counters {
+                loads: 1_000,
+                stores: 100,
+                l1_misses: 50,
+                l2_misses: 10,
+                compute_ops: 5_000,
+                bytes_accessed: 8_800,
+                ..zero
+            };
+            let end = Counters {
+                loads: 3_000,
+                stores: 300,
+                l1_misses: 80,
+                l2_misses: 12,
+                compute_ops: 9_000,
+                bytes_accessed: 26_400,
+                ..zero
+            };
+            m4ps_obs::enter(Phase::Run, zero);
+            m4ps_obs::enter(Phase::MeSearch, zero);
+            m4ps_obs::exit(Phase::MeSearch, mid);
+            m4ps_obs::exit(Phase::Run, end);
+        }
+        let profile = profiler.profile();
+        let t = render_phase_table("Per-phase", &profile, &TimingModel::mips_r12k());
+        assert!(t.contains("me.search"));
+        assert!(t.contains("run"));
+        assert!(t.contains("total"));
+        // Phases that never ran are omitted.
+        assert!(!t.contains("vop.decode"));
+        // The totals row carries the exact aggregate reference count.
+        assert!(t.contains("3300"));
     }
 
     #[test]

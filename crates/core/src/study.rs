@@ -8,7 +8,13 @@ use m4ps_memsim::{
     AddressSpace, Counters, Hierarchy, MachineSpec, MemModel, MemoryMetrics, ParallelModel,
     RegionMisses,
 };
+use m4ps_obs::{Phase, PhaseProfile, Profiler};
 use m4ps_vidgen::{Resolution, Scene, SceneSpec};
+
+/// Environment override for Chrome-trace export: when set, every study
+/// run writes its trace-event JSON to this path (a
+/// [`StudyConfig::with_trace`] path takes precedence for encodes).
+pub const TRACE_ENV: &str = "M4PS_TRACE";
 
 /// A workload specification in the paper's terms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,7 +68,7 @@ impl Workload {
 
 /// Study-level knobs (kept apart from [`EncoderConfig`] so experiment
 /// binaries can expose them as CLI flags).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StudyConfig {
     /// Codec configuration for every coder in the run.
     pub encoder: EncoderConfig,
@@ -72,6 +78,11 @@ pub struct StudyConfig {
     /// bitstream and the paper-band metrics are identical for every
     /// value (only [`EncoderConfig::slices`] changes the stream).
     pub threads: usize,
+    /// When set, [`encode_study`] writes a Chrome trace-event JSON file
+    /// here (load it in `chrome://tracing` or Perfetto). `None` falls
+    /// back to the [`TRACE_ENV`] environment variable. A pure
+    /// observability knob — output and metrics are unchanged.
+    pub trace: Option<String>,
 }
 
 impl StudyConfig {
@@ -81,6 +92,7 @@ impl StudyConfig {
         StudyConfig {
             encoder: EncoderConfig::paper(),
             threads: 0,
+            trace: None,
         }
     }
 
@@ -89,6 +101,7 @@ impl StudyConfig {
         StudyConfig {
             encoder: EncoderConfig::fast_test(),
             threads: 0,
+            trace: None,
         }
     }
 
@@ -104,6 +117,13 @@ impl StudyConfig {
     pub fn with_parallel(mut self, slices: usize, threads: usize) -> Self {
         self.encoder.slices = slices;
         self.threads = threads;
+        self
+    }
+
+    /// Writes a Chrome trace-event JSON file for the run (see
+    /// [`StudyConfig::trace`]).
+    pub fn with_trace(mut self, path: impl Into<String>) -> Self {
+        self.trace = Some(path.into());
         self
     }
 }
@@ -126,6 +146,9 @@ pub struct RunResult {
     /// Demand misses attributed to the codec's data structures (sorted
     /// by L1 misses, descending).
     pub region_misses: Vec<RegionMisses>,
+    /// Per-phase counter attribution (SpeedShop/Perfex-style). The sum
+    /// over all phases equals `metrics.counters` bit-for-bit.
+    pub profile: PhaseProfile,
 }
 
 /// Drives the scene encoder over the workload under `mem`. The
@@ -194,10 +217,19 @@ pub fn encode_study(
     } else {
         Hierarchy::without_prefetch(machine.clone())
     };
-    let (_, session, vop_window) =
-        drive_encode(&mut space, &mut mem, workload, config, |sp, m| {
-            m.attach_regions(sp.regions())
-        })?;
+    let trace = trace_path(config.trace.as_deref());
+    let profiler = Profiler::new(trace.is_some());
+    // Everything the run charges happens inside the root `run` span, so
+    // the profile's per-phase sums partition the aggregate counters.
+    let guard = profiler.attach();
+    m4ps_obs::enter(Phase::Run, *mem.counters());
+    let result = drive_encode(&mut space, &mut mem, workload, config, |sp, m| {
+        m.attach_regions(sp.regions())
+    });
+    m4ps_obs::exit(Phase::Run, *mem.counters());
+    drop(guard);
+    let (_, session, vop_window) = result?;
+    write_trace_if_requested(&profiler, trace.as_deref());
     let metrics = MemoryMetrics::derive(mem.counters(), machine);
     Ok(RunResult {
         machine: machine.clone(),
@@ -206,7 +238,25 @@ pub fn encode_study(
         vop_window,
         resident_bytes: space.allocated_bytes(),
         region_misses: mem.region_misses(),
+        profile: profiler.profile(),
     })
+}
+
+/// Resolves the effective trace path: explicit config, then the
+/// [`TRACE_ENV`] environment override.
+fn trace_path(explicit: Option<&str>) -> Option<String> {
+    explicit
+        .map(str::to_owned)
+        .or_else(|| std::env::var(TRACE_ENV).ok().filter(|p| !p.is_empty()))
+}
+
+/// Best-effort trace export; a failed write must not fail the study.
+fn write_trace_if_requested(profiler: &Profiler, path: Option<&str>) {
+    if let Some(path) = path {
+        if let Err(e) = profiler.write_trace(path) {
+            eprintln!("m4ps: could not write trace to {path}: {e}");
+        }
+    }
 }
 
 /// Produces the elementary streams for `workload` at full speed (no
@@ -239,9 +289,20 @@ pub fn decode_study(
 ) -> Result<RunResult, CodecError> {
     let mut space = AddressSpace::new();
     let mut mem = Hierarchy::new(machine.clone());
-    let mut dec = SceneDecoder::new(&mut space, &mut mem, streams, workload.layers)?;
-    mem.attach_regions(space.regions());
-    let _ = dec.decode_all(&mut mem, streams)?;
+    let trace = trace_path(None);
+    let profiler = Profiler::new(trace.is_some());
+    let guard = profiler.attach();
+    m4ps_obs::enter(Phase::Run, *mem.counters());
+    let result = (|| -> Result<SceneDecoder, CodecError> {
+        let mut dec = SceneDecoder::new(&mut space, &mut mem, streams, workload.layers)?;
+        mem.attach_regions(space.regions());
+        let _ = dec.decode_all(&mut mem, streams)?;
+        Ok(dec)
+    })();
+    m4ps_obs::exit(Phase::Run, *mem.counters());
+    drop(guard);
+    let dec = result?;
+    write_trace_if_requested(&profiler, trace.as_deref());
     let metrics = MemoryMetrics::derive(mem.counters(), machine);
     Ok(RunResult {
         machine: machine.clone(),
@@ -250,6 +311,7 @@ pub fn decode_study(
         vop_window: dec.vop_window(),
         resident_bytes: space.allocated_bytes(),
         region_misses: mem.region_misses(),
+        profile: profiler.profile(),
     })
 }
 

@@ -1,0 +1,85 @@
+//! Property: the SpeedShop-style per-phase profile *partitions* the
+//! run. For every study configuration — any slice count, any worker
+//! thread count, single- or multi-object — the sum of the per-phase
+//! counter deltas equals the aggregate [`m4ps_memsim::Counters`]
+//! bit-for-bit, and the produced bitstream is identical at every
+//! thread count (profiling is a pure observer).
+
+use m4ps_core::memsim::MachineSpec;
+use m4ps_core::vidgen::Resolution;
+use m4ps_core::{decode_study, encode_study, prepare_streams, StudyConfig, Workload};
+
+fn tiny(objects: usize) -> Workload {
+    Workload {
+        resolution: Resolution::QCIF,
+        frames: 3,
+        objects,
+        layers: 1,
+        seed: 11,
+    }
+}
+
+#[test]
+fn encode_profile_partitions_counters_at_any_parallelism() {
+    let w = tiny(0);
+    for (slices, threads) in [(1, 1), (2, 1), (2, 2), (4, 2), (4, 4)] {
+        let cfg = StudyConfig::fast().with_parallel(slices, threads);
+        let run = encode_study(&MachineSpec::o2(), &w, &cfg).unwrap();
+        assert_eq!(
+            run.profile.total(),
+            run.metrics.counters,
+            "profile does not partition the run at slices={slices} threads={threads}"
+        );
+        // And the attributed phases are the expected hot ones.
+        let me = run
+            .profile
+            .iter()
+            .find(|(p, _)| p.name() == "me.search")
+            .unwrap()
+            .1;
+        assert!(me.entries > 0, "no motion-search spans recorded");
+        assert!(me.counters.loads > 0);
+    }
+}
+
+#[test]
+fn encode_profile_partitions_counters_for_multi_object_runs() {
+    let run = encode_study(&MachineSpec::onyx_vtx(), &tiny(3), &StudyConfig::fast()).unwrap();
+    assert_eq!(run.profile.total(), run.metrics.counters);
+    let shape = run
+        .profile
+        .iter()
+        .find(|(p, _)| p.name() == "shape")
+        .unwrap()
+        .1;
+    assert!(shape.entries > 0, "shaped run recorded no shape spans");
+}
+
+#[test]
+fn decode_profile_partitions_counters() {
+    let w = tiny(0);
+    let cfg = StudyConfig::fast().with_parallel(2, 2);
+    let streams = prepare_streams(&w, &cfg).unwrap();
+    let run = decode_study(&MachineSpec::o2(), &w, &streams).unwrap();
+    assert_eq!(run.profile.total(), run.metrics.counters);
+    let dec = run
+        .profile
+        .iter()
+        .find(|(p, _)| p.name() == "vop.decode")
+        .unwrap()
+        .1;
+    assert_eq!(dec.entries, run.session.vops);
+}
+
+#[test]
+fn bitstreams_are_identical_at_every_thread_count() {
+    let w = tiny(0);
+    let reference = prepare_streams(&w, &StudyConfig::fast().with_parallel(4, 1)).unwrap();
+    for threads in [2, 4] {
+        let streams = prepare_streams(&w, &StudyConfig::fast().with_parallel(4, threads)).unwrap();
+        assert_eq!(
+            streams, reference,
+            "threads={threads} changed the bitstream"
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Golden test: a traced 2-slice/2-thread encode emits Chrome
+//! trace-event JSON that round-trips through `testkit::json`, with
+//! properly nested spans and per-thread metadata.
+
+use m4ps_core::memsim::MachineSpec;
+use m4ps_core::vidgen::Resolution;
+use m4ps_core::{encode_study, StudyConfig, Workload};
+use m4ps_testkit::json::Json;
+
+#[test]
+fn traced_encode_emits_valid_chrome_trace() {
+    let path = std::env::temp_dir().join(format!("m4ps_trace_export_{}.json", std::process::id()));
+    let path_str = path.to_str().unwrap().to_string();
+    let w = Workload {
+        resolution: Resolution::QCIF,
+        frames: 3,
+        objects: 0,
+        layers: 1,
+        seed: 7,
+    };
+    let cfg = StudyConfig::fast()
+        .with_parallel(2, 2)
+        .with_trace(&path_str);
+    encode_study(&MachineSpec::o2(), &w, &cfg).unwrap();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let doc = Json::parse(&text).expect("trace file is valid JSON");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut spans: Vec<(String, u32, f64, f64)> = Vec::new(); // name, tid, ts, dur
+    let mut named_tids = Vec::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph field");
+        match ph {
+            "X" => {
+                let name = ev.get("name").and_then(Json::as_str).unwrap().to_string();
+                let tid = ev.get("tid").and_then(Json::as_f64).unwrap() as u32;
+                let ts = ev.get("ts").and_then(Json::as_f64).unwrap();
+                let dur = ev.get("dur").and_then(Json::as_f64).unwrap();
+                assert_eq!(ev.get("pid").and_then(Json::as_f64), Some(1.0));
+                assert_eq!(ev.get("cat").and_then(Json::as_str), Some("m4ps"));
+                spans.push((name, tid, ts, dur));
+            }
+            "M" => {
+                assert_eq!(
+                    ev.get("name").and_then(Json::as_str),
+                    Some("thread_name"),
+                    "only thread_name metadata is emitted"
+                );
+                let tid = ev.get("tid").and_then(Json::as_f64).unwrap() as u32;
+                let label = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .unwrap();
+                assert_eq!(label, format!("m4ps-{tid}"));
+                named_tids.push(tid);
+            }
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+
+    // Every span's thread has a name record.
+    for (name, tid, _, _) in &spans {
+        assert!(named_tids.contains(tid), "span {name} on unnamed tid {tid}");
+    }
+
+    // The root span is a single `run` covering every other span on its
+    // thread (coarse spans nest strictly).
+    let runs: Vec<_> = spans.iter().filter(|(n, ..)| n == "run").collect();
+    assert_eq!(runs.len(), 1, "exactly one root run span");
+    let (_, run_tid, run_ts, run_dur) = runs[0];
+    for (name, tid, ts, dur) in &spans {
+        if tid == run_tid {
+            assert!(
+                *ts >= *run_ts && ts + dur <= run_ts + run_dur + 1e-6,
+                "span {name} escapes the run span"
+            );
+        }
+    }
+
+    // Per-VOP spans nest inside the run, and slice spans exist (one per
+    // slice per VOP; a 2-slice encode of 3 frames gives at least 6).
+    let vops = spans.iter().filter(|(n, ..)| n == "vop.encode").count();
+    assert!(vops >= 3, "expected >=3 vop.encode spans, got {vops}");
+    let slices = spans.iter().filter(|(n, ..)| n == "slice").count();
+    assert!(slices >= 6, "expected >=6 slice spans, got {slices}");
+}

@@ -1,0 +1,296 @@
+//! A small fixed registry of counters, gauges and log₂-bucket
+//! histograms, exported as JSONL via `testkit::json`.
+//!
+//! The id space is a closed enum rather than string interning: every
+//! metric this workload emits is known at compile time, lookups are
+//! array indexing, and recording is a single atomic RMW — cheap enough
+//! to leave in per-macroblock paths behind the [`enabled`]
+//! (crate::enabled) gate.
+
+use m4ps_testkit::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Buckets in a histogram: bucket `i` counts values whose bit length
+/// is `i` (i.e. `v` in `[2^(i-1), 2^i)`; bucket 0 holds zero).
+const HIST_BUCKETS: usize = 32;
+
+/// Every metric the workload records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricId {
+    /// Histogram: SAD candidates evaluated per motion search.
+    MeSadPerSearch,
+    /// Counter: bytes spent on resync markers + slice headers.
+    ResyncMarkerBytes,
+    /// Histogram: nanoseconds a slice job waited in the pool queue.
+    SliceQueueWaitNs,
+    /// Gauge: worker threads the pool last scheduled onto.
+    PoolWorkers,
+}
+
+/// The shape of a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic sum.
+    Counter,
+    /// Last-written value.
+    Gauge,
+    /// Log₂-bucket distribution with count and sum.
+    Histogram,
+}
+
+impl MetricId {
+    /// Stable snake_case name used in the JSONL export.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricId::MeSadPerSearch => "me_sad_per_search",
+            MetricId::ResyncMarkerBytes => "resync_marker_bytes",
+            MetricId::SliceQueueWaitNs => "slice_queue_wait_ns",
+            MetricId::PoolWorkers => "pool_workers",
+        }
+    }
+
+    /// The metric's shape.
+    pub fn kind(self) -> MetricKind {
+        match self {
+            MetricId::MeSadPerSearch | MetricId::SliceQueueWaitNs => MetricKind::Histogram,
+            MetricId::ResyncMarkerBytes => MetricKind::Counter,
+            MetricId::PoolWorkers => MetricKind::Gauge,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, v: u64) {
+        let idx = (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn to_json_fields(&self) -> Vec<(&'static str, Json)> {
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = self.sum.load(Ordering::Relaxed);
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                // Upper bound (inclusive) of values with bit length i.
+                let le = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                buckets.push(Json::obj(vec![
+                    ("le", Json::Num(le as f64)),
+                    ("count", Json::Num(n as f64)),
+                ]));
+            }
+        }
+        vec![
+            ("count", Json::Num(count as f64)),
+            ("sum", Json::Num(sum as f64)),
+            ("buckets", Json::Arr(buckets)),
+        ]
+    }
+}
+
+/// The per-session metric store. All operations are atomic, so worker
+/// threads record through a shared reference.
+#[derive(Debug)]
+pub(crate) struct Registry {
+    me_sad_per_search: Histogram,
+    resync_marker_bytes: AtomicU64,
+    slice_queue_wait_ns: Histogram,
+    pool_workers: AtomicU64,
+}
+
+impl Registry {
+    pub(crate) fn new() -> Self {
+        Registry {
+            me_sad_per_search: Histogram::new(),
+            resync_marker_bytes: AtomicU64::new(0),
+            slice_queue_wait_ns: Histogram::new(),
+            pool_workers: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn counter_add(&self, id: MetricId, v: u64) {
+        debug_assert_eq!(id.kind(), MetricKind::Counter, "{id:?} is not a counter");
+        if let MetricId::ResyncMarkerBytes = id {
+            self.resync_marker_bytes.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn gauge_set(&self, id: MetricId, v: u64) {
+        debug_assert_eq!(id.kind(), MetricKind::Gauge, "{id:?} is not a gauge");
+        if let MetricId::PoolWorkers = id {
+            self.pool_workers.store(v, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn histogram_record(&self, id: MetricId, v: u64) {
+        debug_assert_eq!(
+            id.kind(),
+            MetricKind::Histogram,
+            "{id:?} is not a histogram"
+        );
+        match id {
+            MetricId::MeSadPerSearch => self.me_sad_per_search.record(v),
+            MetricId::SliceQueueWaitNs => self.slice_queue_wait_ns.record(v),
+            _ => {}
+        }
+    }
+
+    /// One JSON object per line, deterministic order.
+    pub(crate) fn to_jsonl(&self) -> String {
+        let scalar = |id: MetricId, kind: &str, v: u64| {
+            Json::obj(vec![
+                ("metric", Json::str(id.name())),
+                ("kind", Json::str(kind)),
+                ("value", Json::Num(v as f64)),
+            ])
+        };
+        let hist = |id: MetricId, h: &Histogram| {
+            let mut fields = vec![
+                ("metric", Json::str(id.name())),
+                ("kind", Json::str("histogram")),
+            ];
+            fields.extend(h.to_json_fields());
+            Json::obj(fields)
+        };
+        let lines = [
+            hist(MetricId::MeSadPerSearch, &self.me_sad_per_search),
+            scalar(
+                MetricId::ResyncMarkerBytes,
+                "counter",
+                self.resync_marker_bytes.load(Ordering::Relaxed),
+            ),
+            hist(MetricId::SliceQueueWaitNs, &self.slice_queue_wait_ns),
+            scalar(
+                MetricId::PoolWorkers,
+                "gauge",
+                self.pool_workers.load(Ordering::Relaxed),
+            ),
+        ];
+        let mut out = String::new();
+        for line in lines {
+            // pretty() is multi-line; JSONL needs one line per object.
+            out.push_str(&compact(&line));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Serializes `v` on a single line (JSONL) by reusing the pretty
+/// serializer and stripping its layout whitespace. Keys and string
+/// values survive intact because the serializer escapes embedded
+/// newlines as `\n`.
+fn compact(v: &Json) -> String {
+    let mut out = String::new();
+    let pretty = v.pretty();
+    let mut chars = pretty.chars().peekable();
+    let mut in_str = false;
+    let mut escaped = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push(c);
+            }
+            '\n' => {
+                // Swallow the newline and the following indent.
+                while chars.peek() == Some(&' ') {
+                    chars.next();
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count.load(Ordering::Relaxed), 9);
+        assert_eq!(h.buckets[0].load(Ordering::Relaxed), 1); // 0
+        assert_eq!(h.buckets[1].load(Ordering::Relaxed), 1); // 1
+        assert_eq!(h.buckets[2].load(Ordering::Relaxed), 2); // 2,3
+        assert_eq!(h.buckets[3].load(Ordering::Relaxed), 2); // 4,7
+        assert_eq!(h.buckets[4].load(Ordering::Relaxed), 1); // 8
+        assert_eq!(h.buckets[11].load(Ordering::Relaxed), 1); // 1024
+        assert_eq!(h.buckets[HIST_BUCKETS - 1].load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn jsonl_lines_parse_back() {
+        let r = Registry::new();
+        r.counter_add(MetricId::ResyncMarkerBytes, 17);
+        r.gauge_set(MetricId::PoolWorkers, 4);
+        r.histogram_record(MetricId::MeSadPerSearch, 33);
+        r.histogram_record(MetricId::MeSadPerSearch, 12);
+        r.histogram_record(MetricId::SliceQueueWaitNs, 100_000);
+        let jsonl = r.to_jsonl();
+        let mut names = Vec::new();
+        for line in jsonl.lines() {
+            let doc = Json::parse(line).expect("each line is standalone JSON");
+            names.push(doc.get("metric").unwrap().as_str().unwrap().to_string());
+            if doc.get("kind").unwrap().as_str() == Some("histogram") {
+                assert!(doc.get("count").unwrap().as_f64().is_some());
+                assert!(doc.get("buckets").unwrap().as_arr().is_some());
+            } else {
+                assert!(doc.get("value").unwrap().as_f64().is_some());
+            }
+        }
+        assert_eq!(
+            names,
+            vec![
+                "me_sad_per_search",
+                "resync_marker_bytes",
+                "slice_queue_wait_ns",
+                "pool_workers"
+            ]
+        );
+        // Spot-check values survive the round trip.
+        let resync = Json::parse(jsonl.lines().nth(1).unwrap()).unwrap();
+        assert_eq!(resync.get("value").unwrap().as_f64(), Some(17.0));
+    }
+
+    #[test]
+    fn compact_preserves_strings_with_escapes() {
+        let v = Json::obj(vec![("k", Json::str("a\"b\n c"))]);
+        let line = compact(&v);
+        assert!(!line.contains('\n'));
+        assert_eq!(Json::parse(&line).unwrap(), v);
+    }
+}

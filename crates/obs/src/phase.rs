@@ -1,0 +1,121 @@
+//! The fixed set of attribution phases.
+//!
+//! The set mirrors the paper's SpeedShop function-level tables
+//! (Tables 3–6): motion estimation, half-pel SAD refinement, motion
+//! compensation, DCT + quantisation, VLC/entropy coding,
+//! reconstruction, and bitstream/frame plumbing. Encoder and decoder
+//! share the enum — the operation names are symmetric and a study run
+//! profiles one direction at a time.
+
+/// An attribution phase. Every span carries exactly one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Phase {
+    /// Whole study run (root span; holds everything unattributed).
+    Run,
+    /// Frame import/export: copying YUV planes into traced buffers.
+    FrameIo,
+    /// One VOP encode (coarse window, matches the paper's `VopCode()`).
+    VopEncode,
+    /// One VOP decode (matches `DecodeVopCombMotionShapeTexture()`).
+    VopDecode,
+    /// One slice job: header, MB loop, resync markers.
+    Slice,
+    /// Integer-pel motion search (SAD candidate evaluation).
+    MeSearch,
+    /// Half-pel SAD refinement around the integer winner.
+    MeHalfPel,
+    /// Motion-compensated prediction (block fetch + interpolation).
+    McPredict,
+    /// Forward/inverse DCT and (de)quantisation of texture blocks.
+    DctQuant,
+    /// VLC / entropy coding or decoding of coefficients and headers.
+    Vlc,
+    /// Reconstruction: residual add + clamp into the reference frame.
+    Recon,
+    /// Binary alpha-plane (shape) coding or decoding.
+    Shape,
+    /// Bitstream parsing outside entropy loops (markers, headers).
+    Parse,
+    /// Scene composition / scalability-layer bookkeeping.
+    Compose,
+    /// Anything else explicitly instrumented.
+    Other,
+}
+
+impl Phase {
+    /// Number of phases (array-index domain of [`Phase::ALL`]).
+    pub const COUNT: usize = 15;
+
+    /// Every phase, in display order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Run,
+        Phase::FrameIo,
+        Phase::VopEncode,
+        Phase::VopDecode,
+        Phase::Slice,
+        Phase::MeSearch,
+        Phase::MeHalfPel,
+        Phase::McPredict,
+        Phase::DctQuant,
+        Phase::Vlc,
+        Phase::Recon,
+        Phase::Shape,
+        Phase::Parse,
+        Phase::Compose,
+        Phase::Other,
+    ];
+
+    /// Stable dotted name, used in reports, JSONL and trace events.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Run => "run",
+            Phase::FrameIo => "frame.io",
+            Phase::VopEncode => "vop.encode",
+            Phase::VopDecode => "vop.decode",
+            Phase::Slice => "slice",
+            Phase::MeSearch => "me.search",
+            Phase::MeHalfPel => "me.halfpel",
+            Phase::McPredict => "mc.predict",
+            Phase::DctQuant => "texture.dctq",
+            Phase::Vlc => "texture.vlc",
+            Phase::Recon => "texture.recon",
+            Phase::Shape => "shape",
+            Phase::Parse => "parse",
+            Phase::Compose => "compose",
+            Phase::Other => "other",
+        }
+    }
+
+    /// Coarse phases additionally sample wall-clock time and (when
+    /// tracing) emit Chrome trace events. They occur per frame or per
+    /// slice — never per macroblock — so `Instant::now` stays off the
+    /// hot path.
+    pub fn is_coarse(self) -> bool {
+        matches!(
+            self,
+            Phase::Run | Phase::FrameIo | Phase::VopEncode | Phase::VopDecode | Phase::Slice
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_covers_every_phase_once() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(*p as usize, i, "{p:?} out of order");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        for a in Phase::ALL {
+            for b in Phase::ALL {
+                assert!(a == b || a.name() != b.name());
+            }
+        }
+    }
+}

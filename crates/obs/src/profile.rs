@@ -1,0 +1,182 @@
+//! Per-phase accumulated statistics.
+
+use crate::phase::Phase;
+use m4ps_memsim::Counters;
+
+/// Statistics accumulated for one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseStats {
+    /// Exclusive counter delta attributed to this phase. Transiently
+    /// wrapped (see crate docs) while spans are open; exact once every
+    /// span has closed.
+    pub counters: Counters,
+    /// Wall-clock nanoseconds (coarse phases only; 0 for fine phases).
+    pub wall_ns: u64,
+    /// Number of spans that closed on this phase.
+    pub entries: u64,
+}
+
+/// A full per-phase profile: one [`PhaseStats`] per [`Phase`].
+///
+/// Profiles merge commutatively (plain wrapping addition field by
+/// field), so per-thread profiles can be folded in any order — the
+/// same property `Counters::merge` gives the parallel memory model.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PhaseProfile {
+    stats: [PhaseStats; Phase::COUNT],
+}
+
+impl PhaseProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The stats accumulated for `phase`.
+    pub fn get(&self, phase: Phase) -> &PhaseStats {
+        &self.stats[phase as usize]
+    }
+
+    pub(crate) fn get_mut(&mut self, phase: Phase) -> &mut PhaseStats {
+        &mut self.stats[phase as usize]
+    }
+
+    /// Iterates phases in display order with their stats.
+    pub fn iter(&self) -> impl Iterator<Item = (Phase, &PhaseStats)> {
+        Phase::ALL
+            .iter()
+            .map(move |&p| (p, &self.stats[p as usize]))
+    }
+
+    /// Folds `other` into `self` (wrapping, commutative).
+    pub fn merge(&mut self, other: &PhaseProfile) {
+        for (dst, src) in self.stats.iter_mut().zip(other.stats.iter()) {
+            add_wrapping(&mut dst.counters, &src.counters);
+            dst.wall_ns = dst.wall_ns.wrapping_add(src.wall_ns);
+            dst.entries = dst.entries.wrapping_add(src.entries);
+        }
+    }
+
+    /// Sum of every phase's exclusive counters. Once all spans have
+    /// closed and all threads detached, this equals the run's aggregate
+    /// [`Counters`] exactly (that invariant is what the attribution
+    /// algebra exists to provide, and what the tier-1 property tests
+    /// pin).
+    pub fn total(&self) -> Counters {
+        let mut out = Counters::default();
+        for s in &self.stats {
+            add_wrapping(&mut out, &s.counters);
+        }
+        out
+    }
+}
+
+/// `dst += d`, wrapping per field.
+pub(crate) fn add_wrapping(dst: &mut Counters, d: &Counters) {
+    dst.loads = dst.loads.wrapping_add(d.loads);
+    dst.stores = dst.stores.wrapping_add(d.stores);
+    dst.prefetches = dst.prefetches.wrapping_add(d.prefetches);
+    dst.prefetch_l1_hits = dst.prefetch_l1_hits.wrapping_add(d.prefetch_l1_hits);
+    dst.l1_misses = dst.l1_misses.wrapping_add(d.l1_misses);
+    dst.l1_writebacks = dst.l1_writebacks.wrapping_add(d.l1_writebacks);
+    dst.l2_misses = dst.l2_misses.wrapping_add(d.l2_misses);
+    dst.l2_writebacks = dst.l2_writebacks.wrapping_add(d.l2_writebacks);
+    dst.tlb_misses = dst.tlb_misses.wrapping_add(d.tlb_misses);
+    dst.compute_ops = dst.compute_ops.wrapping_add(d.compute_ops);
+    dst.bytes_accessed = dst.bytes_accessed.wrapping_add(d.bytes_accessed);
+}
+
+/// `dst -= d`, wrapping per field. Wrapped intermediates are expected
+/// (exclusive attribution subtracts a child's delta from a parent whose
+/// own span has not closed yet); final sums telescope back to exact
+/// values.
+pub(crate) fn sub_wrapping(dst: &mut Counters, d: &Counters) {
+    dst.loads = dst.loads.wrapping_sub(d.loads);
+    dst.stores = dst.stores.wrapping_sub(d.stores);
+    dst.prefetches = dst.prefetches.wrapping_sub(d.prefetches);
+    dst.prefetch_l1_hits = dst.prefetch_l1_hits.wrapping_sub(d.prefetch_l1_hits);
+    dst.l1_misses = dst.l1_misses.wrapping_sub(d.l1_misses);
+    dst.l1_writebacks = dst.l1_writebacks.wrapping_sub(d.l1_writebacks);
+    dst.l2_misses = dst.l2_misses.wrapping_sub(d.l2_misses);
+    dst.l2_writebacks = dst.l2_writebacks.wrapping_sub(d.l2_writebacks);
+    dst.tlb_misses = dst.tlb_misses.wrapping_sub(d.tlb_misses);
+    dst.compute_ops = dst.compute_ops.wrapping_sub(d.compute_ops);
+    dst.bytes_accessed = dst.bytes_accessed.wrapping_sub(d.bytes_accessed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m4ps_testkit::rng::Rng;
+
+    fn random_counters(rng: &mut Rng) -> Counters {
+        Counters {
+            loads: rng.next_u64() >> 16,
+            stores: rng.next_u64() >> 16,
+            prefetches: rng.next_u64() >> 48,
+            prefetch_l1_hits: rng.next_u64() >> 48,
+            l1_misses: rng.next_u64() >> 32,
+            l1_writebacks: rng.next_u64() >> 40,
+            l2_misses: rng.next_u64() >> 40,
+            l2_writebacks: rng.next_u64() >> 48,
+            tlb_misses: rng.next_u64() >> 48,
+            compute_ops: rng.next_u64() >> 16,
+            bytes_accessed: rng.next_u64() >> 14,
+        }
+    }
+
+    #[test]
+    fn add_sub_are_inverses() {
+        let mut rng = Rng::new(0xab5e_11e5);
+        for _ in 0..100 {
+            let base = random_counters(&mut rng);
+            let d = random_counters(&mut rng);
+            let mut c = base;
+            add_wrapping(&mut c, &d);
+            sub_wrapping(&mut c, &d);
+            assert_eq!(c, base);
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative() {
+        let mut rng = Rng::new(0x0b5_cafe);
+        for _ in 0..50 {
+            let mut profiles = [
+                PhaseProfile::new(),
+                PhaseProfile::new(),
+                PhaseProfile::new(),
+            ];
+            for p in &mut profiles {
+                for phase in Phase::ALL {
+                    let s = p.get_mut(phase);
+                    s.counters = random_counters(&mut rng);
+                    s.wall_ns = rng.next_u64() >> 30;
+                    s.entries = rng.next_u64() >> 50;
+                }
+            }
+            let [a, b, c] = profiles;
+
+            let mut abc = a.clone();
+            abc.merge(&b);
+            abc.merge(&c);
+            let mut cba = c.clone();
+            cba.merge(&b);
+            cba.merge(&a);
+            let mut a_bc = {
+                let mut bc = b.clone();
+                bc.merge(&c);
+                bc
+            };
+            a_bc.merge(&a);
+            assert_eq!(abc, cba);
+            assert_eq!(abc, a_bc);
+
+            // total() distributes over merge.
+            let mut total_sum = a.total();
+            add_wrapping(&mut total_sum, &b.total());
+            add_wrapping(&mut total_sum, &c.total());
+            assert_eq!(abc.total(), total_sum);
+        }
+    }
+}

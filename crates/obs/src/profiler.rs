@@ -1,0 +1,464 @@
+//! The profiler session, thread attachment, and the span primitives.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::metrics::{MetricId, Registry};
+use crate::phase::Phase;
+use crate::profile::{add_wrapping, sub_wrapping, PhaseProfile};
+use crate::trace::TraceEvent;
+use m4ps_memsim::Counters;
+use m4ps_testkit::json::Json;
+
+/// Number of threads (process-wide) currently attached to any session.
+/// The [`enabled`] fast path; span sites skip counter snapshots when
+/// this is zero.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+struct Shared {
+    tracing: bool,
+    epoch: Instant,
+    profile: Mutex<PhaseProfile>,
+    events: Mutex<Vec<TraceEvent>>,
+    next_tid: AtomicU32,
+    metrics: Registry,
+}
+
+/// One open span on a thread's stack.
+struct Frame {
+    phase: Phase,
+    snap: Counters,
+    start_ns: u64,
+    /// Domain frames wrap a forked counter stream: on exit their delta
+    /// is not subtracted from the lexical parent (different stream).
+    domain: bool,
+}
+
+struct ThreadState {
+    shared: Arc<Shared>,
+    tid: u32,
+    /// Reentrant-attach depth for this session on this thread.
+    depth: usize,
+    stack: Vec<Frame>,
+    profile: PhaseProfile,
+    events: Vec<TraceEvent>,
+}
+
+thread_local! {
+    static STATE: RefCell<Option<ThreadState>> = const { RefCell::new(None) };
+}
+
+/// A profiling session. Cheap to clone (an `Arc`); threads opt in with
+/// [`Profiler::attach`] and their profiles merge on detach.
+#[derive(Clone)]
+pub struct Profiler {
+    shared: Arc<Shared>,
+}
+
+impl Profiler {
+    /// Creates a session. With `tracing` on, coarse spans additionally
+    /// record Chrome trace events (see [`Profiler::trace_json`]).
+    pub fn new(tracing: bool) -> Self {
+        Profiler {
+            shared: Arc::new(Shared {
+                tracing,
+                epoch: Instant::now(),
+                profile: Mutex::new(PhaseProfile::new()),
+                events: Mutex::new(Vec::new()),
+                next_tid: AtomicU32::new(0),
+                metrics: Registry::new(),
+            }),
+        }
+    }
+
+    /// Whether this session records trace events.
+    pub fn tracing(&self) -> bool {
+        self.shared.tracing
+    }
+
+    /// Attaches the calling thread to this session until the guard
+    /// drops. Reentrant for the same session (inner guards are free);
+    /// attaching to a *different* session while one is active returns
+    /// a no-op guard — the first session keeps the thread.
+    #[must_use = "dropping the guard immediately detaches the thread"]
+    pub fn attach(&self) -> AttachGuard {
+        STATE.with(|s| {
+            let mut slot = s.borrow_mut();
+            match slot.as_mut() {
+                Some(st) if Arc::ptr_eq(&st.shared, &self.shared) => {
+                    st.depth += 1;
+                    AttachGuard { attached: true }
+                }
+                Some(_) => AttachGuard { attached: false },
+                None => {
+                    let tid = self.shared.next_tid.fetch_add(1, Ordering::Relaxed);
+                    *slot = Some(ThreadState {
+                        shared: Arc::clone(&self.shared),
+                        tid,
+                        depth: 1,
+                        stack: Vec::with_capacity(16),
+                        profile: PhaseProfile::new(),
+                        events: Vec::new(),
+                    });
+                    ACTIVE.fetch_add(1, Ordering::Relaxed);
+                    AttachGuard { attached: true }
+                }
+            }
+        })
+    }
+
+    /// The merged profile of every thread that has detached so far.
+    /// Read after all guards have dropped for the run's final tables.
+    pub fn profile(&self) -> PhaseProfile {
+        self.shared.profile.lock().expect("profile lock").clone()
+    }
+
+    /// The trace events flushed so far (detached threads only).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.shared.events.lock().expect("events lock").clone()
+    }
+
+    /// The Chrome trace-event document for this session
+    /// (`chrome://tracing` / Perfetto loadable).
+    pub fn trace_json(&self) -> Json {
+        crate::trace::chrome_trace_json(&self.events())
+    }
+
+    /// Writes [`Profiler::trace_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write_trace(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.trace_json().pretty())
+    }
+
+    /// One JSON object per line for every registered metric (JSONL).
+    pub fn metrics_jsonl(&self) -> String {
+        self.shared.metrics.to_jsonl()
+    }
+}
+
+/// Detaches the thread (and flushes its profile) on drop. See
+/// [`Profiler::attach`].
+#[must_use]
+pub struct AttachGuard {
+    attached: bool,
+}
+
+impl Drop for AttachGuard {
+    fn drop(&mut self) {
+        if !self.attached {
+            return;
+        }
+        STATE.with(|s| {
+            let mut slot = s.borrow_mut();
+            let Some(st) = slot.as_mut() else { return };
+            st.depth -= 1;
+            if st.depth > 0 {
+                return;
+            }
+            let st = slot.take().expect("state present");
+            // Flush even if spans are still open (error paths unwind
+            // through `?` without closing spans; the partial profile is
+            // still the best available answer).
+            st.shared
+                .profile
+                .lock()
+                .expect("profile lock")
+                .merge(&st.profile);
+            if st.shared.tracing && !st.events.is_empty() {
+                let mut events = st.shared.events.lock().expect("events lock");
+                events.push(TraceEvent::ThreadName {
+                    tid: st.tid,
+                    name: format!("m4ps-{}", st.tid),
+                });
+                events.extend(st.events);
+            }
+            ACTIVE.fetch_sub(1, Ordering::Relaxed);
+        });
+    }
+}
+
+/// Whether any thread in the process is attached to a session. Span
+/// sites use this to skip counter snapshots entirely in unprofiled
+/// runs; [`enter`]/[`exit`] additionally check the calling thread's
+/// own attachment, so a `true` from a *different* thread's session
+/// costs this thread two snapshots and nothing else.
+#[inline]
+pub fn enabled() -> bool {
+    ACTIVE.load(Ordering::Relaxed) != 0
+}
+
+/// The session the calling thread is attached to, if any. This is how
+/// deep call sites (the encoder handing its pool a session) reach the
+/// profiler without plumbing it through every signature.
+pub fn current() -> Option<Profiler> {
+    STATE.with(|s| {
+        s.borrow().as_ref().map(|st| Profiler {
+            shared: Arc::clone(&st.shared),
+        })
+    })
+}
+
+fn elapsed_ns(shared: &Shared) -> u64 {
+    u64::try_from(shared.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn push_frame(phase: Phase, snap: Counters, domain: bool) {
+    STATE.with(|s| {
+        if let Some(st) = s.borrow_mut().as_mut() {
+            let start_ns = if phase.is_coarse() {
+                elapsed_ns(&st.shared)
+            } else {
+                0
+            };
+            st.stack.push(Frame {
+                phase,
+                snap,
+                start_ns,
+                domain,
+            });
+        }
+    });
+}
+
+fn pop_frame(phase: Phase, now: Counters) {
+    STATE.with(|s| {
+        if let Some(st) = s.borrow_mut().as_mut() {
+            let Some(frame) = st.stack.pop() else {
+                debug_assert!(false, "exit({phase:?}) with empty span stack");
+                return;
+            };
+            debug_assert_eq!(frame.phase, phase, "unbalanced span nesting");
+            let mut delta = now;
+            sub_wrapping(&mut delta, &frame.snap);
+            let stats = st.profile.get_mut(frame.phase);
+            add_wrapping(&mut stats.counters, &delta);
+            stats.entries += 1;
+            if frame.phase.is_coarse() {
+                let end_ns = elapsed_ns(&st.shared);
+                stats.wall_ns += end_ns.saturating_sub(frame.start_ns);
+                if st.shared.tracing {
+                    st.events.push(TraceEvent::Complete {
+                        name: frame.phase.name(),
+                        tid: st.tid,
+                        ts_ns: frame.start_ns,
+                        dur_ns: end_ns.saturating_sub(frame.start_ns),
+                    });
+                }
+            }
+            // Exclusive attribution: remove this span's inclusive delta
+            // from the enclosing phase. Domain frames skip this — their
+            // delta comes from a forked stream the parent never sees
+            // directly (it arrives later via absorb + `absorbed`).
+            if !frame.domain {
+                if let Some(parent) = st.stack.last() {
+                    sub_wrapping(&mut st.profile.get_mut(parent.phase).counters, &delta);
+                }
+            }
+        }
+    });
+}
+
+/// Opens a span. `snap` is the memory model's counters at entry.
+/// No-op on unattached threads. Prefer the [`span!`](crate::span)
+/// macro, which pairs this with [`exit`] and caches the enabled check.
+pub fn enter(phase: Phase, snap: Counters) {
+    push_frame(phase, snap, false);
+}
+
+/// Closes the innermost span, which must be `phase` (debug-asserted).
+/// `now` is the same counter stream sampled at exit.
+pub fn exit(phase: Phase, now: Counters) {
+    pop_frame(phase, now);
+}
+
+/// Opens a *domain* span around code charging a forked counter stream
+/// (a slice job's `fork()`ed model). `snap` is the forked stream's
+/// counters at entry.
+pub fn enter_domain(phase: Phase, snap: Counters) {
+    push_frame(phase, snap, true);
+}
+
+/// Closes the innermost (domain) span against the forked stream's
+/// counters. Unlike [`exit`], nothing is subtracted from the lexical
+/// parent.
+pub fn exit_domain(phase: Phase, now: Counters) {
+    pop_frame(phase, now);
+}
+
+/// Records that `child_total` counters were folded into the calling
+/// thread's stream by `ParallelModel::absorb`. Subtracts the total from
+/// the innermost open phase so the jump is not double-attributed (the
+/// child's own profile already carries it, phase by phase).
+pub fn absorbed(child_total: &Counters) {
+    STATE.with(|s| {
+        if let Some(st) = s.borrow_mut().as_mut() {
+            if let Some(top) = st.stack.last() {
+                let phase = top.phase;
+                sub_wrapping(&mut st.profile.get_mut(phase).counters, child_total);
+            }
+        }
+    });
+}
+
+fn with_metrics(f: impl FnOnce(&Registry)) {
+    if !enabled() {
+        return;
+    }
+    STATE.with(|s| {
+        if let Some(st) = s.borrow().as_ref() {
+            f(&st.shared.metrics);
+        }
+    });
+}
+
+/// Adds `v` to a counter metric. No-op on unattached threads.
+pub fn counter_add(id: MetricId, v: u64) {
+    with_metrics(|m| m.counter_add(id, v));
+}
+
+/// Sets a gauge metric to `v`. No-op on unattached threads.
+pub fn gauge_set(id: MetricId, v: u64) {
+    with_metrics(|m| m.gauge_set(id, v));
+}
+
+/// Records one observation `v` into a histogram metric. No-op on
+/// unattached threads.
+pub fn histogram_record(id: MetricId, v: u64) {
+    with_metrics(|m| m.histogram_record(id, v));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(loads: u64, stores: u64) -> Counters {
+        Counters {
+            loads,
+            stores,
+            ..Counters::default()
+        }
+    }
+
+    #[test]
+    fn nested_spans_attribute_exclusively() {
+        let p = Profiler::new(false);
+        let g = p.attach();
+        enter(Phase::Run, c(0, 0));
+        enter(Phase::MeSearch, c(10, 5));
+        enter(Phase::MeHalfPel, c(30, 8));
+        exit(Phase::MeHalfPel, c(50, 9));
+        exit(Phase::MeSearch, c(70, 12));
+        exit(Phase::Run, c(100, 20));
+        drop(g);
+
+        let prof = p.profile();
+        assert_eq!(prof.get(Phase::MeHalfPel).counters, c(20, 1));
+        assert_eq!(prof.get(Phase::MeSearch).counters, c(40, 6));
+        assert_eq!(prof.get(Phase::Run).counters, c(40, 13));
+        assert_eq!(prof.total(), c(100, 20));
+        assert_eq!(prof.get(Phase::MeSearch).entries, 1);
+    }
+
+    #[test]
+    fn domain_spans_and_absorbed_telescope() {
+        let p = Profiler::new(false);
+        let g = p.attach();
+        enter(Phase::Run, c(0, 0));
+        // Inline slice job on a forked stream (fresh counters).
+        enter_domain(Phase::Slice, c(0, 0));
+        enter(Phase::DctQuant, c(3, 1));
+        exit(Phase::DctQuant, c(7, 2));
+        exit_domain(Phase::Slice, c(9, 4));
+        // Parent absorbs the child's 9 loads / 4 stores.
+        absorbed(&c(9, 4));
+        exit(Phase::Run, c(20, 10));
+        drop(g);
+
+        let prof = p.profile();
+        assert_eq!(prof.get(Phase::DctQuant).counters, c(4, 1));
+        assert_eq!(prof.get(Phase::Slice).counters, c(5, 3));
+        // Run saw 20/10 inclusive, minus the absorbed 9/4.
+        assert_eq!(prof.get(Phase::Run).counters, c(11, 6));
+        // Grand total equals the parent stream's final aggregate.
+        assert_eq!(prof.total(), c(20, 10));
+    }
+
+    #[test]
+    fn reentrant_attach_is_balanced() {
+        let p = Profiler::new(false);
+        let outer = p.attach();
+        {
+            let inner = p.attach();
+            assert!(current().is_some());
+            drop(inner);
+        }
+        // Still attached: the outer guard holds the thread.
+        assert!(current().is_some());
+        enter(Phase::Run, c(0, 0));
+        exit(Phase::Run, c(5, 5));
+        drop(outer);
+        assert!(current().is_none());
+        assert_eq!(p.profile().total(), c(5, 5));
+    }
+
+    #[test]
+    fn second_session_gets_noop_guard() {
+        let p1 = Profiler::new(false);
+        let p2 = Profiler::new(false);
+        let g1 = p1.attach();
+        let g2 = p2.attach();
+        enter(Phase::Run, c(0, 0));
+        exit(Phase::Run, c(3, 0));
+        drop(g2);
+        // p2's guard was a no-op: thread still attached to p1.
+        assert!(current().is_some());
+        drop(g1);
+        assert_eq!(p1.profile().total(), c(3, 0));
+        assert_eq!(p2.profile().total(), Counters::default());
+    }
+
+    #[test]
+    fn worker_profiles_merge_across_threads() {
+        let p = Profiler::new(false);
+        let g = p.attach();
+        enter(Phase::Run, c(0, 0));
+        std::thread::scope(|s| {
+            for i in 0..4u64 {
+                let p = p.clone();
+                s.spawn(move || {
+                    let g = p.attach();
+                    enter_domain(Phase::Slice, c(0, 0));
+                    exit_domain(Phase::Slice, c(i + 1, i));
+                    drop(g);
+                });
+            }
+        });
+        // 4 slices absorbed: totals 1+2+3+4 loads, 0+1+2+3 stores.
+        for i in 0..4u64 {
+            absorbed(&c(i + 1, i));
+        }
+        exit(Phase::Run, c(100, 50));
+        drop(g);
+        let prof = p.profile();
+        assert_eq!(prof.get(Phase::Slice).counters, c(10, 6));
+        assert_eq!(prof.get(Phase::Slice).entries, 4);
+        assert_eq!(prof.get(Phase::Run).counters, c(90, 44));
+        // The parent stream's final aggregate (100, 50) already folded
+        // in the absorbed slice totals; the profile sums back to it.
+        assert_eq!(prof.total(), c(100, 50));
+    }
+
+    #[test]
+    fn unattached_calls_are_noops() {
+        enter(Phase::Run, c(0, 0));
+        exit(Phase::Run, c(1, 1));
+        absorbed(&c(5, 5));
+        counter_add(MetricId::ResyncMarkerBytes, 3);
+        assert!(current().is_none());
+    }
+}

@@ -1,0 +1,108 @@
+//! Chrome trace-event export.
+//!
+//! Emits the JSON Object Format of the Trace Event spec: a
+//! `traceEvents` array of complete (`"ph": "X"`) events plus
+//! per-thread `thread_name` metadata, loadable in `chrome://tracing`
+//! and Perfetto. Timestamps are microseconds from the session epoch.
+
+use m4ps_testkit::json::Json;
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A closed coarse span (`"ph": "X"`).
+    Complete {
+        /// Phase name (the event's display name).
+        name: &'static str,
+        /// Session-local thread id.
+        tid: u32,
+        /// Start, nanoseconds since the session epoch.
+        ts_ns: u64,
+        /// Duration in nanoseconds.
+        dur_ns: u64,
+    },
+    /// `thread_name` metadata (`"ph": "M"`).
+    ThreadName {
+        /// Session-local thread id.
+        tid: u32,
+        /// Display name.
+        name: String,
+    },
+}
+
+const PID: f64 = 1.0;
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+impl TraceEvent {
+    fn to_json(&self) -> Json {
+        match self {
+            TraceEvent::Complete {
+                name,
+                tid,
+                ts_ns,
+                dur_ns,
+            } => Json::obj(vec![
+                ("name", Json::str(*name)),
+                ("cat", Json::str("m4ps")),
+                ("ph", Json::str("X")),
+                ("ts", Json::Num(us(*ts_ns))),
+                ("dur", Json::Num(us(*dur_ns))),
+                ("pid", Json::Num(PID)),
+                ("tid", Json::Num(f64::from(*tid))),
+            ]),
+            TraceEvent::ThreadName { tid, name } => Json::obj(vec![
+                ("name", Json::str("thread_name")),
+                ("ph", Json::str("M")),
+                ("pid", Json::Num(PID)),
+                ("tid", Json::Num(f64::from(*tid))),
+                ("args", Json::obj(vec![("name", Json::str(name.clone()))])),
+            ]),
+        }
+    }
+}
+
+/// Builds the full trace document for a set of events.
+pub(crate) fn chrome_trace_json(events: &[TraceEvent]) -> Json {
+    Json::obj(vec![
+        (
+            "traceEvents",
+            Json::Arr(events.iter().map(TraceEvent::to_json).collect()),
+        ),
+        ("displayTimeUnit", Json::str("ms")),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_document_round_trips() {
+        let events = vec![
+            TraceEvent::ThreadName {
+                tid: 0,
+                name: "m4ps-0".to_string(),
+            },
+            TraceEvent::Complete {
+                name: "vop.encode",
+                tid: 0,
+                ts_ns: 1_500,
+                dur_ns: 2_000_000,
+            },
+        ];
+        let doc = chrome_trace_json(&events);
+        let parsed = Json::parse(&doc.pretty()).unwrap();
+        let arr = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("ph").unwrap().as_str(), Some("M"));
+        let x = &arr[1];
+        assert_eq!(x.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(x.get("ts").unwrap().as_f64(), Some(1.5));
+        assert_eq!(x.get("dur").unwrap().as_f64(), Some(2000.0));
+        assert_eq!(x.get("tid").unwrap().as_f64(), Some(0.0));
+        assert_eq!(parsed.get("displayTimeUnit").unwrap().as_str(), Some("ms"));
+    }
+}

@@ -154,6 +154,101 @@ impl ThreadPool {
             .map(|slot| slot.expect("scope propagates worker panics"))
             .collect()
     }
+
+    /// [`run`](ThreadPool::run) with observability: when `session` is
+    /// a profiler, every worker thread attaches to it for the batch
+    /// (so spans opened inside jobs land in per-thread profiles and
+    /// the Chrome trace shows real thread lanes), each job's queue
+    /// wait is recorded into the `slice_queue_wait_ns` histogram, and
+    /// the `pool_workers` gauge is set to the scheduled worker count.
+    ///
+    /// With `session = None` this is exactly `run`. Scheduling — and
+    /// therefore output — is byte-identical either way; the profiler
+    /// only observes.
+    ///
+    /// # Panics
+    ///
+    /// Job panics propagate exactly as in [`run`](ThreadPool::run).
+    pub fn run_profiled<T, F>(&self, jobs: Vec<F>, session: Option<&m4ps_obs::Profiler>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let Some(session) = session else {
+            return self.run(jobs);
+        };
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.threads.min(jobs.len());
+        m4ps_obs::gauge_set(m4ps_obs::MetricId::PoolWorkers, workers as u64);
+        let batch_start = std::time::Instant::now();
+        if workers <= 1 {
+            // Inline on the caller, which is already attached (attach
+            // is reentrant, so the guard below is free if so).
+            let _g = session.attach();
+            return jobs
+                .into_iter()
+                .map(|job| {
+                    record_queue_wait(batch_start);
+                    job()
+                })
+                .collect();
+        }
+
+        let n = jobs.len();
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let (job_tx, job_rx) = mpsc::channel::<(usize, F)>();
+        for job in jobs.into_iter().enumerate() {
+            job_tx.send(job).expect("receiver lives on this stack");
+        }
+        drop(job_tx);
+        let queue = Mutex::new(job_rx);
+        let (res_tx, res_rx) = mpsc::channel::<(usize, T)>();
+
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let queue = &queue;
+                let res_tx = res_tx.clone();
+                s.spawn(move || {
+                    let _g = session.attach();
+                    loop {
+                        let next = match queue.lock() {
+                            Ok(rx) => rx.try_recv(),
+                            Err(_) => break,
+                        };
+                        match next {
+                            Ok((idx, job)) => {
+                                record_queue_wait(batch_start);
+                                if res_tx.send((idx, job())).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                });
+            }
+            drop(res_tx);
+            for (idx, value) in res_rx {
+                slots[idx] = Some(value);
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("scope propagates worker panics"))
+            .collect()
+    }
+}
+
+/// Records how long a job sat in the queue: dequeue time minus batch
+/// submission. The first job a worker pulls measures spawn + schedule
+/// latency; later pulls measure genuine queueing behind running jobs.
+fn record_queue_wait(batch_start: std::time::Instant) {
+    let wait = u64::try_from(batch_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    m4ps_obs::histogram_record(m4ps_obs::MetricId::SliceQueueWaitNs, wait);
 }
 
 impl Default for ThreadPool {
@@ -283,6 +378,64 @@ mod tests {
         assert_eq!(ThreadPool::new(0).threads(), 1);
         assert_eq!(ThreadPool::new(9999).threads(), 256);
         assert_eq!(ThreadPool::serial().threads(), 1);
+    }
+
+    #[test]
+    fn run_profiled_matches_run_and_records_queue_waits() {
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            let mk_jobs = || (0..8u64).map(|i| move || i * 3).collect::<Vec<_>>();
+            let plain = pool.run(mk_jobs());
+
+            let session = m4ps_obs::Profiler::new(false);
+            let profiled = pool.run_profiled(mk_jobs(), Some(&session));
+            assert_eq!(plain, profiled, "threads={threads}");
+
+            // Every dequeue recorded a wait observation, and the gauge
+            // carries the scheduled worker count.
+            let jsonl = session.metrics_jsonl();
+            let waits = jsonl
+                .lines()
+                .map(|l| m4ps_testkit::json::Json::parse(l).expect("valid JSONL line"))
+                .find(|d| d.get("metric").and_then(|m| m.as_str()) == Some("slice_queue_wait_ns"))
+                .expect("queue-wait histogram present");
+            assert_eq!(
+                waits.get("count").and_then(|c| c.as_f64()),
+                Some(8.0),
+                "threads={threads}"
+            );
+
+            // And None routes through the plain path.
+            let unprofiled: Vec<u64> = pool.run_profiled(mk_jobs(), None);
+            assert_eq!(plain, unprofiled);
+        }
+    }
+
+    #[test]
+    fn run_profiled_workers_flush_span_profiles() {
+        let pool = ThreadPool::new(4);
+        let session = m4ps_obs::Profiler::new(false);
+        let jobs: Vec<_> = (0..6u64)
+            .map(|i| {
+                move || {
+                    // Simulate a slice job wrapping a forked counter
+                    // stream: a domain span with a synthetic delta.
+                    let end = m4ps_obs::Counters {
+                        loads: i + 1,
+                        ..m4ps_obs::Counters::default()
+                    };
+                    m4ps_obs::enter_domain(m4ps_obs::Phase::Slice, m4ps_obs::Counters::default());
+                    m4ps_obs::exit_domain(m4ps_obs::Phase::Slice, end);
+                    i
+                }
+            })
+            .collect();
+        let out = pool.run_profiled(jobs, Some(&session));
+        assert_eq!(out, (0..6).collect::<Vec<_>>());
+        let prof = session.profile();
+        let slice = prof.get(m4ps_obs::Phase::Slice);
+        assert_eq!(slice.entries, 6);
+        assert_eq!(slice.counters.loads, (1..=6).sum::<u64>());
     }
 
     #[test]

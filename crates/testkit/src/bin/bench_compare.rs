@@ -4,7 +4,9 @@
 //!
 //! ```text
 //! bench_compare <baseline.json> <fresh.json> [--max-regress <pct>] [--min-scaling <x>]
-//! bench_compare --scaling <fresh.json> [--min-scaling <x>]
+//!               [--max-obs-overhead <pct>] [--phases <file>]
+//! bench_compare --scaling <fresh.json> [--min-scaling <x>] [--max-obs-overhead <pct>]
+//!               [--phases <file>]
 //! ```
 //!
 //! Exit status 0 when every shared benchmark is within budget, 1 on
@@ -19,6 +21,12 @@
 //! CI runner cannot show parallel speedup, only bounded overhead):
 //! ≥4 cores → 1.25×, 2–3 cores → 1.0×, 1 core → 0.8×. `--scaling` runs
 //! the scaling report alone against one file, no baseline needed.
+//!
+//! When the fresh file contains the `parallel/encode_frame/obs={off,on}`
+//! pair, the installed-profiler overhead is gated too (default ceiling
+//! +5%, `--max-obs-overhead`). `--phases <file>` additionally prints the
+//! top-3 stall-cycle phases from a `trace_smoke` phases JSONL next to
+//! the gate report.
 
 use m4ps_testkit::json::Json;
 use std::process::ExitCode;
@@ -27,6 +35,12 @@ const DEFAULT_MAX_REGRESS_PCT: f64 = 25.0;
 
 /// The benchmark series the scaling gate reads.
 const SCALING_SERIES: &str = "parallel/encode_frame/threads=";
+
+/// The benchmark pair the profiler-overhead gate reads.
+const OBS_SERIES: &str = "parallel/encode_frame/obs=";
+
+/// Ceiling for the installed-profiler overhead (obs=on vs obs=off).
+const DEFAULT_MAX_OBS_OVERHEAD_PCT: f64 = 5.0;
 
 /// `(name, median_ns)` for every entry in a bench report.
 fn load_medians(path: &str) -> Result<Vec<(String, f64)>, String> {
@@ -109,6 +123,74 @@ fn check_scaling(medians: &[(String, f64)], min_scaling: f64) -> Result<Option<b
     }
 }
 
+/// Gates the span-profiler overhead: the `obs=on` median may exceed the
+/// `obs=off` median by at most `max_pct` percent. Returns `Ok(None)`
+/// when the pair is absent.
+fn check_obs_overhead(medians: &[(String, f64)], max_pct: f64) -> Result<Option<bool>, String> {
+    let median_of = |label: &str| {
+        let name = format!("{OBS_SERIES}{label}");
+        medians
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, m)| m)
+            .filter(|&m| m > 0.0)
+    };
+    let Some(off) = median_of("off") else {
+        return Ok(None);
+    };
+    let on = median_of("on").ok_or(format!("{OBS_SERIES}on missing from fresh results"))?;
+    let overhead_pct = (on / off - 1.0) * 100.0;
+    println!(
+        "profiler overhead ({OBS_SERIES}on vs off): {off:.0} -> {on:.0} ns ({overhead_pct:+.1}%, ceiling +{max_pct}%)"
+    );
+    if overhead_pct > max_pct {
+        println!(
+            "OBS OVERHEAD REGRESSED: installed profiler costs {overhead_pct:+.1}% (> +{max_pct}%)"
+        );
+        Ok(Some(false))
+    } else {
+        Ok(Some(true))
+    }
+}
+
+/// Prints the top-3 stall-cycle phases from a phases JSONL file (one
+/// object per line with `phase` and `stall_cycles` fields, as written
+/// by `trace_smoke`). Purely informational — the per-phase profile has
+/// no baseline to gate against; it gives the scaling gate context.
+fn print_top_stall_phases(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut phases: Vec<(String, f64, f64)> = Vec::new();
+    let mut total_stall = 0.0;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let doc = Json::parse(line).map_err(|e| format!("{path}: {e}"))?;
+        let name = doc
+            .get("phase")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: line without a phase field"))?;
+        let stall = doc
+            .get("stall_cycles")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{path}: {name}: missing stall_cycles"))?;
+        let wall = doc.get("wall_ns").and_then(Json::as_f64).unwrap_or(0.0);
+        total_stall += stall;
+        phases.push((name.to_string(), stall, wall));
+    }
+    if phases.is_empty() {
+        return Err(format!("{path}: no phase records"));
+    }
+    phases.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    println!("top stall phases ({path}):");
+    for (name, stall, _) in phases.iter().take(3) {
+        let share = if total_stall > 0.0 {
+            100.0 * stall / total_stall
+        } else {
+            0.0
+        };
+        println!("  {name}: {stall:.0} stall cycles ({share:.1}% of modelled stalls)");
+    }
+    Ok(())
+}
+
 fn run() -> Result<bool, String> {
     let mut args = std::env::args().skip(1);
     let first = args.next().ok_or(
@@ -116,6 +198,8 @@ fn run() -> Result<bool, String> {
     )?;
     let mut max_regress_pct = DEFAULT_MAX_REGRESS_PCT;
     let mut min_scaling = default_min_scaling();
+    let mut max_obs_overhead_pct = DEFAULT_MAX_OBS_OVERHEAD_PCT;
+    let mut phases_path: Option<String> = None;
     let scaling_only = first == "--scaling";
     let (baseline_path, fresh_path) = if scaling_only {
         (None, args.next().ok_or("--scaling needs a <fresh.json>")?)
@@ -141,18 +225,35 @@ fn run() -> Result<bool, String> {
                     .parse()
                     .map_err(|e| format!("--min-scaling: {e}"))?;
             }
+            "--max-obs-overhead" => {
+                max_obs_overhead_pct = args
+                    .next()
+                    .ok_or("--max-obs-overhead needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--max-obs-overhead: {e}"))?;
+            }
+            "--phases" => {
+                phases_path = Some(args.next().ok_or("--phases needs a <file>")?);
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
 
     let fresh = load_medians(&fresh_path)?;
     if scaling_only {
-        return match check_scaling(&fresh, min_scaling)? {
-            Some(pass) => Ok(pass),
-            None => Err(format!(
-                "{fresh_path}: no {SCALING_SERIES}N entries to gate"
-            )),
+        let pass = match check_scaling(&fresh, min_scaling)? {
+            Some(pass) => pass,
+            None => {
+                return Err(format!(
+                    "{fresh_path}: no {SCALING_SERIES}N entries to gate"
+                ))
+            }
         };
+        let obs_ok = check_obs_overhead(&fresh, max_obs_overhead_pct)?.unwrap_or(true);
+        if let Some(phases) = &phases_path {
+            print_top_stall_phases(phases)?;
+        }
+        return Ok(pass && obs_ok);
     }
     let baseline_path = baseline_path.expect("set in non-scaling mode");
     let baseline = load_medians(&baseline_path)?;
@@ -200,7 +301,14 @@ fn run() -> Result<bool, String> {
     // per-bench regression check alone can miss a broken parallel path
     // whose threads=1 and threads=4 medians both drift within budget.
     let scaling_ok = check_scaling(&fresh, min_scaling)?.unwrap_or(true);
-    Ok(regressions == 0 && scaling_ok)
+    // Likewise for the profiler-overhead pair: instrumentation that gets
+    // more expensive is a regression even if both medians drift within
+    // the per-bench budget.
+    let obs_ok = check_obs_overhead(&fresh, max_obs_overhead_pct)?.unwrap_or(true);
+    if let Some(phases) = &phases_path {
+        print_top_stall_phases(phases)?;
+    }
+    Ok(regressions == 0 && scaling_ok && obs_ok)
 }
 
 fn main() -> ExitCode {

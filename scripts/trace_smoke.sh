@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Observability smoke: run a tiny traced encode and validate its
+# outputs. `trace_smoke` (crates/bench/src/bin/trace_smoke.rs) checks
+# that the per-phase profile partitions the aggregate counters
+# bit-for-bit and that the Chrome trace-event JSON round-trips through
+# the in-tree parser, then writes:
+#
+#   TRACE_smoke.json   — load in chrome://tracing or Perfetto
+#   PHASES_smoke.jsonl — per-phase counters + modelled stall cycles,
+#                        consumed by `bench_compare --phases`
+#
+# Everything runs --offline like the rest of CI.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== trace smoke (offline) =="
+cargo run -q --release --offline -p m4ps-bench --bin trace_smoke -- \
+    "$PWD/TRACE_smoke.json" "$PWD/PHASES_smoke.jsonl"
+echo "trace:  $PWD/TRACE_smoke.json"
+echo "phases: $PWD/PHASES_smoke.jsonl"

@@ -20,6 +20,10 @@ cargo build --workspace --release --offline
 echo "== tests (offline) =="
 cargo test -q --workspace --offline
 
+# Observability smoke: traced encode, trace JSON round-trip, and the
+# per-phase JSONL the bench gate annotates its report with.
+scripts/trace_smoke.sh
+
 echo "== bench smoke run =="
 baseline=""
 if [[ -f BENCH_smoke.json ]]; then
@@ -41,13 +45,14 @@ if [[ -n "$baseline" && "${M4PS_BENCH_SKIP_COMPARE:-0}" != "1" ]]; then
     # always does.
     echo "== bench regression gate =="
     if ! cargo run -q --release --offline -p m4ps-testkit --bin bench_compare -- \
-        "$baseline" BENCH_smoke.json; then
+        "$baseline" BENCH_smoke.json --phases PHASES_smoke.jsonl; then
         echo "== gate failed; re-measuring once to rule out machine noise =="
         run_bench
         cargo run -q --release --offline -p m4ps-testkit --bin bench_compare -- \
-            "$baseline" BENCH_smoke.json
+            "$baseline" BENCH_smoke.json --phases PHASES_smoke.jsonl
     fi
 fi
 
 echo "== verify OK =="
 echo "bench report: $PWD/BENCH_smoke.json"
+echo "trace report: $PWD/TRACE_smoke.json"
