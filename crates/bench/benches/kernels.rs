@@ -132,6 +132,36 @@ fn bench_memsim(r: &mut BenchRunner) {
             black_box(row[0])
         });
     }
+    // The block-charging pair: one 16×16 window (stride 720, a PAL
+    // luma row) charged as 16 per-row ranges vs one rectangular
+    // charge. The window slides one row per iteration, the hot
+    // motion-search pattern the rect fast path exists for.
+    {
+        let mut h = Hierarchy::new(MachineSpec::o2());
+        let mut y = 0u64;
+        r.bench_bytes("memsim/access_range", 256, || {
+            let base = 0x10_0000 + (y & 63) * 720;
+            for row in 0..16u64 {
+                h.access_range(black_box(base + row * 720), 16, AccessKind::Load, 16);
+            }
+            y += 1;
+        });
+    }
+    {
+        let mut h = Hierarchy::new(MachineSpec::o2());
+        let mut y = 0u64;
+        r.bench_bytes("memsim/access_rect", 256, || {
+            h.access_rect(
+                black_box(0x10_0000 + (y & 63) * 720),
+                720,
+                16,
+                16,
+                AccessKind::Load,
+                16,
+            );
+            y += 1;
+        });
+    }
 }
 
 fn bench_parallel(r: &mut BenchRunner) {

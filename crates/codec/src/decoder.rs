@@ -7,7 +7,9 @@ use crate::encoder::{
 };
 use crate::error::CodecError;
 use crate::header::{VolHeader, VopHeader};
-use crate::mbops::{chroma_mv, write_block, IntraPredState, MvPredictor, StreamCharge};
+use crate::mbops::{
+    chroma_mv, write_block, write_block_u8, IntraPredState, MvPredictor, StreamCharge,
+};
 use crate::mc::{average_predictions, motion_compensate_block};
 use crate::plane::{TracedFrame, TracedPlane};
 use crate::shape::{classify_bab, decode_alpha_plane, BabClass};
@@ -948,20 +950,12 @@ fn store_prediction<M: MemModel>(
         let bx = (mbx * 16 + (blk % 2) * 8) as isize;
         let by = (mby * 16 + (blk / 2) * 8) as isize;
         let pred = crate::mbops::pred_subblock(pred_y, blk);
-        let mut as_i16 = [0i16; 64];
-        for i in 0..64 {
-            as_i16[i] = i16::from(pred[i]);
-        }
-        write_block(mem, &mut recon.y, bx, by, &as_i16);
+        write_block_u8(mem, &mut recon.y, bx, by, &pred);
     }
     let cx = (mbx * 8) as isize;
     let cy = (mby * 8) as isize;
     for (src, dst) in [(pred_u, &mut recon.u), (pred_v, &mut recon.v)] {
-        let mut as_i16 = [0i16; 64];
-        for i in 0..64 {
-            as_i16[i] = i16::from(src[i]);
-        }
-        write_block(mem, dst, cx, cy, &as_i16);
+        write_block_u8(mem, dst, cx, cy, src);
     }
 }
 

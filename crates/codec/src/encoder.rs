@@ -6,8 +6,8 @@ use crate::config::EncoderConfig;
 use crate::error::CodecError;
 use crate::header::{VolHeader, VopHeader};
 use crate::mbops::{
-    add_prediction, chroma_mv, pred_subblock, read_block, residual, write_block, IntraPredState,
-    MvPredictor, StreamCharge,
+    add_prediction, chroma_mv, pred_subblock, read_block, residual, write_block, write_block_u8,
+    IntraPredState, MvPredictor, StreamCharge,
 };
 use crate::mc::{average_predictions, motion_compensate_block};
 use crate::me::MotionSearch;
@@ -772,10 +772,15 @@ pub(crate) fn fill_grey_mb<M: MemModel, F: FrameSink>(
     mby: usize,
 ) {
     let (ry, ru, rv) = recon.planes_mut();
-    let grey16 = [128u8; 16];
-    for r in 0..16 {
-        ry.store_row(mem, (mbx * 16) as isize, (mby * 16 + r) as isize, &grey16);
-    }
+    // Luma rows are consecutive: one rectangular store. The chroma loop
+    // interleaves the U and V planes and must keep that charge order.
+    ry.store_rect(
+        mem,
+        (mbx * 16) as isize,
+        (mby * 16) as isize,
+        16,
+        &[128u8; 256],
+    );
     let grey8 = [128u8; 8];
     for r in 0..8 {
         ru.store_row(mem, (mbx * 8) as isize, (mby * 8 + r) as isize, &grey8);
@@ -1355,32 +1360,24 @@ pub(crate) fn reconstruct_inter_mb<M: MemModel, F: FrameSink>(
             let bx = (mbx * 16 + (blk % 2) * 8) as isize;
             let by = (mby * 16 + (blk / 2) * 8) as isize;
             let pred = pred_subblock(pred_y, blk);
-            let rec = if cbp[blk] {
+            if cbp[blk] {
                 let res = texture.reconstruct(mem, &blocks[blk], qp);
-                add_prediction(&res, &pred)
+                write_block(mem, ry, bx, by, &add_prediction(&res, &pred));
             } else {
-                let mut out = [0i16; 64];
-                for i in 0..64 {
-                    out[i] = i16::from(pred[i]);
-                }
-                out
-            };
-            write_block(mem, ry, bx, by, &rec);
+                // Uncoded block: the reconstruction is the prediction
+                // itself (zero residual, clamp is the identity on u8).
+                write_block_u8(mem, ry, bx, by, &pred);
+            }
         }
         let cx = (mbx * 8) as isize;
         let cy = (mby * 8) as isize;
         for (i, (dst, pred)) in [(ru, pred_u), (rv, pred_v)].into_iter().enumerate() {
-            let rec = if cbp[4 + i] {
+            if cbp[4 + i] {
                 let res = texture.reconstruct(mem, &blocks[4 + i], qp);
-                add_prediction(&res, pred)
+                write_block(mem, dst, cx, cy, &add_prediction(&res, pred));
             } else {
-                let mut out = [0i16; 64];
-                for j in 0..64 {
-                    out[j] = i16::from(pred[j]);
-                }
-                out
-            };
-            write_block(mem, dst, cx, cy, &rec);
+                write_block_u8(mem, dst, cx, cy, pred);
+            }
         }
     });
 }
@@ -1388,18 +1385,18 @@ pub(crate) fn reconstruct_inter_mb<M: MemModel, F: FrameSink>(
 /// Sum of absolute deviations from the block mean (the H.263 intra/inter
 /// decision statistic), with one traced pass over the macroblock.
 fn mb_deviation<M: MemModel>(mem: &mut M, plane: &TracedPlane, px: isize, py: isize) -> u32 {
+    plane.touch_rect_read(mem, px, py, 16, 16);
+    mem.add_ops(2 * 256);
     let mut sum = 0u32;
-    let mut rows = [[0u8; 16]; 16];
-    for (r, row) in rows.iter_mut().enumerate() {
-        let src = plane.load_row(mem, px, py + r as isize, 16);
-        row.copy_from_slice(src);
+    for r in 0..16 {
+        let src = plane.raw_row(px, py + r, 16);
         sum += src.iter().map(|&v| u32::from(v)).sum::<u32>();
     }
-    mem.add_ops(2 * 256);
     let mean = (sum / 256) as i32;
     let mut dev = 0u32;
-    for r in rows.iter() {
-        for &v in r.iter() {
+    for r in 0..16 {
+        let src = plane.raw_row(px, py + r, 16);
+        for &v in src {
             dev += (i32::from(v) - mean).unsigned_abs();
         }
     }
@@ -1543,14 +1540,16 @@ fn sad_against_pred<M: MemModel>(
     mbx: usize,
     mby: usize,
 ) -> u32 {
+    let (px, py) = ((mbx * 16) as isize, (mby * 16) as isize);
+    cur.touch_rect_read(mem, px, py, 16, 16);
+    mem.add_ops(16 * 48);
     let mut acc = 0u32;
     for r in 0..16 {
-        let c = cur.load_row(mem, (mbx * 16) as isize, (mby * 16 + r) as isize, 16);
+        let c = cur.raw_row(px, py + r as isize, 16);
         for i in 0..16 {
             acc += u32::from(c[i].abs_diff(pred[r * 16 + i]));
         }
     }
-    mem.add_ops(16 * 48);
     acc
 }
 

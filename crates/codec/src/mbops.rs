@@ -6,17 +6,18 @@ use crate::plane::{RowSink, TracedPlane};
 use crate::types::MotionVector;
 use m4ps_memsim::{AccessKind, MemModel};
 
-/// Reads an 8×8 pixel block at `(x, y)` as `i16` samples with traced row
-/// loads.
+/// Reads an 8×8 pixel block at `(x, y)` as `i16` samples, charged as one
+/// rectangular traced read.
 pub(crate) fn read_block<M: MemModel>(
     mem: &mut M,
     plane: &TracedPlane,
     x: isize,
     y: isize,
 ) -> [i16; 64] {
+    plane.touch_rect_read(mem, x, y, 8, 8);
     let mut out = [0i16; 64];
     for row in 0..8 {
-        let src = plane.load_row(mem, x, y + row as isize, 8);
+        let src = plane.raw_row(x, y + row as isize, 8);
         for col in 0..8 {
             out[row * 8 + col] = i16::from(src[col]);
         }
@@ -24,9 +25,9 @@ pub(crate) fn read_block<M: MemModel>(
     out
 }
 
-/// Writes an 8×8 block of `i16` samples, clamped to `0..=255`, with
-/// traced row stores. Generic over the destination so whole planes and
-/// borrowed slice regions share one write path.
+/// Writes an 8×8 block of `i16` samples, clamped to `0..=255`, charged
+/// as one rectangular traced store. Generic over the destination so
+/// whole planes and borrowed slice regions share one write path.
 pub(crate) fn write_block<M: MemModel, P: RowSink>(
     mem: &mut M,
     plane: &mut P,
@@ -34,13 +35,24 @@ pub(crate) fn write_block<M: MemModel, P: RowSink>(
     y: isize,
     samples: &[i16; 64],
 ) {
-    for row in 0..8 {
-        let mut line = [0u8; 8];
-        for col in 0..8 {
-            line[col] = samples[row * 8 + col].clamp(0, 255) as u8;
-        }
-        plane.store_row(mem, x, y + row as isize, &line);
+    let mut block = [0u8; 64];
+    for (dst, &s) in block.iter_mut().zip(samples) {
+        *dst = s.clamp(0, 255) as u8;
     }
+    plane.store_rect(mem, x, y, 8, &block);
+}
+
+/// Writes an 8×8 block that is already `u8` (an uncoded block's
+/// prediction) — the same traced stores as [`write_block`] without the
+/// widen/clamp round-trip (clamping an in-range `u8` is the identity).
+pub(crate) fn write_block_u8<M: MemModel, P: RowSink>(
+    mem: &mut M,
+    plane: &mut P,
+    x: isize,
+    y: isize,
+    samples: &[u8; 64],
+) {
+    plane.store_rect(mem, x, y, 8, samples);
 }
 
 /// Extracts an 8×8 sub-block of a 16×16 prediction buffer

@@ -40,23 +40,31 @@ pub fn motion_compensate_block<M: MemModel>(
     // The compiler prefetches ahead of the interpolation loop.
     mem.prefetch_pair(reference.addr_of(sx, sy));
 
-    // Gather the source window with traced row reads. Blocks are at
-    // most 16×16, so the (half-pel-extended) window fits on the stack —
-    // this runs per block and must not touch the heap.
+    // Charge the source window as one rectangular traced read (same
+    // counters as per-row loads), then gather it untraced. Blocks are
+    // at most 16×16, so the (half-pel-extended) window fits on the
+    // stack — this runs per block and must not touch the heap.
     debug_assert!(cols <= 17 && rows <= 17);
-    let mut window = [0u8; 17 * 17];
-    for r in 0..rows {
-        let src = reference.load_row(mem, sx, sy + r as isize, cols);
-        window[r * cols..][..cols].copy_from_slice(src);
-    }
+    reference.touch_rect_read(mem, sx, sy, cols, rows);
     mem.add_ops((w * h) as u64 * INTERP_OPS_PER_PIXEL);
 
-    match phase {
-        HalfPel::Full => {
-            for r in 0..h {
-                out[r * w..][..w].copy_from_slice(&window[r * cols..][..w]);
-            }
+    // Full-pel prediction needs no interpolation neighbours: copy the
+    // source rows straight into `out` rather than staging the window
+    // (the charges above already cover the same reads).
+    if phase == HalfPel::Full {
+        for r in 0..h {
+            out[r * w..][..w].copy_from_slice(reference.raw_row(sx, sy + r as isize, w));
         }
+        return;
+    }
+    let mut window = [0u8; 17 * 17];
+    for r in 0..rows {
+        let src = reference.raw_row(sx, sy + r as isize, cols);
+        window[r * cols..][..cols].copy_from_slice(src);
+    }
+
+    match phase {
+        HalfPel::Full => unreachable!("handled by the direct-copy path"),
         HalfPel::Horizontal => {
             for r in 0..h {
                 for c in 0..w {

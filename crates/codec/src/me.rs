@@ -10,7 +10,7 @@
 //! and diamond searches exist for the ablation benches.
 
 use crate::config::SearchStrategy;
-use crate::plane::TracedPlane;
+use crate::plane::{TracedPlane, PAD};
 use crate::types::MotionVector;
 use m4ps_memsim::MemModel;
 use m4ps_obs::{span, MetricId, Phase};
@@ -62,6 +62,11 @@ impl MotionSearch {
     /// reference block displaced by integer `(dx, dy)`, with early
     /// termination once the sum exceeds `cutoff`. Charges traced reads
     /// for exactly the rows visited.
+    ///
+    /// Computes first on the raw surfaces through the fixed-size dsp
+    /// kernels, then replays the per-row reference stream (current row,
+    /// reference row, row ops) for the rows the cutoff let the kernel
+    /// visit — the same interleaved charges the staged row loop issued.
     #[allow(clippy::too_many_arguments)]
     fn sad_candidate_sized<M: MemModel>(
         mem: &mut M,
@@ -74,17 +79,24 @@ impl MotionSearch {
         cutoff: u32,
         size: usize,
     ) -> u32 {
-        let mut acc = 0u32;
-        for row in 0..size as isize {
-            let c = cur.load_row(mem, bx, by + row, size);
-            let r = reference.load_row(mem, bx + dx, by + dy + row, size);
+        let (cdata, cstride) = cur.raw_surface();
+        let (rdata, rstride) = reference.raw_surface();
+        let p = PAD as isize;
+        let (cx, cy) = ((bx + p) as usize, (by + p) as usize);
+        let (rx, ry) = ((bx + dx + p) as usize, (by + dy + p) as usize);
+        let (acc, rows) = match size {
+            16 => m4ps_dsp::sad_16x16_with_cutoff(
+                cdata, cstride, cx, cy, rdata, rstride, rx, ry, cutoff,
+            ),
+            8 => m4ps_dsp::sad_8x8_with_cutoff(
+                cdata, cstride, cx, cy, rdata, rstride, rx, ry, cutoff,
+            ),
+            _ => unreachable!("unsupported block size {size}"),
+        };
+        for row in 0..rows as isize {
+            cur.touch_row_read(mem, bx, by + row, size);
+            reference.touch_row_read(mem, bx + dx, by + dy + row, size);
             mem.add_ops(SAD_ROW_OPS * size as u64 / 16);
-            for i in 0..size {
-                acc += u32::from(c[i].abs_diff(r[i]));
-            }
-            if acc > cutoff {
-                break;
-            }
         }
         acc
     }
@@ -123,46 +135,35 @@ impl MotionSearch {
         let cols = size + usize::from(frac_x);
         let sx = bx + fx as isize;
         let sy = by + fy as isize;
-        let mut acc = 0u32;
-        // Reference rows are staged in two stack buffers (cols ≤ 17);
-        // with a vertical fraction the bottom row of one step is the top
-        // row of the next, carried by a swap — the hot half-pel loop
-        // performs no heap allocation.
-        let mut rbuf0 = [0u8; 17];
-        let mut rbuf1 = [0u8; 17];
-        let mut have_prev = false;
-        for row in 0..size as isize {
-            let c = cur.load_row(mem, bx, by + row, size);
-            if have_prev {
-                std::mem::swap(&mut rbuf0, &mut rbuf1);
-            } else {
-                rbuf0[..cols].copy_from_slice(reference.load_row(mem, sx, sy + row, cols));
-            }
+        let (cdata, cstride) = cur.raw_surface();
+        let (rdata, rstride) = reference.raw_surface();
+        let p = PAD as isize;
+        let (cx, cy) = ((bx + p) as usize, (by + p) as usize);
+        let (rx, ry) = ((sx + p) as usize, (sy + p) as usize);
+        let (acc, rows) = match size {
+            16 => m4ps_dsp::sad_half_pel_with_cutoff::<16>(
+                cdata, cstride, cx, cy, rdata, rstride, rx, ry, frac_x, frac_y, cutoff,
+            ),
+            8 => m4ps_dsp::sad_half_pel_with_cutoff::<8>(
+                cdata, cstride, cx, cy, rdata, rstride, rx, ry, frac_x, frac_y, cutoff,
+            ),
+            _ => unreachable!("unsupported block size {size}"),
+        };
+        // Replay exactly what the staged two-row loop loaded: with a
+        // vertical fraction the first row reads reference rows `sy` and
+        // `sy + 1` and every later row only the new bottom row; without
+        // one, each row reads its own reference row.
+        for row in 0..rows as isize {
+            cur.touch_row_read(mem, bx, by + row, size);
             if frac_y {
-                rbuf1[..cols].copy_from_slice(reference.load_row(mem, sx, sy + row + 1, cols));
-                have_prev = true;
+                if row == 0 {
+                    reference.touch_row_read(mem, sx, sy, cols);
+                }
+                reference.touch_row_read(mem, sx, sy + row + 1, cols);
+            } else {
+                reference.touch_row_read(mem, sx, sy + row, cols);
             }
             mem.add_ops(SAD_ROW_OPS * 2 * size as u64 / 16);
-            let (r0, r1) = (&rbuf0, &rbuf1);
-            for i in 0..size {
-                let pred = match (frac_x, frac_y) {
-                    (false, false) => u16::from(r0[i]),
-                    (true, false) => (u16::from(r0[i]) + u16::from(r0[i + 1]) + 1) >> 1,
-                    (false, true) => (u16::from(r0[i]) + u16::from(r1[i]) + 1) >> 1,
-                    (true, true) => {
-                        (u16::from(r0[i])
-                            + u16::from(r0[i + 1])
-                            + u16::from(r1[i])
-                            + u16::from(r1[i + 1])
-                            + 2)
-                            >> 2
-                    }
-                };
-                acc += i32::from(c[i]).abs_diff(i32::from(pred));
-            }
-            if acc > cutoff {
-                break;
-            }
         }
         acc
     }

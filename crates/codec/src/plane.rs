@@ -19,6 +19,21 @@ pub const PAD: usize = 16;
 pub(crate) trait RowSink {
     /// Traced write of a row of pixels at `(x, y)`.
     fn store_row<M: MemModel>(&mut self, mem: &mut M, x: isize, y: isize, src: &[u8]);
+
+    /// Traced write of a row-major `w`-wide rectangle of pixels with its
+    /// top-left at `(x, y)`. The default issues one [`RowSink::store_row`]
+    /// per row; traced sinks override it with a single rectangular
+    /// charge producing identical counters in identical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len()` is not a multiple of `w`.
+    fn store_rect<M: MemModel>(&mut self, mem: &mut M, x: isize, y: isize, w: usize, src: &[u8]) {
+        assert_eq!(src.len() % w, 0);
+        for (r, row) in src.chunks_exact(w).enumerate() {
+            self.store_row(mem, x, y + r as isize, row);
+        }
+    }
 }
 
 /// A mutable 4:2:0 destination (three [`RowSink`] planes).
@@ -97,6 +112,75 @@ impl TracedPlane {
     pub fn store_row<M: MemModel>(&mut self, mem: &mut M, x: isize, y: isize, src: &[u8]) {
         let i = self.index(x, y);
         self.buf.store_run(mem, i, src)
+    }
+
+    /// Untraced view of the whole padded surface plus its stride, for
+    /// compute kernels that account their traffic separately
+    /// (compute-then-charge). Coordinate `(x, y)` lives at linear index
+    /// `(y + PAD) * stride + (x + PAD)`.
+    pub(crate) fn raw_surface(&self) -> (&[u8], usize) {
+        (self.buf.raw(), self.stride)
+    }
+
+    /// Charges the traced read of `len` pixels of row `y` starting at
+    /// `x` without returning data — exactly the charge stream of
+    /// [`TracedPlane::load_row`].
+    pub(crate) fn touch_row_read<M: MemModel>(&self, mem: &mut M, x: isize, y: isize, len: usize) {
+        self.buf.touch_read(mem, self.index(x, y), len);
+    }
+
+    /// Charges traced reads of a `w × h` pixel window at `(x, y)` as one
+    /// rectangular charge: identical counters, in identical order, to
+    /// issuing [`TracedPlane::load_row`] for each row `y..y+h`.
+    pub(crate) fn touch_rect_read<M: MemModel>(
+        &self,
+        mem: &mut M,
+        x: isize,
+        y: isize,
+        w: usize,
+        h: usize,
+    ) {
+        if w == 0 || h == 0 {
+            return;
+        }
+        let first = self.index(x, y);
+        // Validate the far corner so the rect obeys the same padded
+        // bounds as the per-row path would.
+        let _ = self.index(x + w as isize - 1, y + h as isize - 1);
+        mem.access_rect(
+            self.buf.addr_of(first),
+            self.stride as u64,
+            h as u64,
+            w as u64,
+            AccessKind::Load,
+            w as u64,
+        );
+    }
+
+    /// Charges traced writes of a `w × h` pixel window at `(x, y)` as
+    /// one rectangular charge (the store dual of
+    /// [`TracedPlane::touch_rect_read`]).
+    pub(crate) fn touch_rect_write<M: MemModel>(
+        &self,
+        mem: &mut M,
+        x: isize,
+        y: isize,
+        w: usize,
+        h: usize,
+    ) {
+        if w == 0 || h == 0 {
+            return;
+        }
+        let first = self.index(x, y);
+        let _ = self.index(x + w as isize - 1, y + h as isize - 1);
+        mem.access_rect(
+            self.buf.addr_of(first),
+            self.stride as u64,
+            h as u64,
+            w as u64,
+            AccessKind::Store,
+            w as u64,
+        );
     }
 
     /// Traced single-pixel read.
@@ -186,8 +270,13 @@ impl TracedPlane {
     /// Panics if `src` is not exactly `width × height` samples.
     pub fn copy_from<M: MemModel>(&mut self, mem: &mut M, src: &[u8], prefetch: bool) {
         assert_eq!(src.len(), self.width * self.height, "source size mismatch");
+        if !prefetch {
+            // No interleaved prefetches: the rows form one rectangle.
+            RowSink::store_rect(self, mem, 0, 0, self.width, src);
+            return;
+        }
         for y in 0..self.height {
-            if prefetch && y + 1 < self.height {
+            if y + 1 < self.height {
                 // One prefetch pair per row (streaming-loop insertion).
                 mem.prefetch_pair(self.addr_of(0, (y + 1) as isize));
             }
@@ -210,9 +299,10 @@ impl TracedPlane {
         h: usize,
     ) {
         assert!(x0 + w <= self.width && y0 + h <= self.height);
-        let zeros = vec![0u8; w];
+        self.touch_rect_write(mem, x0 as isize, y0 as isize, w, h);
         for y in y0..y0 + h {
-            self.store_row(mem, x0 as isize, y as isize, &zeros);
+            let i = self.index(x0 as isize, y as isize);
+            self.buf.raw_mut()[i..i + w].fill(0);
         }
     }
 
@@ -232,18 +322,21 @@ impl TracedPlane {
         let (x0, y0, w, h) = bbox;
         assert_eq!(src.len(), self.width * self.height);
         assert!(x0 + w <= self.width && y0 + h <= self.height);
+        self.touch_rect_write(mem, x0 as isize, y0 as isize, w, h);
         for y in y0..y0 + h {
             let row = &src[y * self.width + x0..][..w];
-            self.store_row(mem, x0 as isize, y as isize, row);
+            let i = self.index(x0 as isize, y as isize);
+            self.buf.raw_mut()[i..i + w].copy_from_slice(row);
         }
     }
 
     /// Reads the visible area back into a `Vec` with traced loads
     /// (the "frame output" stage).
     pub fn copy_out<M: MemModel>(&self, mem: &mut M) -> Vec<u8> {
+        self.touch_rect_read(mem, 0, 0, self.width, self.height);
         let mut out = Vec::with_capacity(self.width * self.height);
         for y in 0..self.height {
-            out.extend_from_slice(self.load_row(mem, 0, y as isize, self.width));
+            out.extend_from_slice(self.raw_row(0, y as isize, self.width));
         }
         out
     }
@@ -449,11 +542,43 @@ impl RowSink for TracedPlane {
     fn store_row<M: MemModel>(&mut self, mem: &mut M, x: isize, y: isize, src: &[u8]) {
         TracedPlane::store_row(self, mem, x, y, src);
     }
+
+    fn store_rect<M: MemModel>(&mut self, mem: &mut M, x: isize, y: isize, w: usize, src: &[u8]) {
+        assert_eq!(src.len() % w, 0);
+        let h = src.len() / w;
+        self.touch_rect_write(mem, x, y, w, h);
+        for (r, row) in src.chunks_exact(w).enumerate() {
+            let i = self.index(x, y + r as isize);
+            self.buf.raw_mut()[i..i + w].copy_from_slice(row);
+        }
+    }
 }
 
 impl RowSink for PlaneViewMut<'_> {
     fn store_row<M: MemModel>(&mut self, mem: &mut M, x: isize, y: isize, src: &[u8]) {
         PlaneViewMut::store_row(self, mem, x, y, src);
+    }
+
+    fn store_rect<M: MemModel>(&mut self, mem: &mut M, x: isize, y: isize, w: usize, src: &[u8]) {
+        assert_eq!(src.len() % w, 0);
+        let h = src.len() / w;
+        if w == 0 || h == 0 {
+            return;
+        }
+        let first = self.index(x, y);
+        let _ = self.index(x + w as isize - 1, y + h as isize - 1);
+        mem.access_rect(
+            self.base + first as u64,
+            self.stride as u64,
+            h as u64,
+            w as u64,
+            AccessKind::Store,
+            w as u64,
+        );
+        for (r, row) in src.chunks_exact(w).enumerate() {
+            let i = self.index(x, y + r as isize);
+            self.data[i..i + w].copy_from_slice(row);
+        }
     }
 }
 

@@ -10,8 +10,8 @@ use crate::error::CodecError;
 use crate::vlc::{get_se, get_ue, put_se, put_ue};
 use m4ps_bitstream::{BitReader, BitWriter};
 use m4ps_dsp::{
-    dequantize_inter, dequantize_intra, forward_dct, inverse_dct, quantize_inter, quantize_intra,
-    scan_zigzag, unscan_zigzag, Block, CoefBlock, DCT_OPS, QUANT_OPS,
+    dequantize_inter, dequantize_intra, forward_dct, inter_zero_bound, inverse_dct, quantize_inter,
+    quantize_intra, scan_zigzag, unscan_zigzag, Block, CoefBlock, DCT_OPS, QUANT_OPS,
 };
 use m4ps_memsim::{AddressSpace, MemModel, SimBuf};
 
@@ -122,6 +122,26 @@ impl TextureCoder {
         // Stage 2: forward DCT.
         self.block_scratch.touch_read(mem, 0, 64);
         mem.add_ops(DCT_OPS);
+        // Dead-zone early-out: when every residue is small enough that
+        // the inter quantizer provably zeroes every coefficient (see
+        // `inter_zero_bound` for the Parseval argument), skip the float
+        // transform and quantization compute entirely. The traced
+        // charges below are the same sequence the full path issues, so
+        // simulated counters are bit-identical; only host time changes.
+        if !intra {
+            let max_abs = samples.iter().map(|&s| i32::from(s).abs()).max();
+            if 8 * max_abs.unwrap_or(0) <= inter_zero_bound(qp) {
+                let zero = CoefBlock::default();
+                self.coef_scratch.store_run(mem, 0, &zero.data);
+                self.coef_scratch.touch_read(mem, 0, 64);
+                mem.add_ops(QUANT_OPS);
+                self.qcoef_scratch.store_run(mem, 0, &zero.data);
+                return QuantizedBlock {
+                    levels: zero,
+                    intra,
+                };
+            }
+        }
         let coefs = forward_dct(&Block::from_samples(*samples));
         self.coef_scratch.store_run(mem, 0, &coefs.data);
         // Stage 3: quantization.

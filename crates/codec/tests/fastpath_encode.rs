@@ -1,0 +1,150 @@
+//! End-to-end differential for the memsim charging fast path: full
+//! encode and decode runs under the memoized [`Hierarchy`] must produce
+//! the same bitstream, the same [`Counters`] (every field), the same
+//! DRAM traffic, and the same region attribution as the un-memoized
+//! [`NaiveHierarchy`] reference — at every slice and thread count.
+//!
+//! This is the pinned-scenario half of the differential suite; the
+//! random-stream half lives in `crates/memsim/tests/fastpath_equiv.rs`.
+
+use m4ps_codec::{EncoderConfig, FrameView, GopStructure, VideoObjectCoder, VideoObjectDecoder};
+use m4ps_memsim::{AddressSpace, Hierarchy, MachineSpec, MemModel, NaiveHierarchy, ParallelModel};
+use m4ps_vidgen::{Resolution, Scene, SceneSpec};
+
+const FRAMES: usize = 4;
+
+fn test_config(slices: usize) -> EncoderConfig {
+    // B-frames on so the fast path is exercised on I, P and B slices.
+    EncoderConfig {
+        gop: GopStructure {
+            intra_period: 3,
+            b_frames: 1,
+        },
+        ..EncoderConfig::fast_test()
+    }
+    .with_slices(slices)
+}
+
+fn encode<M: ParallelModel>(mem: &mut M, slices: usize, threads: usize) -> Vec<u8> {
+    let scene = Scene::new(SceneSpec {
+        resolution: Resolution::QCIF,
+        objects: 0,
+        seed: 7,
+    });
+    let mut space = AddressSpace::new();
+    let mut coder = VideoObjectCoder::new(&mut space, 176, 144, test_config(slices)).unwrap();
+    coder.set_threads(threads);
+    let mut stream = coder.header_bytes();
+    for t in 0..FRAMES {
+        let f = scene.frame(t);
+        let view = FrameView {
+            width: 176,
+            height: 144,
+            y: &f.y,
+            u: &f.u,
+            v: &f.v,
+        };
+        for vop in coder.encode_frame(mem, &view, None).unwrap() {
+            stream.extend_from_slice(&vop.bytes);
+        }
+    }
+    for vop in coder.flush(mem).unwrap() {
+        stream.extend_from_slice(&vop.bytes);
+    }
+    stream
+}
+
+fn decode<M: ParallelModel>(mem: &mut M, stream: &[u8]) -> usize {
+    let mut space = AddressSpace::new();
+    let mut r = m4ps_bitstream::BitReader::new(stream);
+    let mut dec = VideoObjectDecoder::from_stream(&mut space, mem, &mut r).unwrap();
+    let mut n = 0;
+    while dec.decode_next(mem, &mut r).unwrap().is_some() {
+        n += 1;
+    }
+    n
+}
+
+#[track_caller]
+fn assert_models_equal(fast: &Hierarchy, naive: &NaiveHierarchy, what: &str) {
+    assert_eq!(
+        fast.counters(),
+        naive.counters(),
+        "{what}: Counters diverged"
+    );
+    assert_eq!(
+        fast.dram().bytes_read(),
+        naive.dram().bytes_read(),
+        "{what}: DRAM reads diverged"
+    );
+    assert_eq!(
+        fast.dram().bytes_written(),
+        naive.dram().bytes_written(),
+        "{what}: DRAM writes diverged"
+    );
+    assert_eq!(
+        fast.region_misses(),
+        naive.region_misses(),
+        "{what}: region attribution diverged"
+    );
+}
+
+/// Full encodes under both models across slice/thread schedules: the
+/// bitstream must be byte-identical and every counter bit-identical.
+#[test]
+fn encode_is_bit_identical_under_fast_and_naive_models() {
+    let mut reference_stream: Option<Vec<u8>> = None;
+    for (slices, threads) in [(1, 1), (4, 1), (4, 4), (9, 3)] {
+        let mut fast = Hierarchy::new(MachineSpec::o2());
+        let mut naive = NaiveHierarchy::new(MachineSpec::o2());
+        let fast_stream = encode(&mut fast, slices, threads);
+        let naive_stream = encode(&mut naive, slices, threads);
+        assert_eq!(
+            fast_stream, naive_stream,
+            "bitstream diverged at {slices} slices / {threads} threads"
+        );
+        assert_models_equal(
+            &fast,
+            &naive,
+            &format!("encode {slices} slices / {threads} threads"),
+        );
+        assert!(fast.counters().loads > 0);
+        // The model must also never influence WHAT is coded: all
+        // schedules and both models emit one canonical stream per
+        // slice count, and slices=4 runs share theirs.
+        if slices == 4 {
+            match &reference_stream {
+                Some(r) => assert_eq!(&fast_stream, r),
+                None => reference_stream = Some(fast_stream),
+            }
+        }
+    }
+}
+
+/// Decode differential: replaying the same stream through both models
+/// charges identical counters.
+#[test]
+fn decode_is_counter_identical_under_fast_and_naive_models() {
+    let stream = encode(&mut m4ps_memsim::NullModel::new(), 4, 1);
+    let mut fast = Hierarchy::new(MachineSpec::o2());
+    let mut naive = NaiveHierarchy::new(MachineSpec::o2());
+    let n_fast = decode(&mut fast, &stream);
+    let n_naive = decode(&mut naive, &stream);
+    assert_eq!(n_fast, n_naive);
+    assert!(n_fast >= FRAMES);
+    assert_models_equal(&fast, &naive, "decode");
+    assert!(fast.counters().loads > 0);
+}
+
+/// The 8 MB-L2 Onyx2 machine takes different hit/miss paths than the
+/// 1 MB O2; the equivalence must hold there too (this is the pair the
+/// paper's DRAM-time comparison rests on).
+#[test]
+fn encode_is_counter_identical_on_onyx2() {
+    let mut fast = Hierarchy::new(MachineSpec::onyx2());
+    let mut naive = NaiveHierarchy::new(MachineSpec::onyx2());
+    let fast_stream = encode(&mut fast, 4, 2);
+    let naive_stream = encode(&mut naive, 4, 2);
+    assert_eq!(fast_stream, naive_stream);
+    assert_models_equal(&fast, &naive, "encode onyx2");
+}

@@ -34,8 +34,13 @@ mod zigzag;
 pub use dct::{forward_dct, forward_dct_f64, inverse_dct, inverse_dct_f64, CoefBlock, DCT_OPS};
 pub use dct_int::{forward_dct_int, inverse_dct_int};
 pub use interp::{interpolate_half_pel, HalfPel, INTERP_OPS_PER_PIXEL};
-pub use quant::{dequantize_inter, dequantize_intra, quantize_inter, quantize_intra, QUANT_OPS};
-pub use sad::{sad_16x16, sad_16x16_with_cutoff, sad_8x8, SAD16_OPS, SAD8_OPS};
+pub use quant::{
+    dequantize_inter, dequantize_intra, inter_zero_bound, quantize_inter, quantize_intra, QUANT_OPS,
+};
+pub use sad::{
+    sad_16x16, sad_16x16_with_cutoff, sad_8x8, sad_8x8_with_cutoff, sad_half_pel_with_cutoff,
+    SAD16_OPS, SAD8_OPS,
+};
 pub use zigzag::{scan_zigzag, unscan_zigzag, ZIGZAG};
 
 /// Side length of a DCT block.

@@ -20,6 +20,37 @@ fn check_qp(qp: u8) -> i16 {
     qp
 }
 
+/// Exact division by the invariant quantizer step `d = 2·qp` via
+/// multiply-and-shift, so the 64-coefficient loops vectorise instead of
+/// issuing 64 serial `div` instructions.
+///
+/// With `m = ceil(2²⁴ / d)` and `e = m·d − 2²⁴ ∈ (0, d]`, the identity
+/// `floor(n·m / 2²⁴) = floor(n / d)` holds whenever `n·e < 2²⁴`
+/// (Granlund–Montgomery round-up method). Here `n ≤ |i16::MIN| + 31 <
+/// 2¹⁶` and `e ≤ d ≤ 62`, so `n·e < 62·2¹⁶ < 2²⁴` — exact for every
+/// representable coefficient and qp. Pinned exhaustively against `/`
+/// in `magic_division_matches_hardware_division`.
+#[derive(Clone, Copy)]
+struct StepDiv {
+    m: u64,
+}
+
+impl StepDiv {
+    fn new(qp: i16) -> Self {
+        let d = 2 * qp as u64;
+        StepDiv {
+            m: (1u64 << 24).div_ceil(d),
+        }
+    }
+
+    /// `n / d` for non-negative `n` (truncating, like `/` on `i32`).
+    #[inline(always)]
+    fn div(self, n: i32) -> i32 {
+        debug_assert!((0..1 << 16).contains(&n));
+        ((n as u64 * self.m) >> 24) as i32
+    }
+}
+
 /// Quantizes an intra block: DC by the fixed scaler 8, AC by `2·qp`.
 ///
 /// # Panics
@@ -27,13 +58,14 @@ fn check_qp(qp: u8) -> i16 {
 /// Panics if `qp` is outside `1..=31`.
 pub fn quantize_intra(coefs: &CoefBlock, qp: u8) -> CoefBlock {
     let qp = check_qp(qp);
+    let div = StepDiv::new(qp);
     let mut out = CoefBlock::default();
     out.data[0] = (coefs.data[0] + if coefs.data[0] >= 0 { 4 } else { -4 }) / 8;
     for i in 1..64 {
         let c = i32::from(coefs.data[i]);
         let q = i32::from(qp);
         // round-to-nearest on magnitude
-        let level = (c.abs() + q) / (2 * q);
+        let level = div.div(c.abs() + q);
         out.data[i] = (level.min(2047) as i16) * c.signum() as i16;
     }
     out
@@ -71,14 +103,40 @@ pub fn dequantize_intra(levels: &CoefBlock, qp: u8) -> CoefBlock {
 /// Panics if `qp` is outside `1..=31`.
 pub fn quantize_inter(coefs: &CoefBlock, qp: u8) -> CoefBlock {
     let qp = check_qp(qp);
+    let div = StepDiv::new(qp);
     let mut out = CoefBlock::default();
     for i in 0..64 {
         let c = i32::from(coefs.data[i]);
         let q = i32::from(qp);
-        let level = (c.abs() - q / 2) / (2 * q);
+        // A numerator inside the dead zone yields level 0 either way:
+        // truncating division of a negative numerator by a positive
+        // divisor gives 0 or a negative value, which the clamp floors
+        // to 0 — so routing only non-negative numerators through the
+        // magic divide preserves `/` exactly.
+        let n = c.abs() - q / 2;
+        let level = if n <= 0 { 0 } else { div.div(n) };
         out.data[i] = (level.clamp(0, 2047) as i16) * c.signum() as i16;
     }
     out
+}
+
+/// Largest coefficient magnitude that [`quantize_inter`] maps to level
+/// zero: `|c| ≤ 2·qp + qp/2 − 1` gives `(|c| − qp/2) / 2qp == 0`
+/// (integer division truncates toward zero, and negative numerators
+/// clamp to level 0).
+///
+/// Callers combine this with the DCT energy bound to skip transforms
+/// whose output is provably all-zero: the float DCT is orthonormal
+/// (Parseval), so `|coef| ≤ ‖x‖₂ ≤ 8·max|x|`, and rounding an integer
+/// bound cannot exceed it — if `8·max|x|` is at most this bound, every
+/// quantized level of the block is exactly 0.
+///
+/// # Panics
+///
+/// Panics if `qp` is outside `1..=31`.
+pub fn inter_zero_bound(qp: u8) -> i32 {
+    let q = i32::from(check_qp(qp));
+    2 * q + q / 2 - 1
 }
 
 /// Dequantizes an inter block (inverse of [`quantize_inter`], lossy).
@@ -114,6 +172,45 @@ mod tests {
             *v = (i as i16 - 32) * 13;
         }
         c
+    }
+
+    #[test]
+    fn magic_division_matches_hardware_division() {
+        // Exhaustive: every representable coefficient magnitude through
+        // both quantizer numerators, for every legal qp. The magic
+        // multiply must reproduce truncating `/` bit-for-bit.
+        for qp in 1u8..=31 {
+            let q = i32::from(qp);
+            let div = StepDiv::new(i16::from(qp));
+            for c in 0..=i32::from(i16::MAX) + 1 {
+                let intra_n = c + q;
+                assert_eq!(div.div(intra_n), intra_n / (2 * q), "intra qp {qp} c {c}");
+                let inter_n = c - q / 2;
+                let fast = if inter_n <= 0 { 0 } else { div.div(inter_n) };
+                assert_eq!(
+                    fast,
+                    (inter_n / (2 * q)).clamp(0, i32::MAX),
+                    "inter qp {qp} c {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inter_zero_bound_is_exact() {
+        // The bound is the largest magnitude quantizing to zero — one
+        // more must not.
+        for qp in 1u8..=31 {
+            let b = inter_zero_bound(qp);
+            let mut c = CoefBlock::default();
+            c.data[0] = b as i16;
+            c.data[1] = -(b as i16);
+            c.data[2] = b as i16 + 1;
+            let q = quantize_inter(&c, qp);
+            assert_eq!(q.data[0], 0, "qp {qp}");
+            assert_eq!(q.data[1], 0, "qp {qp}");
+            assert_ne!(q.data[2], 0, "qp {qp}");
+        }
     }
 
     #[test]

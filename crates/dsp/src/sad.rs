@@ -59,6 +59,35 @@ pub fn sad_16x16(
     acc
 }
 
+/// The cutoff SAD over an `N`×`N` block: accumulates row sums and
+/// abandons the candidate once the partial sum exceeds `cutoff` after
+/// any row, returning the partial sum and how many rows were visited.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn sad_with_cutoff<const N: usize>(
+    cur: &[u8],
+    cur_stride: usize,
+    cx: usize,
+    cy: usize,
+    reference: &[u8],
+    ref_stride: usize,
+    rx: usize,
+    ry: usize,
+    cutoff: u32,
+) -> (u32, usize) {
+    let mut acc = 0u32;
+    for row in 0..N {
+        acc += sad_row(
+            row_n::<N>(cur, cur_stride, cx, cy + row),
+            row_n::<N>(reference, ref_stride, rx, ry + row),
+        );
+        if acc > cutoff {
+            return (acc, row + 1);
+        }
+    }
+    (acc, N)
+}
+
 /// Like [`sad_16x16`] but abandons the candidate once the partial sum
 /// exceeds `cutoff` after any 16-pixel row, returning the partial sum
 /// (which is `> cutoff`). Also returns how many rows were actually
@@ -77,17 +106,135 @@ pub fn sad_16x16_with_cutoff(
     ry: usize,
     cutoff: u32,
 ) -> (u32, usize) {
+    sad_with_cutoff::<16>(
+        cur, cur_stride, cx, cy, reference, ref_stride, rx, ry, cutoff,
+    )
+}
+
+/// The 8×8 cutoff SAD (advanced-prediction block refinement); same
+/// contract as [`sad_16x16_with_cutoff`].
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn sad_8x8_with_cutoff(
+    cur: &[u8],
+    cur_stride: usize,
+    cx: usize,
+    cy: usize,
+    reference: &[u8],
+    ref_stride: usize,
+    rx: usize,
+    ry: usize,
+    cutoff: u32,
+) -> (u32, usize) {
+    sad_with_cutoff::<8>(
+        cur, cur_stride, cx, cy, reference, ref_stride, rx, ry, cutoff,
+    )
+}
+
+/// One row of SAD against a half-pel interpolated reference. The
+/// prediction arithmetic is the bilinear MPEG-4 rounding used by motion
+/// compensation: `(a+b+1)>>1` for one fractional axis, `(a+b+c+d+2)>>2`
+/// for both. `r0` is the reference row at the full-pel line, `r1` the
+/// row below (read only when `FRAC_Y`); each holds `N + FRAC_X` valid
+/// pixels. The flags are const generics so each of the four variants
+/// compiles to a branch-free pixel loop.
+#[inline]
+fn sad_half_pel_row<const N: usize, const FRAC_X: bool, const FRAC_Y: bool>(
+    c: &[u8; N],
+    r0: &[u8],
+    r1: &[u8],
+) -> u32 {
     let mut acc = 0u32;
-    for row in 0..16 {
-        acc += sad_row(
-            row_n::<16>(cur, cur_stride, cx, cy + row),
-            row_n::<16>(reference, ref_stride, rx, ry + row),
-        );
+    for i in 0..N {
+        let pred = match (FRAC_X, FRAC_Y) {
+            (false, false) => u16::from(r0[i]),
+            (true, false) => (u16::from(r0[i]) + u16::from(r0[i + 1]) + 1) >> 1,
+            (false, true) => (u16::from(r0[i]) + u16::from(r1[i]) + 1) >> 1,
+            (true, true) => {
+                (u16::from(r0[i])
+                    + u16::from(r0[i + 1])
+                    + u16::from(r1[i])
+                    + u16::from(r1[i + 1])
+                    + 2)
+                    >> 2
+            }
+        };
+        acc += i32::from(c[i]).abs_diff(i32::from(pred));
+    }
+    acc
+}
+
+/// The half-pel cutoff SAD body for one `(FRAC_X, FRAC_Y)` variant.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn sad_half_pel_body<const N: usize, const FRAC_X: bool, const FRAC_Y: bool>(
+    cur: &[u8],
+    cur_stride: usize,
+    cx: usize,
+    cy: usize,
+    reference: &[u8],
+    ref_stride: usize,
+    rx: usize,
+    ry: usize,
+    cutoff: u32,
+) -> (u32, usize) {
+    let cols = N + usize::from(FRAC_X);
+    let mut acc = 0u32;
+    for row in 0..N {
+        let c = row_n::<N>(cur, cur_stride, cx, cy + row);
+        let r0 = &reference[(ry + row) * ref_stride + rx..][..cols];
+        let r1 = if FRAC_Y {
+            &reference[(ry + row + 1) * ref_stride + rx..][..cols]
+        } else {
+            r0
+        };
+        acc += sad_half_pel_row::<N, FRAC_X, FRAC_Y>(c, r0, r1);
         if acc > cutoff {
             return (acc, row + 1);
         }
     }
-    (acc, 16)
+    (acc, N)
+}
+
+/// SAD of the `N`×`N` current block at `(cx, cy)` against the half-pel
+/// interpolated reference whose full-pel anchor is `(rx, ry)`, with
+/// fractional displacement `(frac_x, frac_y)` and early termination at
+/// `cutoff`. Returns the partial sum and the rows visited. The
+/// reference must extend one extra column when `frac_x` and one extra
+/// row when `frac_y`.
+///
+/// # Panics
+///
+/// Panics (via slice indexing) if either block exceeds plane bounds.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn sad_half_pel_with_cutoff<const N: usize>(
+    cur: &[u8],
+    cur_stride: usize,
+    cx: usize,
+    cy: usize,
+    reference: &[u8],
+    ref_stride: usize,
+    rx: usize,
+    ry: usize,
+    frac_x: bool,
+    frac_y: bool,
+    cutoff: u32,
+) -> (u32, usize) {
+    match (frac_x, frac_y) {
+        (false, false) => sad_half_pel_body::<N, false, false>(
+            cur, cur_stride, cx, cy, reference, ref_stride, rx, ry, cutoff,
+        ),
+        (true, false) => sad_half_pel_body::<N, true, false>(
+            cur, cur_stride, cx, cy, reference, ref_stride, rx, ry, cutoff,
+        ),
+        (false, true) => sad_half_pel_body::<N, false, true>(
+            cur, cur_stride, cx, cy, reference, ref_stride, rx, ry, cutoff,
+        ),
+        (true, true) => sad_half_pel_body::<N, true, true>(
+            cur, cur_stride, cx, cy, reference, ref_stride, rx, ry, cutoff,
+        ),
+    }
 }
 
 /// SAD between two 8×8 blocks, used for chroma and half-pel refinement of
@@ -165,6 +312,53 @@ mod tests {
         let (v, rows) = sad_16x16_with_cutoff(&a, 32, 2, 2, &b, 32, 2, 2, u32::MAX);
         assert_eq!(v, full);
         assert_eq!(rows, 16);
+    }
+
+    #[test]
+    fn sad_8x8_cutoff_matches_full_and_terminates() {
+        let a = plane(32, 32, |x, y| (x * 5 + y * 9) as u8);
+        let b = plane(32, 32, |x, y| (x * 3 + y * 7) as u8);
+        let full = sad_8x8(&a, 32, 4, 4, &b, 32, 6, 2);
+        let (v, rows) = sad_8x8_with_cutoff(&a, 32, 4, 4, &b, 32, 6, 2, u32::MAX);
+        assert_eq!((v, rows), (full, 8));
+        let (partial, early_rows) = sad_8x8_with_cutoff(&a, 32, 4, 4, &b, 32, 6, 2, 0);
+        assert!(partial > 0 && early_rows < 8);
+    }
+
+    /// The half-pel kernel must agree with a direct transcription of the
+    /// MPEG-4 bilinear prediction at every fractional displacement.
+    #[test]
+    fn half_pel_sad_matches_reference_arithmetic() {
+        let cur = plane(40, 40, |x, y| (x * 13 + y * 29 + x * y / 5) as u8);
+        let rf = plane(40, 40, |x, y| (x * 7 + y * 11) as u8);
+        for (fx, fy) in [(false, false), (true, false), (false, true), (true, true)] {
+            let (got, rows) =
+                sad_half_pel_with_cutoff::<16>(&cur, 40, 3, 2, &rf, 40, 5, 4, fx, fy, u32::MAX);
+            let mut want = 0u32;
+            for row in 0..16 {
+                for i in 0..16 {
+                    let s = |dx: usize, dy: usize| u16::from(rf[(4 + row + dy) * 40 + 5 + i + dx]);
+                    let pred = match (fx, fy) {
+                        (false, false) => s(0, 0),
+                        (true, false) => (s(0, 0) + s(1, 0) + 1) >> 1,
+                        (false, true) => (s(0, 0) + s(0, 1) + 1) >> 1,
+                        (true, true) => (s(0, 0) + s(1, 0) + s(0, 1) + s(1, 1) + 2) >> 2,
+                    };
+                    let c = cur[(2 + row) * 40 + 3 + i];
+                    want += u32::from(c).abs_diff(u32::from(pred));
+                }
+            }
+            assert_eq!((got, rows), (want, 16), "frac ({fx},{fy})");
+        }
+    }
+
+    #[test]
+    fn half_pel_sad_cutoff_counts_rows() {
+        let a = plane(24, 24, |_, _| 0);
+        let b = plane(24, 24, |_, _| 200);
+        let (v, rows) = sad_half_pel_with_cutoff::<8>(&a, 24, 0, 0, &b, 24, 0, 0, true, true, 100);
+        assert!(v > 100);
+        assert_eq!(rows, 1);
     }
 
     #[test]

@@ -61,6 +61,13 @@ pub struct Cache {
     lines: Vec<Line>,
     tick: u64,
     stats: CacheStats,
+    /// MRU memo: `(line number, global way index)` of the line touched by
+    /// the most recent [`Cache::probe`]. A repeat probe of the same line
+    /// performs the exact hit transition without the set scan — sound
+    /// because every probe refreshes the memo, so no intervening probe
+    /// can have reallocated the memoized way. Cleared by
+    /// [`Cache::reset`] and [`Cache::probe_naive`].
+    mru: Option<(u64, usize)>,
 }
 
 /// Hit/miss accounting local to a cache level.
@@ -90,6 +97,7 @@ impl Cache {
             lines: vec![Line::default(); (sets as usize) * config.assoc],
             tick: 0,
             stats: CacheStats::default(),
+            mru: None,
         }
     }
 
@@ -111,16 +119,15 @@ impl Cache {
     /// Probes (and on miss, allocates) the line containing `addr`.
     /// `write` marks the line dirty on hit or after allocation.
     pub fn probe(&mut self, addr: u64, write: bool) -> ProbeResult {
-        self.tick += 1;
         let line_no = addr >> self.line_shift;
-        let set = (line_no & self.set_mask) as usize;
-        let tag = line_no >> self.sets.trailing_zeros();
-        let base = set * self.config.assoc;
-        let ways = &mut self.lines[base..base + self.config.assoc];
-
-        // Hit path.
-        for way in ways.iter_mut() {
-            if way.valid && way.tag == tag {
+        if let Some((mru_no, slot)) = self.mru {
+            if mru_no == line_no {
+                // Exact hit transition with the set scan short-circuited:
+                // the memoized way still holds this line (see `mru` docs),
+                // and the transition below is byte-for-byte the slow hit
+                // path's.
+                self.tick += 1;
+                let way = &mut self.lines[slot];
                 way.last_use = self.tick;
                 way.dirty |= write;
                 self.stats.hits += 1;
@@ -129,6 +136,40 @@ impl Cache {
                     writeback_of: None,
                 };
             }
+        }
+        self.probe_scan(line_no, write, true)
+    }
+
+    /// The reference probe path: no MRU memoization is consulted or
+    /// created, only the plain set scan. State transitions are identical
+    /// to [`Cache::probe`]; the naive model uses this so the differential
+    /// suite exercises the memoized path against it.
+    pub fn probe_naive(&mut self, addr: u64, write: bool) -> ProbeResult {
+        self.mru = None;
+        self.probe_scan(addr >> self.line_shift, write, false)
+    }
+
+    /// Full set scan + LRU replacement, optionally refreshing the memo.
+    fn probe_scan(&mut self, line_no: u64, write: bool, memoize: bool) -> ProbeResult {
+        self.tick += 1;
+        let set = (line_no & self.set_mask) as usize;
+        let tag = line_no >> self.sets.trailing_zeros();
+        let base = set * self.config.assoc;
+        let ways = &mut self.lines[base..base + self.config.assoc];
+
+        // Hit path.
+        if let Some(i) = ways.iter().position(|w| w.valid && w.tag == tag) {
+            let way = &mut ways[i];
+            way.last_use = self.tick;
+            way.dirty |= write;
+            self.stats.hits += 1;
+            if memoize {
+                self.mru = Some((line_no, base + i));
+            }
+            return ProbeResult {
+                hit: true,
+                writeback_of: None,
+            };
         }
 
         // Miss: pick an invalid way, else the LRU way.
@@ -152,10 +193,21 @@ impl Cache {
             dirty: write,
             last_use: self.tick,
         };
+        if memoize {
+            self.mru = Some((line_no, base + victim_idx));
+        }
         ProbeResult {
             hit: false,
             writeback_of,
         }
+    }
+
+    /// Accounts a hit that the owning hierarchy's MRU filter resolved
+    /// without probing: the line is already the most recently used in its
+    /// set, so skipping the recency restamp is the identity transition.
+    /// Only the hit statistic needs to advance.
+    pub(crate) fn filtered_hit(&mut self) {
+        self.stats.hits += 1;
     }
 
     /// `true` if the line containing `addr` is currently resident
@@ -177,6 +229,7 @@ impl Cache {
         }
         self.tick = 0;
         self.stats = CacheStats::default();
+        self.mru = None;
     }
 }
 
@@ -295,6 +348,49 @@ mod tests {
         c.reset();
         assert!(!c.contains(0));
         assert_eq!(c.stats(), CacheStats::default());
+    }
+
+    /// Random probe streams must be indistinguishable between the
+    /// memoized and naive probe paths — same results, same stats, same
+    /// future behaviour (checked by interleaving a verification stream).
+    #[test]
+    fn memoized_probe_matches_naive_probe() {
+        let mut fast = tiny();
+        let mut naive = tiny();
+        // A stream with heavy same-line repeats (the memoized case) plus
+        // conflict-miss churn within set 0.
+        let stream: Vec<(u64, bool)> = (0..2000u64)
+            .map(|i| {
+                let addr = match i % 7 {
+                    0..=3 => 0x40,        // repeat line
+                    4 => 128 * (i % 5),   // set-0 conflicts
+                    5 => 32 * (i % 11),   // sweep
+                    _ => 0x40 + (i % 32), // same line, different byte
+                };
+                (addr, i % 3 == 0)
+            })
+            .collect();
+        for &(addr, write) in &stream {
+            assert_eq!(fast.probe(addr, write), naive.probe_naive(addr, write));
+        }
+        assert_eq!(fast.stats(), naive.stats());
+        for a in (0..2048u64).step_by(32) {
+            assert_eq!(fast.contains(a), naive.contains(a), "line {a:#x}");
+        }
+    }
+
+    #[test]
+    fn repeat_probe_uses_memo_with_exact_transition() {
+        let mut c = tiny();
+        c.probe(0x40, false);
+        // Second touch of the same line: hit via the memo.
+        assert!(c.probe(0x47, true).hit);
+        assert_eq!(c.stats().hits, 1);
+        // The memoized write must have dirtied the line: fill the 2-way
+        // set (lines 0x40, 0xc0) and evict 0x40, expecting a writeback.
+        c.probe(0xc0, false);
+        let r = c.probe(0x140, false);
+        assert_eq!(r.writeback_of, Some(0x40));
     }
 
     #[test]

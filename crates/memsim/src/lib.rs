@@ -39,6 +39,7 @@ mod hierarchy;
 mod machine;
 mod metrics;
 mod model;
+mod naive;
 mod space;
 mod timing;
 mod tlb;
@@ -51,6 +52,7 @@ pub use hierarchy::{Hierarchy, RegionMisses};
 pub use machine::{CpuKind, MachineSpec};
 pub use metrics::MemoryMetrics;
 pub use model::{AccessKind, MemModel, NullModel, ParallelModel};
+pub use naive::NaiveHierarchy;
 pub use space::{AddressSpace, Region};
 pub use timing::TimingModel;
 pub use tlb::{Tlb, TlbConfig};

@@ -34,6 +34,11 @@ pub struct Tlb {
     tick: u64,
     misses: u64,
     lookups: u64,
+    /// Indices of recently resolved entries, checked before the linear
+    /// scan. A slot is only trusted after verifying its VPN — VPNs are
+    /// unique in the table, so a match is authoritative and the memo
+    /// needs no invalidation. `usize::MAX` marks an empty memo slot.
+    mru: [usize; 2],
 }
 
 impl Tlb {
@@ -52,6 +57,7 @@ impl Tlb {
             tick: 0,
             misses: 0,
             lookups: 0,
+            mru: [usize::MAX; 2],
         }
     }
 
@@ -63,23 +69,74 @@ impl Tlb {
     /// Looks up the page containing `addr`; returns `true` on hit and
     /// installs the translation on miss (LRU replacement).
     pub fn lookup(&mut self, addr: u64) -> bool {
-        self.tick += 1;
-        self.lookups += 1;
         let vpn = addr >> self.page_shift;
-        for (page, stamp) in self.entries.iter_mut().flatten() {
+        for (m, &slot) in self.mru.iter().enumerate() {
+            let Some(Some((page, _))) = self.entries.get(slot) else {
+                continue;
+            };
             if *page == vpn {
-                *stamp = self.tick;
+                // Exact hit transition without the 64-entry scan.
+                self.tick += 1;
+                self.lookups += 1;
+                self.entries[slot] = Some((vpn, self.tick));
+                if m != 0 {
+                    self.mru.swap(0, m);
+                }
                 return true;
             }
         }
-        self.misses += 1;
-        let victim = self
-            .entries
-            .iter_mut()
-            .min_by_key(|e| e.map_or(0, |(_, stamp)| stamp + 1))
-            .expect("entries >= 1");
-        *victim = Some((vpn, self.tick));
-        false
+        self.scan(vpn, true)
+    }
+
+    /// The reference lookup path: always the full linear scan, no memo
+    /// consulted or created. Transitions are identical to
+    /// [`Tlb::lookup`]; the naive model uses this as the differential
+    /// baseline.
+    pub fn lookup_naive(&mut self, addr: u64) -> bool {
+        self.scan(addr >> self.page_shift, false)
+    }
+
+    /// Linear scan + LRU install, optionally remembering the resolved
+    /// slot for the next lookup.
+    fn scan(&mut self, vpn: u64, memoize: bool) -> bool {
+        self.tick += 1;
+        self.lookups += 1;
+        let mut found = None;
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            if let Some((page, stamp)) = e {
+                if *page == vpn {
+                    *stamp = self.tick;
+                    found = Some(i);
+                    break;
+                }
+            }
+        }
+        let slot = match found {
+            Some(i) => i,
+            None => {
+                self.misses += 1;
+                let (victim_idx, victim) = self
+                    .entries
+                    .iter_mut()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.map_or(0, |(_, stamp)| stamp + 1))
+                    .expect("entries >= 1");
+                *victim = Some((vpn, self.tick));
+                victim_idx
+            }
+        };
+        if memoize {
+            self.mru = [slot, self.mru[0]];
+        }
+        found.is_some()
+    }
+
+    /// Accounts a lookup the owning hierarchy's MRU filter resolved
+    /// without scanning: the page is already the most recently used
+    /// entry, so skipping the recency restamp is the identity
+    /// transition. Only the lookup tally advances.
+    pub(crate) fn filtered_hit(&mut self) {
+        self.lookups += 1;
     }
 
     /// Total lookups performed.
@@ -122,6 +179,34 @@ mod tests {
         t.lookup(4 * 4096); // evicts page 1
         assert!(t.lookup(0)); // page 0 still resident
         assert!(!t.lookup(4096)); // page 1 was evicted
+    }
+
+    /// The memoized lookup must agree with the naive linear scan on
+    /// results, miss/lookup tallies, and all future replacement
+    /// behaviour, including the alternating-page pattern the memo is
+    /// built for and eviction churn past capacity.
+    #[test]
+    fn memoized_lookup_matches_naive_lookup() {
+        let cfg = TlbConfig {
+            entries: 4,
+            page_bytes: 4096,
+        };
+        let mut fast = Tlb::new(cfg);
+        let mut naive = Tlb::new(cfg);
+        let addrs: Vec<u64> = (0..3000u64)
+            .map(|i| match i % 11 {
+                0..=2 => 0x0,        // repeat page
+                3..=5 => 0x1000,     // alternate page
+                6 => 4096 * (i % 7), // churn past capacity
+                7 => 0x2000,
+                _ => 4096 * (i % 3),
+            })
+            .collect();
+        for &a in &addrs {
+            assert_eq!(fast.lookup(a), naive.lookup_naive(a), "addr {a:#x}");
+        }
+        assert_eq!(fast.misses(), naive.misses());
+        assert_eq!(fast.lookups(), naive.lookups());
     }
 
     #[test]

@@ -20,6 +20,13 @@ cargo build --workspace --release --offline
 echo "== tests (offline) =="
 cargo test -q --workspace --offline
 
+# The charging fast path must stay counter-bit-identical to the naive
+# reference model; run the differential suites explicitly so a gate
+# failure names them even when someone filters the workspace run.
+echo "== charging fast-path differential (offline) =="
+cargo test -q --offline -p m4ps-memsim --test fastpath_equiv
+cargo test -q --offline -p m4ps-codec --test fastpath_encode
+
 # Observability smoke: traced encode, trace JSON round-trip, and the
 # per-phase JSONL the bench gate annotates its report with.
 scripts/trace_smoke.sh
