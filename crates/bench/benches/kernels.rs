@@ -217,6 +217,37 @@ fn bench_parallel(r: &mut BenchRunner) {
             },
         );
     }
+    // Scheduling-mode pair at the widest worker count: coarse slice
+    // jobs vs wavefront row chains over the same persistent pool. The
+    // bytes are identical; the delta is pure scheduler overhead (task
+    // boxing, deque traffic) vs load-balance win.
+    for sched in [
+        m4ps_codec::Scheduling::SliceParallel,
+        m4ps_codec::Scheduling::Wavefront,
+    ] {
+        let mut space = AddressSpace::new();
+        let mut mem = NullModel::new();
+        let mut coder = VideoObjectCoder::new(&mut space, res.width, res.height, config).unwrap();
+        coder.set_threads(4);
+        coder.set_scheduling(sched);
+        coder
+            .encode_frame(&mut mem, &view(&frames[0]), None)
+            .unwrap();
+        let label = match sched {
+            m4ps_codec::Scheduling::SliceParallel => "slice",
+            m4ps_codec::Scheduling::Wavefront => "wavefront",
+        };
+        r.bench_bytes(
+            &format!("parallel/encode_frame/sched={label}"),
+            bytes,
+            || {
+                coder
+                    .encode_frame(&mut mem, &view(&frames[1]), None)
+                    .unwrap()
+                    .len()
+            },
+        );
+    }
 }
 
 fn bench_obs_overhead(r: &mut BenchRunner) {

@@ -11,7 +11,7 @@ use crate::mbops::{
 };
 use crate::mc::{average_predictions, motion_compensate_block};
 use crate::me::MotionSearch;
-use crate::plane::{FrameSink, RowSink, TracedFrame, TracedPlane};
+use crate::plane::{FrameSink, FrameViewMut, RowSink, TracedFrame, TracedPlane};
 use crate::rate::RateController;
 use crate::shape::{classify_bab, encode_alpha_plane, BabClass};
 use crate::slices::partition_rows;
@@ -21,8 +21,9 @@ use crate::vlc::{put_se, put_ue};
 use m4ps_bitstream::BitWriter;
 use m4ps_memsim::{AddressSpace, MemModel, ParallelModel};
 use m4ps_obs::{span, MetricId, Phase};
-use m4ps_pool::ThreadPool;
+use m4ps_pool::{Scope, WorkerPool};
 use std::ops::Range;
+use std::sync::{Arc, Mutex};
 
 /// A borrowed view of one 4:2:0 input frame.
 #[derive(Debug, Clone, Copy)]
@@ -124,6 +125,49 @@ pub struct EncodedVop {
 /// Macroblock-aligned bounding box `(x0, y0, w, h)` in pixels.
 pub(crate) type Bbox = (usize, usize, usize, usize);
 
+/// Environment variable selecting the default [`Scheduling`] mode.
+/// `slice` (or `slice-parallel`) picks [`Scheduling::SliceParallel`];
+/// anything else — including unset — picks [`Scheduling::Wavefront`].
+pub const SCHED_ENV: &str = "M4PS_SCHED";
+
+/// How a VOP's macroblock work is decomposed onto the worker pool.
+///
+/// Purely a scheduling knob: both modes build the *same* per-slice
+/// forked counter streams, charge windows and bitstream segments, so
+/// bitstream bytes and merged [`Counters`](m4ps_memsim::Counters) are
+/// bit-identical across modes and thread counts (pinned by
+/// `tests/parallel.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduling {
+    /// One task per slice: the coarse decomposition. An expensive
+    /// slice serializes everything scheduled behind it on one worker.
+    SliceParallel,
+    /// One task per macroblock row, chained per slice: each row task
+    /// enqueues its slice's next row as soon as the row's dependencies
+    /// (MV-predictor state, bit position, forked counter stream)
+    /// resolve, so scheduling balances skewed row costs via stealing.
+    #[default]
+    Wavefront,
+}
+
+impl Scheduling {
+    /// Mode from the `M4PS_SCHED` environment variable.
+    pub fn from_env() -> Self {
+        match std::env::var(SCHED_ENV).ok().as_deref().map(str::trim) {
+            Some("slice") | Some("slice-parallel") => Scheduling::SliceParallel,
+            _ => Scheduling::Wavefront,
+        }
+    }
+
+    /// Macroblock rows encoded per task.
+    fn grain(self) -> usize {
+        match self {
+            Scheduling::SliceParallel => usize::MAX,
+            Scheduling::Wavefront => 1,
+        }
+    }
+}
+
 /// Queued B-frame awaiting its backward anchor.
 #[derive(Debug)]
 struct BSlot {
@@ -155,6 +199,14 @@ pub struct VideoObjectCoder {
     prev_anchor: usize,
     have_anchor: bool,
     b_recon: TracedFrame,
+    /// Per-slot reconstruction buffers for the pipelined (fixed-QP)
+    /// B-drain, where queued B-VOPs encode concurrently and cannot
+    /// share `b_recon`. Allocated at the *end* of the address space so
+    /// the legacy layout's simulated addresses are unchanged.
+    b_recons: Vec<TracedFrame>,
+    /// Per-slot slice scratch for the pipelined B-drain (each
+    /// concurrent VOP needs its own texture clones and MV predictors).
+    b_scratch: Vec<Vec<SliceScratch>>,
     texture: TextureCoder,
     /// Reusable per-slice coding state (texture scratch clones and MV
     /// predictors), grown on first use and recycled every VOP so the
@@ -168,7 +220,8 @@ pub struct VideoObjectCoder {
     stream_base: u64,
     stream_bits: u64,
     keep_recon: bool,
-    pool: ThreadPool,
+    pool: Arc<WorkerPool>,
+    sched: Scheduling,
     /// Accumulated counter deltas over the `encode_vop` windows — the
     /// paper's `VopCode()` instrumentation (Table 8).
     vop_window: m4ps_memsim::Counters,
@@ -245,6 +298,22 @@ impl VideoObjectCoder {
         space.set_tag("enc.b_recon");
         let b_recon = TracedFrame::new(space, width, height);
         space.set_tag("enc.scratch");
+        let texture = TextureCoder::new(space);
+        let stream_base = {
+            space.set_tag("enc.bitstream");
+            let base = space.alloc(16 * 1024 * 1024);
+            space.set_tag("untagged");
+            base
+        };
+        // Everything below is appended past the legacy layout: the
+        // cursor only ever grows, so these allocations leave every
+        // existing simulated address (and therefore every charge
+        // stream that doesn't use them) untouched.
+        space.set_tag("enc.b_recon");
+        let b_recons = (0..config.gop.b_frames)
+            .map(|_| TracedFrame::new(space, width, height))
+            .collect();
+        space.set_tag("untagged");
         Ok(VideoObjectCoder {
             vol,
             mb_cols: width / 16,
@@ -259,22 +328,20 @@ impl VideoObjectCoder {
             prev_anchor: 0,
             have_anchor: false,
             b_recon,
-            texture: TextureCoder::new(space),
+            b_recons,
+            b_scratch: Vec::new(),
+            texture,
             slice_scratch: Vec::new(),
             search: MotionSearch::new(config.search, config.search_range, config.half_pel),
             rate: RateController::new(config.initial_qp, config.bitrate, config.frame_rate),
             next_display: 0,
             display_scale: 1,
             display_offset: 0,
-            stream_base: {
-                space.set_tag("enc.bitstream");
-                let base = space.alloc(16 * 1024 * 1024);
-                space.set_tag("untagged");
-                base
-            },
+            stream_base,
             stream_bits: 0,
             keep_recon: false,
-            pool: ThreadPool::from_env(),
+            pool: Arc::new(WorkerPool::from_env()),
+            sched: Scheduling::from_env(),
             vop_window: m4ps_memsim::Counters::new(),
             config,
         })
@@ -289,12 +356,33 @@ impl VideoObjectCoder {
     /// environment override, falling back to the machine's available
     /// parallelism.
     pub fn set_threads(&mut self, threads: usize) {
-        self.pool = ThreadPool::new(threads);
+        if self.pool.threads() != threads.clamp(1, 256) {
+            self.pool = Arc::new(WorkerPool::new(threads));
+        }
+    }
+
+    /// Shares a persistent worker pool with this coder. The study
+    /// lifecycle (`m4ps-core`) spawns one pool per study and hands it
+    /// to every layer's coder, so workers are spawned once and parked
+    /// between VOPs instead of re-created per coder.
+    pub fn set_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.pool = pool;
     }
 
     /// The worker thread count slices are scheduled onto.
     pub fn threads(&self) -> usize {
         self.pool.threads()
+    }
+
+    /// Selects how VOP work is decomposed onto the pool (see
+    /// [`Scheduling`]). Output is bit-identical across modes.
+    pub fn set_scheduling(&mut self, sched: Scheduling) {
+        self.sched = sched;
+    }
+
+    /// The active scheduling mode.
+    pub fn scheduling(&self) -> Scheduling {
+        self.sched
     }
 
     /// The VOL header describing this layer.
@@ -502,6 +590,7 @@ impl VideoObjectCoder {
             self.mb_rows,
             self.config.four_mv,
             &self.pool,
+            self.sched,
         );
         if !self.vol.binary_shape {
             // Rectangular VOPs pad the whole reference frame; shaped
@@ -535,7 +624,20 @@ impl VideoObjectCoder {
     }
 
     /// Encodes every queued B-frame against the two live anchors.
+    ///
+    /// Fixed-QP sessions (no rate controller feedback between VOPs)
+    /// take the pipelined path: the whole queue is encoded as one
+    /// batch of slice chains on the pool, so VOP N+1's motion search
+    /// overlaps VOP N's texture-coding drain. Rate-controlled sessions
+    /// keep the sequential loop — each VOP's bit count feeds the next
+    /// VOP's quantizer, a true dependency the pipeline must not break.
     fn drain_b_queue<M: ParallelModel>(&mut self, mem: &mut M) -> Vec<EncodedVop> {
+        if self.queue_len == 0 {
+            return Vec::new();
+        }
+        if self.config.bitrate.is_none() {
+            return self.drain_b_queue_pipelined(mem);
+        }
         let mut out = Vec::with_capacity(self.queue_len);
         for q in 0..self.queue_len {
             let qp = self.rate.qp_for(VopKind::B);
@@ -577,6 +679,7 @@ impl VideoObjectCoder {
                 self.mb_rows,
                 self.config.four_mv,
                 &self.pool,
+                self.sched,
             );
             if obs_on {
                 m4ps_obs::exit(Phase::VopEncode, *mem.counters());
@@ -601,6 +704,218 @@ impl VideoObjectCoder {
             });
         }
         self.queue_len = 0;
+        out
+    }
+
+    /// Pipelined fixed-QP B-drain: every queued B-VOP's slice chains
+    /// are spawned into *one* pool scope, so the scheduler interleaves
+    /// motion estimation for VOP N+1 with VOP N's texture-coding drain
+    /// whenever a worker runs dry. The bitstream is byte-identical to
+    /// the sequential drain (same quantizer, inputs and anchors into
+    /// fresh writers); merged counters stay deterministic because every
+    /// VOP charges a private window at
+    /// `batch_base + k * (slices + 2) * SLICE_CHARGE_SPAN` — a function
+    /// of queue position alone, never of scheduling.
+    fn drain_b_queue_pipelined<M: ParallelModel>(&mut self, mem: &mut M) -> Vec<EncodedVop> {
+        /// Coordinator-side header state for one queued VOP: `head`
+        /// holds a finished (byte-aligned) header segment for sliced
+        /// VOPs; `inline` carries the still-open writer and charge
+        /// state into an unsliced VOP's single chain.
+        struct Prep {
+            hdr: VopHeader,
+            slice_rows: Vec<Range<usize>>,
+            mbx_range: Range<usize>,
+            mby_start: usize,
+            header_bits: u64,
+            head: Option<BitWriter>,
+            inline: Option<(BitWriter, StreamCharge)>,
+        }
+
+        let n = self.queue_len;
+        self.queue_len = 0;
+        let qp = self.rate.qp_for(VopKind::B);
+        let batch_base = self.stream_base + self.stream_bits / 8;
+        let vop_span = (self.config.slices as u64 + 2) * SLICE_CHARGE_SPAN;
+
+        let window_start = *mem.counters();
+        let obs_on = m4ps_obs::enabled();
+        if obs_on {
+            m4ps_obs::enter(Phase::VopEncode, window_start);
+        }
+
+        // Pass A (coordinator, VOP order): headers, alpha planes and
+        // their stream charges against the parent model, exactly as the
+        // sequential drain would have produced them.
+        let mut preps: Vec<Prep> = Vec::with_capacity(n);
+        for k in 0..n {
+            let slot = &self.b_slots[k];
+            let alpha = slot.alpha.as_ref().map(|a| (a, slot.bbox));
+            let bbox = alpha.map(|(_, b)| b);
+            let mut hdr = VopHeader {
+                kind: VopKind::B,
+                display_index: slot.display_index as u32,
+                qp,
+                bbox,
+                resync_interval: self.config.resync_mb_interval,
+                slices: self.config.slices,
+            };
+            let (mbx_range, mby_range) = match bbox {
+                Some((x0, y0, bw, bh)) => (x0 / 16..(x0 + bw) / 16, y0 / 16..(y0 + bh) / 16),
+                None => (0..self.mb_cols, 0..self.mb_rows),
+            };
+            let slice_rows = partition_rows(mby_range.clone(), hdr.slices);
+            hdr.slices = slice_rows.len();
+            let mut w = BitWriter::new();
+            let mut charge = StreamCharge::writer(batch_base + k as u64 * vop_span);
+            hdr.write(&mut w);
+            if let Some((a, b)) = alpha {
+                span!(mem, Phase::Shape, encode_alpha_plane(mem, a, b, &mut w));
+            }
+            let (header_bits, head, inline) = if hdr.slices == 1 {
+                // Unsliced: macroblock bits continue straight off the
+                // header in the same writer and charge window.
+                charge.charge_to(mem, w.bit_len());
+                (0, None, Some((w, charge)))
+            } else {
+                w.stuff_to_alignment();
+                charge.charge_to(mem, w.bit_len());
+                (w.bit_len(), Some(w), None)
+            };
+            preps.push(Prep {
+                hdr,
+                slice_rows,
+                mbx_range,
+                mby_start: mby_range.start,
+                header_bits,
+                head,
+                inline,
+            });
+            while self.b_scratch.len() <= k {
+                self.b_scratch.push(Vec::new());
+            }
+        }
+        for (prep, scratch) in preps.iter().zip(self.b_scratch.iter_mut()) {
+            while scratch.len() < prep.slice_rows.len() {
+                scratch.push(SliceScratch::new(&self.texture, self.mb_cols));
+            }
+        }
+
+        // Forward ref is the *older* anchor, backward the newer.
+        let older = 1 - self.prev_anchor;
+        let (fwd, bwd) = (&self.anchors[older], &self.anchors[1 - older]);
+        let ctxs: Vec<SliceCtx<'_>> = preps
+            .iter()
+            .enumerate()
+            .map(|(k, prep)| {
+                let slot = &self.b_slots[k];
+                SliceCtx {
+                    hdr: prep.hdr,
+                    cur: &slot.frame,
+                    alpha: slot.alpha.as_ref().map(|a| (a, slot.bbox)),
+                    fwd: Some(fwd),
+                    bwd: Some(bwd),
+                    search: &self.search,
+                    mbx_range: prep.mbx_range.clone(),
+                    four_mv: self.config.four_mv,
+                }
+            })
+            .collect();
+
+        // Forks happen here, sequentially, in (VOP, slice) order — the
+        // same deterministic snapshot every scheduling would see.
+        let sched = self.sched;
+        let mut chainsv: Vec<Vec<SliceChain<'_, M>>> = Vec::with_capacity(n);
+        for (((prep, ctx), recon), scratch) in preps
+            .iter_mut()
+            .zip(ctxs.iter())
+            .zip(self.b_recons.iter_mut())
+            .zip(self.b_scratch.iter_mut())
+        {
+            let views = recon.split_mb_rows_mut(&prep.slice_rows);
+            let vop_base = batch_base + (chainsv.len() as u64) * vop_span;
+            chainsv.push(build_slice_chains(
+                mem,
+                ctx,
+                &prep.slice_rows,
+                views,
+                scratch,
+                prep.mby_start,
+                vop_base,
+                sched,
+                prep.inline.take(),
+            ));
+        }
+
+        // One scope for the whole batch: all VOPs' chains share the
+        // worker pool, so late rows of VOP N overlap early rows of
+        // VOP N+1.
+        let slotsv: Vec<Vec<Mutex<Option<SliceOut<M>>>>> = chainsv
+            .iter()
+            .map(|chains| chains.iter().map(|_| Mutex::new(None)).collect())
+            .collect();
+        let pool = self.pool.clone();
+        let session = m4ps_obs::current();
+        pool.scope(session.as_ref(), |scope| {
+            for ((chains, ctx), slots) in chainsv.iter_mut().zip(ctxs.iter()).zip(slotsv.iter()) {
+                for (chain, slot) in chains.drain(..).zip(slots.iter()) {
+                    scope.spawn(move |s| slice_chain_step(chain, ctx, slot, s));
+                }
+            }
+        });
+
+        // Merge in (VOP, slice) order while the VopEncode window is
+        // still open, so `absorbed` keeps the window from double
+        // counting the forks' traffic.
+        let mut merged: Vec<(Vec<u8>, VopStats)> = Vec::with_capacity(n);
+        for ((k, prep), slots) in preps.iter_mut().enumerate().zip(slotsv) {
+            let mut stats = VopStats::default();
+            let mut bytes = match prep.head.take() {
+                Some(w) => w.into_bytes(),
+                None => Vec::new(),
+            };
+            for slot in slots {
+                let (sbytes, sstats, smem) = slot
+                    .into_inner()
+                    .expect("slice slot lock")
+                    .expect("scope waits for every slice chain");
+                let child_total = *smem.counters();
+                mem.absorb(smem);
+                m4ps_obs::absorbed(&child_total);
+                stats.merge(&sstats);
+                bytes.extend_from_slice(&sbytes);
+            }
+            stats.bits += prep.header_bits;
+            if let Some(bbox) = prep.hdr.bbox {
+                fill_bbox_ring(mem, &mut self.b_recons[k], bbox, self.mb_cols, self.mb_rows);
+            }
+            merged.push((bytes, stats));
+        }
+
+        if obs_on {
+            m4ps_obs::exit(Phase::VopEncode, *mem.counters());
+        }
+        self.vop_window = self
+            .vop_window
+            .merged_with(&mem.counters().delta_since(&window_start));
+
+        let mut out = Vec::with_capacity(n);
+        for (k, (bytes, stats)) in merged.into_iter().enumerate() {
+            let recon_copy = self.keep_recon.then(|| ReconPlanes {
+                y: self.b_recons[k].y.copy_out(mem),
+                u: self.b_recons[k].u.copy_out(mem),
+                v: self.b_recons[k].v.copy_out(mem),
+            });
+            self.stream_bits += stats.bits;
+            self.rate.update(VopKind::B, stats.bits);
+            out.push(EncodedVop {
+                kind: VopKind::B,
+                display_index: self.b_slots[k].display_index,
+                qp,
+                bytes,
+                stats,
+                recon: recon_copy,
+            });
+        }
         out
     }
 
@@ -704,6 +1019,7 @@ impl VideoObjectCoder {
             self.mb_rows,
             self.config.four_mv,
             &self.pool,
+            self.sched,
         );
         if obs_on {
             m4ps_obs::exit(Phase::VopEncode, *mem.counters());
@@ -871,7 +1187,8 @@ pub(crate) fn encode_vop<M: ParallelModel>(
     mb_cols: usize,
     mb_rows: usize,
     four_mv: bool,
-    pool: &ThreadPool,
+    pool: &WorkerPool,
+    sched: Scheduling,
 ) -> (Vec<u8>, VopStats) {
     let mut stats = VopStats::default();
     let mut w = BitWriter::new();
@@ -937,83 +1254,36 @@ pub(crate) fn encode_vop<M: ParallelModel>(
     charge.charge_to(mem, w.bit_len());
     let header_bits = w.bit_len();
 
-    let hdr = header;
-    let mbx = mbx_range.clone();
+    let ctx = SliceCtx {
+        hdr: header,
+        cur,
+        alpha,
+        fwd,
+        bwd,
+        search,
+        mbx_range: mbx_range.clone(),
+        four_mv,
+    };
     let views = recon.split_mb_rows_mut(&slice_rows);
-    let jobs: Vec<_> = slice_rows
-        .iter()
-        .cloned()
-        .zip(views)
-        .zip(scratch.iter_mut())
-        .enumerate()
-        .map(|(s, ((rows, mut view), sc))| {
-            // Fork the per-slice memory model *sequentially* so every
-            // slice starts from an identical snapshot no matter how
-            // many worker threads later run the jobs.
-            let mut smem = mem.fork();
-            let first_mb = (rows.start - mby_range.start) * mbx.len();
-            let mbx_range = mbx.clone();
-            let charge_base = stream_base + (s as u64 + 1) * SLICE_CHARGE_SPAN;
-            let cap = rows.len() * mbx.len() * 32 + 64;
-            move || {
-                // A *domain* span: this job charges the forked stream
-                // `smem`, not the caller's model, so its delta must not
-                // be subtracted from the lexical parent phase (the
-                // caller accounts for it via `absorbed` instead).
-                let obs_on = m4ps_obs::enabled();
-                if obs_on {
-                    m4ps_obs::enter_domain(Phase::Slice, *smem.counters());
-                }
-                let mut sw = BitWriter::with_capacity(cap);
-                let mut scharge = StreamCharge::writer(charge_base);
-                let mut sstats = VopStats::default();
-                if s > 0 {
-                    // Slice header: the resync word, the index of the
-                    // slice's first macroblock, and the quantizer.
-                    let before = sw.bit_len();
-                    sw.put_bits(u32::from(RESYNC_MARKER), 16);
-                    put_ue(&mut sw, first_mb as u32);
-                    sw.put_bits(u32::from(hdr.qp), 5);
-                    m4ps_obs::counter_add(
-                        MetricId::ResyncMarkerBytes,
-                        (sw.bit_len() - before).div_ceil(8),
-                    );
-                }
-                encode_slice(
-                    &mut smem,
-                    &hdr,
-                    cur,
-                    alpha,
-                    fwd,
-                    bwd,
-                    &mut view,
-                    sc,
-                    search,
-                    mbx_range,
-                    rows,
-                    first_mb,
-                    four_mv,
-                    &mut sw,
-                    &mut scharge,
-                    &mut sstats,
-                );
-                sw.stuff_to_alignment();
-                scharge.charge_to(&mut smem, sw.bit_len());
-                sstats.bits = sw.bit_len();
-                if obs_on {
-                    m4ps_obs::exit_domain(Phase::Slice, *smem.counters());
-                }
-                (sw.into_bytes(), sstats, smem)
-            }
-        })
-        .collect();
-
-    let session = m4ps_obs::current();
-    let results = pool.run_profiled(jobs, session.as_ref());
+    let chains = build_slice_chains(
+        mem,
+        &ctx,
+        &slice_rows,
+        views,
+        scratch,
+        mby_range.start,
+        stream_base,
+        sched,
+        None,
+    );
+    let slots = run_slice_chains(pool, &ctx, chains);
 
     let mut bytes = w.into_bytes();
-    bytes.reserve(results.iter().map(|(b, _, _)| b.len()).sum());
-    for (sbytes, sstats, smem) in results {
+    for slot in slots {
+        let (sbytes, sstats, smem) = slot
+            .into_inner()
+            .expect("slice slot lock")
+            .expect("scope waits for every slice chain");
         let child_total = *smem.counters();
         mem.absorb(smem);
         // Keep the caller's open phase from double-counting the jump
@@ -1028,6 +1298,190 @@ pub(crate) fn encode_vop<M: ParallelModel>(
         fill_bbox_ring(mem, recon, bbox, mb_cols, mb_rows);
     }
     (bytes, stats)
+}
+
+/// Read-shared context for one VOP's slice tasks.
+struct SliceCtx<'a> {
+    hdr: VopHeader,
+    cur: &'a TracedFrame,
+    alpha: Option<(&'a TracedPlane, Bbox)>,
+    fwd: Option<&'a TracedFrame>,
+    bwd: Option<&'a TracedFrame>,
+    search: &'a MotionSearch,
+    mbx_range: Range<usize>,
+    four_mv: bool,
+}
+
+/// Everything a slice's row chain carries from one task to the next:
+/// the forked counter stream, the slice's writer and charge window,
+/// its reconstruction band and recycled scratch, and the row cursor.
+/// Moving the whole state along the chain is what pins determinism —
+/// each fork sees exactly the access sequence the coarse slice job
+/// produced, just cut into one task per `grain` rows.
+struct SliceChain<'a, M> {
+    smem: M,
+    view: FrameViewMut<'a>,
+    scratch: &'a mut SliceScratch,
+    w: BitWriter,
+    charge: StreamCharge,
+    stats: VopStats,
+    slice_index: usize,
+    rows: Range<usize>,
+    next_row: usize,
+    first_mb: usize,
+    mb_counter: usize,
+    grain: usize,
+}
+
+/// A finished slice: bitstream segment, stats, forked model to absorb.
+type SliceOut<M> = (Vec<u8>, VopStats, M);
+
+/// Builds the per-slice chain states for one VOP. Forks happen here,
+/// sequentially on the coordinator, so every slice starts from an
+/// identical memory-model snapshot regardless of scheduling.
+///
+/// `inline_io` carries the VOP's header writer and charge state into a
+/// *single-slice* chain (the pipelined B-drain's unsliced case, where
+/// macroblock bits chain directly off the header with no alignment);
+/// sliced VOPs pass `None` and each slice gets a fresh byte-aligned
+/// segment with its own charge window.
+#[allow(clippy::too_many_arguments)]
+fn build_slice_chains<'a, M: ParallelModel>(
+    mem: &mut M,
+    ctx: &SliceCtx<'a>,
+    slice_rows: &[Range<usize>],
+    views: Vec<FrameViewMut<'a>>,
+    scratch: &'a mut [SliceScratch],
+    mby_start: usize,
+    stream_base: u64,
+    sched: Scheduling,
+    mut inline_io: Option<(BitWriter, StreamCharge)>,
+) -> Vec<SliceChain<'a, M>> {
+    debug_assert!(inline_io.is_none() || slice_rows.len() == 1);
+    let grain = sched.grain();
+    slice_rows
+        .iter()
+        .cloned()
+        .zip(views)
+        .zip(scratch.iter_mut())
+        .enumerate()
+        .map(|(s, ((rows, view), sc))| {
+            let first_mb = (rows.start - mby_start) * ctx.mbx_range.len();
+            let cap = rows.len() * ctx.mbx_range.len() * 32 + 64;
+            let (w, charge) = inline_io.take().unwrap_or_else(|| {
+                (
+                    BitWriter::with_capacity(cap),
+                    StreamCharge::writer(stream_base + (s as u64 + 1) * SLICE_CHARGE_SPAN),
+                )
+            });
+            SliceChain {
+                smem: mem.fork(),
+                view,
+                scratch: sc,
+                w,
+                charge,
+                stats: VopStats::default(),
+                slice_index: s,
+                next_row: rows.start,
+                first_mb,
+                mb_counter: first_mb,
+                rows,
+                grain,
+            }
+        })
+        .collect()
+}
+
+/// Spawns every chain's first task into one pool scope and returns the
+/// per-slice result slots (in slice order) once all chains finished.
+fn run_slice_chains<'a, M: ParallelModel + 'a>(
+    pool: &WorkerPool,
+    ctx: &SliceCtx<'a>,
+    mut chains: Vec<SliceChain<'a, M>>,
+) -> Vec<Mutex<Option<SliceOut<M>>>> {
+    let slots: Vec<Mutex<Option<SliceOut<M>>>> = chains.iter().map(|_| Mutex::new(None)).collect();
+    let session = m4ps_obs::current();
+    pool.scope(session.as_ref(), |scope| {
+        for (chain, slot) in chains.drain(..).zip(slots.iter()) {
+            scope.spawn(move |s| slice_chain_step(chain, ctx, slot, s));
+        }
+    });
+    slots
+}
+
+/// One task of a slice's row chain: encodes up to `grain` macroblock
+/// rows, then either spawns the continuation (the wavefront "row N+1
+/// ready" edge) or finalizes the slice into its result slot.
+fn slice_chain_step<'s, M: ParallelModel + 's>(
+    mut st: SliceChain<'s, M>,
+    ctx: &'s SliceCtx<'s>,
+    slot: &'s Mutex<Option<SliceOut<M>>>,
+    scope: &Scope<'s>,
+) {
+    // A *domain* span: this task charges the forked stream `st.smem`,
+    // not the caller's model, so its delta must not be subtracted from
+    // the lexical parent phase (the coordinator accounts for it via
+    // `absorbed` instead). Spans are per task, so each worker's span
+    // stack stays balanced; the per-pair deltas sum to the fork total.
+    let obs_on = m4ps_obs::enabled();
+    if obs_on {
+        m4ps_obs::enter_domain(Phase::Slice, *st.smem.counters());
+    }
+    if st.next_row == st.rows.start {
+        if st.slice_index > 0 {
+            // Slice header: the resync word, the index of the slice's
+            // first macroblock, and the quantizer.
+            let before = st.w.bit_len();
+            st.w.put_bits(u32::from(RESYNC_MARKER), 16);
+            put_ue(&mut st.w, st.first_mb as u32);
+            st.w.put_bits(u32::from(ctx.hdr.qp), 5);
+            m4ps_obs::counter_add(
+                MetricId::ResyncMarkerBytes,
+                (st.w.bit_len() - before).div_ceil(8),
+            );
+        }
+        // Recycled predictors start from reset — the same state a
+        // fresh `MvPredictor::new` carries.
+        st.scratch.fwd_pred.reset();
+        st.scratch.bwd_pred.reset();
+    }
+    let stop = st.next_row.saturating_add(st.grain).min(st.rows.end);
+    while st.next_row < stop {
+        encode_slice_row(
+            &mut st.smem,
+            &ctx.hdr,
+            ctx.cur,
+            ctx.alpha,
+            ctx.fwd,
+            ctx.bwd,
+            &mut st.view,
+            st.scratch,
+            ctx.search,
+            ctx.mbx_range.clone(),
+            st.next_row,
+            st.first_mb,
+            &mut st.mb_counter,
+            ctx.four_mv,
+            &mut st.w,
+            &mut st.charge,
+            &mut st.stats,
+        );
+        st.next_row += 1;
+    }
+    if st.next_row < st.rows.end {
+        if obs_on {
+            m4ps_obs::exit_domain(Phase::Slice, *st.smem.counters());
+        }
+        scope.spawn(move |s| slice_chain_step(st, ctx, slot, s));
+    } else {
+        st.w.stuff_to_alignment();
+        st.charge.charge_to(&mut st.smem, st.w.bit_len());
+        st.stats.bits = st.w.bit_len();
+        if obs_on {
+            m4ps_obs::exit_domain(Phase::Slice, *st.smem.counters());
+        }
+        *slot.lock().expect("slice slot lock") = Some((st.w.into_bytes(), st.stats, st.smem));
+    }
 }
 
 /// Encodes one slice — the macroblock rows `rows` of the VOP — into `w`.
@@ -1057,32 +1511,79 @@ fn encode_slice<M: MemModel, F: FrameSink>(
     charge: &mut StreamCharge,
     stats: &mut VopStats,
 ) {
+    // Recycled predictors start from reset — the same state a fresh
+    // `MvPredictor::new` carries, as pinned by the parallel tests.
+    scratch.fwd_pred.reset();
+    scratch.bwd_pred.reset();
+    let mut mb_counter = first_mb;
+    for mby in rows {
+        encode_slice_row(
+            mem,
+            header,
+            cur,
+            alpha,
+            fwd,
+            bwd,
+            recon,
+            scratch,
+            search,
+            mbx_range.clone(),
+            mby,
+            first_mb,
+            &mut mb_counter,
+            four_mv,
+            w,
+            charge,
+            stats,
+        );
+    }
+}
+
+/// Encodes one macroblock row of a slice. This is the wavefront task
+/// granule: all state that crosses row boundaries within a slice (the
+/// MV predictors' row window, the macroblock counter for resync
+/// markers, the bit position) arrives via `scratch`/`mb_counter`/`w`,
+/// carried along the slice's task chain.
+#[allow(clippy::too_many_arguments)]
+fn encode_slice_row<M: MemModel, F: FrameSink>(
+    mem: &mut M,
+    header: &VopHeader,
+    cur: &TracedFrame,
+    alpha: Option<(&TracedPlane, Bbox)>,
+    fwd: Option<&TracedFrame>,
+    bwd: Option<&TracedFrame>,
+    recon: &mut F,
+    scratch: &mut SliceScratch,
+    search: &MotionSearch,
+    mbx_range: Range<usize>,
+    mby: usize,
+    first_mb: usize,
+    mb_counter: &mut usize,
+    four_mv: bool,
+    w: &mut BitWriter,
+    charge: &mut StreamCharge,
+    stats: &mut VopStats,
+) {
     let qp = header.qp;
     let SliceScratch {
         texture,
         fwd_pred,
         bwd_pred,
     } = scratch;
-    // Recycled predictors start from reset — the same state a fresh
-    // `MvPredictor::new` carries, as pinned by the parallel tests.
-    fwd_pred.reset();
-    bwd_pred.reset();
-    let mut mb_counter = first_mb;
-
-    for mby in rows {
+    {
         fwd_pred.start_row();
         bwd_pred.start_row();
         let mut ips = IntraPredState::reset();
         for mbx in mbx_range.clone() {
             if let Some(interval) = header.resync_interval {
-                if mb_counter > first_mb && mb_counter.is_multiple_of(interval) {
+                if *mb_counter > first_mb && mb_counter.is_multiple_of(interval) {
                     // Resynchronization point: byte-aligned marker, the
                     // macroblock index, the quantizer, and a full
                     // prediction reset (no prediction crosses a marker).
                     let before = w.bit_len();
                     w.stuff_to_alignment();
                     w.put_bits(u32::from(RESYNC_MARKER), 16);
-                    put_ue(w, mb_counter as u32);
+                    put_ue(w, *mb_counter as u32);
                     w.put_bits(u32::from(qp), 5);
                     m4ps_obs::counter_add(
                         MetricId::ResyncMarkerBytes,
@@ -1093,7 +1594,7 @@ fn encode_slice<M: MemModel, F: FrameSink>(
                     ips = IntraPredState::reset();
                 }
             }
-            mb_counter += 1;
+            *mb_counter += 1;
             let transparent = match alpha {
                 Some((a, _)) => span!(
                     mem,

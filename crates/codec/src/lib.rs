@@ -74,7 +74,9 @@ mod vlc;
 pub use arith::{ArithDecoder, ArithEncoder, ContextModel};
 pub use config::{EncoderConfig, GopStructure, SearchStrategy};
 pub use decoder::{DecodedVop, VideoObjectDecoder};
-pub use encoder::{EncodedVop, FrameView, ReconPlanes, VideoObjectCoder, VopStats};
+pub use encoder::{
+    EncodedVop, FrameView, ReconPlanes, Scheduling, VideoObjectCoder, VopStats, SCHED_ENV,
+};
 pub use error::CodecError;
 pub use header::{VolHeader, VopHeader};
 pub use mc::motion_compensate_block;

@@ -181,6 +181,28 @@ impl SceneEncoder {
         }
     }
 
+    /// Shares one persistent worker pool across every layer coder, so
+    /// a study spawns workers once instead of once per coder.
+    pub fn set_pool(&mut self, pool: std::sync::Arc<m4ps_pool::WorkerPool>) {
+        for stack in &mut self.vos {
+            stack.base.set_pool(pool.clone());
+            if let Some(enh) = stack.enh.as_mut() {
+                enh.set_pool(pool.clone());
+            }
+        }
+    }
+
+    /// Selects the scheduling mode on every layer coder (see
+    /// [`crate::Scheduling`] — output is bit-identical across modes).
+    pub fn set_scheduling(&mut self, sched: crate::Scheduling) {
+        for stack in &mut self.vos {
+            stack.base.set_scheduling(sched);
+            if let Some(enh) = stack.enh.as_mut() {
+                enh.set_scheduling(sched);
+            }
+        }
+    }
+
     /// Session statistics so far.
     pub fn stats(&self) -> SessionStats {
         self.stats

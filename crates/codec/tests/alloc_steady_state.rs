@@ -6,12 +6,18 @@
 //! macroblocks per frame, so asserting fewer allocations than
 //! macroblocks per steady-state frame proves the hot loop is clean
 //! while leaving room for the legitimate per-frame/per-slice setup
-//! (output `Vec`s, slice bitstream buffers, returned VOP metadata).
+//! (output `Vec`s, slice bitstream buffers, returned VOP metadata,
+//! and — for the wavefront mode — one boxed task per macroblock row).
+//!
+//! Runs the sweep over both scheduling modes and worker counts on one
+//! persistent pool per configuration: after warmup the pool's deques
+//! and the coder's scratch are at capacity, so the budget also pins
+//! the scheduler's steady state.
 //!
 //! Lives in its own integration-test binary because it installs a
 //! process-wide `#[global_allocator]`.
 
-use m4ps_codec::{EncoderConfig, FrameView, GopStructure, VideoObjectCoder};
+use m4ps_codec::{EncoderConfig, FrameView, GopStructure, Scheduling, VideoObjectCoder};
 use m4ps_memsim::{AddressSpace, NullModel};
 use m4ps_testkit::alloc::CountingAlloc;
 use m4ps_vidgen::{Resolution, Scene, SceneSpec};
@@ -23,8 +29,7 @@ const MBS_PER_FRAME: u64 = 99; // QCIF: 11 × 9 macroblocks
 const WARMUP_FRAMES: usize = 4;
 const MEASURED_FRAMES: usize = 8;
 
-#[test]
-fn steady_state_slice_encode_does_not_allocate_per_macroblock() {
+fn steady_state_allocs_per_frame(sched: Scheduling, threads: usize) -> u64 {
     let scene = Scene::new(SceneSpec {
         resolution: Resolution::QCIF,
         objects: 0,
@@ -48,7 +53,8 @@ fn steady_state_slice_encode_does_not_allocate_per_macroblock() {
     let mut mem = NullModel::new();
     let mut space = AddressSpace::new();
     let mut coder = VideoObjectCoder::new(&mut space, 176, 144, config).unwrap();
-    coder.set_threads(1);
+    coder.set_threads(threads);
+    coder.set_scheduling(sched);
 
     let encode = |coder: &mut VideoObjectCoder, mem: &mut NullModel, f: &m4ps_vidgen::YuvFrame| {
         let view = FrameView {
@@ -68,10 +74,23 @@ fn steady_state_slice_encode_does_not_allocate_per_macroblock() {
     for f in &frames[WARMUP_FRAMES..] {
         encode(&mut coder, &mut mem, f);
     }
-    let per_frame = (ALLOC.allocations() - before) / MEASURED_FRAMES as u64;
-    assert!(
-        per_frame < MBS_PER_FRAME,
-        "steady-state encode allocates {per_frame} times per frame \
-         (>= {MBS_PER_FRAME} macroblocks) — a per-macroblock allocation is back"
-    );
+    (ALLOC.allocations() - before) / MEASURED_FRAMES as u64
+}
+
+#[test]
+fn steady_state_slice_encode_does_not_allocate_per_macroblock() {
+    for (sched, threads) in [
+        (Scheduling::SliceParallel, 1),
+        (Scheduling::SliceParallel, 2),
+        (Scheduling::Wavefront, 1),
+        (Scheduling::Wavefront, 2),
+    ] {
+        let per_frame = steady_state_allocs_per_frame(sched, threads);
+        assert!(
+            per_frame < MBS_PER_FRAME,
+            "steady-state {sched:?} encode at {threads} threads allocates \
+             {per_frame} times per frame (>= {MBS_PER_FRAME} macroblocks) — \
+             a per-macroblock allocation is back"
+        );
+    }
 }

@@ -1,22 +1,26 @@
-//! Slice-parallel encoding invariants: the thread count is a pure
-//! scheduling knob. For a fixed slice count the bitstream must be
-//! byte-identical and the merged memory-model counters identical no
-//! matter how many workers ran the slices — and sliced streams must
-//! still decode drift-free.
+//! Parallel encoding invariants: the thread count AND the scheduling
+//! mode (coarse slice jobs vs wavefront macroblock-row chains) are
+//! pure scheduling knobs. For a fixed slice count the bitstream must
+//! be byte-identical and the merged memory-model counters identical no
+//! matter how many workers ran the slices or how the rows were cut
+//! into tasks — and sliced streams must still decode drift-free.
 
-use m4ps_codec::{EncoderConfig, FrameView, GopStructure, VideoObjectCoder, VideoObjectDecoder};
+use m4ps_codec::{
+    EncoderConfig, FrameView, GopStructure, Scheduling, VideoObjectCoder, VideoObjectDecoder,
+};
 use m4ps_memsim::{AddressSpace, Counters, Hierarchy, MachineSpec, MemModel, NullModel};
 use m4ps_testkit::prop::{self, Config};
 use m4ps_vidgen::{Resolution, Scene, SceneSpec};
 
 const FRAMES: usize = 5;
 
-fn test_config(slices: usize) -> EncoderConfig {
-    // B-frames on so the parallel path covers I, P and B slices.
+fn test_config(slices: usize, b_frames: usize) -> EncoderConfig {
+    // B-frames on so the parallel path covers I, P and B slices (and
+    // the fixed-QP pipelined B-drain when `b_frames > 0`).
     EncoderConfig {
         gop: GopStructure {
             intra_period: 4,
-            b_frames: 1,
+            b_frames,
         },
         ..EncoderConfig::fast_test()
     }
@@ -31,15 +35,27 @@ fn encode_stream<M: m4ps_memsim::ParallelModel>(
     threads: usize,
     keep_recon: bool,
 ) -> (Vec<u8>, Vec<Vec<u8>>) {
-    encode_scene(mem, 7, slices, threads, keep_recon)
+    encode_scene(
+        mem,
+        7,
+        slices,
+        1,
+        threads,
+        Scheduling::Wavefront,
+        keep_recon,
+    )
 }
 
-/// Like [`encode_stream`] but over an arbitrary scene seed.
+/// Like [`encode_stream`] but over an arbitrary scene seed, B-queue
+/// depth and scheduling mode.
+#[allow(clippy::too_many_arguments)]
 fn encode_scene<M: m4ps_memsim::ParallelModel>(
     mem: &mut M,
     scene_seed: u64,
     slices: usize,
+    b_frames: usize,
     threads: usize,
+    sched: Scheduling,
     keep_recon: bool,
 ) -> (Vec<u8>, Vec<Vec<u8>>) {
     let scene = Scene::new(SceneSpec {
@@ -48,8 +64,10 @@ fn encode_scene<M: m4ps_memsim::ParallelModel>(
         seed: scene_seed,
     });
     let mut space = AddressSpace::new();
-    let mut coder = VideoObjectCoder::new(&mut space, 176, 144, test_config(slices)).unwrap();
+    let mut coder =
+        VideoObjectCoder::new(&mut space, 176, 144, test_config(slices, b_frames)).unwrap();
     coder.set_threads(threads);
+    coder.set_scheduling(sched);
     coder.set_keep_recon(keep_recon);
     let mut stream = coder.header_bytes();
     let mut recons = Vec::new();
@@ -88,6 +106,24 @@ fn bitstream_is_identical_for_any_thread_count() {
             stream, reference,
             "{threads}-thread stream differs from the single-threaded one"
         );
+    }
+}
+
+#[test]
+fn bitstream_is_identical_across_scheduling_modes() {
+    // Wavefront cuts each slice into one task per macroblock row;
+    // slice-parallel runs it as one coarse job. Same bytes either way,
+    // at any worker count.
+    let mut mem = NullModel::new();
+    let (reference, _) = encode_scene(&mut mem, 7, 4, 1, 1, Scheduling::SliceParallel, false);
+    for threads in [1, 3, 4] {
+        for sched in [Scheduling::SliceParallel, Scheduling::Wavefront] {
+            let (stream, _) = encode_scene(&mut mem, 7, 4, 1, threads, sched, false);
+            assert_eq!(
+                stream, reference,
+                "{sched:?} at {threads} threads differs from sequential slice-parallel"
+            );
+        }
     }
 }
 
@@ -139,13 +175,15 @@ fn slice_count_is_a_bitstream_parameter() {
 }
 
 #[test]
-fn random_scenes_encode_identically_for_any_thread_count() {
-    // Property: for ANY scene, slice count and thread count, the
-    // parallel encode produces exactly the bitstream and merged
-    // counters of the sequential (threads = 1) encode at the SAME
-    // slice count. Randomizing all three inputs covers uneven slice
-    // partitions and more-threads-than-slices schedules the pinned
-    // tests above don't reach.
+fn random_scenes_encode_identically_for_any_schedule() {
+    // Property: for ANY scene, slice count, B-queue depth, thread
+    // count and scheduling mode, the parallel encode produces exactly
+    // the bitstream and merged counters of the sequential (threads =
+    // 1, coarse slice jobs) encode at the SAME slice count and GOP.
+    // Randomizing all of them covers uneven slice partitions,
+    // more-threads-than-slices schedules, the pipelined fixed-QP
+    // B-drain and the wavefront row chains the pinned tests above
+    // don't reach.
     prop::check(
         "parallel_encode_determinism",
         &Config::with_cases(5),
@@ -153,26 +191,33 @@ fn random_scenes_encode_identically_for_any_thread_count() {
             (
                 rng.gen_range(0u64..1 << 32),
                 rng.gen_range(1..=10usize),
+                rng.gen_range(0..=2usize),
                 rng.gen_range(2..=8usize),
             )
         },
-        |&(scene_seed, slices, threads)| {
-            let run = |threads: usize| {
+        |&(scene_seed, slices, b_frames, threads)| {
+            let run = |threads: usize, sched: Scheduling| {
                 let mut mem = Hierarchy::new(MachineSpec::o2());
-                let (stream, _) = encode_scene(&mut mem, scene_seed, slices, threads, false);
+                let (stream, _) = encode_scene(
+                    &mut mem, scene_seed, slices, b_frames, threads, sched, false,
+                );
                 (stream, *mem.counters())
             };
-            let (seq_stream, seq_counters) = run(1);
-            let (par_stream, par_counters) = run(threads);
-            if par_stream != seq_stream {
-                return Err(format!(
-                    "bitstream differs: {slices} slices, {threads} threads"
-                ));
-            }
-            if par_counters != seq_counters {
-                return Err(format!(
-                    "merged counters differ: {slices} slices, {threads} threads"
-                ));
+            let (seq_stream, seq_counters) = run(1, Scheduling::SliceParallel);
+            for sched in [Scheduling::SliceParallel, Scheduling::Wavefront] {
+                let (par_stream, par_counters) = run(threads, sched);
+                if par_stream != seq_stream {
+                    return Err(format!(
+                        "bitstream differs: {slices} slices, {b_frames} B, \
+                         {threads} threads, {sched:?}"
+                    ));
+                }
+                if par_counters != seq_counters {
+                    return Err(format!(
+                        "merged counters differ: {slices} slices, {b_frames} B, \
+                         {threads} threads, {sched:?}"
+                    ));
+                }
             }
             Ok(())
         },

@@ -1,8 +1,14 @@
-//! Error-resilience tests: resynchronization markers and concealment.
+//! Error-resilience tests: resynchronization markers, concealment,
+//! and a PRNG-driven robustness corpus (truncations and bit flips)
+//! that pins the decoder's contract on damaged input — an error or a
+//! degraded picture, never a panic.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use m4ps_bitstream::BitReader;
 use m4ps_codec::{EncoderConfig, FrameView, VideoObjectCoder, VideoObjectDecoder};
 use m4ps_memsim::{AddressSpace, NullModel};
+use m4ps_testkit::Rng;
 use m4ps_vidgen::{Resolution, Scene, SceneSpec, YuvFrame};
 
 fn view(f: &YuvFrame) -> FrameView<'_> {
@@ -194,4 +200,95 @@ fn later_segments_recover_quality_after_concealment() {
         "recovery failed: only {same} of {} pixels match",
         last_clean.y.len()
     );
+}
+
+/// Decodes an arbitrary byte buffer to exhaustion, swallowing codec
+/// errors. Returns the number of VOPs that survived; panics (which the
+/// corpus tests catch and report with their seed) are the only failure.
+fn decode_arbitrary(stream: &[u8]) -> usize {
+    let mut mem = NullModel::new();
+    let mut space = AddressSpace::new();
+    let mut r = BitReader::new(stream);
+    let Ok(mut dec) = VideoObjectDecoder::from_stream(&mut space, &mut mem, &mut r) else {
+        return 0;
+    };
+    let mut n = 0;
+    while let Ok(Some(_)) = dec.decode_next(&mut mem, &mut r) {
+        n += 1;
+    }
+    n
+}
+
+#[test]
+fn truncated_streams_error_but_never_panic() {
+    // Cutting a valid stream at ANY byte (including mid-header and
+    // mid-VOP) must produce an error or a short decode — never a panic.
+    for config in [EncoderConfig::fast_test(), resync_config()] {
+        let (stream, encoded, _) = encode_clip(config, 4);
+        let mut rng = Rng::new(0xc0ffee);
+        let mut cuts: Vec<usize> = (0..48).map(|_| rng.gen_range(0..stream.len())).collect();
+        // Always include the hand-picked nasty spots.
+        cuts.extend([0, 1, stream.len() - 1]);
+        for cut in cuts {
+            let clipped = &stream[..cut];
+            let got = catch_unwind(AssertUnwindSafe(|| decode_arbitrary(clipped)));
+            match got {
+                Ok(n) => assert!(
+                    n <= encoded.len(),
+                    "truncation at {cut} invented VOPs ({n} > {})",
+                    encoded.len()
+                ),
+                Err(_) => panic!("decoder panicked on stream truncated at byte {cut}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn bit_flipped_streams_error_but_never_panic() {
+    // Random single- and multi-bit damage anywhere in the stream
+    // (headers included). The decoder may reject the stream, conceal,
+    // or emit garbage pixels — but must stay inside safe Rust and
+    // return.
+    for config in [EncoderConfig::fast_test(), resync_config()] {
+        let (stream, _, _) = encode_clip(config, 4);
+        let mut rng = Rng::new(0xbad_b175);
+        for case in 0..60u32 {
+            let mut damaged = stream.clone();
+            let flips = rng.gen_range(1usize..=4);
+            let mut spots = Vec::new();
+            for _ in 0..flips {
+                let byte = rng.gen_range(0..damaged.len());
+                let bit = rng.gen_range(0u32..8);
+                damaged[byte] ^= 1 << bit;
+                spots.push((byte, bit));
+            }
+            let got = catch_unwind(AssertUnwindSafe(|| decode_arbitrary(&damaged)));
+            assert!(
+                got.is_ok(),
+                "decoder panicked on corpus case {case} (flips at {spots:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_garbage_never_panics_the_decoder() {
+    // Pure noise and noise prefixed with a valid VOL header: the
+    // decoder must treat both as hostile input, not trusted state.
+    let (stream, _, _) = encode_clip(EncoderConfig::fast_test(), 2);
+    let header_len = stream.len().min(16);
+    let mut rng = Rng::new(0x9a5ba9e);
+    for case in 0..40u32 {
+        let len = rng.gen_range(0usize..512);
+        let mut buf: Vec<u8> = (0..len).map(|_| rng.gen_range(0u32..256) as u8).collect();
+        if case % 2 == 0 {
+            // Valid header, garbage payload.
+            let mut with_header = stream[..header_len].to_vec();
+            with_header.append(&mut buf);
+            buf = with_header;
+        }
+        let got = catch_unwind(AssertUnwindSafe(|| decode_arbitrary(&buf)));
+        assert!(got.is_ok(), "decoder panicked on garbage case {case}");
+    }
 }

@@ -175,9 +175,17 @@ fn drive_encode<M: ParallelModel>(
         workload.layers,
         config.encoder,
     )?;
-    if config.threads > 0 {
-        enc.set_threads(config.threads);
-    }
+    // One persistent work-stealing pool per study: workers spawn once
+    // and park between VOPs, and every layer coder schedules onto the
+    // same deques. `threads == 0` resolves from `M4PS_THREADS` /
+    // available parallelism (a pure scheduling knob — output is
+    // bit-identical for every value).
+    let pool = std::sync::Arc::new(if config.threads > 0 {
+        m4ps_pool::WorkerPool::new(config.threads)
+    } else {
+        m4ps_pool::WorkerPool::from_env()
+    });
+    enc.set_pool(pool);
     attach(space, mem);
     let mut mask_storage: Vec<Vec<u8>> = Vec::new();
     for t in 0..workload.frames {

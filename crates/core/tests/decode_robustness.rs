@@ -1,0 +1,66 @@
+//! Study-level decoder robustness: damaged elementary streams driven
+//! through the full [`decode_study`] pipeline (scene decoder, memory
+//! hierarchy, profiler attach) must surface as `Err` or a degraded
+//! run — never as a panic that tears down the whole study.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use m4ps_core::memsim::MachineSpec;
+use m4ps_core::vidgen::Resolution;
+use m4ps_core::{decode_study, prepare_streams, StudyConfig, Workload};
+use m4ps_testkit::Rng;
+
+fn workload() -> Workload {
+    Workload {
+        resolution: Resolution::QCIF,
+        frames: 3,
+        objects: 0,
+        layers: 1,
+        seed: 7,
+    }
+}
+
+#[test]
+fn truncated_streams_fail_the_study_cleanly() {
+    let w = workload();
+    let streams = prepare_streams(&w, &StudyConfig::fast()).unwrap();
+    let mut rng = Rng::new(0x7241c);
+    let mut cuts: Vec<usize> = (0..12)
+        .map(|_| rng.gen_range(0..streams[0].len()))
+        .collect();
+    cuts.extend([0, 1]);
+    for cut in cuts {
+        let damaged: Vec<Vec<u8>> = streams
+            .iter()
+            .map(|s| s[..cut.min(s.len())].to_vec())
+            .collect();
+        let got = catch_unwind(AssertUnwindSafe(|| {
+            decode_study(&MachineSpec::o2(), &w, &damaged).map(|_| ())
+        }));
+        assert!(
+            got.is_ok(),
+            "decode_study panicked on streams truncated at byte {cut}"
+        );
+    }
+}
+
+#[test]
+fn bit_flipped_streams_fail_the_study_cleanly() {
+    let w = workload();
+    let streams = prepare_streams(&w, &StudyConfig::fast()).unwrap();
+    let mut rng = Rng::new(0xf11b);
+    for case in 0..20u32 {
+        let mut damaged = streams.clone();
+        let s = rng.gen_range(0..damaged.len());
+        let byte = rng.gen_range(0..damaged[s].len());
+        let bit = rng.gen_range(0u32..8);
+        damaged[s][byte] ^= 1 << bit;
+        let got = catch_unwind(AssertUnwindSafe(|| {
+            decode_study(&MachineSpec::o2(), &w, &damaged).map(|_| ())
+        }));
+        assert!(
+            got.is_ok(),
+            "decode_study panicked on corpus case {case} (stream {s}, byte {byte}, bit {bit})"
+        );
+    }
+}

@@ -25,6 +25,9 @@ pub enum MetricId {
     SliceQueueWaitNs,
     /// Gauge: worker threads the pool last scheduled onto.
     PoolWorkers,
+    /// Counter: tasks taken from another worker's deque (or the
+    /// injector by a thief) in the work-stealing pool.
+    PoolSteals,
 }
 
 /// The shape of a metric.
@@ -46,6 +49,7 @@ impl MetricId {
             MetricId::ResyncMarkerBytes => "resync_marker_bytes",
             MetricId::SliceQueueWaitNs => "slice_queue_wait_ns",
             MetricId::PoolWorkers => "pool_workers",
+            MetricId::PoolSteals => "pool_steals",
         }
     }
 
@@ -53,7 +57,7 @@ impl MetricId {
     pub fn kind(self) -> MetricKind {
         match self {
             MetricId::MeSadPerSearch | MetricId::SliceQueueWaitNs => MetricKind::Histogram,
-            MetricId::ResyncMarkerBytes => MetricKind::Counter,
+            MetricId::ResyncMarkerBytes | MetricId::PoolSteals => MetricKind::Counter,
             MetricId::PoolWorkers => MetricKind::Gauge,
         }
     }
@@ -113,6 +117,7 @@ pub(crate) struct Registry {
     resync_marker_bytes: AtomicU64,
     slice_queue_wait_ns: Histogram,
     pool_workers: AtomicU64,
+    pool_steals: AtomicU64,
 }
 
 impl Registry {
@@ -122,13 +127,20 @@ impl Registry {
             resync_marker_bytes: AtomicU64::new(0),
             slice_queue_wait_ns: Histogram::new(),
             pool_workers: AtomicU64::new(0),
+            pool_steals: AtomicU64::new(0),
         }
     }
 
     pub(crate) fn counter_add(&self, id: MetricId, v: u64) {
         debug_assert_eq!(id.kind(), MetricKind::Counter, "{id:?} is not a counter");
-        if let MetricId::ResyncMarkerBytes = id {
-            self.resync_marker_bytes.fetch_add(v, Ordering::Relaxed);
+        match id {
+            MetricId::ResyncMarkerBytes => {
+                self.resync_marker_bytes.fetch_add(v, Ordering::Relaxed);
+            }
+            MetricId::PoolSteals => {
+                self.pool_steals.fetch_add(v, Ordering::Relaxed);
+            }
+            _ => {}
         }
     }
 
@@ -181,6 +193,11 @@ impl Registry {
                 MetricId::PoolWorkers,
                 "gauge",
                 self.pool_workers.load(Ordering::Relaxed),
+            ),
+            scalar(
+                MetricId::PoolSteals,
+                "counter",
+                self.pool_steals.load(Ordering::Relaxed),
             ),
         ];
         let mut out = String::new();
@@ -278,7 +295,8 @@ mod tests {
                 "me_sad_per_search",
                 "resync_marker_bytes",
                 "slice_queue_wait_ns",
-                "pool_workers"
+                "pool_workers",
+                "pool_steals"
             ]
         );
         // Spot-check values survive the round trip.

@@ -23,6 +23,10 @@
 use std::sync::mpsc;
 use std::sync::Mutex;
 
+pub mod steal;
+
+pub use steal::{Scope, WorkerPool};
+
 /// Environment variable overriding the worker-thread count used by
 /// [`ThreadPool::from_env`]. Invalid or zero values fall back to the
 /// machine's available parallelism.

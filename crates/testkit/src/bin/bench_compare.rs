@@ -19,7 +19,7 @@
 //! threads=4 speedup over threads=1 must clear `--min-scaling`. The
 //! default floor adapts to the machine running the gate (a single-core
 //! CI runner cannot show parallel speedup, only bounded overhead):
-//! ≥4 cores → 1.25×, 2–3 cores → 1.0×, 1 core → 0.8×. `--scaling` runs
+//! ≥4 cores → 2.0×, 2–3 cores → 1.0×, 1 core → 0.8×. `--scaling` runs
 //! the scaling report alone against one file, no baseline needed.
 //!
 //! When the fresh file contains the `parallel/encode_frame/obs={off,on}`
@@ -40,7 +40,12 @@ const SCALING_SERIES: &str = "parallel/encode_frame/threads=";
 const OBS_SERIES: &str = "parallel/encode_frame/obs=";
 
 /// Ceiling for the installed-profiler overhead (obs=on vs obs=off).
-const DEFAULT_MAX_OBS_OVERHEAD_PCT: f64 = 5.0;
+/// The wavefront scheduler attaches the session and records a
+/// queue-wait sample per macroblock-row task (not per coarse slice
+/// job), so the instrumented encode legitimately pays a little more
+/// than the old 5% budget; 8% still catches an accidentally hot
+/// span while clearing single-digit task-grain costs.
+const DEFAULT_MAX_OBS_OVERHEAD_PCT: f64 = 8.0;
 
 /// `(name, median_ns)` for every entry in a bench report.
 fn load_medians(path: &str) -> Result<Vec<(String, f64)>, String> {
@@ -71,10 +76,13 @@ fn load_medians(path: &str) -> Result<Vec<(String, f64)>, String> {
 
 /// Machine-aware default for the threads=4 speedup floor. Parallel
 /// speedup needs cores; on starved runners the gate only bounds the
-/// overhead of scheduling slices onto a pool.
+/// overhead of scheduling slices onto a pool. With the persistent
+/// work-stealing pool and wavefront row chains, a genuinely 4-wide
+/// machine must clear 2x — anything less means the pool is parking
+/// workers or the row grain reintroduced a serial section.
 fn default_min_scaling() -> f64 {
     match std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) {
-        n if n >= 4 => 1.25,
+        n if n >= 4 => 2.0,
         n if n >= 2 => 1.0,
         _ => 0.8,
     }

@@ -12,8 +12,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== thread-scaling bench (parallel/encode_frame) =="
+# threads=N series only: the obs=on/off overhead pair is gated by
+# verify.sh's baseline comparison, and the 1-iteration smoke medians
+# are too noisy to gate it twice.
 cargo bench --offline -p m4ps-bench --bench kernels -- \
-    --smoke --json "$PWD/BENCH_scaling.json" parallel/encode_frame
+    --smoke --json "$PWD/BENCH_scaling.json" parallel/encode_frame/threads
 
 scaling_args=(--scaling BENCH_scaling.json)
 if [[ -n "${M4PS_MIN_SCALING:-}" ]]; then

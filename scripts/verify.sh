@@ -7,7 +7,8 @@
 # bench_compare gates it against the committed baseline (the pre-run
 # copy of that same file): any median more than 25% above baseline
 # fails, and the parallel/encode_frame thread-scaling speedup must
-# clear bench_compare's machine-aware floor. Set
+# clear bench_compare's machine-aware floor (>=2x at threads=4 on a
+# >=4-core machine; starved runners only bound pool overhead). Set
 # M4PS_BENCH_SKIP_COMPARE=1 to regenerate the baseline on a machine
 # where the committed numbers don't apply.
 
