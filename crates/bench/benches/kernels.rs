@@ -12,7 +12,7 @@ use m4ps_codec::{
 };
 use m4ps_dsp::{
     forward_dct, forward_dct_int, inverse_dct, inverse_dct_int, quantize_intra, sad_16x16,
-    sad_16x16_with_cutoff, scan_zigzag, Block,
+    sad_16x16_with_cutoff, scan_zigzag, Block, HalfPel, Kernels,
 };
 use m4ps_memsim::{AccessKind, AddressSpace, Hierarchy, MachineSpec, MemModel, SimBuf};
 use m4ps_testkit::bench::{black_box, BenchRunner};
@@ -44,6 +44,93 @@ fn bench_sad(r: &mut BenchRunner) {
     r.bench_bytes("sad/16x16_cutoff", 512, || {
         sad_16x16_with_cutoff(black_box(&a), 64, 8, 8, black_box(&b), 64, 9, 8, 500)
     });
+}
+
+fn bench_simd_tiers(r: &mut BenchRunner) {
+    // Every dispatched kernel, once per tier the CPU supports, so the
+    // report tracks the scalar/SSE2/AVX2 cycle ratios the paper's
+    // "non-SIMD is enough" argument turns on. The entries are
+    // bit-identical in output (pinned by the differential suites);
+    // only the ns/iter differ.
+    let cur: Vec<u8> = (0..64 * 64).map(|i| (i % 251) as u8).collect();
+    let reference: Vec<u8> = (0..64 * 64).map(|i| ((i * 7) % 253) as u8).collect();
+    let mut b = Block::default();
+    for (i, v) in b.data.iter_mut().enumerate() {
+        *v = ((i * 37) % 256) as i16;
+    }
+    let coefs = forward_dct(&b);
+    let levels = quantize_intra(&coefs, 8);
+    for tier in m4ps_dsp::supported_tiers() {
+        let k = Kernels::for_tier(tier).expect("supported tier has a table");
+        let t = tier.name();
+        r.bench_bytes(&format!("simd/sad_16x16/tier={t}"), 512, || {
+            (k.sad16)(black_box(&cur), 64, 8, 8, black_box(&reference), 64, 9, 8)
+        });
+        r.bench_bytes(&format!("simd/sad_8x8/tier={t}"), 128, || {
+            (k.sad8)(black_box(&cur), 64, 8, 8, black_box(&reference), 64, 9, 8)
+        });
+        r.bench_bytes(&format!("simd/sad_16x16_half_diag/tier={t}"), 512, || {
+            (k.sad16_half_pel)(
+                black_box(&cur),
+                64,
+                8,
+                8,
+                black_box(&reference),
+                64,
+                9,
+                8,
+                true,
+                true,
+                u32::MAX,
+            )
+        });
+        {
+            let mut out = vec![0u8; 256];
+            r.bench_bytes(&format!("simd/interp_diag_16x16/tier={t}"), 256, || {
+                (k.interp)(
+                    black_box(&reference),
+                    64,
+                    8,
+                    8,
+                    HalfPel::Diagonal,
+                    16,
+                    16,
+                    &mut out,
+                );
+                out[0]
+            });
+        }
+        {
+            let mut out = vec![0u8; 256];
+            r.bench_bytes(&format!("simd/avg_256/tier={t}"), 512, || {
+                (k.avg)(
+                    black_box(&cur[..256]),
+                    black_box(&reference[..256]),
+                    &mut out,
+                );
+                out[0]
+            });
+        }
+        {
+            let mut out = vec![0u8; 256];
+            r.bench_bytes(&format!("simd/copy_16x16/tier={t}"), 256, || {
+                (k.copy_block)(black_box(&reference), 64, 8, 8, 16, 16, &mut out);
+                out[0]
+            });
+        }
+        r.bench(&format!("simd/quant_intra/tier={t}"), || {
+            (k.quant_intra)(black_box(&coefs), 8)
+        });
+        r.bench(&format!("simd/quant_inter/tier={t}"), || {
+            (k.quant_inter)(black_box(&coefs), 8)
+        });
+        r.bench(&format!("simd/dequant_intra/tier={t}"), || {
+            (k.dequant_intra)(black_box(&levels), 8)
+        });
+        r.bench(&format!("simd/dequant_inter/tier={t}"), || {
+            (k.dequant_inter)(black_box(&levels), 8)
+        });
+    }
 }
 
 fn bench_bitstream(r: &mut BenchRunner) {
@@ -305,8 +392,13 @@ fn bench_obs_overhead(r: &mut BenchRunner) {
 
 fn main() {
     let mut r = BenchRunner::from_args("kernels");
+    // Stamp the report with the tier the dispatched entries (and the
+    // codec-level benches below) actually ran, so bench_compare can
+    // refuse to diff reports from different tiers.
+    r.set_meta("kernel_tier", m4ps_dsp::active_tier().name());
     bench_dct(&mut r);
     bench_sad(&mut r);
+    bench_simd_tiers(&mut r);
     bench_bitstream(&mut r);
     bench_arith(&mut r);
     bench_memsim(&mut r);

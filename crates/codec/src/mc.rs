@@ -1,7 +1,7 @@
 //! Motion compensation: forming the prediction block from a reference
 //! plane at half-pel precision.
 
-use crate::plane::TracedPlane;
+use crate::plane::{TracedPlane, PAD};
 use crate::types::MotionVector;
 use m4ps_dsp::{HalfPel, INTERP_OPS_PER_PIXEL};
 use m4ps_memsim::MemModel;
@@ -41,59 +41,24 @@ pub fn motion_compensate_block<M: MemModel>(
     mem.prefetch_pair(reference.addr_of(sx, sy));
 
     // Charge the source window as one rectangular traced read (same
-    // counters as per-row loads), then gather it untraced. Blocks are
-    // at most 16×16, so the (half-pel-extended) window fits on the
-    // stack — this runs per block and must not touch the heap.
+    // counters as per-row loads); the dispatched kernel then reads the
+    // same `cols × rows` window straight off the untraced raw surface
+    // (compute-then-charge), so the charge stream is identical on every
+    // tier.
     debug_assert!(cols <= 17 && rows <= 17);
     reference.touch_rect_read(mem, sx, sy, cols, rows);
     mem.add_ops((w * h) as u64 * INTERP_OPS_PER_PIXEL);
 
-    // Full-pel prediction needs no interpolation neighbours: copy the
-    // source rows straight into `out` rather than staging the window
-    // (the charges above already cover the same reads).
+    let (rdata, rstride) = reference.raw_surface();
+    let p = PAD as isize;
+    let (rx, ry) = ((sx + p) as usize, (sy + p) as usize);
+    let k = m4ps_dsp::kernels();
     if phase == HalfPel::Full {
-        for r in 0..h {
-            out[r * w..][..w].copy_from_slice(reference.raw_row(sx, sy + r as isize, w));
-        }
-        return;
-    }
-    let mut window = [0u8; 17 * 17];
-    for r in 0..rows {
-        let src = reference.raw_row(sx, sy + r as isize, cols);
-        window[r * cols..][..cols].copy_from_slice(src);
-    }
-
-    match phase {
-        HalfPel::Full => unreachable!("handled by the direct-copy path"),
-        HalfPel::Horizontal => {
-            for r in 0..h {
-                for c in 0..w {
-                    let a = u16::from(window[r * cols + c]);
-                    let b = u16::from(window[r * cols + c + 1]);
-                    out[r * w + c] = ((a + b + 1) >> 1) as u8;
-                }
-            }
-        }
-        HalfPel::Vertical => {
-            for r in 0..h {
-                for c in 0..w {
-                    let a = u16::from(window[r * cols + c]);
-                    let b = u16::from(window[(r + 1) * cols + c]);
-                    out[r * w + c] = ((a + b + 1) >> 1) as u8;
-                }
-            }
-        }
-        HalfPel::Diagonal => {
-            for r in 0..h {
-                for c in 0..w {
-                    let s = u16::from(window[r * cols + c])
-                        + u16::from(window[r * cols + c + 1])
-                        + u16::from(window[(r + 1) * cols + c])
-                        + u16::from(window[(r + 1) * cols + c + 1]);
-                    out[r * w + c] = ((s + 2) >> 2) as u8;
-                }
-            }
-        }
+        // Full-pel prediction needs no interpolation neighbours: a
+        // straight window copy.
+        (k.copy_block)(rdata, rstride, rx, ry, w, h, out);
+    } else {
+        (k.interp)(rdata, rstride, rx, ry, phase, w, h, out);
     }
 }
 
@@ -102,9 +67,7 @@ pub fn motion_compensate_block<M: MemModel>(
 pub fn average_predictions(fwd: &[u8], bwd: &[u8], out: &mut [u8]) {
     assert_eq!(fwd.len(), bwd.len());
     assert!(out.len() >= fwd.len());
-    for i in 0..fwd.len() {
-        out[i] = ((u16::from(fwd[i]) + u16::from(bwd[i]) + 1) >> 1) as u8;
-    }
+    (m4ps_dsp::kernels().avg)(fwd, bwd, &mut out[..fwd.len()]);
 }
 
 #[cfg(test)]

@@ -84,13 +84,13 @@ impl MotionSearch {
         let p = PAD as isize;
         let (cx, cy) = ((bx + p) as usize, (by + p) as usize);
         let (rx, ry) = ((bx + dx + p) as usize, (by + dy + p) as usize);
+        // Every tier's cutoff kernel checks the cutoff after each row,
+        // so `rows` — and therefore the charge replay below — is
+        // identical whichever tier is dispatched.
+        let k = m4ps_dsp::kernels();
         let (acc, rows) = match size {
-            16 => m4ps_dsp::sad_16x16_with_cutoff(
-                cdata, cstride, cx, cy, rdata, rstride, rx, ry, cutoff,
-            ),
-            8 => m4ps_dsp::sad_8x8_with_cutoff(
-                cdata, cstride, cx, cy, rdata, rstride, rx, ry, cutoff,
-            ),
+            16 => (k.sad16_cutoff)(cdata, cstride, cx, cy, rdata, rstride, rx, ry, cutoff),
+            8 => (k.sad8_cutoff)(cdata, cstride, cx, cy, rdata, rstride, rx, ry, cutoff),
             _ => unreachable!("unsupported block size {size}"),
         };
         for row in 0..rows as isize {
@@ -140,11 +140,12 @@ impl MotionSearch {
         let p = PAD as isize;
         let (cx, cy) = ((bx + p) as usize, (by + p) as usize);
         let (rx, ry) = ((sx + p) as usize, (sy + p) as usize);
+        let k = m4ps_dsp::kernels();
         let (acc, rows) = match size {
-            16 => m4ps_dsp::sad_half_pel_with_cutoff::<16>(
+            16 => (k.sad16_half_pel)(
                 cdata, cstride, cx, cy, rdata, rstride, rx, ry, frac_x, frac_y, cutoff,
             ),
-            8 => m4ps_dsp::sad_half_pel_with_cutoff::<8>(
+            8 => (k.sad8_half_pel)(
                 cdata, cstride, cx, cy, rdata, rstride, rx, ry, frac_x, frac_y, cutoff,
             ),
             _ => unreachable!("unsupported block size {size}"),

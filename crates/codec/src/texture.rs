@@ -10,8 +10,8 @@ use crate::error::CodecError;
 use crate::vlc::{get_se, get_ue, put_se, put_ue};
 use m4ps_bitstream::{BitReader, BitWriter};
 use m4ps_dsp::{
-    dequantize_inter, dequantize_intra, forward_dct, inter_zero_bound, inverse_dct, quantize_inter,
-    quantize_intra, scan_zigzag, unscan_zigzag, Block, CoefBlock, DCT_OPS, QUANT_OPS,
+    forward_dct, inter_zero_bound, inverse_dct, scan_zigzag, unscan_zigzag, Block, CoefBlock,
+    DCT_OPS, QUANT_OPS,
 };
 use m4ps_memsim::{AddressSpace, MemModel, SimBuf};
 
@@ -147,10 +147,11 @@ impl TextureCoder {
         // Stage 3: quantization.
         self.coef_scratch.touch_read(mem, 0, 64);
         mem.add_ops(QUANT_OPS);
+        let k = m4ps_dsp::kernels();
         let levels = if intra {
-            quantize_intra(&coefs, qp)
+            (k.quant_intra)(&coefs, qp)
         } else {
-            quantize_inter(&coefs, qp)
+            (k.quant_inter)(&coefs, qp)
         };
         self.qcoef_scratch.store_run(mem, 0, &levels.data);
         QuantizedBlock { levels, intra }
@@ -246,10 +247,11 @@ impl TextureCoder {
         // Dequantization.
         self.qcoef_scratch.touch_read(mem, 0, 64);
         mem.add_ops(QUANT_OPS);
+        let k = m4ps_dsp::kernels();
         let coefs = if qb.intra {
-            dequantize_intra(&qb.levels, qp)
+            (k.dequant_intra)(&qb.levels, qp)
         } else {
-            dequantize_inter(&qb.levels, qp)
+            (k.dequant_inter)(&qb.levels, qp)
         };
         self.coef_scratch.store_run(mem, 0, &coefs.data);
         // Inverse DCT.

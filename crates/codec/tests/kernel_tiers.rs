@@ -1,0 +1,137 @@
+//! Cross-tier invariant: the SIMD kernel tier is a pure *speed* knob.
+//! For every tier the CPU supports, the encoded bitstream, the decoded
+//! reconstructions and every field of the merged memsim [`Counters`]
+//! must be bit-identical to the scalar tier, across slice counts,
+//! thread counts and both scheduling modes.
+//!
+//! One `#[test]` drives the whole sweep: [`m4ps_dsp::force_tier`] swaps
+//! process-global state, so concurrent tests inside this binary would
+//! race. CI additionally re-runs the full codec suite with each tier
+//! forced via `M4PS_KERNELS` (the subprocess path).
+
+use m4ps_codec::{EncoderConfig, FrameView, GopStructure, Scheduling, VideoObjectCoder};
+use m4ps_dsp::{force_tier, supported_tiers, KernelTier};
+use m4ps_memsim::{AddressSpace, Counters, Hierarchy, MachineSpec, MemModel};
+use m4ps_vidgen::{Resolution, Scene, SceneSpec};
+
+const FRAMES: usize = 4;
+
+fn encode(slices: usize, threads: usize, sched: Scheduling) -> (Vec<u8>, Vec<Vec<u8>>, Counters) {
+    let scene = Scene::new(SceneSpec {
+        resolution: Resolution::QCIF,
+        objects: 0,
+        seed: 11,
+    });
+    let config = EncoderConfig {
+        gop: GopStructure {
+            intra_period: 3,
+            b_frames: 1,
+        },
+        ..EncoderConfig::fast_test()
+    }
+    .with_slices(slices);
+    let mut mem = Hierarchy::new(MachineSpec::o2());
+    let mut space = AddressSpace::new();
+    let mut coder = VideoObjectCoder::new(&mut space, 176, 144, config).unwrap();
+    coder.set_threads(threads);
+    coder.set_scheduling(sched);
+    coder.set_keep_recon(true);
+    let mut stream = coder.header_bytes();
+    let mut recons = Vec::new();
+    let mut push = |vops: Vec<m4ps_codec::EncodedVop>, stream: &mut Vec<u8>| {
+        for vop in vops {
+            stream.extend_from_slice(&vop.bytes);
+            if let Some(r) = vop.recon {
+                recons.push(r.y);
+            }
+        }
+    };
+    for t in 0..FRAMES {
+        let f = scene.frame(t);
+        let view = FrameView {
+            width: 176,
+            height: 144,
+            y: &f.y,
+            u: &f.u,
+            v: &f.v,
+        };
+        let vops = coder.encode_frame(&mut mem, &view, None).unwrap();
+        push(vops, &mut stream);
+    }
+    let vops = coder.flush(&mut mem).unwrap();
+    push(vops, &mut stream);
+    (stream, recons, *mem.counters())
+}
+
+fn decode(stream: &[u8]) -> (Vec<Vec<u8>>, Counters) {
+    let mut mem = Hierarchy::new(MachineSpec::o2());
+    let mut space = AddressSpace::new();
+    let mut r = m4ps_bitstream::BitReader::new(stream);
+    let mut dec =
+        m4ps_codec::VideoObjectDecoder::from_stream(&mut space, &mut mem, &mut r).unwrap();
+    dec.set_keep_output(true);
+    let mut planes = Vec::new();
+    while let Some(vop) = dec.decode_next(&mut mem, &mut r).unwrap() {
+        planes.push(vop.planes.unwrap().y);
+    }
+    (planes, *mem.counters())
+}
+
+#[test]
+fn every_tier_is_bit_identical_to_scalar() {
+    let original = m4ps_dsp::active_tier();
+    let tiers = supported_tiers();
+
+    // Scalar reference for each (slices, threads, sched) point.
+    force_tier(KernelTier::Scalar);
+    let grid = [
+        (1usize, 1usize, Scheduling::SliceParallel),
+        (4, 1, Scheduling::SliceParallel),
+        (4, 2, Scheduling::SliceParallel),
+        (4, 2, Scheduling::Wavefront),
+        (3, 4, Scheduling::Wavefront),
+    ];
+    let reference: Vec<_> = grid.iter().map(|&(s, t, m)| encode(s, t, m)).collect();
+    assert!(reference[0].2.loads > 0);
+    let (ref_dec, ref_dec_counters) = decode(&reference[1].0);
+    assert_eq!(ref_dec, reference[1].1, "scalar decode drifts from encode");
+
+    for &tier in &tiers {
+        force_tier(tier);
+        for (&(slices, threads, sched), want) in grid.iter().zip(&reference) {
+            let (stream, recons, counters) = encode(slices, threads, sched);
+            assert_eq!(
+                stream,
+                want.0,
+                "bitstream differs: tier {} slices {slices} threads {threads} {sched:?}",
+                tier.name()
+            );
+            assert_eq!(
+                recons,
+                want.1,
+                "reconstructions differ: tier {} slices {slices} threads {threads} {sched:?}",
+                tier.name()
+            );
+            assert_eq!(
+                counters,
+                want.2,
+                "memsim counters differ: tier {} slices {slices} threads {threads} {sched:?}",
+                tier.name()
+            );
+        }
+        let (dec_planes, dec_counters) = decode(&reference[1].0);
+        assert_eq!(
+            dec_planes,
+            ref_dec,
+            "decoded planes differ: tier {}",
+            tier.name()
+        );
+        assert_eq!(
+            dec_counters,
+            ref_dec_counters,
+            "decode counters differ: tier {}",
+            tier.name()
+        );
+    }
+    force_tier(original);
+}

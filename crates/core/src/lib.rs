@@ -53,5 +53,6 @@ pub use study::{decode_study, encode_study, prepare_streams, RunResult, StudyCon
 
 // Re-exports so downstream binaries need only this crate.
 pub use m4ps_codec as codec;
+pub use m4ps_dsp as dsp;
 pub use m4ps_memsim as memsim;
 pub use m4ps_vidgen as vidgen;

@@ -230,6 +230,7 @@ pub fn encode_study(
     // Everything the run charges happens inside the root `run` span, so
     // the profile's per-phase sums partition the aggregate counters.
     let guard = profiler.attach();
+    record_kernel_tier(&profiler);
     m4ps_obs::enter(Phase::Run, *mem.counters());
     let result = drive_encode(&mut space, &mut mem, workload, config, |sp, m| {
         m.attach_regions(sp.regions())
@@ -248,6 +249,17 @@ pub fn encode_study(
         region_misses: mem.region_misses(),
         profile: profiler.profile(),
     })
+}
+
+/// Records the resolved SIMD kernel tier on the session: a
+/// `kernel_tier` gauge (numeric tier id) and a `kernels=<tier>` process
+/// label on the trace, so exported artifacts say which dispatch table
+/// produced them. Call with the session attached (the gauge records
+/// through the thread-local session).
+fn record_kernel_tier(profiler: &Profiler) {
+    let tier = m4ps_dsp::active_tier();
+    m4ps_obs::gauge_set(m4ps_obs::MetricId::KernelTier, tier as u64);
+    profiler.set_process_label(&format!("kernels={}", tier.name()));
 }
 
 /// Resolves the effective trace path: explicit config, then the
@@ -300,6 +312,7 @@ pub fn decode_study(
     let trace = trace_path(None);
     let profiler = Profiler::new(trace.is_some());
     let guard = profiler.attach();
+    record_kernel_tier(&profiler);
     m4ps_obs::enter(Phase::Run, *mem.counters());
     let result = (|| -> Result<SceneDecoder, CodecError> {
         let mut dec = SceneDecoder::new(&mut space, &mut mem, streams, workload.layers)?;

@@ -38,6 +38,7 @@ fn traced_encode_emits_valid_chrome_trace() {
 
     let mut spans: Vec<(String, u32, f64, f64)> = Vec::new(); // name, tid, ts, dur
     let mut named_tids = Vec::new();
+    let mut process_labels = 0;
     for ev in events {
         let ph = ev.get("ph").and_then(Json::as_str).expect("ph field");
         match ph {
@@ -50,24 +51,35 @@ fn traced_encode_emits_valid_chrome_trace() {
                 assert_eq!(ev.get("cat").and_then(Json::as_str), Some("m4ps"));
                 spans.push((name, tid, ts, dur));
             }
-            "M" => {
-                assert_eq!(
-                    ev.get("name").and_then(Json::as_str),
-                    Some("thread_name"),
-                    "only thread_name metadata is emitted"
-                );
-                let tid = ev.get("tid").and_then(Json::as_f64).unwrap() as u32;
-                let label = ev
-                    .get("args")
-                    .and_then(|a| a.get("name"))
-                    .and_then(Json::as_str)
-                    .unwrap();
-                assert_eq!(label, format!("m4ps-{tid}"));
-                named_tids.push(tid);
-            }
+            "M" => match ev.get("name").and_then(Json::as_str) {
+                Some("thread_name") => {
+                    let tid = ev.get("tid").and_then(Json::as_f64).unwrap() as u32;
+                    let label = ev
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                        .unwrap();
+                    assert_eq!(label, format!("m4ps-{tid}"));
+                    named_tids.push(tid);
+                }
+                Some("process_labels") => {
+                    let labels = ev
+                        .get("args")
+                        .and_then(|a| a.get("labels"))
+                        .and_then(Json::as_str)
+                        .unwrap();
+                    let tier = m4ps_core::dsp::active_tier();
+                    assert_eq!(labels, format!("kernels={}", tier.name()));
+                    process_labels += 1;
+                }
+                other => panic!("unexpected metadata event {other:?}"),
+            },
             other => panic!("unexpected event phase {other:?}"),
         }
     }
+
+    // The kernel-tier process label is recorded exactly once.
+    assert_eq!(process_labels, 1, "expected one process_labels record");
 
     // Every span's thread has a name record.
     for (name, tid, _, _) in &spans {

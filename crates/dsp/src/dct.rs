@@ -90,11 +90,12 @@ fn tables() -> &'static Tables {
 /// no FP contraction or reassociation, so this holds on every target.
 pub fn forward_dct_f64(input: &[f64; 64]) -> [f64; 64] {
     #[cfg(target_arch = "x86_64")]
-    if std::is_x86_feature_detected!("avx2") {
-        // SAFETY: the feature check guarantees AVX2 is available.
-        // `vmulpd`/`vaddpd` are IEEE-754 exact per lane and the kernel
-        // performs the same operations in the same order, so lane width
-        // does not change any rounding (pinned by the bit-for-bit test).
+    if crate::dispatch::active_tier() == crate::dispatch::KernelTier::Avx2 {
+        // SAFETY: the dispatch tier is only Avx2 after feature
+        // detection succeeded. `vmulpd`/`vaddpd` are IEEE-754 exact per
+        // lane and the kernel performs the same operations in the same
+        // order, so lane width does not change any rounding (pinned by
+        // the bit-for-bit test) — tier selection affects speed only.
         return unsafe { avx2::forward(input) };
     }
     forward_passes(input)
@@ -157,9 +158,9 @@ fn forward_passes(input: &[f64; 64]) -> [f64; 64] {
 /// then each `acc[n]` adds `weight · cos[k][n]` in ascending-`k` order.
 pub fn inverse_dct_f64(input: &[f64; 64]) -> [f64; 64] {
     #[cfg(target_arch = "x86_64")]
-    if std::is_x86_feature_detected!("avx2") {
-        // SAFETY: as in `forward_dct_f64` — detection-gated, rounding
-        // unchanged by lane width.
+    if crate::dispatch::active_tier() == crate::dispatch::KernelTier::Avx2 {
+        // SAFETY: as in `forward_dct_f64` — tier implies detection
+        // succeeded; rounding unchanged by lane width.
         return unsafe { avx2::inverse(input) };
     }
     inverse_passes(input)

@@ -96,6 +96,44 @@ pub fn interpolate_half_pel(
     }
 }
 
+/// Averages two equal-length pixel buffers with MPEG `(a+b+1)>>1`
+/// rounding (bidirectional prediction interpolation).
+///
+/// # Panics
+///
+/// Panics if the inputs differ in length or `out` is shorter.
+pub fn average_pixels(a: &[u8], b: &[u8], out: &mut [u8]) {
+    assert_eq!(a.len(), b.len());
+    assert!(out.len() >= a.len());
+    for i in 0..a.len() {
+        out[i] = ((u16::from(a[i]) + u16::from(b[i]) + 1) >> 1) as u8;
+    }
+}
+
+/// Copies the `w`×`h` window of `src` (stride `src_stride`) at
+/// `(sx, sy)` into `out` (row-major, stride `w`) — the full-pel plane
+/// copy kernel.
+///
+/// # Panics
+///
+/// Panics (via slice indexing) if the window exceeds `src` bounds or
+/// `out` is shorter than `w·h`.
+pub fn copy_block(
+    src: &[u8],
+    src_stride: usize,
+    sx: usize,
+    sy: usize,
+    w: usize,
+    h: usize,
+    out: &mut [u8],
+) {
+    assert!(out.len() >= w * h);
+    for y in 0..h {
+        let row = &src[(sy + y) * src_stride + sx..][..w];
+        out[y * w..][..w].copy_from_slice(row);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +202,27 @@ mod tests {
         let mut out = vec![0u8; 4];
         interpolate_half_pel(&p, 20, 0, 0, HalfPel::Diagonal, 2, 2, &mut out);
         assert!(out.iter().all(|&v| v == 50), "{out:?}");
+    }
+
+    #[test]
+    fn average_pixels_rounds_up() {
+        let a = [10u8, 20, 255, 0];
+        let b = [11u8, 20, 0, 0];
+        let mut out = [0u8; 4];
+        average_pixels(&a, &b, &mut out);
+        assert_eq!(out, [11, 20, 128, 0]);
+    }
+
+    #[test]
+    fn copy_block_extracts_window() {
+        let p = plane(20, 20, |x, y| (x * 5 + y * 7) as u8);
+        let mut out = vec![0u8; 6 * 3];
+        copy_block(&p, 20, 4, 9, 6, 3, &mut out);
+        for y in 0..3 {
+            for x in 0..6 {
+                assert_eq!(out[y * 6 + x], p[(9 + y) * 20 + 4 + x]);
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ pub const QUANT_OPS: u64 = 192;
 /// Quantizer step bound (per ISO/IEC 14496-2, `quant_scale` is 5 bits).
 const QP_MAX: i16 = 31;
 
-fn check_qp(qp: u8) -> i16 {
+pub(crate) fn check_qp(qp: u8) -> i16 {
     let qp = i16::from(qp);
     assert!((1..=QP_MAX).contains(&qp), "qp {qp} out of range 1..=31");
     qp
@@ -31,12 +31,12 @@ fn check_qp(qp: u8) -> i16 {
 /// representable coefficient and qp. Pinned exhaustively against `/`
 /// in `magic_division_matches_hardware_division`.
 #[derive(Clone, Copy)]
-struct StepDiv {
-    m: u64,
+pub(crate) struct StepDiv {
+    pub(crate) m: u64,
 }
 
 impl StepDiv {
-    fn new(qp: i16) -> Self {
+    pub(crate) fn new(qp: i16) -> Self {
         let d = 2 * qp as u64;
         StepDiv {
             m: (1u64 << 24).div_ceil(d),

@@ -28,6 +28,9 @@ pub enum MetricId {
     /// Counter: tasks taken from another worker's deque (or the
     /// injector by a thief) in the work-stealing pool.
     PoolSteals,
+    /// Gauge: resolved SIMD kernel tier (0 = scalar, 1 = SSE2,
+    /// 2 = AVX2) the dsp dispatch table is serving.
+    KernelTier,
 }
 
 /// The shape of a metric.
@@ -50,6 +53,7 @@ impl MetricId {
             MetricId::SliceQueueWaitNs => "slice_queue_wait_ns",
             MetricId::PoolWorkers => "pool_workers",
             MetricId::PoolSteals => "pool_steals",
+            MetricId::KernelTier => "kernel_tier",
         }
     }
 
@@ -58,7 +62,7 @@ impl MetricId {
         match self {
             MetricId::MeSadPerSearch | MetricId::SliceQueueWaitNs => MetricKind::Histogram,
             MetricId::ResyncMarkerBytes | MetricId::PoolSteals => MetricKind::Counter,
-            MetricId::PoolWorkers => MetricKind::Gauge,
+            MetricId::PoolWorkers | MetricId::KernelTier => MetricKind::Gauge,
         }
     }
 }
@@ -118,6 +122,7 @@ pub(crate) struct Registry {
     slice_queue_wait_ns: Histogram,
     pool_workers: AtomicU64,
     pool_steals: AtomicU64,
+    kernel_tier: AtomicU64,
 }
 
 impl Registry {
@@ -128,6 +133,7 @@ impl Registry {
             slice_queue_wait_ns: Histogram::new(),
             pool_workers: AtomicU64::new(0),
             pool_steals: AtomicU64::new(0),
+            kernel_tier: AtomicU64::new(0),
         }
     }
 
@@ -146,8 +152,10 @@ impl Registry {
 
     pub(crate) fn gauge_set(&self, id: MetricId, v: u64) {
         debug_assert_eq!(id.kind(), MetricKind::Gauge, "{id:?} is not a gauge");
-        if let MetricId::PoolWorkers = id {
-            self.pool_workers.store(v, Ordering::Relaxed);
+        match id {
+            MetricId::PoolWorkers => self.pool_workers.store(v, Ordering::Relaxed),
+            MetricId::KernelTier => self.kernel_tier.store(v, Ordering::Relaxed),
+            _ => {}
         }
     }
 
@@ -198,6 +206,11 @@ impl Registry {
                 MetricId::PoolSteals,
                 "counter",
                 self.pool_steals.load(Ordering::Relaxed),
+            ),
+            scalar(
+                MetricId::KernelTier,
+                "gauge",
+                self.kernel_tier.load(Ordering::Relaxed),
             ),
         ];
         let mut out = String::new();
@@ -296,7 +309,8 @@ mod tests {
                 "resync_marker_bytes",
                 "slice_queue_wait_ns",
                 "pool_workers",
-                "pool_steals"
+                "pool_steals",
+                "kernel_tier"
             ]
         );
         // Spot-check values survive the round trip.

@@ -78,6 +78,18 @@ impl Profiler {
         self.shared.tracing
     }
 
+    /// Adds a `process_labels` metadata event (shown next to the
+    /// process in the trace viewer, e.g. `kernels=avx2`). No-op when
+    /// the session is not tracing.
+    pub fn set_process_label(&self, label: &str) {
+        if self.shared.tracing {
+            let mut events = self.shared.events.lock().expect("events lock");
+            events.push(TraceEvent::ProcessLabel {
+                label: label.to_string(),
+            });
+        }
+    }
+
     /// Attaches the calling thread to this session until the guard
     /// drops. Reentrant for the same session (inner guards are free);
     /// attaching to a *different* session while one is active returns

@@ -28,6 +28,12 @@ pub enum TraceEvent {
         /// Display name.
         name: String,
     },
+    /// `process_labels` metadata (`"ph": "M"`): free-form labels shown
+    /// next to the process in the trace viewer (e.g. `kernels=avx2`).
+    ProcessLabel {
+        /// Label text.
+        label: String,
+    },
 }
 
 const PID: f64 = 1.0;
@@ -59,6 +65,16 @@ impl TraceEvent {
                 ("pid", Json::Num(PID)),
                 ("tid", Json::Num(f64::from(*tid))),
                 ("args", Json::obj(vec![("name", Json::str(name.clone()))])),
+            ]),
+            TraceEvent::ProcessLabel { label } => Json::obj(vec![
+                ("name", Json::str("process_labels")),
+                ("ph", Json::str("M")),
+                ("pid", Json::Num(PID)),
+                ("tid", Json::Num(0.0)),
+                (
+                    "args",
+                    Json::obj(vec![("labels", Json::str(label.clone()))]),
+                ),
             ]),
         }
     }

@@ -140,6 +140,7 @@ pub struct BenchResult {
 pub struct BenchRunner {
     suite: String,
     opts: BenchOptions,
+    meta: Vec<(String, String)>,
     results: Vec<BenchResult>,
 }
 
@@ -156,8 +157,18 @@ impl BenchRunner {
         BenchRunner {
             suite: suite.to_string(),
             opts,
+            meta: Vec::new(),
             results: Vec::new(),
         }
+    }
+
+    /// Attaches a `key: value` pair to the report's `meta` object:
+    /// environment facts (the resolved SIMD kernel tier, machine class)
+    /// that decide whether two reports are comparable at all. Setting
+    /// an existing key overwrites it.
+    pub fn set_meta(&mut self, key: &str, value: &str) {
+        self.meta.retain(|(k, _)| k != key);
+        self.meta.push((key.to_string(), value.to_string()));
     }
 
     /// Times `f`, recording the result under `name`. The return value
@@ -250,6 +261,15 @@ impl BenchRunner {
                 Json::str(if self.opts.smoke { "smoke" } else { "full" }),
             ),
             ("unit", Json::str("ns_per_iter")),
+            (
+                "meta",
+                Json::obj(
+                    self.meta
+                        .iter()
+                        .map(|(k, v)| (k.as_str(), Json::str(v.clone())))
+                        .collect(),
+                ),
+            ),
             (
                 "results",
                 Json::Arr(
@@ -395,6 +415,18 @@ mod tests {
         assert!(json.contains("\"mode\": \"smoke\""));
         assert!(json.contains("\"median_ns\""));
         assert!(json.contains("\"one\""));
+    }
+
+    #[test]
+    fn meta_pairs_round_trip_and_overwrite() {
+        let mut r = BenchRunner::with_options("selftest", quiet_opts());
+        r.set_meta("kernel_tier", "scalar");
+        r.set_meta("kernel_tier", "avx2");
+        r.set_meta("machine", "o2");
+        let doc = Json::parse(&r.report_json()).unwrap();
+        let meta = doc.get("meta").expect("meta object");
+        assert_eq!(meta.get("kernel_tier").and_then(Json::as_str), Some("avx2"));
+        assert_eq!(meta.get("machine").and_then(Json::as_str), Some("o2"));
     }
 
     #[test]

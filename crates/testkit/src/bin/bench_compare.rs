@@ -47,14 +47,22 @@ const OBS_SERIES: &str = "parallel/encode_frame/obs=";
 /// span while clearing single-digit task-grain costs.
 const DEFAULT_MAX_OBS_OVERHEAD_PCT: f64 = 8.0;
 
-/// `(name, median_ns)` for every entry in a bench report.
-fn load_medians(path: &str) -> Result<Vec<(String, f64)>, String> {
+/// `(name, median_ns)` rows plus the report's `meta.kernel_tier` tag
+/// (reports from before the tag carry `None`).
+type MediansAndTier = (Vec<(String, f64)>, Option<String>);
+
+fn load_medians(path: &str) -> Result<MediansAndTier, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
     let schema = doc.get("schema").and_then(Json::as_str);
     if schema != Some("m4ps-bench-v1") {
         return Err(format!("{path}: unexpected schema {schema:?}"));
     }
+    let kernel_tier = doc
+        .get("meta")
+        .and_then(|m| m.get("kernel_tier"))
+        .and_then(Json::as_str)
+        .map(str::to_string);
     let results = doc
         .get("results")
         .and_then(Json::as_arr)
@@ -71,7 +79,7 @@ fn load_medians(path: &str) -> Result<Vec<(String, f64)>, String> {
             .ok_or_else(|| format!("{path}: {name}: missing median_ns"))?;
         out.push((name.to_string(), median));
     }
-    Ok(out)
+    Ok((out, kernel_tier))
 }
 
 /// Machine-aware default for the threads=4 speedup floor. Parallel
@@ -247,7 +255,7 @@ fn run() -> Result<bool, String> {
         }
     }
 
-    let fresh = load_medians(&fresh_path)?;
+    let (fresh, fresh_tier) = load_medians(&fresh_path)?;
     if scaling_only {
         let pass = match check_scaling(&fresh, min_scaling)? {
             Some(pass) => pass,
@@ -264,10 +272,34 @@ fn run() -> Result<bool, String> {
         return Ok(pass && obs_ok);
     }
     let baseline_path = baseline_path.expect("set in non-scaling mode");
-    let baseline = load_medians(&baseline_path)?;
+    let (baseline, base_tier) = load_medians(&baseline_path)?;
     let limit = 1.0 + max_regress_pct / 100.0;
 
+    // Medians from different dispatch tiers (or machines whose best
+    // tier differs) measure different code: comparing them would gate
+    // noise against noise. Warn loudly and skip the per-bench diff, but
+    // still run the self-contained checks (scaling, obs overhead) on
+    // the fresh file. Reports without the tag predate it and pass.
+    if let (Some(b), Some(f)) = (&base_tier, &fresh_tier) {
+        if b != f {
+            println!(
+                "WARNING: kernel-tier mismatch: baseline ran {b}, fresh ran {f}; \
+                 skipping the per-benchmark comparison (re-baseline on this \
+                 machine or force M4PS_KERNELS={b})"
+            );
+            let scaling_ok = check_scaling(&fresh, min_scaling)?.unwrap_or(true);
+            let obs_ok = check_obs_overhead(&fresh, max_obs_overhead_pct)?.unwrap_or(true);
+            if let Some(phases) = &phases_path {
+                print_top_stall_phases(phases)?;
+            }
+            return Ok(scaling_ok && obs_ok);
+        }
+    }
+
     println!("comparing {fresh_path} against {baseline_path} (fail above +{max_regress_pct}%)");
+    if let Some(t) = &fresh_tier {
+        println!("  kernel tier: {t} (both reports)");
+    }
     let mut regressions = 0usize;
     let mut compared = 0usize;
     for (name, fresh_median) in &fresh {

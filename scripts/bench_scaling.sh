@@ -18,6 +18,12 @@ echo "== thread-scaling bench (parallel/encode_frame) =="
 cargo bench --offline -p m4ps-bench --bench kernels -- \
     --smoke --json "$PWD/BENCH_scaling.json" parallel/encode_frame/threads
 
+# The report stamps the resolved SIMD kernel tier into meta.kernel_tier
+# (bench_compare refuses to diff reports from different tiers); surface
+# it here so CI logs say which tier produced these numbers.
+tier=$(grep -o '"kernel_tier": "[a-z0-9]*"' BENCH_scaling.json | cut -d'"' -f4)
+echo "kernel tier: ${tier:-unknown} (M4PS_KERNELS=${M4PS_KERNELS:-auto})"
+
 scaling_args=(--scaling BENCH_scaling.json)
 if [[ -n "${M4PS_MIN_SCALING:-}" ]]; then
     scaling_args+=(--min-scaling "$M4PS_MIN_SCALING")

@@ -15,11 +15,45 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# --tiers additionally re-runs the dsp+codec suites with each SIMD
+# kernel tier forced via M4PS_KERNELS (the sweep CI's kernel-tiers
+# matrix runs). Tiers the CPU lacks are skipped WITH A NOTICE — a
+# forced-but-unsupported tier would panic, never silently pass.
+run_tiers=0
+for arg in "$@"; do
+    case "$arg" in
+        --tiers) run_tiers=1 ;;
+        *) echo "verify.sh: unknown argument $arg" >&2; exit 2 ;;
+    esac
+done
+
+tier_supported() {
+    case "$1" in
+        scalar) return 0 ;;
+        sse2|avx2)
+            [[ "$(uname -m)" == "x86_64" ]] || return 1
+            [[ "$1" == "sse2" ]] && return 0  # x86-64 baseline
+            grep -qw avx2 /proc/cpuinfo 2>/dev/null ;;
+        *) return 1 ;;
+    esac
+}
+
 echo "== build (release, offline) =="
 cargo build --workspace --release --offline
 
 echo "== tests (offline) =="
 cargo test -q --workspace --offline
+
+if [[ "$run_tiers" == "1" ]]; then
+    for tier in scalar sse2 avx2; do
+        if tier_supported "$tier"; then
+            echo "== kernel-tier sweep: M4PS_KERNELS=$tier (offline) =="
+            M4PS_KERNELS="$tier" cargo test -q --offline -p m4ps-dsp -p m4ps-codec
+        else
+            echo "== kernel-tier sweep: SKIPPED M4PS_KERNELS=$tier (CPU lacks $tier) =="
+        fi
+    done
+fi
 
 # The charging fast path must stay counter-bit-identical to the naive
 # reference model; run the differential suites explicitly so a gate
