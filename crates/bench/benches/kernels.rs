@@ -390,6 +390,73 @@ fn bench_obs_overhead(r: &mut BenchRunner) {
     }
 }
 
+fn bench_serve(r: &mut BenchRunner) {
+    use m4ps_memsim::NullModel;
+    use m4ps_serve::{AdmissionConfig, Service, ServiceConfig, SessionSpec};
+
+    // Multi-session service throughput: 64 concurrent tiny sessions
+    // (2 frames each, 2 slices per VOP) multiplexed over one shared
+    // 4-thread pool by 8 drivers. Each iteration is a full batch —
+    // admit, fair-queue, encode, drain — so the median tracks the
+    // whole service path, not just the codec inner loop. The meta keys
+    // (sessions/sec, frame latency percentiles) come from a dedicated
+    // measurement batch on the same service.
+    const SESSIONS: usize = 64;
+    const FRAMES: usize = 2;
+    let service = Service::new(ServiceConfig {
+        threads: 4,
+        drivers: 8,
+        sched: Some(m4ps_codec::Scheduling::SliceParallel),
+        admission: AdmissionConfig::default(),
+    });
+    let specs = || -> Vec<SessionSpec> {
+        (0..SESSIONS as u64)
+            .map(|i| SessionSpec::tiny(i, FRAMES))
+            .collect()
+    };
+    let report = service.run_batch(specs(), |_, _| NullModel::new(), |_, _| {});
+    assert_eq!(
+        report.completed, SESSIONS as u64,
+        "bench batch must complete"
+    );
+    r.set_meta("serve_sessions", &SESSIONS.to_string());
+    r.set_meta(
+        "serve_sessions_per_sec",
+        &format!("{:.1}", report.sessions_per_sec),
+    );
+    r.set_meta(
+        "serve_frame_p50_ms",
+        &format!("{:.3}", report.frame_latency.p50() as f64 / 1e6),
+    );
+    r.set_meta(
+        "serve_frame_p99_ms",
+        &format!("{:.3}", report.frame_latency.p99() as f64 / 1e6),
+    );
+
+    // 64×48 4:2:0 frames: the batch's input traffic.
+    let bytes = (SESSIONS * FRAMES * 64 * 48 * 3 / 2) as u64;
+    r.bench_bytes(&format!("serve/batch/sessions={SESSIONS}"), bytes, || {
+        let rep = service.run_batch(specs(), |_, _| NullModel::new(), |_, _| {});
+        assert_eq!(rep.completed, SESSIONS as u64);
+        rep.frames
+    });
+
+    // The same offered load through a single driver on a single-thread
+    // pool: the serialized floor. The ratio of the two medians is the
+    // service's concurrency win on this machine.
+    let solo = Service::new(ServiceConfig {
+        threads: 1,
+        drivers: 1,
+        sched: Some(m4ps_codec::Scheduling::SliceParallel),
+        admission: AdmissionConfig::default(),
+    });
+    r.bench_bytes("serve/batch/drivers=1", bytes, || {
+        let rep = solo.run_batch(specs(), |_, _| NullModel::new(), |_, _| {});
+        assert_eq!(rep.completed, SESSIONS as u64);
+        rep.frames
+    });
+}
+
 fn main() {
     let mut r = BenchRunner::from_args("kernels");
     // Stamp the report with the tier the dispatched entries (and the
@@ -404,5 +471,6 @@ fn main() {
     bench_memsim(&mut r);
     bench_parallel(&mut r);
     bench_obs_overhead(&mut r);
+    bench_serve(&mut r);
     r.finish();
 }

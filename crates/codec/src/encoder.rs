@@ -220,7 +220,14 @@ pub struct VideoObjectCoder {
     stream_base: u64,
     stream_bits: u64,
     keep_recon: bool,
-    pool: Arc<WorkerPool>,
+    /// Worker pool, created lazily on first encode (or shared via
+    /// [`VideoObjectCoder::set_pool`]). Lazy so that constructing many
+    /// session coders — the multi-session service holds hundreds, all
+    /// sharing one pool — spawns no per-coder OS threads.
+    pool: Option<Arc<WorkerPool>>,
+    /// Thread count for the lazily created pool; 0 = resolve from the
+    /// environment at creation time.
+    threads_hint: usize,
     sched: Scheduling,
     /// Accumulated counter deltas over the `encode_vop` windows — the
     /// paper's `VopCode()` instrumentation (Table 8).
@@ -340,7 +347,8 @@ impl VideoObjectCoder {
             stream_base,
             stream_bits: 0,
             keep_recon: false,
-            pool: Arc::new(WorkerPool::from_env()),
+            pool: None,
+            threads_hint: 0,
             sched: Scheduling::from_env(),
             vop_window: m4ps_memsim::Counters::new(),
             config,
@@ -356,22 +364,45 @@ impl VideoObjectCoder {
     /// environment override, falling back to the machine's available
     /// parallelism.
     pub fn set_threads(&mut self, threads: usize) {
-        if self.pool.threads() != threads.clamp(1, 256) {
-            self.pool = Arc::new(WorkerPool::new(threads));
+        let threads = threads.clamp(1, 256);
+        self.threads_hint = threads;
+        if self.pool.as_ref().is_some_and(|p| p.threads() != threads) {
+            self.pool = None;
         }
     }
 
     /// Shares a persistent worker pool with this coder. The study
     /// lifecycle (`m4ps-core`) spawns one pool per study and hands it
-    /// to every layer's coder, so workers are spawned once and parked
-    /// between VOPs instead of re-created per coder.
+    /// to every layer's coder — and the multi-session service hands
+    /// one pool to every session — so workers are spawned once and
+    /// parked between VOPs instead of re-created per coder.
     pub fn set_pool(&mut self, pool: Arc<WorkerPool>) {
-        self.pool = pool;
+        self.threads_hint = pool.threads();
+        self.pool = Some(pool);
     }
 
     /// The worker thread count slices are scheduled onto.
     pub fn threads(&self) -> usize {
-        self.pool.threads()
+        match (&self.pool, self.threads_hint) {
+            (Some(p), _) => p.threads(),
+            (None, 0) => {
+                m4ps_pool::resolve_threads(std::env::var(m4ps_pool::THREADS_ENV).ok().as_deref())
+            }
+            (None, hint) => hint,
+        }
+    }
+
+    /// The pool VOP work is scheduled onto, created on first use.
+    fn pool_handle(&mut self) -> Arc<WorkerPool> {
+        if self.pool.is_none() {
+            let pool = if self.threads_hint > 0 {
+                WorkerPool::new(self.threads_hint)
+            } else {
+                WorkerPool::from_env()
+            };
+            self.pool = Some(Arc::new(pool));
+        }
+        Arc::clone(self.pool.as_ref().expect("pool just created"))
     }
 
     /// Selects how VOP work is decomposed onto the pool (see
@@ -562,6 +593,7 @@ impl VideoObjectCoder {
         if obs_on {
             m4ps_obs::enter(Phase::VopEncode, window_start);
         }
+        let pool = self.pool_handle();
         let (left, right) = self.anchors.split_at_mut(1);
         let (fwd, recon): (Option<&TracedFrame>, &mut TracedFrame) = if new_idx == 0 {
             (
@@ -589,7 +621,7 @@ impl VideoObjectCoder {
             self.mb_cols,
             self.mb_rows,
             self.config.four_mv,
-            &self.pool,
+            &pool,
             self.sched,
         );
         if !self.vol.binary_shape {
@@ -639,6 +671,7 @@ impl VideoObjectCoder {
             return self.drain_b_queue_pipelined(mem);
         }
         let mut out = Vec::with_capacity(self.queue_len);
+        let pool = self.pool_handle();
         for q in 0..self.queue_len {
             let qp = self.rate.qp_for(VopKind::B);
             let slot = &self.b_slots[q];
@@ -678,7 +711,7 @@ impl VideoObjectCoder {
                 self.mb_cols,
                 self.mb_rows,
                 self.config.four_mv,
-                &self.pool,
+                &pool,
                 self.sched,
             );
             if obs_on {
@@ -800,6 +833,7 @@ impl VideoObjectCoder {
             }
         }
 
+        let pool = self.pool_handle();
         // Forward ref is the *older* anchor, backward the newer.
         let older = 1 - self.prev_anchor;
         let (fwd, bwd) = (&self.anchors[older], &self.anchors[1 - older]);
@@ -853,7 +887,6 @@ impl VideoObjectCoder {
             .iter()
             .map(|chains| chains.iter().map(|_| Mutex::new(None)).collect())
             .collect();
-        let pool = self.pool.clone();
         let session = m4ps_obs::current();
         pool.scope(session.as_ref(), |scope| {
             for ((chains, ctx), slots) in chainsv.iter_mut().zip(ctxs.iter()).zip(slotsv.iter()) {
@@ -998,6 +1031,7 @@ impl VideoObjectCoder {
             resync_interval: self.config.resync_mb_interval,
             slices: self.config.slices,
         };
+        let pool = self.pool_handle();
         let window_start = *mem.counters();
         let obs_on = m4ps_obs::enabled();
         if obs_on {
@@ -1018,7 +1052,7 @@ impl VideoObjectCoder {
             self.mb_cols,
             self.mb_rows,
             self.config.four_mv,
-            &self.pool,
+            &pool,
             self.sched,
         );
         if obs_on {

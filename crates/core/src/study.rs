@@ -68,7 +68,7 @@ impl Workload {
 
 /// Study-level knobs (kept apart from [`EncoderConfig`] so experiment
 /// binaries can expose them as CLI flags).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct StudyConfig {
     /// Codec configuration for every coder in the run.
     pub encoder: EncoderConfig,
@@ -83,6 +83,26 @@ pub struct StudyConfig {
     /// back to the [`TRACE_ENV`] environment variable. A pure
     /// observability knob — output and metrics are unchanged.
     pub trace: Option<String>,
+    /// When set, the study encodes on this shared pool instead of
+    /// spawning its own (overrides `threads`). This is how concurrent
+    /// studies — the multi-session service, or callers running several
+    /// `encode_study` calls from their own threads — share one set of
+    /// parked workers. A pure scheduling knob: output is bit-identical.
+    pub pool: Option<std::sync::Arc<m4ps_pool::WorkerPool>>,
+}
+
+impl PartialEq for StudyConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.encoder == other.encoder
+            && self.threads == other.threads
+            && self.trace == other.trace
+            // Pools have identity, not value, semantics.
+            && match (&self.pool, &other.pool) {
+                (None, None) => true,
+                (Some(a), Some(b)) => std::sync::Arc::ptr_eq(a, b),
+                _ => false,
+            }
+    }
 }
 
 impl StudyConfig {
@@ -93,6 +113,7 @@ impl StudyConfig {
             encoder: EncoderConfig::paper(),
             threads: 0,
             trace: None,
+            pool: None,
         }
     }
 
@@ -102,6 +123,7 @@ impl StudyConfig {
             encoder: EncoderConfig::fast_test(),
             threads: 0,
             trace: None,
+            pool: None,
         }
     }
 
@@ -124,6 +146,13 @@ impl StudyConfig {
     /// [`StudyConfig::trace`]).
     pub fn with_trace(mut self, path: impl Into<String>) -> Self {
         self.trace = Some(path.into());
+        self
+    }
+
+    /// Encodes on `pool` instead of spawning a study-private pool (see
+    /// [`StudyConfig::pool`]).
+    pub fn with_pool(mut self, pool: std::sync::Arc<m4ps_pool::WorkerPool>) -> Self {
+        self.pool = Some(pool);
         self
     }
 }
@@ -177,14 +206,19 @@ fn drive_encode<M: ParallelModel>(
     )?;
     // One persistent work-stealing pool per study: workers spawn once
     // and park between VOPs, and every layer coder schedules onto the
-    // same deques. `threads == 0` resolves from `M4PS_THREADS` /
-    // available parallelism (a pure scheduling knob — output is
-    // bit-identical for every value).
-    let pool = std::sync::Arc::new(if config.threads > 0 {
-        m4ps_pool::WorkerPool::new(config.threads)
-    } else {
-        m4ps_pool::WorkerPool::from_env()
-    });
+    // same deques. A shared pool from the config takes precedence
+    // (concurrent studies multiplex one set of workers); otherwise
+    // `threads == 0` resolves from `M4PS_THREADS` / available
+    // parallelism (a pure scheduling knob — output is bit-identical
+    // for every value).
+    let pool = match &config.pool {
+        Some(shared) => shared.clone(),
+        None => std::sync::Arc::new(if config.threads > 0 {
+            m4ps_pool::WorkerPool::new(config.threads)
+        } else {
+            m4ps_pool::WorkerPool::from_env()
+        }),
+    };
     enc.set_pool(pool);
     attach(space, mem);
     let mut mask_storage: Vec<Vec<u8>> = Vec::new();
@@ -424,6 +458,20 @@ mod tests {
         assert_eq!(streams.len(), 2);
         let dec = decode_study(&MachineSpec::o2(), &w, &streams).unwrap();
         assert_eq!(dec.session.vops, 4);
+    }
+
+    #[test]
+    fn shared_pool_study_matches_private_pool() {
+        let w = tiny_workload();
+        let solo = encode_study(&MachineSpec::o2(), &w, &StudyConfig::fast()).unwrap();
+        let pool = std::sync::Arc::new(m4ps_pool::WorkerPool::new(3));
+        let cfg = StudyConfig::fast().with_pool(pool);
+        let shared = encode_study(&MachineSpec::o2(), &w, &cfg).unwrap();
+        assert_eq!(solo.metrics.counters, shared.metrics.counters);
+        assert_eq!(solo.session.bytes, shared.session.bytes);
+        // The shared pool survives the study and serves the next one.
+        let again = encode_study(&MachineSpec::o2(), &w, &cfg).unwrap();
+        assert_eq!(solo.metrics.counters, again.metrics.counters);
     }
 
     #[test]

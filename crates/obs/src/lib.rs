@@ -59,7 +59,7 @@ mod profile;
 mod profiler;
 mod trace;
 
-pub use metrics::{MetricId, MetricKind};
+pub use metrics::{HistogramSnapshot, MetricId, MetricKind};
 pub use phase::Phase;
 pub use profile::{PhaseProfile, PhaseStats};
 pub use profiler::{

@@ -31,6 +31,19 @@ pub enum MetricId {
     /// Gauge: resolved SIMD kernel tier (0 = scalar, 1 = SSE2,
     /// 2 = AVX2) the dsp dispatch table is serving.
     KernelTier,
+    /// Histogram: nanoseconds from a frame job becoming ready in the
+    /// serve scheduler to its encode completing (queueing + encode).
+    ServeFrameLatencyNs,
+    /// Gauge: sessions currently admitted and not yet finished in the
+    /// multi-session service.
+    ServeSessionsActive,
+    /// Counter: sessions admitted by the service.
+    ServeSessionsAccepted,
+    /// Counter: sessions rejected at submit by admission control.
+    ServeSessionsRejected,
+    /// Counter: admitted sessions shed (cancelled early) under
+    /// sustained overload.
+    ServeSessionsShed,
 }
 
 /// The shape of a metric.
@@ -54,15 +67,28 @@ impl MetricId {
             MetricId::PoolWorkers => "pool_workers",
             MetricId::PoolSteals => "pool_steals",
             MetricId::KernelTier => "kernel_tier",
+            MetricId::ServeFrameLatencyNs => "serve_frame_latency_ns",
+            MetricId::ServeSessionsActive => "serve_sessions_active",
+            MetricId::ServeSessionsAccepted => "serve_sessions_accepted",
+            MetricId::ServeSessionsRejected => "serve_sessions_rejected",
+            MetricId::ServeSessionsShed => "serve_sessions_shed",
         }
     }
 
     /// The metric's shape.
     pub fn kind(self) -> MetricKind {
         match self {
-            MetricId::MeSadPerSearch | MetricId::SliceQueueWaitNs => MetricKind::Histogram,
-            MetricId::ResyncMarkerBytes | MetricId::PoolSteals => MetricKind::Counter,
-            MetricId::PoolWorkers | MetricId::KernelTier => MetricKind::Gauge,
+            MetricId::MeSadPerSearch
+            | MetricId::SliceQueueWaitNs
+            | MetricId::ServeFrameLatencyNs => MetricKind::Histogram,
+            MetricId::ResyncMarkerBytes
+            | MetricId::PoolSteals
+            | MetricId::ServeSessionsAccepted
+            | MetricId::ServeSessionsRejected
+            | MetricId::ServeSessionsShed => MetricKind::Counter,
+            MetricId::PoolWorkers | MetricId::KernelTier | MetricId::ServeSessionsActive => {
+                MetricKind::Gauge
+            }
         }
     }
 }
@@ -90,6 +116,14 @@ impl Histogram {
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
     }
 
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+
     fn to_json_fields(&self) -> Vec<(&'static str, Json)> {
         let count = self.count.load(Ordering::Relaxed);
         let sum = self.sum.load(Ordering::Relaxed);
@@ -113,6 +147,97 @@ impl Histogram {
     }
 }
 
+/// A point-in-time copy of a log₂-bucket histogram, with quantile
+/// estimation. Snapshots subtract (`delta_since`), which is what the
+/// serve admission controller uses to watch a sliding window of queue
+/// waits instead of the session-lifetime distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total values recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Bucket `i` counts values with bit length `i` (bucket 0 = zero).
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (no samples).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by linear
+    /// interpolation inside the log₂ bucket holding the target rank.
+    /// Returns 0 for an empty snapshot. The estimate is exact at
+    /// bucket boundaries and within one bucket's width otherwise;
+    /// values beyond the last bucket saturate at its upper edge
+    /// (`2^31 - 1`, ~2.1 s when recording nanoseconds).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the sample that sits at quantile q.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                let hi = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                let into = (rank - seen) as f64 / n as f64;
+                return lo + ((hi - lo) as f64 * into) as u64;
+            }
+            seen += n;
+        }
+        // Unreachable when count == sum of buckets; be defensive for
+        // torn concurrent reads.
+        (1u64 << (HIST_BUCKETS - 1)) - 1
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The distribution of samples recorded since `earlier` was
+    /// taken. Saturating per field, so a torn read (snapshot taken
+    /// mid-record on another thread) cannot underflow.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
+        }
+    }
+}
+
 /// The per-session metric store. All operations are atomic, so worker
 /// threads record through a shared reference.
 #[derive(Debug)]
@@ -123,6 +248,11 @@ pub(crate) struct Registry {
     pool_workers: AtomicU64,
     pool_steals: AtomicU64,
     kernel_tier: AtomicU64,
+    serve_frame_latency_ns: Histogram,
+    serve_sessions_active: AtomicU64,
+    serve_sessions_accepted: AtomicU64,
+    serve_sessions_rejected: AtomicU64,
+    serve_sessions_shed: AtomicU64,
 }
 
 impl Registry {
@@ -134,6 +264,11 @@ impl Registry {
             pool_workers: AtomicU64::new(0),
             pool_steals: AtomicU64::new(0),
             kernel_tier: AtomicU64::new(0),
+            serve_frame_latency_ns: Histogram::new(),
+            serve_sessions_active: AtomicU64::new(0),
+            serve_sessions_accepted: AtomicU64::new(0),
+            serve_sessions_rejected: AtomicU64::new(0),
+            serve_sessions_shed: AtomicU64::new(0),
         }
     }
 
@@ -146,7 +281,28 @@ impl Registry {
             MetricId::PoolSteals => {
                 self.pool_steals.fetch_add(v, Ordering::Relaxed);
             }
+            MetricId::ServeSessionsAccepted => {
+                self.serve_sessions_accepted.fetch_add(v, Ordering::Relaxed);
+            }
+            MetricId::ServeSessionsRejected => {
+                self.serve_sessions_rejected.fetch_add(v, Ordering::Relaxed);
+            }
+            MetricId::ServeSessionsShed => {
+                self.serve_sessions_shed.fetch_add(v, Ordering::Relaxed);
+            }
             _ => {}
+        }
+    }
+
+    pub(crate) fn counter_value(&self, id: MetricId) -> u64 {
+        debug_assert_eq!(id.kind(), MetricKind::Counter, "{id:?} is not a counter");
+        match id {
+            MetricId::ResyncMarkerBytes => self.resync_marker_bytes.load(Ordering::Relaxed),
+            MetricId::PoolSteals => self.pool_steals.load(Ordering::Relaxed),
+            MetricId::ServeSessionsAccepted => self.serve_sessions_accepted.load(Ordering::Relaxed),
+            MetricId::ServeSessionsRejected => self.serve_sessions_rejected.load(Ordering::Relaxed),
+            MetricId::ServeSessionsShed => self.serve_sessions_shed.load(Ordering::Relaxed),
+            _ => 0,
         }
     }
 
@@ -155,7 +311,18 @@ impl Registry {
         match id {
             MetricId::PoolWorkers => self.pool_workers.store(v, Ordering::Relaxed),
             MetricId::KernelTier => self.kernel_tier.store(v, Ordering::Relaxed),
+            MetricId::ServeSessionsActive => self.serve_sessions_active.store(v, Ordering::Relaxed),
             _ => {}
+        }
+    }
+
+    pub(crate) fn gauge_value(&self, id: MetricId) -> u64 {
+        debug_assert_eq!(id.kind(), MetricKind::Gauge, "{id:?} is not a gauge");
+        match id {
+            MetricId::PoolWorkers => self.pool_workers.load(Ordering::Relaxed),
+            MetricId::KernelTier => self.kernel_tier.load(Ordering::Relaxed),
+            MetricId::ServeSessionsActive => self.serve_sessions_active.load(Ordering::Relaxed),
+            _ => 0,
         }
     }
 
@@ -168,7 +335,22 @@ impl Registry {
         match id {
             MetricId::MeSadPerSearch => self.me_sad_per_search.record(v),
             MetricId::SliceQueueWaitNs => self.slice_queue_wait_ns.record(v),
+            MetricId::ServeFrameLatencyNs => self.serve_frame_latency_ns.record(v),
             _ => {}
+        }
+    }
+
+    pub(crate) fn histogram_snapshot(&self, id: MetricId) -> HistogramSnapshot {
+        debug_assert_eq!(
+            id.kind(),
+            MetricKind::Histogram,
+            "{id:?} is not a histogram"
+        );
+        match id {
+            MetricId::MeSadPerSearch => self.me_sad_per_search.snapshot(),
+            MetricId::SliceQueueWaitNs => self.slice_queue_wait_ns.snapshot(),
+            MetricId::ServeFrameLatencyNs => self.serve_frame_latency_ns.snapshot(),
+            _ => HistogramSnapshot::empty(),
         }
     }
 
@@ -211,6 +393,27 @@ impl Registry {
                 MetricId::KernelTier,
                 "gauge",
                 self.kernel_tier.load(Ordering::Relaxed),
+            ),
+            hist(MetricId::ServeFrameLatencyNs, &self.serve_frame_latency_ns),
+            scalar(
+                MetricId::ServeSessionsActive,
+                "gauge",
+                self.serve_sessions_active.load(Ordering::Relaxed),
+            ),
+            scalar(
+                MetricId::ServeSessionsAccepted,
+                "counter",
+                self.serve_sessions_accepted.load(Ordering::Relaxed),
+            ),
+            scalar(
+                MetricId::ServeSessionsRejected,
+                "counter",
+                self.serve_sessions_rejected.load(Ordering::Relaxed),
+            ),
+            scalar(
+                MetricId::ServeSessionsShed,
+                "counter",
+                self.serve_sessions_shed.load(Ordering::Relaxed),
             ),
         ];
         let mut out = String::new();
@@ -310,12 +513,92 @@ mod tests {
                 "slice_queue_wait_ns",
                 "pool_workers",
                 "pool_steals",
-                "kernel_tier"
+                "kernel_tier",
+                "serve_frame_latency_ns",
+                "serve_sessions_active",
+                "serve_sessions_accepted",
+                "serve_sessions_rejected",
+                "serve_sessions_shed"
             ]
         );
         // Spot-check values survive the round trip.
         let resync = Json::parse(jsonl.lines().nth(1).unwrap()).unwrap();
         assert_eq!(resync.get("value").unwrap().as_f64(), Some(17.0));
+    }
+
+    #[test]
+    fn quantiles_pinned_on_known_distribution() {
+        // 100 samples: 50× value 1, 40× value 100, 10× value 100_000.
+        // Exact ranks: p50 = sample #50 (value 1), p90 = sample #90
+        // (value 100), p99 = sample #99 (value 100_000).
+        let h = Histogram::new();
+        for _ in 0..50 {
+            h.record(1);
+        }
+        for _ in 0..40 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(100_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 50 + 40 * 100 + 10 * 100_000);
+        // p50 lands at the top of bucket 1 ([1,1]) — exact.
+        assert_eq!(s.p50(), 1);
+        // p90 is the last sample in bucket 7 ([64,127]) — the
+        // interpolated estimate must stay inside the bucket that holds
+        // value 100.
+        assert!((64..=127).contains(&s.p90()), "p90 = {}", s.p90());
+        // p99 is rank 99, the 9th of 10 samples in bucket 17
+        // ([65536,131071]), which holds value 100_000.
+        assert!((65_536..=131_071).contains(&s.p99()), "p99 = {}", s.p99());
+        // Interpolation is monotone in q.
+        assert!(s.quantile(0.1) <= s.quantile(0.5));
+        assert!(s.quantile(0.5) <= s.quantile(0.9));
+        assert!(s.quantile(0.9) <= s.quantile(0.99));
+        assert!(s.quantile(0.99) <= s.quantile(1.0));
+        // Extremes hit the occupied bucket edges.
+        assert_eq!(s.quantile(0.0), 1);
+        assert!((65_536..=131_071).contains(&s.quantile(1.0)));
+        assert!((s.mean() - 10040.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_empty_and_single() {
+        let s = HistogramSnapshot::empty();
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.mean(), 0.0);
+        let h = Histogram::new();
+        h.record(42);
+        let s = h.snapshot();
+        // One sample in bucket 6 ([32,63]): every quantile maps into
+        // that bucket.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert!((32..=63).contains(&s.quantile(q)), "q={q}");
+        }
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_window() {
+        let h = Histogram::new();
+        for _ in 0..10 {
+            h.record(8);
+        }
+        let before = h.snapshot();
+        for _ in 0..5 {
+            h.record(1_000_000);
+        }
+        let win = h.snapshot().delta_since(&before);
+        assert_eq!(win.count, 5);
+        assert_eq!(win.sum, 5_000_000);
+        // The window only holds the slow samples even though the
+        // lifetime histogram is dominated by fast ones.
+        assert!(win.p50() >= 524_288, "p50 = {}", win.p50());
+        // Saturating subtraction on a torn/older snapshot.
+        let torn = before.delta_since(&h.snapshot());
+        assert_eq!(torn.count, 0);
     }
 
     #[test]

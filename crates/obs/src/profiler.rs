@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use crate::metrics::{MetricId, Registry};
+use crate::metrics::{HistogramSnapshot, MetricId, Registry};
 use crate::phase::Phase;
 use crate::profile::{add_wrapping, sub_wrapping, PhaseProfile};
 use crate::trace::TraceEvent;
@@ -150,6 +150,48 @@ impl Profiler {
     /// One JSON object per line for every registered metric (JSONL).
     pub fn metrics_jsonl(&self) -> String {
         self.shared.metrics.to_jsonl()
+    }
+
+    /// Whether `other` is a handle to the same session.
+    pub fn same_session(&self, other: &Profiler) -> bool {
+        Arc::ptr_eq(&self.shared, &other.shared)
+    }
+
+    /// Adds `v` to a counter in *this* session's registry, regardless
+    /// of the calling thread's attachment. This is how the pool
+    /// attributes per-scope metrics to the scope's own session even
+    /// when the executing thread is attached elsewhere (a scope owner
+    /// helping a concurrent scope's tasks).
+    pub fn metric_counter_add(&self, id: MetricId, v: u64) {
+        self.shared.metrics.counter_add(id, v);
+    }
+
+    /// Reads a counter from this session's registry.
+    pub fn metric_counter_value(&self, id: MetricId) -> u64 {
+        self.shared.metrics.counter_value(id)
+    }
+
+    /// Sets a gauge in this session's registry directly.
+    pub fn metric_gauge_set(&self, id: MetricId, v: u64) {
+        self.shared.metrics.gauge_set(id, v);
+    }
+
+    /// Reads a gauge from this session's registry.
+    pub fn metric_gauge_value(&self, id: MetricId) -> u64 {
+        self.shared.metrics.gauge_value(id)
+    }
+
+    /// Records one histogram observation in this session's registry
+    /// directly (see [`Profiler::metric_counter_add`]).
+    pub fn metric_histogram_record(&self, id: MetricId, v: u64) {
+        self.shared.metrics.histogram_record(id, v);
+    }
+
+    /// A point-in-time copy of a histogram in this session's registry.
+    /// Admission control diffs two of these (`HistogramSnapshot::
+    /// delta_since`) to watch a recent window.
+    pub fn histogram_snapshot(&self, id: MetricId) -> HistogramSnapshot {
+        self.shared.metrics.histogram_snapshot(id)
     }
 }
 

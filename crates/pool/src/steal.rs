@@ -76,6 +76,10 @@ struct ScopeCore {
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
     /// Profiler session tasks attach to while running, if any.
     session: Option<Profiler>,
+    /// Tasks of *this scope* taken from a queue other than the taker's
+    /// own deque. Per-scope so concurrent scopes on one pool report
+    /// their own steal counts without cross-contamination.
+    steals: AtomicU64,
 }
 
 impl ScopeCore {
@@ -141,21 +145,69 @@ impl PoolCore {
             let victim = (i + off) % n;
             if let Some(t) = self.deques[victim].lock().unwrap().pop_front() {
                 self.steals.fetch_add(1, Ordering::Relaxed);
+                t.scope.steals.fetch_add(1, Ordering::Relaxed);
                 return Some(t);
             }
         }
         None
     }
 
+    /// Whether the scope owner helping from `own_scope` may execute
+    /// `task`. Its own scope's tasks always qualify (quiescence must
+    /// make progress even with zero background workers). Foreign tasks
+    /// qualify only when running them here cannot corrupt profiles:
+    /// the helping thread is unattached, or the task belongs to the
+    /// same session. A thread attached to session A cannot attach to
+    /// session B (no-op guard), so running B's task here would land
+    /// its spans and queue metrics in A — those tasks are left for
+    /// the background workers or B's own owner.
+    fn owner_may_run(
+        task: &Task,
+        own_scope: &Arc<ScopeCore>,
+        own_session: Option<&Profiler>,
+    ) -> bool {
+        if Arc::ptr_eq(&task.scope, own_scope) {
+            return true;
+        }
+        match own_session {
+            None => true,
+            Some(s) => task
+                .scope
+                .session
+                .as_ref()
+                .is_some_and(|t| t.same_session(s)),
+        }
+    }
+
+    /// Removes the oldest compatible task from `deque`.
+    fn take_compatible(
+        deque: &Mutex<VecDeque<Task>>,
+        own_scope: &Arc<ScopeCore>,
+        own_session: Option<&Profiler>,
+    ) -> Option<Task> {
+        let mut q = deque.lock().unwrap();
+        let idx = q
+            .iter()
+            .position(|t| Self::owner_may_run(t, own_scope, own_session))?;
+        q.remove(idx)
+    }
+
     /// Next task for the scope owner: the injector first (its own
-    /// submissions), then steal from worker deques.
-    fn find_task_external(&self) -> Option<Task> {
-        if let Some(t) = self.injector.lock().unwrap().pop_front() {
+    /// submissions), then steal from worker deques. Only tasks the
+    /// owner may run without mis-attributing metrics are taken (see
+    /// [`PoolCore::owner_may_run`]).
+    fn find_task_external(
+        &self,
+        own_scope: &Arc<ScopeCore>,
+        own_session: Option<&Profiler>,
+    ) -> Option<Task> {
+        if let Some(t) = Self::take_compatible(&self.injector, own_scope, own_session) {
             return Some(t);
         }
         for d in &self.deques {
-            if let Some(t) = d.lock().unwrap().pop_front() {
+            if let Some(t) = Self::take_compatible(d, own_scope, own_session) {
                 self.steals.fetch_add(1, Ordering::Relaxed);
+                t.scope.steals.fetch_add(1, Ordering::Relaxed);
                 return Some(t);
             }
         }
@@ -174,7 +226,14 @@ impl PoolCore {
             let _g = scope.session.as_ref().map(|s| s.attach());
             if let Some(at) = queued_at {
                 let wait = u64::try_from(at.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                m4ps_obs::histogram_record(m4ps_obs::MetricId::SliceQueueWaitNs, wait);
+                // Recorded directly into the task's own session (not
+                // via the thread-local attachment): a scope owner
+                // helping another scope of the same session is already
+                // attached, and the wait must land with the scope that
+                // queued the task either way.
+                if let Some(sess) = &scope.session {
+                    sess.metric_histogram_record(m4ps_obs::MetricId::SliceQueueWaitNs, wait);
+                }
             }
             // The erased `Scope<'static>` is only ever *exposed* to the
             // closure at its true lifetime; constructing it from owned
@@ -317,15 +376,14 @@ impl WorkerPool {
         f: impl FnOnce(&Scope<'env>) -> R,
     ) -> R {
         if let Some(sess) = session {
-            let _g = sess.attach();
-            m4ps_obs::gauge_set(m4ps_obs::MetricId::PoolWorkers, self.threads as u64);
+            sess.metric_gauge_set(m4ps_obs::MetricId::PoolWorkers, self.threads as u64);
         }
-        let steals_before = self.steals();
         let core = Arc::new(ScopeCore {
             pending: Mutex::new(0),
             progress: Condvar::new(),
             panic: Mutex::new(None),
             session: session.cloned(),
+            steals: AtomicU64::new(0),
         });
         let scope = Scope {
             pool: self.core.clone(),
@@ -337,10 +395,11 @@ impl WorkerPool {
         let body = catch_unwind(AssertUnwindSafe(|| f(&scope)));
         self.help_until_quiescent(&core);
         if let Some(sess) = session {
-            let stolen = self.steals() - steals_before;
+            // The per-scope counter, not a pool-lifetime delta:
+            // concurrent scopes each report exactly their own steals.
+            let stolen = core.steals.load(Ordering::Relaxed);
             if stolen > 0 {
-                let _g = sess.attach();
-                m4ps_obs::counter_add(m4ps_obs::MetricId::PoolSteals, stolen);
+                sess.metric_counter_add(m4ps_obs::MetricId::PoolSteals, stolen);
             }
         }
         let result = match body {
@@ -357,8 +416,13 @@ impl WorkerPool {
     /// quiescent (no pending tasks anywhere).
     fn help_until_quiescent(&self, scope: &Arc<ScopeCore>) {
         let _g = scope.session.as_ref().map(|s| s.attach());
+        // The session this thread is actually attached to right now
+        // (the attach above may have been a no-op if the thread came
+        // in attached to a different session). It bounds which foreign
+        // tasks may run here — see `owner_may_run`.
+        let own_session = m4ps_obs::current();
         loop {
-            if let Some(task) = self.core.find_task_external() {
+            if let Some(task) = self.core.find_task_external(scope, own_session.as_ref()) {
                 self.core.run_task(task);
                 continue;
             }
@@ -570,5 +634,47 @@ mod tests {
             .find(|d| d.get("metric").and_then(|m| m.as_str()) == Some("slice_queue_wait_ns"))
             .expect("queue-wait histogram present");
         assert_eq!(waits.get("count").unwrap().as_f64(), Some(8.0));
+    }
+
+    #[test]
+    fn concurrent_scopes_keep_metrics_isolated() {
+        use m4ps_obs::MetricId;
+        // Three driver threads share one pool, each running profiled
+        // scopes under its own session. Every session must see exactly
+        // its own queue waits and steals, at any interleaving.
+        let pool = WorkerPool::new(4);
+        let sessions: Vec<Profiler> = (0..3).map(|_| Profiler::new(false)).collect();
+        let per_session_tasks: Vec<usize> = (0..3).map(|k| (k + 1) * 4).collect();
+        std::thread::scope(|ts| {
+            for (k, sess) in sessions.iter().enumerate() {
+                let pool = &pool;
+                let tasks = per_session_tasks[k];
+                ts.spawn(move || {
+                    let _g = sess.attach();
+                    for _round in 0..5 {
+                        pool.scope(Some(sess), |s| {
+                            for _ in 0..tasks {
+                                s.spawn(|_| {
+                                    std::thread::sleep(Duration::from_micros(20));
+                                });
+                            }
+                        });
+                    }
+                });
+            }
+        });
+        for (k, sess) in sessions.iter().enumerate() {
+            let expect = (5 * per_session_tasks[k]) as u64;
+            let waits = sess.histogram_snapshot(MetricId::SliceQueueWaitNs);
+            assert_eq!(waits.count, expect, "session {k} queue-wait count");
+            // A task is stolen at most once, so a correctly attributed
+            // per-session steal count can never exceed the session's
+            // own task count (the old pool-lifetime delta could).
+            let steals = sess.metric_counter_value(MetricId::PoolSteals);
+            assert!(
+                steals <= expect,
+                "session {k}: steals {steals} > tasks {expect}"
+            );
+        }
     }
 }

@@ -1,0 +1,278 @@
+//! `m4ps-loadgen` — zero-dependency load generator for the
+//! multi-session encoding service.
+//!
+//! Drives [`m4ps_serve::Service`] with a configurable session mix in
+//! closed-loop (all sessions submitted up front) or open-loop
+//! (fixed-rate arrivals) mode, then prints a human summary and, with
+//! `--json`, a machine-readable report: sessions/sec, frames/sec, and
+//! p50/p90/p99 frame latency and pool queue wait from the service's
+//! `obs` histograms.
+//!
+//! ```text
+//! m4ps-loadgen --sessions 64 --frames 4 --threads 4 --drivers 8
+//! m4ps-loadgen --mode open --rate 200 --sessions 128 --reject-p99-us 5000
+//! ```
+
+use std::process::ExitCode;
+
+use m4ps_codec::{EncoderConfig, Scheduling};
+use m4ps_memsim::NullModel;
+use m4ps_serve::{AdmissionConfig, Service, ServiceConfig, ServiceReport, SessionSpec};
+use m4ps_testkit::json::Json;
+
+struct Args {
+    sessions: usize,
+    frames: usize,
+    width: usize,
+    height: usize,
+    objects: usize,
+    layers: usize,
+    slices: usize,
+    threads: usize,
+    drivers: usize,
+    open_loop: bool,
+    /// Open-loop arrival rate, sessions per second.
+    rate: f64,
+    /// Per-session bitrate budget in kbit/s (0 = constant QP).
+    bitrate_kbps: usize,
+    sched: Option<Scheduling>,
+    reject_p99_us: Option<u64>,
+    shed_p99_us: Option<u64>,
+    min_window: u64,
+    seed: u64,
+    json: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            sessions: 64,
+            frames: 4,
+            width: 64,
+            height: 48,
+            objects: 0,
+            layers: 1,
+            slices: 2,
+            threads: 0,
+            drivers: 0,
+            open_loop: false,
+            rate: 100.0,
+            bitrate_kbps: 0,
+            sched: None,
+            reject_p99_us: None,
+            shed_p99_us: None,
+            min_window: 64,
+            seed: 1,
+            json: None,
+        }
+    }
+}
+
+const USAGE: &str = "m4ps-loadgen: multi-session encoding service load generator
+
+USAGE:
+    m4ps-loadgen [OPTIONS]
+
+OPTIONS:
+    --sessions N        sessions to submit (default 64)
+    --frames N          frames per session (default 4)
+    --width N           frame width, multiple of 16 (default 64)
+    --height N          frame height, multiple of 16 (default 48)
+    --objects N         shaped VOs per session, 0 = rectangular (default 0)
+    --layers N          layers per object, 1 or 2 (default 1)
+    --slices N          slices per VOP (default 2)
+    --threads N         shared pool width, 0 = M4PS_THREADS/auto (default 0)
+    --drivers N         driver threads, 0 = one per pool thread (default 0)
+    --mode open|closed  arrival mode (default closed)
+    --rate R            open-loop arrivals per second (default 100)
+    --bitrate-kbps N    per-session rate-control budget, 0 = constant QP
+    --sched MODE        slice | wavefront (default: M4PS_SCHED/auto)
+    --reject-p99-us N   admission: reject when windowed p99 queue wait
+                        exceeds N microseconds
+    --shed-p99-us N     admission: shed pending sessions past N microseconds
+    --min-window N      admission decision window, samples (default 64)
+    --seed N            base content seed (default 1)
+    --json PATH         write the JSON report to PATH ('-' for stdout)
+    --help              this text
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            print!("{USAGE}");
+            std::process::exit(0);
+        }
+        let mut value = || it.next().ok_or_else(|| format!("{flag} requires a value"));
+        match flag.as_str() {
+            "--sessions" => args.sessions = parse(&value()?)?,
+            "--frames" => args.frames = parse(&value()?)?,
+            "--width" => args.width = parse(&value()?)?,
+            "--height" => args.height = parse(&value()?)?,
+            "--objects" => args.objects = parse(&value()?)?,
+            "--layers" => args.layers = parse(&value()?)?,
+            "--slices" => args.slices = parse(&value()?)?,
+            "--threads" => args.threads = parse(&value()?)?,
+            "--drivers" => args.drivers = parse(&value()?)?,
+            "--rate" => {
+                let v = value()?;
+                args.rate = v.parse().map_err(|e| format!("--rate '{v}': {e}"))?;
+            }
+            "--bitrate-kbps" => args.bitrate_kbps = parse(&value()?)?,
+            "--mode" => {
+                args.open_loop = match value()?.as_str() {
+                    "open" => true,
+                    "closed" => false,
+                    other => return Err(format!("--mode: unknown mode '{other}'")),
+                };
+            }
+            "--sched" => {
+                args.sched = Some(match value()?.as_str() {
+                    "slice" => Scheduling::SliceParallel,
+                    "wavefront" => Scheduling::Wavefront,
+                    other => return Err(format!("--sched: unknown mode '{other}'")),
+                });
+            }
+            "--reject-p99-us" => args.reject_p99_us = Some(parse(&value()?)? as u64),
+            "--shed-p99-us" => args.shed_p99_us = Some(parse(&value()?)? as u64),
+            "--min-window" => args.min_window = parse(&value()?)? as u64,
+            "--seed" => args.seed = parse(&value()?)? as u64,
+            "--json" => args.json = Some(value()?),
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|e| format!("'{s}': {e}"))
+}
+
+fn spec_for(args: &Args, i: usize) -> SessionSpec {
+    let mut encoder = EncoderConfig::fast_test().with_slices(args.slices.max(1));
+    if args.bitrate_kbps > 0 {
+        encoder.bitrate = Some((args.bitrate_kbps * 1000) as u32);
+    }
+    SessionSpec {
+        width: args.width,
+        height: args.height,
+        frames: args.frames,
+        objects: args.objects,
+        layers: args.layers,
+        seed: args.seed.wrapping_add(i as u64),
+        weight: 1,
+        encoder,
+    }
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn report_json(args: &Args, report: &ServiceReport) -> Json {
+    let lat = &report.frame_latency;
+    let wait = &report.queue_wait;
+    Json::obj(vec![
+        ("sessions", Json::Num(args.sessions as f64)),
+        ("frames_per_session", Json::Num(args.frames as f64)),
+        (
+            "mode",
+            Json::str(if args.open_loop { "open" } else { "closed" }),
+        ),
+        ("wall_s", Json::Num(report.wall.as_secs_f64())),
+        ("completed", Json::Num(report.completed as f64)),
+        ("rejected", Json::Num(report.rejected as f64)),
+        ("shed", Json::Num(report.shed as f64)),
+        ("failed", Json::Num(report.failed as f64)),
+        ("frames", Json::Num(report.frames as f64)),
+        ("sessions_per_sec", Json::Num(report.sessions_per_sec)),
+        ("frames_per_sec", Json::Num(report.frames_per_sec)),
+        ("frame_p50_ms", Json::Num(ms(lat.p50()))),
+        ("frame_p90_ms", Json::Num(ms(lat.p90()))),
+        ("frame_p99_ms", Json::Num(ms(lat.p99()))),
+        ("queue_wait_p50_us", Json::Num(wait.p50() as f64 / 1e3)),
+        ("queue_wait_p99_us", Json::Num(wait.p99() as f64 / 1e3)),
+        ("queue_wait_samples", Json::Num(wait.count as f64)),
+        ("pool_steals", Json::Num(report.steals as f64)),
+    ])
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("m4ps-loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let service = Service::new(ServiceConfig {
+        threads: args.threads,
+        drivers: args.drivers,
+        sched: args.sched,
+        admission: AdmissionConfig {
+            reject_p99_ns: args.reject_p99_us.map(|us| us * 1000),
+            shed_p99_ns: args.shed_p99_us.map(|us| us * 1000),
+            min_window: args.min_window,
+        },
+    });
+    let report = if args.open_loop {
+        let gap = 1.0 / args.rate.max(1e-6);
+        let arrivals = (0..args.sessions)
+            .map(|i| {
+                (
+                    std::time::Duration::from_secs_f64(gap * i as f64),
+                    spec_for(&args, i),
+                )
+            })
+            .collect();
+        service.run_open_loop(arrivals, |_, _| NullModel::new(), |_, _| {})
+    } else {
+        let specs = (0..args.sessions).map(|i| spec_for(&args, i)).collect();
+        service.run_batch(specs, |_, _| NullModel::new(), |_, _| {})
+    };
+
+    eprintln!(
+        "m4ps-loadgen: {} sessions submitted ({}), {} completed, {} rejected, {} shed, {} failed",
+        args.sessions,
+        if args.open_loop {
+            format!("open loop, {:.0}/s", args.rate)
+        } else {
+            "closed loop".to_string()
+        },
+        report.completed,
+        report.rejected,
+        report.shed,
+        report.failed
+    );
+    eprintln!(
+        "  wall {:.3}s | {:.1} sessions/s | {:.1} frames/s | pool {} threads, {} steals",
+        report.wall.as_secs_f64(),
+        report.sessions_per_sec,
+        report.frames_per_sec,
+        service.pool().threads(),
+        report.steals,
+    );
+    eprintln!(
+        "  frame latency p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms | queue wait p99 {:.1} us ({} samples)",
+        ms(report.frame_latency.p50()),
+        ms(report.frame_latency.p90()),
+        ms(report.frame_latency.p99()),
+        report.queue_wait.p99() as f64 / 1e3,
+        report.queue_wait.count,
+    );
+
+    if let Some(path) = &args.json {
+        let doc = report_json(&args, &report).pretty();
+        if path == "-" {
+            println!("{doc}");
+        } else if let Err(e) = std::fs::write(path, &doc) {
+            eprintln!("m4ps-loadgen: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if report.failed > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,33 @@
+//! `m4ps-serve` — a long-running multi-session MPEG-4 encoding service.
+//!
+//! The paper's study encodes one scene at a time; this crate asks the
+//! server-consolidation question instead: how many *concurrent* encode
+//! sessions can one general-purpose machine sustain, and at what frame
+//! latency? It multiplexes hundreds of [`session::Session`]s — each
+//! with its own scene, encoder arenas and forked memory model — over a
+//! single persistent work-stealing [`m4ps_pool::WorkerPool`], with:
+//!
+//! - **Weighted fair queueing** at frame-job granularity
+//!   ([`service::Service`]): virtual time advances by encoded bytes
+//!   over session weight, so heavier sessions get proportionally more
+//!   of the pool.
+//! - **Admission control** driven by `obs` metrics: new sessions are
+//!   rejected — and, under sustained overload, pending ones shed —
+//!   when the shared pool's `slice_queue_wait_ns` windowed p99
+//!   crosses configured thresholds.
+//! - **A throughput harness**: the `m4ps-loadgen` binary generates
+//!   open- or closed-loop session arrivals and reports sessions/sec
+//!   plus p50/p99 frame latency from `obs` histograms.
+//!
+//! The cardinal invariant is unchanged from the rest of the workspace:
+//! multiplexing never changes what any session computes. Every
+//! session's bitstream and merged counters are bit-identical to
+//! encoding that session alone, at any session/driver/thread count.
+
+pub mod service;
+pub mod session;
+
+pub use service::{
+    AdmissionConfig, Service, ServiceConfig, ServiceReport, SessionOutcome, SessionStatus,
+};
+pub use session::{Session, SessionSpec};

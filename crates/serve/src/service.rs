@@ -1,0 +1,717 @@
+//! The multi-session service: admission control, weighted fair
+//! queueing, and a driver-thread crew multiplexing frame jobs onto one
+//! shared worker pool.
+//!
+//! # Scheduling model
+//!
+//! The unit of work is one *frame job* (a [`Session::step`] call — one
+//! display frame, every VOP it produces). Sessions are virtual-time
+//! fair-queued: each completed job advances its session's virtual time
+//! by `bytes_produced / weight`, and the next job scheduled is always
+//! the ready session with the smallest virtual time. A weight-2
+//! session therefore converges to twice the bytes-per-wall-second of a
+//! weight-1 competitor under saturation, and an idle service serves a
+//! lone session at full pool speed.
+//!
+//! # Admission control
+//!
+//! The signal is the shared pool's `slice_queue_wait_ns` histogram —
+//! the time row/slice tasks sit in the work-stealing deques. The
+//! controller watches a sliding window (snapshot deltas, so old load
+//! spikes age out) and rejects new sessions when the window's p99
+//! crosses [`AdmissionConfig::reject_p99_ns`]; under sustained
+//! overload past [`AdmissionConfig::shed_p99_ns`] it shed-cancels
+//! admitted sessions that have not yet encoded a frame. Accepted,
+//! rejected and shed counts are exported as `obs` counters.
+//!
+//! # Invariant
+//!
+//! Scheduling never changes what a session computes: every session
+//! owns its scene, encoder state and forked memory model, so its
+//! bitstream and counters are bit-identical to a solo run at any
+//! session/driver/thread count (pinned by `tests/session_isolation.rs`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use m4ps_codec::{Scheduling, SessionStats};
+use m4ps_memsim::{AddressSpace, Counters, ParallelModel};
+use m4ps_obs::{HistogramSnapshot, MetricId, Profiler};
+use m4ps_pool::WorkerPool;
+
+use crate::session::{Session, SessionSpec};
+
+/// Queue-wait-driven admission thresholds. `None` disables a control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Reject new sessions while the windowed p99 queue wait exceeds
+    /// this (nanoseconds).
+    pub reject_p99_ns: Option<u64>,
+    /// Shed not-yet-started sessions while the windowed p99 queue wait
+    /// exceeds this (nanoseconds). Should be ≥ `reject_p99_ns`.
+    pub shed_p99_ns: Option<u64>,
+    /// Minimum samples in a decision window; with fewer the controller
+    /// abstains (admits) rather than acting on noise.
+    pub min_window: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            reject_p99_ns: None,
+            shed_p99_ns: None,
+            min_window: 64,
+        }
+    }
+}
+
+/// Service-level knobs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServiceConfig {
+    /// Shared pool size; 0 resolves from `M4PS_THREADS` / available
+    /// parallelism.
+    pub threads: usize,
+    /// Driver threads (frame jobs in flight concurrently); 0 = one per
+    /// pool thread.
+    pub drivers: usize,
+    /// Scheduling mode handed to every session's coders; `None` keeps
+    /// the `M4PS_SCHED` / default behaviour.
+    pub sched: Option<Scheduling>,
+    /// Admission thresholds.
+    pub admission: AdmissionConfig,
+}
+
+/// How one submitted session ended.
+pub enum SessionStatus {
+    /// Encoded every frame; bitstreams, stats and the session's private
+    /// counter stream.
+    Completed {
+        /// Per-(vo, layer) elementary streams.
+        streams: Vec<Vec<u8>>,
+        /// Codec session statistics.
+        stats: SessionStats,
+        /// The session's merged memory-model counters.
+        counters: Counters,
+    },
+    /// Refused at submit by admission control.
+    Rejected,
+    /// Admitted, then cancelled before its first frame under sustained
+    /// overload.
+    Shed,
+    /// A codec error ended the session early.
+    Failed(String),
+}
+
+impl std::fmt::Debug for SessionStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionStatus::Completed { streams, stats, .. } => f
+                .debug_struct("Completed")
+                .field("streams", &streams.len())
+                .field("bytes", &stats.bytes)
+                .finish(),
+            SessionStatus::Rejected => write!(f, "Rejected"),
+            SessionStatus::Shed => write!(f, "Shed"),
+            SessionStatus::Failed(e) => write!(f, "Failed({e})"),
+        }
+    }
+}
+
+/// Outcome of one submitted session, in submission order.
+#[derive(Debug)]
+pub struct SessionOutcome {
+    /// Submission index.
+    pub id: usize,
+    /// How the session ended.
+    pub status: SessionStatus,
+}
+
+/// Aggregate result of a service run.
+#[derive(Debug)]
+pub struct ServiceReport {
+    /// Per-session outcomes, ordered by submission index.
+    pub outcomes: Vec<SessionOutcome>,
+    /// Wall time from run start to quiescence.
+    pub wall: Duration,
+    /// Sessions that completed every frame.
+    pub completed: u64,
+    /// Sessions rejected at submit.
+    pub rejected: u64,
+    /// Sessions shed after admission.
+    pub shed: u64,
+    /// Sessions that failed with a codec error.
+    pub failed: u64,
+    /// Frame jobs executed.
+    pub frames: u64,
+    /// Completed sessions per wall second.
+    pub sessions_per_sec: f64,
+    /// Frame jobs per wall second.
+    pub frames_per_sec: f64,
+    /// Frame latency distribution (ready → encoded, nanoseconds) for
+    /// this run only.
+    pub frame_latency: HistogramSnapshot,
+    /// Pool queue-wait distribution (nanoseconds) for this run only.
+    pub queue_wait: HistogramSnapshot,
+    /// Work-stealing steals attributed to this run's scopes.
+    pub steals: u64,
+}
+
+/// A long-running multi-session encoding service over one shared
+/// [`WorkerPool`] and one `obs` session for service metrics.
+pub struct Service {
+    pool: Arc<WorkerPool>,
+    profiler: Profiler,
+    config: ServiceConfig,
+    /// Sliding-window anchor for the reject decision. Lives on the
+    /// service (not the run) so load observed before a run — earlier
+    /// runs on this long-lived service — still counts against new
+    /// arrivals.
+    admit_anchor: Mutex<HistogramSnapshot>,
+    /// Sliding-window anchor for the shed decision.
+    shed_anchor: Mutex<HistogramSnapshot>,
+}
+
+/// Virtual-time scale: cost is `bytes * VT_SCALE / weight`, so integer
+/// division keeps sub-byte precision for large weights.
+const VT_SCALE: u64 = 1024;
+
+/// Scheduler state for one run (under the run's mutex).
+struct Sched<M: ParallelModel> {
+    entries: Vec<Entry<M>>,
+    /// Virtual time of the most recently scheduled job; newly admitted
+    /// sessions start here so they cannot claim credit for time before
+    /// their arrival.
+    virtual_now: u64,
+    /// Frame jobs currently executing on drivers.
+    running: usize,
+    /// Open-loop arrivals still possible.
+    accepting: bool,
+    frames: u64,
+}
+
+enum EntryState<M: ParallelModel> {
+    /// Waiting for a driver; the instant the session became ready and
+    /// its live state.
+    Ready(Instant, Box<Session<M>>),
+    /// A driver is stepping it.
+    Running,
+    /// Finished (completed, failed or shed); outcome recorded.
+    Done,
+}
+
+struct Entry<M: ParallelModel> {
+    id: usize,
+    weight: u32,
+    vtime: u64,
+    state: EntryState<M>,
+}
+
+impl<M: ParallelModel> Sched<M> {
+    fn active(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| !matches!(e.state, EntryState::Done))
+            .count()
+    }
+
+    fn quiescent(&self) -> bool {
+        !self.accepting && self.running == 0 && self.active() == 0
+    }
+
+    /// Index of the ready entry with the smallest virtual time (ties
+    /// broken by submission order, for determinism).
+    fn pick(&self) -> Option<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e.state, EntryState::Ready(..)))
+            .min_by_key(|(_, e)| (e.vtime, e.id))
+            .map(|(i, _)| i)
+    }
+}
+
+impl Service {
+    /// Spawns the shared pool and creates the service's `obs` session.
+    pub fn new(config: ServiceConfig) -> Self {
+        let pool = Arc::new(if config.threads > 0 {
+            WorkerPool::new(config.threads)
+        } else {
+            WorkerPool::from_env()
+        });
+        Service {
+            pool,
+            profiler: Profiler::new(false),
+            config,
+            admit_anchor: Mutex::new(HistogramSnapshot::empty()),
+            shed_anchor: Mutex::new(HistogramSnapshot::empty()),
+        }
+    }
+
+    /// The shared worker pool.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// The service's `obs` session (lifetime metrics; per-run numbers
+    /// are in the [`ServiceReport`]).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    fn drivers(&self) -> usize {
+        let d = if self.config.drivers > 0 {
+            self.config.drivers
+        } else {
+            self.pool.threads()
+        };
+        d.max(1)
+    }
+
+    /// Closed-loop batch: submits every spec up front (admission still
+    /// applies), drives all sessions to completion, returns the report.
+    ///
+    /// `make_mem` builds each session's private memory model; `attach`
+    /// runs once per session after allocation (region attribution for
+    /// `Hierarchy` models; no-op for `NullModel`).
+    pub fn run_batch<M, F, A>(
+        &self,
+        specs: Vec<SessionSpec>,
+        make_mem: F,
+        attach: A,
+    ) -> ServiceReport
+    where
+        M: ParallelModel + Send,
+        F: Fn(usize, &SessionSpec) -> M + Sync,
+        A: Fn(&AddressSpace, &mut M) + Sync,
+    {
+        let arrivals = specs.into_iter().map(|s| (Duration::ZERO, s)).collect();
+        self.run(arrivals, make_mem, attach)
+    }
+
+    /// Open-loop run: each spec arrives `offset` after the run starts
+    /// (offsets need not be sorted; submission order is arrival order
+    /// after sorting). Admission control applies at each arrival.
+    pub fn run_open_loop<M, F, A>(
+        &self,
+        mut arrivals: Vec<(Duration, SessionSpec)>,
+        make_mem: F,
+        attach: A,
+    ) -> ServiceReport
+    where
+        M: ParallelModel + Send,
+        F: Fn(usize, &SessionSpec) -> M + Sync,
+        A: Fn(&AddressSpace, &mut M) + Sync,
+    {
+        arrivals.sort_by_key(|(at, _)| *at);
+        self.run(arrivals, make_mem, attach)
+    }
+
+    fn run<M, F, A>(
+        &self,
+        arrivals: Vec<(Duration, SessionSpec)>,
+        make_mem: F,
+        attach: A,
+    ) -> ServiceReport
+    where
+        M: ParallelModel + Send,
+        F: Fn(usize, &SessionSpec) -> M + Sync,
+        A: Fn(&AddressSpace, &mut M) + Sync,
+    {
+        let start = Instant::now();
+        let latency_before = self
+            .profiler
+            .histogram_snapshot(MetricId::ServeFrameLatencyNs);
+        let wait_before = self.profiler.histogram_snapshot(MetricId::SliceQueueWaitNs);
+        let steals_before = self.profiler.metric_counter_value(MetricId::PoolSteals);
+
+        let state = Mutex::new(Sched::<M> {
+            entries: Vec::with_capacity(arrivals.len()),
+            virtual_now: 0,
+            running: 0,
+            accepting: true,
+            frames: 0,
+        });
+        let cv = Condvar::new();
+        // Outcome slots indexed by submission id, filled as sessions end.
+        let outcomes: Mutex<Vec<Option<SessionStatus>>> =
+            Mutex::new(Vec::with_capacity(arrivals.len()));
+        let completed = AtomicU64::new(0);
+        let failed = AtomicU64::new(0);
+        let rejected = AtomicU64::new(0);
+        let shed = AtomicU64::new(0);
+
+        std::thread::scope(|ts| {
+            for _ in 0..self.drivers() {
+                ts.spawn(|| self.driver_loop(&state, &cv, &outcomes, &completed, &failed, &shed));
+            }
+            // Arrival loop on the caller thread.
+            for (id, (at, spec)) in arrivals.into_iter().enumerate() {
+                if let Some(pause) = at.checked_sub(start.elapsed()) {
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                }
+                outcomes.lock().unwrap().push(None);
+                if !self.admit() {
+                    outcomes.lock().unwrap()[id] = Some(SessionStatus::Rejected);
+                    rejected.fetch_add(1, Ordering::Relaxed);
+                    self.profiler
+                        .metric_counter_add(MetricId::ServeSessionsRejected, 1);
+                    continue;
+                }
+                let mem = make_mem(id, &spec);
+                let session = Session::new(
+                    spec.clone(),
+                    mem,
+                    self.pool.clone(),
+                    self.config.sched,
+                    &attach,
+                );
+                let mut st = state.lock().unwrap();
+                match session {
+                    Ok(s) => {
+                        self.profiler
+                            .metric_counter_add(MetricId::ServeSessionsAccepted, 1);
+                        let vtime = st.virtual_now;
+                        st.entries.push(Entry {
+                            id,
+                            weight: spec.weight.max(1),
+                            vtime,
+                            state: EntryState::Ready(Instant::now(), Box::new(s)),
+                        });
+                        self.profiler
+                            .metric_gauge_set(MetricId::ServeSessionsActive, st.active() as u64);
+                    }
+                    Err(e) => {
+                        outcomes.lock().unwrap()[id] =
+                            Some(SessionStatus::Failed(format!("{e:?}")));
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                drop(st);
+                cv.notify_all();
+            }
+            {
+                let mut st = state.lock().unwrap();
+                st.accepting = false;
+            }
+            cv.notify_all();
+        });
+
+        let wall = start.elapsed();
+        let frames = state.lock().unwrap().frames;
+        let outcomes: Vec<SessionOutcome> = outcomes
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .enumerate()
+            .map(|(id, status)| SessionOutcome {
+                id,
+                status: status.expect("every submitted session has an outcome"),
+            })
+            .collect();
+        let completed = completed.load(Ordering::Relaxed);
+        let secs = wall.as_secs_f64().max(1e-9);
+        ServiceReport {
+            frame_latency: self
+                .profiler
+                .histogram_snapshot(MetricId::ServeFrameLatencyNs)
+                .delta_since(&latency_before),
+            queue_wait: self
+                .profiler
+                .histogram_snapshot(MetricId::SliceQueueWaitNs)
+                .delta_since(&wait_before),
+            steals: self.profiler.metric_counter_value(MetricId::PoolSteals) - steals_before,
+            outcomes,
+            wall,
+            completed,
+            rejected: rejected.load(Ordering::Relaxed),
+            shed: shed.load(Ordering::Relaxed),
+            failed: failed.load(Ordering::Relaxed),
+            frames,
+            sessions_per_sec: completed as f64 / secs,
+            frames_per_sec: frames as f64 / secs,
+        }
+    }
+
+    /// Admission decision at submit time: watch the queue-wait window
+    /// since the last full window; reject while its p99 exceeds the
+    /// threshold. Abstains (admits) below `min_window` samples.
+    fn admit(&self) -> bool {
+        let Some(threshold) = self.config.admission.reject_p99_ns else {
+            return true;
+        };
+        let now = self.profiler.histogram_snapshot(MetricId::SliceQueueWaitNs);
+        let mut anchor = self.admit_anchor.lock().unwrap();
+        let window = now.delta_since(&anchor);
+        if window.count < self.config.admission.min_window {
+            return true;
+        }
+        *anchor = now;
+        window.p99() <= threshold
+    }
+
+    fn driver_loop<M: ParallelModel + Send>(
+        &self,
+        state: &Mutex<Sched<M>>,
+        cv: &Condvar,
+        outcomes: &Mutex<Vec<Option<SessionStatus>>>,
+        completed: &AtomicU64,
+        failed: &AtomicU64,
+        shed: &AtomicU64,
+    ) {
+        // Drivers stay attached to the service session: the encoders
+        // pick it up via `m4ps_obs::current()` and hand it to every
+        // pool scope, so queue waits and steals all land here.
+        let _g = self.profiler.attach();
+        loop {
+            let (id, ready_since, mut session, weight) = {
+                let mut st = state.lock().unwrap();
+                loop {
+                    if let Some(i) = st.pick() {
+                        let e = &mut st.entries[i];
+                        let taken = std::mem::replace(&mut e.state, EntryState::Running);
+                        let EntryState::Ready(since, session) = taken else {
+                            unreachable!("pick() returns Ready entries only");
+                        };
+                        let (id, weight, vt) = (e.id, e.weight, e.vtime);
+                        st.virtual_now = vt;
+                        st.running += 1;
+                        break (id, since, session, weight);
+                    }
+                    if st.quiescent() {
+                        return;
+                    }
+                    let (guard, _) = cv.wait_timeout(st, Duration::from_micros(500)).unwrap();
+                    st = guard;
+                }
+            };
+            let result = session.step();
+            let latency = u64::try_from(ready_since.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.profiler
+                .metric_histogram_record(MetricId::ServeFrameLatencyNs, latency);
+            let mut st = state.lock().unwrap();
+            st.running -= 1;
+            st.frames += 1;
+            let entry = st
+                .entries
+                .iter_mut()
+                .find(|e| e.id == id)
+                .expect("running entry present");
+            match result {
+                Err(e) => {
+                    entry.state = EntryState::Done;
+                    outcomes.lock().unwrap()[id] = Some(SessionStatus::Failed(format!("{e:?}")));
+                    failed.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(cost) => {
+                    entry.vtime += cost.max(1) * VT_SCALE / u64::from(weight.max(1));
+                    if session.is_done() {
+                        entry.state = EntryState::Done;
+                        let (streams, stats, counters) = session.into_output();
+                        outcomes.lock().unwrap()[id] = Some(SessionStatus::Completed {
+                            streams,
+                            stats,
+                            counters,
+                        });
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        entry.state = EntryState::Ready(Instant::now(), session);
+                    }
+                }
+            }
+            self.maybe_shed(&mut st, outcomes, shed);
+            self.profiler
+                .metric_gauge_set(MetricId::ServeSessionsActive, st.active() as u64);
+            drop(st);
+            cv.notify_all();
+        }
+    }
+
+    /// Sheds not-yet-started sessions while the queue-wait window's
+    /// p99 exceeds the shed threshold: the largest-virtual-time (least
+    /// entitled) pending session is cancelled per overload window.
+    fn maybe_shed<M: ParallelModel + Send>(
+        &self,
+        st: &mut Sched<M>,
+        outcomes: &Mutex<Vec<Option<SessionStatus>>>,
+        shed: &AtomicU64,
+    ) {
+        let Some(threshold) = self.config.admission.shed_p99_ns else {
+            return;
+        };
+        let now = self.profiler.histogram_snapshot(MetricId::SliceQueueWaitNs);
+        let mut anchor = self.shed_anchor.lock().unwrap();
+        let window = now.delta_since(&anchor);
+        if window.count < self.config.admission.min_window {
+            return;
+        }
+        *anchor = now;
+        drop(anchor);
+        if window.p99() <= threshold {
+            return;
+        }
+        let victim = st
+            .entries
+            .iter_mut()
+            .filter(|e| matches!(&e.state, EntryState::Ready(_, s) if s.frames_done() == 0))
+            .max_by_key(|e| (e.vtime, e.id));
+        if let Some(victim) = victim {
+            victim.state = EntryState::Done;
+            outcomes.lock().unwrap()[victim.id] = Some(SessionStatus::Shed);
+            shed.fetch_add(1, Ordering::Relaxed);
+            self.profiler
+                .metric_counter_add(MetricId::ServeSessionsShed, 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m4ps_memsim::NullModel;
+
+    fn null_batch(service: &Service, specs: Vec<SessionSpec>) -> ServiceReport {
+        service.run_batch(specs, |_, _| NullModel::new(), |_, _| {})
+    }
+
+    #[test]
+    fn batch_of_sixty_four_sessions_completes() {
+        let service = Service::new(ServiceConfig {
+            threads: 2,
+            drivers: 4,
+            sched: Some(Scheduling::SliceParallel),
+            admission: AdmissionConfig::default(),
+        });
+        let specs: Vec<SessionSpec> = (0..64).map(|i| SessionSpec::tiny(i, 2)).collect();
+        let report = null_batch(&service, specs);
+        assert_eq!(report.completed, 64);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.frames, 128, "2 frame jobs per session");
+        assert_eq!(
+            report.frame_latency.count, 128,
+            "one latency sample per frame job"
+        );
+        assert!(report.sessions_per_sec > 0.0);
+        assert_eq!(report.outcomes.len(), 64);
+        for (i, o) in report.outcomes.iter().enumerate() {
+            assert_eq!(o.id, i);
+            let SessionStatus::Completed { streams, stats, .. } = &o.status else {
+                panic!("session {i} did not complete: {:?}", o.status);
+            };
+            assert_eq!(streams.len(), 1);
+            assert_eq!(stats.frames, 2);
+        }
+    }
+
+    #[test]
+    fn admission_rejects_while_queue_wait_window_is_hot() {
+        let service = Service::new(ServiceConfig {
+            threads: 1,
+            drivers: 1,
+            sched: Some(Scheduling::SliceParallel),
+            admission: AdmissionConfig {
+                reject_p99_ns: Some(1_000),
+                shed_p99_ns: None,
+                min_window: 64,
+            },
+        });
+        // Synthetic overload: a full decision window of 1 ms queue waits.
+        for _ in 0..128 {
+            service
+                .profiler()
+                .metric_histogram_record(MetricId::SliceQueueWaitNs, 1_000_000);
+        }
+        let specs: Vec<SessionSpec> = (0..4).map(|i| SessionSpec::tiny(i, 1)).collect();
+        let report = null_batch(&service, specs);
+        // The first submit sees the hot window and is rejected; the
+        // rejection slides the window, so later (cheap) sessions pass.
+        assert!(report.rejected >= 1, "hot window must reject");
+        assert!(matches!(report.outcomes[0].status, SessionStatus::Rejected));
+        assert_eq!(report.completed + report.rejected, 4);
+        assert_eq!(
+            service
+                .profiler()
+                .metric_counter_value(MetricId::ServeSessionsRejected),
+            report.rejected
+        );
+    }
+
+    #[test]
+    fn overload_sheds_zero_progress_sessions() {
+        let service = Service::new(ServiceConfig {
+            threads: 2,
+            drivers: 1,
+            sched: Some(Scheduling::SliceParallel),
+            admission: AdmissionConfig {
+                reject_p99_ns: None,
+                // Any nonzero queue wait counts as overload.
+                shed_p99_ns: Some(0),
+                min_window: 1,
+            },
+        });
+        let specs: Vec<SessionSpec> = (0..8).map(|i| SessionSpec::tiny(i, 2)).collect();
+        let report = null_batch(&service, specs);
+        assert!(report.shed >= 1, "sustained overload must shed");
+        assert_eq!(
+            report.completed + report.shed + report.failed,
+            8,
+            "every session resolves"
+        );
+        let shed_ids: Vec<usize> = report
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o.status, SessionStatus::Shed))
+            .map(|o| o.id)
+            .collect();
+        assert_eq!(shed_ids.len() as u64, report.shed);
+    }
+
+    #[test]
+    fn open_loop_arrivals_complete() {
+        let service = Service::new(ServiceConfig {
+            threads: 2,
+            drivers: 2,
+            sched: Some(Scheduling::Wavefront),
+            admission: AdmissionConfig::default(),
+        });
+        let arrivals: Vec<(Duration, SessionSpec)> = (0..4)
+            .map(|i| (Duration::from_millis(i), SessionSpec::tiny(i, 2)))
+            .collect();
+        let report = service.run_open_loop(arrivals, |_, _| NullModel::new(), |_, _| {});
+        assert_eq!(report.completed, 4);
+        assert!(
+            report.wall >= Duration::from_millis(3),
+            "arrivals pace the run"
+        );
+    }
+
+    #[test]
+    fn weight_advances_virtual_time_proportionally() {
+        // Entry arithmetic: equal cost, 4x weight -> quarter the vtime.
+        let mut heavy = Entry::<NullModel> {
+            id: 0,
+            weight: 4,
+            vtime: 0,
+            state: EntryState::Done,
+        };
+        let mut light = Entry::<NullModel> {
+            id: 1,
+            weight: 1,
+            vtime: 0,
+            state: EntryState::Done,
+        };
+        let cost = 4096u64;
+        heavy.vtime += cost * VT_SCALE / u64::from(heavy.weight);
+        light.vtime += cost * VT_SCALE / u64::from(light.weight);
+        assert_eq!(light.vtime, 4 * heavy.vtime);
+    }
+}

@@ -1,0 +1,234 @@
+//! One encoding session: a scene, its encoder, and its private memory
+//! model, stepped one frame at a time by the service scheduler.
+
+use std::sync::Arc;
+
+use m4ps_codec::{CodecError, EncoderConfig, FrameView, SceneEncoder, Scheduling, SessionStats};
+use m4ps_memsim::{AddressSpace, Counters, ParallelModel};
+use m4ps_pool::WorkerPool;
+use m4ps_vidgen::{Resolution, Scene, SceneSpec};
+
+/// Everything needed to admit one session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSpec {
+    /// Frame width (multiple of 16).
+    pub width: usize,
+    /// Frame height (multiple of 16).
+    pub height: usize,
+    /// Frames this session encodes before completing.
+    pub frames: usize,
+    /// Visual objects: 0 = one rectangular VO, ≥1 = shaped VOs.
+    pub objects: usize,
+    /// Layers per object (1 or 2).
+    pub layers: usize,
+    /// Scene content seed — two sessions with the same seed encode the
+    /// same content.
+    pub seed: u64,
+    /// Weighted-fair-queueing weight: a weight-2 session is entitled
+    /// to twice the bytes-per-virtual-time of a weight-1 session.
+    pub weight: u32,
+    /// Codec configuration; `encoder.bitrate` is the session's rate
+    /// budget (per-session rate controller).
+    pub encoder: EncoderConfig,
+}
+
+impl SessionSpec {
+    /// A small fast session for tests, benches and smoke loads:
+    /// 64×48 rectangular VO with the cheap test codec config, sliced
+    /// in two so every VOP actually schedules jobs onto the shared
+    /// pool (unsliced VOPs encode inline and never queue, which would
+    /// starve the queue-wait admission signal).
+    pub fn tiny(seed: u64, frames: usize) -> Self {
+        SessionSpec {
+            width: 64,
+            height: 48,
+            frames,
+            objects: 0,
+            layers: 1,
+            seed,
+            weight: 1,
+            encoder: EncoderConfig::fast_test().with_slices(2),
+        }
+    }
+}
+
+/// A live session: owns its address space, scene, memory model and
+/// scene encoder (whose `SliceScratch` arenas are recycled for the
+/// whole session lifetime), scheduled onto the service's shared pool.
+pub struct Session<M: ParallelModel> {
+    spec: SessionSpec,
+    space: AddressSpace,
+    mem: M,
+    scene: Scene,
+    enc: SceneEncoder,
+    next_frame: usize,
+    /// Recycled per-frame mask storage (one buffer per object).
+    mask_storage: Vec<Vec<u8>>,
+    streams: Option<Vec<Vec<u8>>>,
+}
+
+impl<M: ParallelModel> Session<M> {
+    /// Builds a session on `pool`. `attach` runs after every codec
+    /// buffer is allocated and before any traffic (a `Hierarchy`
+    /// caller wires up region attribution there; pass a no-op for
+    /// `NullModel`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec configuration/geometry errors.
+    pub fn new(
+        spec: SessionSpec,
+        mut mem: M,
+        pool: Arc<WorkerPool>,
+        sched: Option<Scheduling>,
+        attach: impl FnOnce(&AddressSpace, &mut M),
+    ) -> Result<Self, CodecError> {
+        let mut space = AddressSpace::new();
+        let scene = Scene::new(SceneSpec {
+            resolution: Resolution::new(spec.width, spec.height),
+            objects: spec.objects.max(1),
+            seed: spec.seed,
+        });
+        let mut enc = SceneEncoder::new(
+            &mut space,
+            spec.width,
+            spec.height,
+            spec.objects,
+            spec.layers,
+            spec.encoder,
+        )?;
+        enc.set_pool(pool);
+        if let Some(s) = sched {
+            enc.set_scheduling(s);
+        }
+        attach(&space, &mut mem);
+        Ok(Session {
+            mask_storage: Vec::with_capacity(spec.objects),
+            spec,
+            space,
+            mem,
+            scene,
+            enc,
+            next_frame: 0,
+            streams: None,
+        })
+    }
+
+    /// The session's spec.
+    pub fn spec(&self) -> &SessionSpec {
+        &self.spec
+    }
+
+    /// Encodes the next frame (the scheduler's unit of work), flushing
+    /// the coders after the last one. Returns the bitstream bytes this
+    /// step produced — the WFQ cost. Must not be called once
+    /// [`Session::is_done`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors; a failed session is torn down by the
+    /// service.
+    pub fn step(&mut self) -> Result<u64, CodecError> {
+        assert!(!self.is_done(), "step() on a finished session");
+        let before = self.enc.stats().bytes;
+        let t = self.next_frame;
+        self.next_frame += 1;
+        let frame = self.scene.frame(t);
+        // Reuse the per-object mask buffers across frames.
+        for vo in 0..self.spec.objects {
+            let mask = self.scene.alpha(t, vo);
+            match self.mask_storage.get_mut(vo) {
+                Some(buf) => {
+                    buf.clear();
+                    buf.extend_from_slice(&mask.data);
+                }
+                None => self.mask_storage.push(mask.data),
+            }
+        }
+        let masks: Vec<&[u8]> = self.mask_storage.iter().map(|m| m.as_slice()).collect();
+        let view = FrameView {
+            width: frame.resolution.width,
+            height: frame.resolution.height,
+            y: &frame.y,
+            u: &frame.u,
+            v: &frame.v,
+        };
+        self.enc.encode_frame(&mut self.mem, &view, &masks)?;
+        if self.next_frame == self.spec.frames {
+            self.streams = Some(self.enc.finish(&mut self.mem)?);
+        }
+        Ok(self.enc.stats().bytes - before)
+    }
+
+    /// Whether every frame has been encoded and the coders flushed.
+    pub fn is_done(&self) -> bool {
+        self.streams.is_some()
+    }
+
+    /// Frames encoded so far.
+    pub fn frames_done(&self) -> usize {
+        self.next_frame
+    }
+
+    /// Session statistics so far.
+    pub fn stats(&self) -> SessionStats {
+        self.enc.stats()
+    }
+
+    /// The session's private counter stream.
+    pub fn counters(&self) -> Counters {
+        *self.mem.counters()
+    }
+
+    /// Simulated bytes the session's address space holds.
+    pub fn resident_bytes(&self) -> u64 {
+        self.space.allocated_bytes()
+    }
+
+    /// Consumes the finished session, returning its elementary streams,
+    /// statistics and counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the session is not [`Session::is_done`].
+    pub fn into_output(self) -> (Vec<Vec<u8>>, SessionStats, Counters) {
+        let stats = self.enc.stats();
+        let counters = *self.mem.counters();
+        (self.streams.expect("session finished"), stats, counters)
+    }
+}
+
+// Sessions migrate between driver threads (whichever driver claims the
+// next ready frame job steps the session), so they must be `Send`.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Session<m4ps_memsim::NullModel>>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m4ps_memsim::NullModel;
+
+    #[test]
+    fn session_steps_to_completion() {
+        let pool = Arc::new(WorkerPool::new(1));
+        let mut s = Session::new(
+            SessionSpec::tiny(7, 3),
+            NullModel::new(),
+            pool,
+            Some(Scheduling::SliceParallel),
+            |_, _| {},
+        )
+        .unwrap();
+        let mut cost = 0;
+        while !s.is_done() {
+            cost += s.step().unwrap();
+        }
+        assert_eq!(s.frames_done(), 3);
+        let (streams, stats, _) = s.into_output();
+        assert_eq!(stats.frames, 3);
+        assert_eq!(stats.bytes, cost, "step costs sum to the stream bytes");
+        assert!(streams.iter().map(|s| s.len() as u64).sum::<u64>() >= cost);
+    }
+}

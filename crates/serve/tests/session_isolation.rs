@@ -1,0 +1,167 @@
+//! Session-isolation determinism suite: a session encoded by the
+//! multi-session service — any session count, driver count, pool width
+//! or scheduling mode — produces the *bit-identical* streams and
+//! memory-model counters of encoding that session alone.
+//!
+//! This is the service-level extension of the workspace's cardinal
+//! invariant (bitstream and counters independent of thread count and
+//! scheduling): multiplexing adds interleaving, work stealing and
+//! shared deques, but must never add observable state.
+
+use std::sync::Arc;
+
+use m4ps_codec::{EncoderConfig, Scheduling};
+use m4ps_memsim::{Counters, Hierarchy, MachineSpec, NullModel};
+use m4ps_pool::WorkerPool;
+use m4ps_serve::{AdmissionConfig, Service, ServiceConfig, Session, SessionSpec, SessionStatus};
+
+/// A small spec mix covering rectangular, shaped and scalable sessions.
+fn spec_mix() -> Vec<SessionSpec> {
+    let shaped = SessionSpec {
+        objects: 1,
+        ..SessionSpec::tiny(11, 2)
+    };
+    let scalable = SessionSpec {
+        layers: 2,
+        ..SessionSpec::tiny(23, 2)
+    };
+    let unsliced = SessionSpec {
+        encoder: EncoderConfig::fast_test(),
+        ..SessionSpec::tiny(31, 3)
+    };
+    vec![SessionSpec::tiny(5, 3), shaped, scalable, unsliced]
+}
+
+/// Encodes `spec` alone on a private single-thread pool and returns
+/// its streams and counters — the reference the service must match.
+fn solo_hierarchy(spec: &SessionSpec, sched: Scheduling) -> (Vec<Vec<u8>>, Counters) {
+    let pool = Arc::new(WorkerPool::new(1));
+    let mut s = Session::new(
+        spec.clone(),
+        Hierarchy::new(MachineSpec::o2()),
+        pool,
+        Some(sched),
+        |space, mem| mem.attach_regions(space.regions()),
+    )
+    .expect("solo session builds");
+    while !s.is_done() {
+        s.step().expect("solo step");
+    }
+    let (streams, _, counters) = s.into_output();
+    (streams, counters)
+}
+
+fn solo_null(spec: &SessionSpec, sched: Scheduling) -> Vec<Vec<u8>> {
+    let pool = Arc::new(WorkerPool::new(1));
+    let mut s = Session::new(spec.clone(), NullModel::new(), pool, Some(sched), |_, _| {})
+        .expect("solo session builds");
+    while !s.is_done() {
+        s.step().expect("solo step");
+    }
+    s.into_output().0
+}
+
+/// The tentpole sweep: the spec mix through the service at several
+/// (drivers, threads) × scheduling points, every outcome compared
+/// bit-for-bit (streams *and* counters) against its solo reference.
+#[test]
+fn concurrent_sessions_match_solo_hierarchy_runs() {
+    let sweep = [
+        (2, 1, Scheduling::SliceParallel),
+        (4, 2, Scheduling::SliceParallel),
+        (2, 2, Scheduling::Wavefront),
+        (3, 4, Scheduling::Wavefront),
+    ];
+    for (drivers, threads, sched) in sweep {
+        let specs = spec_mix();
+        let refs: Vec<(Vec<Vec<u8>>, Counters)> =
+            specs.iter().map(|s| solo_hierarchy(s, sched)).collect();
+        let service = Service::new(ServiceConfig {
+            threads,
+            drivers,
+            sched: Some(sched),
+            admission: AdmissionConfig::default(),
+        });
+        let report = service.run_batch(
+            specs,
+            |_, _| Hierarchy::new(MachineSpec::o2()),
+            |space, mem| mem.attach_regions(space.regions()),
+        );
+        assert_eq!(report.completed, 4, "drivers={drivers} threads={threads}");
+        for (outcome, (ref_streams, ref_counters)) in report.outcomes.iter().zip(&refs) {
+            let SessionStatus::Completed {
+                streams, counters, ..
+            } = &outcome.status
+            else {
+                panic!("session {} not completed: {:?}", outcome.id, outcome.status);
+            };
+            assert_eq!(
+                streams, ref_streams,
+                "bitstream diverged: session {} drivers={drivers} threads={threads} sched={sched:?}",
+                outcome.id
+            );
+            assert_eq!(
+                counters, ref_counters,
+                "counters diverged: session {} drivers={drivers} threads={threads} sched={sched:?}",
+                outcome.id
+            );
+        }
+    }
+}
+
+/// 64 concurrent sessions (4 distinct contents × 16 replicas each):
+/// every replica reproduces its solo bitstream byte-for-byte, so
+/// identical-content sessions sharing one pool cannot alias state.
+#[test]
+fn sixty_four_sessions_are_bit_identical_to_solo() {
+    let sched = Scheduling::SliceParallel;
+    let refs: Vec<Vec<Vec<u8>>> = (0..4)
+        .map(|seed| solo_null(&SessionSpec::tiny(seed, 2), sched))
+        .collect();
+    let service = Service::new(ServiceConfig {
+        threads: 4,
+        drivers: 8,
+        sched: Some(sched),
+        admission: AdmissionConfig::default(),
+    });
+    let specs: Vec<SessionSpec> = (0..64).map(|i| SessionSpec::tiny(i % 4, 2)).collect();
+    let report = service.run_batch(specs, |_, _| NullModel::new(), |_, _| {});
+    assert_eq!(report.completed, 64);
+    for outcome in &report.outcomes {
+        let SessionStatus::Completed { streams, .. } = &outcome.status else {
+            panic!("session {} not completed", outcome.id);
+        };
+        assert_eq!(
+            streams,
+            &refs[outcome.id % 4],
+            "session {} diverged from its solo reference",
+            outcome.id
+        );
+    }
+}
+
+/// Weighted sessions still match their solo references: WFQ reorders
+/// work but never alters it.
+#[test]
+fn weights_reorder_but_never_change_output() {
+    let sched = Scheduling::Wavefront;
+    let mut specs: Vec<SessionSpec> = (0..6).map(|i| SessionSpec::tiny(i, 2)).collect();
+    for (i, s) in specs.iter_mut().enumerate() {
+        s.weight = 1 + (i as u32 % 3) * 4;
+    }
+    let refs: Vec<Vec<Vec<u8>>> = specs.iter().map(|s| solo_null(s, sched)).collect();
+    let service = Service::new(ServiceConfig {
+        threads: 2,
+        drivers: 3,
+        sched: Some(sched),
+        admission: AdmissionConfig::default(),
+    });
+    let report = service.run_batch(specs, |_, _| NullModel::new(), |_, _| {});
+    assert_eq!(report.completed, 6);
+    for (outcome, r) in report.outcomes.iter().zip(&refs) {
+        let SessionStatus::Completed { streams, .. } = &outcome.status else {
+            panic!("session {} not completed", outcome.id);
+        };
+        assert_eq!(streams, r, "weighted session {} diverged", outcome.id);
+    }
+}

@@ -66,6 +66,11 @@ cargo test -q --offline -p m4ps-codec --test fastpath_encode
 # per-phase JSONL the bench gate annotates its report with.
 scripts/trace_smoke.sh
 
+# Multi-session service smoke: 64-session closed-loop batch plus an
+# open-loop burst with admission thresholds armed; writes
+# LOADGEN_smoke.json (sessions/sec + latency percentiles).
+scripts/loadgen_smoke.sh
+
 echo "== bench smoke run =="
 baseline=""
 if [[ -f BENCH_smoke.json ]]; then
