@@ -388,6 +388,33 @@ fn bench_obs_overhead(r: &mut BenchRunner) {
                 .len()
         });
     }
+
+    // The same encode with the profiler session held constant and the
+    // flight recorder toggled: with one installed, every coarse phase
+    // span appends a 40-byte event to the thread's ring. bench_compare
+    // gates rec=on against rec=off (<8% overhead).
+    for recorded in [false, true] {
+        let mut space = AddressSpace::new();
+        let mut mem = NullModel::new();
+        let mut coder = VideoObjectCoder::new(&mut space, res.width, res.height, config).unwrap();
+        coder.set_threads(1);
+        coder
+            .encode_frame(&mut mem, &view(&frames[0]), None)
+            .unwrap();
+        let profiler = m4ps_obs::Profiler::new(false);
+        let recorder = recorded.then(|| m4ps_obs::Recorder::new(0));
+        if let Some(rec) = &recorder {
+            profiler.set_recorder(rec);
+        }
+        let _guard = profiler.attach();
+        let label = if recorded { "on" } else { "off" };
+        r.bench_bytes(&format!("parallel/encode_frame/rec={label}"), bytes, || {
+            coder
+                .encode_frame(&mut mem, &view(&frames[1]), None)
+                .unwrap()
+                .len()
+        });
+    }
 }
 
 fn bench_serve(r: &mut BenchRunner) {
@@ -408,6 +435,7 @@ fn bench_serve(r: &mut BenchRunner) {
         drivers: 8,
         sched: Some(m4ps_codec::Scheduling::SliceParallel),
         admission: AdmissionConfig::default(),
+        ..ServiceConfig::default()
     });
     let specs = || -> Vec<SessionSpec> {
         (0..SESSIONS as u64)
@@ -449,6 +477,7 @@ fn bench_serve(r: &mut BenchRunner) {
         drivers: 1,
         sched: Some(m4ps_codec::Scheduling::SliceParallel),
         admission: AdmissionConfig::default(),
+        ..ServiceConfig::default()
     });
     r.bench_bytes("serve/batch/drivers=1", bytes, || {
         let rep = solo.run_batch(specs(), |_, _| NullModel::new(), |_, _| {});

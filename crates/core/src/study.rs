@@ -16,6 +16,12 @@ use m4ps_vidgen::{Resolution, Scene, SceneSpec};
 /// [`StudyConfig::with_trace`] path takes precedence for encodes).
 pub const TRACE_ENV: &str = "M4PS_TRACE";
 
+/// Environment override for flight-recorder export: when set, every
+/// study run installs a [`m4ps_obs::Recorder`] and writes its event
+/// dump (JSONL + Chrome trace) to this path at the end (a
+/// [`StudyConfig::with_dump`] path takes precedence for encodes).
+pub const DUMP_ENV: &str = "M4PS_OBS_DUMP";
+
 /// A workload specification in the paper's terms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Workload {
@@ -83,6 +89,12 @@ pub struct StudyConfig {
     /// back to the [`TRACE_ENV`] environment variable. A pure
     /// observability knob — output and metrics are unchanged.
     pub trace: Option<String>,
+    /// When set, the study installs a flight recorder on its profiler
+    /// and pool and writes the event dump (JSONL, plus a Chrome trace
+    /// next to it) here at the end. `None` falls back to the
+    /// [`DUMP_ENV`] environment variable. A pure observability knob —
+    /// output and metrics are unchanged. Analyze with `m4ps-obs`.
+    pub dump: Option<String>,
     /// When set, the study encodes on this shared pool instead of
     /// spawning its own (overrides `threads`). This is how concurrent
     /// studies — the multi-session service, or callers running several
@@ -96,6 +108,7 @@ impl PartialEq for StudyConfig {
         self.encoder == other.encoder
             && self.threads == other.threads
             && self.trace == other.trace
+            && self.dump == other.dump
             // Pools have identity, not value, semantics.
             && match (&self.pool, &other.pool) {
                 (None, None) => true,
@@ -113,6 +126,7 @@ impl StudyConfig {
             encoder: EncoderConfig::paper(),
             threads: 0,
             trace: None,
+            dump: None,
             pool: None,
         }
     }
@@ -123,6 +137,7 @@ impl StudyConfig {
             encoder: EncoderConfig::fast_test(),
             threads: 0,
             trace: None,
+            dump: None,
             pool: None,
         }
     }
@@ -146,6 +161,13 @@ impl StudyConfig {
     /// [`StudyConfig::trace`]).
     pub fn with_trace(mut self, path: impl Into<String>) -> Self {
         self.trace = Some(path.into());
+        self
+    }
+
+    /// Writes a flight-recorder dump for the run (see
+    /// [`StudyConfig::dump`]).
+    pub fn with_dump(mut self, path: impl Into<String>) -> Self {
+        self.dump = Some(path.into());
         self
     }
 
@@ -189,6 +211,7 @@ fn drive_encode<M: ParallelModel>(
     mem: &mut M,
     workload: &Workload,
     config: &StudyConfig,
+    recorder: Option<&m4ps_obs::Recorder>,
     attach: impl FnOnce(&AddressSpace, &mut M),
 ) -> Result<(Vec<Vec<u8>>, SessionStats, Counters), CodecError> {
     let scene = Scene::new(SceneSpec {
@@ -219,6 +242,9 @@ fn drive_encode<M: ParallelModel>(
             m4ps_pool::WorkerPool::from_env()
         }),
     };
+    if let Some(rec) = recorder {
+        pool.set_recorder(rec);
+    }
     enc.set_pool(pool);
     attach(space, mem);
     let mut mask_storage: Vec<Vec<u8>> = Vec::new();
@@ -260,19 +286,30 @@ pub fn encode_study(
         Hierarchy::without_prefetch(machine.clone())
     };
     let trace = trace_path(config.trace.as_deref());
+    let dump = dump_path(config.dump.as_deref());
     let profiler = Profiler::new(trace.is_some());
+    let recorder = dump.as_ref().map(|_| m4ps_obs::Recorder::new(0));
+    if let Some(rec) = &recorder {
+        profiler.set_recorder(rec);
+    }
     // Everything the run charges happens inside the root `run` span, so
     // the profile's per-phase sums partition the aggregate counters.
     let guard = profiler.attach();
     record_kernel_tier(&profiler);
     m4ps_obs::enter(Phase::Run, *mem.counters());
-    let result = drive_encode(&mut space, &mut mem, workload, config, |sp, m| {
-        m.attach_regions(sp.regions())
-    });
+    let result = drive_encode(
+        &mut space,
+        &mut mem,
+        workload,
+        config,
+        recorder.as_ref(),
+        |sp, m| m.attach_regions(sp.regions()),
+    );
     m4ps_obs::exit(Phase::Run, *mem.counters());
     drop(guard);
     let (_, session, vop_window) = result?;
     write_trace_if_requested(&profiler, trace.as_deref());
+    write_dump_if_requested(recorder.as_ref(), dump.as_deref());
     let metrics = MemoryMetrics::derive(mem.counters(), machine);
     Ok(RunResult {
         machine: machine.clone(),
@@ -313,6 +350,24 @@ fn write_trace_if_requested(profiler: &Profiler, path: Option<&str>) {
     }
 }
 
+/// Resolves the effective flight-recorder dump path: explicit config,
+/// then the [`DUMP_ENV`] environment override.
+fn dump_path(explicit: Option<&str>) -> Option<String> {
+    explicit
+        .map(str::to_owned)
+        .or_else(|| std::env::var(DUMP_ENV).ok().filter(|p| !p.is_empty()))
+}
+
+/// Best-effort flight-recorder export; a failed write must not fail
+/// the study.
+fn write_dump_if_requested(recorder: Option<&m4ps_obs::Recorder>, path: Option<&str>) {
+    if let (Some(rec), Some(path)) = (recorder, path) {
+        if let Err(e) = rec.snapshot().write(path) {
+            eprintln!("m4ps: could not write flight dump to {path}: {e}");
+        }
+    }
+}
+
 /// Produces the elementary streams for `workload` at full speed (no
 /// memory simulation) so decode experiments can share them across
 /// machines.
@@ -326,7 +381,7 @@ pub fn prepare_streams(
 ) -> Result<Vec<Vec<u8>>, CodecError> {
     let mut space = AddressSpace::new();
     let mut mem = m4ps_memsim::NullModel::new();
-    let (streams, _, _) = drive_encode(&mut space, &mut mem, workload, config, |_, _| {})?;
+    let (streams, _, _) = drive_encode(&mut space, &mut mem, workload, config, None, |_, _| {})?;
     Ok(streams)
 }
 
@@ -344,7 +399,12 @@ pub fn decode_study(
     let mut space = AddressSpace::new();
     let mut mem = Hierarchy::new(machine.clone());
     let trace = trace_path(None);
+    let dump = dump_path(None);
     let profiler = Profiler::new(trace.is_some());
+    let recorder = dump.as_ref().map(|_| m4ps_obs::Recorder::new(0));
+    if let Some(rec) = &recorder {
+        profiler.set_recorder(rec);
+    }
     let guard = profiler.attach();
     record_kernel_tier(&profiler);
     m4ps_obs::enter(Phase::Run, *mem.counters());
@@ -358,6 +418,7 @@ pub fn decode_study(
     drop(guard);
     let dec = result?;
     write_trace_if_requested(&profiler, trace.as_deref());
+    write_dump_if_requested(recorder.as_ref(), dump.as_deref());
     let metrics = MemoryMetrics::derive(mem.counters(), machine);
     Ok(RunResult {
         machine: machine.clone(),

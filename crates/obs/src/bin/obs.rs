@@ -1,0 +1,382 @@
+//! `m4ps-obs` — offline analyzer for flight-recorder dumps.
+//!
+//! A dump (`flight_<n>.jsonl`, written by the serve layer on shed,
+//! reject, SLO breach, or worker panic — or on demand via
+//! `Recorder::snapshot`) is a merged snapshot of every thread's event
+//! ring. This tool turns one into operator-facing views:
+//!
+//! ```text
+//! m4ps-obs report flight_0.jsonl [--loadgen report.json] [--top 5]
+//! m4ps-obs trace  flight_0.jsonl out.trace.json
+//! ```
+//!
+//! `report` prints the run summary, the admission timeline, a
+//! per-session queue-wait/latency breakdown, the worker steal matrix,
+//! and the top-N frame-latency outliers, each with its surrounding
+//! event slice. With `--loadgen`, per-session memory-hierarchy
+//! counters from an `m4ps-loadgen --memsim` JSON report are joined in.
+//! `trace` re-exports the dump as a Chrome trace-event file
+//! (chrome://tracing, Perfetto) with one lane per session and worker.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use m4ps_obs::{outcome, Dump, DumpEvent, EventKind, NO_SESSION};
+use m4ps_testkit::json::Json;
+
+const USAGE: &str = "m4ps-obs: flight-recorder dump analyzer
+
+USAGE:
+    m4ps-obs report <dump.jsonl> [--loadgen <report.json>] [--top N]
+    m4ps-obs trace  <dump.jsonl> <out.json>
+
+COMMANDS:
+    report    print summary, admission timeline, per-session queue-wait
+              breakdown, steal matrix, and top-N latency outliers
+    trace     export the dump as a Chrome trace-event JSON file
+
+OPTIONS:
+    --loadgen PATH   join per-session memsim counters from an
+                     m4ps-loadgen JSON report
+    --top N          outliers to show with event slices (default 5)
+    --help           this text
+";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("m4ps-obs: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") || argv.is_empty() {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    match argv[0].as_str() {
+        "report" => {
+            let mut dump_path = None;
+            let mut loadgen = None;
+            let mut top = 5usize;
+            let mut it = argv[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--loadgen" => {
+                        loadgen = Some(it.next().ok_or("--loadgen requires a value")?.clone())
+                    }
+                    "--top" => {
+                        let v = it.next().ok_or("--top requires a value")?;
+                        top = v.parse().map_err(|e| format!("--top '{v}': {e}"))?;
+                    }
+                    other if !other.starts_with('-') && dump_path.is_none() => {
+                        dump_path = Some(other.to_string())
+                    }
+                    other => return Err(format!("unexpected argument '{other}' (try --help)")),
+                }
+            }
+            let dump = load_dump(&dump_path.ok_or("report: missing <dump.jsonl>")?)?;
+            report(&dump, loadgen.as_deref(), top)
+        }
+        "trace" => {
+            if argv.len() != 3 {
+                return Err("trace: expected <dump.jsonl> <out.json>".to_string());
+            }
+            let dump = load_dump(&argv[1])?;
+            std::fs::write(&argv[2], dump.to_chrome_trace().pretty())
+                .map_err(|e| format!("writing {}: {e}", argv[2]))?;
+            eprintln!(
+                "m4ps-obs: wrote {} ({} events, {} rings)",
+                argv[2],
+                dump.events.len(),
+                dump.rings.len()
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try --help)")),
+    }
+}
+
+fn load_dump(path: &str) -> Result<Dump, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Dump::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Milliseconds since the dump's first event.
+fn rel_ms(dump: &Dump, ts_ns: u64) -> f64 {
+    let t0 = dump.events.first().map_or(0, |e| e.ev.ts_ns);
+    ts_ns.saturating_sub(t0) as f64 / 1e6
+}
+
+fn ring_name(dump: &Dump, tid: u32) -> &str {
+    dump.rings
+        .iter()
+        .find(|r| r.tid == tid)
+        .map_or("?", |r| r.name.as_str())
+}
+
+fn report(dump: &Dump, loadgen: Option<&str>, top: usize) -> Result<(), String> {
+    summary(dump);
+    admission_timeline(dump);
+    session_breakdown(dump);
+    steal_matrix(dump);
+    outliers(dump, top);
+    if let Some(path) = loadgen {
+        memsim_table(path)?;
+    }
+    Ok(())
+}
+
+fn summary(dump: &Dump) {
+    println!("== flight recorder dump ==");
+    let span_ms = dump.events.last().map_or(0.0, |e| rel_ms(dump, e.ev.ts_ns));
+    println!(
+        "  {} events over {:.3} ms | {} rings (capacity {}) | {} dropped",
+        dump.events.len(),
+        span_ms,
+        dump.rings.len(),
+        dump.capacity,
+        dump.events_dropped
+    );
+    let mut by_kind: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for e in &dump.events {
+        *by_kind.entry(e.ev.kind.name()).or_default() += 1;
+    }
+    let mut counts: Vec<(&str, usize)> = by_kind.into_iter().collect();
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    let line = counts
+        .iter()
+        .map(|(k, n)| format!("{k}={n}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    println!("  {line}");
+}
+
+/// Chronological admission/lifecycle decisions, the "what did the
+/// controller do and why" view.
+fn admission_timeline(dump: &Dump) {
+    println!("\n== admission timeline ==");
+    let mut shown = 0usize;
+    for e in &dump.events {
+        let detail = match e.ev.kind {
+            EventKind::SessionSubmit => "arrived".to_string(),
+            EventKind::SessionOpen => format!("admitted weight={}", e.ev.a),
+            EventKind::AdmitReject => {
+                format!("REJECTED (queue-wait p99 {:.1} us)", e.ev.a as f64 / 1e3)
+            }
+            EventKind::SessionShed => {
+                format!("SHED (queue-wait p99 {:.1} us)", e.ev.a as f64 / 1e3)
+            }
+            EventKind::SessionClose => format!("closed: {}", outcome::name(e.ev.a)),
+            _ => continue,
+        };
+        println!(
+            "  {:>10.3} ms  session {:>3}  {}",
+            rel_ms(dump, e.ev.ts_ns),
+            e.ev.session,
+            detail
+        );
+        shown += 1;
+    }
+    if shown == 0 {
+        println!("  (no admission events in dump)");
+    }
+}
+
+#[derive(Default)]
+struct SessionRow {
+    dispatched: u64,
+    done: u64,
+    wait_sum: u64,
+    wait_max: u64,
+    lat_sum: u64,
+    lat_max: u64,
+    close: Option<u64>,
+}
+
+/// Per-session queue-wait and latency breakdown from `frame.dispatch`
+/// (`b` = ready→dispatch wait) and `frame.end` (`b` = ready→encoded
+/// latency).
+fn session_breakdown(dump: &Dump) {
+    println!("\n== per-session breakdown ==");
+    let mut rows: BTreeMap<u32, SessionRow> = BTreeMap::new();
+    for e in &dump.events {
+        if e.ev.session == NO_SESSION {
+            continue;
+        }
+        let row = rows.entry(e.ev.session).or_default();
+        match e.ev.kind {
+            EventKind::FrameDispatch => {
+                row.dispatched += 1;
+                row.wait_sum += e.ev.b;
+                row.wait_max = row.wait_max.max(e.ev.b);
+            }
+            EventKind::FrameEnd => {
+                row.done += 1;
+                row.lat_sum += e.ev.b;
+                row.lat_max = row.lat_max.max(e.ev.b);
+            }
+            EventKind::SessionClose => row.close = Some(e.ev.a),
+            _ => {}
+        }
+    }
+    if rows.is_empty() {
+        println!("  (no session events in dump)");
+        return;
+    }
+    println!(
+        "  {:>7} {:>9} {:>6} {:>12} {:>12} {:>11} {:>11}  outcome",
+        "session", "dispatch", "done", "wait-avg us", "wait-max us", "lat-avg ms", "lat-max ms"
+    );
+    for (id, row) in &rows {
+        let wait_avg = if row.dispatched > 0 {
+            row.wait_sum as f64 / row.dispatched as f64 / 1e3
+        } else {
+            0.0
+        };
+        let lat_avg = if row.done > 0 {
+            row.lat_sum as f64 / row.done as f64 / 1e6
+        } else {
+            0.0
+        };
+        println!(
+            "  {:>7} {:>9} {:>6} {:>12.1} {:>12.1} {:>11.3} {:>11.3}  {}",
+            id,
+            row.dispatched,
+            row.done,
+            wait_avg,
+            row.wait_max as f64 / 1e3,
+            lat_avg,
+            row.lat_max as f64 / 1e6,
+            row.close.map_or("open", outcome::name),
+        );
+    }
+}
+
+/// Thief ring x victim deque counts from `pool.steal` events.
+fn steal_matrix(dump: &Dump) {
+    println!("\n== steal matrix (thief ring x victim deque) ==");
+    let mut cells: BTreeMap<(u32, u64), u64> = BTreeMap::new();
+    let mut victims: Vec<u64> = Vec::new();
+    for e in &dump.events {
+        if e.ev.kind == EventKind::PoolSteal {
+            *cells.entry((e.tid, e.ev.a)).or_default() += 1;
+            if !victims.contains(&e.ev.a) {
+                victims.push(e.ev.a);
+            }
+        }
+    }
+    if cells.is_empty() {
+        println!("  (no steals in dump)");
+        return;
+    }
+    victims.sort_unstable();
+    let header = victims
+        .iter()
+        .map(|v| format!("{v:>8}"))
+        .collect::<String>();
+    println!("  {:<18}{header}", "thief \\ victim");
+    let thieves: Vec<u32> = {
+        let mut t: Vec<u32> = cells.keys().map(|(tid, _)| *tid).collect();
+        t.dedup();
+        t
+    };
+    for tid in thieves {
+        let row = victims
+            .iter()
+            .map(|v| format!("{:>8}", cells.get(&(tid, *v)).copied().unwrap_or(0)))
+            .collect::<String>();
+        println!("  {:<18}{row}", ring_name(dump, tid));
+    }
+}
+
+/// Top-N `frame.end` latencies, each with the session's surrounding
+/// event slice — the "what was this frame doing" drill-down.
+fn outliers(dump: &Dump, top: usize) {
+    println!("\n== top {top} frame-latency outliers ==");
+    let mut ends: Vec<&DumpEvent> = dump
+        .events
+        .iter()
+        .filter(|e| e.ev.kind == EventKind::FrameEnd)
+        .collect();
+    if ends.is_empty() {
+        println!("  (no completed frames in dump)");
+        return;
+    }
+    ends.sort_by(|x, y| y.ev.b.cmp(&x.ev.b).then(x.ev.ts_ns.cmp(&y.ev.ts_ns)));
+    for end in ends.iter().take(top) {
+        println!(
+            "  session {} frame {} — {:.3} ms (ready -> encoded), ended at {:.3} ms on {}",
+            end.ev.session,
+            end.ev.a,
+            end.ev.b as f64 / 1e6,
+            rel_ms(dump, end.ev.ts_ns),
+            ring_name(dump, end.tid),
+        );
+        // Everything this session did from frame-ready to frame-end.
+        let start = end.ev.ts_ns.saturating_sub(end.ev.b);
+        let slice: Vec<&DumpEvent> = dump
+            .events
+            .iter()
+            .filter(|e| {
+                e.ev.session == end.ev.session && e.ev.ts_ns >= start && e.ev.ts_ns <= end.ev.ts_ns
+            })
+            .collect();
+        const SLICE_MAX: usize = 10;
+        for e in slice.iter().take(SLICE_MAX) {
+            println!(
+                "      {:>10.3} ms  {:<14} a={} b={} [{}]",
+                rel_ms(dump, e.ev.ts_ns),
+                e.ev.kind.name(),
+                e.ev.a,
+                e.ev.b,
+                ring_name(dump, e.tid),
+            );
+        }
+        if slice.len() > SLICE_MAX {
+            println!("      ... {} more events in slice", slice.len() - SLICE_MAX);
+        }
+    }
+}
+
+/// Per-session memory-hierarchy counters joined from an
+/// `m4ps-loadgen --memsim` JSON report.
+fn memsim_table(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let sessions = doc
+        .get("per_session")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: no per_session array (need --memsim --json report)"))?;
+    println!("\n== per-session memory hierarchy (from {path}) ==");
+    println!(
+        "  {:>7} {:>6} {:>10} {:>12} {:>12} {:>10} {:>9} {:>14}  status",
+        "session", "weight", "frames", "loads", "stores", "l1-miss", "l2-miss", "bytes-accessed"
+    );
+    for s in sessions {
+        let num = |k: &str| s.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        let ctr = |k: &str| {
+            s.get("counters")
+                .and_then(|c| c.get(k))
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0)
+        };
+        println!(
+            "  {:>7} {:>6} {:>10} {:>12} {:>12} {:>10} {:>9} {:>14}  {}",
+            num("id") as u64,
+            num("weight") as u64,
+            num("frames") as u64,
+            ctr("loads") as u64,
+            ctr("stores") as u64,
+            ctr("l1_misses") as u64,
+            ctr("l2_misses") as u64,
+            ctr("bytes_accessed") as u64,
+            s.get("status").and_then(Json::as_str).unwrap_or("?"),
+        );
+    }
+    Ok(())
+}

@@ -53,10 +53,21 @@
 //! session (a 1-worker pool runs slice jobs inline on an
 //! already-attached caller) and a no-op for a different session.
 
+//! # Flight recorder
+//!
+//! Orthogonal to counter attribution, [`Recorder`] keeps an always-on
+//! per-thread ring of compact service events (frame lifecycle, WFQ
+//! picks, admission decisions, pool steal/park/wake, coarse phases)
+//! that [`Recorder::snapshot`] turns into a [`Dump`] — JSONL plus a
+//! Chrome trace with one lane per session and per worker. The
+//! `m4ps-obs` binary analyzes dumps offline; see `recorder.rs` and
+//! DESIGN.md §15.
+
 mod metrics;
 mod phase;
 mod profile;
 mod profiler;
+mod recorder;
 mod trace;
 
 pub use metrics::{HistogramSnapshot, MetricId, MetricKind};
@@ -65,6 +76,10 @@ pub use profile::{PhaseProfile, PhaseStats};
 pub use profiler::{
     absorbed, counter_add, current, enabled, enter, enter_domain, exit, exit_domain, gauge_set,
     histogram_record, AttachGuard, Profiler,
+};
+pub use recorder::{
+    outcome, Dump, DumpEvent, Event, EventKind, Recorder, RingInfo, DEFAULT_RING_CAPACITY,
+    NO_SESSION,
 };
 pub use trace::TraceEvent;
 

@@ -97,6 +97,7 @@ impl MetricId {
 struct Histogram {
     count: AtomicU64,
     sum: AtomicU64,
+    max: AtomicU64,
     buckets: [AtomicU64; HIST_BUCKETS],
 }
 
@@ -105,6 +106,7 @@ impl Histogram {
         Histogram {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -113,6 +115,7 @@ impl Histogram {
         let idx = (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -120,6 +123,7 @@ impl Histogram {
         HistogramSnapshot {
             count: self.count.load(Ordering::Relaxed),
             sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
             buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
         }
     }
@@ -127,6 +131,7 @@ impl Histogram {
     fn to_json_fields(&self) -> Vec<(&'static str, Json)> {
         let count = self.count.load(Ordering::Relaxed);
         let sum = self.sum.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
         let mut buckets = Vec::new();
         for (i, b) in self.buckets.iter().enumerate() {
             let n = b.load(Ordering::Relaxed);
@@ -142,6 +147,7 @@ impl Histogram {
         vec![
             ("count", Json::Num(count as f64)),
             ("sum", Json::Num(sum as f64)),
+            ("max", Json::Num(max as f64)),
             ("buckets", Json::Arr(buckets)),
         ]
     }
@@ -157,6 +163,11 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of all recorded values.
     pub sum: u64,
+    /// Largest value recorded (exact, not bucket-quantized). Shed and
+    /// SLO decisions read this for the tail beyond p99: a single 2 s
+    /// outlier is invisible to interpolated quantiles over a handful
+    /// of samples but shows up here exactly.
+    pub max: u64,
     /// Bucket `i` counts values with bit length `i` (bucket 0 = zero).
     pub buckets: [u64; HIST_BUCKETS],
 }
@@ -167,6 +178,7 @@ impl HistogramSnapshot {
         HistogramSnapshot {
             count: 0,
             sum: 0,
+            max: 0,
             buckets: [0; HIST_BUCKETS],
         }
     }
@@ -217,6 +229,11 @@ impl HistogramSnapshot {
         self.quantile(0.99)
     }
 
+    /// 99.9th-percentile estimate.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
     /// Mean of recorded values (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -228,11 +245,16 @@ impl HistogramSnapshot {
 
     /// The distribution of samples recorded since `earlier` was
     /// taken. Saturating per field, so a torn read (snapshot taken
-    /// mid-record on another thread) cannot underflow.
+    /// mid-record on another thread) cannot underflow. `max` cannot be
+    /// windowed from two running maxima, so the delta carries the
+    /// lifetime max up to the later snapshot — a correct upper bound
+    /// on the window's max — or 0 when the window is empty.
     pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let count = self.count.saturating_sub(earlier.count);
         HistogramSnapshot {
-            count: self.count.saturating_sub(earlier.count),
+            count,
             sum: self.sum.saturating_sub(earlier.sum),
+            max: if count == 0 { 0 } else { self.max },
             buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
         }
     }
@@ -429,8 +451,8 @@ impl Registry {
 /// Serializes `v` on a single line (JSONL) by reusing the pretty
 /// serializer and stripping its layout whitespace. Keys and string
 /// values survive intact because the serializer escapes embedded
-/// newlines as `\n`.
-fn compact(v: &Json) -> String {
+/// newlines as `\n`. Shared with the flight-recorder dump writer.
+pub(crate) fn compact(v: &Json) -> String {
     let mut out = String::new();
     let pretty = v.pretty();
     let mut chars = pretty.chars().peekable();
@@ -562,6 +584,14 @@ mod tests {
         assert_eq!(s.quantile(0.0), 1);
         assert!((65_536..=131_071).contains(&s.quantile(1.0)));
         assert!((s.mean() - 10040.5).abs() < 1e-9);
+        // p99.9 of 100 samples is the last sample's bucket; max is the
+        // exact largest value, not bucket-quantized.
+        assert!(
+            (65_536..=131_071).contains(&s.p999()),
+            "p999 = {}",
+            s.p999()
+        );
+        assert_eq!(s.max, 100_000);
     }
 
     #[test]
@@ -593,6 +623,9 @@ mod tests {
         let win = h.snapshot().delta_since(&before);
         assert_eq!(win.count, 5);
         assert_eq!(win.sum, 5_000_000);
+        assert_eq!(win.max, 1_000_000, "window max carries the lifetime max");
+        let empty_win = h.snapshot().delta_since(&h.snapshot());
+        assert_eq!(empty_win.max, 0, "empty window reports no max");
         // The window only holds the slow samples even though the
         // lifetime histogram is dominated by fast ones.
         assert!(win.p50() >= 524_288, "p50 = {}", win.p50());

@@ -2,12 +2,13 @@
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::metrics::{HistogramSnapshot, MetricId, Registry};
 use crate::phase::Phase;
 use crate::profile::{add_wrapping, sub_wrapping, PhaseProfile};
+use crate::recorder::{EventKind, Recorder};
 use crate::trace::TraceEvent;
 use m4ps_memsim::Counters;
 use m4ps_testkit::json::Json;
@@ -24,6 +25,9 @@ struct Shared {
     events: Mutex<Vec<TraceEvent>>,
     next_tid: AtomicU32,
     metrics: Registry,
+    /// Flight recorder, when a service/study installed one: coarse
+    /// phase enter/exit events land in the calling thread's ring.
+    recorder: OnceLock<Recorder>,
 }
 
 /// One open span on a thread's stack.
@@ -69,8 +73,21 @@ impl Profiler {
                 events: Mutex::new(Vec::new()),
                 next_tid: AtomicU32::new(0),
                 metrics: Registry::new(),
+                recorder: OnceLock::new(),
             }),
         }
+    }
+
+    /// Installs the flight recorder this session's coarse phase
+    /// enter/exit events go to. First caller wins; later calls are
+    /// no-ops (a session belongs to one recorder for its lifetime).
+    pub fn set_recorder(&self, rec: &Recorder) {
+        let _ = self.shared.recorder.set(rec.clone());
+    }
+
+    /// The flight recorder installed on this session, if any.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.shared.recorder.get()
     }
 
     /// Whether this session records trace events.
@@ -265,6 +282,9 @@ fn push_frame(phase: Phase, snap: Counters, domain: bool) {
     STATE.with(|s| {
         if let Some(st) = s.borrow_mut().as_mut() {
             let start_ns = if phase.is_coarse() {
+                if let Some(rec) = st.shared.recorder.get() {
+                    rec.record(EventKind::PhaseEnter, None, phase as u64, 0);
+                }
                 elapsed_ns(&st.shared)
             } else {
                 0
@@ -295,6 +315,9 @@ fn pop_frame(phase: Phase, now: Counters) {
             if frame.phase.is_coarse() {
                 let end_ns = elapsed_ns(&st.shared);
                 stats.wall_ns += end_ns.saturating_sub(frame.start_ns);
+                if let Some(rec) = st.shared.recorder.get() {
+                    rec.record(EventKind::PhaseExit, None, frame.phase as u64, 0);
+                }
                 if st.shared.tracing {
                     st.events.push(TraceEvent::Complete {
                         name: frame.phase.name(),

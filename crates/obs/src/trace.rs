@@ -34,6 +34,33 @@ pub enum TraceEvent {
         /// Label text.
         label: String,
     },
+    /// A closed span with a computed name and numeric args (`"ph":
+    /// "X"`) — used by the flight-recorder export, whose names carry
+    /// frame/session ids and so cannot be `&'static str`.
+    Span {
+        /// Display name (e.g. `frame 3`).
+        name: String,
+        /// Lane id.
+        tid: u32,
+        /// Start, nanoseconds since the dump epoch.
+        ts_ns: u64,
+        /// Duration in nanoseconds.
+        dur_ns: u64,
+        /// Numeric args shown in the viewer's detail pane.
+        args: Vec<(&'static str, f64)>,
+    },
+    /// An instant event (`"ph": "i"`, thread scope): a point in time
+    /// with no duration — admission decisions, steals, parks, wakes.
+    Instant {
+        /// Display name.
+        name: String,
+        /// Lane id.
+        tid: u32,
+        /// Timestamp, nanoseconds since the dump epoch.
+        ts_ns: u64,
+        /// Numeric args shown in the viewer's detail pane.
+        args: Vec<(&'static str, f64)>,
+    },
 }
 
 const PID: f64 = 1.0;
@@ -76,8 +103,43 @@ impl TraceEvent {
                     Json::obj(vec![("labels", Json::str(label.clone()))]),
                 ),
             ]),
+            TraceEvent::Span {
+                name,
+                tid,
+                ts_ns,
+                dur_ns,
+                args,
+            } => Json::obj(vec![
+                ("name", Json::str(name.clone())),
+                ("cat", Json::str("m4ps")),
+                ("ph", Json::str("X")),
+                ("ts", Json::Num(us(*ts_ns))),
+                ("dur", Json::Num(us(*dur_ns))),
+                ("pid", Json::Num(PID)),
+                ("tid", Json::Num(f64::from(*tid))),
+                ("args", args_json(args)),
+            ]),
+            TraceEvent::Instant {
+                name,
+                tid,
+                ts_ns,
+                args,
+            } => Json::obj(vec![
+                ("name", Json::str(name.clone())),
+                ("cat", Json::str("m4ps")),
+                ("ph", Json::str("i")),
+                ("s", Json::str("t")),
+                ("ts", Json::Num(us(*ts_ns))),
+                ("pid", Json::Num(PID)),
+                ("tid", Json::Num(f64::from(*tid))),
+                ("args", args_json(args)),
+            ]),
         }
     }
+}
+
+fn args_json(args: &[(&'static str, f64)]) -> Json {
+    Json::obj(args.iter().map(|&(k, v)| (k, Json::Num(v))).collect())
 }
 
 /// Builds the full trace document for a set of events.

@@ -35,10 +35,10 @@ use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use m4ps_obs::Profiler;
+use m4ps_obs::{EventKind, Profiler, Recorder};
 
 use crate::{resolve_threads, THREADS_ENV};
 
@@ -107,6 +107,9 @@ struct PoolCore {
     /// Tasks taken from a queue other than the taker's own deque
     /// (excluding injector pulls, which are submissions, not steals).
     steals: AtomicU64,
+    /// Flight recorder queue/steal/park/wake events go to, when the
+    /// pool's owner installed one (see [`WorkerPool::set_recorder`]).
+    recorder: OnceLock<Recorder>,
 }
 
 impl PoolCore {
@@ -121,9 +124,18 @@ impl PoolCore {
     /// from inside the pool, onto the injector otherwise; then wakes a
     /// parked worker if any.
     fn push(&self, task: Task) {
-        match WORKER_INDEX.get() {
-            Some(i) if i < self.deques.len() => self.deques[i].lock().unwrap().push_back(task),
-            _ => self.injector.lock().unwrap().push_back(task),
+        let dest = match WORKER_INDEX.get() {
+            Some(i) if i < self.deques.len() => {
+                self.deques[i].lock().unwrap().push_back(task);
+                i as u64
+            }
+            _ => {
+                self.injector.lock().unwrap().push_back(task);
+                u64::MAX
+            }
+        };
+        if let Some(rec) = self.recorder.get() {
+            rec.record(EventKind::PoolQueue, None, dest, 0);
         }
         let s = self.sleep.lock().unwrap();
         if s.sleepers > 0 {
@@ -144,12 +156,21 @@ impl PoolCore {
         for off in 1..n {
             let victim = (i + off) % n;
             if let Some(t) = self.deques[victim].lock().unwrap().pop_front() {
-                self.steals.fetch_add(1, Ordering::Relaxed);
-                t.scope.steals.fetch_add(1, Ordering::Relaxed);
+                self.note_steal(&t, victim);
                 return Some(t);
             }
         }
         None
+    }
+
+    /// Bumps the steal counters and records the flight-recorder event
+    /// (thief = the calling thread's ring, `a` = victim deque index).
+    fn note_steal(&self, task: &Task, victim: usize) {
+        self.steals.fetch_add(1, Ordering::Relaxed);
+        task.scope.steals.fetch_add(1, Ordering::Relaxed);
+        if let Some(rec) = self.recorder.get() {
+            rec.record(EventKind::PoolSteal, None, victim as u64, 0);
+        }
     }
 
     /// Whether the scope owner helping from `own_scope` may execute
@@ -204,10 +225,9 @@ impl PoolCore {
         if let Some(t) = Self::take_compatible(&self.injector, own_scope, own_session) {
             return Some(t);
         }
-        for d in &self.deques {
+        for (victim, d) in self.deques.iter().enumerate() {
             if let Some(t) = Self::take_compatible(d, own_scope, own_session) {
-                self.steals.fetch_add(1, Ordering::Relaxed);
-                t.scope.steals.fetch_add(1, Ordering::Relaxed);
+                self.note_steal(&t, victim);
                 return Some(t);
             }
         }
@@ -265,8 +285,14 @@ impl PoolCore {
                 return true;
             }
             s.sleepers += 1;
+            if let Some(rec) = self.recorder.get() {
+                rec.record(EventKind::PoolPark, None, 0, 0);
+            }
             s = self.wake.wait(s).unwrap();
             s.sleepers -= 1;
+            if let Some(rec) = self.recorder.get() {
+                rec.record(EventKind::PoolWake, None, 0, 0);
+            }
         }
     }
 }
@@ -321,6 +347,7 @@ impl WorkerPool {
             }),
             wake: Condvar::new(),
             steals: AtomicU64::new(0),
+            recorder: OnceLock::new(),
         });
         let handles = (0..background)
             .map(|i| {
@@ -352,6 +379,13 @@ impl WorkerPool {
     /// Total tasks stolen across the pool's lifetime.
     pub fn steals(&self) -> u64 {
         self.core.steals.load(Ordering::Relaxed)
+    }
+
+    /// Installs the flight recorder queue/steal/park/wake events go to.
+    /// First caller wins; later calls are no-ops (a pool records into
+    /// one recorder for its lifetime — the service that owns it).
+    pub fn set_recorder(&self, rec: &Recorder) {
+        let _ = self.core.recorder.set(rec.clone());
     }
 
     /// Runs `f` with a [`Scope`] for spawning tasks and returns once
@@ -634,6 +668,39 @@ mod tests {
             .find(|d| d.get("metric").and_then(|m| m.as_str()) == Some("slice_queue_wait_ns"))
             .expect("queue-wait histogram present");
         assert_eq!(waits.get("count").unwrap().as_f64(), Some(8.0));
+    }
+
+    #[test]
+    fn recorder_sees_queue_and_steal_events() {
+        let pool = WorkerPool::new(4);
+        let rec = Recorder::new(256);
+        pool.set_recorder(&rec);
+        pool.scope(None, |s| {
+            for _ in 0..32 {
+                s.spawn(|_| {
+                    std::thread::sleep(Duration::from_micros(20));
+                });
+            }
+        });
+        let dump = rec.snapshot();
+        let queued = dump
+            .events
+            .iter()
+            .filter(|e| e.ev.kind == EventKind::PoolQueue)
+            .count();
+        assert_eq!(queued, 32, "every spawn records one queue event");
+        // Owner submissions from outside the pool land in the injector.
+        assert!(dump
+            .events
+            .iter()
+            .filter(|e| e.ev.kind == EventKind::PoolQueue)
+            .all(|e| e.ev.a == u64::MAX));
+        let stolen = dump
+            .events
+            .iter()
+            .filter(|e| e.ev.kind == EventKind::PoolSteal)
+            .count() as u64;
+        assert_eq!(stolen, pool.steals(), "steal events match the counter");
     }
 
     #[test]

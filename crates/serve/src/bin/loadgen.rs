@@ -4,20 +4,26 @@
 //! Drives [`m4ps_serve::Service`] with a configurable session mix in
 //! closed-loop (all sessions submitted up front) or open-loop
 //! (fixed-rate arrivals) mode, then prints a human summary and, with
-//! `--json`, a machine-readable report: sessions/sec, frames/sec, and
-//! p50/p90/p99 frame latency and pool queue wait from the service's
-//! `obs` histograms.
+//! `--json`, a machine-readable report: sessions/sec, frames/sec,
+//! p50/p90/p99/p99.9/max frame latency and pool queue wait from the
+//! service's `obs` histograms, per-session merged memory-model
+//! counters (with `--memsim`), throughput per weight class, and the
+//! path of any flight-recorder anomaly dump (with `--dump-dir`).
 //!
 //! ```text
 //! m4ps-loadgen --sessions 64 --frames 4 --threads 4 --drivers 8
 //! m4ps-loadgen --mode open --rate 200 --sessions 128 --reject-p99-us 5000
+//! m4ps-loadgen --memsim --weights 1,2 --shed-p99-us 0 --min-window 1 \
+//!     --dump-dir target --json report.json
 //! ```
 
 use std::process::ExitCode;
 
 use m4ps_codec::{EncoderConfig, Scheduling};
-use m4ps_memsim::NullModel;
-use m4ps_serve::{AdmissionConfig, Service, ServiceConfig, ServiceReport, SessionSpec};
+use m4ps_memsim::{AddressSpace, Hierarchy, MachineSpec, NullModel, ParallelModel};
+use m4ps_serve::{
+    AdmissionConfig, Service, ServiceConfig, ServiceReport, SessionSpec, SessionStatus,
+};
 use m4ps_testkit::json::Json;
 
 struct Args {
@@ -41,6 +47,15 @@ struct Args {
     min_window: u64,
     seed: u64,
     json: Option<String>,
+    /// Simulate the O2 memory hierarchy per session (surfaces merged
+    /// per-session counters in the report) instead of `NullModel`.
+    memsim: bool,
+    /// WFQ weights, cycled over sessions by submission index.
+    weights: Vec<u32>,
+    /// Frame-latency SLO in microseconds; a breach dumps the recorder.
+    slo_us: Option<u64>,
+    /// Directory for flight-recorder anomaly dumps.
+    dump_dir: Option<String>,
 }
 
 impl Default for Args {
@@ -64,6 +79,10 @@ impl Default for Args {
             min_window: 64,
             seed: 1,
             json: None,
+            memsim: false,
+            weights: vec![1],
+            slo_us: None,
+            dump_dir: None,
         }
     }
 }
@@ -91,6 +110,13 @@ OPTIONS:
                         exceeds N microseconds
     --shed-p99-us N     admission: shed pending sessions past N microseconds
     --min-window N      admission decision window, samples (default 64)
+    --memsim            simulate the O2 hierarchy per session and report
+                        merged per-session counters (default: null model)
+    --weights W1,W2,..  WFQ weights cycled over sessions (default 1)
+    --slo-us N          frame-latency SLO; a breach triggers a
+                        flight-recorder dump
+    --dump-dir PATH     directory for anomaly dumps (flight_<n>.jsonl +
+                        Chrome trace); analyze with m4ps-obs
     --seed N            base content seed (default 1)
     --json PATH         write the JSON report to PATH ('-' for stdout)
     --help              this text
@@ -103,6 +129,10 @@ fn parse_args() -> Result<Args, String> {
         if flag == "--help" || flag == "-h" {
             print!("{USAGE}");
             std::process::exit(0);
+        }
+        if flag == "--memsim" {
+            args.memsim = true;
+            continue;
         }
         let mut value = || it.next().ok_or_else(|| format!("{flag} requires a value"));
         match flag.as_str() {
@@ -137,6 +167,22 @@ fn parse_args() -> Result<Args, String> {
             "--reject-p99-us" => args.reject_p99_us = Some(parse(&value()?)? as u64),
             "--shed-p99-us" => args.shed_p99_us = Some(parse(&value()?)? as u64),
             "--min-window" => args.min_window = parse(&value()?)? as u64,
+            "--weights" => {
+                let v = value()?;
+                args.weights = v
+                    .split(',')
+                    .map(|w| {
+                        w.trim()
+                            .parse::<u32>()
+                            .map_err(|e| format!("--weights '{w}': {e}"))
+                    })
+                    .collect::<Result<Vec<u32>, String>>()?;
+                if args.weights.is_empty() || args.weights.contains(&0) {
+                    return Err("--weights: need at least one nonzero weight".to_string());
+                }
+            }
+            "--slo-us" => args.slo_us = Some(parse(&value()?)? as u64),
+            "--dump-dir" => args.dump_dir = Some(value()?),
             "--seed" => args.seed = parse(&value()?)? as u64,
             "--json" => args.json = Some(value()?),
             other => return Err(format!("unknown flag '{other}' (try --help)")),
@@ -147,6 +193,10 @@ fn parse_args() -> Result<Args, String> {
 
 fn parse(s: &str) -> Result<usize, String> {
     s.parse().map_err(|e| format!("'{s}': {e}"))
+}
+
+fn weight_for(args: &Args, i: usize) -> u32 {
+    args.weights[i % args.weights.len()]
 }
 
 fn spec_for(args: &Args, i: usize) -> SessionSpec {
@@ -161,13 +211,118 @@ fn spec_for(args: &Args, i: usize) -> SessionSpec {
         objects: args.objects,
         layers: args.layers,
         seed: args.seed.wrapping_add(i as u64),
-        weight: 1,
+        weight: weight_for(args, i),
         encoder,
+    }
+}
+
+/// Runs the configured load against `service` with the given
+/// per-session memory-model factory.
+fn run_load<M, F, A>(service: &Service, args: &Args, make_mem: F, attach: A) -> ServiceReport
+where
+    M: ParallelModel + Send,
+    F: Fn(usize, &SessionSpec) -> M + Sync,
+    A: Fn(&AddressSpace, &mut M) + Sync,
+{
+    if args.open_loop {
+        let gap = 1.0 / args.rate.max(1e-6);
+        let arrivals = (0..args.sessions)
+            .map(|i| {
+                (
+                    std::time::Duration::from_secs_f64(gap * i as f64),
+                    spec_for(args, i),
+                )
+            })
+            .collect();
+        service.run_open_loop(arrivals, make_mem, attach)
+    } else {
+        let specs = (0..args.sessions).map(|i| spec_for(args, i)).collect();
+        service.run_batch(specs, make_mem, attach)
     }
 }
 
 fn ms(ns: u64) -> f64 {
     ns as f64 / 1e6
+}
+
+fn status_name(status: &SessionStatus) -> &'static str {
+    match status {
+        SessionStatus::Completed { .. } => "completed",
+        SessionStatus::Rejected => "rejected",
+        SessionStatus::Shed => "shed",
+        SessionStatus::Failed(_) => "failed",
+    }
+}
+
+/// One report entry per submitted session; completed sessions carry
+/// their codec stats and merged memory-model counters (all zero under
+/// the null model).
+fn per_session_json(args: &Args, report: &ServiceReport) -> Json {
+    let rows = report
+        .outcomes
+        .iter()
+        .map(|o| {
+            let mut fields = vec![
+                ("id", Json::Num(o.id as f64)),
+                ("weight", Json::Num(f64::from(weight_for(args, o.id)))),
+                ("status", Json::str(status_name(&o.status))),
+            ];
+            if let SessionStatus::Completed {
+                stats, counters, ..
+            } = &o.status
+            {
+                fields.push(("frames", Json::Num(stats.frames as f64)));
+                fields.push(("bytes", Json::Num(stats.bytes as f64)));
+                fields.push((
+                    "counters",
+                    Json::obj(vec![
+                        ("loads", Json::Num(counters.loads as f64)),
+                        ("stores", Json::Num(counters.stores as f64)),
+                        ("l1_misses", Json::Num(counters.l1_misses as f64)),
+                        ("l2_misses", Json::Num(counters.l2_misses as f64)),
+                        ("tlb_misses", Json::Num(counters.tlb_misses as f64)),
+                        ("bytes_accessed", Json::Num(counters.bytes_accessed as f64)),
+                    ]),
+                ));
+            }
+            Json::obj(fields)
+        })
+        .collect();
+    Json::Arr(rows)
+}
+
+/// Sessions/sec per WFQ weight class — the fairness headline: under
+/// saturation a weight-2 class should complete ~2x the weight-1 rate
+/// per session.
+fn weight_classes_json(args: &Args, report: &ServiceReport) -> Json {
+    let secs = report.wall.as_secs_f64().max(1e-9);
+    let mut classes: Vec<u32> = Vec::new();
+    for &w in &args.weights {
+        if !classes.contains(&w) {
+            classes.push(w);
+        }
+    }
+    let rows = classes
+        .into_iter()
+        .map(|w| {
+            let ids = |pred: &dyn Fn(&SessionStatus) -> bool| {
+                report
+                    .outcomes
+                    .iter()
+                    .filter(|o| weight_for(args, o.id) == w && pred(&o.status))
+                    .count() as f64
+            };
+            let submitted = ids(&|_| true);
+            let completed = ids(&|s| matches!(s, SessionStatus::Completed { .. }));
+            Json::obj(vec![
+                ("weight", Json::Num(f64::from(w))),
+                ("sessions", Json::Num(submitted)),
+                ("completed", Json::Num(completed)),
+                ("sessions_per_sec", Json::Num(completed / secs)),
+            ])
+        })
+        .collect();
+    Json::Arr(rows)
 }
 
 fn report_json(args: &Args, report: &ServiceReport) -> Json {
@@ -180,6 +335,7 @@ fn report_json(args: &Args, report: &ServiceReport) -> Json {
             "mode",
             Json::str(if args.open_loop { "open" } else { "closed" }),
         ),
+        ("memsim", Json::Bool(args.memsim)),
         ("wall_s", Json::Num(report.wall.as_secs_f64())),
         ("completed", Json::Num(report.completed as f64)),
         ("rejected", Json::Num(report.rejected as f64)),
@@ -191,10 +347,24 @@ fn report_json(args: &Args, report: &ServiceReport) -> Json {
         ("frame_p50_ms", Json::Num(ms(lat.p50()))),
         ("frame_p90_ms", Json::Num(ms(lat.p90()))),
         ("frame_p99_ms", Json::Num(ms(lat.p99()))),
+        ("frame_p999_ms", Json::Num(ms(lat.p999()))),
+        ("frame_max_ms", Json::Num(ms(lat.max))),
         ("queue_wait_p50_us", Json::Num(wait.p50() as f64 / 1e3)),
         ("queue_wait_p99_us", Json::Num(wait.p99() as f64 / 1e3)),
+        ("queue_wait_p999_us", Json::Num(wait.p999() as f64 / 1e3)),
+        ("queue_wait_max_us", Json::Num(wait.max as f64 / 1e3)),
         ("queue_wait_samples", Json::Num(wait.count as f64)),
         ("pool_steals", Json::Num(report.steals as f64)),
+        ("events_dropped", Json::Num(report.events_dropped as f64)),
+        (
+            "dump",
+            report
+                .dump
+                .as_ref()
+                .map_or(Json::Null, |p| Json::str(p.clone())),
+        ),
+        ("weight_classes", weight_classes_json(args, report)),
+        ("per_session", per_session_json(args, report)),
     ])
 }
 
@@ -215,21 +385,19 @@ fn main() -> ExitCode {
             shed_p99_ns: args.shed_p99_us.map(|us| us * 1000),
             min_window: args.min_window,
         },
+        slo_ns: args.slo_us.map(|us| us * 1000),
+        dump_dir: args.dump_dir.clone(),
+        ..ServiceConfig::default()
     });
-    let report = if args.open_loop {
-        let gap = 1.0 / args.rate.max(1e-6);
-        let arrivals = (0..args.sessions)
-            .map(|i| {
-                (
-                    std::time::Duration::from_secs_f64(gap * i as f64),
-                    spec_for(&args, i),
-                )
-            })
-            .collect();
-        service.run_open_loop(arrivals, |_, _| NullModel::new(), |_, _| {})
+    let report = if args.memsim {
+        run_load(
+            &service,
+            &args,
+            |_, _| Hierarchy::new(MachineSpec::o2()),
+            |space, mem| mem.attach_regions(space.regions()),
+        )
     } else {
-        let specs = (0..args.sessions).map(|i| spec_for(&args, i)).collect();
-        service.run_batch(specs, |_, _| NullModel::new(), |_, _| {})
+        run_load(&service, &args, |_, _| NullModel::new(), |_, _| {})
     };
 
     eprintln!(
@@ -254,13 +422,22 @@ fn main() -> ExitCode {
         report.steals,
     );
     eprintln!(
-        "  frame latency p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms | queue wait p99 {:.1} us ({} samples)",
+        "  frame latency p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms, p99.9 {:.3} ms, max {:.3} ms",
         ms(report.frame_latency.p50()),
         ms(report.frame_latency.p90()),
         ms(report.frame_latency.p99()),
+        ms(report.frame_latency.p999()),
+        ms(report.frame_latency.max),
+    );
+    eprintln!(
+        "  queue wait p99 {:.1} us, max {:.1} us ({} samples)",
         report.queue_wait.p99() as f64 / 1e3,
+        report.queue_wait.max as f64 / 1e3,
         report.queue_wait.count,
     );
+    if let Some(dump) = &report.dump {
+        eprintln!("  flight dump: {dump} (inspect with m4ps-obs report {dump})");
+    }
 
     if let Some(path) = &args.json {
         let doc = report_json(&args, &report).pretty();

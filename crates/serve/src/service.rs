@@ -31,13 +31,14 @@
 //! bitstream and counters are bit-identical to a solo run at any
 //! session/driver/thread count (pinned by `tests/session_isolation.rs`).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use m4ps_codec::{Scheduling, SessionStats};
 use m4ps_memsim::{AddressSpace, Counters, ParallelModel};
-use m4ps_obs::{HistogramSnapshot, MetricId, Profiler};
+use m4ps_obs::{outcome, EventKind, HistogramSnapshot, MetricId, Profiler, Recorder};
 use m4ps_pool::WorkerPool;
 
 use crate::session::{Session, SessionSpec};
@@ -80,6 +81,17 @@ pub struct ServiceConfig {
     pub sched: Option<Scheduling>,
     /// Admission thresholds.
     pub admission: AdmissionConfig,
+    /// Frame-latency SLO (ready → encoded, nanoseconds). A breach is
+    /// an anomaly: it records an `slo.breach` event and triggers a
+    /// flight-recorder dump. `None` disables the check.
+    pub slo_ns: Option<u64>,
+    /// Directory anomaly dumps are written to (`flight_<n>.jsonl` +
+    /// `flight_<n>.trace.json`). `None` keeps dumps in memory only
+    /// (still retrievable via [`Service::recorder`]).
+    pub dump_dir: Option<String>,
+    /// Flight-recorder ring capacity in events per thread; 0 picks
+    /// [`m4ps_obs::DEFAULT_RING_CAPACITY`].
+    pub recorder_capacity: usize,
 }
 
 /// How one submitted session ended.
@@ -155,6 +167,12 @@ pub struct ServiceReport {
     pub queue_wait: HistogramSnapshot,
     /// Work-stealing steals attributed to this run's scopes.
     pub steals: u64,
+    /// Path of the flight-recorder dump this run's first anomaly wrote
+    /// (`None`: no anomaly, or no `dump_dir` configured).
+    pub dump: Option<String>,
+    /// Flight-recorder events displaced by ring overflow so far
+    /// (recorder lifetime, not per run).
+    pub events_dropped: u64,
 }
 
 /// A long-running multi-session encoding service over one shared
@@ -162,6 +180,7 @@ pub struct ServiceReport {
 pub struct Service {
     pool: Arc<WorkerPool>,
     profiler: Profiler,
+    recorder: Recorder,
     config: ServiceConfig,
     /// Sliding-window anchor for the reject decision. Lives on the
     /// service (not the run) so load observed before a run — earlier
@@ -170,6 +189,13 @@ pub struct Service {
     admit_anchor: Mutex<HistogramSnapshot>,
     /// Sliding-window anchor for the shed decision.
     shed_anchor: Mutex<HistogramSnapshot>,
+    /// One dump per run: armed at run start, disarmed by the first
+    /// anomaly (later anomalies are already inside the dumped rings).
+    dumped: AtomicBool,
+    /// Monotonic dump file sequence across the service's lifetime.
+    dump_seq: AtomicU64,
+    /// Path the current run's anomaly dump was written to, if any.
+    last_dump: Mutex<Option<String>>,
 }
 
 /// Virtual-time scale: cost is `bytes * VT_SCALE / weight`, so integer
@@ -232,19 +258,29 @@ impl<M: ParallelModel> Sched<M> {
 }
 
 impl Service {
-    /// Spawns the shared pool and creates the service's `obs` session.
+    /// Spawns the shared pool, creates the service's `obs` session and
+    /// installs the always-on flight recorder on both the profiler
+    /// (coarse phase events) and the pool (queue/steal/park/wake).
     pub fn new(config: ServiceConfig) -> Self {
         let pool = Arc::new(if config.threads > 0 {
             WorkerPool::new(config.threads)
         } else {
             WorkerPool::from_env()
         });
+        let profiler = Profiler::new(false);
+        let recorder = Recorder::new(config.recorder_capacity);
+        profiler.set_recorder(&recorder);
+        pool.set_recorder(&recorder);
         Service {
             pool,
-            profiler: Profiler::new(false),
+            profiler,
+            recorder,
             config,
             admit_anchor: Mutex::new(HistogramSnapshot::empty()),
             shed_anchor: Mutex::new(HistogramSnapshot::empty()),
+            dumped: AtomicBool::new(false),
+            dump_seq: AtomicU64::new(0),
+            last_dump: Mutex::new(None),
         }
     }
 
@@ -257,6 +293,38 @@ impl Service {
     /// are in the [`ServiceReport`]).
     pub fn profiler(&self) -> &Profiler {
         &self.profiler
+    }
+
+    /// The service's flight recorder (snapshot it any time for an
+    /// on-demand dump; anomaly dumps happen automatically).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Records a session-lifecycle/scheduler event into the calling
+    /// thread's ring.
+    fn record(&self, kind: EventKind, session: usize, a: u64, b: u64) {
+        self.recorder.record(kind, Some(session as u32), a, b);
+    }
+
+    /// First anomaly of the run snapshots the rings and (when
+    /// `dump_dir` is set) writes `flight_<n>.jsonl` plus its Chrome
+    /// trace. Later anomalies in the same run are no-ops — their
+    /// events are already in the written rings, and one dump per run
+    /// keeps the anomaly path cheap under a shed storm.
+    fn note_anomaly(&self) {
+        if self.dumped.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        let Some(dir) = &self.config.dump_dir else {
+            return;
+        };
+        let seq = self.dump_seq.fetch_add(1, Ordering::Relaxed);
+        let path = format!("{dir}/flight_{seq}.jsonl");
+        match self.recorder.snapshot().write(&path) {
+            Ok(_) => *self.last_dump.lock().unwrap() = Some(path),
+            Err(e) => eprintln!("m4ps-serve: failed to write flight dump {path}: {e}"),
+        }
     }
 
     /// The service configuration.
@@ -329,6 +397,9 @@ impl Service {
             .histogram_snapshot(MetricId::ServeFrameLatencyNs);
         let wait_before = self.profiler.histogram_snapshot(MetricId::SliceQueueWaitNs);
         let steals_before = self.profiler.metric_counter_value(MetricId::PoolSteals);
+        // Re-arm the per-run anomaly dump.
+        self.dumped.store(false, Ordering::Relaxed);
+        *self.last_dump.lock().unwrap() = None;
 
         let state = Mutex::new(Sched::<M> {
             entries: Vec::with_capacity(arrivals.len()),
@@ -358,11 +429,15 @@ impl Service {
                     }
                 }
                 outcomes.lock().unwrap().push(None);
-                if !self.admit() {
+                self.record(EventKind::SessionSubmit, id, 0, 0);
+                if let Err(hot_p99) = self.admit() {
                     outcomes.lock().unwrap()[id] = Some(SessionStatus::Rejected);
                     rejected.fetch_add(1, Ordering::Relaxed);
                     self.profiler
                         .metric_counter_add(MetricId::ServeSessionsRejected, 1);
+                    self.record(EventKind::AdmitReject, id, hot_p99, 0);
+                    self.record(EventKind::SessionClose, id, outcome::REJECTED, 0);
+                    self.note_anomaly();
                     continue;
                 }
                 let mem = make_mem(id, &spec);
@@ -378,6 +453,8 @@ impl Service {
                     Ok(s) => {
                         self.profiler
                             .metric_counter_add(MetricId::ServeSessionsAccepted, 1);
+                        self.record(EventKind::SessionOpen, id, u64::from(spec.weight.max(1)), 0);
+                        self.record(EventKind::FrameReady, id, 0, 0);
                         let vtime = st.virtual_now;
                         st.entries.push(Entry {
                             id,
@@ -392,6 +469,7 @@ impl Service {
                         outcomes.lock().unwrap()[id] =
                             Some(SessionStatus::Failed(format!("{e:?}")));
                         failed.fetch_add(1, Ordering::Relaxed);
+                        self.record(EventKind::SessionClose, id, outcome::FAILED, 0);
                     }
                 }
                 drop(st);
@@ -428,6 +506,8 @@ impl Service {
                 .histogram_snapshot(MetricId::SliceQueueWaitNs)
                 .delta_since(&wait_before),
             steals: self.profiler.metric_counter_value(MetricId::PoolSteals) - steals_before,
+            dump: self.last_dump.lock().unwrap().clone(),
+            events_dropped: self.recorder.events_dropped(),
             outcomes,
             wall,
             completed,
@@ -442,19 +522,25 @@ impl Service {
 
     /// Admission decision at submit time: watch the queue-wait window
     /// since the last full window; reject while its p99 exceeds the
-    /// threshold. Abstains (admits) below `min_window` samples.
-    fn admit(&self) -> bool {
+    /// threshold, returning the triggering p99. Abstains (admits)
+    /// below `min_window` samples.
+    fn admit(&self) -> Result<(), u64> {
         let Some(threshold) = self.config.admission.reject_p99_ns else {
-            return true;
+            return Ok(());
         };
         let now = self.profiler.histogram_snapshot(MetricId::SliceQueueWaitNs);
         let mut anchor = self.admit_anchor.lock().unwrap();
         let window = now.delta_since(&anchor);
         if window.count < self.config.admission.min_window {
-            return true;
+            return Ok(());
         }
         *anchor = now;
-        window.p99() <= threshold
+        let p99 = window.p99();
+        if p99 <= threshold {
+            Ok(())
+        } else {
+            Err(p99)
+        }
     }
 
     fn driver_loop<M: ParallelModel + Send>(
@@ -471,7 +557,7 @@ impl Service {
         // pool scope, so queue waits and steals all land here.
         let _g = self.profiler.attach();
         loop {
-            let (id, ready_since, mut session, weight) = {
+            let (id, ready_since, mut session, weight, vt) = {
                 let mut st = state.lock().unwrap();
                 loop {
                     if let Some(i) = st.pick() {
@@ -483,7 +569,7 @@ impl Service {
                         let (id, weight, vt) = (e.id, e.weight, e.vtime);
                         st.virtual_now = vt;
                         st.running += 1;
-                        break (id, since, session, weight);
+                        break (id, since, session, weight, vt);
                     }
                     if st.quiescent() {
                         return;
@@ -492,10 +578,24 @@ impl Service {
                     st = guard;
                 }
             };
-            let result = session.step();
+            let wait_ns = u64::try_from(ready_since.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.record(EventKind::FrameDispatch, id, vt, wait_ns);
+            let frame_idx = session.frames_done() as u64;
+            self.record(EventKind::FrameStart, id, frame_idx, 0);
+            // A panicking codec task is an anomaly, not a service
+            // crash: the session fails, its peers keep encoding.
+            let result = catch_unwind(AssertUnwindSafe(|| session.step()));
             let latency = u64::try_from(ready_since.elapsed().as_nanos()).unwrap_or(u64::MAX);
             self.profiler
                 .metric_histogram_record(MetricId::ServeFrameLatencyNs, latency);
+            self.record(EventKind::FrameEnd, id, frame_idx, latency);
+            if let Some(slo) = self.config.slo_ns {
+                if latency > slo {
+                    self.record(EventKind::SloBreach, id, latency, slo);
+                    self.note_anomaly();
+                }
+            }
+            let panicked = result.is_err();
             let mut st = state.lock().unwrap();
             st.running -= 1;
             st.frames += 1;
@@ -505,15 +605,25 @@ impl Service {
                 .find(|e| e.id == id)
                 .expect("running entry present");
             match result {
-                Err(e) => {
+                Err(payload) => {
                     entry.state = EntryState::Done;
+                    self.record(EventKind::WorkerPanic, id, frame_idx, 0);
+                    self.record(EventKind::SessionClose, id, outcome::FAILED, 0);
+                    outcomes.lock().unwrap()[id] =
+                        Some(SessionStatus::Failed(panic_message(&payload)));
+                    failed.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(Err(e)) => {
+                    entry.state = EntryState::Done;
+                    self.record(EventKind::SessionClose, id, outcome::FAILED, 0);
                     outcomes.lock().unwrap()[id] = Some(SessionStatus::Failed(format!("{e:?}")));
                     failed.fetch_add(1, Ordering::Relaxed);
                 }
-                Ok(cost) => {
+                Ok(Ok(cost)) => {
                     entry.vtime += cost.max(1) * VT_SCALE / u64::from(weight.max(1));
                     if session.is_done() {
                         entry.state = EntryState::Done;
+                        self.record(EventKind::SessionClose, id, outcome::COMPLETED, 0);
                         let (streams, stats, counters) = session.into_output();
                         outcomes.lock().unwrap()[id] = Some(SessionStatus::Completed {
                             streams,
@@ -522,14 +632,18 @@ impl Service {
                         });
                         completed.fetch_add(1, Ordering::Relaxed);
                     } else {
+                        self.record(EventKind::FrameReady, id, frame_idx + 1, 0);
                         entry.state = EntryState::Ready(Instant::now(), session);
                     }
                 }
             }
-            self.maybe_shed(&mut st, outcomes, shed);
+            let did_shed = self.maybe_shed(&mut st, outcomes, shed);
             self.profiler
                 .metric_gauge_set(MetricId::ServeSessionsActive, st.active() as u64);
             drop(st);
+            if panicked || did_shed {
+                self.note_anomaly();
+            }
             cv.notify_all();
         }
     }
@@ -537,25 +651,28 @@ impl Service {
     /// Sheds not-yet-started sessions while the queue-wait window's
     /// p99 exceeds the shed threshold: the largest-virtual-time (least
     /// entitled) pending session is cancelled per overload window.
+    /// Returns whether a session was shed (an anomaly; the caller
+    /// triggers the dump after releasing the scheduler lock).
     fn maybe_shed<M: ParallelModel + Send>(
         &self,
         st: &mut Sched<M>,
         outcomes: &Mutex<Vec<Option<SessionStatus>>>,
         shed: &AtomicU64,
-    ) {
+    ) -> bool {
         let Some(threshold) = self.config.admission.shed_p99_ns else {
-            return;
+            return false;
         };
         let now = self.profiler.histogram_snapshot(MetricId::SliceQueueWaitNs);
         let mut anchor = self.shed_anchor.lock().unwrap();
         let window = now.delta_since(&anchor);
         if window.count < self.config.admission.min_window {
-            return;
+            return false;
         }
         *anchor = now;
         drop(anchor);
-        if window.p99() <= threshold {
-            return;
+        let p99 = window.p99();
+        if p99 <= threshold {
+            return false;
         }
         let victim = st
             .entries
@@ -564,11 +681,26 @@ impl Service {
             .max_by_key(|e| (e.vtime, e.id));
         if let Some(victim) = victim {
             victim.state = EntryState::Done;
+            self.record(EventKind::SessionShed, victim.id, p99, 0);
+            self.record(EventKind::SessionClose, victim.id, outcome::SHED, 0);
             outcomes.lock().unwrap()[victim.id] = Some(SessionStatus::Shed);
             shed.fetch_add(1, Ordering::Relaxed);
             self.profiler
                 .metric_counter_add(MetricId::ServeSessionsShed, 1);
+            return true;
         }
+        false
+    }
+}
+
+/// Best-effort text of a captured panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
     }
 }
 
@@ -588,6 +720,7 @@ mod tests {
             drivers: 4,
             sched: Some(Scheduling::SliceParallel),
             admission: AdmissionConfig::default(),
+            ..ServiceConfig::default()
         });
         let specs: Vec<SessionSpec> = (0..64).map(|i| SessionSpec::tiny(i, 2)).collect();
         let report = null_batch(&service, specs);
@@ -623,6 +756,7 @@ mod tests {
                 shed_p99_ns: None,
                 min_window: 64,
             },
+            ..ServiceConfig::default()
         });
         // Synthetic overload: a full decision window of 1 ms queue waits.
         for _ in 0..128 {
@@ -657,6 +791,7 @@ mod tests {
                 shed_p99_ns: Some(0),
                 min_window: 1,
             },
+            ..ServiceConfig::default()
         });
         let specs: Vec<SessionSpec> = (0..8).map(|i| SessionSpec::tiny(i, 2)).collect();
         let report = null_batch(&service, specs);
@@ -682,6 +817,7 @@ mod tests {
             drivers: 2,
             sched: Some(Scheduling::Wavefront),
             admission: AdmissionConfig::default(),
+            ..ServiceConfig::default()
         });
         let arrivals: Vec<(Duration, SessionSpec)> = (0..4)
             .map(|i| (Duration::from_millis(i), SessionSpec::tiny(i, 2)))

@@ -1,0 +1,122 @@
+//! Anomaly-triggered flight dumps: when the service sheds, rejects, or
+//! breaches a frame-latency SLO, it must write exactly one dump per
+//! run whose JSONL parses and whose event stream actually explains the
+//! anomaly (the triggering events are present with their payloads).
+
+use m4ps_memsim::NullModel;
+use m4ps_obs::{outcome, Dump, EventKind};
+use m4ps_serve::{AdmissionConfig, Service, ServiceConfig, SessionSpec};
+
+fn tmp_dir(tag: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("m4ps-flight-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create dump dir");
+    dir.to_string_lossy().into_owned()
+}
+
+fn run_batch(service: &Service, specs: Vec<SessionSpec>) -> m4ps_serve::ServiceReport {
+    service.run_batch(specs, |_, _| NullModel::new(), |_, _| {})
+}
+
+fn load_dump(path: &str) -> Dump {
+    let text = std::fs::read_to_string(path).expect("dump file readable");
+    Dump::from_jsonl(&text).expect("dump parses")
+}
+
+/// A zero-tolerance shed threshold forces an anomaly on the first
+/// admission window; the dump must exist, parse, and contain the shed
+/// decision with its triggering p99 plus the shed session's close.
+#[test]
+fn forced_shed_writes_parseable_dump() {
+    let dir = tmp_dir("shed");
+    let service = Service::new(ServiceConfig {
+        threads: 2,
+        drivers: 1,
+        admission: AdmissionConfig {
+            reject_p99_ns: None,
+            shed_p99_ns: Some(0),
+            min_window: 1,
+        },
+        dump_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    });
+    let report = run_batch(&service, (0..8).map(|i| SessionSpec::tiny(i, 2)).collect());
+    assert!(report.shed > 0, "zero threshold must shed: {report:?}");
+    let dump_path = report.dump.as_deref().expect("anomaly must produce a dump");
+    assert!(dump_path.starts_with(&dir), "dump in the configured dir");
+    let dump = load_dump(dump_path);
+    let shed_session = dump
+        .events
+        .iter()
+        .find(|e| e.ev.kind == EventKind::SessionShed)
+        .expect("shed event recorded")
+        .ev
+        .session;
+    assert!(
+        dump.events
+            .iter()
+            .any(|e| e.ev.kind == EventKind::SessionClose
+                && e.ev.session == shed_session
+                && e.ev.a == outcome::SHED),
+        "shed session {shed_session} must close with the shed outcome"
+    );
+    // Lifecycle events for the run are there too.
+    for kind in [EventKind::SessionSubmit, EventKind::SessionOpen] {
+        assert!(dump.events.iter().any(|e| e.ev.kind == kind));
+    }
+    // The companion Chrome trace was written next to the JSONL.
+    let trace_path = dump_path.replace(".jsonl", ".trace.json");
+    let trace = std::fs::read_to_string(&trace_path).expect("trace next to dump");
+    assert!(trace.contains("\"traceEvents\""));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// An unmeetable SLO (1 ns) trips on the first completed frame; the
+/// dump carries the breach with latency and threshold payloads.
+#[test]
+fn slo_breach_writes_dump_with_latency_payload() {
+    let dir = tmp_dir("slo");
+    let service = Service::new(ServiceConfig {
+        threads: 2,
+        drivers: 2,
+        slo_ns: Some(1),
+        dump_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    });
+    let report = run_batch(&service, (0..4).map(|i| SessionSpec::tiny(i, 2)).collect());
+    assert_eq!(report.completed, 4, "SLO breaches must not fail sessions");
+    let dump = load_dump(report.dump.as_deref().expect("breach must produce a dump"));
+    let breach = dump
+        .events
+        .iter()
+        .find(|e| e.ev.kind == EventKind::SloBreach)
+        .expect("breach event recorded");
+    assert!(breach.ev.a > 1, "latency payload present");
+    assert_eq!(breach.ev.b, 1, "threshold payload is the configured SLO");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// One dump per run: a run full of anomalies still snapshots exactly
+/// once (the first), and the next run re-arms.
+#[test]
+fn dump_throttle_is_one_per_run_and_rearms() {
+    let dir = tmp_dir("throttle");
+    let service = Service::new(ServiceConfig {
+        threads: 2,
+        drivers: 2,
+        slo_ns: Some(1),
+        dump_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    });
+    let r1 = run_batch(&service, (0..4).map(|i| SessionSpec::tiny(i, 2)).collect());
+    let r2 = run_batch(&service, (0..4).map(|i| SessionSpec::tiny(i, 2)).collect());
+    let d1 = r1.dump.expect("first run dumps");
+    let d2 = r2.dump.expect("second run dumps");
+    assert_ne!(d1, d2, "each run writes its own dump");
+    let jsonl_count = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".jsonl"))
+        .count();
+    assert_eq!(jsonl_count, 2, "one dump per run, not per anomaly");
+    std::fs::remove_dir_all(&dir).ok();
+}

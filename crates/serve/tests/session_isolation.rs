@@ -81,6 +81,7 @@ fn concurrent_sessions_match_solo_hierarchy_runs() {
             drivers,
             sched: Some(sched),
             admission: AdmissionConfig::default(),
+            ..ServiceConfig::default()
         });
         let report = service.run_batch(
             specs,
@@ -123,6 +124,7 @@ fn sixty_four_sessions_are_bit_identical_to_solo() {
         drivers: 8,
         sched: Some(sched),
         admission: AdmissionConfig::default(),
+        ..ServiceConfig::default()
     });
     let specs: Vec<SessionSpec> = (0..64).map(|i| SessionSpec::tiny(i % 4, 2)).collect();
     let report = service.run_batch(specs, |_, _| NullModel::new(), |_, _| {});
@@ -155,6 +157,7 @@ fn weights_reorder_but_never_change_output() {
         drivers: 3,
         sched: Some(sched),
         admission: AdmissionConfig::default(),
+        ..ServiceConfig::default()
     });
     let report = service.run_batch(specs, |_, _| NullModel::new(), |_, _| {});
     assert_eq!(report.completed, 6);

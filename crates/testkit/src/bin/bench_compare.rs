@@ -4,9 +4,9 @@
 //!
 //! ```text
 //! bench_compare <baseline.json> <fresh.json> [--max-regress <pct>] [--min-scaling <x>]
-//!               [--max-obs-overhead <pct>] [--phases <file>]
+//!               [--max-obs-overhead <pct>] [--max-rec-overhead <pct>] [--phases <file>]
 //! bench_compare --scaling <fresh.json> [--min-scaling <x>] [--max-obs-overhead <pct>]
-//!               [--phases <file>]
+//!               [--max-rec-overhead <pct>] [--phases <file>]
 //! ```
 //!
 //! Exit status 0 when every shared benchmark is within budget, 1 on
@@ -24,9 +24,11 @@
 //!
 //! When the fresh file contains the `parallel/encode_frame/obs={off,on}`
 //! pair, the installed-profiler overhead is gated too (default ceiling
-//! +5%, `--max-obs-overhead`). `--phases <file>` additionally prints the
-//! top-3 stall-cycle phases from a `trace_smoke` phases JSONL next to
-//! the gate report.
+//! +8%, `--max-obs-overhead`), and the `parallel/encode_frame/rec={off,on}`
+//! pair likewise gates the installed flight-recorder overhead (default
+//! ceiling +8%, `--max-rec-overhead`). `--phases <file>` additionally
+//! prints the top-3 stall-cycle phases from a `trace_smoke` phases JSONL
+//! next to the gate report.
 
 use m4ps_testkit::json::Json;
 use std::process::ExitCode;
@@ -39,6 +41,9 @@ const SCALING_SERIES: &str = "parallel/encode_frame/threads=";
 /// The benchmark pair the profiler-overhead gate reads.
 const OBS_SERIES: &str = "parallel/encode_frame/obs=";
 
+/// The benchmark pair the flight-recorder-overhead gate reads.
+const REC_SERIES: &str = "parallel/encode_frame/rec=";
+
 /// Ceiling for the installed-profiler overhead (obs=on vs obs=off).
 /// The wavefront scheduler attaches the session and records a
 /// queue-wait sample per macroblock-row task (not per coarse slice
@@ -46,6 +51,13 @@ const OBS_SERIES: &str = "parallel/encode_frame/obs=";
 /// than the old 5% budget; 8% still catches an accidentally hot
 /// span while clearing single-digit task-grain costs.
 const DEFAULT_MAX_OBS_OVERHEAD_PCT: f64 = 8.0;
+
+/// Ceiling for the installed flight-recorder overhead (rec=on vs
+/// rec=off, profiler session held constant). Recording a coarse phase
+/// event is one timestamp plus a 40-byte ring append under a
+/// per-thread lock — single digits even on a starved runner; 8%
+/// catches an accidentally hot (per-macroblock) record site.
+const DEFAULT_MAX_REC_OVERHEAD_PCT: f64 = 8.0;
 
 /// `(name, median_ns)` rows plus the report's `meta.kernel_tier` tag
 /// (reports from before the tag carry `None`).
@@ -139,12 +151,17 @@ fn check_scaling(medians: &[(String, f64)], min_scaling: f64) -> Result<Option<b
     }
 }
 
-/// Gates the span-profiler overhead: the `obs=on` median may exceed the
-/// `obs=off` median by at most `max_pct` percent. Returns `Ok(None)`
-/// when the pair is absent.
-fn check_obs_overhead(medians: &[(String, f64)], max_pct: f64) -> Result<Option<bool>, String> {
+/// Gates an on-vs-off overhead pair: the `{series}on` median may exceed
+/// the `{series}off` median by at most `max_pct` percent. Returns
+/// `Ok(None)` when the pair is absent.
+fn check_onoff_overhead(
+    medians: &[(String, f64)],
+    series: &str,
+    what: &str,
+    max_pct: f64,
+) -> Result<Option<bool>, String> {
     let median_of = |label: &str| {
-        let name = format!("{OBS_SERIES}{label}");
+        let name = format!("{series}{label}");
         medians
             .iter()
             .find(|(n, _)| *n == name)
@@ -154,19 +171,27 @@ fn check_obs_overhead(medians: &[(String, f64)], max_pct: f64) -> Result<Option<
     let Some(off) = median_of("off") else {
         return Ok(None);
     };
-    let on = median_of("on").ok_or(format!("{OBS_SERIES}on missing from fresh results"))?;
+    let on = median_of("on").ok_or(format!("{series}on missing from fresh results"))?;
     let overhead_pct = (on / off - 1.0) * 100.0;
     println!(
-        "profiler overhead ({OBS_SERIES}on vs off): {off:.0} -> {on:.0} ns ({overhead_pct:+.1}%, ceiling +{max_pct}%)"
+        "{what} overhead ({series}on vs off): {off:.0} -> {on:.0} ns ({overhead_pct:+.1}%, ceiling +{max_pct}%)"
     );
     if overhead_pct > max_pct {
-        println!(
-            "OBS OVERHEAD REGRESSED: installed profiler costs {overhead_pct:+.1}% (> +{max_pct}%)"
-        );
+        println!("OVERHEAD REGRESSED: installed {what} costs {overhead_pct:+.1}% (> +{max_pct}%)");
         Ok(Some(false))
     } else {
         Ok(Some(true))
     }
+}
+
+/// Gates the span-profiler overhead (obs=on vs obs=off).
+fn check_obs_overhead(medians: &[(String, f64)], max_pct: f64) -> Result<Option<bool>, String> {
+    check_onoff_overhead(medians, OBS_SERIES, "profiler", max_pct)
+}
+
+/// Gates the flight-recorder overhead (rec=on vs rec=off).
+fn check_rec_overhead(medians: &[(String, f64)], max_pct: f64) -> Result<Option<bool>, String> {
+    check_onoff_overhead(medians, REC_SERIES, "flight recorder", max_pct)
 }
 
 /// Prints the top-3 stall-cycle phases from a phases JSONL file (one
@@ -215,6 +240,7 @@ fn run() -> Result<bool, String> {
     let mut max_regress_pct = DEFAULT_MAX_REGRESS_PCT;
     let mut min_scaling = default_min_scaling();
     let mut max_obs_overhead_pct = DEFAULT_MAX_OBS_OVERHEAD_PCT;
+    let mut max_rec_overhead_pct = DEFAULT_MAX_REC_OVERHEAD_PCT;
     let mut phases_path: Option<String> = None;
     let scaling_only = first == "--scaling";
     let (baseline_path, fresh_path) = if scaling_only {
@@ -248,6 +274,13 @@ fn run() -> Result<bool, String> {
                     .parse()
                     .map_err(|e| format!("--max-obs-overhead: {e}"))?;
             }
+            "--max-rec-overhead" => {
+                max_rec_overhead_pct = args
+                    .next()
+                    .ok_or("--max-rec-overhead needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--max-rec-overhead: {e}"))?;
+            }
             "--phases" => {
                 phases_path = Some(args.next().ok_or("--phases needs a <file>")?);
             }
@@ -266,10 +299,11 @@ fn run() -> Result<bool, String> {
             }
         };
         let obs_ok = check_obs_overhead(&fresh, max_obs_overhead_pct)?.unwrap_or(true);
+        let rec_ok = check_rec_overhead(&fresh, max_rec_overhead_pct)?.unwrap_or(true);
         if let Some(phases) = &phases_path {
             print_top_stall_phases(phases)?;
         }
-        return Ok(pass && obs_ok);
+        return Ok(pass && obs_ok && rec_ok);
     }
     let baseline_path = baseline_path.expect("set in non-scaling mode");
     let (baseline, base_tier) = load_medians(&baseline_path)?;
@@ -289,10 +323,11 @@ fn run() -> Result<bool, String> {
             );
             let scaling_ok = check_scaling(&fresh, min_scaling)?.unwrap_or(true);
             let obs_ok = check_obs_overhead(&fresh, max_obs_overhead_pct)?.unwrap_or(true);
+            let rec_ok = check_rec_overhead(&fresh, max_rec_overhead_pct)?.unwrap_or(true);
             if let Some(phases) = &phases_path {
                 print_top_stall_phases(phases)?;
             }
-            return Ok(scaling_ok && obs_ok);
+            return Ok(scaling_ok && obs_ok && rec_ok);
         }
     }
 
@@ -345,10 +380,13 @@ fn run() -> Result<bool, String> {
     // more expensive is a regression even if both medians drift within
     // the per-bench budget.
     let obs_ok = check_obs_overhead(&fresh, max_obs_overhead_pct)?.unwrap_or(true);
+    // And the recorder pair: an always-on ring append that turns hot is
+    // a service regression even when the codec medians stay flat.
+    let rec_ok = check_rec_overhead(&fresh, max_rec_overhead_pct)?.unwrap_or(true);
     if let Some(phases) = &phases_path {
         print_top_stall_phases(phases)?;
     }
-    Ok(regressions == 0 && scaling_ok && obs_ok)
+    Ok(regressions == 0 && scaling_ok && obs_ok && rec_ok)
 }
 
 fn main() -> ExitCode {

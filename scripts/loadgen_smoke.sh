@@ -3,9 +3,11 @@
 # closed-loop batch plus a short open-loop burst with admission
 # thresholds armed, and validate the reports. Writes:
 #
-#   LOADGEN_smoke.json — sessions/sec, frames/sec, p50/p90/p99 frame
-#                        latency and pool queue-wait percentiles for
-#                        the closed-loop batch (CI artifact)
+#   LOADGEN_smoke.json — sessions/sec, frames/sec, p50/p90/p99/p99.9/max
+#                        frame latency, pool queue-wait percentiles,
+#                        per-session merged memory-hierarchy counters
+#                        (--memsim), and throughput per WFQ weight
+#                        class for the closed-loop batch (CI artifact)
 #
 # The smoke asserts the service actually sustained the offered load:
 # every closed-loop session must complete (the batch applies no
@@ -19,6 +21,7 @@ cd "$(dirname "$0")/.."
 echo "== loadgen smoke: closed-loop 64-session batch (offline) =="
 cargo run -q --release --offline -p m4ps-serve --bin m4ps-loadgen -- \
     --sessions 64 --frames 3 --threads 4 --drivers 8 \
+    --memsim --weights 1,2 \
     --json "$PWD/LOADGEN_smoke.json"
 
 if command -v python3 >/dev/null 2>&1; then
@@ -28,8 +31,18 @@ r = json.load(open(sys.argv[1]))
 assert r["completed"] == 64, f"expected 64 completed sessions, got {r['completed']}"
 assert r["sessions_per_sec"] > 0, "sessions/sec must be positive"
 assert r["frame_p99_ms"] >= r["frame_p50_ms"] > 0, "latency percentiles must be ordered"
+assert r["frame_p999_ms"] >= r["frame_p99_ms"], "p99.9 must dominate p99"
+assert r["frame_max_ms"] > 0, "max latency must be present"
+done = [s for s in r["per_session"] if s["status"] == "completed"]
+assert len(done) == 64, "per-session rows must cover every completed session"
+assert all(s["counters"]["loads"] > 0 for s in done), \
+    "--memsim must attribute per-session hierarchy counters"
+weights = {int(w["weight"]): w for w in r["weight_classes"]}
+assert set(weights) == {1, 2} and all(w["completed"] == 32 for w in weights.values()), \
+    f"weight classes must split 32/32: {weights}"
 print(f"  {r['sessions_per_sec']:.1f} sessions/s, "
-      f"frame p50 {r['frame_p50_ms']:.3f} ms, p99 {r['frame_p99_ms']:.3f} ms")
+      f"frame p50 {r['frame_p50_ms']:.3f} ms, p99 {r['frame_p99_ms']:.3f} ms, "
+      f"p99.9 {r['frame_p999_ms']:.3f} ms, max {r['frame_max_ms']:.3f} ms")
 PY
 else
     # No python3 on this runner: grep-level checks only.

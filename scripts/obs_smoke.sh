@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Flight-recorder smoke: force an admission shed in `m4ps-loadgen`,
+# then prove the whole observability chain holds — the service writes
+# an anomaly dump, the dump parses, `m4ps-obs report` produces the
+# admission timeline and per-session breakdown, and the Chrome-trace
+# re-export is valid JSON with the per-session lanes. Writes:
+#
+#   FLIGHT_smoke.jsonl      — the anomaly dump (CI artifact)
+#   FLIGHT_smoke.trace.json — its Chrome-trace export (chrome://tracing)
+#
+# The loadgen run uses --memsim so the JSON report carries per-session
+# memory-hierarchy counters, which `m4ps-obs report --loadgen` joins
+# into its output. Everything runs --offline like the rest of CI.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dumpdir="target/obs_smoke"
+rm -rf "$dumpdir"
+mkdir -p "$dumpdir"
+
+echo "== obs smoke: forced shed writes a flight dump (offline) =="
+# A zero shed threshold with a 1-sample window trips on the first
+# admission check, so the run is guaranteed to produce an anomaly dump.
+cargo run -q --release --offline -p m4ps-serve --bin m4ps-loadgen -- \
+    --sessions 24 --frames 2 --threads 2 --drivers 2 \
+    --memsim --weights 1,2 --shed-p99-us 0 --min-window 1 \
+    --dump-dir "$dumpdir" --json "$dumpdir/loadgen.json"
+
+dump=$(ls "$dumpdir"/flight_*.jsonl | head -1)
+[[ -n "$dump" ]] || { echo "obs smoke: no flight dump written" >&2; exit 1; }
+
+echo "== obs smoke: m4ps-obs report parses the dump =="
+report=$(cargo run -q --release --offline -p m4ps-obs --bin m4ps-obs -- \
+    report "$dump" --loadgen "$dumpdir/loadgen.json" --top 3)
+echo "$report" | head -20
+for section in "admission timeline" "per-session breakdown" \
+               "frame-latency outliers" "per-session memory hierarchy"; do
+    if ! grep -q "$section" <<<"$report"; then
+        echo "obs smoke: report missing section: $section" >&2
+        exit 1
+    fi
+done
+# The forced shed must be visible in the admission timeline.
+grep -q "SHED" <<<"$report" || { echo "obs smoke: no shed in timeline" >&2; exit 1; }
+
+echo "== obs smoke: Chrome-trace re-export is valid =="
+cargo run -q --release --offline -p m4ps-obs --bin m4ps-obs -- \
+    trace "$dump" "$dumpdir/reexport.trace.json"
+
+cp "$dump" "$PWD/FLIGHT_smoke.jsonl"
+cp "${dump%.jsonl}.trace.json" "$PWD/FLIGHT_smoke.trace.json"
+
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$PWD/FLIGHT_smoke.trace.json" "$dumpdir/reexport.trace.json" <<'PY'
+import json, sys
+for path in sys.argv[1:]:
+    doc = json.load(open(path))
+    events = doc["traceEvents"]
+    assert events, f"{path}: empty traceEvents"
+    names = {e.get("args", {}).get("name") for e in events if e.get("ph") == "M"}
+    assert any(n and n.startswith("session-") for n in names), \
+        f"{path}: no per-session lanes in {sorted(filter(None, names))}"
+    print(f"  {path}: {len(events)} events, lanes ok")
+PY
+fi
+
+echo "flight dump:  $PWD/FLIGHT_smoke.jsonl"
+echo "flight trace: $PWD/FLIGHT_smoke.trace.json"

@@ -71,6 +71,10 @@ scripts/trace_smoke.sh
 # LOADGEN_smoke.json (sessions/sec + latency percentiles).
 scripts/loadgen_smoke.sh
 
+# Flight-recorder smoke: forced shed -> anomaly dump -> m4ps-obs
+# report/trace; writes FLIGHT_smoke.jsonl + FLIGHT_smoke.trace.json.
+scripts/obs_smoke.sh
+
 echo "== bench smoke run =="
 baseline=""
 if [[ -f BENCH_smoke.json ]]; then
