@@ -337,6 +337,82 @@ fn bench_parallel(r: &mut BenchRunner) {
     }
 }
 
+fn bench_parallel_decode(r: &mut BenchRunner) {
+    use m4ps_codec::VideoObjectDecoder;
+    use m4ps_memsim::NullModel;
+    use m4ps_vidgen::{Resolution, Scene, SceneSpec};
+
+    // The decode mirror of `bench_parallel`: one PAL P-VOP, 4 slices,
+    // re-decoded from a fixed bit position at each worker count.
+    // threads=seq is the legacy no-pool decoder (the pre-prescan code
+    // path); threads=1 is the slice-parallel construction on a single
+    // worker, so the seq -> 1 delta is the pure cost of the pre-scan,
+    // model forks and pool dispatch, and 1 -> 4 is the scaling win.
+    // The reconstruction is bit-identical across all four entries.
+    let res = Resolution::PAL;
+    let scene = Scene::new(SceneSpec {
+        resolution: res,
+        objects: 0,
+        seed: 11,
+    });
+    let config = EncoderConfig {
+        gop: m4ps_codec::GopStructure {
+            intra_period: 1 << 20, // frame 0 I, frame 1 P
+            b_frames: 0,
+        },
+        ..EncoderConfig::fast_test()
+    }
+    .with_slices(4);
+    let stream = {
+        let mut space = AddressSpace::new();
+        let mut mem = NullModel::new();
+        let mut coder = VideoObjectCoder::new(&mut space, res.width, res.height, config).unwrap();
+        let mut stream = coder.header_bytes();
+        for t in 0..2 {
+            let f = scene.frame(t);
+            let view = FrameView {
+                width: f.resolution.width,
+                height: f.resolution.height,
+                y: &f.y,
+                u: &f.u,
+                v: &f.v,
+            };
+            for vop in coder.encode_frame(&mut mem, &view, None).unwrap() {
+                stream.extend_from_slice(&vop.bytes);
+            }
+        }
+        for vop in coder.flush(&mut mem).unwrap() {
+            stream.extend_from_slice(&vop.bytes);
+        }
+        stream
+    };
+    let bytes = (res.width * res.height * 3 / 2) as u64;
+    for threads in [0usize, 1, 2, 4] {
+        let mut space = AddressSpace::new();
+        let mut mem = NullModel::new();
+        let mut reader = BitReader::new(&stream);
+        let mut dec = VideoObjectDecoder::from_stream(&mut space, &mut mem, &mut reader).unwrap();
+        dec.set_threads(threads); // 0 = legacy sequential path
+                                  // Prime the anchor so every measured decode is the P-VOP.
+        dec.decode_next(&mut mem, &mut reader).unwrap().unwrap();
+        let pos = reader.bit_pos();
+        let label = if threads == 0 {
+            "seq".to_string()
+        } else {
+            threads.to_string()
+        };
+        r.bench_bytes(
+            &format!("parallel/decode_frame/threads={label}"),
+            bytes,
+            || {
+                let mut rr = BitReader::new(&stream);
+                rr.seek_to(pos);
+                usize::from(dec.decode_next(&mut mem, &mut rr).unwrap().is_some())
+            },
+        );
+    }
+}
+
 fn bench_obs_overhead(r: &mut BenchRunner) {
     use m4ps_memsim::NullModel;
     use m4ps_vidgen::{Resolution, Scene, SceneSpec};
@@ -499,6 +575,7 @@ fn main() {
     bench_arith(&mut r);
     bench_memsim(&mut r);
     bench_parallel(&mut r);
+    bench_parallel_decode(&mut r);
     bench_obs_overhead(&mut r);
     bench_serve(&mut r);
     r.finish();

@@ -144,6 +144,19 @@ impl<'a> BitReader<'a> {
         self.pos = self.pos.div_ceil(8) * 8;
     }
 
+    /// Moves the cursor to the absolute bit position `bit`. The
+    /// slice-parallel decoder uses this to jump the coordinator's
+    /// reader to positions its slice tasks (each holding a clone)
+    /// established independently.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bit` lies past the end of the stream.
+    pub fn seek_to(&mut self, bit: u64) {
+        assert!(bit <= self.total_bits(), "seek past end of stream");
+        self.pos = bit;
+    }
+
     /// Consumes MPEG-4 stuffing (`0` then `1`s) up to the byte boundary,
     /// if the upcoming bits look like stuffing; otherwise just aligns.
     pub fn skip_stuffing(&mut self) {

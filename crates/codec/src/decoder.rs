@@ -3,7 +3,8 @@
 //! the paper instruments for its burstiness study).
 
 use crate::encoder::{
-    fill_bbox_ring, fill_grey_mb, predict_mb_4mv, reconstruct_inter_mb, VopStats,
+    fill_bbox_ring, fill_grey_mb, predict_mb_4mv, reconstruct_inter_mb, Scheduling, SliceScratch,
+    VopStats, RESYNC_MARKER, SLICE_CHARGE_SPAN,
 };
 use crate::error::CodecError;
 use crate::header::{VolHeader, VopHeader};
@@ -11,15 +12,18 @@ use crate::mbops::{
     chroma_mv, write_block, write_block_u8, IntraPredState, MvPredictor, StreamCharge,
 };
 use crate::mc::{average_predictions, motion_compensate_block};
-use crate::plane::{TracedFrame, TracedPlane};
+use crate::plane::{FrameSink, FrameViewMut, TracedFrame, TracedPlane};
 use crate::shape::{classify_bab, decode_alpha_plane, BabClass};
 use crate::slices::partition_rows;
 use crate::texture::TextureCoder;
 use crate::types::{MacroblockKind, MotionVector, VopKind};
 use crate::vlc::{get_se, get_ue};
 use m4ps_bitstream::{BitReader, BitstreamError, StartCode};
-use m4ps_memsim::{AddressSpace, MemModel};
+use m4ps_memsim::{AddressSpace, MemModel, ParallelModel};
 use m4ps_obs::{span, Phase};
+use m4ps_pool::{Scope, WorkerPool};
+use std::ops::Range;
+use std::sync::{Arc, Mutex};
 
 /// Largest legal motion-vector component in half-pels: the search range
 /// plus half-pel refinement can never leave the [`crate::PAD`]-pixel
@@ -77,6 +81,22 @@ pub struct VideoObjectDecoder {
     /// Accumulated counter deltas over the VOP-decode windows — the
     /// paper's `DecodeVopCombMotionShapeTexture()` instrumentation.
     vop_window: m4ps_memsim::Counters,
+    /// Worker pool for slice-parallel decode. `None` (and a zero
+    /// `threads_hint`) keeps the legacy sequential path — parallel
+    /// decode is strictly opt-in via [`VideoObjectDecoder::set_pool`] /
+    /// [`VideoObjectDecoder::set_threads`] so existing sequential
+    /// counter pins stay byte-for-byte unchanged.
+    pool: Option<Arc<WorkerPool>>,
+    /// Thread count for a lazily created pool; 0 = sequential decode.
+    threads_hint: usize,
+    sched: Scheduling,
+    /// Reusable per-slice decode state (texture scratch clones and MV
+    /// predictors), grown on first use and recycled every VOP.
+    slice_scratch: Vec<SliceScratch>,
+    /// VOPs where the parallel attempt was abandoned and the VOP was
+    /// re-decoded sequentially (pre-scan miss, slice error, or slice
+    /// boundary mismatch — corrupt streams, mostly).
+    parallel_fallbacks: u64,
 }
 
 impl VideoObjectDecoder {
@@ -138,8 +158,69 @@ impl VideoObjectDecoder {
             keep_output: false,
             prev_bbox: None,
             vop_window: m4ps_memsim::Counters::new(),
+            pool: None,
+            threads_hint: 0,
+            sched: Scheduling::from_env(),
+            slice_scratch: Vec::new(),
+            parallel_fallbacks: 0,
             vol,
         })
+    }
+
+    /// Shares a persistent worker pool with this decoder and enables
+    /// slice-parallel decode for multi-slice VOPs. Reconstruction and
+    /// merged counters are bit-identical at any thread count: the slice
+    /// partition, per-slice forks and charge windows depend only on the
+    /// bitstream's slice count, never on which thread runs a slice.
+    pub fn set_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.threads_hint = pool.threads();
+        self.pool = Some(pool);
+    }
+
+    /// Enables slice-parallel decode on a lazily created `threads`-wide
+    /// pool (0 restores the sequential path). Purely a scheduling knob:
+    /// output is bit-identical across thread counts.
+    pub fn set_threads(&mut self, threads: usize) {
+        let threads = threads.min(256);
+        self.threads_hint = threads;
+        match (&self.pool, threads) {
+            (Some(_), 0) => self.pool = None,
+            (Some(p), t) if p.threads() != t => self.pool = None,
+            _ => {}
+        }
+    }
+
+    /// Selects how a VOP's slice work is decomposed onto the pool (see
+    /// [`Scheduling`]). Output is bit-identical across modes.
+    pub fn set_scheduling(&mut self, sched: Scheduling) {
+        self.sched = sched;
+    }
+
+    /// The worker thread count slices are decoded on (0 = sequential).
+    pub fn threads(&self) -> usize {
+        match (&self.pool, self.threads_hint) {
+            (Some(p), _) => p.threads(),
+            (None, hint) => hint,
+        }
+    }
+
+    /// VOPs where the parallel attempt fell back to a sequential
+    /// re-decode (corrupt slice, unlocatable slice header, or a slice
+    /// boundary mismatch). The fallback decision is a pure function of
+    /// the bitstream, so it is identical at every thread count; the
+    /// re-decode reproduces the sequential decoder's result exactly,
+    /// concealment and all.
+    pub fn parallel_fallbacks(&self) -> u64 {
+        self.parallel_fallbacks
+    }
+
+    /// The pool to decode this VOP's slices on, creating the lazy pool
+    /// on first use. `None` = sequential decode.
+    fn parallel_pool(&mut self) -> Option<Arc<WorkerPool>> {
+        if self.pool.is_none() && self.threads_hint > 0 {
+            self.pool = Some(Arc::new(WorkerPool::new(self.threads_hint)));
+        }
+        self.pool.clone()
     }
 
     /// The VOL header of this layer.
@@ -199,7 +280,7 @@ impl VideoObjectDecoder {
     ///
     /// Returns [`CodecError`] on corrupt or truncated input, including a
     /// B- or P-VOP arriving before its reference anchors.
-    pub fn decode_next<M: MemModel>(
+    pub fn decode_next<M: ParallelModel>(
         &mut self,
         mem: &mut M,
         r: &mut BitReader<'_>,
@@ -214,7 +295,7 @@ impl VideoObjectDecoder {
     /// # Errors
     ///
     /// Same conditions as [`VideoObjectDecoder::decode_next`].
-    pub fn decode_next_with_ref<M: MemModel>(
+    pub fn decode_next_with_ref<M: ParallelModel>(
         &mut self,
         mem: &mut M,
         r: &mut BitReader<'_>,
@@ -223,7 +304,7 @@ impl VideoObjectDecoder {
         self.decode_next_inner(mem, r, Some(ext))
     }
 
-    fn decode_next_inner<M: MemModel>(
+    fn decode_next_inner<M: ParallelModel>(
         &mut self,
         mem: &mut M,
         r: &mut BitReader<'_>,
@@ -290,7 +371,7 @@ impl VideoObjectDecoder {
     /// bookkeeping for one VOP — everything inside the per-VOP counter
     /// window. Returns the layer stats and whether the external
     /// reference was used (the output then lands in the B slot).
-    fn decode_window<M: MemModel>(
+    fn decode_window<M: ParallelModel>(
         &mut self,
         mem: &mut M,
         r: &mut BitReader<'_>,
@@ -346,10 +427,12 @@ impl VideoObjectDecoder {
             1 - self.latest
         };
 
+        let pool = self.parallel_pool();
+        let sched = self.sched;
         let stats = if header.kind == VopKind::B {
             let fwd = &self.anchors[1 - self.latest];
             let bwd = &self.anchors[self.latest];
-            decode_vop_body(
+            decode_vop_dispatch(
                 mem,
                 r,
                 header,
@@ -358,13 +441,18 @@ impl VideoObjectDecoder {
                 Some(bwd),
                 &mut self.b_recon,
                 &mut self.texture,
+                &mut self.slice_scratch,
+                &mut self.parallel_fallbacks,
                 &mut charge,
                 bit_start,
+                self.stream_base,
                 self.mb_cols,
                 self.mb_rows,
+                pool.as_deref(),
+                sched,
             )?
         } else if ext_is_ref {
-            decode_vop_body(
+            decode_vop_dispatch(
                 mem,
                 r,
                 header,
@@ -373,10 +461,15 @@ impl VideoObjectDecoder {
                 None,
                 &mut self.b_recon,
                 &mut self.texture,
+                &mut self.slice_scratch,
+                &mut self.parallel_fallbacks,
                 &mut charge,
                 bit_start,
+                self.stream_base,
                 self.mb_cols,
                 self.mb_rows,
+                pool.as_deref(),
+                sched,
             )?
         } else {
             // Anchor decode: target is the non-latest slot; a P-VOP
@@ -388,7 +481,7 @@ impl VideoObjectDecoder {
             } else {
                 (&mut right[0], is_p.then_some(&left[0] as &TracedFrame))
             };
-            decode_vop_body(
+            decode_vop_dispatch(
                 mem,
                 r,
                 header,
@@ -397,10 +490,15 @@ impl VideoObjectDecoder {
                 None,
                 recon,
                 &mut self.texture,
+                &mut self.slice_scratch,
+                &mut self.parallel_fallbacks,
                 &mut charge,
                 bit_start,
+                self.stream_base,
                 self.mb_cols,
                 self.mb_rows,
+                pool.as_deref(),
+                sched,
             )?
         };
 
@@ -419,6 +517,544 @@ impl VideoObjectDecoder {
 
         Ok((stats, ext_is_ref))
     }
+}
+
+/// Outcome of a parallel decode attempt.
+enum ParallelOutcome {
+    /// The VOP is not eligible (single slice, or a geometry error the
+    /// sequential path will report) — decode sequentially, this was
+    /// not a fallback.
+    NotSliced,
+    /// The attempt was abandoned (pre-scan miss, slice task error, or
+    /// slice boundary mismatch). The parent model and reader are
+    /// untouched; re-decode sequentially and count a fallback.
+    Fallback,
+    /// Parallel decode succeeded; the reader sits after the last
+    /// macroblock, exactly where the sequential decoder would leave it.
+    Done(VopStats),
+}
+
+/// Routes one VOP's macroblock layer to the slice-parallel path when a
+/// pool is attached and the VOP is multi-slice, falling back to the
+/// sequential decoder otherwise — or whenever the parallel attempt
+/// aborts. The fallback re-decode starts from a saved reader clone and
+/// overwrites every in-bbox macroblock, so its public result (including
+/// concealment) is exactly the sequential decoder's on every input.
+#[allow(clippy::too_many_arguments)]
+fn decode_vop_dispatch<M: ParallelModel>(
+    mem: &mut M,
+    r: &mut BitReader<'_>,
+    header: &VopHeader,
+    alpha: Option<&TracedPlane>,
+    fwd: Option<&TracedFrame>,
+    bwd: Option<&TracedFrame>,
+    recon: &mut TracedFrame,
+    texture: &mut TextureCoder,
+    scratch: &mut Vec<SliceScratch>,
+    fallbacks: &mut u64,
+    charge: &mut StreamCharge,
+    bit_start: u64,
+    stream_base: u64,
+    mb_cols: usize,
+    mb_rows: usize,
+    pool: Option<&WorkerPool>,
+    sched: Scheduling,
+) -> Result<VopStats, CodecError> {
+    if let Some(pool) = pool {
+        let saved = r.clone();
+        match decode_vop_parallel(
+            mem,
+            r,
+            header,
+            alpha,
+            fwd,
+            bwd,
+            recon,
+            texture,
+            scratch,
+            charge,
+            bit_start,
+            stream_base,
+            mb_cols,
+            mb_rows,
+            pool,
+            sched,
+        ) {
+            ParallelOutcome::Done(stats) => return Ok(stats),
+            ParallelOutcome::Fallback => {
+                *fallbacks += 1;
+                *r = saved;
+            }
+            ParallelOutcome::NotSliced => *r = saved,
+        }
+    }
+    decode_vop_body(
+        mem, r, header, alpha, fwd, bwd, recon, texture, charge, bit_start, mb_cols, mb_rows,
+    )
+}
+
+/// Decodes a multi-slice VOP's macroblock layer on the pool: a cheap
+/// untraced pre-scan locates every slice header (byte-aligned resync
+/// marker carrying the slice's first macroblock index), then each slice
+/// decodes as an independent task chain — cloned reader positioned at
+/// its slice start, forked memory model, recycled [`SliceScratch`],
+/// disjoint reconstruction row band, and a per-slice-index charge
+/// window at `stream_base + (s+1) * SLICE_CHARGE_SPAN` — the exact
+/// construction the parallel encoder uses, so reconstruction and
+/// merged counters are bit-identical at any thread count.
+///
+/// The parallel path performs **no concealment**: any anomaly — a
+/// slice header the pre-scan cannot locate, a slice task error (or
+/// panic, caught at the task boundary), or a slice whose aligned end
+/// does not meet the next slice's start — abandons the whole attempt
+/// without absorbing any fork, and the caller re-decodes the VOP
+/// sequentially. Each of those triggers is a pure function of the
+/// bitstream, so the decision is identical at every thread count.
+#[allow(clippy::too_many_arguments)]
+fn decode_vop_parallel<M: ParallelModel>(
+    mem: &mut M,
+    r: &mut BitReader<'_>,
+    header: &VopHeader,
+    alpha: Option<&TracedPlane>,
+    fwd: Option<&TracedFrame>,
+    bwd: Option<&TracedFrame>,
+    recon: &mut TracedFrame,
+    texture: &TextureCoder,
+    scratch: &mut Vec<SliceScratch>,
+    charge: &mut StreamCharge,
+    bit_start: u64,
+    stream_base: u64,
+    mb_cols: usize,
+    mb_rows: usize,
+    pool: &WorkerPool,
+    sched: Scheduling,
+) -> ParallelOutcome {
+    let (mbx_range, mby_range) = match header.bbox {
+        Some((x0, y0, bw, bh)) => {
+            if x0 + bw > mb_cols * 16 || y0 + bh > mb_rows * 16 {
+                return ParallelOutcome::NotSliced;
+            }
+            (x0 / 16..(x0 + bw) / 16, y0 / 16..(y0 + bh) / 16)
+        }
+        None => (0..mb_cols, 0..mb_rows),
+    };
+    let slice_rows = partition_rows(mby_range.clone(), header.slices);
+    if slice_rows.len() < 2 {
+        return ParallelOutcome::NotSliced;
+    }
+
+    // Commit: consume the header segment's stuffing (slice 0 starts
+    // byte-aligned) and charge it in the parent window — the decode
+    // mirror of the encoder charging its aligned header segment.
+    r.skip_stuffing();
+    span!(
+        mem,
+        Phase::Parse,
+        charge.charge_to(mem, r.bit_pos() - bit_start)
+    );
+
+    let Some(starts) = prescan_slice_starts(r, &slice_rows, mbx_range.len(), mby_range.start)
+    else {
+        return ParallelOutcome::Fallback;
+    };
+
+    while scratch.len() < slice_rows.len() {
+        scratch.push(SliceScratch::new(texture, mb_cols));
+    }
+
+    let ctx = DecodeCtx {
+        hdr: header,
+        alpha,
+        fwd,
+        bwd,
+        mbx_range: mbx_range.clone(),
+        n_slices: slice_rows.len(),
+    };
+    let grain = sched.grain();
+    let views = recon.split_mb_rows_mut(&slice_rows);
+    let chains: Vec<DecodeChain<'_, M>> = slice_rows
+        .iter()
+        .cloned()
+        .zip(views)
+        .zip(scratch.iter_mut())
+        .enumerate()
+        .map(|(s, ((rows, view), sc))| {
+            let first_mb = (rows.start - mby_range.start) * ctx.mbx_range.len();
+            let mut sr = r.clone();
+            sr.seek_to(starts[s]);
+            DecodeChain {
+                smem: mem.fork(),
+                r: sr,
+                view,
+                scratch: sc,
+                charge: StreamCharge::reader(stream_base + (s as u64 + 1) * SLICE_CHARGE_SPAN),
+                stats: VopStats::default(),
+                slice_index: s,
+                slice_start: starts[s],
+                next_row: rows.start,
+                first_mb,
+                mb_counter: first_mb,
+                rows,
+                grain,
+            }
+        })
+        .collect();
+
+    let slots = run_decode_chains(pool, &ctx, chains);
+
+    let mut outs = Vec::with_capacity(slots.len());
+    for slot in slots {
+        match slot
+            .into_inner()
+            .expect("decode slot lock")
+            .expect("scope waits for every slice chain")
+        {
+            Ok(out) => outs.push(out),
+            // A corrupt slice surfaces as a clean per-slice error; the
+            // other slices completed independently. Drop every fork
+            // unabsorbed and let the sequential re-decode conceal.
+            Err(_) => return ParallelOutcome::Fallback,
+        }
+    }
+    // Every slice must end, after consuming its alignment stuffing,
+    // exactly at the next slice's header. By induction this proves each
+    // task consumed precisely the bits the sequential decoder would.
+    for s in 0..outs.len() - 1 {
+        if outs[s].2 != starts[s + 1] {
+            return ParallelOutcome::Fallback;
+        }
+    }
+
+    let end_pos = outs.last().expect("at least two slices").1;
+    let mut stats = VopStats::default();
+    for (sstats, _end, _aligned, smem) in outs {
+        let child_total = *smem.counters();
+        mem.absorb(smem);
+        // Keep the caller's open phase from double-counting the jump
+        // `absorb` just folded in (the slices' own domain spans carry
+        // those counters, phase by phase).
+        m4ps_obs::absorbed(&child_total);
+        stats.merge(&sstats);
+    }
+    // Leave the reader after the last macroblock — exactly where the
+    // sequential decoder stops (the next startcode scan handles the
+    // final stuffing).
+    r.seek_to(end_pos);
+
+    if let Some(bbox) = header.bbox {
+        fill_bbox_ring(mem, recon, bbox, mb_cols, mb_rows);
+    }
+    ParallelOutcome::Done(stats)
+}
+
+/// Locates every slice's byte-aligned start: slice 0 begins at the
+/// reader's (aligned) position; slice `s > 0` begins at the first
+/// byte-aligned resync marker whose following fields parse as slice
+/// `s`'s first macroblock index. In-slice resync markers always carry
+/// a *smaller* index, so the first match is the true header unless the
+/// payload aliases one — which the slice boundary check catches.
+///
+/// The scan reads raw bytes through reader clones and charges nothing:
+/// like the encoder's slice partition it is scheduling metadata, not
+/// modelled codec traffic (the slice tasks charge every stream byte
+/// through their own windows).
+fn prescan_slice_starts(
+    r: &BitReader<'_>,
+    slice_rows: &[Range<usize>],
+    mbx_len: usize,
+    mby_start: usize,
+) -> Option<Vec<u64>> {
+    let mut starts = Vec::with_capacity(slice_rows.len());
+    starts.push(r.bit_pos());
+    let mut probe = r.clone();
+    for rows in &slice_rows[1..] {
+        let expected = (rows.start - mby_start) * mbx_len;
+        loop {
+            if !probe.scan_aligned_u16(RESYNC_MARKER) {
+                return None;
+            }
+            let mut fields = probe.clone();
+            let matches = (|| -> Result<bool, CodecError> {
+                let idx = get_ue(&mut fields)? as usize;
+                let _qp = fields.get_bits(5)?;
+                Ok(idx == expected)
+            })()
+            .unwrap_or(false);
+            if matches {
+                starts.push(probe.bit_pos() - 16);
+                break;
+            }
+            // A smaller index (in-slice marker) or a payload alias:
+            // keep scanning forward.
+        }
+    }
+    Some(starts)
+}
+
+/// Read-shared context for one VOP's decode slice tasks.
+struct DecodeCtx<'a> {
+    hdr: &'a VopHeader,
+    alpha: Option<&'a TracedPlane>,
+    fwd: Option<&'a TracedFrame>,
+    bwd: Option<&'a TracedFrame>,
+    mbx_range: Range<usize>,
+    n_slices: usize,
+}
+
+/// Everything a decode slice's row chain carries from one task to the
+/// next: the forked counter stream, the slice's reader clone and charge
+/// window, its reconstruction band and recycled scratch, and the row
+/// cursor. Moving the whole state along the chain pins determinism —
+/// each fork sees exactly the access sequence the coarse slice job
+/// produces, just cut into one task per `grain` rows.
+struct DecodeChain<'a, M> {
+    smem: M,
+    r: BitReader<'a>,
+    view: FrameViewMut<'a>,
+    scratch: &'a mut SliceScratch,
+    charge: StreamCharge,
+    stats: VopStats,
+    slice_index: usize,
+    /// Absolute bit position of the slice's first bit (the resync
+    /// marker for `slice_index > 0`); per-macroblock charges are
+    /// relative to it.
+    slice_start: u64,
+    rows: Range<usize>,
+    next_row: usize,
+    first_mb: usize,
+    mb_counter: usize,
+    grain: usize,
+}
+
+/// A finished decode slice: stats, reader end position (after the last
+/// macroblock), aligned end position (after stuffing — must meet the
+/// next slice's start), and the forked model to absorb.
+type DecodeSliceOut<M> = (VopStats, u64, u64, M);
+
+/// One slice's result slot: filled exactly once by its chain's final
+/// task, drained by the coordinator in slice order.
+type DecodeSlot<M> = Mutex<Option<Result<DecodeSliceOut<M>, CodecError>>>;
+
+/// Spawns every chain's first task into one pool scope and returns the
+/// per-slice result slots (in slice order) once all chains finished.
+fn run_decode_chains<'a, M: ParallelModel + 'a>(
+    pool: &WorkerPool,
+    ctx: &DecodeCtx<'a>,
+    mut chains: Vec<DecodeChain<'a, M>>,
+) -> Vec<DecodeSlot<M>> {
+    let slots: Vec<DecodeSlot<M>> = chains.iter().map(|_| Mutex::new(None)).collect();
+    let session = m4ps_obs::current();
+    pool.scope(session.as_ref(), |scope| {
+        for (chain, slot) in chains.drain(..).zip(slots.iter()) {
+            scope.spawn(move |s| decode_chain_step(chain, ctx, slot, s));
+        }
+    });
+    slots
+}
+
+/// One task of a decode slice's row chain: validates the slice header
+/// on the first task, decodes up to `grain` macroblock rows, then
+/// either spawns the continuation or finalizes the slice into its
+/// result slot. A panic anywhere in the slice body is caught at this
+/// task boundary and surfaces as a clean per-slice error — the pool is
+/// never poisoned and the other slices still decode.
+fn decode_chain_step<'s, M: ParallelModel + 's>(
+    mut st: DecodeChain<'s, M>,
+    ctx: &'s DecodeCtx<'s>,
+    slot: &'s DecodeSlot<M>,
+    scope: &Scope<'s>,
+) {
+    // A *domain* span: this task charges the forked stream `st.smem`,
+    // not the caller's model (the coordinator accounts for the fork via
+    // `absorbed`). Spans are per task, so each worker's span stack
+    // stays balanced; the per-pair deltas sum to the fork total.
+    let obs_on = m4ps_obs::enabled();
+    if obs_on {
+        m4ps_obs::enter_domain(Phase::DecodeSlice, *st.smem.counters());
+    }
+    let body = |st: &mut DecodeChain<'s, M>| -> Result<(), CodecError> {
+        if st.next_row == st.rows.start {
+            if st.slice_index > 0 {
+                // Slice header: the resync word, the index of the
+                // slice's first macroblock, and the quantizer (whose
+                // value the sequential decoder also ignores).
+                let m = st.r.get_bits(16)?;
+                let idx = get_ue(&mut st.r)? as usize;
+                let _qp = st.r.get_bits(5)?;
+                if m != u32::from(RESYNC_MARKER) || idx != st.first_mb {
+                    return Err(CodecError::InvalidStream("slice header mismatch"));
+                }
+            }
+            // Recycled predictors start from reset — the same state a
+            // fresh `MvPredictor::new` carries.
+            st.scratch.fwd_pred.reset();
+            st.scratch.bwd_pred.reset();
+        }
+        let stop = st.next_row.saturating_add(st.grain).min(st.rows.end);
+        while st.next_row < stop {
+            decode_slice_row(st, ctx)?;
+            st.next_row += 1;
+        }
+        Ok(())
+    };
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut st)))
+        .unwrap_or(Err(CodecError::InvalidStream(
+            "panic during parallel slice decode",
+        )));
+    match result {
+        Err(e) => {
+            if obs_on {
+                m4ps_obs::exit_domain(Phase::DecodeSlice, *st.smem.counters());
+            }
+            *slot.lock().expect("decode slot lock") = Some(Err(e));
+        }
+        Ok(()) if st.next_row < st.rows.end => {
+            if obs_on {
+                m4ps_obs::exit_domain(Phase::DecodeSlice, *st.smem.counters());
+            }
+            scope.spawn(move |s| decode_chain_step(st, ctx, slot, s));
+        }
+        Ok(()) => {
+            let end_pos = st.r.bit_pos();
+            st.r.skip_stuffing();
+            let aligned = st.r.bit_pos();
+            // Charge the slice's trailing stuffing — sequentially those
+            // bytes are swept up by the successor slice's first
+            // macroblock charge. The LAST slice's stuffing is the one
+            // tail the sequential decoder never touches (it stops right
+            // after the final macroblock), so stop there too.
+            let charge_end = if st.slice_index + 1 == ctx.n_slices {
+                end_pos
+            } else {
+                aligned
+            };
+            st.charge
+                .charge_to(&mut st.smem, charge_end - st.slice_start);
+            if obs_on {
+                m4ps_obs::exit_domain(Phase::DecodeSlice, *st.smem.counters());
+            }
+            *slot.lock().expect("decode slot lock") =
+                Some(Ok((st.stats, end_pos, aligned, st.smem)));
+        }
+    }
+}
+
+/// Decodes one macroblock row of a slice on the clean path only: any
+/// marker mismatch or macroblock error aborts the slice (no
+/// concealment — the coordinator falls back to the sequential decoder,
+/// which owns the error-resilience state machine).
+fn decode_slice_row<M: ParallelModel>(
+    st: &mut DecodeChain<'_, M>,
+    ctx: &DecodeCtx<'_>,
+) -> Result<(), CodecError> {
+    let header = ctx.hdr;
+    let qp = header.qp;
+    let mby = st.next_row;
+    let mem = &mut st.smem;
+    let recon = &mut st.view;
+    st.scratch.fwd_pred.start_row();
+    st.scratch.bwd_pred.start_row();
+    let mut ips = IntraPredState::reset();
+    for mbx in ctx.mbx_range.clone() {
+        if let Some(interval) = header.resync_interval {
+            if st.mb_counter > st.first_mb && st.mb_counter.is_multiple_of(interval) {
+                // Clean path: the expected marker, or abort.
+                st.r.skip_stuffing();
+                let m = st.r.get_bits(16)?;
+                let idx = get_ue(&mut st.r)? as usize;
+                let _qp = st.r.get_bits(5)?;
+                if m != u32::from(RESYNC_MARKER) || idx != st.mb_counter {
+                    return Err(CodecError::InvalidStream("resync marker mismatch"));
+                }
+                st.scratch.fwd_pred.reset();
+                st.scratch.bwd_pred.reset();
+                ips = IntraPredState::reset();
+            }
+        }
+        st.mb_counter += 1;
+
+        let transparent = match ctx.alpha {
+            Some(a) => span!(
+                mem,
+                Phase::Shape,
+                classify_bab(mem, a, mbx, mby) == BabClass::Transparent
+            ),
+            None => false,
+        };
+        if transparent {
+            st.stats.transparent_mbs += 1;
+            fill_grey_mb(mem, recon, mbx, mby);
+            st.scratch.fwd_pred.commit(mbx, MotionVector::ZERO);
+            st.scratch.bwd_pred.commit(mbx, MotionVector::ZERO);
+            ips = IntraPredState::reset();
+            continue;
+        }
+        st.scratch.texture.charge_mb_overhead(mem);
+
+        match header.kind {
+            VopKind::I => {
+                decode_intra_mb(
+                    mem,
+                    &mut st.r,
+                    recon,
+                    &mut st.scratch.texture,
+                    qp,
+                    mbx,
+                    mby,
+                    &mut ips,
+                )?;
+                st.stats.intra_mbs += 1;
+                st.scratch.fwd_pred.commit(mbx, MotionVector::ZERO);
+            }
+            VopKind::P => {
+                let reference = ctx
+                    .fwd
+                    .ok_or(CodecError::InvalidStream("P-VOP without reference"))?;
+                decode_p_mb(
+                    mem,
+                    &mut st.r,
+                    reference,
+                    recon,
+                    &mut st.scratch.texture,
+                    qp,
+                    mbx,
+                    mby,
+                    &mut ips,
+                    &mut st.scratch.fwd_pred,
+                    &mut st.stats,
+                )?;
+            }
+            VopKind::B => {
+                let f = ctx
+                    .fwd
+                    .ok_or(CodecError::InvalidStream("B-VOP without fwd ref"))?;
+                let b = ctx
+                    .bwd
+                    .ok_or(CodecError::InvalidStream("B-VOP without bwd ref"))?;
+                decode_b_mb(
+                    mem,
+                    &mut st.r,
+                    f,
+                    b,
+                    recon,
+                    &mut st.scratch.texture,
+                    qp,
+                    mbx,
+                    mby,
+                    &mut st.scratch.fwd_pred,
+                    &mut st.scratch.bwd_pred,
+                    &mut st.stats,
+                )?;
+                ips = IntraPredState::reset();
+            }
+        }
+        span!(
+            mem,
+            Phase::Parse,
+            st.charge.charge_to(mem, st.r.bit_pos() - st.slice_start)
+        );
+    }
+    Ok(())
 }
 
 /// Decodes the macroblock layer of one VOP (after shape).
@@ -680,10 +1316,10 @@ fn scan_to_marker(r: &mut BitReader<'_>, after: usize, total_mbs: usize, interva
 
 /// Conceals one macroblock: zero-motion copy from the forward reference
 /// when one exists, mid-grey otherwise.
-fn conceal_mb<M: MemModel>(
+fn conceal_mb<M: MemModel, F: FrameSink>(
     mem: &mut M,
     fwd: Option<&TracedFrame>,
-    recon: &mut TracedFrame,
+    recon: &mut F,
     texture: &TextureCoder,
     mbx: usize,
     mby: usize,
@@ -702,10 +1338,10 @@ fn conceal_mb<M: MemModel>(
 /// Like the encoder's intra path, the whole entropy-decode + dequant +
 /// IDCT pipeline is one `texture.dctq` span per macroblock.
 #[allow(clippy::too_many_arguments)]
-fn decode_intra_mb<M: MemModel>(
+fn decode_intra_mb<M: MemModel, F: FrameSink>(
     mem: &mut M,
     r: &mut BitReader<'_>,
-    recon: &mut TracedFrame,
+    recon: &mut F,
     texture: &mut TextureCoder,
     qp: u8,
     mbx: usize,
@@ -722,16 +1358,17 @@ fn decode_intra_mb<M: MemModel>(
 /// The fallible body of [`decode_intra_mb`] (split out so `?` cannot
 /// skip the span exit).
 #[allow(clippy::too_many_arguments)]
-fn decode_intra_mb_blocks<M: MemModel>(
+fn decode_intra_mb_blocks<M: MemModel, F: FrameSink>(
     mem: &mut M,
     r: &mut BitReader<'_>,
-    recon: &mut TracedFrame,
+    recon: &mut F,
     texture: &mut TextureCoder,
     qp: u8,
     mbx: usize,
     mby: usize,
     ips: &mut IntraPredState,
 ) -> Result<(), CodecError> {
+    let (ry, ru, rv) = recon.planes_mut();
     let px = (mbx * 16) as isize;
     let py = (mby * 16) as isize;
     for blk in 0..4 {
@@ -740,7 +1377,7 @@ fn decode_intra_mb_blocks<M: MemModel>(
         let qb = texture.entropy_decode(mem, true, ips.y, r)?;
         ips.y = qb.qdc();
         let rec = texture.reconstruct(mem, &qb, qp);
-        write_block(mem, &mut recon.y, bx, by, &rec);
+        write_block(mem, ry, bx, by, &rec);
     }
     let cx = (mbx * 8) as isize;
     let cy = (mby * 8) as isize;
@@ -753,11 +1390,7 @@ fn decode_intra_mb_blocks<M: MemModel>(
             ips.v = qb.qdc();
         }
         let rec = texture.reconstruct(mem, &qb, qp);
-        let dst = if plane_idx == 0 {
-            &mut recon.u
-        } else {
-            &mut recon.v
-        };
+        let dst: &mut F::Plane = if plane_idx == 0 { &mut *ru } else { &mut *rv };
         write_block(mem, dst, cx, cy, &rec);
     }
     Ok(())
@@ -835,10 +1468,10 @@ fn parse_inter_residual<M: MemModel>(
 
 /// Decodes cbp flags and the flagged residual blocks, then reconstructs.
 #[allow(clippy::too_many_arguments)]
-fn decode_inter_residual_and_reconstruct<M: MemModel>(
+fn decode_inter_residual_and_reconstruct<M: MemModel, F: FrameSink>(
     mem: &mut M,
     r: &mut BitReader<'_>,
-    recon: &mut TracedFrame,
+    recon: &mut F,
     texture: &mut TextureCoder,
     qp: u8,
     mbx: usize,
@@ -866,11 +1499,11 @@ fn decode_inter_residual_and_reconstruct<M: MemModel>(
 
 /// Decodes one macroblock of a P-VOP.
 #[allow(clippy::too_many_arguments)]
-fn decode_p_mb<M: MemModel>(
+fn decode_p_mb<M: MemModel, F: FrameSink>(
     mem: &mut M,
     r: &mut BitReader<'_>,
     reference: &TracedFrame,
-    recon: &mut TracedFrame,
+    recon: &mut F,
     texture: &mut TextureCoder,
     qp: u8,
     mbx: usize,
@@ -935,9 +1568,9 @@ fn decode_p_mb<M: MemModel>(
 
 /// Stores a pure prediction (no residue) into the reconstruction.
 #[allow(clippy::too_many_arguments)]
-fn store_prediction<M: MemModel>(
+fn store_prediction<M: MemModel, F: FrameSink>(
     mem: &mut M,
-    recon: &mut TracedFrame,
+    recon: &mut F,
     texture: &TextureCoder,
     pred_y: &[u8; 256],
     pred_u: &[u8; 64],
@@ -945,28 +1578,28 @@ fn store_prediction<M: MemModel>(
     mbx: usize,
     mby: usize,
 ) {
+    let (ry, ru, rv) = recon.planes_mut();
     texture.charge_pred_load(mem, 384);
     for blk in 0..4 {
         let bx = (mbx * 16 + (blk % 2) * 8) as isize;
         let by = (mby * 16 + (blk / 2) * 8) as isize;
         let pred = crate::mbops::pred_subblock(pred_y, blk);
-        write_block_u8(mem, &mut recon.y, bx, by, &pred);
+        write_block_u8(mem, ry, bx, by, &pred);
     }
     let cx = (mbx * 8) as isize;
     let cy = (mby * 8) as isize;
-    for (src, dst) in [(pred_u, &mut recon.u), (pred_v, &mut recon.v)] {
-        write_block_u8(mem, dst, cx, cy, src);
-    }
+    write_block_u8(mem, ru, cx, cy, pred_u);
+    write_block_u8(mem, rv, cx, cy, pred_v);
 }
 
 /// Decodes one macroblock of a B-VOP.
 #[allow(clippy::too_many_arguments)]
-fn decode_b_mb<M: MemModel>(
+fn decode_b_mb<M: MemModel, F: FrameSink>(
     mem: &mut M,
     r: &mut BitReader<'_>,
     fwd: &TracedFrame,
     bwd: &TracedFrame,
-    recon: &mut TracedFrame,
+    recon: &mut F,
     texture: &mut TextureCoder,
     qp: u8,
     mbx: usize,

@@ -159,8 +159,9 @@ impl Scheduling {
         }
     }
 
-    /// Macroblock rows encoded per task.
-    fn grain(self) -> usize {
+    /// Macroblock rows coded per task (shared by the slice-parallel
+    /// encoder and decoder).
+    pub(crate) fn grain(self) -> usize {
         match self {
             Scheduling::SliceParallel => usize::MAX,
             Scheduling::Wavefront => 1,
@@ -1178,13 +1179,13 @@ pub(crate) const SLICE_CHARGE_SPAN: u64 = 64 * 1024;
 /// charges exactly the traffic a fresh clone would.
 #[derive(Debug)]
 pub(crate) struct SliceScratch {
-    texture: TextureCoder,
-    fwd_pred: MvPredictor,
-    bwd_pred: MvPredictor,
+    pub(crate) texture: TextureCoder,
+    pub(crate) fwd_pred: MvPredictor,
+    pub(crate) bwd_pred: MvPredictor,
 }
 
 impl SliceScratch {
-    fn new(template: &TextureCoder, mb_cols: usize) -> Self {
+    pub(crate) fn new(template: &TextureCoder, mb_cols: usize) -> Self {
         SliceScratch {
             texture: template.clone(),
             fwd_pred: MvPredictor::new(mb_cols),

@@ -410,6 +410,37 @@ impl SceneDecoder {
         }
     }
 
+    /// Sets the slice-decoding worker thread count on every layer
+    /// decoder (see [`VideoObjectDecoder::set_threads`] — a pure
+    /// scheduling knob; output and counters never change).
+    pub fn set_threads(&mut self, threads: usize) {
+        for d in &mut self.decoders {
+            d.set_threads(threads);
+        }
+    }
+
+    /// Shares one persistent worker pool across every layer decoder, so
+    /// a study spawns workers once instead of once per decoder.
+    pub fn set_pool(&mut self, pool: std::sync::Arc<m4ps_pool::WorkerPool>) {
+        for d in &mut self.decoders {
+            d.set_pool(pool.clone());
+        }
+    }
+
+    /// Selects the scheduling mode on every layer decoder (see
+    /// [`crate::Scheduling`] — output is bit-identical across modes).
+    pub fn set_scheduling(&mut self, sched: crate::Scheduling) {
+        for d in &mut self.decoders {
+            d.set_scheduling(sched);
+        }
+    }
+
+    /// Total VOPs across all layer decoders that fell back to the
+    /// sequential path (always 0 on clean streams).
+    pub fn parallel_fallbacks(&self) -> u64 {
+        self.decoders.iter().map(|d| d.parallel_fallbacks()).sum()
+    }
+
     /// Session statistics so far.
     pub fn stats(&self) -> SessionStats {
         self.stats
@@ -511,7 +542,7 @@ impl SceneDecoder {
     /// # Errors
     ///
     /// Returns [`CodecError`] on any corrupt stream.
-    pub fn decode_all<M: MemModel>(
+    pub fn decode_all<M: ParallelModel>(
         &mut self,
         mem: &mut M,
         streams: &[Vec<u8>],

@@ -1,0 +1,230 @@
+//! Parallel decoding invariants: the decoder's thread count AND
+//! scheduling mode are pure scheduling knobs, exactly as on the encode
+//! side. For any multi-slice stream, the slice-parallel decoder must
+//! produce bit-identical reconstructions and identical merged
+//! memory-model counters no matter how many workers ran the slices or
+//! how the rows were cut into tasks — and it must never fall back to
+//! the sequential path on a clean stream.
+
+use m4ps_codec::{
+    EncoderConfig, FrameView, GopStructure, Scheduling, VideoObjectCoder, VideoObjectDecoder,
+};
+use m4ps_memsim::{
+    AddressSpace, Counters, Hierarchy, MachineSpec, MemModel, NullModel, ParallelModel,
+};
+use m4ps_testkit::prop::{self, Config};
+use m4ps_vidgen::{Resolution, Scene, SceneSpec};
+
+const FRAMES: usize = 5;
+
+fn test_config(slices: usize, b_frames: usize) -> EncoderConfig {
+    EncoderConfig {
+        gop: GopStructure {
+            intra_period: 4,
+            b_frames,
+        },
+        ..EncoderConfig::fast_test()
+    }
+    .with_slices(slices)
+}
+
+/// Encodes a QCIF scene sequentially and returns the elementary stream.
+fn encode_stream<M: ParallelModel>(
+    mem: &mut M,
+    scene_seed: u64,
+    slices: usize,
+    b_frames: usize,
+) -> Vec<u8> {
+    let scene = Scene::new(SceneSpec {
+        resolution: Resolution::QCIF,
+        objects: 0,
+        seed: scene_seed,
+    });
+    let mut space = AddressSpace::new();
+    let mut coder =
+        VideoObjectCoder::new(&mut space, 176, 144, test_config(slices, b_frames)).unwrap();
+    let mut stream = coder.header_bytes();
+    for t in 0..FRAMES {
+        let f = scene.frame(t);
+        let view = FrameView {
+            width: 176,
+            height: 144,
+            y: &f.y,
+            u: &f.u,
+            v: &f.v,
+        };
+        for vop in coder.encode_frame(mem, &view, None).unwrap() {
+            stream.extend_from_slice(&vop.bytes);
+        }
+    }
+    for vop in coder.flush(mem).unwrap() {
+        stream.extend_from_slice(&vop.bytes);
+    }
+    stream
+}
+
+type Planes = Vec<(Vec<u8>, Vec<u8>, Vec<u8>)>;
+
+/// Reconstruction planes of every VOP, plus the decoder's fallback
+/// count, for one full decode of `stream` at the given schedule.
+fn decode_planes<M: ParallelModel>(
+    mem: &mut M,
+    stream: &[u8],
+    threads: usize,
+    sched: Scheduling,
+) -> (Planes, u64) {
+    let mut space = AddressSpace::new();
+    let mut r = m4ps_bitstream::BitReader::new(stream);
+    let mut dec = VideoObjectDecoder::from_stream(&mut space, mem, &mut r).unwrap();
+    dec.set_threads(threads);
+    dec.set_scheduling(sched);
+    dec.set_keep_output(true);
+    let mut out = Vec::new();
+    while let Some(vop) = dec.decode_next(mem, &mut r).unwrap() {
+        let p = vop.planes.unwrap();
+        out.push((p.y, p.u, p.v));
+    }
+    (out, dec.parallel_fallbacks())
+}
+
+#[test]
+fn parallel_decode_matches_sequential_reconstruction() {
+    let mut mem = NullModel::new();
+    let stream = encode_stream(&mut mem, 7, 4, 1);
+    let (reference, _) = decode_planes(&mut mem, &stream, 0, Scheduling::SliceParallel);
+    assert_eq!(reference.len(), FRAMES);
+    for threads in [1, 2, 4, 7] {
+        let (planes, fallbacks) =
+            decode_planes(&mut mem, &stream, threads, Scheduling::SliceParallel);
+        assert_eq!(fallbacks, 0, "clean stream fell back at {threads} threads");
+        assert_eq!(
+            planes, reference,
+            "{threads}-thread reconstruction differs from sequential"
+        );
+    }
+}
+
+#[test]
+fn parallel_decode_matches_across_scheduling_modes() {
+    // Wavefront cuts each decode slice into one task per macroblock
+    // row; slice-parallel runs it as one coarse job. Same planes and
+    // counters either way, at any worker count.
+    let mut mem = NullModel::new();
+    let stream = encode_stream(&mut mem, 11, 3, 2);
+    let (reference, _) = decode_planes(&mut mem, &stream, 0, Scheduling::SliceParallel);
+    for threads in [1, 3, 4] {
+        for sched in [Scheduling::SliceParallel, Scheduling::Wavefront] {
+            let (planes, fallbacks) = decode_planes(&mut mem, &stream, threads, sched);
+            assert_eq!(fallbacks, 0);
+            assert_eq!(
+                planes, reference,
+                "{sched:?} at {threads} threads differs from sequential"
+            );
+        }
+    }
+}
+
+#[test]
+fn merged_counters_are_identical_for_any_thread_count() {
+    // The single-worker run IS the sequential reference for counters:
+    // exactly as in `parallel.rs`, the slice construction (forks,
+    // per-slice charge windows) is fixed by the slice count, so the
+    // worker count only reorders work between threads. (The legacy
+    // no-pool path charges stream bytes through one continuous window
+    // — a different, also-deterministic counter stream.)
+    let mut enc_mem = NullModel::new();
+    let stream = encode_stream(&mut enc_mem, 7, 4, 1);
+    let run = |threads: usize| -> Counters {
+        let mut mem = Hierarchy::new(MachineSpec::o2());
+        let (_, fallbacks) = decode_planes(&mut mem, &stream, threads, Scheduling::SliceParallel);
+        assert_eq!(fallbacks, 0);
+        *mem.counters()
+    };
+    let reference = run(1);
+    assert!(reference.loads > 0);
+    for threads in [2, 4] {
+        assert_eq!(
+            run(threads),
+            reference,
+            "{threads}-thread decode counters differ from the single-threaded ones"
+        );
+    }
+}
+
+#[test]
+fn single_slice_streams_stay_on_the_sequential_path() {
+    // One slice per VOP leaves nothing to parallelize: the dispatcher
+    // reports neither a parallel decode nor a fallback, and the result
+    // is untouched.
+    let mut mem = NullModel::new();
+    let stream = encode_stream(&mut mem, 7, 1, 1);
+    let (reference, _) = decode_planes(&mut mem, &stream, 0, Scheduling::SliceParallel);
+    let (planes, fallbacks) = decode_planes(&mut mem, &stream, 4, Scheduling::SliceParallel);
+    assert_eq!(fallbacks, 0);
+    assert_eq!(planes, reference);
+}
+
+#[test]
+fn random_streams_decode_identically_for_any_schedule() {
+    // Property: for ANY scene, slice count, B-queue depth, thread
+    // count and scheduling mode, the parallel decode produces exactly
+    // the reconstructions and merged counters of the sequential decode
+    // of the SAME stream — and never falls back on a clean stream with
+    // 2+ slices. Randomizing all four covers uneven slice partitions,
+    // more-threads-than-slices schedules, B-VOP slices and the
+    // wavefront row chains the pinned tests above don't reach.
+    prop::check(
+        "parallel_decode_determinism",
+        &Config::with_cases(5),
+        |rng| {
+            (
+                rng.gen_range(0u64..1 << 32),
+                rng.gen_range(2..=10usize),
+                rng.gen_range(0..=2usize),
+                rng.gen_range(2..=8usize),
+            )
+        },
+        |&(scene_seed, slices, b_frames, threads)| {
+            let mut enc_mem = NullModel::new();
+            let stream = encode_stream(&mut enc_mem, scene_seed, slices, b_frames);
+            let run = |threads: usize, sched: Scheduling| {
+                let mut mem = Hierarchy::new(MachineSpec::o2());
+                let (planes, fallbacks) = decode_planes(&mut mem, &stream, threads, sched);
+                (planes, fallbacks, *mem.counters())
+            };
+            // Reconstruction must match the legacy no-pool decoder;
+            // counters must match the single-worker run of the same
+            // slice construction (see the counters test above).
+            let (legacy_planes, _, _) = run(0, Scheduling::SliceParallel);
+            let (seq_planes, _, seq_counters) = run(1, Scheduling::SliceParallel);
+            if seq_planes != legacy_planes {
+                return Err(format!(
+                    "1-thread reconstruction differs from the no-pool decoder: \
+                     {slices} slices, {b_frames} B"
+                ));
+            }
+            for sched in [Scheduling::SliceParallel, Scheduling::Wavefront] {
+                let (par_planes, fallbacks, par_counters) = run(threads, sched);
+                if fallbacks != 0 {
+                    return Err(format!(
+                        "clean stream fell back: {slices} slices, {b_frames} B, \
+                         {threads} threads, {sched:?}"
+                    ));
+                }
+                if par_planes != seq_planes {
+                    return Err(format!(
+                        "reconstruction differs: {slices} slices, {b_frames} B, \
+                         {threads} threads, {sched:?}"
+                    ));
+                }
+                if par_counters != seq_counters {
+                    return Err(format!(
+                        "merged counters differ: {slices} slices, {b_frames} B, \
+                         {threads} threads, {sched:?}"
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+}

@@ -272,6 +272,147 @@ fn bit_flipped_streams_error_but_never_panic() {
     }
 }
 
+// ---------------------------------------------------------------------
+// The same corpus through the slice-parallel decoder. A corrupt slice
+// surfaces as a clean per-slice error inside the pool (caught at the
+// task boundary), the decoder falls back to the sequential concealment
+// path, and the pool survives for the next VOP and the next stream.
+// ---------------------------------------------------------------------
+
+fn sliced_resync_config() -> EncoderConfig {
+    resync_config().with_slices(3)
+}
+
+/// Like [`decode_arbitrary`] but on the slice-parallel path over a
+/// shared persistent pool.
+fn decode_arbitrary_parallel(stream: &[u8], pool: &std::sync::Arc<m4ps_pool::WorkerPool>) -> usize {
+    let mut mem = NullModel::new();
+    let mut space = AddressSpace::new();
+    let mut r = BitReader::new(stream);
+    let Ok(mut dec) = VideoObjectDecoder::from_stream(&mut space, &mut mem, &mut r) else {
+        return 0;
+    };
+    dec.set_pool(pool.clone());
+    let mut n = 0;
+    while let Ok(Some(_)) = dec.decode_next(&mut mem, &mut r) {
+        n += 1;
+    }
+    n
+}
+
+#[test]
+fn corrupt_slice_falls_back_to_sequential_concealment() {
+    // Damage one slice's payload: the parallel attempt must abandon
+    // that VOP (per-slice error, no panic), re-decode it sequentially,
+    // and end up with EXACTLY the sequential decoder's concealment —
+    // while the other VOPs keep decoding in parallel.
+    let (mut stream, encoded, _) = encode_clip(sliced_resync_config(), 4);
+    let second_vop_start =
+        stream.len() - encoded.last().unwrap().bytes.len() - encoded[encoded.len() - 2].bytes.len();
+    for i in 0..4 {
+        stream[second_vop_start + 60 + i] ^= 0xa5;
+    }
+    let sequential = decode_clip(&stream);
+
+    let mut mem = NullModel::new();
+    let mut space = AddressSpace::new();
+    let mut r = BitReader::new(&stream);
+    let mut dec = VideoObjectDecoder::from_stream(&mut space, &mut mem, &mut r).unwrap();
+    dec.set_threads(4);
+    dec.set_keep_output(true);
+    let mut parallel = Vec::new();
+    while let Ok(Some(v)) = dec.decode_next(&mut mem, &mut r) {
+        parallel.push(v);
+    }
+    assert!(
+        dec.parallel_fallbacks() > 0,
+        "corrupt slice never reached the parallel path"
+    );
+    assert_eq!(parallel.len(), sequential.len());
+    for (p, s) in parallel.iter().zip(&sequential) {
+        assert_eq!(p.stats, s.stats);
+        assert_eq!(
+            p.planes.as_ref().unwrap().y,
+            s.planes.as_ref().unwrap().y,
+            "fallback concealment diverged at display {}",
+            p.display_index
+        );
+    }
+    let concealed: u64 = parallel.iter().map(|d| d.stats.concealed_mbs).sum();
+    assert!(concealed > 0, "corruption went unnoticed");
+}
+
+#[test]
+fn corpus_never_panics_or_poisons_the_parallel_pool() {
+    // Truncations, bit flips and garbage through ONE persistent pool.
+    // Every case must return (the task-boundary catch_unwind turns any
+    // slice panic into a per-slice error), and after the whole corpus
+    // the same pool must still decode a clean stream drift-free.
+    let pool = std::sync::Arc::new(m4ps_pool::WorkerPool::new(4));
+    for config in [
+        EncoderConfig::fast_test().with_slices(3),
+        sliced_resync_config(),
+    ] {
+        let (stream, encoded, _) = encode_clip(config, 4);
+        let mut rng = Rng::new(0xc0ffee);
+        for _ in 0..24 {
+            let cut = rng.gen_range(0..stream.len());
+            let clipped = stream[..cut].to_vec();
+            let got = catch_unwind(AssertUnwindSafe(|| {
+                decode_arbitrary_parallel(&clipped, &pool)
+            }));
+            match got {
+                Ok(n) => assert!(n <= encoded.len(), "truncation at {cut} invented VOPs"),
+                Err(_) => panic!("parallel decoder panicked on truncation at byte {cut}"),
+            }
+        }
+        for case in 0..30u32 {
+            let mut damaged = stream.clone();
+            for _ in 0..rng.gen_range(1usize..=4) {
+                let byte = rng.gen_range(0..damaged.len());
+                damaged[byte] ^= 1 << rng.gen_range(0u32..8);
+            }
+            let got = catch_unwind(AssertUnwindSafe(|| {
+                decode_arbitrary_parallel(&damaged, &pool)
+            }));
+            assert!(
+                got.is_ok(),
+                "parallel decoder panicked on corpus case {case}"
+            );
+        }
+        let mut rng = Rng::new(0x9a5ba9e);
+        for case in 0..16u32 {
+            let len = rng.gen_range(0usize..512);
+            let buf: Vec<u8> = (0..len).map(|_| rng.gen_range(0u32..256) as u8).collect();
+            let got = catch_unwind(AssertUnwindSafe(|| decode_arbitrary_parallel(&buf, &pool)));
+            assert!(
+                got.is_ok(),
+                "parallel decoder panicked on garbage case {case}"
+            );
+        }
+    }
+
+    // The pool survived the corpus: a clean decode on it still matches
+    // the sequential decoder bit for bit.
+    let (clean, encoded, _) = encode_clip(sliced_resync_config(), 3);
+    let sequential = decode_clip(&clean);
+    let mut mem = NullModel::new();
+    let mut space = AddressSpace::new();
+    let mut r = BitReader::new(&clean);
+    let mut dec = VideoObjectDecoder::from_stream(&mut space, &mut mem, &mut r).unwrap();
+    dec.set_pool(pool);
+    dec.set_keep_output(true);
+    let mut decoded = Vec::new();
+    while let Some(v) = dec.decode_next(&mut mem, &mut r).unwrap() {
+        decoded.push(v);
+    }
+    assert_eq!(dec.parallel_fallbacks(), 0, "clean stream fell back");
+    assert_eq!(decoded.len(), encoded.len());
+    for (p, s) in decoded.iter().zip(&sequential) {
+        assert_eq!(p.planes.as_ref().unwrap().y, s.planes.as_ref().unwrap().y);
+    }
+}
+
 #[test]
 fn random_garbage_never_panics_the_decoder() {
     // Pure noise and noise prefixed with a valid VOL header: the

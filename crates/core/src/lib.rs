@@ -49,7 +49,10 @@ pub mod report;
 pub mod simd;
 pub mod study;
 
-pub use study::{decode_study, encode_study, prepare_streams, RunResult, StudyConfig, Workload};
+pub use study::{
+    decode_study, decode_study_with, encode_study, prepare_streams, RunResult, StudyConfig,
+    Workload, DECODE_THREADS_ENV,
+};
 
 // Re-exports so downstream binaries need only this crate.
 pub use m4ps_codec as codec;

@@ -385,8 +385,24 @@ pub fn prepare_streams(
     Ok(streams)
 }
 
+/// Environment override for the decoder's slice-parallel worker count
+/// (the decode-side sibling of `M4PS_THREADS`). Unset, empty, invalid
+/// or `0` keeps decode on the legacy sequential path, so existing
+/// decode artifacts are unchanged unless a run opts in.
+pub const DECODE_THREADS_ENV: &str = "M4PS_DECODE_THREADS";
+
+/// Worker count from [`DECODE_THREADS_ENV`]; `0` means sequential.
+fn decode_threads_from_env() -> usize {
+    std::env::var(DECODE_THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
 /// Runs the decoding experiment on `machine` over pre-encoded
-/// `streams` (one column of Tables 3/5/7).
+/// `streams` (one column of Tables 3/5/7). Decode parallelism comes
+/// from [`DECODE_THREADS_ENV`]; use [`decode_study_with`] to pass an
+/// explicit thread count or share a pool across studies.
 ///
 /// # Errors
 ///
@@ -396,20 +412,56 @@ pub fn decode_study(
     workload: &Workload,
     streams: &[Vec<u8>],
 ) -> Result<RunResult, CodecError> {
+    decode_study_with(machine, workload, streams, &StudyConfig::fast())
+}
+
+/// [`decode_study`] with an explicit [`StudyConfig`]: a shared
+/// `config.pool` takes precedence, then `config.threads`, then the
+/// [`DECODE_THREADS_ENV`] override; all zero/unset means the legacy
+/// sequential decoder. Like the encoder this is a pure scheduling knob
+/// — reconstructions and session stats are identical for every value,
+/// and clean streams never fall back.
+///
+/// # Errors
+///
+/// Propagates codec errors.
+pub fn decode_study_with(
+    machine: &MachineSpec,
+    workload: &Workload,
+    streams: &[Vec<u8>],
+    config: &StudyConfig,
+) -> Result<RunResult, CodecError> {
     let mut space = AddressSpace::new();
     let mut mem = Hierarchy::new(machine.clone());
-    let trace = trace_path(None);
-    let dump = dump_path(None);
+    let trace = trace_path(config.trace.as_deref());
+    let dump = dump_path(config.dump.as_deref());
     let profiler = Profiler::new(trace.is_some());
     let recorder = dump.as_ref().map(|_| m4ps_obs::Recorder::new(0));
     if let Some(rec) = &recorder {
         profiler.set_recorder(rec);
     }
+    let pool = match &config.pool {
+        Some(shared) => Some(shared.clone()),
+        None => {
+            let threads = if config.threads > 0 {
+                config.threads
+            } else {
+                decode_threads_from_env()
+            };
+            (threads > 0).then(|| std::sync::Arc::new(m4ps_pool::WorkerPool::new(threads)))
+        }
+    };
     let guard = profiler.attach();
     record_kernel_tier(&profiler);
     m4ps_obs::enter(Phase::Run, *mem.counters());
     let result = (|| -> Result<SceneDecoder, CodecError> {
         let mut dec = SceneDecoder::new(&mut space, &mut mem, streams, workload.layers)?;
+        if let Some(pool) = pool {
+            if let Some(rec) = &recorder {
+                pool.set_recorder(rec);
+            }
+            dec.set_pool(pool);
+        }
         mem.attach_regions(space.regions());
         let _ = dec.decode_all(&mut mem, streams)?;
         Ok(dec)
@@ -487,6 +539,31 @@ mod tests {
         assert!(b.metrics.counters.l2_misses <= a.metrics.counters.l2_misses);
         // Identical architectural work on both machines.
         assert_eq!(a.metrics.counters.loads, b.metrics.counters.loads);
+    }
+
+    #[test]
+    fn parallel_decode_study_matches_sequential_session() {
+        // Multi-slice streams decoded on the pool: same VOPs, same
+        // decoded stats, no fallbacks — and the pooled counters are
+        // deterministic run to run.
+        let w = tiny_workload();
+        let cfg = StudyConfig::fast().with_parallel(3, 2);
+        let streams = prepare_streams(&w, &cfg).unwrap();
+        let seq =
+            decode_study_with(&MachineSpec::o2(), &w, &streams, &StudyConfig::fast()).unwrap();
+        let par = decode_study_with(&MachineSpec::o2(), &w, &streams, &cfg).unwrap();
+        assert_eq!(par.session.vops, seq.session.vops);
+        assert_eq!(par.session.totals, seq.session.totals);
+        assert_eq!(par.metrics.counters.loads, seq.metrics.counters.loads);
+        let again = decode_study_with(&MachineSpec::o2(), &w, &streams, &cfg).unwrap();
+        assert_eq!(par.metrics.counters, again.metrics.counters);
+        // A shared pool works too and survives for the next study.
+        let pool = std::sync::Arc::new(m4ps_pool::WorkerPool::new(4));
+        let shared_cfg = StudyConfig::fast().with_parallel(3, 0).with_pool(pool);
+        let shared = decode_study_with(&MachineSpec::o2(), &w, &streams, &shared_cfg).unwrap();
+        assert_eq!(shared.session.totals, seq.session.totals);
+        let shared2 = decode_study_with(&MachineSpec::o2(), &w, &streams, &shared_cfg).unwrap();
+        assert_eq!(shared.metrics.counters, shared2.metrics.counters);
     }
 
     #[test]

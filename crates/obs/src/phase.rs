@@ -41,11 +41,14 @@ pub enum Phase {
     Compose,
     /// Anything else explicitly instrumented.
     Other,
+    /// One decode slice job: resync header, MB parse loop,
+    /// reconstruction into the slice's row band.
+    DecodeSlice,
 }
 
 impl Phase {
     /// Number of phases (array-index domain of [`Phase::ALL`]).
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 16;
 
     /// Every phase, in display order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -64,6 +67,7 @@ impl Phase {
         Phase::Parse,
         Phase::Compose,
         Phase::Other,
+        Phase::DecodeSlice,
     ];
 
     /// Stable dotted name, used in reports, JSONL and trace events.
@@ -84,6 +88,7 @@ impl Phase {
             Phase::Parse => "parse",
             Phase::Compose => "compose",
             Phase::Other => "other",
+            Phase::DecodeSlice => "slice.decode",
         }
     }
 
@@ -94,7 +99,12 @@ impl Phase {
     pub fn is_coarse(self) -> bool {
         matches!(
             self,
-            Phase::Run | Phase::FrameIo | Phase::VopEncode | Phase::VopDecode | Phase::Slice
+            Phase::Run
+                | Phase::FrameIo
+                | Phase::VopEncode
+                | Phase::VopDecode
+                | Phase::Slice
+                | Phase::DecodeSlice
         )
     }
 }

@@ -13,6 +13,7 @@
 //! ```text
 //! m4ps-loadgen --sessions 64 --frames 4 --threads 4 --drivers 8
 //! m4ps-loadgen --mode open --rate 200 --sessions 128 --reject-p99-us 5000
+//! m4ps-loadgen --mode decode --sessions 32 --frames 8 --threads 4
 //! m4ps-loadgen --memsim --weights 1,2 --shed-p99-us 0 --min-window 1 \
 //!     --dump-dir target --json report.json
 //! ```
@@ -22,7 +23,7 @@ use std::process::ExitCode;
 use m4ps_codec::{EncoderConfig, Scheduling};
 use m4ps_memsim::{AddressSpace, Hierarchy, MachineSpec, NullModel, ParallelModel};
 use m4ps_serve::{
-    AdmissionConfig, Service, ServiceConfig, ServiceReport, SessionSpec, SessionStatus,
+    AdmissionConfig, Service, ServiceConfig, ServiceReport, SessionMode, SessionSpec, SessionStatus,
 };
 use m4ps_testkit::json::Json;
 
@@ -37,6 +38,9 @@ struct Args {
     threads: usize,
     drivers: usize,
     open_loop: bool,
+    /// Sessions replay pre-encoded streams through the slice-parallel
+    /// decoder instead of encoding fresh content.
+    decode: bool,
     /// Open-loop arrival rate, sessions per second.
     rate: f64,
     /// Per-session bitrate budget in kbit/s (0 = constant QP).
@@ -71,6 +75,7 @@ impl Default for Args {
             threads: 0,
             drivers: 0,
             open_loop: false,
+            decode: false,
             rate: 100.0,
             bitrate_kbps: 0,
             sched: None,
@@ -102,7 +107,10 @@ OPTIONS:
     --slices N          slices per VOP (default 2)
     --threads N         shared pool width, 0 = M4PS_THREADS/auto (default 0)
     --drivers N         driver threads, 0 = one per pool thread (default 0)
-    --mode open|closed  arrival mode (default closed)
+    --mode MODE         closed | open | decode (default closed); decode
+                        pre-encodes each session's content off the clock,
+                        then sessions replay the streams through the
+                        slice-parallel decoder (closed loop, layers=1)
     --rate R            open-loop arrivals per second (default 100)
     --bitrate-kbps N    per-session rate-control budget, 0 = constant QP
     --sched MODE        slice | wavefront (default: M4PS_SCHED/auto)
@@ -150,13 +158,12 @@ fn parse_args() -> Result<Args, String> {
                 args.rate = v.parse().map_err(|e| format!("--rate '{v}': {e}"))?;
             }
             "--bitrate-kbps" => args.bitrate_kbps = parse(&value()?)?,
-            "--mode" => {
-                args.open_loop = match value()?.as_str() {
-                    "open" => true,
-                    "closed" => false,
-                    other => return Err(format!("--mode: unknown mode '{other}'")),
-                };
-            }
+            "--mode" => match value()?.as_str() {
+                "open" => (args.open_loop, args.decode) = (true, false),
+                "closed" => (args.open_loop, args.decode) = (false, false),
+                "decode" => (args.open_loop, args.decode) = (false, true),
+                other => return Err(format!("--mode: unknown mode '{other}'")),
+            },
             "--sched" => {
                 args.sched = Some(match value()?.as_str() {
                     "slice" => Scheduling::SliceParallel,
@@ -188,6 +195,9 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
     }
+    if args.decode && args.layers != 1 {
+        return Err("--mode decode replays single-layer streams (--layers 1)".to_string());
+    }
     Ok(args)
 }
 
@@ -204,7 +214,7 @@ fn spec_for(args: &Args, i: usize) -> SessionSpec {
     if args.bitrate_kbps > 0 {
         encoder.bitrate = Some((args.bitrate_kbps * 1000) as u32);
     }
-    SessionSpec {
+    let spec = SessionSpec {
         width: args.width,
         height: args.height,
         frames: args.frames,
@@ -213,6 +223,14 @@ fn spec_for(args: &Args, i: usize) -> SessionSpec {
         seed: args.seed.wrapping_add(i as u64),
         weight: weight_for(args, i),
         encoder,
+        mode: SessionMode::Encode,
+    };
+    if args.decode {
+        // Pre-encode the replay streams up front, before the service
+        // starts its clock — decode mode measures decode throughput.
+        spec.into_decode().expect("pre-encoding replay streams")
+    } else {
+        spec
     }
 }
 
@@ -333,7 +351,13 @@ fn report_json(args: &Args, report: &ServiceReport) -> Json {
         ("frames_per_session", Json::Num(args.frames as f64)),
         (
             "mode",
-            Json::str(if args.open_loop { "open" } else { "closed" }),
+            Json::str(if args.decode {
+                "decode"
+            } else if args.open_loop {
+                "open"
+            } else {
+                "closed"
+            }),
         ),
         ("memsim", Json::Bool(args.memsim)),
         ("wall_s", Json::Num(report.wall.as_secs_f64())),
@@ -403,7 +427,9 @@ fn main() -> ExitCode {
     eprintln!(
         "m4ps-loadgen: {} sessions submitted ({}), {} completed, {} rejected, {} shed, {} failed",
         args.sessions,
-        if args.open_loop {
+        if args.decode {
+            "decode replay, closed loop".to_string()
+        } else if args.open_loop {
             format!("open loop, {:.0}/s", args.rate)
         } else {
             "closed loop".to_string()

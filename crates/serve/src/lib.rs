@@ -30,4 +30,4 @@ pub mod session;
 pub use service::{
     AdmissionConfig, Service, ServiceConfig, ServiceReport, SessionOutcome, SessionStatus,
 };
-pub use session::{Session, SessionSpec};
+pub use session::{Session, SessionMode, SessionSpec};

@@ -1,12 +1,29 @@
-//! One encoding session: a scene, its encoder, and its private memory
-//! model, stepped one frame at a time by the service scheduler.
+//! One service session: a scene with its encoder — or a pre-encoded
+//! stream set replayed through the slice-parallel decoder — plus its
+//! private memory model, stepped one display frame at a time by the
+//! service scheduler.
 
 use std::sync::Arc;
 
-use m4ps_codec::{CodecError, EncoderConfig, FrameView, SceneEncoder, Scheduling, SessionStats};
-use m4ps_memsim::{AddressSpace, Counters, ParallelModel};
+use m4ps_bitstream::BitReader;
+use m4ps_codec::{
+    CodecError, EncoderConfig, FrameView, SceneEncoder, Scheduling, SessionStats,
+    VideoObjectDecoder,
+};
+use m4ps_memsim::{AddressSpace, Counters, NullModel, ParallelModel};
 use m4ps_pool::WorkerPool;
 use m4ps_vidgen::{Resolution, Scene, SceneSpec};
+
+/// What a session does each step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionMode {
+    /// Generate and encode `frames` synthetic frames (the default).
+    Encode,
+    /// Replay pre-encoded elementary streams (one per VO) through the
+    /// slice-parallel decoder, one display frame per step. The WFQ
+    /// cost of a step is the stream bytes it consumed.
+    Decode(Arc<Vec<Vec<u8>>>),
+}
 
 /// Everything needed to admit one session.
 #[derive(Debug, Clone, PartialEq)]
@@ -15,11 +32,11 @@ pub struct SessionSpec {
     pub width: usize,
     /// Frame height (multiple of 16).
     pub height: usize,
-    /// Frames this session encodes before completing.
+    /// Frames this session encodes (or decodes) before completing.
     pub frames: usize,
     /// Visual objects: 0 = one rectangular VO, ≥1 = shaped VOs.
     pub objects: usize,
-    /// Layers per object (1 or 2).
+    /// Layers per object (1 or 2; decode sessions support 1).
     pub layers: usize,
     /// Scene content seed — two sessions with the same seed encode the
     /// same content.
@@ -30,6 +47,8 @@ pub struct SessionSpec {
     /// Codec configuration; `encoder.bitrate` is the session's rate
     /// budget (per-session rate controller).
     pub encoder: EncoderConfig,
+    /// Encode fresh content or replay a pre-encoded stream set.
+    pub mode: SessionMode,
 }
 
 impl SessionSpec {
@@ -48,23 +67,101 @@ impl SessionSpec {
             seed,
             weight: 1,
             encoder: EncoderConfig::fast_test().with_slices(2),
+            mode: SessionMode::Encode,
         }
+    }
+
+    /// Converts an encode spec into a decode spec by pre-encoding its
+    /// content once (untraced, off the service clock) and storing the
+    /// streams for replay — the loadgen "sessions replay pre-encoded
+    /// streams" model. Shared seeds share nothing: each spec carries
+    /// its own stream set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on codec geometry errors, or when
+    /// `layers != 1` (decode sessions replay single-layer streams).
+    pub fn into_decode(mut self) -> Result<SessionSpec, CodecError> {
+        if self.layers != 1 {
+            return Err(CodecError::InvalidConfig(
+                "decode sessions replay single-layer streams",
+            ));
+        }
+        let mut space = AddressSpace::new();
+        let mut mem = NullModel::new();
+        let scene = Scene::new(SceneSpec {
+            resolution: Resolution::new(self.width, self.height),
+            objects: self.objects.max(1),
+            seed: self.seed,
+        });
+        let mut enc = SceneEncoder::new(
+            &mut space,
+            self.width,
+            self.height,
+            self.objects,
+            self.layers,
+            self.encoder,
+        )?;
+        let mut mask_storage: Vec<Vec<u8>> = Vec::new();
+        for t in 0..self.frames {
+            let frame = scene.frame(t);
+            mask_storage.clear();
+            for vo in 0..self.objects {
+                mask_storage.push(scene.alpha(t, vo).data);
+            }
+            let masks: Vec<&[u8]> = mask_storage.iter().map(|m| m.as_slice()).collect();
+            let view = FrameView {
+                width: frame.resolution.width,
+                height: frame.resolution.height,
+                y: &frame.y,
+                u: &frame.u,
+                v: &frame.v,
+            };
+            enc.encode_frame(&mut mem, &view, &masks)?;
+        }
+        let streams = enc.finish(&mut mem)?;
+        self.mode = SessionMode::Decode(Arc::new(streams));
+        Ok(self)
     }
 }
 
-/// A live session: owns its address space, scene, memory model and
-/// scene encoder (whose `SliceScratch` arenas are recycled for the
-/// whole session lifetime), scheduled onto the service's shared pool.
+/// Encode-session state: the scene, its encoder (whose `SliceScratch`
+/// arenas are recycled for the whole session lifetime), and the
+/// finished streams once flushed.
+struct EncodeWork {
+    scene: Scene,
+    enc: SceneEncoder,
+    /// Recycled per-frame mask storage (one buffer per object).
+    mask_storage: Vec<Vec<u8>>,
+    streams: Option<Vec<Vec<u8>>>,
+}
+
+/// Decode-session state: the replayed streams, one slice-parallel
+/// decoder per VO stream, and each stream's resume bit position (the
+/// session owns the stream bytes through the `Arc`, so readers are
+/// rebuilt per step instead of holding self-referential borrows).
+struct DecodeWork {
+    streams: Arc<Vec<Vec<u8>>>,
+    decs: Vec<VideoObjectDecoder>,
+    pos: Vec<u64>,
+    stats: SessionStats,
+    done: bool,
+}
+
+enum Work {
+    Encode(EncodeWork),
+    Decode(DecodeWork),
+}
+
+/// A live session: owns its address space, memory model and codec
+/// state (encoder or decoder side), scheduled onto the service's
+/// shared pool.
 pub struct Session<M: ParallelModel> {
     spec: SessionSpec,
     space: AddressSpace,
     mem: M,
-    scene: Scene,
-    enc: SceneEncoder,
     next_frame: usize,
-    /// Recycled per-frame mask storage (one buffer per object).
-    mask_storage: Vec<Vec<u8>>,
-    streams: Option<Vec<Vec<u8>>>,
+    work: Work,
 }
 
 impl<M: ParallelModel> Session<M> {
@@ -84,33 +181,62 @@ impl<M: ParallelModel> Session<M> {
         attach: impl FnOnce(&AddressSpace, &mut M),
     ) -> Result<Self, CodecError> {
         let mut space = AddressSpace::new();
-        let scene = Scene::new(SceneSpec {
-            resolution: Resolution::new(spec.width, spec.height),
-            objects: spec.objects.max(1),
-            seed: spec.seed,
-        });
-        let mut enc = SceneEncoder::new(
-            &mut space,
-            spec.width,
-            spec.height,
-            spec.objects,
-            spec.layers,
-            spec.encoder,
-        )?;
-        enc.set_pool(pool);
-        if let Some(s) = sched {
-            enc.set_scheduling(s);
-        }
+        let work = match &spec.mode {
+            SessionMode::Encode => {
+                let scene = Scene::new(SceneSpec {
+                    resolution: Resolution::new(spec.width, spec.height),
+                    objects: spec.objects.max(1),
+                    seed: spec.seed,
+                });
+                let mut enc = SceneEncoder::new(
+                    &mut space,
+                    spec.width,
+                    spec.height,
+                    spec.objects,
+                    spec.layers,
+                    spec.encoder,
+                )?;
+                enc.set_pool(pool);
+                if let Some(s) = sched {
+                    enc.set_scheduling(s);
+                }
+                Work::Encode(EncodeWork {
+                    scene,
+                    enc,
+                    mask_storage: Vec::with_capacity(spec.objects),
+                    streams: None,
+                })
+            }
+            SessionMode::Decode(streams) => {
+                let streams = streams.clone();
+                let mut decs = Vec::with_capacity(streams.len());
+                let mut pos = Vec::with_capacity(streams.len());
+                for stream in streams.iter() {
+                    let mut r = BitReader::new(stream);
+                    let mut dec = VideoObjectDecoder::from_stream(&mut space, &mut mem, &mut r)?;
+                    dec.set_pool(pool.clone());
+                    if let Some(s) = sched {
+                        dec.set_scheduling(s);
+                    }
+                    decs.push(dec);
+                    pos.push(r.bit_pos());
+                }
+                Work::Decode(DecodeWork {
+                    streams,
+                    decs,
+                    pos,
+                    stats: SessionStats::default(),
+                    done: false,
+                })
+            }
+        };
         attach(&space, &mut mem);
         Ok(Session {
-            mask_storage: Vec::with_capacity(spec.objects),
             spec,
             space,
             mem,
-            scene,
-            enc,
             next_frame: 0,
-            streams: None,
+            work,
         })
     }
 
@@ -119,10 +245,11 @@ impl<M: ParallelModel> Session<M> {
         &self.spec
     }
 
-    /// Encodes the next frame (the scheduler's unit of work), flushing
-    /// the coders after the last one. Returns the bitstream bytes this
-    /// step produced — the WFQ cost. Must not be called once
-    /// [`Session::is_done`].
+    /// Processes the next display frame (the scheduler's unit of
+    /// work): encodes it — flushing the coders after the last one — or
+    /// decodes one VOP from every replayed stream. Returns the
+    /// bitstream bytes this step produced or consumed — the WFQ cost.
+    /// Must not be called once [`Session::is_done`].
     ///
     /// # Errors
     ///
@@ -130,49 +257,86 @@ impl<M: ParallelModel> Session<M> {
     /// service.
     pub fn step(&mut self) -> Result<u64, CodecError> {
         assert!(!self.is_done(), "step() on a finished session");
-        let before = self.enc.stats().bytes;
         let t = self.next_frame;
         self.next_frame += 1;
-        let frame = self.scene.frame(t);
-        // Reuse the per-object mask buffers across frames.
-        for vo in 0..self.spec.objects {
-            let mask = self.scene.alpha(t, vo);
-            match self.mask_storage.get_mut(vo) {
-                Some(buf) => {
-                    buf.clear();
-                    buf.extend_from_slice(&mask.data);
+        match &mut self.work {
+            Work::Encode(w) => {
+                let before = w.enc.stats().bytes;
+                let frame = w.scene.frame(t);
+                // Reuse the per-object mask buffers across frames.
+                for vo in 0..self.spec.objects {
+                    let mask = w.scene.alpha(t, vo);
+                    match w.mask_storage.get_mut(vo) {
+                        Some(buf) => {
+                            buf.clear();
+                            buf.extend_from_slice(&mask.data);
+                        }
+                        None => w.mask_storage.push(mask.data),
+                    }
                 }
-                None => self.mask_storage.push(mask.data),
+                let masks: Vec<&[u8]> = w.mask_storage.iter().map(|m| m.as_slice()).collect();
+                let view = FrameView {
+                    width: frame.resolution.width,
+                    height: frame.resolution.height,
+                    y: &frame.y,
+                    u: &frame.u,
+                    v: &frame.v,
+                };
+                w.enc.encode_frame(&mut self.mem, &view, &masks)?;
+                if self.next_frame == self.spec.frames {
+                    w.streams = Some(w.enc.finish(&mut self.mem)?);
+                }
+                Ok(w.enc.stats().bytes - before)
+            }
+            Work::Decode(w) => {
+                let mut consumed = 0u64;
+                for i in 0..w.decs.len() {
+                    let mut r = BitReader::new(&w.streams[i]);
+                    r.seek_to(w.pos[i]);
+                    match w.decs[i].decode_next(&mut self.mem, &mut r)? {
+                        Some(vop) => {
+                            consumed += (r.bit_pos() - w.pos[i]).div_ceil(8);
+                            w.stats.vops += 1;
+                            w.stats.totals.merge(&vop.stats);
+                        }
+                        None => {
+                            return Err(CodecError::InvalidStream(
+                                "decode session stream ended early",
+                            ))
+                        }
+                    }
+                    w.pos[i] = r.bit_pos();
+                }
+                w.stats.bytes += consumed;
+                w.stats.frames += 1;
+                if self.next_frame == self.spec.frames {
+                    w.done = true;
+                }
+                Ok(consumed)
             }
         }
-        let masks: Vec<&[u8]> = self.mask_storage.iter().map(|m| m.as_slice()).collect();
-        let view = FrameView {
-            width: frame.resolution.width,
-            height: frame.resolution.height,
-            y: &frame.y,
-            u: &frame.u,
-            v: &frame.v,
-        };
-        self.enc.encode_frame(&mut self.mem, &view, &masks)?;
-        if self.next_frame == self.spec.frames {
-            self.streams = Some(self.enc.finish(&mut self.mem)?);
-        }
-        Ok(self.enc.stats().bytes - before)
     }
 
-    /// Whether every frame has been encoded and the coders flushed.
+    /// Whether every frame has been processed (and, for encode
+    /// sessions, the coders flushed).
     pub fn is_done(&self) -> bool {
-        self.streams.is_some()
+        match &self.work {
+            Work::Encode(w) => w.streams.is_some(),
+            Work::Decode(w) => w.done,
+        }
     }
 
-    /// Frames encoded so far.
+    /// Frames processed so far.
     pub fn frames_done(&self) -> usize {
         self.next_frame
     }
 
     /// Session statistics so far.
     pub fn stats(&self) -> SessionStats {
-        self.enc.stats()
+        match &self.work {
+            Work::Encode(w) => w.enc.stats(),
+            Work::Decode(w) => w.stats,
+        }
     }
 
     /// The session's private counter stream.
@@ -185,16 +349,35 @@ impl<M: ParallelModel> Session<M> {
         self.space.allocated_bytes()
     }
 
-    /// Consumes the finished session, returning its elementary streams,
+    /// VOPs a decode session re-decoded sequentially after a parallel
+    /// attempt aborted (always 0 on clean streams; 0 for encode
+    /// sessions).
+    pub fn parallel_fallbacks(&self) -> u64 {
+        match &self.work {
+            Work::Encode(_) => 0,
+            Work::Decode(w) => w.decs.iter().map(|d| d.parallel_fallbacks()).sum(),
+        }
+    }
+
+    /// Consumes the finished session, returning its elementary streams
+    /// (empty for decode sessions, which replay rather than produce),
     /// statistics and counters.
     ///
     /// # Panics
     ///
     /// Panics when the session is not [`Session::is_done`].
     pub fn into_output(self) -> (Vec<Vec<u8>>, SessionStats, Counters) {
-        let stats = self.enc.stats();
         let counters = *self.mem.counters();
-        (self.streams.expect("session finished"), stats, counters)
+        match self.work {
+            Work::Encode(w) => {
+                let stats = w.enc.stats();
+                (w.streams.expect("session finished"), stats, counters)
+            }
+            Work::Decode(w) => {
+                assert!(w.done, "session finished");
+                (Vec::new(), w.stats, counters)
+            }
+        }
     }
 }
 
@@ -230,5 +413,39 @@ mod tests {
         assert_eq!(stats.frames, 3);
         assert_eq!(stats.bytes, cost, "step costs sum to the stream bytes");
         assert!(streams.iter().map(|s| s.len() as u64).sum::<u64>() >= cost);
+    }
+
+    #[test]
+    fn decode_session_replays_the_encoded_stream() {
+        let spec = SessionSpec::tiny(7, 3).into_decode().unwrap();
+        let SessionMode::Decode(streams) = &spec.mode else {
+            panic!("into_decode did not switch the mode");
+        };
+        let total: u64 = streams.iter().map(|s| s.len() as u64).sum();
+        let pool = Arc::new(WorkerPool::new(2));
+        let mut s = Session::new(spec.clone(), NullModel::new(), pool, None, |_, _| {}).unwrap();
+        let mut cost = 0;
+        while !s.is_done() {
+            cost += s.step().unwrap();
+        }
+        assert_eq!(s.frames_done(), 3);
+        assert_eq!(s.parallel_fallbacks(), 0, "clean replay fell back");
+        let (streams_out, stats, _) = s.into_output();
+        assert!(streams_out.is_empty(), "decode sessions produce no streams");
+        assert_eq!(stats.frames, 3);
+        assert_eq!(stats.vops, 3);
+        assert_eq!(stats.bytes, cost, "step costs sum to the consumed bytes");
+        // Every payload byte is consumed (the VOL headers are read at
+        // construction, off the step clock).
+        assert!(cost <= total && cost >= total - streams.len() as u64 * 16);
+    }
+
+    #[test]
+    fn scalable_specs_cannot_become_decode_sessions() {
+        let spec = SessionSpec {
+            layers: 2,
+            ..SessionSpec::tiny(7, 2)
+        };
+        assert!(spec.into_decode().is_err());
     }
 }

@@ -142,6 +142,78 @@ fn sixty_four_sessions_are_bit_identical_to_solo() {
     }
 }
 
+/// Decode-replay sessions through the service: every session's merged
+/// VOP stats and memory-model counters match replaying its streams
+/// alone, at any driver/pool width — the decode side of the isolation
+/// invariant (loadgen `--mode decode` runs exactly this path).
+#[test]
+fn decode_sessions_match_solo_replays() {
+    let specs: Vec<SessionSpec> = (0..4)
+        .map(|seed| {
+            SessionSpec::tiny(40 + seed, 3)
+                .into_decode()
+                .expect("pre-encode replay streams")
+        })
+        .collect();
+    let refs: Vec<(m4ps_codec::SessionStats, Counters)> = specs
+        .iter()
+        .map(|spec| {
+            let pool = Arc::new(WorkerPool::new(1));
+            let mut s = Session::new(
+                spec.clone(),
+                Hierarchy::new(MachineSpec::o2()),
+                pool,
+                Some(Scheduling::SliceParallel),
+                |space, mem| mem.attach_regions(space.regions()),
+            )
+            .expect("solo decode session builds");
+            while !s.is_done() {
+                s.step().expect("solo decode step");
+            }
+            let (streams, stats, counters) = s.into_output();
+            assert!(streams.is_empty());
+            (stats, counters)
+        })
+        .collect();
+    for (drivers, threads) in [(2, 1), (3, 2), (2, 4)] {
+        let service = Service::new(ServiceConfig {
+            threads,
+            drivers,
+            sched: Some(Scheduling::SliceParallel),
+            admission: AdmissionConfig::default(),
+            ..ServiceConfig::default()
+        });
+        let report = service.run_batch(
+            specs.clone(),
+            |_, _| Hierarchy::new(MachineSpec::o2()),
+            |space, mem| mem.attach_regions(space.regions()),
+        );
+        assert_eq!(report.completed, 4, "drivers={drivers} threads={threads}");
+        for (outcome, (ref_stats, ref_counters)) in report.outcomes.iter().zip(&refs) {
+            let SessionStatus::Completed {
+                streams,
+                stats,
+                counters,
+                ..
+            } = &outcome.status
+            else {
+                panic!("session {} not completed: {:?}", outcome.id, outcome.status);
+            };
+            assert!(streams.is_empty(), "decode sessions produce no streams");
+            assert_eq!(
+                stats, ref_stats,
+                "decode stats diverged: session {} drivers={drivers} threads={threads}",
+                outcome.id
+            );
+            assert_eq!(
+                counters, ref_counters,
+                "decode counters diverged: session {} drivers={drivers} threads={threads}",
+                outcome.id
+            );
+        }
+    }
+}
+
 /// Weighted sessions still match their solo references: WFQ reorders
 /// work but never alters it.
 #[test]

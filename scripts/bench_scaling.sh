@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Thread-scaling bench: run only the parallel/encode_frame/threads=N
-# series, write BENCH_scaling.json at the repo root, and print the
-# speedup table via `bench_compare --scaling` (which also enforces the
-# machine-aware threads=4 speedup floor; override with
-# M4PS_MIN_SCALING=<x>).
+# Thread-scaling bench: run the parallel/encode_frame/threads=N and
+# parallel/decode_frame/threads={seq,N} series, write BENCH_scaling.json
+# at the repo root, and print the speedup tables via `bench_compare
+# --scaling` (which also enforces the machine-aware threads=4 speedup
+# floors — encode and decode — and the decode construction-overhead
+# ceiling; override the floor with M4PS_MIN_SCALING=<x>).
 #
 # Offline like everything else; CI uploads BENCH_scaling.json as an
 # artifact next to BENCH_smoke.json.
@@ -11,12 +12,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== thread-scaling bench (parallel/encode_frame) =="
-# threads=N series only: the obs=on/off overhead pair is gated by
+echo "== thread-scaling bench (parallel/{encode,decode}_frame) =="
+# threads=N series only ("frame/threads" matches the encode and decode
+# series and nothing else): the obs=on/off overhead pair is gated by
 # verify.sh's baseline comparison, and the 1-iteration smoke medians
 # are too noisy to gate it twice.
 cargo bench --offline -p m4ps-bench --bench kernels -- \
-    --smoke --json "$PWD/BENCH_scaling.json" parallel/encode_frame/threads
+    --smoke --json "$PWD/BENCH_scaling.json" frame/threads
 
 # The report stamps the resolved SIMD kernel tier into meta.kernel_tier
 # (bench_compare refuses to diff reports from different tiers); surface

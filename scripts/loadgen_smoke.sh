@@ -8,6 +8,9 @@
 #                        per-session merged memory-hierarchy counters
 #                        (--memsim), and throughput per WFQ weight
 #                        class for the closed-loop batch (CI artifact)
+#   LOADGEN_decode_smoke.json — the same report for a decode-replay
+#                        batch (`--mode decode`): decode sessions/sec
+#                        and frame-latency percentiles (CI artifact)
 #
 # The smoke asserts the service actually sustained the offered load:
 # every closed-loop session must complete (the batch applies no
@@ -51,6 +54,37 @@ else
     grep -q '"frame_p99_ms"' LOADGEN_smoke.json
 fi
 
+echo "== loadgen smoke: decode-replay 32-session batch (offline) =="
+# Each session pre-encodes its content off the service clock, then
+# replays the streams through the slice-parallel decoder; the report's
+# throughput and latency figures measure decode only.
+cargo run -q --release --offline -p m4ps-serve --bin m4ps-loadgen -- \
+    --mode decode --sessions 32 --frames 3 --threads 4 --drivers 8 \
+    --json "$PWD/LOADGEN_decode_smoke.json"
+
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$PWD/LOADGEN_decode_smoke.json" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["mode"] == "decode", f"expected decode mode, got {r['mode']}"
+assert r["completed"] == 32, f"expected 32 completed sessions, got {r['completed']}"
+assert r["sessions_per_sec"] > 0, "decode sessions/sec must be positive"
+assert r["frame_p99_ms"] >= r["frame_p50_ms"] > 0, "latency percentiles must be ordered"
+assert r["frame_max_ms"] > 0, "max latency must be present"
+done = [s for s in r["per_session"] if s["status"] == "completed"]
+assert len(done) == 32, "per-session rows must cover every completed session"
+assert all(s["bytes"] > 0 for s in done), \
+    "decode sessions must report the stream bytes they consumed"
+print(f"  {r['sessions_per_sec']:.1f} decode sessions/s, "
+      f"frame p50 {r['frame_p50_ms']:.3f} ms, p99 {r['frame_p99_ms']:.3f} ms, "
+      f"max {r['frame_max_ms']:.3f} ms")
+PY
+else
+    grep -q '"mode": "decode"' LOADGEN_decode_smoke.json
+    grep -q '"completed": 32' LOADGEN_decode_smoke.json
+    grep -q '"frame_p99_ms"' LOADGEN_decode_smoke.json
+fi
+
 echo "== loadgen smoke: open-loop burst with admission thresholds armed =="
 # Aggressive thresholds on purpose: the run may reject or shed under
 # load — the smoke only requires that the service stays up and resolves
@@ -60,4 +94,4 @@ cargo run -q --release --offline -p m4ps-serve --bin m4ps-loadgen -- \
     --sessions 32 --frames 2 --threads 2 --drivers 4 \
     --mode open --rate 2000 --reject-p99-us 50000 --shed-p99-us 100000 --min-window 16
 
-echo "loadgen report: $PWD/LOADGEN_smoke.json"
+echo "loadgen reports: $PWD/LOADGEN_smoke.json $PWD/LOADGEN_decode_smoke.json"
